@@ -1,0 +1,185 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* ``n_cut`` — the decentralization knob: larger aggregation cutoffs
+  raise the return rate for large-k queries at higher messaging cost.
+* ``|L|`` — bandwidth-class granularity: fewer classes snap constraints
+  harder (never increasing WPR, potentially lowering RR).
+* max-k search — binary vs linear scan inside Algorithm 3.
+* end-node search — anchor descent vs exhaustive measurement cost and
+  resulting embedding accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import emit
+from repro.analysis.relerr import relative_bandwidth_errors
+from repro.core.decentralized import DecentralizedClusterSearch
+from repro.core.find_cluster import (
+    max_cluster_size,
+    max_cluster_size_linear,
+)
+from repro.core.query import BandwidthClasses
+from repro.datasets.planetlab import hp_planetlab_like
+from repro.experiments.report import format_table
+from repro.predtree.construction import EndNodeSearch
+from repro.predtree.framework import build_framework
+
+N = 60
+
+
+def _dataset():
+    return hp_planetlab_like(seed=0, n=N)
+
+
+def test_ablation_n_cut(benchmark):
+    """RR for large-k queries as a function of n_cut."""
+    dataset = _dataset()
+    framework = build_framework(dataset.bandwidth, seed=1)
+    classes = BandwidthClasses.linear(15.0, 75.0, 7)
+    ks = [10, 25, 40]  # up to 2/3 of the 60-node system
+
+    def sweep():
+        rows = []
+        for n_cut in (2, 5, 10, 20):
+            search = DecentralizedClusterSearch(
+                framework, classes, n_cut=n_cut
+            )
+            search.run_aggregation()
+            rates = []
+            for k in ks:
+                found = sum(
+                    search.process_query(k, 30.0, start=start).found
+                    for start in framework.hosts[:15]
+                )
+                rates.append(found / 15)
+            rows.append([n_cut, *rates])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_n_cut",
+        format_table(
+            ["n_cut"] + [f"RR(k={k})" for k in ks],
+            rows,
+            title="Ablation: aggregation cutoff n_cut vs return rate",
+        ),
+    )
+    # Larger n_cut can only help the largest-k query.
+    hardest = [row[-1] for row in rows]
+    assert hardest == sorted(hardest)
+
+
+def test_ablation_class_count(benchmark):
+    """Coarser class sets snap harder: RR can only drop."""
+    dataset = _dataset()
+    framework = build_framework(dataset.bandwidth, seed=1)
+
+    def sweep():
+        rows = []
+        for count in (2, 4, 7, 14):
+            classes = BandwidthClasses.linear(15.0, 75.0, count)
+            search = DecentralizedClusterSearch(
+                framework, classes, n_cut=10
+            )
+            search.run_aggregation()
+            found = 0
+            queries = 0
+            rng = np.random.default_rng(0)
+            for start in framework.hosts[:15]:
+                b = float(rng.uniform(15.0, 74.0))
+                queries += 1
+                found += search.process_query(6, b, start=start).found
+            rows.append([count, found / queries])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_classes",
+        format_table(
+            ["|L|", "RR"],
+            rows,
+            title="Ablation: bandwidth-class granularity vs return rate",
+        ),
+    )
+    rates = [row[1] for row in rows]
+    assert rates == sorted(rates)  # finer classes never hurt
+
+
+@pytest.mark.parametrize("variant", ["binary", "linear"])
+def test_ablation_max_k_search(benchmark, variant):
+    """Binary-search vs linear-scan max cluster size (Sec. III-B.3)."""
+    d = _dataset().distance_matrix()
+    l = float(np.percentile(d.upper_triangle(), 60))
+    function = (
+        max_cluster_size if variant == "binary" else max_cluster_size_linear
+    )
+    size = benchmark(function, d, l)
+    assert size == max_cluster_size_linear(d, l)
+
+
+def test_ablation_ball_cover_vs_algorithm1(benchmark):
+    """The tree-native ball-cover vs Algorithm 1 on the dense matrix.
+
+    Same answers by construction (tested in the unit suite); this bench
+    reports the speed and prints both results side by side.
+    """
+    from repro.core.tree_cluster import max_cluster_size_tree
+    from repro.predtree.framework import build_framework as _build
+
+    dataset = _dataset()
+    framework = _build(dataset.bandwidth, seed=3)
+    tree = framework.tree
+    distances = framework.predicted_distance_matrix()
+    l = float(np.percentile(distances.upper_triangle(), 60))
+
+    size_tree = benchmark(max_cluster_size_tree, tree, l)
+    size_matrix = max_cluster_size(distances, l)
+    emit(
+        "ablation_ball_cover",
+        format_table(
+            ["algorithm", "max cluster size"],
+            [["ball cover (tree)", size_tree],
+             ["Algorithm 1 (matrix)", size_matrix]],
+            title=f"Ablation: ball cover vs Algorithm 1 (n={N})",
+        ),
+    )
+    assert size_tree == size_matrix
+
+
+def test_ablation_end_node_search(benchmark):
+    """Anchor descent vs exhaustive: measurements and accuracy."""
+    dataset = _dataset()
+
+    def sweep():
+        rows = []
+        for search in (
+            EndNodeSearch.ANCHOR_DESCENT, EndNodeSearch.EXHAUSTIVE
+        ):
+            framework = build_framework(
+                dataset.bandwidth, seed=2, search=search
+            )
+            errors = relative_bandwidth_errors(
+                dataset.bandwidth,
+                framework.predicted_bandwidth_matrix(),
+            )
+            rows.append(
+                [
+                    search.value,
+                    framework.stats().measurements,
+                    float(np.median(errors)),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "ablation_end_search",
+        format_table(
+            ["search", "measurements", "median rel err"],
+            rows,
+            title="Ablation: end-node search strategy",
+        ),
+    )
+    descent, exhaustive = rows
+    assert descent[1] <= exhaustive[1]  # descent never measures more

@@ -1,0 +1,21 @@
+"""Dynamic membership under churn (extension experiment).
+
+The paper's fifth design requirement ("dynamic clustering") measured:
+hosts depart one at a time, the overlay heals and re-aggregates, and a
+query batch grades return rate and ground-truth validity per step.
+Asserted shape: graceful degradation — RR never collapses, clusters
+stay valid, healing cost stays bounded.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.churn import ChurnParams, run_churn
+
+
+def test_churn(benchmark, scale):
+    params = ChurnParams.paper() if scale == "paper" else ChurnParams.quick()
+    result = benchmark.pedantic(
+        run_churn, args=(params,), rounds=1, iterations=1
+    )
+    emit("churn", result.format_table())
+    problems = result.shape_check()
+    assert not problems, problems

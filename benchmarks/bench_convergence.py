@@ -1,0 +1,55 @@
+"""Aggregation-convergence scaling: rounds and messages vs system size.
+
+Supports the paper's scalability story from a different angle than
+Fig. 6: the background mechanisms settle within a small multiple of the
+overlay diameter at every size, with per-host message load set by the
+overlay degree (not by n).
+"""
+
+from benchmarks.conftest import emit
+from repro.analysis.convergence import measure_convergence
+from repro.core.query import BandwidthClasses
+from repro.datasets.planetlab import umd_planetlab_like
+from repro.datasets.subsets import random_subset
+from repro.experiments.report import format_table
+from repro.predtree.framework import build_framework
+
+SIZES = (40, 80, 120, 160)
+
+
+def test_convergence_scaling(benchmark):
+    parent = umd_planetlab_like(seed=0, n=max(SIZES))
+    classes = BandwidthClasses.linear(30.0, 110.0, 7)
+
+    def sweep():
+        rows = []
+        for size in SIZES:
+            dataset = (
+                parent if size == parent.size
+                else random_subset(parent, size, seed=size)
+            )
+            framework = build_framework(dataset.bandwidth, seed=1)
+            report = measure_convergence(framework, classes, n_cut=10)
+            rows.append(
+                [
+                    size,
+                    report.rounds,
+                    report.diameter,
+                    round(report.rounds_over_diameter, 2),
+                    round(report.messages_per_host_per_round, 2),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit(
+        "convergence_scaling",
+        format_table(
+            ["n", "rounds", "diameter", "rounds/diam", "msgs/host/round"],
+            rows,
+            title="Aggregation convergence vs system size",
+        ),
+    )
+    # Rounds track the diameter, not n.
+    for _, rounds, diameter, _, _ in rows:
+        assert rounds <= 2 * max(diameter, 1) + 4

@@ -1,0 +1,25 @@
+"""Equation 1 validation: empirical vs model WPR exponents.
+
+Beyond the paper's visual normalization (Fig. 5), this bench regresses
+``WPR = f_b^c`` per treeness variant and checks: exponents above 1,
+falling with eps_avg, and positive measured-vs-model correlation.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.eq1_model import Eq1Params, run_eq1
+
+
+@pytest.mark.parametrize("dataset", ["hp", "umd"])
+def test_eq1(benchmark, scale, dataset):
+    params = (
+        Eq1Params.paper(dataset) if scale == "paper"
+        else Eq1Params.quick(dataset)
+    )
+    result = benchmark.pedantic(
+        run_eq1, args=(params,), rounds=1, iterations=1
+    )
+    emit(f"eq1_{dataset}", result.format_table())
+    problems = result.shape_check()
+    assert not problems, problems

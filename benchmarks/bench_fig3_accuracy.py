@@ -1,0 +1,29 @@
+"""Figure 3: clustering accuracy (WPR vs b) and relative-error CDFs.
+
+Regenerates all four panels: WPR curves for TREE-DECENTRAL /
+TREE-CENTRAL / EUCL-CENTRAL plus prediction-error CDFs, on the HP-like
+and UMD-like datasets.  Expected shape (asserted): WPR grows with b,
+the TREE curves sit at or below EUCL and within a small gap of each
+other, and the tree error CDF dominates Vivaldi's.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.fig3_accuracy import Fig3Params, run_fig3
+
+
+def _params(scale: str, dataset: str) -> Fig3Params:
+    if scale == "paper":
+        return Fig3Params.paper(dataset)
+    return Fig3Params.quick(dataset)
+
+
+@pytest.mark.parametrize("dataset", ["hp", "umd"])
+def test_fig3(benchmark, scale, dataset):
+    result = benchmark.pedantic(
+        run_fig3, args=(_params(scale, dataset),), rounds=1, iterations=1
+    )
+    emit(f"fig3_{dataset}", result.format_table())
+    problems = result.shape_check()
+    assert not problems, problems

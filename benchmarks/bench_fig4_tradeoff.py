@@ -1,0 +1,27 @@
+"""Figure 4: the tradeoff of decentralization (return rate vs k).
+
+Expected shape (asserted): RR falls with k for both configurations,
+RR(TREE-DECENTRAL) <= RR(TREE-CENTRAL) per bin, and the gap stays
+negligible while k is below ~20% of n.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.fig4_tradeoff import Fig4Params, run_fig4
+
+
+def _params(scale: str, dataset: str) -> Fig4Params:
+    if scale == "paper":
+        return Fig4Params.paper(dataset)
+    return Fig4Params.quick(dataset)
+
+
+@pytest.mark.parametrize("dataset", ["hp", "umd"])
+def test_fig4(benchmark, scale, dataset):
+    result = benchmark.pedantic(
+        run_fig4, args=(_params(scale, dataset),), rounds=1, iterations=1
+    )
+    emit(f"fig4_{dataset}", result.format_table())
+    problems = result.shape_check()
+    assert not problems, problems

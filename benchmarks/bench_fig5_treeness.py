@@ -1,0 +1,42 @@
+"""Figure 5: the effect of treeness (WPR vs f_b, raw and normalized).
+
+Expected shape (asserted): within every variant WPR rises with f_b, and
+ordering variants by eps_avg orders their *normalized* WPR
+(``WPR^{f_a*}``, alpha = 3.2) — the raw curves do not separate, which
+is exactly the paper's point.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.experiments.fig5_treeness import Fig5Params, run_fig5
+from repro.experiments.report import format_table
+
+
+def _params(scale: str, dataset: str) -> Fig5Params:
+    if scale == "paper":
+        return Fig5Params.paper(dataset)
+    return Fig5Params.quick(dataset)
+
+
+@pytest.mark.parametrize("dataset", ["hp", "umd"])
+def test_fig5(benchmark, scale, dataset):
+    result = benchmark.pedantic(
+        run_fig5, args=(_params(scale, dataset),), rounds=1, iterations=1
+    )
+    summary = format_table(
+        ["variant", "eps_avg", "mean normalized WPR", "fitted c"],
+        [
+            [
+                curve.name,
+                curve.eps_avg,
+                curve.mean_normalized(),
+                curve.fitted_exponent(),
+            ]
+            for curve in result.curves
+        ],
+        title=f"Fig. 5 ({dataset.upper()}): eps_avg ordering",
+    )
+    emit(f"fig5_{dataset}", result.format_table() + "\n\n" + summary)
+    problems = result.shape_check()
+    assert not problems, problems

@@ -1,0 +1,18 @@
+"""Figure 6: scalability of query routing (mean hops vs system size).
+
+Expected shape (asserted): the mean hop count stays small (a few hops)
+and grows sub-linearly with n.
+"""
+
+from benchmarks.conftest import emit
+from repro.experiments.fig6_scalability import Fig6Params, run_fig6
+
+
+def test_fig6(benchmark, scale):
+    params = Fig6Params.paper() if scale == "paper" else Fig6Params.quick()
+    result = benchmark.pedantic(
+        run_fig6, args=(params,), rounds=1, iterations=1
+    )
+    emit("fig6", result.format_table())
+    problems = result.shape_check()
+    assert not problems, problems

@@ -1,0 +1,92 @@
+"""Micro-benchmarks for the decentralized background mechanisms.
+
+Times Algorithm 2+3 convergence (the synchronous reference) and the
+full message-passing simulation, and reports message counts.
+"""
+
+from benchmarks.conftest import emit
+from repro.core.decentralized import DecentralizedClusterSearch
+from repro.core.query import BandwidthClasses
+from repro.datasets.planetlab import hp_planetlab_like
+from repro.experiments.report import format_table
+from repro.predtree.framework import build_framework
+from repro.sim.protocols import simulate_aggregation
+
+N = 80
+
+
+def _framework():
+    return build_framework(
+        hp_planetlab_like(seed=0, n=N).bandwidth, seed=1
+    )
+
+
+def _classes():
+    return BandwidthClasses.linear(15.0, 75.0, 7)
+
+
+def test_synchronous_aggregation(benchmark):
+    framework = _framework()
+    classes = _classes()
+
+    def run():
+        search = DecentralizedClusterSearch(framework, classes, n_cut=10)
+        return search, search.run_aggregation()
+
+    search, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "aggregation_sync",
+        format_table(
+            ["rounds", "converged", "node-info msgs", "crt msgs"],
+            [[
+                report.rounds,
+                report.converged,
+                report.node_info_messages,
+                report.crt_messages,
+            ]],
+            title=f"Synchronous aggregation (n={N}, n_cut=10)",
+        ),
+    )
+    assert report.converged
+
+
+def test_message_passing_aggregation(benchmark):
+    framework = _framework()
+    classes = _classes()
+    search, engine = benchmark.pedantic(
+        simulate_aggregation,
+        args=(framework, classes),
+        kwargs={"n_cut": 10},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "aggregation_sim",
+        format_table(
+            ["rounds", "messages sent", "delivered"],
+            [[engine.round, engine.messages_sent,
+              engine.messages_delivered]],
+            title=f"Message-passing aggregation (n={N}, n_cut=10)",
+        ),
+    )
+    result = search.process_query(4, 30.0, start=framework.hosts[0])
+    assert result.found
+
+
+def test_query_processing(benchmark):
+    framework = _framework()
+    search = DecentralizedClusterSearch(framework, _classes(), n_cut=10)
+    search.run_aggregation()
+    hosts = framework.hosts
+
+    def run_queries():
+        found = 0
+        for i, start in enumerate(hosts[:20]):
+            result = search.process_query(
+                3 + i % 6, 20.0 + (i % 5) * 10, start=start
+            )
+            found += bool(result.found)
+        return found
+
+    found = benchmark(run_queries)
+    assert found > 0

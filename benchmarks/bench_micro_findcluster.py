@@ -1,0 +1,53 @@
+"""Micro-benchmarks for Algorithm 1.
+
+Times the vectorized FindCluster against the paper-pseudocode reference
+and the max-k binary search; these are the hot loops of both the
+centralized searcher and the CRT aggregation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.find_cluster import (
+    find_cluster,
+    find_cluster_reference,
+    max_cluster_size,
+)
+from repro.datasets.planetlab import hp_planetlab_like
+
+
+def _distances(n: int):
+    return hp_planetlab_like(seed=0, n=n).distance_matrix()
+
+
+@pytest.mark.parametrize("n", [50, 100, 190])
+def test_find_cluster_vectorized(benchmark, n):
+    d = _distances(n)
+    l = float(np.percentile(d.upper_triangle(), 40))
+    result = benchmark(find_cluster, d, max(2, n // 20), l)
+    assert result  # these constraints are satisfiable by construction
+
+
+def test_find_cluster_reference_small(benchmark):
+    # The O(n^3) loop transcription; kept small — it exists as an
+    # oracle, not a production path.
+    d = _distances(40)
+    l = float(np.percentile(d.upper_triangle(), 40))
+    result = benchmark(find_cluster_reference, d, 4, l)
+    assert result
+
+
+def test_find_cluster_miss_worst_case(benchmark):
+    # Unsatisfiable queries scan every pair below l: the worst case.
+    d = _distances(100)
+    l = float(np.percentile(d.upper_triangle(), 30))
+    result = benchmark(find_cluster, d, 95, l)
+    assert result == []
+
+
+@pytest.mark.parametrize("n", [50, 100])
+def test_max_cluster_size_binary_search(benchmark, n):
+    d = _distances(n)
+    l = float(np.percentile(d.upper_triangle(), 50))
+    size = benchmark(max_cluster_size, d, l)
+    assert size >= 2

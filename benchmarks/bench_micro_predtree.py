@@ -1,0 +1,66 @@
+"""Micro-benchmarks for the prediction substrate.
+
+Framework construction is the setup cost every experiment round pays;
+the anchor-descent search exists to cut its measurement count, so both
+modes are timed and their measurement totals reported.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from repro.datasets.planetlab import hp_planetlab_like
+from repro.experiments.report import format_table
+from repro.predtree.construction import EndNodeSearch
+from repro.predtree.framework import build_framework
+from repro.vivaldi.embedding import build_vivaldi_embedding
+
+
+@pytest.mark.parametrize("n", [100, 190])
+@pytest.mark.parametrize(
+    "search", [EndNodeSearch.ANCHOR_DESCENT, EndNodeSearch.EXHAUSTIVE]
+)
+def test_framework_construction(benchmark, n, search):
+    bandwidth = hp_planetlab_like(seed=0, n=n).bandwidth
+    framework = benchmark.pedantic(
+        build_framework,
+        args=(bandwidth,),
+        kwargs={"seed": 1, "search": search},
+        rounds=1,
+        iterations=1,
+    )
+    stats = framework.stats()
+    emit(
+        f"predtree_{search.value}_{n}",
+        format_table(
+            ["hosts", "measurements", "full n-to-n", "height", "max deg"],
+            [[
+                stats.host_count,
+                stats.measurements,
+                n * (n - 1) // 2,
+                stats.anchor_height,
+                stats.anchor_max_degree,
+            ]],
+            title=f"Framework construction ({search.value}, n={n})",
+        ),
+    )
+    assert stats.host_count == n
+
+
+def test_predicted_matrix(benchmark):
+    framework = build_framework(
+        hp_planetlab_like(seed=0, n=190).bandwidth, seed=1
+    )
+    matrix = benchmark(framework.predicted_distance_matrix)
+    assert matrix.size == 190
+
+
+def test_vivaldi_construction(benchmark):
+    bandwidth = hp_planetlab_like(seed=0, n=190).bandwidth
+    embedding = benchmark.pedantic(
+        build_vivaldi_embedding,
+        args=(bandwidth,),
+        kwargs={"seed": 1, "rounds": 400},
+        rounds=1,
+        iterations=1,
+    )
+    assert embedding.size == 190

@@ -1,0 +1,40 @@
+"""Shared benchmark configuration.
+
+Each figure bench regenerates one panel of the paper's evaluation,
+prints the same rows the figure plots, writes them under
+``benchmarks/results/``, and asserts the paper's qualitative shape.
+
+Scale: ``REPRO_BENCH_SCALE=paper pytest benchmarks/ --benchmark-only``
+runs the full Sec. IV protocol (expensive); the default "quick" scale
+keeps the whole suite in a couple of minutes while preserving every
+shape the paper reports.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    """Benchmark scale: "quick" (default) or "paper"."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "quick")
+    if scale not in ("quick", "paper"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be quick|paper, not {scale}")
+    return scale
+
+
+def emit(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    print(f"\n{text}\n")
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()

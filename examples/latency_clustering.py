@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Latency-constrained clustering (the paper's future-work direction).
+
+Sec. VI: latency also embeds well into tree metrics, so the same
+machinery answers "find k nodes within X ms of each other" — no
+transform needed because latency is already a metric.
+
+This example finds a game-server-style node group under an RTT budget
+and shows how the achievable group size shrinks as the budget tightens.
+
+Run:  python examples/latency_clustering.py
+"""
+
+import numpy as np
+
+from repro import find_latency_cluster, max_cluster_size
+from repro.extensions.latency import LatencyQuery, synthetic_latency_matrix
+
+N = 100
+K = 8
+
+
+def main() -> None:
+    latency = synthetic_latency_matrix(N, seed=17, base_rtt=25.0)
+    rtts = latency.upper_triangle()
+    print(
+        f"{N} hosts; RTT p10={np.percentile(rtts, 10):.0f} ms, "
+        f"median={np.median(rtts):.0f} ms, "
+        f"p90={np.percentile(rtts, 90):.0f} ms\n"
+    )
+
+    budget = float(np.percentile(rtts, 35))
+    cluster = find_latency_cluster(
+        latency, LatencyQuery(k=K, max_rtt=budget)
+    )
+    if cluster:
+        print(
+            f"group of {K} within {budget:.0f} ms: {cluster} "
+            f"(actual worst RTT "
+            f"{latency.diameter(cluster):.1f} ms)"
+        )
+    else:
+        print(f"no group of {K} fits within {budget:.0f} ms")
+
+    print("\nachievable group size per RTT budget:")
+    for percentile in (5, 15, 30, 50, 70, 90):
+        rtt = float(np.percentile(rtts, percentile))
+        size = max_cluster_size(latency, rtt)
+        print(f"  <= {rtt:6.1f} ms : {size:3d} nodes")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""P2P storage: replica-group placement and maintenance.
+
+The paper's third application (Sec. V): a PAST-style P2P storage system
+keeps several replicas of each object consistent; placing a replica
+group on a bandwidth-constrained cluster makes synchronization and
+repair fast.
+
+This example places replica groups for many objects, uses hub search to
+pick each group's primary (the replica that pushes updates), models the
+update-propagation time, and then exercises *dynamic membership*: a
+replica host departs, the framework heals itself, and the affected
+group is re-placed.
+
+Run:  python examples/storage_replicas.py
+"""
+
+import numpy as np
+
+from repro import (
+    BandwidthClasses,
+    DecentralizedClusterSearch,
+    build_framework,
+    umd_planetlab_like,
+)
+from repro.extensions.hub import find_hub
+
+N = 140           # storage nodes
+REPLICAS = 5      # replicas per object
+B = 70.0          # required pairwise bandwidth within a group (Mbps)
+OBJECTS = 4       # objects to place
+UPDATE_MB = 64.0  # update batch size
+
+
+def propagation_time(primary, group, dataset) -> float:
+    """Seconds for the primary to push one update batch to the group."""
+    slowest = min(
+        dataset.bandwidth(primary, replica)
+        for replica in group
+        if replica != primary
+    )
+    return UPDATE_MB * 8.0 / slowest
+
+
+def main() -> None:
+    dataset = umd_planetlab_like(seed=31, n=N)
+    print(f"storage network: {dataset.summary()}\n")
+
+    framework = build_framework(dataset.bandwidth, seed=8)
+    classes = BandwidthClasses.linear(30.0, 110.0, 7)
+    search = DecentralizedClusterSearch(framework, classes, n_cut=10)
+    search.run_aggregation()
+
+    rng = np.random.default_rng(0)
+    groups: dict[int, list[int]] = {}
+    for obj in range(OBJECTS):
+        entry = int(rng.choice(framework.hosts))
+        result = search.process_query(REPLICAS, B, start=entry)
+        if not result.found:
+            print(f"object {obj}: no replica group satisfies {B:g} Mbps")
+            continue
+        predicted = framework.predicted_distance_matrix()
+        hub = find_hub(predicted, result.cluster, exclude_targets=False)
+        groups[obj] = list(result.cluster)
+        print(
+            f"object {obj}: replicas {result.cluster} "
+            f"(found in {result.hops} hops), primary {hub.node}, "
+            f"update push {propagation_time(hub.node, result.cluster, dataset):5.1f} s"
+        )
+
+    # A replica host departs; the overlay heals and the group re-places.
+    victim_object, victim_group = next(iter(groups.items()))
+    departed = victim_group[0]
+    print(f"\nhost {departed} departs (was a replica of object "
+          f"{victim_object})...")
+    rejoined = framework.remove_host(departed)
+    print(
+        f"overlay healed: {len(rejoined)} displaced hosts re-joined"
+    )
+
+    healed = DecentralizedClusterSearch(framework, classes, n_cut=10)
+    healed.run_aggregation()
+    result = healed.process_query(
+        REPLICAS, B, start=framework.hosts[0]
+    )
+    if result.found:
+        assert departed not in result.cluster
+        print(
+            f"object {victim_object} re-placed on {result.cluster} "
+            f"({result.hops} hops)"
+        )
+    else:
+        print(f"object {victim_object}: no group available after churn")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""repro — bandwidth-constrained cluster search in tree metric spaces.
+
+A production-quality reproduction of:
+
+    Sukhyun Song, Pete Keleher, Alan Sussman.
+    "Searching for Bandwidth-Constrained Clusters." ICDCS 2011.
+
+Quickstart
+----------
+>>> from repro import (
+...     hp_planetlab_like, build_framework, BandwidthClasses,
+...     CentralizedClusterSearch, DecentralizedClusterSearch, ClusterQuery,
+... )
+>>> dataset = hp_planetlab_like(seed=0, n=60)
+>>> framework = build_framework(dataset.bandwidth, seed=1)
+>>> central = CentralizedClusterSearch(framework)
+>>> cluster = central.query(ClusterQuery(k=5, b=30.0))
+>>> len(cluster)
+5
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.analysis import (
+    evaluate_cluster,
+    relative_bandwidth_errors,
+    return_rate,
+    wrong_pair_rate,
+)
+from repro.core import (
+    BandwidthClasses,
+    CentralizedClusterSearch,
+    ClusterQuery,
+    DecentralizedClusterSearch,
+    QueryResult,
+    find_cluster,
+    find_cluster_euclidean,
+    max_cluster_size,
+)
+from repro.datasets import (
+    Dataset,
+    hp_planetlab_like,
+    load_dataset,
+    save_dataset,
+    umd_planetlab_like,
+)
+from repro.exceptions import ReproError
+from repro.extensions import find_hub, find_latency_cluster
+from repro.metrics import (
+    BandwidthMatrix,
+    DistanceMatrix,
+    RationalTransform,
+    epsilon_average,
+    is_tree_metric,
+)
+from repro.predtree import (
+    BandwidthPredictionFramework,
+    EndNodeSearch,
+    PredictionTree,
+    build_framework,
+)
+from repro.vivaldi import VivaldiEmbedding, build_vivaldi_embedding
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BandwidthClasses",
+    "BandwidthMatrix",
+    "BandwidthPredictionFramework",
+    "CentralizedClusterSearch",
+    "ClusterQuery",
+    "Dataset",
+    "DecentralizedClusterSearch",
+    "DistanceMatrix",
+    "EndNodeSearch",
+    "PredictionTree",
+    "QueryResult",
+    "RationalTransform",
+    "ReproError",
+    "VivaldiEmbedding",
+    "build_framework",
+    "build_vivaldi_embedding",
+    "epsilon_average",
+    "evaluate_cluster",
+    "find_cluster",
+    "find_cluster_euclidean",
+    "find_hub",
+    "find_latency_cluster",
+    "hp_planetlab_like",
+    "is_tree_metric",
+    "load_dataset",
+    "max_cluster_size",
+    "relative_bandwidth_errors",
+    "return_rate",
+    "save_dataset",
+    "umd_planetlab_like",
+    "wrong_pair_rate",
+    "__version__",
+]

@@ -1,0 +1,124 @@
+"""Shared argument-validation helpers.
+
+These helpers centralize the checks that nearly every public entry point
+performs (square symmetric matrices, positive scalars, node-id ranges) so
+error messages stay uniform across the library.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "require",
+    "as_square_matrix",
+    "check_symmetric",
+    "check_nonnegative",
+    "check_zero_diagonal",
+    "check_positive",
+    "check_node_id",
+    "check_probability",
+    "as_rng",
+]
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with *message* unless *condition*."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def as_square_matrix(values: object, name: str = "matrix") -> np.ndarray:
+    """Coerce *values* to a float64 square 2-d array or raise."""
+    matrix = np.asarray(values, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValidationError(
+            f"{name} must be a square 2-d array, got shape {matrix.shape}"
+        )
+    if matrix.shape[0] == 0:
+        raise ValidationError(f"{name} must be non-empty")
+    if not np.all(np.isfinite(matrix)):
+        raise ValidationError(f"{name} must contain only finite values")
+    return matrix
+
+
+def check_symmetric(matrix: np.ndarray, name: str = "matrix",
+                    tolerance: float = 1e-9) -> None:
+    """Raise unless *matrix* is symmetric up to *tolerance*."""
+    if not np.allclose(matrix, matrix.T, atol=tolerance, rtol=0.0):
+        worst = float(np.abs(matrix - matrix.T).max())
+        raise ValidationError(
+            f"{name} must be symmetric (max asymmetry {worst:.3g})"
+        )
+
+
+def check_nonnegative(matrix: np.ndarray, name: str = "matrix") -> None:
+    """Raise unless every entry of *matrix* is >= 0."""
+    if np.any(matrix < 0):
+        raise ValidationError(f"{name} must be non-negative")
+
+
+def check_zero_diagonal(matrix: np.ndarray, name: str = "matrix",
+                        tolerance: float = 1e-9) -> None:
+    """Raise unless the diagonal of *matrix* is (numerically) zero."""
+    diagonal = np.diagonal(matrix)
+    if np.any(np.abs(diagonal) > tolerance):
+        raise ValidationError(f"{name} must have a zero diagonal")
+
+
+def check_positive(value: float, name: str = "value") -> float:
+    """Raise unless *value* is a finite positive number; return it."""
+    number = float(value)
+    if not np.isfinite(number) or number <= 0:
+        raise ValidationError(f"{name} must be a finite positive number, "
+                              f"got {value!r}")
+    return number
+
+
+def check_probability(value: float, name: str = "value") -> float:
+    """Raise unless *value* lies in [0, 1]; return it as ``float``."""
+    number = float(value)
+    if not (0.0 <= number <= 1.0):
+        raise ValidationError(f"{name} must lie in [0, 1], got {value!r}")
+    return number
+
+
+def check_node_id(node: int, size: int, name: str = "node") -> int:
+    """Raise unless *node* is a valid index into a *size*-node space."""
+    index = int(node)
+    if not 0 <= index < size:
+        raise ValidationError(
+            f"{name} must be an integer in [0, {size}), got {node!r}"
+        )
+    return index
+
+
+def as_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` for OS entropy. Experiments always pass explicit integers so
+    results are reproducible.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def unique_nodes(nodes: Iterable[int], name: str = "nodes") -> list[int]:
+    """Return *nodes* as a list, raising if it contains duplicates."""
+    result = [int(node) for node in nodes]
+    if len(set(result)) != len(result):
+        raise ValidationError(f"{name} must not contain duplicates")
+    return result
+
+
+def check_sorted_ascending(values: Sequence[float], name: str) -> None:
+    """Raise unless *values* is sorted in strictly ascending order."""
+    for left, right in zip(values, values[1:]):
+        if not left < right:
+            raise ValidationError(f"{name} must be strictly ascending")

@@ -1,0 +1,58 @@
+"""Evaluation metrics and models (Sec. IV).
+
+* :mod:`repro.analysis.wpr` — Wrong Pair Rate and Return Rate.
+* :mod:`repro.analysis.relerr` — relative bandwidth-prediction errors
+  and empirical CDFs (Fig. 3 right panels).
+* :mod:`repro.analysis.treeness` — ``f_b``, ``f_a``, the bounded
+  treeness variables ``eps*``, ``f_a*``, ``eps#`` and the WPR model of
+  Equation 1 (Fig. 5).
+* :mod:`repro.analysis.stats` — small shared helpers (binning, means).
+"""
+
+from repro.analysis.convergence import (
+    ConvergenceReport,
+    measure_convergence,
+)
+from repro.analysis.model_fit import ExponentFit, fit_wpr_exponent
+from repro.analysis.relerr import (
+    empirical_cdf,
+    relative_bandwidth_errors,
+)
+from repro.analysis.stats import bin_means, mean_or_nan
+from repro.analysis.treeness import (
+    TreenessPoint,
+    adjusted_epsilon,
+    bounded_epsilon,
+    bounded_slope,
+    cdf_fraction_below,
+    fraction_near,
+    wpr_model,
+)
+from repro.analysis.wpr import (
+    ClusterEvaluation,
+    evaluate_cluster,
+    return_rate,
+    wrong_pair_rate,
+)
+
+__all__ = [
+    "ClusterEvaluation",
+    "ConvergenceReport",
+    "ExponentFit",
+    "measure_convergence",
+    "TreenessPoint",
+    "fit_wpr_exponent",
+    "adjusted_epsilon",
+    "bin_means",
+    "bounded_epsilon",
+    "bounded_slope",
+    "cdf_fraction_below",
+    "empirical_cdf",
+    "evaluate_cluster",
+    "fraction_near",
+    "mean_or_nan",
+    "relative_bandwidth_errors",
+    "return_rate",
+    "wpr_model",
+    "wrong_pair_rate",
+]

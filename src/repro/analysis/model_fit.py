@@ -1,0 +1,84 @@
+"""Fitting Equation 1 to measured data (Sec. IV-C validation).
+
+The paper's WPR model is ``WPR = f_b ^ c`` with exponent
+``c = 1 / eps#``.  Beyond eyeballing the curves, the fit can be
+quantified: regress ``log WPR`` on ``log f_b`` (through the origin,
+since ``f_b = 1`` forces ``WPR = 1``) to estimate the empirical
+exponent ``c_hat``, and compare it with the model's ``1 / eps#``.
+
+A dataset family ordered by ``eps_avg`` should produce *decreasing*
+fitted exponents (less tree-like -> WPR closer to the random-pick
+diagonal ``WPR = f_b``), which is the quantitative form of Fig. 5's
+qualitative claim.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["ExponentFit", "fit_wpr_exponent"]
+
+
+@dataclass(frozen=True)
+class ExponentFit:
+    """Least-squares fit of ``WPR = f_b^c``.
+
+    Attributes
+    ----------
+    exponent:
+        The fitted ``c_hat`` (larger = more tree-like behaviour).
+    points_used:
+        Number of ``(f_b, WPR)`` points that entered the regression
+        (both coordinates must lie strictly inside ``(0, 1)``).
+    residual:
+        Root-mean-square residual in log-log space.
+    """
+
+    exponent: float
+    points_used: int
+    residual: float
+
+    @property
+    def usable(self) -> bool:
+        """Whether enough interior points existed to fit at all."""
+        return self.points_used >= 2
+
+
+def fit_wpr_exponent(
+    points: list[tuple[float, float]],
+) -> ExponentFit:
+    """Fit ``c`` in ``WPR = f_b^c`` over ``(f_b, WPR)`` *points*.
+
+    Through-the-origin regression in log space:
+    ``c_hat = sum(x*y) / sum(x^2)`` with ``x = log f_b``,
+    ``y = log WPR``.  Points with ``f_b`` or ``WPR`` at 0 or 1 carry no
+    information about the exponent and are skipped.
+    """
+    if not points:
+        raise ValidationError("need at least one (f_b, WPR) point")
+    xs = []
+    ys = []
+    for f_b, wpr in points:
+        if not (0.0 <= f_b <= 1.0) or not (0.0 <= wpr <= 1.0):
+            raise ValidationError(
+                f"points must lie in the unit square, got ({f_b}, {wpr})"
+            )
+        if 0.0 < f_b < 1.0 and 0.0 < wpr < 1.0:
+            xs.append(math.log(f_b))
+            ys.append(math.log(wpr))
+    if len(xs) < 2:
+        return ExponentFit(
+            exponent=float("nan"), points_used=len(xs), residual=float("nan")
+        )
+    x = np.asarray(xs)
+    y = np.asarray(ys)
+    exponent = float((x * y).sum() / (x * x).sum())
+    residual = float(np.sqrt(np.mean((y - exponent * x) ** 2)))
+    return ExponentFit(
+        exponent=exponent, points_used=len(xs), residual=residual
+    )

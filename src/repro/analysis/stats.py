@@ -1,0 +1,60 @@
+"""Small statistics helpers shared by the experiment drivers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.exceptions import ValidationError
+
+__all__ = ["bin_means", "mean_or_nan"]
+
+
+def mean_or_nan(values: list[float]) -> float:
+    """Mean of *values*, ``nan`` when empty or all-nan."""
+    cleaned = [v for v in values if not math.isnan(v)]
+    if not cleaned:
+        return float("nan")
+    return float(np.mean(cleaned))
+
+
+def bin_means(
+    xs: list[float],
+    ys: list[float],
+    edges: list[float],
+) -> list[tuple[float, float, int]]:
+    """Mean of *ys* grouped by which ``[edges[i], edges[i+1])`` bin the
+    matching *x* falls in.
+
+    Returns ``(bin_center, mean_y, count)`` per non-degenerate bin —
+    how the figure drivers turn per-query scatter into plot series.
+    NaN ``y`` values are skipped.  The last bin is closed on the right.
+    """
+    if len(xs) != len(ys):
+        raise ValidationError("xs and ys must have the same length")
+    if len(edges) < 2:
+        raise ValidationError("need at least two bin edges")
+    for left, right in zip(edges, edges[1:]):
+        if not left < right:
+            raise ValidationError("edges must be strictly ascending")
+    sums = [0.0] * (len(edges) - 1)
+    counts = [0] * (len(edges) - 1)
+    last = len(edges) - 2
+    for x, y in zip(xs, ys):
+        if math.isnan(y):
+            continue
+        if x < edges[0] or x > edges[-1]:
+            continue
+        index = min(
+            last, int(np.searchsorted(edges, x, side="right")) - 1
+        )
+        index = max(index, 0)
+        sums[index] += y
+        counts[index] += 1
+    result = []
+    for i in range(len(edges) - 1):
+        if counts[i]:
+            center = (edges[i] + edges[i + 1]) / 2.0
+            result.append((center, sums[i] / counts[i], counts[i]))
+    return result

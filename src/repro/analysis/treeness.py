@@ -1,0 +1,152 @@
+"""The treeness analysis of Sec. IV-C: ``f_b``, ``f_a``, and Equation 1.
+
+The paper models WPR as a function of two dataset/query features:
+
+* ``f_b`` — the pairwise-bandwidth CDF at the constraint ``b`` (how few
+  candidate pairs satisfy the constraint);
+* ``f_a`` — the fraction of pairs with bandwidth within ``±10`` Mbps of
+  ``b`` (how steep the CDF is at ``b``; near-threshold pairs are where
+  embedding noise flips decisions);
+
+and the dataset treeness ``eps_avg``, bounded to ``eps* = 1 - 1/(1+eps)``
+and amplified/attenuated by ``f_a* = (alpha - 1/alpha) f_a + 1/alpha``
+(``alpha = 3.2`` in the paper) into ``eps# = min(1, eps* x f_a*)``.  The
+model (Equation 1):
+
+    WPR = f_b ^ (1 / eps#)
+
+so perfectly tree-like data (``eps# -> 0``) never errs and hopelessly
+non-tree data (``eps# = 1``) errs like a uniformly random pair pick
+(``WPR = f_b``).  Fig. 5's normalization ``WPR^{f_a*}`` makes the
+``eps_avg`` ordering visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import check_probability
+from repro.exceptions import ValidationError
+from repro.metrics.metric import BandwidthMatrix
+
+__all__ = [
+    "DEFAULT_ALPHA",
+    "TreenessPoint",
+    "cdf_fraction_below",
+    "fraction_near",
+    "bounded_epsilon",
+    "bounded_slope",
+    "adjusted_epsilon",
+    "wpr_model",
+]
+
+#: The paper's amplification constant for ``f_a*`` (Sec. IV-C).
+DEFAULT_ALPHA: float = 3.2
+
+#: Half-width of the "around b" band defining ``f_a`` (the paper uses
+#: the range [b - 10, b + 10] Mbps).
+NEAR_BAND_MBPS: float = 10.0
+
+
+def cdf_fraction_below(bandwidth: BandwidthMatrix, b: float) -> float:
+    """``f_b``: fraction of node pairs with bandwidth below *b*."""
+    tri = bandwidth.upper_triangle()
+    return float(np.mean(tri < b))
+
+
+def fraction_near(
+    bandwidth: BandwidthMatrix,
+    b: float,
+    half_width: float = NEAR_BAND_MBPS,
+) -> float:
+    """``f_a``: fraction of pairs within ``[b - w, b + w]`` of *b*."""
+    if half_width <= 0:
+        raise ValidationError("half_width must be positive")
+    tri = bandwidth.upper_triangle()
+    return float(np.mean((tri >= b - half_width) & (tri <= b + half_width)))
+
+
+def bounded_epsilon(eps_avg: float) -> float:
+    """``eps* = 1 - 1 / (1 + eps_avg)`` in ``[0, 1)``."""
+    if eps_avg < 0:
+        raise ValidationError("eps_avg must be >= 0")
+    return 1.0 - 1.0 / (1.0 + eps_avg)
+
+
+def bounded_slope(f_a: float, alpha: float = DEFAULT_ALPHA) -> float:
+    """``f_a* = (alpha - 1/alpha) f_a + 1/alpha`` in ``[1/alpha, alpha]``."""
+    check_probability(f_a, "f_a")
+    if alpha <= 1:
+        raise ValidationError("alpha must exceed 1")
+    return (alpha - 1.0 / alpha) * f_a + 1.0 / alpha
+
+
+def adjusted_epsilon(
+    eps_avg: float, f_a: float, alpha: float = DEFAULT_ALPHA
+) -> float:
+    """``eps# = min(1, eps* x f_a*)`` — the model's treeness input."""
+    return min(1.0, bounded_epsilon(eps_avg) * bounded_slope(f_a, alpha))
+
+
+def wpr_model(
+    f_b: float,
+    eps_avg: float,
+    f_a: float,
+    alpha: float = DEFAULT_ALPHA,
+) -> float:
+    """Equation 1: ``WPR = f_b ^ (1 / eps#)``.
+
+    Degenerate corners follow the paper's boundary analysis:
+    ``f_b = 0 -> 0``; ``eps# = 0 -> 0`` (perfect prediction);
+    ``f_b = 1 -> 1``.
+    """
+    check_probability(f_b, "f_b")
+    eps_sharp = adjusted_epsilon(eps_avg, f_a, alpha)
+    if f_b == 0.0:
+        return 0.0
+    if eps_sharp == 0.0:
+        return 0.0 if f_b < 1.0 else 1.0
+    return float(f_b ** (1.0 / eps_sharp))
+
+
+@dataclass(frozen=True)
+class TreenessPoint:
+    """One measured (query, dataset) point for the Fig. 5 scatter.
+
+    Attributes
+    ----------
+    b:
+        The query's bandwidth constraint.
+    f_b:
+        Pairwise CDF at ``b``.
+    f_a:
+        Near-``b`` pair fraction.
+    eps_avg:
+        The dataset's treeness.
+    wpr:
+        Measured wrong-pair rate at this constraint.
+    """
+
+    b: float
+    f_b: float
+    f_a: float
+    eps_avg: float
+    wpr: float
+
+    @property
+    def normalized_wpr(self) -> float:
+        """``WPR ^ {f_a*}`` — Fig. 5's normalization.
+
+        Since the model gives ``WPR^{f_a*} = f_b^{1/eps*}``, plotting
+        this against ``f_b`` separates datasets by ``eps_avg`` alone.
+        """
+        if self.wpr < 0:
+            raise ValidationError("wpr must be >= 0")
+        return float(self.wpr ** bounded_slope(self.f_a))
+
+    @property
+    def model_wpr(self) -> float:
+        """Equation 1's prediction for this point."""
+        return wpr_model(self.f_b, self.eps_avg, self.f_a)

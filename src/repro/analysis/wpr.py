@@ -1,0 +1,99 @@
+"""Wrong Pair Rate (WPR) and Return Rate (RR) — Sec. IV-A / IV-B.
+
+* **WPR**: over all clusters an algorithm returned, the fraction of
+  member pairs whose *real* bandwidth violates the query constraint
+  (the algorithm believed ``BW_T >= b`` but actually ``BW < b``).
+* **RR**: the fraction of submitted queries for which a (non-empty)
+  cluster was returned at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+from repro.exceptions import ValidationError
+from repro.metrics.metric import BandwidthMatrix
+
+__all__ = [
+    "ClusterEvaluation",
+    "evaluate_cluster",
+    "wrong_pair_rate",
+    "return_rate",
+]
+
+
+@dataclass(frozen=True)
+class ClusterEvaluation:
+    """Ground-truth verdict on one returned cluster.
+
+    Attributes
+    ----------
+    total_pairs:
+        ``k * (k-1) / 2`` member pairs.
+    wrong_pairs:
+        Pairs with real bandwidth strictly below the constraint.
+    """
+
+    total_pairs: int
+    wrong_pairs: int
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether every pair met the constraint (a fully correct answer)."""
+        return self.wrong_pairs == 0
+
+    @property
+    def wpr(self) -> float:
+        """This cluster's own wrong-pair fraction."""
+        if self.total_pairs == 0:
+            return 0.0
+        return self.wrong_pairs / self.total_pairs
+
+
+def evaluate_cluster(
+    cluster: list[int],
+    bandwidth: BandwidthMatrix,
+    b: float,
+) -> ClusterEvaluation:
+    """Check *cluster* against ground truth for constraint *b*."""
+    if len(set(cluster)) != len(cluster):
+        raise ValidationError("cluster contains duplicate nodes")
+    total = 0
+    wrong = 0
+    for u, v in combinations(cluster, 2):
+        total += 1
+        if bandwidth(u, v) < b:
+            wrong += 1
+    return ClusterEvaluation(total_pairs=total, wrong_pairs=wrong)
+
+
+def wrong_pair_rate(
+    results: list[tuple[list[int], float]],
+    bandwidth: BandwidthMatrix,
+) -> float:
+    """Aggregate WPR over many ``(cluster, b)`` results.
+
+    Per the paper's definition, the ratio of wrong pairs to *all* pairs
+    across all returned clusters (empty results contribute nothing).
+    Returns ``nan`` when no pairs were returned at all, so callers can
+    distinguish "perfect" from "nothing to grade".
+    """
+    total = 0
+    wrong = 0
+    for cluster, b in results:
+        if not cluster:
+            continue
+        verdict = evaluate_cluster(cluster, bandwidth, b)
+        total += verdict.total_pairs
+        wrong += verdict.wrong_pairs
+    if total == 0:
+        return float("nan")
+    return wrong / total
+
+
+def return_rate(found_flags: list[bool]) -> float:
+    """RR: fraction of queries answered with a non-empty cluster."""
+    if not found_flags:
+        raise ValidationError("return_rate needs at least one query")
+    return sum(1 for flag in found_flags if flag) / len(found_flags)

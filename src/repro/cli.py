@@ -1,0 +1,279 @@
+"""Command-line front end: ``repro-bcc`` / ``python -m repro.cli``.
+
+Subcommands
+-----------
+``dataset``   generate a PlanetLab-like dataset, print stats, optionally save
+``query``     run one clustering query through a chosen approach
+``fig3`` .. ``fig6``   regenerate a figure (``--scale quick|paper``)
+``eq1``       the Equation-1 model-validation experiment
+``churn``     dynamic-membership experiment (departures + healing)
+``hub``       run the hub-search extension on a generated dataset
+
+Every experiment prints the same text tables the benchmark harness
+emits, so the CLI is the scriptable way to reproduce EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.centralized import CentralizedClusterSearch
+from repro.core.decentralized import DecentralizedClusterSearch
+from repro.core.query import BandwidthClasses, ClusterQuery
+from repro.datasets.io import save_dataset
+from repro.datasets.planetlab import (
+    HP_QUERY_RANGE,
+    UMD_QUERY_RANGE,
+    hp_planetlab_like,
+    umd_planetlab_like,
+)
+from repro.exceptions import ReproError
+from repro.experiments import (
+    ChurnParams,
+    Eq1Params,
+    Fig3Params,
+    Fig4Params,
+    Fig5Params,
+    Fig6Params,
+    run_churn,
+    run_eq1,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+)
+from repro.extensions.hub import find_hub
+from repro.predtree.framework import build_framework
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bcc",
+        description=(
+            "Bandwidth-constrained cluster search "
+            "(reproduction of Song/Keleher/Sussman, ICDCS 2011)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    dataset = sub.add_parser(
+        "dataset", help="generate a PlanetLab-like dataset"
+    )
+    _add_dataset_args(dataset)
+    dataset.add_argument(
+        "--save", metavar="PATH", help="save matrix + metadata to PATH.npz"
+    )
+
+    query = sub.add_parser("query", help="run one clustering query")
+    _add_dataset_args(query)
+    query.add_argument("-k", type=int, required=True, help="cluster size")
+    query.add_argument(
+        "-b", type=float, required=True, help="min bandwidth (Mbps)"
+    )
+    query.add_argument(
+        "--approach",
+        choices=["central", "decentral"],
+        default="central",
+        help="which searcher answers the query",
+    )
+    query.add_argument(
+        "--n-cut", type=int, default=10, help="Algorithm 2 cutoff"
+    )
+
+    for name, help_text in [
+        ("fig3", "accuracy: WPR vs b + relative-error CDFs"),
+        ("fig4", "tradeoff of decentralization: RR vs k"),
+        ("fig5", "effect of treeness: WPR vs f_b"),
+        ("fig6", "scalability: routing hops vs n"),
+        ("eq1", "Equation-1 validation: fitted vs model WPR exponents"),
+        ("churn", "dynamic membership: RR/validity under departures"),
+    ]:
+        figure = sub.add_parser(name, help=help_text)
+        figure.add_argument(
+            "--scale",
+            choices=["quick", "paper"],
+            default="quick",
+            help="quick = CI-sized, paper = full Sec. IV protocol",
+        )
+        figure.add_argument(
+            "--save-csv", metavar="PATH", default=None,
+            help="also export the figure data as CSV",
+        )
+        if name not in ("fig6", "churn"):
+            figure.add_argument(
+                "--dataset", choices=["hp", "umd"], default="hp"
+            )
+
+    hub = sub.add_parser("hub", help="hub-search extension (Sec. VI)")
+    _add_dataset_args(hub)
+    hub.add_argument(
+        "--targets",
+        type=int,
+        nargs="+",
+        required=True,
+        help="node ids the hub must serve",
+    )
+    hub.add_argument(
+        "-b", type=float, default=None,
+        help="optional min bandwidth from hub to every target (Mbps)",
+    )
+    return parser
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", choices=["hp", "umd"], default="hp",
+        help="which PlanetLab-like dataset family",
+    )
+    parser.add_argument(
+        "--n", type=int, default=None,
+        help="dataset size (default: the family's paper size)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="dataset seed")
+
+
+def _build_dataset(args: argparse.Namespace):
+    if args.dataset == "hp":
+        n = args.n if args.n is not None else 190
+        return hp_planetlab_like(seed=args.seed, n=n)
+    n = args.n if args.n is not None else 317
+    return umd_planetlab_like(seed=args.seed, n=n)
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    print(dataset.summary())
+    print(f"eps_avg = {dataset.epsilon_average(samples=5000):.4f}")
+    if args.save:
+        path = save_dataset(dataset, args.save)
+        print(f"saved to {path}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    framework = build_framework(dataset.bandwidth, seed=args.seed)
+    if args.approach == "central":
+        search = CentralizedClusterSearch(framework)
+        cluster = search.query(ClusterQuery(k=args.k, b=args.b))
+        hops = None
+    else:
+        query_range = (
+            HP_QUERY_RANGE if args.dataset == "hp" else UMD_QUERY_RANGE
+        )
+        classes = BandwidthClasses.linear(*query_range, 7)
+        search = DecentralizedClusterSearch(
+            framework, classes, n_cut=args.n_cut
+        )
+        search.run_aggregation()
+        result = search.process_query(
+            args.k, args.b, start=framework.hosts[0]
+        )
+        cluster, hops = result.cluster, result.hops
+    if not cluster:
+        print("no cluster found")
+        return 1
+    print(f"cluster: {cluster}")
+    if hops is not None:
+        print(f"hops: {hops}")
+    worst = min(
+        dataset.bandwidth(u, v)
+        for i, u in enumerate(cluster)
+        for v in cluster[i + 1:]
+    )
+    print(f"worst real pairwise bandwidth: {worst:.1f} Mbps "
+          f"(constraint {args.b:g})")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    if args.command == "fig3":
+        params_cls, run = Fig3Params, run_fig3
+    elif args.command == "fig4":
+        params_cls, run = Fig4Params, run_fig4
+    elif args.command == "fig5":
+        params_cls, run = Fig5Params, run_fig5
+    elif args.command == "eq1":
+        params_cls, run = Eq1Params, run_eq1
+    elif args.command == "churn":
+        params_cls, run = ChurnParams, run_churn
+    else:
+        params_cls, run = Fig6Params, run_fig6
+    if args.command in ("fig6", "churn"):
+        params = (
+            params_cls.paper() if args.scale == "paper"
+            else params_cls.quick()
+        )
+    else:
+        params = (
+            params_cls.paper(args.dataset) if args.scale == "paper"
+            else params_cls.quick(args.dataset)
+        )
+    result = run(params)
+    print(result.format_table())
+    if args.save_csv:
+        if hasattr(result, "write_csv"):
+            result.write_csv(args.save_csv)
+            print(f"\ncsv written to {args.save_csv}")
+        else:
+            print("\n(this experiment has no CSV export)")
+    problems = result.shape_check()
+    if problems:
+        print("\nshape check FAILED:")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print("\nshape check passed (matches the paper's qualitative claims)")
+    return 0
+
+
+def _cmd_hub(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    framework = build_framework(dataset.bandwidth, seed=args.seed)
+    distances = framework.predicted_distance_matrix()
+    l = (
+        framework.transform.distance_constraint(args.b)
+        if args.b is not None
+        else None
+    )
+    result = find_hub(distances, args.targets, l=l)
+    if result is None:
+        print("no hub satisfies the constraint")
+        return 1
+    bandwidth = framework.transform.to_bandwidth(result.worst_distance)
+    print(
+        f"hub: node {result.node} "
+        f"(worst predicted bandwidth to targets: {bandwidth:.1f} Mbps)"
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "dataset": _cmd_dataset,
+        "query": _cmd_query,
+        "fig3": _cmd_figure,
+        "fig4": _cmd_figure,
+        "fig5": _cmd_figure,
+        "fig6": _cmd_figure,
+        "eq1": _cmd_figure,
+        "churn": _cmd_figure,
+        "hub": _cmd_hub,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""The paper's primary contribution: bandwidth-constrained clustering.
+
+* :mod:`repro.core.query` — query types (``k``, ``b``/``l``) and the
+  predetermined bandwidth-class set ``L`` of Sec. III-B.3.
+* :mod:`repro.core.find_cluster` — Algorithm 1 (centralized clustering in
+  a tree metric space), a vectorized variant, and the max-``k`` binary
+  search used by Algorithm 3.
+* :mod:`repro.core.kdiameter` — the comparison model's clustering
+  algorithm on 2-d Euclidean coordinates (Aggarwal et al.'s lune +
+  bipartite maximum-independent-set construction, Sec. IV-A).
+* :mod:`repro.core.decentralized` — Algorithms 2 (DynAggrNodeInfo),
+  3 (DynAggrMaxCluster / cluster routing tables) and 4 (ProcessQuery),
+  plus the :class:`~repro.core.decentralized.DecentralizedClusterSearch`
+  system tying them together over a prediction framework.
+* :mod:`repro.core.centralized` — the end-to-end centralized searcher
+  (framework prediction + Algorithm 1), the TREE-CENTRAL configuration.
+"""
+
+from repro.core.centralized import CentralizedClusterSearch
+from repro.core.decentralized import (
+    AggregationReport,
+    ClusterNodeState,
+    DecentralizedClusterSearch,
+    QueryResult,
+)
+from repro.core.find_cluster import (
+    find_cluster,
+    find_cluster_reference,
+    max_cluster_size,
+)
+from repro.core.kdiameter import find_cluster_euclidean
+from repro.core.partition import Partition, partition_into_clusters
+from repro.core.query import BandwidthClasses, ClusterQuery
+from repro.core.tree_cluster import (
+    BallCover,
+    best_ball_cover,
+    find_cluster_tree,
+    max_cluster_size_tree,
+)
+
+__all__ = [
+    "AggregationReport",
+    "BallCover",
+    "BandwidthClasses",
+    "CentralizedClusterSearch",
+    "ClusterNodeState",
+    "ClusterQuery",
+    "DecentralizedClusterSearch",
+    "Partition",
+    "QueryResult",
+    "best_ball_cover",
+    "find_cluster",
+    "find_cluster_euclidean",
+    "find_cluster_reference",
+    "find_cluster_tree",
+    "max_cluster_size",
+    "max_cluster_size_tree",
+    "partition_into_clusters",
+]

@@ -1,0 +1,70 @@
+"""End-to-end centralized search (the TREE-CENTRAL configuration).
+
+Runs Algorithm 1 over the *entire* system's predicted distances from a
+bandwidth-prediction framework.  This is the upper-bound configuration
+the paper compares the decentralized system against in Sec. IV-B: it
+sees every node, so its return rate bounds the decentralized one from
+above, while its accuracy (WPR) is limited only by the embedding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.find_cluster import find_cluster, max_cluster_size
+from repro.core.query import ClusterQuery
+from repro.metrics.metric import DistanceMatrix
+from repro.predtree.framework import BandwidthPredictionFramework
+
+__all__ = ["CentralizedClusterSearch"]
+
+
+@dataclass
+class CentralizedClusterSearch:
+    """Algorithm 1 over a framework's full predicted metric.
+
+    Parameters
+    ----------
+    framework:
+        A fully built prediction framework; queries run against its
+        ``d_T`` matrix (never against ground truth — evaluation compares
+        results to ground truth separately).
+    pair_order:
+        Pair-scan order forwarded to
+        :func:`~repro.core.find_cluster.find_cluster` (``"nearest"``
+        for production-quality answers, ``"index"`` for paper-faithful
+        behaviour — see DESIGN.md §5).
+    """
+
+    framework: BandwidthPredictionFramework
+    pair_order: str = "nearest"
+
+    def __post_init__(self) -> None:
+        self._distances: DistanceMatrix = (
+            self.framework.predicted_distance_matrix()
+        )
+
+    @property
+    def distances(self) -> DistanceMatrix:
+        """The predicted metric the search operates on."""
+        return self._distances
+
+    def query(self, query: ClusterQuery) -> list[int]:
+        """Answer ``(k, b)``: node ids of a predicted-valid cluster.
+
+        Returns the empty list when no cluster of ``k`` nodes with
+        predicted pairwise bandwidth ``>= b`` exists.
+        """
+        l = query.distance_constraint(self.framework.transform)
+        return find_cluster(
+            self._distances, query.k, l, pair_order=self.pair_order
+        )
+
+    def query_kb(self, k: int, b: float) -> list[int]:
+        """Convenience wrapper building the :class:`ClusterQuery`."""
+        return self.query(ClusterQuery(k=k, b=b))
+
+    def max_size_for_bandwidth(self, b: float) -> int:
+        """Largest satisfiable ``k`` for bandwidth constraint *b*."""
+        l = self.framework.transform.distance_constraint(b)
+        return max_cluster_size(self._distances, l)

@@ -1,0 +1,427 @@
+"""Decentralized clustering: Algorithms 2, 3 and 4 (Sec. III-B).
+
+Every host keeps, per overlay neighbor ``m``:
+
+* ``aggrNode[m]`` — the ``n_cut`` closest hosts (by predicted distance)
+  among everything reachable via ``m`` (Algorithm 2, *DynAggrNodeInfo*);
+* ``aggrCRT[m][l]`` — the maximum cluster size of diameter class ``l``
+  that exists in ``m``'s direction (Algorithm 3, *DynAggrMaxCluster*);
+  the host's own entry ``aggrCRT[self][l]`` holds the maximum size of a
+  cluster it can build from its local clustering space
+  ``V_x = {x} ∪ ⋃ aggrNode[v]``.
+
+These tables form the **cluster routing table (CRT)**.  A query ``(k, l)``
+submitted at any host either gets answered from the local space or is
+forwarded toward a neighbor whose CRT promises a big-enough cluster
+(Algorithm 4, *ProcessQuery*).  On the tree overlay a query that never
+returns to its immediate predecessor can never revisit a host, so
+routing always terminates.
+
+The background mechanisms are periodic; :meth:`DecentralizedClusterSearch.
+run_aggregation` executes synchronous rounds until a fixed point, which is
+reached after at most (anchor-tree diameter) rounds because information
+travels one overlay hop per round.  The test suite validates the fixed
+point against direct oracles derived from Theorems 3.2 and 3.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.find_cluster import find_cluster, max_cluster_size
+from repro.core.query import BandwidthClasses
+from repro.exceptions import QueryError, ValidationError
+from repro.metrics.metric import DistanceMatrix
+from repro.predtree.framework import BandwidthPredictionFramework
+
+__all__ = [
+    "ClusterNodeState",
+    "AggregationReport",
+    "QueryResult",
+    "DecentralizedClusterSearch",
+    "propagate_node_info",
+    "propagate_crt",
+    "own_crt_table",
+]
+
+
+def propagate_node_info(
+    m_host: int,
+    m_aggr_node: dict[int, tuple[int, ...]],
+    x: int,
+    distance_row,
+    n_cut: int,
+) -> tuple[int, ...]:
+    """Algorithm 2, lines 2-6 — the message ``m`` sends neighbor ``x``.
+
+    ``candNode = {m} ∪ ⋃_{v != x} m.aggrNode[v]``; the result keeps the
+    ``n_cut`` candidates closest to *x* by predicted distance (ties
+    broken by node id for determinism), sorted by id.
+    """
+    candidates = {m_host}
+    for neighbor, nodes in m_aggr_node.items():
+        if neighbor != x:
+            candidates.update(nodes)
+    ranked = sorted(candidates, key=lambda u: (distance_row[u], u))
+    return tuple(sorted(ranked[:n_cut]))
+
+
+def own_crt_table(
+    space: tuple[int, ...],
+    distances: DistanceMatrix,
+    distance_classes: list[float],
+) -> dict[float, int]:
+    """Algorithm 3, line 8 — max cluster size per class in ``V_m``."""
+    local = distances.restrict(list(space))
+    return {l: max_cluster_size(local, l) for l in distance_classes}
+
+
+def propagate_crt(
+    m_neighbors: list[int],
+    m_aggr_crt: dict[int, dict[float, int]],
+    x: int,
+    own: dict[float, int],
+    distance_classes: list[float],
+) -> dict[float, int]:
+    """Algorithm 3, line 9 — the CRT message ``m`` sends neighbor ``x``:
+    the max over ``m``'s own space and every direction except ``x``."""
+    table: dict[float, int] = {}
+    for l in distance_classes:
+        best = own.get(l, 0)
+        for neighbor in m_neighbors:
+            if neighbor == x:
+                continue
+            best = max(best, m_aggr_crt.get(neighbor, {}).get(l, 0))
+        table[l] = best
+    return table
+
+
+@dataclass
+class ClusterNodeState:
+    """Per-host protocol state (the node's entire local knowledge).
+
+    Attributes
+    ----------
+    host:
+        The host id.
+    neighbors:
+        Overlay (anchor-tree) neighbors.
+    aggr_node:
+        ``aggrNode[m]`` per neighbor — sorted tuples of host ids.
+    aggr_crt:
+        ``aggrCRT[m][l]`` per neighbor *and* per self — max cluster size
+        per distance class.
+    """
+
+    host: int
+    neighbors: list[int]
+    aggr_node: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    aggr_crt: dict[int, dict[float, int]] = field(default_factory=dict)
+
+    def clustering_space(self) -> list[int]:
+        """``V_x = {x} ∪ ⋃_v aggrNode[v]`` (sorted, Sec. III-B.3)."""
+        members = {self.host}
+        for nodes in self.aggr_node.values():
+            members.update(nodes)
+        return sorted(members)
+
+    def own_max_size(self, l: float) -> int:
+        """``aggrCRT[self][l]`` — max cluster size in the local space."""
+        return self.aggr_crt.get(self.host, {}).get(l, 0)
+
+
+@dataclass(frozen=True)
+class AggregationReport:
+    """Outcome of running the background mechanisms to fixed point.
+
+    Attributes
+    ----------
+    rounds:
+        Synchronous rounds executed.
+    converged:
+        Whether a fixed point was reached within the round budget.
+    node_info_messages:
+        Total Algorithm 2 messages sent (one per directed overlay edge
+        per round).
+    crt_messages:
+        Total Algorithm 3 messages sent.
+    """
+
+    rounds: int
+    converged: bool
+    node_info_messages: int
+    crt_messages: int
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """Outcome of one decentralized query.
+
+    Attributes
+    ----------
+    cluster:
+        Sorted host ids of the found cluster (empty when unsatisfied).
+    hops:
+        Forwarding hops taken (0 when the entry node answered directly).
+    visited:
+        Hosts visited, in order (entry node first).
+    snapped_b:
+        The bandwidth class the query constraint was snapped up to.
+    l:
+        The distance class actually queried.
+    """
+
+    cluster: list[int]
+    hops: int
+    visited: list[int]
+    snapped_b: float
+    l: float
+
+    @property
+    def found(self) -> bool:
+        """Whether a cluster was returned."""
+        return bool(self.cluster)
+
+
+class DecentralizedClusterSearch:
+    """The full decentralized system over a prediction framework.
+
+    Parameters
+    ----------
+    framework:
+        Fully built bandwidth-prediction framework (provides predicted
+        distances and the anchor-tree overlay).
+    classes:
+        The predetermined bandwidth classes users may query with.
+    n_cut:
+        Aggregation cutoff — each Algorithm 2 message carries at most
+        this many node ids (the decentralization knob of Sec. IV-B).
+    pair_order:
+        Pair-scan order used when answering queries from a local
+        clustering space (``"nearest"`` or ``"index"``; see
+        :func:`~repro.core.find_cluster.find_cluster`).
+    """
+
+    def __init__(
+        self,
+        framework: BandwidthPredictionFramework,
+        classes: BandwidthClasses,
+        n_cut: int = 10,
+        pair_order: str = "nearest",
+    ) -> None:
+        if n_cut < 1:
+            raise ValidationError(f"n_cut must be >= 1, got {n_cut!r}")
+        self.framework = framework
+        self.classes = classes
+        self.n_cut = int(n_cut)
+        self.pair_order = pair_order
+        self._distances: DistanceMatrix = (
+            framework.predicted_distance_matrix(allow_partial=True)
+        )
+        self._states: dict[int, ClusterNodeState] = {
+            host: ClusterNodeState(
+                host=host,
+                neighbors=framework.overlay_neighbors(host),
+            )
+            for host in framework.hosts
+        }
+        # Cache of own-CRT computations keyed by the local space content;
+        # FindCluster is by far the most expensive step of Algorithm 3 and
+        # the space only changes while Algorithm 2 is still converging.
+        self._own_crt_cache: dict[tuple[int, ...], dict[float, int]] = {}
+        self._aggregated = False
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def hosts(self) -> list[int]:
+        """All participating hosts."""
+        return list(self._states)
+
+    def state_of(self, host: int) -> ClusterNodeState:
+        """The protocol state of *host* (read by tests and observers)."""
+        try:
+            return self._states[host]
+        except KeyError:
+            raise QueryError(f"unknown host {host!r}") from None
+
+    @property
+    def distance_classes(self) -> list[float]:
+        """The distance-class set ``L``."""
+        return self.classes.distance_classes
+
+    # -- Algorithm 2: DynAggrNodeInfo -----------------------------------------
+
+    def _propagate_node_info(
+        self, m: ClusterNodeState, x: int
+    ) -> tuple[int, ...]:
+        """What neighbor *m* sends host *x* this round (Alg. 2 lines 2-6)."""
+        return propagate_node_info(
+            m.host, m.aggr_node, x, self._distances.row(x), self.n_cut
+        )
+
+    # -- Algorithm 3: DynAggrMaxCluster ---------------------------------------
+
+    def _own_crt(self, m: ClusterNodeState) -> dict[float, int]:
+        """``m.aggrCRT[m]`` — max cluster size per class in ``V_m``.
+
+        Uses the binary search of :func:`max_cluster_size`; memoized on
+        the clustering-space contents.
+        """
+        space = tuple(m.clustering_space())
+        cached = self._own_crt_cache.get(space)
+        if cached is not None:
+            return dict(cached)
+        table = own_crt_table(
+            space, self._distances, self.classes.distance_classes
+        )
+        self._own_crt_cache[space] = dict(table)
+        return table
+
+    def _propagate_crt(
+        self, m: ClusterNodeState, x: int, own: dict[float, int]
+    ) -> dict[float, int]:
+        """What *m* sends *x* (Alg. 3 line 9)."""
+        return propagate_crt(
+            m.neighbors, m.aggr_crt, x, own, self.classes.distance_classes
+        )
+
+    # -- synchronous execution ----------------------------------------------
+
+    def run_round(self) -> bool:
+        """One synchronous round of Algorithms 2 and 3 on every edge.
+
+        All messages are computed from the previous round's state and
+        applied simultaneously.  Returns ``True`` when any state changed.
+        """
+        node_updates: dict[tuple[int, int], tuple[int, ...]] = {}
+        crt_updates: dict[tuple[int, int], dict[float, int]] = {}
+        for state in self._states.values():
+            own = self._own_crt(state)
+            for x in state.neighbors:
+                node_updates[(x, state.host)] = self._propagate_node_info(
+                    state, x
+                )
+                crt_updates[(x, state.host)] = self._propagate_crt(
+                    state, x, own
+                )
+            crt_updates[(state.host, state.host)] = own
+
+        changed = False
+        for (x, m), nodes in node_updates.items():
+            if self._states[x].aggr_node.get(m) != nodes:
+                self._states[x].aggr_node[m] = nodes
+                changed = True
+        for (x, m), table in crt_updates.items():
+            if self._states[x].aggr_crt.get(m) != table:
+                self._states[x].aggr_crt[m] = table
+                changed = True
+        return changed
+
+    def run_aggregation(
+        self, max_rounds: int | None = None
+    ) -> AggregationReport:
+        """Run rounds until fixed point (or *max_rounds*).
+
+        The default budget is ``2 * diameter + 4`` rounds: node info
+        floods in ``diameter`` rounds and CRT values chase it, so the
+        fixed point always lands inside the budget on a static overlay.
+        """
+        anchor = self.framework.anchor_tree
+        if max_rounds is None:
+            max_rounds = 2 * max(anchor.diameter(), 1) + 4
+        edges = sum(len(s.neighbors) for s in self._states.values())
+        rounds = 0
+        converged = False
+        for _ in range(max_rounds):
+            rounds += 1
+            if not self.run_round():
+                converged = True
+                break
+        self._aggregated = True
+        return AggregationReport(
+            rounds=rounds,
+            converged=converged,
+            node_info_messages=rounds * edges,
+            crt_messages=rounds * edges,
+        )
+
+    def mark_aggregated(self) -> None:
+        """Declare the per-host state ready for queries.
+
+        Used by external drivers (e.g. the message-passing simulator in
+        :mod:`repro.sim.protocols`) that populate the states themselves
+        instead of calling :meth:`run_aggregation`.
+        """
+        self._aggregated = True
+
+    # -- Algorithm 4: ProcessQuery ------------------------------------------
+
+    def process_query(
+        self, k: int, b: float, start: int, strict: bool = False
+    ) -> QueryResult:
+        """Submit query ``(k, b)`` at host *start* (Alg. 4).
+
+        ``b`` is snapped up to the nearest bandwidth class; the query
+        routes along the overlay until a host's local space can answer
+        or every promising direction is exhausted.
+
+        *strict* reproduces the paper's literal ``k < aggrCRT`` pseudo-
+        code; the default uses ``k <= aggrCRT`` (see DESIGN.md — a
+        cluster of exactly the maximum size must be findable).
+        """
+        if not self._aggregated:
+            raise QueryError(
+                "run_aggregation() must complete before queries are "
+                "processed"
+            )
+        if int(k) != k or k < 2:
+            raise QueryError(f"k must be an integer >= 2, got {k!r}")
+        if start not in self._states:
+            raise QueryError(f"unknown start host {start!r}")
+        snapped = self.classes.snap_bandwidth(b)
+        l = self.classes.transform.distance_constraint(snapped)
+
+        def admits(size: int) -> bool:
+            return k < size if strict else k <= size
+
+        visited: list[int] = []
+        hops = 0
+        current = start
+        previous: int | None = None
+        while True:
+            visited.append(current)
+            state = self._states[current]
+            if admits(state.own_max_size(l)):
+                space = state.clustering_space()
+                local = self._distances.restrict(space)
+                found = find_cluster(
+                    local, k, l, pair_order=self.pair_order
+                )
+                if found:
+                    cluster = sorted(space[i] for i in found)
+                    return QueryResult(
+                        cluster=cluster,
+                        hops=hops,
+                        visited=visited,
+                        snapped_b=snapped,
+                        l=l,
+                    )
+            next_host = None
+            for neighbor in state.neighbors:
+                if neighbor == previous:
+                    continue
+                if admits(state.aggr_crt.get(neighbor, {}).get(l, 0)):
+                    next_host = neighbor
+                    break
+            if next_host is None:
+                return QueryResult(
+                    cluster=[],
+                    hops=hops,
+                    visited=visited,
+                    snapped_b=snapped,
+                    l=l,
+                )
+            previous = current
+            current = next_host
+            hops += 1

@@ -1,0 +1,158 @@
+"""The comparison model's clustering algorithm (Sec. IV-A).
+
+The paper compares against clustering on **2-d Euclidean** Vivaldi
+coordinates, using the k-diameter construction of Aggarwal et al.
+adapted to a diameter *constraint* ``l``:
+
+for each node pair ``(p, q)`` with ``delta = d(p, q) <= l``:
+
+1. collect the *lens* ``S = { x : d(x, p) <= delta and d(x, q) <= delta }``;
+2. split ``S`` by the line through ``p`` and ``q`` into two half-lenses —
+   a classical geometric fact guarantees each closed half-lens has
+   diameter exactly ``delta``, so conflicts (pairs farther than
+   ``delta``) only occur *across* the halves;
+3. build the bipartite conflict graph between the halves and find its
+   maximum independent set (König's theorem: complement of a minimum
+   vertex cover obtained from a maximum matching);
+4. the independent set has pairwise distances ``<= delta <= l``; if it
+   has at least ``k`` members, any ``k`` of them answer the query.
+
+Correctness of the geometry is intrinsic to Euclidean space, so — as the
+paper notes — all clustering error of the EUCL configurations comes from
+the Vivaldi embedding, never from this algorithm.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+import numpy as np
+
+from repro._validation import require
+from repro.exceptions import QueryError, ValidationError
+
+__all__ = ["find_cluster_euclidean", "lens_nodes", "split_by_chord"]
+
+
+def _check_coordinates(coordinates: np.ndarray) -> np.ndarray:
+    points = np.asarray(coordinates, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValidationError(
+            f"coordinates must have shape (n, 2), got {points.shape}"
+        )
+    if not np.all(np.isfinite(points)):
+        raise ValidationError("coordinates must be finite")
+    return points
+
+
+def lens_nodes(
+    points: np.ndarray, distances: np.ndarray, p: int, q: int
+) -> np.ndarray:
+    """Indices of nodes within ``d(p, q)`` of both *p* and *q*."""
+    delta = distances[p, q]
+    mask = (distances[p] <= delta) & (distances[q] <= delta)
+    return np.flatnonzero(mask)
+
+
+def split_by_chord(
+    points: np.ndarray, members: np.ndarray, p: int, q: int
+) -> tuple[list[int], list[int]]:
+    """Split lens members by the signed side of the chord ``p -> q``.
+
+    Nodes exactly on the chord (including ``p`` and ``q``) go to the
+    first side; either choice is safe because the chord belongs to both
+    closed half-lenses.
+    """
+    direction = points[q] - points[p]
+    offsets = points[members] - points[p]
+    cross = direction[0] * offsets[:, 1] - direction[1] * offsets[:, 0]
+    side_a = [int(node) for node, c in zip(members, cross) if c <= 0]
+    side_b = [int(node) for node, c in zip(members, cross) if c > 0]
+    return side_a, side_b
+
+
+def _max_independent_set(
+    side_a: list[int], side_b: list[int], conflicts: list[tuple[int, int]]
+) -> list[int]:
+    """Maximum independent set of the bipartite conflict graph.
+
+    König: |MIS| = |V| - |maximum matching|, and the set itself is the
+    complement of the vertex cover derived from the matching.
+    """
+    if not conflicts:
+        return sorted(side_a + side_b)
+    graph = nx.Graph()
+    graph.add_nodes_from(side_a, bipartite=0)
+    graph.add_nodes_from(side_b, bipartite=1)
+    graph.add_edges_from(conflicts)
+    matching = nx.bipartite.maximum_matching(graph, top_nodes=side_a)
+    cover = nx.bipartite.to_vertex_cover(
+        graph, matching, top_nodes=side_a
+    )
+    return sorted(set(side_a + side_b) - cover)
+
+
+def find_cluster_euclidean(
+    coordinates: np.ndarray, k: int, l: float, pair_order: str = "nearest"
+) -> list[int]:
+    """Find ``k`` nodes with pairwise Euclidean distance ``<= l``.
+
+    Parameters
+    ----------
+    coordinates:
+        ``(n, 2)`` array of 2-d embedding coordinates (e.g. Vivaldi).
+    k:
+        Required cluster size (``>= 2``).
+    l:
+        Diameter constraint in embedded-distance units.
+    pair_order:
+        ``"nearest"`` scans pairs by ascending distance (conservative
+        answers, early termination); ``"index"`` scans in pseudocode
+        order — same semantics as in
+        :func:`repro.core.find_cluster.find_cluster`.
+
+    Returns a sorted list of node indices, empty when no cluster exists
+    among the lenses (which is exhaustive for this geometry: any set with
+    diameter ``delta`` realized by pair ``(p, q)`` lies inside the
+    ``(p, q)`` lens).
+    """
+    points = _check_coordinates(coordinates)
+    require(int(k) == k and k >= 2, f"k must be an integer >= 2, got {k!r}")
+    require(np.isfinite(l) and l >= 0, f"l must be finite >= 0, got {l!r}")
+    n = points.shape[0]
+    if n < 2:
+        raise QueryError("need at least 2 nodes")
+
+    differences = points[:, None, :] - points[None, :, :]
+    distances = np.sqrt((differences**2).sum(axis=2))
+
+    iu, iv = np.triu_indices(n, k=1)
+    pair_distances = distances[iu, iv]
+    if pair_order == "nearest":
+        order = np.argsort(pair_distances, kind="stable")
+    elif pair_order == "index":
+        order = np.arange(pair_distances.size)
+    else:
+        raise QueryError(
+            f"pair_order must be 'nearest' or 'index', got {pair_order!r}"
+        )
+    for index in order:
+        delta = pair_distances[index]
+        if delta > l:
+            if pair_order == "nearest":
+                break
+            continue
+        p, q = int(iu[index]), int(iv[index])
+        members = lens_nodes(points, distances, p, q)
+        if members.size < k:
+            continue
+        side_a, side_b = split_by_chord(points, members, p, q)
+        conflicts = [
+            (a, b)
+            for a in side_a
+            for b in side_b
+            if distances[a, b] > delta
+        ]
+        independent = _max_independent_set(side_a, side_b, conflicts)
+        if len(independent) >= k:
+            return sorted(independent[:k])
+    return []

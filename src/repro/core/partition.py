@@ -1,0 +1,105 @@
+"""Greedy partitioning into bandwidth-constrained clusters.
+
+The paper's CDN application (Sec. I / Sec. V) needs *several* clusters:
+"divide content subscribers into several high-bandwidth clusters,
+deploy data only to a few of nodes in each cluster".  This module
+implements the natural greedy scheme on top of Algorithm 1: repeatedly
+peel off a maximum-size cluster satisfying the diameter constraint
+until fewer than ``min_size`` nodes would remain in a cluster.
+
+Greedy maximum-first is a heuristic (optimal partitioning is hard even
+in tree metrics), but each produced cluster individually carries
+Algorithm 1's guarantee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro._validation import require
+from repro.core.find_cluster import find_cluster, max_cluster_size
+from repro.exceptions import QueryError
+from repro.metrics.metric import DistanceMatrix
+
+__all__ = ["Partition", "partition_into_clusters"]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Result of a greedy partitioning run.
+
+    Attributes
+    ----------
+    clusters:
+        Disjoint clusters (original node ids), in the order they were
+        peeled (largest first by construction).
+    unclustered:
+        Nodes left over (no remaining cluster of at least ``min_size``).
+    l:
+        The diameter constraint used.
+    """
+
+    clusters: tuple[tuple[int, ...], ...]
+    unclustered: tuple[int, ...]
+    l: float
+
+    @property
+    def clustered_count(self) -> int:
+        """Total number of nodes placed into clusters."""
+        return sum(len(cluster) for cluster in self.clusters)
+
+    def cluster_of(self, node: int) -> int | None:
+        """Index of the cluster containing *node*, or ``None``."""
+        for index, cluster in enumerate(self.clusters):
+            if node in cluster:
+                return index
+        return None
+
+
+def partition_into_clusters(
+    d: DistanceMatrix,
+    l: float,
+    min_size: int = 2,
+    max_clusters: int | None = None,
+) -> Partition:
+    """Greedily partition the space into diameter-``l`` clusters.
+
+    Parameters
+    ----------
+    d:
+        The (predicted) metric to partition.
+    l:
+        Diameter constraint every cluster must satisfy.
+    min_size:
+        Stop peeling when the best remaining cluster is smaller.
+    max_clusters:
+        Optional cap on the number of clusters produced.
+
+    Every returned cluster ``X`` satisfies ``diam(X) <= l`` under *d*;
+    clusters are disjoint, and together with ``unclustered`` they cover
+    all nodes exactly once.
+    """
+    require(min_size >= 2, f"min_size must be >= 2, got {min_size!r}")
+    require(l >= 0, f"l must be >= 0, got {l!r}")
+    if max_clusters is not None and max_clusters < 1:
+        raise QueryError("max_clusters must be >= 1 when given")
+
+    remaining = list(range(d.size))
+    clusters: list[tuple[int, ...]] = []
+    while len(remaining) >= min_size:
+        if max_clusters is not None and len(clusters) >= max_clusters:
+            break
+        local = d.restrict(remaining)
+        size = max_cluster_size(local, l)
+        if size < min_size:
+            break
+        members_local = find_cluster(local, size, l)
+        members = tuple(sorted(remaining[i] for i in members_local))
+        clusters.append(members)
+        chosen = set(members)
+        remaining = [node for node in remaining if node not in chosen]
+    return Partition(
+        clusters=tuple(clusters),
+        unclustered=tuple(remaining),
+        l=float(l),
+    )

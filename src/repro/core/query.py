@@ -1,0 +1,153 @@
+"""Query types and bandwidth classes.
+
+A clustering query asks for ``k`` nodes whose pairwise bandwidth is at
+least ``b`` Mbps.  Internally every algorithm works in distance space:
+``b`` becomes the diameter constraint ``l = C / b`` via the rational
+transform (Sec. III intro).
+
+Decentralized query processing trades flexibility for routing-table
+size: instead of arbitrary ``b``, a user picks ``b`` from a predetermined
+set of *bandwidth classes* (Sec. III-B.3); :class:`BandwidthClasses`
+models that set and the snapping rule.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+
+from repro._validation import check_positive
+from repro.exceptions import QueryError, UnsupportedConstraintError
+from repro.metrics.transform import RationalTransform
+
+__all__ = ["ClusterQuery", "BandwidthClasses"]
+
+
+@dataclass(frozen=True)
+class ClusterQuery:
+    """A bandwidth-constrained clustering query ``(k, b)``.
+
+    Attributes
+    ----------
+    k:
+        Required cluster size (``k >= 2``).
+    b:
+        Minimum pairwise bandwidth in Mbps (``b > 0``).
+    """
+
+    k: int
+    b: float
+
+    def __post_init__(self) -> None:
+        if int(self.k) != self.k or self.k < 2:
+            raise QueryError(f"k must be an integer >= 2, got {self.k!r}")
+        check_positive(self.b, "b")
+
+    def distance_constraint(self, transform: RationalTransform) -> float:
+        """The equivalent diameter constraint ``l = C / b``."""
+        return transform.distance_constraint(self.b)
+
+
+class BandwidthClasses:
+    """The predetermined constraint set for decentralized queries.
+
+    Holds bandwidth classes ``b_1 < b_2 < ... < b_m`` (Mbps) and the
+    corresponding distance classes ``L = {C / b_m < ... < C / b_1}``.
+    A query's ``b`` is *snapped up* to the smallest class ``>= b``: a
+    cluster valid for a stronger constraint is valid for the original
+    one, so snapping up never yields wrong pairs — the tradeoff is only
+    that some satisfiable queries may become unsatisfiable (part of the
+    decentralization tradeoff studied in Sec. IV-B).
+
+    Parameters
+    ----------
+    bandwidths:
+        Strictly ascending positive bandwidth class values in Mbps.
+    transform:
+        The rational transform used to derive distance classes.
+    """
+
+    def __init__(
+        self,
+        bandwidths: list[float],
+        transform: RationalTransform | None = None,
+    ) -> None:
+        if not bandwidths:
+            raise QueryError("bandwidth classes must be non-empty")
+        values = [check_positive(b, "bandwidth class") for b in bandwidths]
+        for left, right in zip(values, values[1:]):
+            if not left < right:
+                raise QueryError(
+                    "bandwidth classes must be strictly ascending"
+                )
+        self._transform = transform or RationalTransform()
+        self._bandwidths = values
+        self._distances = [
+            self._transform.distance_constraint(b) for b in values
+        ]
+
+    @classmethod
+    def linear(
+        cls,
+        low: float,
+        high: float,
+        count: int,
+        transform: RationalTransform | None = None,
+    ) -> "BandwidthClasses":
+        """Evenly spaced classes from *low* to *high* inclusive."""
+        if count < 1:
+            raise QueryError("count must be >= 1")
+        if count == 1:
+            return cls([float(low)], transform)
+        step = (float(high) - float(low)) / (count - 1)
+        if step <= 0:
+            raise QueryError("high must exceed low")
+        return cls(
+            [float(low) + i * step for i in range(count)], transform
+        )
+
+    @property
+    def bandwidths(self) -> list[float]:
+        """Ascending bandwidth class values (Mbps)."""
+        return list(self._bandwidths)
+
+    @property
+    def distance_classes(self) -> list[float]:
+        """The set ``L``: distance constraints, ascending."""
+        return sorted(self._distances)
+
+    @property
+    def transform(self) -> RationalTransform:
+        """The transform used to map classes to distances."""
+        return self._transform
+
+    def __len__(self) -> int:
+        return len(self._bandwidths)
+
+    def __contains__(self, b: float) -> bool:
+        return any(abs(b - value) < 1e-9 for value in self._bandwidths)
+
+    def snap_bandwidth(self, b: float) -> float:
+        """The smallest class ``>= b`` (strengthen, never weaken).
+
+        Raises :class:`UnsupportedConstraintError` when *b* exceeds the
+        largest class — no table entry can answer such a query.
+        """
+        check_positive(b, "b")
+        index = bisect.bisect_left(self._bandwidths, b - 1e-12)
+        if index >= len(self._bandwidths):
+            raise UnsupportedConstraintError(
+                f"bandwidth constraint {b} Mbps exceeds the largest class "
+                f"{self._bandwidths[-1]} Mbps"
+            )
+        return self._bandwidths[index]
+
+    def snap_distance(self, b: float) -> float:
+        """The distance class ``l`` for the snapped bandwidth of *b*."""
+        return self._transform.distance_constraint(self.snap_bandwidth(b))
+
+    def __repr__(self) -> str:
+        return (
+            f"BandwidthClasses({self._bandwidths[0]:g}"
+            f"..{self._bandwidths[-1]:g} Mbps, m={len(self)})"
+        )

@@ -1,0 +1,70 @@
+"""Dataset substrate: synthetic stand-ins for the paper's measurements.
+
+The paper evaluates on two measured PlanetLab available-bandwidth
+matrices (HP-PlanetLab, 190 nodes; UMD-PlanetLab, 317 nodes) that are
+not publicly archived.  This package synthesizes matrices with the same
+properties the evaluation depends on — approximate treeness, realistic
+skewed bandwidth distributions, matching query-percentile ranges — as
+documented in DESIGN.md ("Data substitution").
+
+* :mod:`repro.datasets.base` — the :class:`~repro.datasets.base.Dataset`
+  record type.
+* :mod:`repro.datasets.synthetic` — generators: the access-link
+  bottleneck model (a provably perfect tree metric), hierarchical-tree
+  bottleneck capacities, random edge-weighted tree metrics, and
+  controlled treeness-degrading noise.
+* :mod:`repro.datasets.planetlab` — calibrated HP-like / UMD-like
+  builders.
+* :mod:`repro.datasets.subsets` — subset extraction for the treeness
+  (Fig. 5) and scalability (Fig. 6) experiments.
+* :mod:`repro.datasets.io` — save/load matrices to ``.npz``.
+"""
+
+from repro.datasets.base import Dataset
+from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.preprocess import (
+    RawMeasurements,
+    asymmetry_factors,
+    largest_complete_submatrix,
+    preprocess_raw,
+    simulate_raw_measurements,
+)
+from repro.datasets.planetlab import (
+    HP_QUERY_RANGE,
+    UMD_QUERY_RANGE,
+    hp_planetlab_like,
+    umd_planetlab_like,
+)
+from repro.datasets.subsets import (
+    random_subset,
+    random_subsets,
+    treeness_variants,
+)
+from repro.datasets.synthetic import (
+    access_link_bandwidth,
+    apply_lognormal_noise,
+    hierarchy_bandwidth,
+    random_tree_metric_bandwidth,
+)
+
+__all__ = [
+    "Dataset",
+    "HP_QUERY_RANGE",
+    "RawMeasurements",
+    "UMD_QUERY_RANGE",
+    "access_link_bandwidth",
+    "asymmetry_factors",
+    "largest_complete_submatrix",
+    "preprocess_raw",
+    "simulate_raw_measurements",
+    "apply_lognormal_noise",
+    "hierarchy_bandwidth",
+    "hp_planetlab_like",
+    "load_dataset",
+    "random_subset",
+    "random_subsets",
+    "random_tree_metric_bandwidth",
+    "save_dataset",
+    "treeness_variants",
+    "umd_planetlab_like",
+]

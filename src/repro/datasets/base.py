@@ -1,0 +1,71 @@
+"""The :class:`Dataset` record: a named bandwidth matrix plus provenance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.metrics.fourpoint import epsilon_average
+from repro.metrics.metric import BandwidthMatrix, DistanceMatrix
+from repro.metrics.transform import RationalTransform
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """A bandwidth dataset as the experiments consume it.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"hp-planetlab-like"``).
+    bandwidth:
+        The symmetric pairwise bandwidth matrix (Mbps).
+    description:
+        What was generated and why (provenance for EXPERIMENTS.md).
+    metadata:
+        Generator parameters (seed, noise level, calibration targets...).
+    """
+
+    name: str
+    bandwidth: BandwidthMatrix
+    description: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Number of nodes."""
+        return self.bandwidth.size
+
+    def distance_matrix(
+        self, transform: RationalTransform | None = None
+    ) -> DistanceMatrix:
+        """Ground-truth distances under the rational transform."""
+        return self.bandwidth.to_distance_matrix(transform)
+
+    def epsilon_average(
+        self, samples: int = 20000, seed: int = 0
+    ) -> float:
+        """Treeness ``eps_avg`` of the ground-truth metric (Sec. IV-C)."""
+        return epsilon_average(
+            self.distance_matrix(), samples=samples, seed=seed
+        )
+
+    def bandwidth_percentile(self, q: float) -> float:
+        """The *q*-th percentile of pairwise bandwidth (query calibration)."""
+        return self.bandwidth.percentile(q)
+
+    def summary(self) -> str:
+        """One-line description used by the CLI and reports."""
+        tri = self.bandwidth.upper_triangle()
+        return (
+            f"{self.name}: n={self.size}, "
+            f"bw p20={np.percentile(tri, 20):.1f} "
+            f"p50={np.percentile(tri, 50):.1f} "
+            f"p80={np.percentile(tri, 80):.1f} Mbps"
+        )
+
+    def __repr__(self) -> str:
+        return f"Dataset({self.summary()})"

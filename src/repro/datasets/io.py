@@ -1,0 +1,82 @@
+"""Dataset persistence: ``.npz`` matrices with JSON metadata sidecars.
+
+Experiments can be expensive to regenerate inputs for; saving the exact
+matrices (plus provenance) makes every figure reproducible from disk.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+from repro.exceptions import DatasetError
+from repro.metrics.metric import BandwidthMatrix
+
+__all__ = ["save_dataset", "load_dataset"]
+
+
+def save_dataset(dataset: Dataset, path: str | Path) -> Path:
+    """Write *dataset* to ``<path>.npz`` (matrix) + ``<path>.json`` (meta).
+
+    *path* may be given with or without the ``.npz`` suffix.  Returns
+    the matrix path.  The diagonal (``inf``) is stored as 0 and restored
+    on load.
+    """
+    base = Path(path)
+    if base.suffix == ".npz":
+        base = base.with_suffix("")
+    base.parent.mkdir(parents=True, exist_ok=True)
+    values = dataset.bandwidth.values.copy()
+    np.fill_diagonal(values, 0.0)
+    matrix_path = base.with_suffix(".npz")
+    np.savez_compressed(matrix_path, bandwidth=values)
+    meta = {
+        "name": dataset.name,
+        "description": dataset.description,
+        "metadata": _jsonable(dataset.metadata),
+        "n": dataset.size,
+    }
+    base.with_suffix(".json").write_text(json.dumps(meta, indent=2))
+    return matrix_path
+
+
+def load_dataset(path: str | Path) -> Dataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    base = Path(path)
+    if base.suffix == ".npz":
+        base = base.with_suffix("")
+    matrix_path = base.with_suffix(".npz")
+    meta_path = base.with_suffix(".json")
+    if not matrix_path.exists():
+        raise DatasetError(f"missing matrix file {matrix_path}")
+    with np.load(matrix_path) as archive:
+        if "bandwidth" not in archive:
+            raise DatasetError(
+                f"{matrix_path} does not contain a 'bandwidth' array"
+            )
+        values = archive["bandwidth"]
+    meta = {}
+    if meta_path.exists():
+        meta = json.loads(meta_path.read_text())
+    return Dataset(
+        name=meta.get("name", base.name),
+        bandwidth=BandwidthMatrix(values),
+        description=meta.get("description", ""),
+        metadata=meta.get("metadata", {}),
+    )
+
+
+def _jsonable(value):
+    """Recursively convert numpy scalars/arrays for JSON serialization."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    return value

@@ -1,0 +1,95 @@
+"""Subset extraction for the treeness and scalability experiments.
+
+* Fig. 5 needs several 100-node datasets of *varying treeness* drawn
+  from one parent dataset: :func:`treeness_variants` takes a random
+  100-node subset and layers increasing mean-one noise on it (the
+  controllable analogue of the paper's hand-picked subsets — see
+  DESIGN.md).
+* Fig. 6 needs many random same-size subsets: :func:`random_subsets`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import as_rng
+from repro.datasets.base import Dataset
+from repro.datasets.synthetic import apply_lognormal_noise
+from repro.exceptions import DatasetError
+
+__all__ = ["random_subset", "random_subsets", "treeness_variants"]
+
+
+def random_subset(
+    dataset: Dataset,
+    size: int,
+    seed: int | np.random.Generator | None = 0,
+) -> Dataset:
+    """A uniformly random *size*-node sub-dataset."""
+    if not 2 <= size <= dataset.size:
+        raise DatasetError(
+            f"subset size must be in [2, {dataset.size}], got {size}"
+        )
+    rng = as_rng(seed)
+    nodes = sorted(rng.choice(dataset.size, size=size, replace=False))
+    return Dataset(
+        name=f"{dataset.name}-sub{size}",
+        bandwidth=dataset.bandwidth.restrict([int(x) for x in nodes]),
+        description=f"random {size}-node subset of {dataset.name}",
+        metadata={**dataset.metadata, "subset_of": dataset.name,
+                  "subset_nodes": [int(x) for x in nodes]},
+    )
+
+
+def random_subsets(
+    dataset: Dataset,
+    size: int,
+    count: int,
+    seed: int | np.random.Generator | None = 0,
+) -> list[Dataset]:
+    """*count* independent random subsets (Fig. 6 builds 10 per size)."""
+    rng = as_rng(seed)
+    return [random_subset(dataset, size, seed=rng) for _ in range(count)]
+
+
+def treeness_variants(
+    dataset: Dataset,
+    size: int = 100,
+    noise_levels: tuple[float, ...] = (0.0, 0.1, 0.2, 0.35, 0.55, 0.8),
+    seed: int | np.random.Generator | None = 0,
+) -> list[Dataset]:
+    """Datasets of increasing ``eps_avg`` sharing one node population.
+
+    Takes a single random *size*-node subset of *dataset* and produces
+    one variant per noise level, each with extra mean-one log-normal
+    noise applied on top.  Level 0 keeps the subset's native treeness;
+    higher levels monotonically degrade it while the bandwidth
+    distribution stays centred (so ``f_b``/``f_a`` remain comparable
+    across variants, which is what the Fig. 5 normalization needs).
+    """
+    if len(noise_levels) < 2:
+        raise DatasetError("need at least two noise levels")
+    rng = as_rng(seed)
+    base = random_subset(dataset, size, seed=rng)
+    variants = []
+    for level in noise_levels:
+        if level < 0:
+            raise DatasetError("noise levels must be >= 0")
+        bandwidth = apply_lognormal_noise(
+            base.bandwidth, sigma=float(level), seed=rng
+        )
+        variants.append(
+            Dataset(
+                name=f"{base.name}-noise{level:g}",
+                bandwidth=bandwidth,
+                description=(
+                    f"treeness variant of {dataset.name}: {size}-node "
+                    f"subset with extra noise sigma={level:g}"
+                ),
+                metadata={
+                    **base.metadata,
+                    "extra_noise_sigma": float(level),
+                },
+            )
+        )
+    return variants

@@ -1,0 +1,264 @@
+"""Synthetic bandwidth generators.
+
+Three generators with different treeness guarantees:
+
+* :func:`access_link_bandwidth` — the theoretical model of
+  Ramasubramanian et al. ([20] in the paper): every path bottlenecks at
+  the access link of one endpoint, ``BW(u, v) = min(A_u, A_v)``.  Under
+  the rational transform this gives ``d(u, v) = max(C/A_u, C/A_v)``, an
+  ultrametric — a **perfect tree metric** (the paper cites the proof).
+* :func:`hierarchy_bandwidth` — a random capacity-weighted topology tree
+  (hosts at the leaves, routers inside); ``BW(u, v)`` is the minimum
+  link capacity on the routing path.  Minimax path weights over a tree
+  also satisfy the strong triangle inequality, so this too is a perfect
+  tree metric, but with richer hierarchical structure.
+* :func:`random_tree_metric_bandwidth` — distances are path sums over a
+  random edge-weighted tree (an *additive* tree metric, the general
+  4PC-tight case), converted back to bandwidth.
+
+:func:`apply_lognormal_noise` degrades any of them with symmetric
+mean-one multiplicative noise — the knob that sets ``eps_avg`` for the
+treeness experiments (Fig. 5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro._validation import as_rng, check_positive
+from repro.exceptions import DatasetError
+from repro.metrics.metric import BandwidthMatrix
+
+__all__ = [
+    "access_link_bandwidth",
+    "hierarchy_bandwidth",
+    "random_tree_metric_bandwidth",
+    "apply_lognormal_noise",
+    "apply_rate_dependent_noise",
+    "lognormal_access_rates",
+]
+
+
+def lognormal_access_rates(
+    n: int,
+    mu: float,
+    sigma: float,
+    rng: np.random.Generator,
+    low: float = 0.5,
+    high: float = 2000.0,
+) -> np.ndarray:
+    """Per-host access-link rates, log-normal, clipped to sane Mbps.
+
+    ``mu``/``sigma`` parameterize ``ln(rate)``; the PlanetLab-like
+    builders solve them from target pairwise percentiles.
+    """
+    if n < 2:
+        raise DatasetError("need at least 2 hosts")
+    rates = np.exp(rng.normal(mu, sigma, size=n))
+    return np.clip(rates, low, high)
+
+
+def access_link_bandwidth(
+    n: int,
+    seed: int | np.random.Generator | None = 0,
+    mu: float = 4.0,
+    sigma: float = 1.0,
+) -> BandwidthMatrix:
+    """``BW(u, v) = min(A_u, A_v)`` with log-normal access rates.
+
+    A perfect tree metric under the rational transform (see module
+    docstring); the building block of the PlanetLab-like datasets.
+    """
+    rng = as_rng(seed)
+    rates = lognormal_access_rates(n, mu, sigma, rng)
+    matrix = np.minimum.outer(rates, rates)
+    return BandwidthMatrix(matrix)
+
+
+def hierarchy_bandwidth(
+    n: int,
+    seed: int | np.random.Generator | None = 0,
+    branching: int = 4,
+    core_capacity: tuple[float, float] = (200.0, 2000.0),
+    decay: float = 0.6,
+) -> BandwidthMatrix:
+    """Minimum link capacity over a random topology tree.
+
+    Builds a rooted tree with roughly *branching* children per router,
+    hosts at the leaves.  Link capacities shrink multiplicatively by
+    *decay* per level down from a random core capacity, mimicking
+    core -> regional -> access tiers.  ``BW(u, v)`` = min capacity on the
+    unique path, a perfect tree metric.
+    """
+    if n < 2:
+        raise DatasetError("need at least 2 hosts")
+    if not 0 < decay <= 1:
+        raise DatasetError("decay must lie in (0, 1]")
+    check_positive(core_capacity[0], "core_capacity low")
+    rng = as_rng(seed)
+
+    # Random recursive tree over hosts: parent chosen among earlier hosts
+    # with at most `branching` children each (spill to a random earlier
+    # host when everyone is full — keeps the construction total).
+    parent = np.full(n, -1, dtype=np.intp)
+    child_count = np.zeros(n, dtype=np.intp)
+    depth = np.zeros(n, dtype=np.intp)
+    capacity_up = np.zeros(n)  # capacity of the link toward the parent
+    for node in range(1, n):
+        candidates = np.flatnonzero(child_count[:node] < branching)
+        if candidates.size == 0:
+            candidates = np.arange(node)
+        chosen = int(rng.choice(candidates))
+        parent[node] = chosen
+        child_count[chosen] += 1
+        depth[node] = depth[chosen] + 1
+        base = rng.uniform(*core_capacity)
+        capacity_up[node] = max(base * decay ** int(depth[node]), 1.0)
+
+    # Minimax path capacity via pairwise LCA walks (n is a few hundred).
+    matrix = np.zeros((n, n))
+    ancestors: list[dict[int, float]] = []
+    for node in range(n):
+        chain: dict[int, float] = {}
+        current, minimum = node, np.inf
+        while current != -1:
+            chain[current] = minimum
+            if parent[current] != -1:
+                minimum = min(minimum, capacity_up[current])
+            current = int(parent[current])
+        ancestors.append(chain)
+    for u in range(n):
+        for v in range(u + 1, n):
+            chain_u = ancestors[u]
+            # Walk v upward until hitting an ancestor of u.
+            current, minimum = v, np.inf
+            while current not in chain_u:
+                minimum = min(minimum, capacity_up[current])
+                current = int(parent[current])
+            bottleneck = min(minimum, chain_u[current])
+            if not np.isfinite(bottleneck):  # u == ancestor of v chain only
+                bottleneck = capacity_up[v] if v != u else np.inf
+            matrix[u, v] = matrix[v, u] = max(bottleneck, 1.0)
+    return BandwidthMatrix(matrix)
+
+
+def random_tree_metric_bandwidth(
+    n: int,
+    seed: int | np.random.Generator | None = 0,
+    c: float = 100.0,
+    weight_range: tuple[float, float] = (0.1, 2.0),
+) -> BandwidthMatrix:
+    """Additive tree-metric distances converted to bandwidth.
+
+    Draws a random recursive tree with uniform edge weights, takes
+    path-sum distances, and maps them back with ``BW = c / d``.  This is
+    the fully general tree-metric case (not just ultrametric).
+    """
+    if n < 2:
+        raise DatasetError("need at least 2 hosts")
+    rng = as_rng(seed)
+    parent = np.full(n, -1, dtype=np.intp)
+    weight = np.zeros(n)
+    for node in range(1, n):
+        parent[node] = int(rng.integers(0, node))
+        weight[node] = rng.uniform(*weight_range)
+
+    # Path-sum distances via per-node root distances and LCA.
+    root_distance = np.zeros(n)
+    for node in range(1, n):
+        root_distance[node] = root_distance[parent[node]] + weight[node]
+    ancestor_sets = []
+    for node in range(n):
+        chain = set()
+        current = node
+        while current != -1:
+            chain.add(current)
+            current = int(parent[current])
+        ancestor_sets.append(chain)
+    matrix = np.zeros((n, n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            current = v
+            while current not in ancestor_sets[u]:
+                current = int(parent[current])
+            distance = (
+                root_distance[u] + root_distance[v]
+                - 2 * root_distance[current]
+            )
+            matrix[u, v] = matrix[v, u] = distance
+    positive = matrix[matrix > 0]
+    if positive.size == 0:
+        raise DatasetError("degenerate tree metric (all-zero distances)")
+    floor = float(positive.min()) * 0.5
+    matrix = np.where(matrix <= 0, floor, matrix)
+    bandwidth = c / matrix
+    np.fill_diagonal(bandwidth, np.inf)
+    return BandwidthMatrix(bandwidth)
+
+
+def apply_rate_dependent_noise(
+    bandwidth: BandwidthMatrix,
+    sigma_low: float,
+    sigma_high: float,
+    seed: int | np.random.Generator | None = 0,
+) -> BandwidthMatrix:
+    """Mean-one noise whose magnitude grows with the pair's bandwidth.
+
+    Available-bandwidth estimation (pathChirp and kin) is proportionally
+    noisier on fast paths — probe trains saturate, cross-traffic
+    dominates — so real matrices carry small errors on slow pairs and
+    large ones near the top.  Each pair's log-std interpolates linearly
+    from *sigma_low* (slowest pair) to *sigma_high* (fastest pair) by
+    the pair's bandwidth *quantile*; noise is symmetric and mean-one,
+    so the calibrated percentile anchors survive.
+
+    This is the heteroscedastic noise the PlanetLab-like builders use:
+    uniform noise either leaves the top of the range implausibly
+    predictable or destroys overall treeness; rate-dependent noise
+    reproduces the paper's behaviour at high query constraints while
+    keeping the bulk of the metric tree-like.
+    """
+    if sigma_low < 0 or sigma_high < 0:
+        raise DatasetError("noise sigmas must be >= 0")
+    if sigma_low == 0 and sigma_high == 0:
+        return bandwidth
+    rng = as_rng(seed)
+    values = bandwidth.values.copy()
+    n = values.shape[0]
+    iu, iv = np.triu_indices(n, k=1)
+    tri = values[iu, iv]
+    ranks = np.argsort(np.argsort(tri))
+    quantile = ranks / max(tri.size - 1, 1)
+    sigma = sigma_low + (sigma_high - sigma_low) * quantile
+    noise = np.exp(rng.normal(-sigma**2 / 2.0, sigma))
+    noisy = np.maximum(tri * noise, 0.1)
+    values[iu, iv] = noisy
+    values[iv, iu] = noisy
+    return BandwidthMatrix(values)
+
+
+def apply_lognormal_noise(
+    bandwidth: BandwidthMatrix,
+    sigma: float,
+    seed: int | np.random.Generator | None = 0,
+) -> BandwidthMatrix:
+    """Multiply each pair's bandwidth by symmetric mean-one noise.
+
+    ``sigma`` is the log-standard-deviation; 0 returns the input
+    unchanged.  Mean-one noise (``exp(N(-sigma^2/2, sigma^2))``) keeps
+    the bandwidth distribution centred, so the query-percentile
+    calibration survives while treeness (``eps_avg``) degrades — the
+    exact trade the Fig. 5 experiment sweeps.
+    """
+    if sigma < 0:
+        raise DatasetError("sigma must be >= 0")
+    if sigma == 0:
+        return bandwidth
+    rng = as_rng(seed)
+    n = bandwidth.size
+    noise = np.exp(rng.normal(-sigma**2 / 2.0, sigma, size=(n, n)))
+    noise = np.sqrt(noise * noise.T)  # symmetric, still mean-centred
+    values = bandwidth.values.copy()
+    off = ~np.eye(n, dtype=bool)
+    values[off] = np.maximum(values[off] * noise[off], 0.1)
+    return BandwidthMatrix(values)

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch every failure mode of this package with a single ``except`` clause
+while still being able to distinguish configuration mistakes from runtime
+conditions such as an unsatisfiable query.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ValidationError",
+    "MetricError",
+    "NotATreeMetricError",
+    "TreeConstructionError",
+    "UnknownNodeError",
+    "DatasetError",
+    "QueryError",
+    "UnsupportedConstraintError",
+    "SimulationError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (wrong shape, range, or type)."""
+
+
+class MetricError(ReproError):
+    """A metric-space operation failed (e.g. malformed distance matrix)."""
+
+
+class NotATreeMetricError(MetricError):
+    """An operation required an exact tree metric but the input is not one."""
+
+
+class TreeConstructionError(ReproError):
+    """The prediction/anchor tree could not be built or updated."""
+
+
+class UnknownNodeError(ReproError, KeyError):
+    """A node id was not found in the structure being queried."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated, loaded, or preprocessed."""
+
+
+class QueryError(ReproError):
+    """A clustering query was malformed."""
+
+
+class UnsupportedConstraintError(QueryError):
+    """A decentralized query used a bandwidth constraint outside the
+    predetermined class set ``L`` (Sec. III-B.3 of the paper)."""
+
+
+class SimulationError(ReproError):
+    """The round-based simulator reached an inconsistent state."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was misconfigured or failed to converge."""

@@ -1,0 +1,65 @@
+"""Experiment drivers: one module per figure of the paper's evaluation.
+
+Every driver follows the same pattern: a parameter dataclass with
+``quick()`` (CI-sized) and ``paper()`` (full-scale) presets, a ``run_*``
+function returning a result object holding raw points and binned series,
+and a ``format_table`` / ``shape_check`` pair used by the benchmark
+harness to print the figure's rows and assert the paper's qualitative
+shape.
+
+* :mod:`repro.experiments.fig3_accuracy` — Fig. 3: WPR vs b for
+  TREE-DECENTRAL / TREE-CENTRAL / EUCL-CENTRAL, plus relative-error CDFs.
+* :mod:`repro.experiments.fig4_tradeoff` — Fig. 4: return rate vs k.
+* :mod:`repro.experiments.fig5_treeness` — Fig. 5: WPR vs f_b across
+  treeness variants, raw and normalized.
+* :mod:`repro.experiments.fig6_scalability` — Fig. 6: routing hops vs n.
+* :mod:`repro.experiments.runner` — the shared substrate/query machinery.
+"""
+
+from repro.experiments.churn import ChurnParams, ChurnResult, run_churn
+from repro.experiments.eq1_model import Eq1Params, Eq1Result, run_eq1
+from repro.experiments.fig3_accuracy import (
+    Fig3Params,
+    Fig3Result,
+    run_fig3,
+)
+from repro.experiments.fig4_tradeoff import (
+    Fig4Params,
+    Fig4Result,
+    run_fig4,
+)
+from repro.experiments.fig5_treeness import (
+    Fig5Params,
+    Fig5Result,
+    run_fig5,
+)
+from repro.experiments.fig6_scalability import (
+    Fig6Params,
+    Fig6Result,
+    run_fig6,
+)
+from repro.experiments.runner import Approach, QueryRecord, SubstrateBundle
+
+__all__ = [
+    "Approach",
+    "ChurnParams",
+    "ChurnResult",
+    "Eq1Params",
+    "Eq1Result",
+    "Fig3Params",
+    "Fig3Result",
+    "Fig4Params",
+    "Fig4Result",
+    "Fig5Params",
+    "Fig5Result",
+    "Fig6Params",
+    "Fig6Result",
+    "QueryRecord",
+    "SubstrateBundle",
+    "run_churn",
+    "run_eq1",
+    "run_fig3",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+]

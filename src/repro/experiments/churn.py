@@ -1,0 +1,187 @@
+"""Clustering under churn (the paper's unevaluated fifth requirement).
+
+Sec. I lists *Dynamic Clustering* — "members of each cluster should
+adaptively change as network condition changes" — among the five design
+requirements, but Sec. IV never measures it.  This extension experiment
+does: hosts depart one at a time; after each departure the overlay
+heals (displaced descendants re-join) and the background mechanisms
+re-converge; a fresh query batch then measures return rate and
+ground-truth accuracy against the shrunken system.
+
+Measured per churn step: live host count, re-join fan-out (how many
+hosts the departure displaced), re-aggregation rounds, RR, and the
+fraction of returned clusters that are fully valid on ground truth.
+The paper's design predicts graceful degradation: queries keep being
+answered from every entry point, accuracy stays flat, and healing cost
+stays bounded by the (shrinking) overlay diameter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import as_rng
+from repro.analysis.wpr import evaluate_cluster
+from repro.core.decentralized import DecentralizedClusterSearch
+from repro.core.query import BandwidthClasses
+from repro.datasets.base import Dataset
+from repro.datasets.planetlab import HP_QUERY_RANGE, hp_planetlab_like
+from repro.exceptions import ExperimentError
+from repro.experiments.report import format_table
+from repro.predtree.framework import build_framework
+
+__all__ = ["ChurnParams", "ChurnStep", "ChurnResult", "run_churn"]
+
+
+@dataclass(frozen=True)
+class ChurnParams:
+    """Parameters for the churn experiment."""
+
+    n: int = 50
+    departures: int = 10
+    queries_per_step: int = 20
+    k: int = 4
+    b_range: tuple[float, float] = HP_QUERY_RANGE
+    class_count: int = 7
+    n_cut: int = 8
+    dataset_seed: int = 0
+    seed: int = 0
+
+    @classmethod
+    def quick(cls) -> "ChurnParams":
+        """CI-sized preset."""
+        return cls()
+
+    @classmethod
+    def paper(cls) -> "ChurnParams":
+        """Larger preset: a 190-node system losing a third of itself."""
+        return cls(n=190, departures=60, queries_per_step=100)
+
+    def build_dataset(self) -> Dataset:
+        """The HP-like dataset the churn runs over."""
+        if self.departures >= self.n - 2:
+            raise ExperimentError("departures must leave >= 2 hosts")
+        return hp_planetlab_like(seed=self.dataset_seed, n=self.n)
+
+
+@dataclass(frozen=True)
+class ChurnStep:
+    """Measurements after one departure."""
+
+    live_hosts: int
+    displaced: int
+    aggregation_rounds: int
+    return_rate: float
+    valid_fraction: float
+
+
+@dataclass
+class ChurnResult:
+    """The full churn trajectory."""
+
+    params: ChurnParams
+    steps: list[ChurnStep]
+
+    def format_table(self) -> str:
+        """One row per departure."""
+        return format_table(
+            ["live", "displaced", "agg rounds", "RR", "valid clusters"],
+            [
+                [
+                    step.live_hosts,
+                    step.displaced,
+                    step.aggregation_rounds,
+                    step.return_rate,
+                    step.valid_fraction,
+                ]
+                for step in self.steps
+            ],
+            title=(
+                "Clustering under churn "
+                f"(n={self.params.n}, {self.params.departures} departures)"
+            ),
+        )
+
+    def shape_check(self) -> list[str]:
+        """Graceful-degradation claims; returns the violated ones.
+
+        Checked: RR never collapses (stays above 0.5 of its starting
+        value), most returned clusters stay fully valid, and healing
+        cost (re-aggregation rounds) never blows up relative to the
+        start.
+        """
+        problems = []
+        if not self.steps:
+            return ["no churn steps recorded"]
+        first_rr = max(self.steps[0].return_rate, 1e-9)
+        for step in self.steps:
+            if step.return_rate < 0.5 * first_rr:
+                problems.append(
+                    f"RR collapsed to {step.return_rate:.2f} at "
+                    f"{step.live_hosts} hosts"
+                )
+                break
+        mean_valid = float(
+            np.mean([step.valid_fraction for step in self.steps])
+        )
+        if mean_valid < 0.6:
+            problems.append(
+                f"mean fully-valid cluster fraction too low: "
+                f"{mean_valid:.2f}"
+            )
+        first_rounds = max(self.steps[0].aggregation_rounds, 1)
+        worst_rounds = max(step.aggregation_rounds for step in self.steps)
+        if worst_rounds > 4 * first_rounds:
+            problems.append(
+                f"healing cost blew up: {worst_rounds} rounds vs "
+                f"{first_rounds} initially"
+            )
+        return problems
+
+
+def run_churn(params: ChurnParams) -> ChurnResult:
+    """Run the churn trajectory at the given scale."""
+    dataset = params.build_dataset()
+    framework = build_framework(dataset.bandwidth, seed=params.seed)
+    classes = BandwidthClasses.linear(
+        params.b_range[0], params.b_range[1], params.class_count
+    )
+    rng = as_rng(50_000 + params.seed)
+    steps: list[ChurnStep] = []
+
+    for _ in range(params.departures):
+        anchor = framework.anchor_tree
+        candidates = [
+            host for host in framework.hosts if host != anchor.root
+        ]
+        victim = int(rng.choice(candidates))
+        displaced = len(framework.remove_host(victim))
+
+        search = DecentralizedClusterSearch(
+            framework, classes, n_cut=params.n_cut
+        )
+        report = search.run_aggregation()
+        found = 0
+        valid = 0
+        for _query in range(params.queries_per_step):
+            b = float(rng.uniform(*params.b_range))
+            start = int(rng.choice(framework.hosts))
+            result = search.process_query(params.k, b, start=start)
+            if result.found:
+                found += 1
+                verdict = evaluate_cluster(
+                    result.cluster, dataset.bandwidth, result.snapped_b
+                )
+                valid += verdict.satisfied
+        steps.append(
+            ChurnStep(
+                live_hosts=framework.size,
+                displaced=displaced,
+                aggregation_rounds=report.rounds,
+                return_rate=found / params.queries_per_step,
+                valid_fraction=(valid / found) if found else float("nan"),
+            )
+        )
+    return ChurnResult(params=params, steps=steps)

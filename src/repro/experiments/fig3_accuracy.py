@@ -1,0 +1,329 @@
+"""Figure 3: clustering accuracy and embedding accuracy.
+
+Four panels:
+
+* (a)/(c): WPR vs bandwidth constraint ``b`` for the three approaches
+  (TREE-DECENTRAL, TREE-CENTRAL, EUCL-CENTRAL) on the HP-like / UMD-like
+  datasets.  Paper shape: WPR grows with ``b`` everywhere; the two TREE
+  curves sit nearly on top of each other and below EUCL.
+* (b)/(d): CDFs of relative bandwidth-prediction error for the tree
+  framework vs Vivaldi.  Paper shape: the tree CDF dominates (more mass
+  at low error).
+
+Protocol (Sec. IV-A): fixed ``k`` (about 5% of n), ``b`` drawn from the
+20th-80th percentile span, R rounds each with a freshly seeded
+framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro._validation import as_rng
+from repro.analysis.relerr import empirical_cdf, relative_bandwidth_errors
+from repro.core.query import BandwidthClasses
+from repro.datasets.base import Dataset
+from repro.datasets.planetlab import (
+    HP_QUERY_RANGE,
+    UMD_QUERY_RANGE,
+    hp_planetlab_like,
+    umd_planetlab_like,
+)
+from repro.exceptions import ExperimentError
+from repro.experiments.report import format_table
+from repro.experiments.runner import Approach, SubstrateBundle
+
+__all__ = ["Fig3Params", "Fig3Result", "run_fig3"]
+
+_ERROR_GRID = np.linspace(0.0, 1.0, 11)
+
+
+@dataclass(frozen=True)
+class Fig3Params:
+    """Parameters for the Fig. 3 experiment.
+
+    ``quick()`` is CI-sized; ``paper()`` matches Sec. IV-A (1000
+    queries x 10 rounds on the full-size dataset).
+    """
+
+    dataset: str = "hp"
+    n: int = 60
+    k: int = 4
+    b_range: tuple[float, float] = HP_QUERY_RANGE
+    queries_per_round: int = 60
+    rounds: int = 2
+    class_count: int = 7
+    n_cut: int = 10
+    vivaldi_rounds: int = 300
+    bins: int = 6
+    dataset_seed: int = 0
+
+    @classmethod
+    def quick(cls, dataset: str = "hp") -> "Fig3Params":
+        """Small preset used by tests and default benchmarks.
+
+        The b sweep extends slightly past the paper's 80th-percentile
+        endpoint: with only ~60 nodes the easy part of the range
+        produces no wrong pairs at all, and the informative (rising)
+        part of the WPR curve lives near the top.
+        """
+        if dataset == "hp":
+            return cls(dataset="hp", n=60, k=5, b_range=(15.0, 95.0))
+        if dataset == "umd":
+            return cls(dataset="umd", n=80, k=6, b_range=(30.0, 140.0))
+        raise ExperimentError(f"unknown dataset {dataset!r}")
+
+    @classmethod
+    def paper(cls, dataset: str = "hp") -> "Fig3Params":
+        """Full paper-scale preset (expensive: minutes to hours)."""
+        if dataset == "hp":
+            return cls(
+                dataset="hp", n=190, k=10, b_range=HP_QUERY_RANGE,
+                queries_per_round=1000, rounds=10, vivaldi_rounds=600,
+            )
+        if dataset == "umd":
+            return cls(
+                dataset="umd", n=317, k=16, b_range=UMD_QUERY_RANGE,
+                queries_per_round=1000, rounds=10, vivaldi_rounds=600,
+            )
+        raise ExperimentError(f"unknown dataset {dataset!r}")
+
+    def build_dataset(self) -> Dataset:
+        """Instantiate the dataset this parameterization targets."""
+        if self.dataset == "hp":
+            return hp_planetlab_like(seed=self.dataset_seed, n=self.n)
+        if self.dataset == "umd":
+            return umd_planetlab_like(seed=self.dataset_seed, n=self.n)
+        raise ExperimentError(f"unknown dataset {self.dataset!r}")
+
+
+@dataclass
+class Fig3Result:
+    """Binned series and summary statistics for Fig. 3.
+
+    Attributes
+    ----------
+    wpr_series:
+        Per approach: list of ``(b_center, wpr, pairs)`` bins.
+    mean_wpr:
+        Per approach: aggregate WPR over all returned pairs.
+    relerr_cdf:
+        ``{"tree"|"eucl": (grid, cdf)}`` — Fig. 3's right panels.
+    return_rate:
+        Per approach, for context (queries are designed to be easy).
+    """
+
+    params: Fig3Params
+    wpr_series: dict[Approach, list[tuple[float, float, int]]]
+    mean_wpr: dict[Approach, float]
+    relerr_cdf: dict[str, tuple[np.ndarray, np.ndarray]] = field(
+        default_factory=dict
+    )
+    return_rate: dict[Approach, float] = field(default_factory=dict)
+
+    def format_table(self) -> str:
+        """The figure as text: one row per b bin, one column per curve."""
+        headers = ["b (Mbps)"] + [a.value for a in self.wpr_series]
+        centers = sorted(
+            {c for s in self.wpr_series.values() for c, _, _ in s}
+        )
+        rows = []
+        for center in centers:
+            row: list[object] = [center]
+            for approach in self.wpr_series:
+                match = [
+                    wpr
+                    for c, wpr, _ in self.wpr_series[approach]
+                    if c == center
+                ]
+                row.append(match[0] if match else float("nan"))
+            rows.append(row)
+        wpr_part = format_table(
+            headers, rows,
+            title=f"Fig. 3 ({self.params.dataset.upper()}): WPR vs b",
+        )
+        cdf_rows = []
+        for x_index, x in enumerate(_ERROR_GRID):
+            cdf_rows.append(
+                [
+                    float(x),
+                    float(self.relerr_cdf["tree"][1][x_index]),
+                    float(self.relerr_cdf["eucl"][1][x_index]),
+                ]
+            )
+        cdf_part = format_table(
+            ["rel err", "tree CDF", "eucl CDF"],
+            cdf_rows,
+            title=(
+                f"Fig. 3 ({self.params.dataset.upper()}): relative-error "
+                "CDF"
+            ),
+        )
+        return wpr_part + "\n\n" + cdf_part
+
+    def csv_rows(self) -> tuple[list[str], list[list[object]]]:
+        """``(headers, rows)`` covering both panels for CSV export.
+
+        WPR rows carry ``panel="wpr"`` with the approach name; CDF rows
+        carry ``panel="cdf"`` with substrate ``tree``/``eucl``.
+        """
+        headers = ["panel", "series", "x", "y", "weight"]
+        rows: list[list[object]] = []
+        for approach, series in self.wpr_series.items():
+            for center, wpr, pairs in series:
+                rows.append(["wpr", approach.value, center, wpr, pairs])
+        for key in ("tree", "eucl"):
+            grid, cdf = self.relerr_cdf[key]
+            for x, y in zip(grid, cdf):
+                rows.append(["cdf", key, float(x), float(y), 1])
+        return headers, rows
+
+    def write_csv(self, path) -> None:
+        """Export both panels to one CSV file at *path*."""
+        from repro.experiments.report import write_csv
+
+        headers, rows = self.csv_rows()
+        write_csv(path, headers, rows)
+
+    def shape_check(self) -> list[str]:
+        """The paper's qualitative claims; returns violated ones.
+
+        Checked: (1) TREE-CENTRAL mean WPR <= EUCL-CENTRAL (with slack),
+        (2) TREE-CENTRAL and TREE-DECENTRAL within a small gap,
+        (3) WPR trend increases with b for the tree approaches,
+        (4) the tree relative-error CDF dominates Vivaldi's on average.
+        """
+        problems = []
+        tree_c = self.mean_wpr.get(Approach.TREE_CENTRAL, float("nan"))
+        tree_d = self.mean_wpr.get(Approach.TREE_DECENTRAL, float("nan"))
+        eucl = self.mean_wpr.get(Approach.EUCL_CENTRAL, float("nan"))
+        if not tree_c <= eucl + 0.02:
+            problems.append(
+                f"tree-central WPR {tree_c:.3f} above eucl {eucl:.3f}"
+            )
+        if abs(tree_c - tree_d) > 0.10:
+            problems.append(
+                f"tree central/decentral gap too large: {tree_c:.3f} vs "
+                f"{tree_d:.3f}"
+            )
+        series = self.wpr_series.get(Approach.TREE_CENTRAL, [])
+        if len(series) >= 3:
+            first = np.mean([w for _, w, _ in series[: len(series) // 2]])
+            second = np.mean([w for _, w, _ in series[len(series) // 2:]])
+            if not second >= first - 0.02:
+                problems.append(
+                    f"WPR does not increase with b ({first:.3f} -> "
+                    f"{second:.3f})"
+                )
+        tree_cdf = self.relerr_cdf["tree"][1]
+        eucl_cdf = self.relerr_cdf["eucl"][1]
+        if not float(np.mean(tree_cdf - eucl_cdf)) >= -0.01:
+            problems.append("tree relative-error CDF does not dominate")
+        return problems
+
+
+def run_fig3(params: Fig3Params) -> Fig3Result:
+    """Run the Fig. 3 experiment at the given scale."""
+    dataset = params.build_dataset()
+    classes = BandwidthClasses.linear(
+        params.b_range[0], params.b_range[1], params.class_count
+    )
+    approaches = [
+        Approach.TREE_DECENTRAL,
+        Approach.TREE_CENTRAL,
+        Approach.EUCL_CENTRAL,
+    ]
+    edges = list(
+        np.linspace(params.b_range[0], params.b_range[1], params.bins + 1)
+    )
+    wrong = {a: np.zeros(params.bins) for a in approaches}
+    total = {a: np.zeros(params.bins) for a in approaches}
+    found = {a: 0 for a in approaches}
+    submitted = 0
+    tree_errors: list[np.ndarray] = []
+    eucl_errors: list[np.ndarray] = []
+
+    for round_index in range(params.rounds):
+        bundle = SubstrateBundle(
+            dataset,
+            seed=round_index,
+            classes=classes,
+            n_cut=params.n_cut,
+            vivaldi_rounds=params.vivaldi_rounds,
+        )
+        rng = as_rng(10_000 + round_index)
+        bs = rng.uniform(
+            params.b_range[0], params.b_range[1],
+            size=params.queries_per_round,
+        )
+        for b in bs:
+            submitted += 1
+            bin_index = min(
+                params.bins - 1,
+                int(np.searchsorted(edges, b, side="right")) - 1,
+            )
+            for approach in approaches:
+                record = bundle.run_query(approach, params.k, float(b))
+                if not record.found:
+                    continue
+                found[approach] += 1
+                members = record.cluster
+                pairs = 0
+                bad = 0
+                for i in range(len(members)):
+                    for j in range(i + 1, len(members)):
+                        pairs += 1
+                        if dataset.bandwidth(members[i], members[j]) < b:
+                            bad += 1
+                wrong[approach][bin_index] += bad
+                total[approach][bin_index] += pairs
+        tree_errors.append(
+            relative_bandwidth_errors(
+                dataset.bandwidth,
+                bundle.framework.predicted_bandwidth_matrix(),
+            )
+        )
+        eucl_errors.append(
+            relative_bandwidth_errors(
+                dataset.bandwidth,
+                bundle.vivaldi.predicted_bandwidth_matrix(),
+            )
+        )
+
+    wpr_series: dict[Approach, list[tuple[float, float, int]]] = {}
+    mean_wpr: dict[Approach, float] = {}
+    for approach in approaches:
+        series = []
+        for i in range(params.bins):
+            if total[approach][i] > 0:
+                center = (edges[i] + edges[i + 1]) / 2.0
+                series.append(
+                    (
+                        float(center),
+                        float(wrong[approach][i] / total[approach][i]),
+                        int(total[approach][i]),
+                    )
+                )
+        wpr_series[approach] = series
+        grand_total = float(total[approach].sum())
+        mean_wpr[approach] = (
+            float(wrong[approach].sum() / grand_total)
+            if grand_total
+            else float("nan")
+        )
+
+    relerr_cdf = {
+        "tree": empirical_cdf(np.concatenate(tree_errors), grid=_ERROR_GRID),
+        "eucl": empirical_cdf(np.concatenate(eucl_errors), grid=_ERROR_GRID),
+    }
+    return Fig3Result(
+        params=params,
+        wpr_series=wpr_series,
+        mean_wpr=mean_wpr,
+        relerr_cdf=relerr_cdf,
+        return_rate={
+            a: found[a] / submitted for a in approaches
+        },
+    )

@@ -1,0 +1,228 @@
+"""Figure 4: the tradeoff of decentralization (return rate vs k).
+
+Each node only aggregates ``n_cut`` nodes per direction (Algorithm 2),
+so the decentralized system cannot satisfy very large ``k`` even when
+the centralized view could.  The paper's shape:
+
+* RR decreases with ``k`` for both configurations;
+* RR(TREE-DECENTRAL) <= RR(TREE-CENTRAL) at every ``k``;
+* the gap is negligible while ``k`` stays below ~20% of ``n``.
+
+Protocol (Sec. IV-B): queries with ``k`` swept over a wide range and
+``b`` over the percentile span, many rounds with fresh frameworks,
+``n_cut = 10``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import as_rng
+from repro.core.query import BandwidthClasses
+from repro.datasets.base import Dataset
+from repro.datasets.planetlab import (
+    HP_QUERY_RANGE,
+    UMD_QUERY_RANGE,
+    hp_planetlab_like,
+    umd_planetlab_like,
+)
+from repro.exceptions import ExperimentError
+from repro.experiments.report import format_table
+from repro.experiments.runner import Approach, SubstrateBundle
+
+__all__ = ["Fig4Params", "Fig4Result", "run_fig4"]
+
+
+@dataclass(frozen=True)
+class Fig4Params:
+    """Parameters for the Fig. 4 experiment."""
+
+    dataset: str = "hp"
+    n: int = 60
+    k_range: tuple[int, int] = (2, 30)
+    b_range: tuple[float, float] = HP_QUERY_RANGE
+    queries_per_round: int = 40
+    rounds: int = 3
+    class_count: int = 7
+    n_cut: int = 10
+    bins: int = 6
+    dataset_seed: int = 0
+
+    @classmethod
+    def quick(cls, dataset: str = "hp") -> "Fig4Params":
+        """Small preset used by tests and default benchmarks."""
+        if dataset == "hp":
+            return cls(dataset="hp", n=60, k_range=(2, 30),
+                       b_range=HP_QUERY_RANGE)
+        if dataset == "umd":
+            return cls(dataset="umd", n=80, k_range=(2, 40),
+                       b_range=UMD_QUERY_RANGE)
+        raise ExperimentError(f"unknown dataset {dataset!r}")
+
+    @classmethod
+    def paper(cls, dataset: str = "hp") -> "Fig4Params":
+        """Full paper-scale preset (Sec. IV-B: 100 queries x 100 rounds)."""
+        if dataset == "hp":
+            return cls(
+                dataset="hp", n=190, k_range=(2, 90),
+                b_range=HP_QUERY_RANGE, queries_per_round=100, rounds=100,
+            )
+        if dataset == "umd":
+            return cls(
+                dataset="umd", n=317, k_range=(2, 150),
+                b_range=UMD_QUERY_RANGE, queries_per_round=100, rounds=100,
+            )
+        raise ExperimentError(f"unknown dataset {dataset!r}")
+
+    def build_dataset(self) -> Dataset:
+        """Instantiate the dataset this parameterization targets."""
+        if self.dataset == "hp":
+            return hp_planetlab_like(seed=self.dataset_seed, n=self.n)
+        if self.dataset == "umd":
+            return umd_planetlab_like(seed=self.dataset_seed, n=self.n)
+        raise ExperimentError(f"unknown dataset {self.dataset!r}")
+
+
+@dataclass
+class Fig4Result:
+    """Binned return-rate curves for Fig. 4.
+
+    ``rr_series[approach]`` holds ``(k_center, return_rate, queries)``.
+    """
+
+    params: Fig4Params
+    rr_series: dict[Approach, list[tuple[float, float, int]]]
+
+    def format_table(self) -> str:
+        """The figure as text: RR per k bin per approach."""
+        headers = ["k"] + [a.value for a in self.rr_series]
+        centers = sorted(
+            {c for s in self.rr_series.values() for c, _, _ in s}
+        )
+        rows = []
+        for center in centers:
+            row: list[object] = [center]
+            for approach in self.rr_series:
+                match = [
+                    rate
+                    for c, rate, _ in self.rr_series[approach]
+                    if c == center
+                ]
+                row.append(match[0] if match else float("nan"))
+            rows.append(row)
+        return format_table(
+            headers,
+            rows,
+            title=f"Fig. 4 ({self.params.dataset.upper()}): RR vs k",
+        )
+
+    def csv_rows(self) -> tuple[list[str], list[list[object]]]:
+        """``(headers, rows)`` for CSV export (one row per bin/curve)."""
+        headers = ["series", "k", "return_rate", "queries"]
+        rows: list[list[object]] = []
+        for approach, series in self.rr_series.items():
+            for center, rate, asked in series:
+                rows.append([approach.value, center, rate, asked])
+        return headers, rows
+
+    def write_csv(self, path) -> None:
+        """Export the RR curves to a CSV file at *path*."""
+        from repro.experiments.report import write_csv
+
+        headers, rows = self.csv_rows()
+        write_csv(path, headers, rows)
+
+    def shape_check(self) -> list[str]:
+        """Paper's claims: RR falls with k; decentral <= central per bin
+        (with sampling slack); negligible gap for small k."""
+        problems = []
+        central = dict(
+            (c, r) for c, r, _ in self.rr_series[Approach.TREE_CENTRAL]
+        )
+        decentral = dict(
+            (c, r) for c, r, _ in self.rr_series[Approach.TREE_DECENTRAL]
+        )
+        for center, rate in decentral.items():
+            if center in central and rate > central[center] + 0.05:
+                problems.append(
+                    f"decentral RR {rate:.2f} above central "
+                    f"{central[center]:.2f} at k~{center:g}"
+                )
+        series = sorted(central.items())
+        if len(series) >= 3:
+            first = np.mean([r for _, r in series[: len(series) // 2]])
+            second = np.mean([r for _, r in series[len(series) // 2:]])
+            if not second <= first + 0.02:
+                problems.append(
+                    f"central RR does not fall with k ({first:.2f} -> "
+                    f"{second:.2f})"
+                )
+        small_k_limit = 0.2 * self.params.n
+        for center in central:
+            if center <= small_k_limit and center in decentral:
+                if central[center] - decentral[center] > 0.25:
+                    problems.append(
+                        f"gap too large at small k~{center:g}: "
+                        f"{central[center]:.2f} vs {decentral[center]:.2f}"
+                    )
+        return problems
+
+
+def run_fig4(params: Fig4Params) -> Fig4Result:
+    """Run the Fig. 4 experiment at the given scale."""
+    dataset = params.build_dataset()
+    classes = BandwidthClasses.linear(
+        params.b_range[0], params.b_range[1], params.class_count
+    )
+    approaches = [Approach.TREE_DECENTRAL, Approach.TREE_CENTRAL]
+    edges = list(
+        np.linspace(
+            params.k_range[0], params.k_range[1] + 1, params.bins + 1
+        )
+    )
+    found = {a: np.zeros(params.bins) for a in approaches}
+    asked = {a: np.zeros(params.bins) for a in approaches}
+
+    for round_index in range(params.rounds):
+        bundle = SubstrateBundle(
+            dataset, seed=round_index, classes=classes, n_cut=params.n_cut
+        )
+        rng = as_rng(20_000 + round_index)
+        ks = rng.integers(
+            params.k_range[0],
+            params.k_range[1] + 1,
+            size=params.queries_per_round,
+        )
+        bs = rng.uniform(
+            params.b_range[0],
+            params.b_range[1],
+            size=params.queries_per_round,
+        )
+        for k, b in zip(ks, bs):
+            bin_index = min(
+                params.bins - 1,
+                int(np.searchsorted(edges, k, side="right")) - 1,
+            )
+            for approach in approaches:
+                record = bundle.run_query(approach, int(k), float(b))
+                asked[approach][bin_index] += 1
+                if record.found:
+                    found[approach][bin_index] += 1
+
+    rr_series: dict[Approach, list[tuple[float, float, int]]] = {}
+    for approach in approaches:
+        series = []
+        for i in range(params.bins):
+            if asked[approach][i] > 0:
+                center = (edges[i] + edges[i + 1]) / 2.0
+                series.append(
+                    (
+                        float(center),
+                        float(found[approach][i] / asked[approach][i]),
+                        int(asked[approach][i]),
+                    )
+                )
+        rr_series[approach] = series
+    return Fig4Result(params=params, rr_series=rr_series)

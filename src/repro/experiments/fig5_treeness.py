@@ -1,0 +1,259 @@
+"""Figure 5: the effect of treeness on clustering accuracy.
+
+Six ~100-node datasets of increasing ``eps_avg`` are queried across a
+wide constraint sweep.  Two views per dataset family:
+
+* **raw** — WPR vs ``f_b``: all curves follow ``WPR = f_b^c`` (c > 1)
+  and the ``eps_avg`` ordering is *not* visible (the paper's point);
+* **normalized** — ``WPR^{f_a*}`` vs ``f_b`` with ``alpha = 3.2``:
+  datasets now order by ``eps_avg`` (larger ``eps_avg`` plots above).
+
+Per Sec. IV-C the paper sends 2000 queries with ``k = 5`` and ``b``
+swept from 5 to 300 Mbps over 10 framework rounds per dataset.  WPR is
+measured with the tree-based clustering (centralized — Fig. 3 shows the
+decentralized WPR is indistinguishable); DESIGN.md documents how the
+treeness variants replace the paper's hand-picked subsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import as_rng
+from repro.analysis.treeness import (
+    bounded_slope,
+    cdf_fraction_below,
+    fraction_near,
+)
+from repro.core.query import ClusterQuery
+from repro.datasets.base import Dataset
+from repro.datasets.planetlab import hp_planetlab_like, umd_planetlab_like
+from repro.datasets.subsets import treeness_variants
+from repro.exceptions import ExperimentError
+from repro.experiments.report import format_table
+from repro.experiments.runner import SubstrateBundle
+from repro.metrics.fourpoint import epsilon_average
+
+__all__ = ["Fig5Params", "Fig5Result", "run_fig5"]
+
+
+@dataclass(frozen=True)
+class Fig5Params:
+    """Parameters for the Fig. 5 experiment."""
+
+    dataset: str = "hp"
+    parent_n: int = 120
+    subset_size: int = 60
+    noise_levels: tuple[float, ...] = (0.0, 0.15, 0.35, 0.6)
+    k: int = 5
+    b_range: tuple[float, float] = (5.0, 300.0)
+    queries_per_round: int = 80
+    rounds: int = 2
+    bins: int = 8
+    eps_samples: int = 4000
+    dataset_seed: int = 0
+
+    @classmethod
+    def quick(cls, dataset: str = "hp") -> "Fig5Params":
+        """Small preset used by tests and default benchmarks."""
+        return cls(dataset=dataset)
+
+    @classmethod
+    def paper(cls, dataset: str = "hp") -> "Fig5Params":
+        """Full preset: six 100-node variants, 2000 queries x 10 rounds."""
+        return cls(
+            dataset=dataset,
+            parent_n=190 if dataset == "hp" else 317,
+            subset_size=100,
+            noise_levels=(0.0, 0.1, 0.2, 0.35, 0.55, 0.8),
+            queries_per_round=2000,
+            rounds=10,
+            eps_samples=20000,
+        )
+
+    def build_variants(self) -> list[Dataset]:
+        """The treeness-graded dataset family."""
+        if self.dataset == "hp":
+            parent = hp_planetlab_like(
+                seed=self.dataset_seed, n=self.parent_n
+            )
+        elif self.dataset == "umd":
+            parent = umd_planetlab_like(
+                seed=self.dataset_seed, n=self.parent_n
+            )
+        else:
+            raise ExperimentError(f"unknown dataset {self.dataset!r}")
+        return treeness_variants(
+            parent,
+            size=self.subset_size,
+            noise_levels=self.noise_levels,
+            seed=self.dataset_seed + 7,
+        )
+
+
+@dataclass
+class VariantCurve:
+    """One dataset variant's measured curve.
+
+    ``points`` holds ``(f_b, wpr, normalized_wpr)`` per b bin (bins with
+    no returned pairs are dropped).
+    """
+
+    name: str
+    eps_avg: float
+    points: list[tuple[float, float, float]]
+
+    def mean_normalized(self) -> float:
+        """Mean normalized WPR over mid-range ``f_b`` (for ordering)."""
+        mid = [nw for f, _, nw in self.points if 0.2 <= f <= 0.9]
+        if not mid:
+            mid = [nw for _, _, nw in self.points]
+        return float(np.mean(mid)) if mid else float("nan")
+
+    def fitted_exponent(self) -> float:
+        """Empirical ``c`` in ``WPR = f_b^c`` (Equation 1 validation).
+
+        Larger exponents mean more tree-like behaviour; the model
+        predicts ``c = 1 / eps#``, so exponents should fall as
+        ``eps_avg`` rises across a variant family.
+        """
+        from repro.analysis.model_fit import fit_wpr_exponent
+
+        return fit_wpr_exponent(
+            [(f_b, wpr) for f_b, wpr, _ in self.points]
+        ).exponent
+
+
+@dataclass
+class Fig5Result:
+    """All variant curves (the four panels derive from these)."""
+
+    params: Fig5Params
+    curves: list[VariantCurve]
+
+    def format_table(self) -> str:
+        """Raw and normalized WPR per variant per f_b bin."""
+        rows = []
+        for curve in self.curves:
+            for f_b, wpr, normalized in curve.points:
+                rows.append(
+                    [curve.name, curve.eps_avg, f_b, wpr, normalized]
+                )
+        return format_table(
+            ["variant", "eps_avg", "f_b", "WPR", "WPR^fa*"],
+            rows,
+            title=(
+                f"Fig. 5 ({self.params.dataset.upper()}): treeness sweep"
+            ),
+        )
+
+    def csv_rows(self) -> tuple[list[str], list[list[object]]]:
+        """``(headers, rows)`` for CSV export (one row per point)."""
+        headers = ["variant", "eps_avg", "f_b", "wpr", "normalized_wpr"]
+        rows: list[list[object]] = []
+        for curve in self.curves:
+            for f_b, wpr, normalized in curve.points:
+                rows.append(
+                    [curve.name, curve.eps_avg, f_b, wpr, normalized]
+                )
+        return headers, rows
+
+    def write_csv(self, path) -> None:
+        """Export all variant curves to a CSV file at *path*."""
+        from repro.experiments.report import write_csv
+
+        headers, rows = self.csv_rows()
+        write_csv(path, headers, rows)
+
+    def shape_check(self) -> list[str]:
+        """Paper's claims: WPR grows with f_b within each curve, and the
+        *normalized* WPR orders variants by eps_avg (Spearman-positive
+        association between eps_avg and mean normalized WPR)."""
+        problems = []
+        for curve in self.curves:
+            if len(curve.points) >= 3:
+                half = len(curve.points) // 2
+                first = np.mean([w for _, w, _ in curve.points[:half]])
+                second = np.mean([w for _, w, _ in curve.points[half:]])
+                if not second >= first - 0.05:
+                    problems.append(
+                        f"{curve.name}: WPR not increasing in f_b "
+                        f"({first:.3f} -> {second:.3f})"
+                    )
+        ordered = sorted(self.curves, key=lambda c: c.eps_avg)
+        values = [c.mean_normalized() for c in ordered]
+        cleaned = [v for v in values if not np.isnan(v)]
+        if len(cleaned) >= 3:
+            lower = np.mean(cleaned[: len(cleaned) // 2])
+            upper = np.mean(cleaned[len(cleaned) // 2:])
+            if not upper >= lower:
+                problems.append(
+                    "normalized WPR does not grow with eps_avg "
+                    f"({lower:.3f} -> {upper:.3f})"
+                )
+        return problems
+
+
+def run_fig5(params: Fig5Params) -> Fig5Result:
+    """Run the Fig. 5 experiment at the given scale."""
+    variants = params.build_variants()
+    curves = []
+    for variant_index, variant in enumerate(variants):
+        eps = epsilon_average(
+            variant.distance_matrix(),
+            samples=params.eps_samples,
+            seed=0,
+        )
+        edges = np.linspace(
+            params.b_range[0], params.b_range[1], params.bins + 1
+        )
+        wrong = np.zeros(params.bins)
+        total = np.zeros(params.bins)
+        f_b_sum = np.zeros(params.bins)
+        f_a_sum = np.zeros(params.bins)
+        count = np.zeros(params.bins)
+        for round_index in range(params.rounds):
+            bundle = SubstrateBundle(
+                variant, seed=100 * variant_index + round_index
+            )
+            central = bundle.central
+            rng = as_rng(30_000 + 100 * variant_index + round_index)
+            bs = rng.uniform(
+                params.b_range[0],
+                params.b_range[1],
+                size=params.queries_per_round,
+            )
+            for b in bs:
+                bin_index = min(
+                    params.bins - 1,
+                    int(np.searchsorted(edges, b, side="right")) - 1,
+                )
+                f_b_sum[bin_index] += cdf_fraction_below(
+                    variant.bandwidth, float(b)
+                )
+                f_a_sum[bin_index] += fraction_near(
+                    variant.bandwidth, float(b)
+                )
+                count[bin_index] += 1
+                cluster = central.query(
+                    ClusterQuery(k=params.k, b=float(b))
+                )
+                for i in range(len(cluster)):
+                    for j in range(i + 1, len(cluster)):
+                        total[bin_index] += 1
+                        if variant.bandwidth(cluster[i], cluster[j]) < b:
+                            wrong[bin_index] += 1
+        points = []
+        for i in range(params.bins):
+            if total[i] > 0 and count[i] > 0:
+                f_b = float(f_b_sum[i] / count[i])
+                f_a = float(f_a_sum[i] / count[i])
+                wpr = float(wrong[i] / total[i])
+                normalized = float(wpr ** bounded_slope(f_a))
+                points.append((f_b, wpr, normalized))
+        curves.append(
+            VariantCurve(name=variant.name, eps_avg=eps, points=points)
+        )
+    return Fig5Result(params=params, curves=curves)

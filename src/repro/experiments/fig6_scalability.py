@@ -1,0 +1,180 @@
+"""Figure 6: scalability of query routing.
+
+Mean query-routing hop count vs system size ``n``.  Paper protocol
+(Sec. IV-D): 10 random same-size subsets of UMD-PlanetLab per ``n``
+(n = 50..300), 1000 queries per dataset with ``k`` between 5% and 30%
+of ``n`` and ``b`` in the percentile span, 10 framework rounds.  Paper
+shape: the mean hop count stays around 2-3 and grows slowly/concavely
+with ``n``.
+
+Hops are counted over *all* processed queries (found or not) — an
+unsatisfiable query also consumes routing work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import as_rng
+from repro.core.query import BandwidthClasses
+from repro.datasets.base import Dataset
+from repro.datasets.planetlab import (
+    UMD_QUERY_RANGE,
+    umd_planetlab_like,
+)
+from repro.datasets.subsets import random_subsets
+from repro.exceptions import ExperimentError
+from repro.experiments.report import format_table
+from repro.experiments.runner import Approach, SubstrateBundle
+
+__all__ = ["Fig6Params", "Fig6Result", "run_fig6"]
+
+
+@dataclass(frozen=True)
+class Fig6Params:
+    """Parameters for the Fig. 6 experiment."""
+
+    parent_n: int = 160
+    sizes: tuple[int, ...] = (40, 80, 120)
+    datasets_per_size: int = 2
+    b_range: tuple[float, float] = UMD_QUERY_RANGE
+    k_fraction: tuple[float, float] = (0.05, 0.30)
+    queries_per_round: int = 25
+    rounds: int = 2
+    class_count: int = 7
+    n_cut: int = 10
+    dataset_seed: int = 0
+
+    @classmethod
+    def quick(cls) -> "Fig6Params":
+        """Small preset used by tests and default benchmarks."""
+        return cls()
+
+    @classmethod
+    def paper(cls) -> "Fig6Params":
+        """Full preset: 70 datasets (7 sizes x 10), 1000 queries x 10."""
+        return cls(
+            parent_n=317,
+            sizes=(50, 100, 150, 200, 250, 300),
+            datasets_per_size=10,
+            queries_per_round=1000,
+            rounds=10,
+        )
+
+    def build_parent(self) -> Dataset:
+        """The UMD-like parent dataset subsets are drawn from."""
+        if max(self.sizes) > self.parent_n:
+            raise ExperimentError(
+                "sizes must not exceed the parent dataset size"
+            )
+        return umd_planetlab_like(seed=self.dataset_seed, n=self.parent_n)
+
+
+@dataclass
+class Fig6Result:
+    """Hop statistics per system size.
+
+    ``series`` holds ``(n, mean_hops, max_hops, queries)``.
+    """
+
+    params: Fig6Params
+    series: list[tuple[int, float, int, int]]
+
+    def format_table(self) -> str:
+        """The figure as text: mean/max hops per system size."""
+        return format_table(
+            ["n", "mean hops", "max hops", "queries"],
+            [list(row) for row in self.series],
+            title="Fig. 6: query routing hops vs system size",
+        )
+
+    def csv_rows(self) -> tuple[list[str], list[list[object]]]:
+        """``(headers, rows)`` for CSV export (one row per size)."""
+        headers = ["n", "mean_hops", "max_hops", "queries"]
+        return headers, [list(row) for row in self.series]
+
+    def write_csv(self, path) -> None:
+        """Export the hop series to a CSV file at *path*."""
+        from repro.experiments.report import write_csv
+
+        headers, rows = self.csv_rows()
+        write_csv(path, headers, rows)
+
+    def shape_check(self) -> list[str]:
+        """Paper's claims: small mean hop counts (a few hops) that do
+        not blow up with n (sub-linear growth)."""
+        problems = []
+        for n, mean_hops, _, _ in self.series:
+            if mean_hops > 6.0:
+                problems.append(
+                    f"mean hops {mean_hops:.2f} at n={n} is not small"
+                )
+        if len(self.series) >= 2:
+            first_n, first_h = self.series[0][0], self.series[0][1]
+            last_n, last_h = self.series[-1][0], self.series[-1][1]
+            # Sub-linear growth with one hop of additive slack: tiny
+            # absolute hop counts at small n make pure ratios unstable.
+            bound = first_h * (last_n / first_n) + 1.0
+            if last_h > bound:
+                problems.append(
+                    "hop growth is super-linear in n "
+                    f"({first_h:.2f}@{first_n} -> {last_h:.2f}@{last_n})"
+                )
+        return problems
+
+
+def run_fig6(params: Fig6Params) -> Fig6Result:
+    """Run the Fig. 6 experiment at the given scale."""
+    parent = params.build_parent()
+    classes = BandwidthClasses.linear(
+        params.b_range[0], params.b_range[1], params.class_count
+    )
+    series = []
+    for size_index, size in enumerate(params.sizes):
+        datasets = random_subsets(
+            parent,
+            size=size,
+            count=params.datasets_per_size,
+            seed=1000 + size_index,
+        )
+        hop_counts: list[int] = []
+        k_low = max(2, int(round(params.k_fraction[0] * size)))
+        k_high = max(k_low, int(round(params.k_fraction[1] * size)))
+        for dataset_index, dataset in enumerate(datasets):
+            for round_index in range(params.rounds):
+                bundle = SubstrateBundle(
+                    dataset,
+                    seed=size_index * 997 + dataset_index * 31
+                    + round_index,
+                    classes=classes,
+                    n_cut=params.n_cut,
+                )
+                rng = as_rng(
+                    40_000 + size_index * 997 + dataset_index * 31
+                    + round_index
+                )
+                ks = rng.integers(
+                    k_low, k_high + 1, size=params.queries_per_round
+                )
+                bs = rng.uniform(
+                    params.b_range[0],
+                    params.b_range[1],
+                    size=params.queries_per_round,
+                )
+                for k, b in zip(ks, bs):
+                    record = bundle.run_query(
+                        Approach.TREE_DECENTRAL, int(k), float(b)
+                    )
+                    if record.hops is not None:
+                        hop_counts.append(record.hops)
+        series.append(
+            (
+                int(size),
+                float(np.mean(hop_counts)) if hop_counts else float("nan"),
+                int(max(hop_counts)) if hop_counts else 0,
+                len(hop_counts),
+            )
+        )
+    return Fig6Result(params=params, series=series)

@@ -1,0 +1,75 @@
+"""Plain-text rendering of experiment results.
+
+The paper reports figures; the benchmark harness reproduces them as
+aligned text tables (one row per plotted point / one column per series)
+so ``pytest benchmarks/ --benchmark-only`` output *is* the figure data.
+"""
+
+from __future__ import annotations
+
+import csv
+from collections.abc import Sequence
+from pathlib import Path
+
+__all__ = ["format_table", "format_series", "write_csv"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render *rows* under *headers* with aligned columns."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in cells))
+        if cells
+        else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    )
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(
+            "  ".join(value.ljust(w) for value, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str, points: Sequence[tuple[float, float]]
+) -> str:
+    """One-line rendering of an (x, y) series."""
+    body = ", ".join(f"({x:g}, {y:.4g})" for x, y in points)
+    return f"{name}: [{body}]"
+
+
+def write_csv(
+    path: str | Path,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> Path:
+    """Write *rows* under *headers* as CSV; returns the path written.
+
+    The figure result objects expose ``csv_rows()`` producing these
+    arguments, so any panel can be exported for external plotting.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+    return target
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

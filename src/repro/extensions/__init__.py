@@ -1,0 +1,30 @@
+"""Extensions: the future-work directions of Sec. VI.
+
+* :mod:`repro.extensions.hub` — single-node search: given an input set
+  of nodes, find one node with high bandwidth to *all* of them (the
+  paper's first future-work item).
+* :mod:`repro.extensions.latency` — latency-constrained clustering:
+  latency is already a metric (no transform needed) and also embeds
+  into tree metrics, so Algorithm 1 and the decentralized machinery
+  apply directly (the paper's third future-work item).
+"""
+
+from repro.extensions.hub import HubResult, find_hub, rank_hubs
+from repro.extensions.latency import (
+    DecentralizedLatencySearch,
+    LatencyQuery,
+    find_latency_cluster,
+    latency_to_pseudo_bandwidth,
+    synthetic_latency_matrix,
+)
+
+__all__ = [
+    "DecentralizedLatencySearch",
+    "HubResult",
+    "LatencyQuery",
+    "find_hub",
+    "find_latency_cluster",
+    "latency_to_pseudo_bandwidth",
+    "rank_hubs",
+    "synthetic_latency_matrix",
+]

@@ -1,0 +1,106 @@
+"""Hub search: one node with high bandwidth to an entire input set.
+
+Sec. VI: *"For a given set of multiple nodes, we are investigating
+approaches to find a single node that has high bandwidth with all the
+nodes in the input set."*  Natural uses: choosing the distributor
+replica of a CDN cluster, or the coordinator of a desktop-grid jobset.
+
+In distance space this is a 1-center-like query restricted to candidate
+hosts: minimize the maximum distance from the hub to the targets, or
+return every candidate whose maximum distance is within a constraint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import unique_nodes
+from repro.exceptions import QueryError
+from repro.metrics.metric import DistanceMatrix
+
+__all__ = ["HubResult", "find_hub", "rank_hubs"]
+
+
+@dataclass(frozen=True)
+class HubResult:
+    """A hub candidate with its quality.
+
+    Attributes
+    ----------
+    node:
+        The candidate hub's node id.
+    worst_distance:
+        ``max_{t in targets} d(node, t)`` — the binding constraint.
+    mean_distance:
+        Average distance to the targets (tie-breaking quality).
+    """
+
+    node: int
+    worst_distance: float
+    mean_distance: float
+
+
+def _target_array(
+    d: DistanceMatrix, targets: list[int]
+) -> np.ndarray:
+    nodes = unique_nodes(targets, "targets")
+    if not nodes:
+        raise QueryError("targets must be non-empty")
+    for node in nodes:
+        if not 0 <= node < d.size:
+            raise QueryError(f"target {node} outside the metric space")
+    return np.asarray(nodes, dtype=np.intp)
+
+
+def rank_hubs(
+    d: DistanceMatrix,
+    targets: list[int],
+    exclude_targets: bool = True,
+) -> list[HubResult]:
+    """All candidate hubs, best first.
+
+    Ordering: smallest worst-case distance, then smallest mean, then
+    node id.  With *exclude_targets* the input set's own members are not
+    candidates (the usual case — the hub serves the set).
+    """
+    target_index = _target_array(d, targets)
+    sub = d.values[:, target_index]
+    worst = sub.max(axis=1)
+    mean = sub.mean(axis=1)
+    excluded = set(int(t) for t in target_index) if exclude_targets else set()
+    results = [
+        HubResult(
+            node=node,
+            worst_distance=float(worst[node]),
+            mean_distance=float(mean[node]),
+        )
+        for node in range(d.size)
+        if node not in excluded
+    ]
+    results.sort(
+        key=lambda r: (r.worst_distance, r.mean_distance, r.node)
+    )
+    return results
+
+
+def find_hub(
+    d: DistanceMatrix,
+    targets: list[int],
+    l: float | None = None,
+    exclude_targets: bool = True,
+) -> HubResult | None:
+    """The best hub, or ``None`` when the constraint is unsatisfiable.
+
+    With ``l`` given, only hubs whose worst-case distance is at most
+    ``l`` qualify (i.e. predicted bandwidth to every target at least
+    ``C / l`` under the rational transform).
+    """
+    ranked = rank_hubs(d, targets, exclude_targets=exclude_targets)
+    if not ranked:
+        return None
+    best = ranked[0]
+    if l is not None and best.worst_distance > l:
+        return None
+    return best

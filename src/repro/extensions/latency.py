@@ -1,0 +1,190 @@
+"""Latency-constrained clustering (Sec. VI, third future-work item).
+
+Latency is already "smaller is better", so no transform is needed for
+the *centralized* path: the query constraint is a maximum pairwise RTT
+``l`` directly, and the metric space is the RTT matrix.  Since latency
+also embeds well into tree metrics (the paper cites [21]), Algorithm 1
+applies unchanged.
+
+The *decentralized* path reuses the entire bandwidth stack unmodified:
+an RTT matrix maps to pseudo-bandwidth ``BW = C / RTT`` so that the
+rational transform reproduces the RTTs as distances exactly —
+:class:`DecentralizedLatencySearch` wraps the prediction framework,
+aggregation, and query routing behind an RTT-native interface, which
+is precisely the paper's claim that "our decentralized clustering
+approach can be directly applied to find a cluster under a latency
+constraint".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import as_rng, check_positive
+from repro.core.decentralized import DecentralizedClusterSearch, QueryResult
+from repro.core.find_cluster import find_cluster
+from repro.core.query import BandwidthClasses
+from repro.datasets.synthetic import random_tree_metric_bandwidth
+from repro.exceptions import QueryError
+from repro.metrics.metric import BandwidthMatrix, DistanceMatrix
+from repro.metrics.transform import RationalTransform
+from repro.predtree.framework import BandwidthPredictionFramework
+
+__all__ = [
+    "LatencyQuery",
+    "find_latency_cluster",
+    "synthetic_latency_matrix",
+    "latency_to_pseudo_bandwidth",
+    "DecentralizedLatencySearch",
+]
+
+
+@dataclass(frozen=True)
+class LatencyQuery:
+    """A latency-constrained query: ``k`` nodes within ``max_rtt`` of
+    each other.
+
+    Attributes
+    ----------
+    k:
+        Required cluster size (``>= 2``).
+    max_rtt:
+        Maximum allowed pairwise round-trip time (ms).
+    """
+
+    k: int
+    max_rtt: float
+
+    def __post_init__(self) -> None:
+        if int(self.k) != self.k or self.k < 2:
+            raise QueryError(f"k must be an integer >= 2, got {self.k!r}")
+        check_positive(self.max_rtt, "max_rtt")
+
+
+def find_latency_cluster(
+    latency: DistanceMatrix, query: LatencyQuery
+) -> list[int]:
+    """Algorithm 1 on an RTT matrix — the constraint is the RTT itself."""
+    return find_cluster(latency, query.k, query.max_rtt)
+
+
+def latency_to_pseudo_bandwidth(
+    latency: DistanceMatrix, c: float = 100.0
+) -> BandwidthMatrix:
+    """Map an RTT matrix to pseudo-bandwidth ``BW = c / RTT``.
+
+    Under the rational transform with the same ``c``, the resulting
+    distances equal the original RTTs exactly, so the whole bandwidth
+    machinery operates natively on latency.
+    """
+    check_positive(c, "c")
+    values = latency.values
+    off = ~np.eye(latency.size, dtype=bool)
+    if np.any(values[off] <= 0):
+        raise QueryError(
+            "RTT matrix must be positive off the diagonal to map to "
+            "pseudo-bandwidth"
+        )
+    with np.errstate(divide="ignore"):
+        bandwidth = c / values
+    return BandwidthMatrix(np.where(off, bandwidth, np.inf))
+
+
+class DecentralizedLatencySearch:
+    """The paper's decentralized system, RTT-native (Sec. VI).
+
+    Parameters
+    ----------
+    latency:
+        Ground-truth RTT matrix (ms).
+    rtt_classes:
+        Ascending RTT class values — the latency analogue of the
+        predetermined bandwidth classes; a query's ``max_rtt`` is
+        snapped *down* to the nearest class (stronger constraint, so
+        results never violate the user's bound).
+    n_cut / seed:
+        Forwarded to the underlying machinery.
+    """
+
+    def __init__(
+        self,
+        latency: DistanceMatrix,
+        rtt_classes: list[float],
+        n_cut: int = 10,
+        seed: int = 0,
+        c: float = 100.0,
+    ) -> None:
+        if not rtt_classes:
+            raise QueryError("rtt_classes must be non-empty")
+        rtts = sorted(check_positive(r, "rtt class") for r in rtt_classes)
+        transform = RationalTransform(c=c)
+        bandwidths = sorted(c / r for r in rtts)
+        self._latency = latency
+        self._rtts = rtts
+        pseudo = latency_to_pseudo_bandwidth(latency, c=c)
+        self.framework = BandwidthPredictionFramework(
+            pseudo, transform=transform, seed=seed
+        )
+        self._search = DecentralizedClusterSearch(
+            self.framework,
+            BandwidthClasses(bandwidths, transform=transform),
+            n_cut=n_cut,
+        )
+        self._search.run_aggregation()
+
+    @property
+    def hosts(self) -> list[int]:
+        """Participating hosts."""
+        return self._search.hosts
+
+    def query(self, k: int, max_rtt: float, start: int) -> QueryResult:
+        """Find ``k`` hosts within *max_rtt* of each other (routed).
+
+        The returned :class:`QueryResult`'s ``l`` is the snapped RTT
+        class actually used.
+        """
+        check_positive(max_rtt, "max_rtt")
+        if max_rtt < self._rtts[0]:
+            raise QueryError(
+                f"max_rtt {max_rtt} below the tightest class "
+                f"{self._rtts[0]}"
+            )
+        # Snap DOWN to the nearest class (never weaken the constraint);
+        # in bandwidth space this is the snap-up the classes implement.
+        b = self.framework.transform.c / max_rtt
+        return self._search.process_query(k, b, start=start)
+
+    def predicted_rtt(self, u: int, v: int) -> float:
+        """Predicted RTT between two hosts (from the tree embedding)."""
+        return self.framework.predicted_distance(u, v)
+
+
+def synthetic_latency_matrix(
+    n: int,
+    seed: int | np.random.Generator | None = 0,
+    base_rtt: float = 20.0,
+    noise_sigma: float = 0.05,
+) -> DistanceMatrix:
+    """A tree-metric-like RTT matrix for examples and tests.
+
+    Reuses the additive random-tree generator: path-sum distances scaled
+    so the median RTT lands near ``2 x base_rtt``, with mild
+    multiplicative noise (real latencies are near-tree too).
+    """
+    rng = as_rng(seed)
+    bandwidth = random_tree_metric_bandwidth(n, seed=rng)
+    distances = bandwidth.to_distance_matrix().values.copy()
+    median = float(np.median(distances[distances > 0]))
+    distances *= (2.0 * base_rtt) / median
+    if noise_sigma > 0:
+        noise = np.exp(
+            rng.normal(-noise_sigma**2 / 2, noise_sigma, size=distances.shape)
+        )
+        noise = np.sqrt(noise * noise.T)
+        off = ~np.eye(n, dtype=bool)
+        distances[off] = distances[off] * noise[off]
+    distances = (distances + distances.T) / 2.0
+    np.fill_diagonal(distances, 0.0)
+    return DistanceMatrix(distances)

@@ -1,0 +1,47 @@
+"""Metric-space substrate.
+
+This package implements everything Sec. II of the paper needs:
+
+* :mod:`repro.metrics.transform` — the rational transform
+  ``d(u, v) = C / BW(u, v)`` (and the linear transform used only for the
+  related-work comparison), plus matrix symmetrization.
+* :mod:`repro.metrics.metric` — validated distance / bandwidth matrix
+  wrappers with subset and diameter operations.
+* :mod:`repro.metrics.gromov` — Gromov products.
+* :mod:`repro.metrics.fourpoint` — the four-point condition, per-quadruple
+  epsilon of Abraham et al., and sampled treeness statistics.
+"""
+
+from repro.metrics.fourpoint import (
+    FourPointStats,
+    epsilon_average,
+    epsilon_of_quadruple,
+    four_point_condition_holds,
+    four_point_stats,
+    is_tree_metric,
+    sample_quadruples,
+)
+from repro.metrics.gromov import gromov_product, gromov_product_matrix
+from repro.metrics.metric import BandwidthMatrix, DistanceMatrix
+from repro.metrics.transform import (
+    LinearTransform,
+    RationalTransform,
+    symmetrize_average,
+)
+
+__all__ = [
+    "BandwidthMatrix",
+    "DistanceMatrix",
+    "FourPointStats",
+    "LinearTransform",
+    "RationalTransform",
+    "epsilon_average",
+    "epsilon_of_quadruple",
+    "four_point_condition_holds",
+    "four_point_stats",
+    "gromov_product",
+    "gromov_product_matrix",
+    "is_tree_metric",
+    "sample_quadruples",
+    "symmetrize_average",
+]

@@ -1,0 +1,245 @@
+"""Four-point condition and treeness statistics (Sec. II-A, II-C, IV-C).
+
+A metric space ``(V, d)`` is a *tree metric* iff every quadruple
+``w, x, y, z`` satisfies the four-point condition (4PC): of the three
+pairing sums
+
+    d(w,x) + d(y,z),   d(w,y) + d(x,z),   d(w,z) + d(x,y)
+
+the two largest are equal.  Buneman's theorem (Thm. 2.1 in the paper)
+states this is equivalent to the existence of an edge-weighted tree
+inducing the metric.
+
+Abraham et al. quantify *how far* a quadruple is from satisfying 4PC with
+a relaxation parameter ``epsilon``: with sums sorted ``s1 <= s2 <= s3``
+and ``m`` the smaller distance of the pairing achieving ``s1``,
+
+    epsilon = (s3 - s2) / (2 * m).
+
+``epsilon = 0`` for every quadruple means a perfect tree metric; the paper
+uses the average over (sampled) quadruples, ``eps_avg``, as the treeness
+of a dataset (Sec. IV-C).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import as_rng
+from repro.exceptions import ValidationError
+from repro.metrics.metric import DistanceMatrix
+
+__all__ = [
+    "four_point_condition_holds",
+    "epsilon_of_quadruple",
+    "sample_quadruples",
+    "epsilon_average",
+    "is_tree_metric",
+    "FourPointStats",
+    "four_point_stats",
+]
+
+
+def _pairing_sums(
+    d: DistanceMatrix | np.ndarray, w: int, x: int, y: int, z: int
+) -> list[tuple[float, float, float]]:
+    """The three (sum, dist_a, dist_b) pairings of the quadruple."""
+    values = d.values if isinstance(d, DistanceMatrix) else np.asarray(d)
+    d_wx, d_yz = float(values[w, x]), float(values[y, z])
+    d_wy, d_xz = float(values[w, y]), float(values[x, z])
+    d_wz, d_xy = float(values[w, z]), float(values[x, y])
+    return [
+        (d_wx + d_yz, d_wx, d_yz),
+        (d_wy + d_xz, d_wy, d_xz),
+        (d_wz + d_xy, d_wz, d_xy),
+    ]
+
+
+def four_point_condition_holds(
+    d: DistanceMatrix | np.ndarray,
+    w: int,
+    x: int,
+    y: int,
+    z: int,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Whether the quadruple satisfies the 4PC up to *tolerance*.
+
+    The condition requires the two largest pairing sums to be equal; the
+    *tolerance* is an absolute slack on their difference, scaled by the
+    magnitude of the sums to stay meaningful across units.
+    """
+    sums = sorted(s for s, _, _ in _pairing_sums(d, w, x, y, z))
+    scale = max(sums[2], 1.0)
+    return (sums[2] - sums[1]) <= tolerance * scale
+
+
+def epsilon_of_quadruple(
+    d: DistanceMatrix | np.ndarray, w: int, x: int, y: int, z: int
+) -> float:
+    """Abraham et al.'s per-quadruple treeness ``epsilon``.
+
+    Returns 0 for degenerate quadruples whose smallest-pairing minimum
+    distance is 0 (repeated points), mirroring the convention that such
+    quadruples impose no tree-metric violation.
+    """
+    pairings = sorted(_pairing_sums(d, w, x, y, z), key=lambda p: p[0])
+    s2 = pairings[1][0]
+    s3 = pairings[2][0]
+    m = min(pairings[0][1], pairings[0][2])
+    if m <= 0.0:
+        return 0.0
+    return max(0.0, (s3 - s2) / (2.0 * m))
+
+
+def sample_quadruples(
+    n: int,
+    samples: int,
+    seed: int | np.random.Generator | None = 0,
+) -> np.ndarray:
+    """Sample distinct node quadruples from ``range(n)``.
+
+    Returns an ``(m, 4)`` integer array.  When the total number of
+    quadruples ``C(n, 4)`` does not exceed *samples*, every quadruple is
+    enumerated exactly once instead of sampling (so small spaces get exact
+    statistics).
+    """
+    if n < 4:
+        raise ValidationError("need at least 4 nodes to form a quadruple")
+    total = n * (n - 1) * (n - 2) * (n - 3) // 24
+    if total <= samples:
+        combos = list(itertools.combinations(range(n), 4))
+        return np.asarray(combos, dtype=np.intp)
+    rng = as_rng(seed)
+    out = np.empty((samples, 4), dtype=np.intp)
+    for i in range(samples):
+        out[i] = rng.choice(n, size=4, replace=False)
+    return out
+
+
+def _epsilons_vectorized(
+    values: np.ndarray, quadruples: np.ndarray
+) -> np.ndarray:
+    """Per-quadruple epsilons for all rows of *quadruples* at once."""
+    w, x, y, z = (quadruples[:, i] for i in range(4))
+    sums = np.stack(
+        [
+            values[w, x] + values[y, z],
+            values[w, y] + values[x, z],
+            values[w, z] + values[x, y],
+        ],
+        axis=1,
+    )
+    mins = np.stack(
+        [
+            np.minimum(values[w, x], values[y, z]),
+            np.minimum(values[w, y], values[x, z]),
+            np.minimum(values[w, z], values[x, y]),
+        ],
+        axis=1,
+    )
+    order = np.argsort(sums, axis=1, kind="stable")
+    rows = np.arange(sums.shape[0])
+    s2 = sums[rows, order[:, 1]]
+    s3 = sums[rows, order[:, 2]]
+    m = mins[rows, order[:, 0]]
+    eps = np.zeros(sums.shape[0])
+    positive = m > 0
+    eps[positive] = np.maximum(
+        0.0, (s3[positive] - s2[positive]) / (2.0 * m[positive])
+    )
+    return eps
+
+
+def epsilon_average(
+    d: DistanceMatrix,
+    samples: int = 20000,
+    seed: int | np.random.Generator | None = 0,
+) -> float:
+    """``eps_avg``: mean epsilon over (sampled) quadruples (Sec. IV-C).
+
+    For spaces with at most *samples* quadruples the average is exact.
+    """
+    quadruples = sample_quadruples(d.size, samples, seed)
+    eps = _epsilons_vectorized(d.values, quadruples)
+    return float(eps.mean())
+
+
+def is_tree_metric(
+    d: DistanceMatrix,
+    tolerance: float = 1e-9,
+    samples: int | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> bool:
+    """Whether *d* satisfies 4PC on every (or every sampled) quadruple.
+
+    ``samples=None`` checks all quadruples exhaustively — O(n^4), fine for
+    the test-sized spaces where an exact answer matters.  Passing
+    *samples* spot-checks larger spaces.
+    """
+    if d.size < 4:
+        return True  # any metric on < 4 points embeds in a tree
+    if samples is None:
+        quadruples = np.asarray(
+            list(itertools.combinations(range(d.size), 4)), dtype=np.intp
+        )
+    else:
+        quadruples = sample_quadruples(d.size, samples, seed)
+    values = d.values
+    w, x, y, z = (quadruples[:, i] for i in range(4))
+    sums = np.stack(
+        [
+            values[w, x] + values[y, z],
+            values[w, y] + values[x, z],
+            values[w, z] + values[x, y],
+        ],
+        axis=1,
+    )
+    sums.sort(axis=1)
+    scale = np.maximum(sums[:, 2], 1.0)
+    return bool(np.all(sums[:, 2] - sums[:, 1] <= tolerance * scale))
+
+
+@dataclass(frozen=True)
+class FourPointStats:
+    """Summary of treeness statistics for one metric space.
+
+    Attributes
+    ----------
+    eps_avg:
+        Mean per-quadruple epsilon (the paper's treeness measure).
+    eps_max:
+        Largest sampled epsilon.
+    eps_median:
+        Median sampled epsilon.
+    fraction_zero:
+        Fraction of sampled quadruples with epsilon below ``1e-9``.
+    samples:
+        Number of quadruples the statistics were computed over.
+    """
+
+    eps_avg: float
+    eps_max: float
+    eps_median: float
+    fraction_zero: float
+    samples: int
+
+
+def four_point_stats(
+    d: DistanceMatrix,
+    samples: int = 20000,
+    seed: int | np.random.Generator | None = 0,
+) -> FourPointStats:
+    """Compute :class:`FourPointStats` over sampled quadruples."""
+    quadruples = sample_quadruples(d.size, samples, seed)
+    eps = _epsilons_vectorized(d.values, quadruples)
+    return FourPointStats(
+        eps_avg=float(eps.mean()),
+        eps_max=float(eps.max()),
+        eps_median=float(np.median(eps)),
+        fraction_zero=float(np.mean(eps < 1e-9)),
+        samples=int(eps.shape[0]),
+    )

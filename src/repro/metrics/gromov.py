@@ -1,0 +1,44 @@
+"""Gromov products (Sec. II-D of the paper).
+
+The Gromov product of ``x`` and ``y`` at base point ``z`` is
+
+    (x|y)_z = 1/2 (d(z, x) + d(z, y) - d(x, y)).
+
+In an edge-weighted tree it equals the distance from ``z`` to the meeting
+point of the three paths between ``x``, ``y`` and ``z`` — exactly the
+quantity the prediction-tree construction maximizes to place a new node.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.metrics.metric import DistanceMatrix
+
+__all__ = ["gromov_product", "gromov_product_matrix"]
+
+DistanceFn = Callable[[int, int], float]
+
+
+def gromov_product(d: DistanceFn, x: int, y: int, z: int) -> float:
+    """``(x|y)_z = (d(z,x) + d(z,y) - d(x,y)) / 2``.
+
+    *d* may be any callable distance (a :class:`DistanceMatrix` works
+    directly because it is callable).  In a true metric the result is
+    non-negative by the triangle inequality; tiny negative values from
+    noisy "metrics" are returned as-is so callers can decide how to clamp.
+    """
+    return (d(z, x) + d(z, y) - d(x, y)) / 2.0
+
+
+def gromov_product_matrix(matrix: DistanceMatrix, z: int) -> np.ndarray:
+    """All pairwise Gromov products at base *z* as an ``(n, n)`` array.
+
+    ``result[x, y] = (x|y)_z``.  Used by tests and by the vectorized
+    end-node search in prediction-tree construction.
+    """
+    values = matrix.values
+    row_z = values[z]
+    return (row_z[:, None] + row_z[None, :] - values) / 2.0

@@ -1,0 +1,270 @@
+"""Validated matrix wrappers for distances and bandwidth.
+
+The whole library passes metric spaces around as a
+:class:`DistanceMatrix`: an immutable, validated wrapper over a dense
+``numpy`` array with the handful of operations the clustering algorithms
+need (pairwise lookup, subset restriction, diameters, pair enumeration).
+
+:class:`BandwidthMatrix` is the raw-measurement counterpart; it converts
+to a :class:`DistanceMatrix` through a transform from
+:mod:`repro.metrics.transform`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator, Sequence
+
+import numpy as np
+
+from repro._validation import (
+    as_square_matrix,
+    check_node_id,
+    check_nonnegative,
+    check_symmetric,
+    check_zero_diagonal,
+    unique_nodes,
+)
+from repro.exceptions import ValidationError
+from repro.metrics.transform import RationalTransform
+
+__all__ = ["DistanceMatrix", "BandwidthMatrix"]
+
+
+class DistanceMatrix:
+    """An immutable symmetric non-negative distance matrix.
+
+    Node ids are the integers ``0 .. n-1``.  The wrapped array is set
+    read-only so a matrix can be shared between algorithms without
+    defensive copies.
+
+    Parameters
+    ----------
+    values:
+        Any square array-like of distances.  Must be symmetric,
+        non-negative, with a zero diagonal.
+
+    Examples
+    --------
+    >>> d = DistanceMatrix([[0, 2, 3], [2, 0, 1], [3, 1, 0]])
+    >>> d.distance(0, 2)
+    3.0
+    >>> d.diameter([0, 1, 2])
+    3.0
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values) -> None:
+        matrix = as_square_matrix(values, "distance matrix")
+        check_symmetric(matrix, "distance matrix")
+        check_nonnegative(matrix, "distance matrix")
+        check_zero_diagonal(matrix, "distance matrix")
+        matrix = matrix.copy()
+        matrix.flags.writeable = False
+        self._values = matrix
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of nodes ``n``."""
+        return self._values.shape[0]
+
+    @property
+    def nodes(self) -> range:
+        """The node ids ``range(n)``."""
+        return range(self.size)
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying read-only ``(n, n)`` array."""
+        return self._values
+
+    def __len__(self) -> int:
+        return self.size
+
+    def distance(self, u: int, v: int) -> float:
+        """Distance between nodes *u* and *v*."""
+        u = check_node_id(u, self.size, "u")
+        v = check_node_id(v, self.size, "v")
+        return float(self._values[u, v])
+
+    def __call__(self, u: int, v: int) -> float:
+        """Alias for :meth:`distance` so a matrix can be used as ``d(u,v)``."""
+        return self.distance(u, v)
+
+    def row(self, u: int) -> np.ndarray:
+        """All distances from node *u* (read-only view)."""
+        u = check_node_id(u, self.size, "u")
+        return self._values[u]
+
+    # -- subset operations --------------------------------------------------
+
+    def restrict(self, nodes: Sequence[int]) -> "DistanceMatrix":
+        """The sub-metric induced by *nodes* (re-indexed ``0..len-1``).
+
+        This is how a node's local clustering space ``(V_x, d_{V_x})``
+        (Algorithms 3 and 4) is materialized from the global space.
+        """
+        index = unique_nodes(nodes, "nodes")
+        if not index:
+            raise ValidationError("nodes must be non-empty")
+        for node in index:
+            check_node_id(node, self.size, "node")
+        selector = np.asarray(index, dtype=np.intp)
+        return DistanceMatrix(self._values[np.ix_(selector, selector)])
+
+    def diameter(self, nodes: Sequence[int] | None = None) -> float:
+        """``diam(X) = max_{u,v in X} d(u, v)`` (Sec. III intro).
+
+        With ``nodes=None`` the diameter of the whole space is returned.
+        A singleton set has diameter 0.
+        """
+        if nodes is None:
+            return float(self._values.max())
+        index = unique_nodes(nodes, "nodes")
+        if not index:
+            raise ValidationError("nodes must be non-empty")
+        selector = np.asarray(index, dtype=np.intp)
+        sub = self._values[np.ix_(selector, selector)]
+        return float(sub.max())
+
+    # -- pair enumeration ---------------------------------------------------
+
+    def pairs(self) -> Iterator[tuple[int, int]]:
+        """Iterate all unordered node pairs ``(u, v)`` with ``u < v``."""
+        n = self.size
+        for u in range(n):
+            for v in range(u + 1, n):
+                yield (u, v)
+
+    def pairs_by_distance(self) -> list[tuple[int, int]]:
+        """All unordered pairs sorted by ascending distance.
+
+        Sorting lets Algorithm 1 scan candidate diameters smallest-first
+        and stop at the first pair exceeding the constraint ``l``.
+        """
+        n = self.size
+        iu, iv = np.triu_indices(n, k=1)
+        order = np.argsort(self._values[iu, iv], kind="stable")
+        return [(int(iu[i]), int(iv[i])) for i in order]
+
+    def upper_triangle(self) -> np.ndarray:
+        """The ``n*(n-1)/2`` off-diagonal distances as a flat array."""
+        iu, iv = np.triu_indices(self.size, k=1)
+        return self._values[iu, iv]
+
+    # -- dunder conveniences --------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DistanceMatrix):
+            return NotImplemented
+        return self.size == other.size and bool(
+            np.array_equal(self._values, other._values)
+        )
+
+    def __hash__(self) -> int:  # immutable, so hashable by content
+        return hash(self._values.tobytes())
+
+    def __repr__(self) -> str:
+        return f"DistanceMatrix(n={self.size}, diameter={self.diameter():.4g})"
+
+
+class BandwidthMatrix:
+    """A symmetric positive pairwise-bandwidth matrix (Mbps).
+
+    The diagonal is by convention ``inf`` (``BW(u, u) = inf`` so distances
+    to self are zero).  Off-diagonal entries must be strictly positive.
+    """
+
+    __slots__ = ("_values",)
+
+    def __init__(self, values) -> None:
+        matrix = np.asarray(values, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValidationError(
+                f"bandwidth matrix must be square, got shape {matrix.shape}"
+            )
+        if matrix.shape[0] == 0:
+            raise ValidationError("bandwidth matrix must be non-empty")
+        matrix = matrix.copy()
+        np.fill_diagonal(matrix, np.inf)
+        off = ~np.eye(matrix.shape[0], dtype=bool)
+        if not np.all(np.isfinite(matrix[off])):
+            raise ValidationError(
+                "bandwidth matrix must be finite off the diagonal"
+            )
+        if np.any(matrix[off] <= 0):
+            raise ValidationError(
+                "bandwidth matrix must be positive off the diagonal"
+            )
+        check_symmetric(np.where(off, matrix, 0.0), "bandwidth matrix")
+        matrix.flags.writeable = False
+        self._values = matrix
+
+    @property
+    def size(self) -> int:
+        """Number of nodes ``n``."""
+        return self._values.shape[0]
+
+    @property
+    def nodes(self) -> range:
+        """The node ids ``range(n)``."""
+        return range(self.size)
+
+    @property
+    def values(self) -> np.ndarray:
+        """The underlying read-only ``(n, n)`` array (diagonal ``inf``)."""
+        return self._values
+
+    def __len__(self) -> int:
+        return self.size
+
+    def bandwidth(self, u: int, v: int) -> float:
+        """Bandwidth between *u* and *v* (``inf`` when ``u == v``)."""
+        u = check_node_id(u, self.size, "u")
+        v = check_node_id(v, self.size, "v")
+        return float(self._values[u, v])
+
+    def __call__(self, u: int, v: int) -> float:
+        """Alias for :meth:`bandwidth`."""
+        return self.bandwidth(u, v)
+
+    def restrict(self, nodes: Sequence[int]) -> "BandwidthMatrix":
+        """The sub-matrix induced by *nodes* (re-indexed ``0..len-1``)."""
+        index = unique_nodes(nodes, "nodes")
+        if not index:
+            raise ValidationError("nodes must be non-empty")
+        for node in index:
+            check_node_id(node, self.size, "node")
+        selector = np.asarray(index, dtype=np.intp)
+        return BandwidthMatrix(self._values[np.ix_(selector, selector)])
+
+    def to_distance_matrix(
+        self, transform: RationalTransform | None = None
+    ) -> DistanceMatrix:
+        """Convert to a :class:`DistanceMatrix` via the rational transform."""
+        transform = transform or RationalTransform()
+        finite = np.where(np.isfinite(self._values), self._values, 1.0)
+        np.fill_diagonal(finite, 1.0)
+        return DistanceMatrix(transform.distance_matrix(finite))
+
+    def upper_triangle(self) -> np.ndarray:
+        """The off-diagonal bandwidth values as a flat array."""
+        iu, iv = np.triu_indices(self.size, k=1)
+        return self._values[iu, iv]
+
+    def percentile(self, q: float) -> float:
+        """The *q*-th percentile of off-diagonal bandwidth values.
+
+        The paper picks query constraints b between the 20th and 80th
+        percentiles of the dataset (Sec. IV-A).
+        """
+        return float(np.percentile(self.upper_triangle(), q))
+
+    def __repr__(self) -> str:
+        tri = self.upper_triangle()
+        return (
+            f"BandwidthMatrix(n={self.size}, "
+            f"median={float(np.median(tri)):.4g} Mbps)"
+        )

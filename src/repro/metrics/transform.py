@@ -1,0 +1,187 @@
+"""Bandwidth <-> distance transforms (Sec. II-B of the paper).
+
+Bandwidth is a "bigger is better" quantity while metric distances are
+"smaller is closer", so the paper maps bandwidth into a metric with the
+*rational transform*
+
+    d(u, v) = C / BW(u, v)
+
+where ``C`` is a positive constant.  The inverse recovers predicted
+bandwidth from embedded distances: ``BW_T(u, v) = C / d_T(u, v)``.
+
+The *linear transform* ``d(u, v) = C - BW(u, v)`` is also provided because
+Sec. V discusses (and dismisses) it: Vivaldi embeds bandwidth poorly under
+the linear transform, which motivated the rational transform for the
+Euclidean comparison model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import (
+    as_square_matrix,
+    check_positive,
+    check_symmetric,
+)
+from repro.exceptions import ValidationError
+
+__all__ = [
+    "RationalTransform",
+    "LinearTransform",
+    "symmetrize_average",
+    "DEFAULT_C",
+]
+
+#: Default transform constant.  The paper's Fig. 1 example uses C = 100 with
+#: bandwidth in Mbps; any positive value works because the transform is a
+#: similarity of the metric.
+DEFAULT_C: float = 100.0
+
+
+@dataclass(frozen=True)
+class RationalTransform:
+    """The rational transform ``d = C / BW`` and its inverse.
+
+    Parameters
+    ----------
+    c:
+        The positive constant ``C``.  Distances scale linearly with ``C``
+        so the choice only changes units, never orderings.
+
+    Examples
+    --------
+    >>> transform = RationalTransform(c=100.0)
+    >>> transform.to_distance(50.0)
+    2.0
+    >>> transform.to_bandwidth(2.0)
+    50.0
+    """
+
+    c: float = DEFAULT_C
+
+    def __post_init__(self) -> None:
+        check_positive(self.c, "c")
+
+    def to_distance(self, bandwidth):
+        """Map bandwidth value(s) to distance(s): ``d = C / BW``.
+
+        ``BW = inf`` maps to distance 0 (a node to itself); ``BW = 0`` maps
+        to distance ``inf`` (an unreachable pair).  Accepts scalars or
+        arrays.
+        """
+        bandwidth = np.asarray(bandwidth, dtype=np.float64)
+        if np.any(bandwidth < 0):
+            raise ValidationError("bandwidth must be non-negative")
+        with np.errstate(divide="ignore"):
+            distance = self.c / bandwidth
+        if distance.ndim == 0:
+            return float(distance)
+        return distance
+
+    def to_bandwidth(self, distance):
+        """Map distance value(s) back to bandwidth(s): ``BW = C / d``."""
+        distance = np.asarray(distance, dtype=np.float64)
+        if np.any(distance < 0):
+            raise ValidationError("distance must be non-negative")
+        with np.errstate(divide="ignore"):
+            bandwidth = self.c / distance
+        if bandwidth.ndim == 0:
+            return float(bandwidth)
+        return bandwidth
+
+    def distance_matrix(self, bandwidth_matrix) -> np.ndarray:
+        """Convert a symmetric bandwidth matrix to a distance matrix.
+
+        The diagonal is forced to zero, matching the paper's convention
+        ``BW(u, u) = inf`` so that ``d(u, u) = 0``.
+        """
+        matrix = as_square_matrix(bandwidth_matrix, "bandwidth_matrix")
+        check_symmetric(matrix, "bandwidth_matrix")
+        off_diagonal = ~np.eye(matrix.shape[0], dtype=bool)
+        if np.any(matrix[off_diagonal] <= 0):
+            raise ValidationError(
+                "bandwidth_matrix must be positive off the diagonal"
+            )
+        distances = np.zeros_like(matrix)
+        distances[off_diagonal] = self.c / matrix[off_diagonal]
+        return distances
+
+    def bandwidth_matrix(self, distance_matrix) -> np.ndarray:
+        """Convert a distance matrix to bandwidth; diagonal becomes inf."""
+        matrix = as_square_matrix(distance_matrix, "distance_matrix")
+        check_symmetric(matrix, "distance_matrix")
+        with np.errstate(divide="ignore"):
+            bandwidth = self.c / matrix
+        np.fill_diagonal(bandwidth, np.inf)
+        return bandwidth
+
+    def distance_constraint(self, b: float) -> float:
+        """Convert a bandwidth constraint ``b`` to the distance constraint
+        ``l = C / b`` (Sec. III intro)."""
+        check_positive(b, "b")
+        return self.c / b
+
+    def bandwidth_constraint(self, l: float) -> float:
+        """Convert a distance constraint ``l`` back to ``b = C / l``."""
+        check_positive(l, "l")
+        return self.c / l
+
+
+@dataclass(frozen=True)
+class LinearTransform:
+    """The linear transform ``d = C - BW`` (related work, Sec. V).
+
+    Included for completeness and for the ablation benchmark comparing
+    Vivaldi embedding accuracy under the two transforms.  ``C`` must
+    exceed the largest bandwidth or the transform produces negative
+    distances, which :meth:`to_distance` rejects.
+    """
+
+    c: float
+
+    def __post_init__(self) -> None:
+        check_positive(self.c, "c")
+
+    def to_distance(self, bandwidth):
+        """Map bandwidth to distance: ``d = C - BW`` (must stay >= 0)."""
+        bandwidth = np.asarray(bandwidth, dtype=np.float64)
+        distance = self.c - bandwidth
+        if np.any(distance[np.isfinite(distance)] < 0):
+            raise ValidationError(
+                f"bandwidth exceeds C={self.c}; linear transform would be "
+                "negative"
+            )
+        if distance.ndim == 0:
+            return float(distance)
+        return distance
+
+    def to_bandwidth(self, distance):
+        """Map distance back to bandwidth: ``BW = C - d``."""
+        distance = np.asarray(distance, dtype=np.float64)
+        bandwidth = self.c - distance
+        if bandwidth.ndim == 0:
+            return float(bandwidth)
+        return bandwidth
+
+    def distance_matrix(self, bandwidth_matrix) -> np.ndarray:
+        """Convert a symmetric bandwidth matrix to linear distances."""
+        matrix = as_square_matrix(bandwidth_matrix, "bandwidth_matrix")
+        check_symmetric(matrix, "bandwidth_matrix")
+        distances = np.asarray(self.to_distance(matrix))
+        np.fill_diagonal(distances, 0.0)
+        return distances
+
+
+def symmetrize_average(matrix) -> np.ndarray:
+    """Symmetrize an asymmetric bandwidth matrix by averaging directions.
+
+    The paper preprocesses both PlanetLab datasets this way: both
+    ``BW(u, v)`` and ``BW(v, u)`` are replaced by the mean of the forward
+    and reverse measurements (Sec. II-B and Sec. IV).
+    """
+    raw = as_square_matrix(matrix, "matrix")
+    symmetric = (raw + raw.T) / 2.0
+    return symmetric

@@ -1,0 +1,59 @@
+"""Decentralized bandwidth-prediction substrate (Sec. II-D of the paper).
+
+This package implements the prior-work framework the clustering system
+runs on:
+
+* :mod:`repro.predtree.tree` — the *prediction tree*: an edge-weighted
+  tree whose leaves are hosts and whose edges carry the host that created
+  them (edge ownership drives the anchor relation).
+* :mod:`repro.predtree.anchor` — the *anchor tree*: the rooted, unweighted
+  overlay induced by anchor relationships; it is both the gossip overlay
+  for the clustering algorithms and the search structure used to add new
+  hosts with few measurements.
+* :mod:`repro.predtree.labels` — *distance labels*: the per-host path
+  summaries that let any two hosts compute their predicted distance with
+  purely local information (the tree-metric analogue of Vivaldi
+  coordinates).
+* :mod:`repro.predtree.construction` — node-addition logic (base node,
+  Gromov-product end-node search, inner-node placement).
+* :mod:`repro.predtree.framework` — the user-facing
+  :class:`~repro.predtree.framework.BandwidthPredictionFramework`.
+"""
+
+from repro.predtree.anchor import AnchorTree
+from repro.predtree.construction import (
+    EndNodeSearch,
+    Placement,
+    plan_placement,
+)
+from repro.predtree.framework import (
+    BandwidthPredictionFramework,
+    FrameworkStats,
+    build_framework,
+)
+from repro.predtree.labels import DistanceLabel, LabelEntry, label_distance
+from repro.predtree.snapshot import (
+    framework_from_dict,
+    framework_to_dict,
+    load_framework,
+    save_framework,
+)
+from repro.predtree.tree import PredictionTree
+
+__all__ = [
+    "AnchorTree",
+    "BandwidthPredictionFramework",
+    "DistanceLabel",
+    "EndNodeSearch",
+    "FrameworkStats",
+    "LabelEntry",
+    "Placement",
+    "PredictionTree",
+    "build_framework",
+    "framework_from_dict",
+    "framework_to_dict",
+    "label_distance",
+    "load_framework",
+    "plan_placement",
+    "save_framework",
+]

@@ -1,0 +1,229 @@
+"""The anchor tree: the rooted overlay of the prediction framework.
+
+The anchor tree is unweighted and contains every host.  The first host is
+the root; every later host is a child of its *anchor* (Sec. II-D).  Its
+edges define the overlay neighbors each node gossips with in
+Algorithms 2 and 3, and routing in Algorithm 4 travels along them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterator
+
+from repro.exceptions import TreeConstructionError, UnknownNodeError
+
+__all__ = ["AnchorTree"]
+
+
+class AnchorTree:
+    """A rooted, unweighted tree over host ids."""
+
+    def __init__(self) -> None:
+        self._parent: dict[int, int | None] = {}
+        self._children: dict[int, list[int]] = {}
+        self._root: int | None = None
+
+    # -- construction ------------------------------------------------------
+
+    def add_root(self, host: int) -> None:
+        """Install *host* as the root (must be the first host)."""
+        if self._root is not None:
+            raise TreeConstructionError("anchor tree already has a root")
+        self._root = host
+        self._parent[host] = None
+        self._children[host] = []
+
+    def add_child(self, host: int, anchor: int) -> None:
+        """Add *host* as a child of its *anchor*."""
+        if host in self._parent:
+            raise TreeConstructionError(f"host {host!r} already present")
+        if anchor not in self._parent:
+            raise UnknownNodeError(f"unknown anchor {anchor!r}")
+        self._parent[host] = anchor
+        self._children[host] = []
+        self._children[anchor].append(host)
+
+    def remove_leaf(self, host: int) -> None:
+        """Remove a childless non-root host (departure support)."""
+        if host not in self._parent:
+            raise UnknownNodeError(f"unknown host {host!r}")
+        if self._children[host]:
+            raise TreeConstructionError(
+                f"host {host!r} still has anchor children"
+            )
+        parent = self._parent.pop(host)
+        del self._children[host]
+        if parent is None:
+            if self._parent:
+                # Guard against corrupting a populated tree.
+                self._parent[host] = None
+                self._children[host] = []
+                raise TreeConstructionError(
+                    "cannot remove the root while other hosts remain"
+                )
+            self._root = None
+            return
+        self._children[parent].remove(host)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def root(self) -> int:
+        """The root host id."""
+        if self._root is None:
+            raise TreeConstructionError("anchor tree is empty")
+        return self._root
+
+    @property
+    def size(self) -> int:
+        """Number of hosts."""
+        return len(self._parent)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __contains__(self, host: int) -> bool:
+        return host in self._parent
+
+    def hosts(self) -> Iterator[int]:
+        """Iterate host ids in insertion order."""
+        return iter(self._parent)
+
+    def parent(self, host: int) -> int | None:
+        """The parent (anchor) of *host*; ``None`` for the root."""
+        try:
+            return self._parent[host]
+        except KeyError:
+            raise UnknownNodeError(f"unknown host {host!r}") from None
+
+    def children(self, host: int) -> list[int]:
+        """The children of *host* in insertion order."""
+        try:
+            return list(self._children[host])
+        except KeyError:
+            raise UnknownNodeError(f"unknown host {host!r}") from None
+
+    def neighbors(self, host: int) -> list[int]:
+        """Overlay neighbors: parent (if any) plus children.
+
+        These are the nodes a host exchanges the periodic Algorithm 2/3
+        messages with, and the only hops Algorithm 4 may forward along.
+        """
+        parent = self.parent(host)
+        result = [] if parent is None else [parent]
+        result.extend(self._children[host])
+        return result
+
+    def degree(self, host: int) -> int:
+        """Number of overlay neighbors of *host*."""
+        return len(self.neighbors(host))
+
+    def max_degree(self) -> int:
+        """``max{n_neigh}`` over all hosts (Sec. IV-B uses this bound)."""
+        return max(self.degree(host) for host in self._parent)
+
+    def depth(self, host: int) -> int:
+        """Edge distance from the root to *host*."""
+        depth = 0
+        current = self.parent(host)
+        while current is not None:
+            depth += 1
+            current = self._parent[current]
+        return depth
+
+    def height(self) -> int:
+        """Maximum depth over all hosts."""
+        return max(self.depth(host) for host in self._parent)
+
+    def diameter(self) -> int:
+        """Longest hop path between any two hosts (two-BFS algorithm)."""
+        if self.size <= 1:
+            return 0
+        far, _ = self._farthest_from(self.root)
+        _, distance = self._farthest_from(far)
+        return distance
+
+    def _farthest_from(self, start: int) -> tuple[int, int]:
+        seen = {start: 0}
+        queue = deque([start])
+        farthest, best = start, 0
+        while queue:
+            current = queue.popleft()
+            for neighbor in self.neighbors(current):
+                if neighbor not in seen:
+                    seen[neighbor] = seen[current] + 1
+                    if seen[neighbor] > best:
+                        farthest, best = neighbor, seen[neighbor]
+                    queue.append(neighbor)
+        return farthest, best
+
+    def reachable_via(self, x: int, m: int) -> set[int]:
+        """All hosts reachable from *x* via neighbor *m* (excluding *x*).
+
+        This is the set ``U`` of Theorems 3.2/3.3: remove the edge
+        ``(x, m)`` and take *m*'s component.  Used by the aggregation
+        oracle and the correctness tests.
+        """
+        if m not in self.neighbors(x):
+            raise UnknownNodeError(f"{m!r} is not a neighbor of {x!r}")
+        component = {m}
+        queue = deque([m])
+        while queue:
+            current = queue.popleft()
+            for neighbor in self.neighbors(current):
+                if neighbor != x and neighbor not in component:
+                    component.add(neighbor)
+                    queue.append(neighbor)
+        return component
+
+    def subtree(self, host: int) -> set[int]:
+        """*host* plus all of its descendants."""
+        result = {host}
+        queue = deque([host])
+        while queue:
+            current = queue.popleft()
+            for child in self._children[current]:
+                if child not in result:
+                    result.add(child)
+                    queue.append(child)
+        return result
+
+    def bfs_order(self) -> list[int]:
+        """Hosts in breadth-first order from the root."""
+        order: list[int] = []
+        queue = deque([self.root])
+        seen = {self.root}
+        while queue:
+            current = queue.popleft()
+            order.append(current)
+            for child in self._children[current]:
+                if child not in seen:
+                    seen.add(child)
+                    queue.append(child)
+        return order
+
+    def check_invariants(self) -> None:
+        """Raise on structural corruption (orphan children, bad parents)."""
+        if self._root is None:
+            if self._parent:
+                raise TreeConstructionError("hosts present but no root")
+            return
+        for host, parent in self._parent.items():
+            if parent is None:
+                if host != self._root:
+                    raise TreeConstructionError(
+                        f"non-root host {host!r} has no parent"
+                    )
+            elif host not in self._children[parent]:
+                raise TreeConstructionError(
+                    f"host {host!r} missing from parent's child list"
+                )
+        reachable = self.subtree(self._root)
+        if len(reachable) != self.size:
+            raise TreeConstructionError("anchor tree is disconnected")
+
+    def __repr__(self) -> str:
+        if self._root is None:
+            return "AnchorTree(empty)"
+        return f"AnchorTree(size={self.size}, root={self._root})"

@@ -1,0 +1,340 @@
+"""Node-addition policy for the prediction tree (Sec. II-D).
+
+Adding host ``x`` requires three decisions:
+
+1. a **base node** ``z`` — "any leaf node"; we default to the root host
+   so every join measures against a stable point, with a randomized
+   option for experiments;
+2. an **end node** ``y`` maximizing the Gromov product ``(x|y)_z`` —
+   either by exhaustively measuring every existing host (the centralized
+   Sequoia variant) or by descending the anchor tree so only
+   ``O(depth x branching)`` measurements are needed (the decentralized
+   framework of the authors' prior work);
+3. the **placement**: ``x``'s inner node ``t_x`` goes on the tree path
+   ``z ~ y`` at distance ``(x|y)_z`` from ``z``, and the leaf edge
+   ``(t_x, x)`` gets weight ``(y|z)_x``.
+
+The Gromov products mix one predicted quantity — ``d_T(z, y)``, already
+known to the overlay without a measurement — with the two fresh
+measurements ``d(x, z)`` and ``d(x, y)``.  This keeps ``d_T(x, z)`` and
+``d_T(x, y)`` exact by construction and, on a perfect tree metric, makes
+the whole embedding exact.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import TreeConstructionError
+from repro.predtree.anchor import AnchorTree
+from repro.predtree.tree import PredictionTree
+
+__all__ = ["EndNodeSearch", "Placement", "plan_placement", "find_end_node"]
+
+#: ``measure(host)`` returns the fresh measured distance d(x, host).
+MeasureFn = Callable[[int], float]
+
+
+class EndNodeSearch(enum.Enum):
+    """Strategy for finding the Gromov-product-maximizing end node."""
+
+    #: Measure x against every existing host (O(n) measurements/join).
+    EXHAUSTIVE = "exhaustive"
+    #: Greedy descent of the anchor tree (O(depth x branching)
+    #: measurements/join) — the decentralized framework's strategy.
+    ANCHOR_DESCENT = "anchor_descent"
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where a new host attaches to the prediction tree.
+
+    Attributes
+    ----------
+    base:
+        The base host ``z``.
+    end:
+        The end host ``y`` (Gromov-product maximizer).
+    gromov_to_end:
+        ``(x|y)_z`` — distance from ``z`` along the path to ``y`` where
+        the inner node ``t_x`` is placed (clamped by the tree if it falls
+        outside the path).
+    leaf_weight:
+        ``(y|z)_x`` — the weight of the new leaf edge ``(t_x, x)``.
+    measurements:
+        Number of fresh distance measurements the search consumed.
+    """
+
+    base: int
+    end: int
+    gromov_to_end: float
+    leaf_weight: float
+    measurements: int
+
+
+def plan_placement(
+    tree: PredictionTree,
+    anchor: AnchorTree,
+    base: int,
+    measure: MeasureFn,
+    search: EndNodeSearch = EndNodeSearch.ANCHOR_DESCENT,
+    fit: str = "robust",
+) -> Placement:
+    """Plan where to attach a new host with base node *base*.
+
+    *measure* provides fresh measured distances from the joining host to
+    existing hosts; predicted distances between existing hosts come from
+    the tree (no measurement cost).
+
+    ``fit`` selects how the two placement parameters (the inner-node
+    offset ``g`` and the leaf weight ``w``) are derived:
+
+    * ``"exact"`` — the textbook rule: satisfy the two fresh
+      measurements ``d(x, z)`` and ``d(x, y)`` exactly.  Optimal on
+      noiseless tree metrics, but a single corrupted measurement then
+      poisons every prediction involving the new subtree.
+    * ``"robust"`` (default) — an L1 regression of ``(g, w)`` against
+      *every* measurement the end-node search already collected
+      (typically 10-30 hosts, at zero extra measurement cost).  A lone
+      noisy probe gets outvoted, which removes the join-order variance
+      that single-pair fitting exhibits on noisy data; the exact-fit
+      candidate is always included, so on a perfect tree metric the
+      robust fit coincides with the exact one (property-tested).  This
+      plays the role of the accuracy heuristics the authors' prediction
+      framework papers allude to.
+    """
+    if tree.host_count < 2:
+        raise TreeConstructionError(
+            "placement planning requires at least two hosts in the tree"
+        )
+    if not tree.has_host(base):
+        raise TreeConstructionError(f"base host {base!r} not in tree")
+    if fit not in ("exact", "robust"):
+        raise TreeConstructionError(
+            f"fit must be 'exact' or 'robust', got {fit!r}"
+        )
+
+    measured: dict[int, float] = {}
+
+    def caching_measure(host: int) -> float:
+        if host not in measured:
+            measured[host] = measure(host)
+        return measured[host]
+
+    d_xz = caching_measure(base)
+
+    if search is EndNodeSearch.EXHAUSTIVE:
+        end, d_xy, _ = _search_exhaustive(
+            tree, base, d_xz, caching_measure
+        )
+    elif search is EndNodeSearch.ANCHOR_DESCENT:
+        end, d_xy, _ = _search_anchor_descent(
+            tree, anchor, base, d_xz, caching_measure
+        )
+    else:  # pragma: no cover - enum is exhaustive
+        raise TreeConstructionError(f"unknown search mode {search!r}")
+
+    d_t_zy = tree.distance(base, end)
+    exact_g = (d_xz + d_t_zy - d_xy) / 2.0
+    exact_w = max(0.0, (d_xz + d_xy - d_t_zy) / 2.0)
+    if fit == "exact" or len(measured) <= 2:
+        gromov_to_end, leaf_weight = exact_g, exact_w
+    else:
+        gromov_to_end, leaf_weight = _fit_placement_l1(
+            tree, base, end, measured, exact_g, exact_w
+        )
+    return Placement(
+        base=base,
+        end=end,
+        gromov_to_end=gromov_to_end,
+        leaf_weight=leaf_weight,
+        measurements=len(measured),
+    )
+
+
+def _fit_placement_l1(
+    tree: PredictionTree,
+    base: int,
+    end: int,
+    measured: dict[int, float],
+    exact_g: float,
+    exact_w: float,
+) -> tuple[float, float]:
+    """L1-fit ``(g, w)`` against all measured hosts.
+
+    For a measured host ``c``, the predicted distance of the new leaf
+    placed at offset ``g`` on the path ``base ~ end`` with leaf weight
+    ``w`` is ``w + |g - p_c| + h_c``, where ``p_c`` is ``c``'s
+    projection onto the path and ``h_c`` its distance to it (both from
+    the existing tree).  The cost is piecewise linear in ``g``, so the
+    optimum lies on a breakpoint: the projections, the path endpoints,
+    or the exact-Gromov candidate (kept so noiseless inputs reproduce
+    the exact fit; ties also resolve toward it).
+    """
+    base_distances = tree.distances_from(base)
+    end_distances = tree.distances_from(end)
+    path_length = base_distances[end]
+    hosts = list(measured)
+    projections = np.clip(
+        np.array(
+            [
+                (base_distances[c] + path_length - end_distances[c]) / 2.0
+                for c in hosts
+            ]
+        ),
+        0.0,
+        path_length,
+    )
+    heights = np.maximum(
+        np.array(
+            [
+                base_distances[c] - p
+                for c, p in zip(hosts, projections)
+            ]
+        ),
+        0.0,
+    )
+    targets = np.array([measured[c] for c in hosts])
+
+    clamped_exact_g = min(max(exact_g, 0.0), path_length)
+    candidates = set(projections.tolist())
+    candidates.update((0.0, path_length, clamped_exact_g))
+    best_cost = float("inf")
+    best: tuple[float, float] = (clamped_exact_g, exact_w)
+    for g in sorted(candidates):
+        spans = np.abs(g - projections) + heights
+        # Floor the leaf weight at a small positive value: a zero
+        # weight can make two distinct hosts coincide in the tree
+        # (infinite predicted bandwidth), which no real pair has.
+        w = max(1e-6, float(np.median(targets - spans)))
+        cost = float(np.abs(targets - (w + spans)).sum())
+        better = cost < best_cost - 1e-12
+        tied = abs(cost - best_cost) <= 1e-12 and (
+            abs(g - clamped_exact_g) < abs(best[0] - clamped_exact_g)
+        )
+        if better or tied:
+            best_cost = cost
+            best = (float(g), w)
+    return best
+
+
+def find_end_node(
+    tree: PredictionTree,
+    anchor: AnchorTree,
+    base: int,
+    d_xz: float,
+    measure: MeasureFn,
+    search: EndNodeSearch,
+) -> tuple[int, float, int]:
+    """Return ``(end host, measured d(x, end), measurements used)``."""
+    if search is EndNodeSearch.EXHAUSTIVE:
+        return _search_exhaustive(tree, base, d_xz, measure)
+    return _search_anchor_descent(tree, anchor, base, d_xz, measure)
+
+
+def _gromov(d_xz: float, d_t_zc: float, d_xc: float) -> float:
+    """``(x|c)_z`` with the mixed measured/predicted distances."""
+    return (d_xz + d_t_zc - d_xc) / 2.0
+
+
+def _search_exhaustive(
+    tree: PredictionTree,
+    base: int,
+    d_xz: float,
+    measure: MeasureFn,
+) -> tuple[int, float, int]:
+    """Measure against every host; ties break toward the smaller id."""
+    base_distances = tree.distances_from(base)
+    best_host: int | None = None
+    best_product = -float("inf")
+    best_d_xc = 0.0
+    measurements = 0
+    for host in sorted(h for h in tree.hosts if h != base):
+        d_xc = measure(host)
+        measurements += 1
+        product = _gromov(d_xz, base_distances[host], d_xc)
+        if product > best_product:
+            best_host, best_product, best_d_xc = host, product, d_xc
+    if best_host is None:  # pragma: no cover - guarded by caller
+        raise TreeConstructionError("no end-node candidates")
+    return best_host, best_d_xc, measurements
+
+
+def _search_anchor_descent(
+    tree: PredictionTree,
+    anchor: AnchorTree,
+    base: int,
+    d_xz: float,
+    measure: MeasureFn,
+    plateau_tolerance: float = 1e-9,
+) -> tuple[int, float, int]:
+    """Plateau-following descent of the anchor tree.
+
+    At each step the current host's children are measured and the walk
+    moves to the best-scoring child as long as its Gromov product is not
+    strictly worse than the current host's (within *plateau_tolerance*).
+    Following plateaus matters: in a tree metric the product stays
+    constant along every chain whose paths share the new host's
+    attachment point and only drops after diverging, so a strict-improve
+    walk would stall before the maximizer.  The best host evaluated
+    anywhere along the walk is returned.
+
+    On the bottleneck network models of [20] (access-link and
+    hierarchical-capacity ultrametrics — the structures the evaluation
+    datasets are built from) the walk provably reaches a global
+    maximizer, which the property tests assert.  On general *additive*
+    tree metrics a sibling branch can out-score the branch holding the
+    true maximizer, so the walk is a heuristic there (use
+    :attr:`EndNodeSearch.EXHAUSTIVE` when exactness matters more than
+    the O(depth x branching) measurement cost).
+    """
+    base_distances = tree.distances_from(base)
+    measured: dict[int, float] = {}
+
+    def measured_distance(host: int) -> float:
+        if host not in measured:
+            measured[host] = measure(host)
+        return measured[host]
+
+    def score(host: int) -> float:
+        return _gromov(d_xz, base_distances[host], measured_distance(host))
+
+    best_host: int | None = None
+    best_score = -float("inf")
+
+    def consider(host: int) -> None:
+        nonlocal best_host, best_score
+        if host == base:
+            return
+        value = score(host)
+        if value > best_score + plateau_tolerance or (
+            best_host is not None
+            and abs(value - best_score) <= plateau_tolerance
+            and host < best_host
+        ):
+            best_host, best_score = host, value
+
+    current = anchor.root
+    consider(current)
+    while True:
+        children = [c for c in anchor.children(current) if c != base]
+        if not children:
+            break
+        next_host = max(children, key=lambda c: (score(c), -c))
+        consider(next_host)
+        if current == base or (
+            score(next_host) >= score(current) - plateau_tolerance
+        ):
+            current = next_host
+        else:
+            break
+
+    if best_host is None:
+        # Degenerate: everything except the base hangs below it.
+        candidates = [h for h in tree.hosts if h != base]
+        best_host = min(candidates)
+    return best_host, measured_distance(best_host), len(measured)

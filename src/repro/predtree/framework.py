@@ -1,0 +1,414 @@
+"""The decentralized bandwidth-prediction framework (Sec. II-D).
+
+:class:`BandwidthPredictionFramework` is the substrate every clustering
+experiment runs on.  It owns the prediction tree, the anchor tree, and
+the per-host distance labels, and exposes:
+
+* ``predicted_distance`` / ``predicted_bandwidth`` — the ``d_T`` /
+  ``BW_T`` estimates the clustering algorithms consume;
+* ``overlay_neighbors`` — the anchor-tree neighbors each node gossips
+  with in Algorithms 2-4;
+* measurement accounting — how many fresh end-to-end measurements the
+  construction consumed (the framework's whole point is avoiding
+  ``n-to-n`` measurement).
+
+Ground-truth bandwidth comes from a :class:`~repro.metrics.BandwidthMatrix`
+standing in for live ``pathChirp`` probes: calling ``measure`` on a pair
+reads the matrix and counts one measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro._validation import as_rng
+from repro.exceptions import TreeConstructionError, UnknownNodeError
+from repro.metrics.metric import BandwidthMatrix, DistanceMatrix
+from repro.metrics.transform import RationalTransform
+from repro.predtree.anchor import AnchorTree
+from repro.predtree.construction import EndNodeSearch, plan_placement
+from repro.predtree.labels import DistanceLabel, LabelEntry, label_distance
+from repro.predtree.tree import PredictionTree
+
+__all__ = [
+    "BandwidthPredictionFramework",
+    "FrameworkStats",
+    "build_framework",
+]
+
+
+@dataclass(frozen=True)
+class FrameworkStats:
+    """Construction statistics of one framework instance.
+
+    Attributes
+    ----------
+    host_count:
+        Number of hosts embedded.
+    measurements:
+        Fresh pairwise measurements consumed during construction (the
+        paper's framework exists to keep this far below ``n*(n-1)/2``).
+    anchor_height:
+        Height of the anchor tree (bounds gossip convergence time).
+    anchor_max_degree:
+        ``max{n_neigh}`` — caps what a decentralized query can ever see
+        (Sec. IV-B: ``k <= n_cut * max{n_neigh}``).
+    tree_vertices:
+        Total prediction-tree vertices (hosts plus inner points).
+    """
+
+    host_count: int
+    measurements: int
+    anchor_height: int
+    anchor_max_degree: int
+    tree_vertices: int
+
+
+class BandwidthPredictionFramework:
+    """Prediction tree + anchor tree + labels over a set of hosts.
+
+    Parameters
+    ----------
+    bandwidth:
+        Ground-truth symmetric bandwidth matrix; reads of it model live
+        measurements.
+    transform:
+        The rational transform mapping bandwidth to metric distance.
+    search:
+        End-node search strategy (anchor descent by default — the
+        decentralized behaviour).
+    join_order:
+        Order in which hosts join.  ``None`` joins ``0..n-1`` shuffled by
+        *seed* (each paper experiment round builds a framework with a
+        fresh random seed).
+    seed:
+        Seed for the join-order shuffle (ignored when *join_order* given).
+    fit:
+        Placement fitting mode, ``"robust"`` (default) or ``"exact"``
+        (see :func:`repro.predtree.construction.plan_placement`).
+    """
+
+    def __init__(
+        self,
+        bandwidth: BandwidthMatrix,
+        transform: RationalTransform | None = None,
+        search: EndNodeSearch = EndNodeSearch.ANCHOR_DESCENT,
+        join_order: list[int] | None = None,
+        seed: int | np.random.Generator | None = 0,
+        fit: str = "robust",
+    ) -> None:
+        self._bandwidth = bandwidth
+        self._transform = transform or RationalTransform()
+        self._search = search
+        self._fit = fit
+        self._tree = PredictionTree()
+        self._anchor = AnchorTree()
+        self._labels: dict[int, DistanceLabel] = {}
+        self._measurements = 0
+        self._distance_cache: np.ndarray | None = None
+
+        if join_order is None:
+            rng = as_rng(seed)
+            join_order = list(rng.permutation(bandwidth.size))
+        for host in join_order:
+            self.add_host(int(host))
+
+    @classmethod
+    def from_components(
+        cls,
+        bandwidth: BandwidthMatrix,
+        tree: PredictionTree,
+        anchor: AnchorTree,
+        transform: RationalTransform | None = None,
+        search: EndNodeSearch = EndNodeSearch.ANCHOR_DESCENT,
+        measurements: int = 0,
+    ) -> "BandwidthPredictionFramework":
+        """Assemble a framework around pre-built structures.
+
+        Used by snapshot restore: labels are *re-derived* from the tree
+        and anchor geometry (they are pure functions of it), so a
+        restored framework cannot carry label/tree inconsistencies.
+        """
+        self = cls.__new__(cls)
+        self._bandwidth = bandwidth
+        self._transform = transform or RationalTransform()
+        self._search = search
+        self._fit = "robust"
+        self._tree = tree
+        self._anchor = anchor
+        self._labels = {}
+        self._measurements = measurements
+        self._distance_cache = None
+        if anchor.size:
+            for host in anchor.bfs_order():
+                parent = anchor.parent(host)
+                if parent is None:
+                    self._labels[host] = DistanceLabel(
+                        root=host, entries=()
+                    )
+                else:
+                    self._labels[host] = self._build_label(host, parent)
+        return self
+
+    # -- measurement model ----------------------------------------------------
+
+    def measure_distance(self, u: int, v: int) -> float:
+        """A fresh 'measurement' of d(u, v) (reads ground truth, counted)."""
+        self._measurements += 1
+        return self._transform.to_distance(self._bandwidth(u, v))
+
+    # -- membership -----------------------------------------------------------
+
+    def add_host(self, host: int) -> None:
+        """Embed *host* into the prediction tree and anchor tree."""
+        if self._tree.has_host(host):
+            raise TreeConstructionError(f"host {host!r} already joined")
+        self._distance_cache = None
+        if self._tree.host_count == 0:
+            self._tree.add_first_host(host)
+            self._anchor.add_root(host)
+            self._labels[host] = DistanceLabel(root=host, entries=())
+            return
+        if self._tree.host_count == 1:
+            root = self._anchor.root
+            distance = self.measure_distance(host, root)
+            self._tree.add_second_host(host, distance)
+            self._anchor.add_child(host, root)
+            self._labels[host] = DistanceLabel(
+                root=root,
+                entries=(LabelEntry(host=host, u=0.0, v=distance),),
+            )
+            return
+
+        placement = plan_placement(
+            tree=self._tree,
+            anchor=self._anchor,
+            base=self._anchor.root,
+            measure=lambda other: self.measure_distance(host, other),
+            search=self._search,
+            fit=self._fit,
+        )
+        # plan_placement already counted its measurements through
+        # measure_distance; nothing extra to add here.
+        anchor_host = self._tree.attach_host(
+            host=host,
+            base_host=placement.base,
+            end_host=placement.end,
+            gromov_to_end=placement.gromov_to_end,
+            leaf_weight=placement.leaf_weight,
+        )
+        self._anchor.add_child(host, anchor_host)
+        self._labels[host] = self._build_label(host, anchor_host)
+
+    def remove_host(self, host: int) -> list[int]:
+        """Handle the departure of *host* (dynamic membership).
+
+        The departing host's anchor descendants lose their path to the
+        root, so — as in a live overlay — they re-join through the
+        normal protocol with fresh measurements.  Descendants are
+        detached deepest-first, the departing host is excised, and the
+        displaced hosts re-join in their original relative order.
+
+        Returns the re-joined host ids.  The root can only be removed
+        when it is the last host (a real deployment would re-bootstrap).
+        """
+        if not self._tree.has_host(host):
+            raise UnknownNodeError(f"unknown host {host!r}")
+        self._distance_cache = None
+        if self._tree.host_count == 1:
+            self._tree.remove_leaf_host(host)
+            self._anchor.remove_leaf(host)
+            del self._labels[host]
+            return []
+        if self._anchor.root == host:
+            raise TreeConstructionError(
+                "cannot remove the anchor-tree root while other hosts "
+                "remain; the overlay would have to re-bootstrap"
+            )
+        # Detach the whole anchor subtree, deepest entries first, in a
+        # way that preserves the original relative join order for the
+        # re-join phase.
+        subtree = self._anchor.subtree(host)
+        join_order = [
+            h for h in self._tree.hosts
+            if h in subtree and h != host
+        ]
+        for departed in reversed(self._removal_order(host)):
+            self._tree.remove_leaf_host(departed)
+            self._anchor.remove_leaf(departed)
+            del self._labels[departed]
+        for rejoiner in join_order:
+            self.add_host(rejoiner)
+        return join_order
+
+    def _removal_order(self, host: int) -> list[int]:
+        """BFS order of *host*'s anchor subtree (host first)."""
+        order = [host]
+        index = 0
+        while index < len(order):
+            order.extend(self._anchor.children(order[index]))
+            index += 1
+        return order
+
+    def _build_label(self, host: int, anchor_host: int) -> DistanceLabel:
+        """Extend the anchor's label with this host's (u, v) geometry."""
+        anchor_label = self._labels[anchor_host]
+        anchor_vertex = self._tree.vertex_of_host(anchor_host)
+        inner_vertex = self._tree.inner_vertex_of(host)
+        u = self._tree.distance_between_vertices(anchor_vertex, inner_vertex)
+        # Leaf-path length, not a single edge weight: later arrivals may
+        # have split the host's leaf edge (relevant when labels are
+        # re-derived from a snapshot).
+        v = self._tree.distance_between_vertices(
+            inner_vertex, self._tree.vertex_of_host(host)
+        )
+        return DistanceLabel(
+            root=anchor_label.root,
+            entries=(
+                *anchor_label.entries,
+                LabelEntry(host=host, u=u, v=v),
+            ),
+        )
+
+    # -- prediction -----------------------------------------------------------
+
+    @property
+    def hosts(self) -> list[int]:
+        """Hosts in join order."""
+        return self._tree.hosts
+
+    @property
+    def size(self) -> int:
+        """Number of embedded hosts."""
+        return self._tree.host_count
+
+    @property
+    def tree(self) -> PredictionTree:
+        """The underlying prediction tree."""
+        return self._tree
+
+    @property
+    def anchor_tree(self) -> AnchorTree:
+        """The underlying anchor tree (the gossip overlay)."""
+        return self._anchor
+
+    @property
+    def transform(self) -> RationalTransform:
+        """The bandwidth <-> distance transform in use."""
+        return self._transform
+
+    @property
+    def bandwidth_matrix(self) -> BandwidthMatrix:
+        """The ground-truth bandwidth matrix (for evaluation only)."""
+        return self._bandwidth
+
+    def label_of(self, host: int) -> DistanceLabel:
+        """The distance label of *host*."""
+        try:
+            return self._labels[host]
+        except KeyError:
+            raise UnknownNodeError(f"unknown host {host!r}") from None
+
+    def predicted_distance(self, u: int, v: int) -> float:
+        """``d_T(u, v)`` computed from the two hosts' labels alone."""
+        return label_distance(self.label_of(u), self.label_of(v))
+
+    def predicted_bandwidth(self, u: int, v: int) -> float:
+        """``BW_T(u, v) = C / d_T(u, v)`` (``inf`` when ``u == v``).
+
+        Distinct hosts at (numerically) zero tree distance are floored
+        so predicted bandwidth stays finite.
+        """
+        if u == v:
+            return float("inf")
+        distance = max(self.predicted_distance(u, v), 1e-9)
+        return self._transform.to_bandwidth(distance)
+
+    #: Distance assigned to hosts not currently in the overlay when a
+    #: partial matrix is requested: far enough that no cluster of live
+    #: hosts ever admits a departed id (predicted bandwidth ~ 0).
+    _ABSENT_DISTANCE = 1e9
+
+    def predicted_distance_matrix(
+        self, allow_partial: bool = False
+    ) -> DistanceMatrix:
+        """Dense ``d_T`` over all dataset ids (0..n-1).
+
+        By default every dataset node must have joined (the evaluation
+        uses fully built frameworks).  With ``allow_partial=True`` —
+        used by search layers that must keep working across departures —
+        absent hosts get a huge sentinel distance to everyone, so no
+        clustering algorithm ever selects them.  Cached; membership
+        changes invalidate the cache.
+        """
+        if self._distance_cache is None:
+            n = self._bandwidth.size
+            if self._tree.host_count != n and not allow_partial:
+                raise TreeConstructionError(
+                    "predicted_distance_matrix needs all "
+                    f"{n} hosts joined, have {self._tree.host_count} "
+                    "(pass allow_partial=True to tolerate departures)"
+                )
+            present = [
+                host for host in range(n) if self._tree.has_host(host)
+            ]
+            matrix = np.full((n, n), self._ABSENT_DISTANCE)
+            if present:
+                sub = self._tree.distance_matrix(hosts=present)
+                index = np.asarray(present, dtype=np.intp)
+                matrix[np.ix_(index, index)] = sub
+            np.fill_diagonal(matrix, 0.0)
+            self._distance_cache = matrix
+        return DistanceMatrix(self._distance_cache)
+
+    def predicted_bandwidth_matrix(self) -> np.ndarray:
+        """Dense ``BW_T`` over all hosts (diagonal ``inf``).
+
+        Off-diagonal distances are floored at a tiny epsilon so the
+        result is finite even for (numerically) coincident hosts.
+        """
+        distances = np.maximum(
+            self.predicted_distance_matrix().values, 1e-9
+        )
+        bandwidth = self._transform.c / distances
+        np.fill_diagonal(bandwidth, np.inf)
+        return bandwidth
+
+    def overlay_neighbors(self, host: int) -> list[int]:
+        """Anchor-tree neighbors of *host* (gossip/routing neighbors)."""
+        return self._anchor.neighbors(host)
+
+    def stats(self) -> FrameworkStats:
+        """Construction statistics (see :class:`FrameworkStats`)."""
+        return FrameworkStats(
+            host_count=self._tree.host_count,
+            measurements=self._measurements,
+            anchor_height=self._anchor.height(),
+            anchor_max_degree=self._anchor.max_degree(),
+            tree_vertices=self._tree.vertex_count,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"BandwidthPredictionFramework(hosts={self.size}, "
+            f"measurements={self._measurements})"
+        )
+
+
+def build_framework(
+    bandwidth: BandwidthMatrix,
+    seed: int | np.random.Generator | None = 0,
+    search: EndNodeSearch = EndNodeSearch.ANCHOR_DESCENT,
+    transform: RationalTransform | None = None,
+    fit: str = "robust",
+) -> BandwidthPredictionFramework:
+    """Build a fully populated framework with a seeded random join order."""
+    return BandwidthPredictionFramework(
+        bandwidth=bandwidth,
+        transform=transform,
+        search=search,
+        seed=seed,
+        fit=fit,
+    )

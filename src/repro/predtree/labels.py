@@ -1,0 +1,144 @@
+"""Distance labels (Sec. II-D): per-host summaries of the prediction tree.
+
+A host ``x``'s *distance label* records the chain of anchors from the
+root of the anchor tree down to ``x``, together with the geometry of each
+step on the prediction tree:
+
+* ``u`` — the distance from the previous anchor to this host's inner node
+  (``d_T(a_prev, t_a)``), measured along the previous anchor's leaf path;
+* ``v`` — the length of this host's own leaf path (``d_T(t_a, a)``).
+
+A label is "equivalent to a partial prediction tree": two hosts can
+compute their exact predicted distance ``d_T`` from their labels alone
+(:func:`label_distance`), playing the role Vivaldi coordinates play in
+Euclidean systems — this is what makes the prediction framework
+decentralized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ValidationError
+
+__all__ = ["LabelEntry", "DistanceLabel", "label_distance"]
+
+
+@dataclass(frozen=True)
+class LabelEntry:
+    """One anchor-chain step of a distance label.
+
+    Attributes
+    ----------
+    host:
+        The host this step describes.
+    u:
+        ``d_T(previous anchor, t_host)`` — where this host's inner node
+        sits on the previous anchor's leaf path (0 means it coincides
+        with the previous anchor's own vertex... for the root, with the
+        root itself, as in the paper's ``d_T(a, t_b) = 0`` example).
+    v:
+        ``d_T(t_host, host)`` — the length of this host's leaf path.
+    """
+
+    host: int
+    u: float
+    v: float
+
+    def __post_init__(self) -> None:
+        if self.u < 0 or self.v < 0:
+            raise ValidationError("label segments must be non-negative")
+
+
+@dataclass(frozen=True)
+class DistanceLabel:
+    """The full label of one host: root id plus the anchor-chain entries.
+
+    The label of the root host has no entries.  For any other host the
+    last entry describes the host itself.
+    """
+
+    root: int
+    entries: tuple[LabelEntry, ...]
+
+    @property
+    def host(self) -> int:
+        """The host this label belongs to."""
+        if not self.entries:
+            return self.root
+        return self.entries[-1].host
+
+    @property
+    def chain(self) -> tuple[int, ...]:
+        """Anchor chain from the root down to (and including) the host."""
+        return (self.root, *(entry.host for entry in self.entries))
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def _descent(entries: tuple[LabelEntry, ...], start: int) -> float:
+    """Distance from ``t_{entries[start].host}`` down to the labeled host.
+
+    Follows the leaf paths: at each level the path runs from the inner
+    node toward the level's host until the next level's inner node
+    branches off (segment ``v_i - u_{i+1}``), and at the last level all
+    the way to the host (segment ``v_m``).
+    """
+    total = 0.0
+    for i in range(start, len(entries)):
+        if i + 1 < len(entries):
+            segment = entries[i].v - entries[i + 1].u
+            if segment < -1e-9:
+                raise ValidationError(
+                    "inconsistent label: inner node beyond leaf path "
+                    f"(v={entries[i].v}, next u={entries[i + 1].u})"
+                )
+            total += max(segment, 0.0)
+        else:
+            total += entries[i].v
+    return total
+
+
+def label_distance(a: DistanceLabel, b: DistanceLabel) -> float:
+    """Predicted distance ``d_T`` between two hosts from labels alone.
+
+    The labels must come from the same prediction tree (same root).
+    Matches :meth:`repro.predtree.tree.PredictionTree.distance` exactly —
+    a property the test suite asserts on randomly built trees.
+    """
+    if a.root != b.root:
+        raise ValidationError(
+            f"labels come from different trees (roots {a.root} != {b.root})"
+        )
+    if a.host == b.host:
+        return 0.0
+
+    # Longest common prefix of the anchor chains, counted in entries.
+    shared = 0
+    limit = min(len(a.entries), len(b.entries))
+    while (
+        shared < limit
+        and a.entries[shared].host == b.entries[shared].host
+    ):
+        shared += 1
+
+    a_has_more = shared < len(a.entries)
+    b_has_more = shared < len(b.entries)
+
+    if a_has_more and b_has_more:
+        # Chains diverge below a common anchor: both next inner nodes sit
+        # on that anchor's leaf path, at offsets u from the anchor.
+        ea, eb = a.entries[shared], b.entries[shared]
+        gap = abs(ea.u - eb.u)
+        return gap + _descent(a.entries, shared) + _descent(b.entries, shared)
+    if a_has_more:
+        # b is an ancestor anchor of a: climb b's leaf path to the branch.
+        ea = a.entries[shared]
+        return ea.u + _descent(a.entries, shared)
+    if b_has_more:
+        eb = b.entries[shared]
+        return eb.u + _descent(b.entries, shared)
+    raise ValidationError(
+        "labels with identical chains must describe the same host"
+    )

@@ -1,0 +1,151 @@
+"""Persistence of prediction-framework state.
+
+A deployed overlay accumulates state that is expensive to regenerate
+(the prediction tree encodes thousands of measurements).  This module
+serializes the tree + anchor structure to plain JSON and restores a
+fully working framework from it — labels are rebuilt from the
+structure, so the snapshot stays small and cannot go internally
+inconsistent.
+
+The ground-truth bandwidth matrix is *not* part of the snapshot (it is
+measurement infrastructure, not overlay state); the loader takes it as
+an argument, exactly like a restarted process re-attaching to its
+measurement stack.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.exceptions import TreeConstructionError
+from repro.metrics.metric import BandwidthMatrix
+from repro.metrics.transform import RationalTransform
+from repro.predtree.anchor import AnchorTree
+from repro.predtree.construction import EndNodeSearch
+from repro.predtree.framework import BandwidthPredictionFramework
+from repro.predtree.tree import PredictionTree
+
+__all__ = [
+    "framework_to_dict",
+    "framework_from_dict",
+    "save_framework",
+    "load_framework",
+]
+
+_FORMAT_VERSION = 1
+
+
+def framework_to_dict(
+    framework: BandwidthPredictionFramework,
+) -> dict:
+    """Serialize the overlay structure to a JSON-compatible dict."""
+    tree = framework.tree
+    anchor = framework.anchor_tree
+    return {
+        "version": _FORMAT_VERSION,
+        "c": framework.transform.c,
+        "edges": [
+            [int(u), int(v), float(weight), int(owner)]
+            for u, v, weight, owner in tree.edges()
+        ],
+        "hosts": [
+            {
+                "host": int(host),
+                "vertex": int(tree.vertex_of_host(host)),
+                "inner_vertex": int(tree.inner_vertex_of(host)),
+                "anchor": (
+                    None
+                    if tree.anchor_of(host) is None
+                    else int(tree.anchor_of(host))
+                ),
+            }
+            for host in tree.hosts
+        ],
+        "anchor_children": {
+            str(host): [int(c) for c in anchor.children(host)]
+            for host in anchor.hosts()
+        },
+        "anchor_root": int(anchor.root) if anchor.size else None,
+        "measurements": framework.stats().measurements
+        if tree.host_count
+        else 0,
+    }
+
+
+def framework_from_dict(
+    payload: dict,
+    bandwidth: BandwidthMatrix,
+    search: EndNodeSearch = EndNodeSearch.ANCHOR_DESCENT,
+) -> BandwidthPredictionFramework:
+    """Restore a framework from :func:`framework_to_dict` output.
+
+    *bandwidth* re-attaches the measurement source (used only for
+    future joins and evaluation; predicted distances come entirely from
+    the restored tree).
+    """
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise TreeConstructionError(
+            f"unsupported snapshot version {version!r}"
+        )
+    hosts = payload["hosts"]
+    tree = PredictionTree.from_parts(
+        edges=[
+            (int(u), int(v), float(weight), int(owner))
+            for u, v, weight, owner in payload["edges"]
+        ],
+        hosts=[
+            (
+                int(entry["host"]),
+                int(entry["vertex"]),
+                None if entry["anchor"] is None else int(entry["anchor"]),
+                int(entry["inner_vertex"]),
+            )
+            for entry in hosts
+        ],
+    )
+
+    anchor = AnchorTree()
+    root = payload["anchor_root"]
+    if root is not None:
+        anchor.add_root(int(root))
+        queue = [int(root)]
+        children_map = payload["anchor_children"]
+        while queue:
+            current = queue.pop(0)
+            for child in children_map.get(str(current), []):
+                anchor.add_child(int(child), current)
+                queue.append(int(child))
+        anchor.check_invariants()
+
+    transform = RationalTransform(c=float(payload["c"]))
+    framework = BandwidthPredictionFramework.from_components(
+        bandwidth=bandwidth,
+        tree=tree,
+        anchor=anchor,
+        transform=transform,
+        search=search,
+        measurements=int(payload.get("measurements", 0)),
+    )
+    return framework
+
+
+def save_framework(
+    framework: BandwidthPredictionFramework, path: str | Path
+) -> Path:
+    """Write the snapshot as JSON; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(framework_to_dict(framework), indent=1))
+    return target
+
+
+def load_framework(
+    path: str | Path,
+    bandwidth: BandwidthMatrix,
+    search: EndNodeSearch = EndNodeSearch.ANCHOR_DESCENT,
+) -> BandwidthPredictionFramework:
+    """Restore a framework from a JSON snapshot file."""
+    payload = json.loads(Path(path).read_text())
+    return framework_from_dict(payload, bandwidth, search=search)

@@ -1,0 +1,506 @@
+"""The prediction tree: an edge-weighted tree embedding bandwidth.
+
+Hosts are *leaf* vertices; *inner* vertices are created as attachment
+points when hosts join (Sec. II-D).  Every edge records an **owner**: the
+host whose addition created it.  All edges owned by host ``w`` form the
+path from ``w``'s original inner node ``t_w`` down to ``w`` (``w``'s *leaf
+path*); splitting an edge preserves its owner on both halves.  A joining
+host's **anchor** is the owner of the edge its inner node lands on —
+this induces the anchor tree of :mod:`repro.predtree.anchor`.
+
+The tree exposes exact path-length distances ``d_T`` between arbitrary
+vertices; predicted bandwidth is ``BW_T(u, v) = C / d_T(u, v)`` via the
+rational transform (applied by the framework layer, not here).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.exceptions import (
+    TreeConstructionError,
+    UnknownNodeError,
+    ValidationError,
+)
+
+__all__ = ["PredictionTree"]
+
+#: Positions within this absolute slack of a vertex snap onto the vertex
+#: instead of splitting an edge (keeps the tree free of zero-length edges).
+_SNAP_TOLERANCE = 1e-12
+
+
+class PredictionTree:
+    """An edge-weighted tree over hosts and inner vertices.
+
+    Vertices are opaque non-negative integers allocated by the tree.
+    Hosts are registered explicitly (membership does not rely on vertex
+    degree, so degenerate geometries — e.g. an inner point coinciding
+    with a host — stay well-defined).
+
+    The public mutators are :meth:`add_first_host`, :meth:`add_second_host`
+    and :meth:`attach_host`; the construction policy that decides *where*
+    to attach lives in :mod:`repro.predtree.construction`.
+    """
+
+    def __init__(self) -> None:
+        self._adjacency: dict[int, dict[int, float]] = {}
+        self._edge_owner: dict[tuple[int, int], int] = {}
+        self._hosts: dict[int, int] = {}  # host id -> vertex id
+        self._host_of_vertex: dict[int, int] = {}
+        self._anchor: dict[int, int | None] = {}  # host id -> anchor host id
+        self._inner_vertex: dict[int, int] = {}  # host id -> vertex of t_host
+        self._next_vertex: int = 0
+
+    # -- vertex/edge bookkeeping --------------------------------------------
+
+    def _new_vertex(self) -> int:
+        vertex = self._next_vertex
+        self._next_vertex += 1
+        self._adjacency[vertex] = {}
+        return vertex
+
+    @staticmethod
+    def _edge_key(u: int, v: int) -> tuple[int, int]:
+        return (u, v) if u < v else (v, u)
+
+    def _add_edge(self, u: int, v: int, weight: float, owner: int) -> None:
+        if weight < 0:
+            raise TreeConstructionError(
+                f"edge weight must be non-negative, got {weight}"
+            )
+        if v in self._adjacency[u]:
+            raise TreeConstructionError(f"edge ({u}, {v}) already exists")
+        self._adjacency[u][v] = weight
+        self._adjacency[v][u] = weight
+        self._edge_owner[self._edge_key(u, v)] = owner
+
+    def _remove_edge(self, u: int, v: int) -> None:
+        del self._adjacency[u][v]
+        del self._adjacency[v][u]
+        del self._edge_owner[self._edge_key(u, v)]
+
+    # -- read-only structure accessors ---------------------------------------
+
+    @property
+    def hosts(self) -> list[int]:
+        """Host ids in insertion order."""
+        return list(self._hosts)
+
+    @property
+    def host_count(self) -> int:
+        """Number of hosts in the tree."""
+        return len(self._hosts)
+
+    @property
+    def vertex_count(self) -> int:
+        """Number of vertices (hosts + inner points)."""
+        return len(self._adjacency)
+
+    def has_host(self, host: int) -> bool:
+        """Whether *host* has been added."""
+        return host in self._hosts
+
+    def vertex_of_host(self, host: int) -> int:
+        """The tree vertex a host occupies."""
+        try:
+            return self._hosts[host]
+        except KeyError:
+            raise UnknownNodeError(f"unknown host {host!r}") from None
+
+    def host_at_vertex(self, vertex: int) -> int | None:
+        """The host occupying *vertex*, or ``None`` for inner vertices."""
+        return self._host_of_vertex.get(vertex)
+
+    def anchor_of(self, host: int) -> int | None:
+        """The anchor (anchor-tree parent) of *host*; ``None`` for the root."""
+        if host not in self._anchor:
+            raise UnknownNodeError(f"unknown host {host!r}")
+        return self._anchor[host]
+
+    def inner_vertex_of(self, host: int) -> int:
+        """The vertex of ``t_host`` (where the host's leaf path begins)."""
+        try:
+            return self._inner_vertex[host]
+        except KeyError:
+            raise UnknownNodeError(f"unknown host {host!r}") from None
+
+    def edges(self) -> Iterator[tuple[int, int, float, int]]:
+        """Iterate ``(u, v, weight, owner)`` over all edges (u < v)."""
+        for (u, v), owner in self._edge_owner.items():
+            yield (u, v, self._adjacency[u][v], owner)
+
+    def edge_weight(self, u: int, v: int) -> float:
+        """Weight of the edge between vertices *u* and *v*."""
+        try:
+            return self._adjacency[u][v]
+        except KeyError:
+            raise UnknownNodeError(f"no edge between {u} and {v}") from None
+
+    def neighbors(self, vertex: int) -> list[int]:
+        """Adjacent vertices of *vertex*."""
+        if vertex not in self._adjacency:
+            raise UnknownNodeError(f"unknown vertex {vertex!r}")
+        return list(self._adjacency[vertex])
+
+    # -- distances ------------------------------------------------------------
+
+    def path(self, u: int, v: int) -> list[int]:
+        """The unique vertex path from *u* to *v* (inclusive)."""
+        if u not in self._adjacency or v not in self._adjacency:
+            raise UnknownNodeError(f"unknown vertex in path({u}, {v})")
+        if u == v:
+            return [u]
+        # Iterative DFS recording parents; trees are tiny so this is cheap.
+        parent: dict[int, int] = {u: u}
+        stack = [u]
+        while stack:
+            current = stack.pop()
+            if current == v:
+                break
+            for neighbor in self._adjacency[current]:
+                if neighbor not in parent:
+                    parent[neighbor] = current
+                    stack.append(neighbor)
+        if v not in parent:
+            raise TreeConstructionError(
+                f"vertices {u} and {v} are disconnected"
+            )
+        result = [v]
+        while result[-1] != u:
+            result.append(parent[result[-1]])
+        result.reverse()
+        return result
+
+    def distance_between_vertices(self, u: int, v: int) -> float:
+        """Path-length distance ``d_T`` between two vertices."""
+        vertices = self.path(u, v)
+        return float(
+            sum(
+                self._adjacency[a][b]
+                for a, b in zip(vertices, vertices[1:])
+            )
+        )
+
+    def distance(self, host_u: int, host_v: int) -> float:
+        """Predicted distance ``d_T`` between two hosts."""
+        return self.distance_between_vertices(
+            self.vertex_of_host(host_u), self.vertex_of_host(host_v)
+        )
+
+    def distances_from(self, host: int) -> dict[int, float]:
+        """``d_T(host, w)`` for every host ``w`` via one tree traversal."""
+        source = self.vertex_of_host(host)
+        distance: dict[int, float] = {source: 0.0}
+        stack = [source]
+        while stack:
+            current = stack.pop()
+            for neighbor, weight in self._adjacency[current].items():
+                if neighbor not in distance:
+                    distance[neighbor] = distance[current] + weight
+                    stack.append(neighbor)
+        return {
+            h: distance[vertex]
+            for h, vertex in self._hosts.items()
+        }
+
+    def distance_matrix(self, hosts: list[int] | None = None) -> np.ndarray:
+        """Dense ``d_T`` matrix over *hosts* (default: insertion order)."""
+        order = list(self._hosts) if hosts is None else list(hosts)
+        index = {host: i for i, host in enumerate(order)}
+        matrix = np.zeros((len(order), len(order)))
+        for host in order:
+            row = self.distances_from(host)
+            i = index[host]
+            for other, value in row.items():
+                j = index.get(other)
+                if j is not None:
+                    matrix[i, j] = value
+        return (matrix + matrix.T) / 2.0  # exact values; symmetrize fp noise
+
+    # -- construction ---------------------------------------------------------
+
+    def add_first_host(self, host: int) -> None:
+        """Start the tree with *host* as a singleton (the root host)."""
+        if self._hosts:
+            raise TreeConstructionError("first host already added")
+        vertex = self._new_vertex()
+        self._register_host(host, vertex, anchor=None, inner_vertex=vertex)
+
+    def add_second_host(self, host: int, distance: float) -> None:
+        """Add the second host at *distance* from the root host.
+
+        Creates the single edge connecting the two hosts, owned by the new
+        host (the new host's inner node is, by convention, the root host
+        itself — matching the paper's Fig. 1 where ``d_T(a, t_b) = 0``).
+        """
+        if len(self._hosts) != 1:
+            raise TreeConstructionError(
+                "add_second_host requires exactly one existing host"
+            )
+        if host in self._hosts:
+            raise ValidationError(f"host {host!r} already in tree")
+        if distance < 0:
+            raise ValidationError("distance must be non-negative")
+        root_host = next(iter(self._hosts))
+        root_vertex = self._hosts[root_host]
+        vertex = self._new_vertex()
+        self._add_edge(root_vertex, vertex, float(distance), owner=host)
+        self._register_host(
+            host, vertex, anchor=root_host, inner_vertex=root_vertex
+        )
+
+    def attach_host(
+        self,
+        host: int,
+        base_host: int,
+        end_host: int,
+        gromov_to_end: float,
+        leaf_weight: float,
+    ) -> int:
+        """Attach *host* on the path ``base ~ end`` (Sec. II-D).
+
+        The host's inner node ``t_host`` is placed at distance
+        *gromov_to_end* (the Gromov product ``(host|end)_base``, clamped to
+        the path length) from *base_host* along the tree path to
+        *end_host*; the new leaf edge gets weight *leaf_weight*
+        (``(end|base)_host``).  Returns the anchor host id.
+        """
+        if host in self._hosts:
+            raise ValidationError(f"host {host!r} already in tree")
+        if len(self._hosts) < 2:
+            raise TreeConstructionError(
+                "attach_host requires at least two existing hosts"
+            )
+        if leaf_weight < 0:
+            raise ValidationError("leaf_weight must be non-negative")
+        base_vertex = self.vertex_of_host(base_host)
+        end_vertex = self.vertex_of_host(end_host)
+        if base_vertex == end_vertex:
+            raise TreeConstructionError("base and end hosts must differ")
+
+        inner, anchor = self._locate_inner_vertex(
+            base_vertex, end_vertex, float(gromov_to_end)
+        )
+        leaf = self._new_vertex()
+        self._add_edge(inner, leaf, float(leaf_weight), owner=host)
+        self._register_host(host, leaf, anchor=anchor, inner_vertex=inner)
+        return anchor
+
+    def _locate_inner_vertex(
+        self, base_vertex: int, end_vertex: int, offset: float
+    ) -> tuple[int, int]:
+        """Find or create the vertex at *offset* from base toward end.
+
+        Returns ``(vertex, anchor_host)`` where the anchor host is the
+        owner of the edge the point lies on, or — when the point snaps to
+        a host's own vertex — that host.
+        """
+        vertices = self.path(base_vertex, end_vertex)
+        total = sum(
+            self._adjacency[a][b] for a, b in zip(vertices, vertices[1:])
+        )
+        offset = min(max(offset, 0.0), total)
+
+        remaining = offset
+        last_owner: int | None = None
+        for a, b in zip(vertices, vertices[1:]):
+            weight = self._adjacency[a][b]
+            owner = self._edge_owner[self._edge_key(a, b)]
+            if remaining <= _SNAP_TOLERANCE:
+                return a, self._anchor_for_snap(a, owner)
+            if remaining >= weight - _SNAP_TOLERANCE:
+                remaining -= weight
+                last_owner = owner
+                continue
+            # Split edge (a, b) at distance `remaining` from a.
+            middle = self._new_vertex()
+            self._remove_edge(a, b)
+            self._add_edge(a, middle, remaining, owner)
+            self._add_edge(middle, b, weight - remaining, owner)
+            return middle, owner
+        # Walked the whole path: the point is the end vertex itself.
+        end_host = self._host_of_vertex.get(vertices[-1])
+        if end_host is not None:
+            return vertices[-1], end_host
+        if last_owner is None:
+            raise TreeConstructionError("empty path in _locate_inner_vertex")
+        return vertices[-1], last_owner
+
+    def _anchor_for_snap(self, vertex: int, edge_owner: int) -> int:
+        """Anchor when the inner point coincides with existing vertex."""
+        host = self._host_of_vertex.get(vertex)
+        if host is not None:
+            return host
+        return edge_owner
+
+    def _register_host(
+        self,
+        host: int,
+        vertex: int,
+        anchor: int | None,
+        inner_vertex: int,
+    ) -> None:
+        self._hosts[host] = vertex
+        self._host_of_vertex[vertex] = host
+        self._anchor[host] = anchor
+        self._inner_vertex[host] = inner_vertex
+
+    @classmethod
+    def from_parts(
+        cls,
+        edges: list[tuple[int, int, float, int]],
+        hosts: list[tuple[int, int, int | None, int]],
+    ) -> "PredictionTree":
+        """Rebuild a tree from serialized parts (snapshot restore).
+
+        Parameters
+        ----------
+        edges:
+            ``(u, v, weight, owner)`` tuples.
+        hosts:
+            ``(host, vertex, anchor_or_None, inner_vertex)`` tuples in
+            the original join order.
+
+        Invariants are verified before the tree is returned.
+        """
+        tree = cls()
+        vertices: set[int] = set()
+        for u, v, _, _ in edges:
+            vertices.add(int(u))
+            vertices.add(int(v))
+        if not vertices and hosts:
+            vertices.add(int(hosts[0][1]))
+        for vertex in sorted(vertices):
+            tree._adjacency[vertex] = {}
+        tree._next_vertex = (max(vertices) + 1) if vertices else 0
+        for u, v, weight, owner in edges:
+            tree._add_edge(int(u), int(v), float(weight), int(owner))
+        for host, vertex, anchor, inner_vertex in hosts:
+            tree._register_host(
+                host=int(host),
+                vertex=int(vertex),
+                anchor=None if anchor is None else int(anchor),
+                inner_vertex=int(inner_vertex),
+            )
+        tree.check_invariants()
+        return tree
+
+    def remove_leaf_host(self, host: int) -> None:
+        """Remove a host that owns a single edge (no anchor children).
+
+        A departing host whose leaf path was never split can be excised
+        without touching anyone else's geometry: its leaf edge is
+        removed, and if that leaves a pass-through inner vertex whose
+        two remaining edges belong to the same owner, the edges are
+        merged back (undoing the split its arrival caused).  Hosts with
+        anchor children must be handled at the framework level (their
+        dependents re-join first).
+        """
+        vertex = self.vertex_of_host(host)
+        owned_edges = [
+            (u, v) for (u, v), owner in self._edge_owner.items()
+            if owner == host
+        ]
+        if len(owned_edges) > 1:
+            raise TreeConstructionError(
+                f"host {host!r} has anchor children (its leaf path is "
+                "split); remove or re-anchor them first"
+            )
+        if any(
+            inner == vertex and other != host
+            for other, inner in self._inner_vertex.items()
+        ):
+            raise TreeConstructionError(
+                f"host {host!r}'s vertex is another host's attachment "
+                "point; remove or re-anchor the dependents first"
+            )
+        if self.host_count == 1:
+            del self._adjacency[vertex]
+            self._unregister_host(host)
+            return
+        neighbors = list(self._adjacency[vertex])
+        if len(neighbors) != 1:
+            raise TreeConstructionError(
+                f"host {host!r} is not a removable leaf "
+                f"(degree {len(neighbors)})"
+            )
+        junction = neighbors[0]
+        self._remove_edge(vertex, junction)
+        del self._adjacency[vertex]
+        self._unregister_host(host)
+        self._maybe_contract(junction)
+
+    def _maybe_contract(self, vertex: int) -> None:
+        """Merge a pass-through inner vertex left behind by a removal."""
+        if vertex in self._host_of_vertex:
+            return  # hosts stay, whatever their degree
+        if any(
+            inner == vertex for inner in self._inner_vertex.values()
+        ):
+            return  # still referenced as someone's attachment point
+        neighbors = list(self._adjacency[vertex])
+        if len(neighbors) != 2:
+            return
+        a, b = neighbors
+        owner_a = self._edge_owner[self._edge_key(vertex, a)]
+        owner_b = self._edge_owner[self._edge_key(vertex, b)]
+        if owner_a != owner_b:
+            return  # boundary of two leaf paths: must stay
+        weight = (
+            self._adjacency[vertex][a] + self._adjacency[vertex][b]
+        )
+        self._remove_edge(vertex, a)
+        self._remove_edge(vertex, b)
+        del self._adjacency[vertex]
+        self._add_edge(a, b, weight, owner_a)
+
+    def _unregister_host(self, host: int) -> None:
+        vertex = self._hosts.pop(host)
+        del self._host_of_vertex[vertex]
+        del self._anchor[host]
+        del self._inner_vertex[host]
+
+    # -- invariants (used by tests and the simulator's self-checks) -----------
+
+    def check_invariants(self) -> None:
+        """Raise :class:`TreeConstructionError` on structural corruption.
+
+        Checks: connectivity, acyclicity (|E| = |V| - 1 + connected),
+        every edge owned by a known host, and host registries consistent.
+        """
+        vertex_count = len(self._adjacency)
+        edge_count = len(self._edge_owner)
+        if vertex_count and edge_count != vertex_count - 1:
+            raise TreeConstructionError(
+                f"tree has {vertex_count} vertices but {edge_count} edges"
+            )
+        if vertex_count:
+            seen = {next(iter(self._adjacency))}
+            stack = list(seen)
+            while stack:
+                current = stack.pop()
+                for neighbor in self._adjacency[current]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        stack.append(neighbor)
+            if len(seen) != vertex_count:
+                raise TreeConstructionError("tree is disconnected")
+        for (u, v), owner in self._edge_owner.items():
+            if owner not in self._hosts:
+                raise TreeConstructionError(
+                    f"edge ({u}, {v}) owned by unknown host {owner!r}"
+                )
+        for host, vertex in self._hosts.items():
+            if self._host_of_vertex.get(vertex) != host:
+                raise TreeConstructionError(
+                    f"host registry inconsistent for {host!r}"
+                )
+
+    def __repr__(self) -> str:
+        return (
+            f"PredictionTree(hosts={self.host_count}, "
+            f"vertices={self.vertex_count})"
+        )

@@ -1,0 +1,57 @@
+"""A compact PeerSim-like simulator.
+
+The paper's evaluation extends the (Java) PeerSim-based simulator of the
+authors' prediction framework; this package is the Python equivalent: a
+synchronous round engine where per-node protocol instances exchange
+messages with one-round delivery delay.
+
+* :mod:`repro.sim.engine` — :class:`~repro.sim.engine.Engine`,
+  :class:`~repro.sim.engine.SimNode`, :class:`~repro.sim.engine.Message`,
+  :class:`~repro.sim.engine.Protocol`, :class:`~repro.sim.engine.Observer`.
+* :mod:`repro.sim.protocols` — the background mechanisms of Sec. III-B
+  (Algorithms 2 and 3) as message-passing protocols, plus
+  :func:`~repro.sim.protocols.simulate_aggregation` which runs them to a
+  fixed point and hands back a query-ready
+  :class:`~repro.core.decentralized.DecentralizedClusterSearch`.
+
+The integration tests assert that the message-passing fixed point is
+byte-identical to the synchronous reference in
+:mod:`repro.core.decentralized` — decentralization changes the
+execution model, not the answers.
+"""
+
+from repro.sim.engine import (
+    Engine,
+    FixedPointObserver,
+    Message,
+    Observer,
+    Protocol,
+    SimNode,
+)
+from repro.sim.protocols import (
+    CrtProtocol,
+    NodeInfoProtocol,
+    build_cluster_simulation,
+    simulate_aggregation,
+)
+from repro.sim.query_protocol import (
+    QueryClient,
+    QueryProtocol,
+    attach_query_protocol,
+)
+
+__all__ = [
+    "CrtProtocol",
+    "Engine",
+    "FixedPointObserver",
+    "Message",
+    "NodeInfoProtocol",
+    "Observer",
+    "Protocol",
+    "QueryClient",
+    "QueryProtocol",
+    "SimNode",
+    "attach_query_protocol",
+    "build_cluster_simulation",
+    "simulate_aggregation",
+]

@@ -1,0 +1,284 @@
+"""Synchronous round-based simulation engine (PeerSim-style).
+
+Execution model per round:
+
+1. every node's every protocol gets an ``on_round`` callback and may
+   send messages;
+2. messages sent in round ``r`` are delivered (``on_message``) at the
+   start of round ``r + delay`` (default delay 1 — classic synchronous
+   gossip);
+3. observers run after each round and may stop the simulation.
+
+Nodes can be added or removed between rounds (churn); in-flight
+messages to removed nodes are dropped, as they would be on a real
+network.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any
+
+from repro.exceptions import SimulationError
+
+
+def _random_source(seed: int | None) -> random.Random:
+    """A dedicated PRNG for failure injection (never shared)."""
+    return random.Random(seed)
+
+__all__ = [
+    "Message",
+    "Protocol",
+    "SimNode",
+    "Observer",
+    "FixedPointObserver",
+    "Engine",
+]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message in flight.
+
+    Attributes
+    ----------
+    sender / recipient:
+        Node ids.
+    protocol:
+        Name of the protocol instance that should receive it.
+    payload:
+        Arbitrary protocol data (treated as immutable by convention).
+    deliver_at:
+        Round at the start of which the message is handed over.
+    """
+
+    sender: int
+    recipient: int
+    protocol: str
+    payload: Any
+    deliver_at: int
+
+
+class Protocol(ABC):
+    """Per-node protocol behaviour.
+
+    One instance exists per (node, protocol name); instances hold that
+    node's protocol state.
+    """
+
+    @abstractmethod
+    def on_round(self, node: "SimNode", engine: "Engine") -> None:
+        """Called once per round before message delivery; may send."""
+
+    @abstractmethod
+    def on_message(
+        self, node: "SimNode", message: Message, engine: "Engine"
+    ) -> None:
+        """Called for each delivered message addressed to this protocol."""
+
+    def snapshot(self) -> Any:
+        """Hashable/comparable view of the protocol state.
+
+        Used by :class:`FixedPointObserver` for convergence detection;
+        the default opts the protocol out (never equal).
+        """
+        return object()
+
+
+@dataclass
+class SimNode:
+    """A simulated host: an id, overlay neighbors, and its protocols."""
+
+    node_id: int
+    neighbors: list[int]
+    protocols: dict[str, Protocol] = field(default_factory=dict)
+
+    def protocol(self, name: str) -> Protocol:
+        """The node's instance of protocol *name*."""
+        try:
+            return self.protocols[name]
+        except KeyError:
+            raise SimulationError(
+                f"node {self.node_id} has no protocol {name!r}"
+            ) from None
+
+
+class Observer(ABC):
+    """Post-round hook; return ``True`` to stop the simulation."""
+
+    @abstractmethod
+    def after_round(self, engine: "Engine") -> bool:
+        """Inspect *engine* after a round; ``True`` stops the run."""
+
+
+class FixedPointObserver(Observer):
+    """Stops when no protocol snapshot changed across a round."""
+
+    def __init__(self) -> None:
+        self._previous: dict[tuple[int, str], Any] | None = None
+        self.converged = False
+
+    def after_round(self, engine: "Engine") -> bool:
+        """Compare protocol snapshots with the previous round's."""
+        current = {
+            (node.node_id, name): protocol.snapshot()
+            for node in engine.nodes.values()
+            for name, protocol in node.protocols.items()
+        }
+        # Also require quiescence: pending messages mean more change.
+        stable = (
+            self._previous is not None
+            and current == self._previous
+            and not engine.has_pending_messages()
+        )
+        self._previous = current
+        if stable:
+            self.converged = True
+        return stable
+
+
+class Engine:
+    """The simulation driver.
+
+    Parameters
+    ----------
+    loss_rate:
+        Probability that any sent message is silently lost (failure
+        injection; 0 by default).  Periodic protocols like Algorithms
+        2-3 tolerate loss: every round re-sends fresh state, so the
+        fixed point survives arbitrary transient loss.  Adjustable at
+        runtime via :meth:`set_loss_rate`.
+    seed:
+        Seed for the loss draw.
+    """
+
+    def __init__(
+        self,
+        loss_rate: float = 0.0,
+        seed: int | None = 0,
+    ) -> None:
+        if not 0.0 <= loss_rate <= 1.0:
+            raise SimulationError("loss_rate must lie in [0, 1]")
+        self.nodes: dict[int, SimNode] = {}
+        self.round: int = 0
+        self.messages_sent: int = 0
+        self.messages_delivered: int = 0
+        self.messages_dropped: int = 0
+        self.messages_lost: int = 0
+        self.loss_rate = float(loss_rate)
+        self._rng = _random_source(seed)
+        self._queue: list[tuple[int, int, Message]] = []
+        self._sequence = count()
+        self._observers: list[Observer] = []
+
+    def set_loss_rate(self, loss_rate: float) -> None:
+        """Change the injected loss probability mid-simulation."""
+        if not 0.0 <= loss_rate <= 1.0:
+            raise SimulationError("loss_rate must lie in [0, 1]")
+        self.loss_rate = float(loss_rate)
+
+    # -- topology -------------------------------------------------------------
+
+    def add_node(self, node: SimNode) -> None:
+        """Register *node* (id must be fresh)."""
+        if node.node_id in self.nodes:
+            raise SimulationError(f"duplicate node id {node.node_id}")
+        self.nodes[node.node_id] = node
+
+    def remove_node(self, node_id: int) -> SimNode:
+        """Remove a node (churn); pending traffic to it will be dropped."""
+        try:
+            node = self.nodes.pop(node_id)
+        except KeyError:
+            raise SimulationError(f"unknown node {node_id}") from None
+        for other in self.nodes.values():
+            if node_id in other.neighbors:
+                other.neighbors.remove(node_id)
+        return node
+
+    def add_observer(self, observer: Observer) -> None:
+        """Attach a post-round observer."""
+        self._observers.append(observer)
+
+    # -- messaging ------------------------------------------------------------
+
+    def send(
+        self,
+        sender: int,
+        recipient: int,
+        protocol: str,
+        payload: Any,
+        delay: int = 1,
+    ) -> None:
+        """Queue a message for delivery *delay* rounds from now.
+
+        Subject to the engine's injected loss rate: lost messages are
+        counted in ``messages_lost`` and never delivered.
+        """
+        if delay < 1:
+            raise SimulationError("delay must be >= 1 round")
+        if recipient not in self.nodes:
+            self.messages_dropped += 1
+            return
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            self.messages_lost += 1
+            return
+        message = Message(
+            sender=sender,
+            recipient=recipient,
+            protocol=protocol,
+            payload=payload,
+            deliver_at=self.round + delay,
+        )
+        heapq.heappush(
+            self._queue, (message.deliver_at, next(self._sequence), message)
+        )
+        self.messages_sent += 1
+
+    def has_pending_messages(self) -> bool:
+        """Whether any message is still queued for future delivery."""
+        return bool(self._queue)
+
+    # -- execution ------------------------------------------------------------
+
+    def run_round(self) -> None:
+        """Execute one full round (send phase, then delivery phase)."""
+        for node in list(self.nodes.values()):
+            for protocol in node.protocols.values():
+                protocol.on_round(node, self)
+        self.round += 1
+        while self._queue and self._queue[0][0] <= self.round:
+            _, _, message = heapq.heappop(self._queue)
+            node = self.nodes.get(message.recipient)
+            if node is None or message.protocol not in node.protocols:
+                self.messages_dropped += 1
+                continue
+            node.protocols[message.protocol].on_message(node, message, self)
+            self.messages_delivered += 1
+
+    def run(self, max_rounds: int) -> int:
+        """Run up to *max_rounds* rounds; observers can stop early.
+
+        Returns the number of rounds executed.
+        """
+        if max_rounds < 1:
+            raise SimulationError("max_rounds must be >= 1")
+        executed = 0
+        for _ in range(max_rounds):
+            self.run_round()
+            executed += 1
+            if any(
+                observer.after_round(self) for observer in self._observers
+            ):
+                break
+        return executed
+
+    def __repr__(self) -> str:
+        return (
+            f"Engine(round={self.round}, nodes={len(self.nodes)}, "
+            f"sent={self.messages_sent})"
+        )

@@ -1,0 +1,207 @@
+"""The background mechanisms of Sec. III-B as simulator protocols.
+
+Each host runs two periodic protocols over the anchor-tree overlay:
+
+* :class:`NodeInfoProtocol` — Algorithm 2 (*DynAggrNodeInfo*): every
+  round, send each neighbor the ``n_cut`` aggregated nodes closest to
+  *that neighbor*; store what neighbors send back.
+* :class:`CrtProtocol` — Algorithm 3 (*DynAggrMaxCluster*): every round,
+  recompute the local max-cluster-size table (when the local space
+  changed) and send each neighbor the per-class maximum over every
+  other direction.
+
+:func:`simulate_aggregation` wires both protocols onto an engine, runs
+to a fixed point, and transplants the converged state into a
+:class:`~repro.core.decentralized.DecentralizedClusterSearch` so queries
+(Algorithm 4) can run against the simulated state.
+"""
+
+from __future__ import annotations
+
+from repro.core.decentralized import (
+    DecentralizedClusterSearch,
+    own_crt_table,
+    propagate_crt,
+    propagate_node_info,
+)
+from repro.core.query import BandwidthClasses
+from repro.exceptions import SimulationError
+from repro.metrics.metric import DistanceMatrix
+from repro.predtree.framework import BandwidthPredictionFramework
+from repro.sim.engine import Engine, FixedPointObserver, Protocol, SimNode
+
+__all__ = [
+    "NodeInfoProtocol",
+    "CrtProtocol",
+    "build_cluster_simulation",
+    "simulate_aggregation",
+]
+
+NODE_INFO = "node-info"
+CRT = "crt"
+
+
+class NodeInfoProtocol(Protocol):
+    """Algorithm 2 as a per-node message-passing protocol."""
+
+    def __init__(self, distances: DistanceMatrix, n_cut: int) -> None:
+        self._distances = distances
+        self._n_cut = n_cut
+        self.aggr_node: dict[int, tuple[int, ...]] = {}
+
+    def on_round(self, node: SimNode, engine: Engine) -> None:
+        """Send each neighbor its propNode message (Alg. 2 lines 2-6)."""
+        # Drop state owed to departed neighbors (churn): nothing will
+        # ever refresh those entries, so they would ghost forever.
+        alive = set(node.neighbors)
+        for stale in [m for m in self.aggr_node if m not in alive]:
+            del self.aggr_node[stale]
+        for neighbor in node.neighbors:
+            payload = propagate_node_info(
+                node.node_id,
+                self.aggr_node,
+                neighbor,
+                self._distances.row(neighbor),
+                self._n_cut,
+            )
+            engine.send(node.node_id, neighbor, NODE_INFO, payload)
+
+    def on_message(self, node: SimNode, message, engine: Engine) -> None:
+        """Store the aggrNode set a neighbor sent (Alg. 2 lines 8-10)."""
+        self.aggr_node[message.sender] = tuple(message.payload)
+
+    def clustering_space(self, host: int) -> tuple[int, ...]:
+        """``V_x`` from the current aggregated state."""
+        members = {host}
+        for nodes in self.aggr_node.values():
+            members.update(nodes)
+        return tuple(sorted(members))
+
+    def snapshot(self):
+        """Comparable view of aggrNode for fixed-point detection."""
+        return tuple(sorted(self.aggr_node.items()))
+
+
+class CrtProtocol(Protocol):
+    """Algorithm 3 as a per-node message-passing protocol.
+
+    Reads the co-located :class:`NodeInfoProtocol`'s state for the local
+    clustering space; FindCluster results are memoized per space
+    contents (the space stabilizes once Algorithm 2 converges).
+    """
+
+    def __init__(
+        self,
+        distances: DistanceMatrix,
+        classes: BandwidthClasses,
+        crt_cache: dict[tuple[int, ...], dict[float, int]],
+    ) -> None:
+        self._distances = distances
+        self._classes = classes
+        self._cache = crt_cache
+        self.aggr_crt: dict[int, dict[float, int]] = {}
+        self.own: dict[float, int] = {}
+
+    def _compute_own(self, host: int, node_info: NodeInfoProtocol) -> None:
+        space = node_info.clustering_space(host)
+        cached = self._cache.get(space)
+        if cached is None:
+            cached = own_crt_table(
+                space, self._distances, self._classes.distance_classes
+            )
+            self._cache[space] = cached
+        self.own = dict(cached)
+        self.aggr_crt[host] = dict(cached)
+
+    def on_round(self, node: SimNode, engine: Engine) -> None:
+        """Recompute the own table, send propCRT (Alg. 3 lines 2-10)."""
+        node_info = node.protocol(NODE_INFO)
+        if not isinstance(node_info, NodeInfoProtocol):
+            raise SimulationError(
+                "CrtProtocol requires a co-located NodeInfoProtocol"
+            )
+        alive = set(node.neighbors) | {node.node_id}
+        for stale in [m for m in self.aggr_crt if m not in alive]:
+            del self.aggr_crt[stale]
+        self._compute_own(node.node_id, node_info)
+        for neighbor in node.neighbors:
+            payload = propagate_crt(
+                node.neighbors,
+                self.aggr_crt,
+                neighbor,
+                self.own,
+                self._classes.distance_classes,
+            )
+            engine.send(node.node_id, neighbor, CRT, payload)
+
+    def on_message(self, node: SimNode, message, engine: Engine) -> None:
+        """Store the CRT table a neighbor sent (Alg. 3 lines 12-15)."""
+        self.aggr_crt[message.sender] = dict(message.payload)
+
+    def snapshot(self):
+        """Comparable view of aggrCRT for fixed-point detection."""
+        return tuple(
+            sorted(
+                (neighbor, tuple(sorted(table.items())))
+                for neighbor, table in self.aggr_crt.items()
+            )
+        )
+
+
+def build_cluster_simulation(
+    framework: BandwidthPredictionFramework,
+    classes: BandwidthClasses,
+    n_cut: int = 10,
+) -> tuple[Engine, FixedPointObserver]:
+    """Wire every host's protocols onto a fresh engine."""
+    engine = Engine()
+    distances = framework.predicted_distance_matrix()
+    crt_cache: dict[tuple[int, ...], dict[float, int]] = {}
+    for host in framework.hosts:
+        node = SimNode(
+            node_id=host,
+            neighbors=framework.overlay_neighbors(host),
+        )
+        node.protocols[NODE_INFO] = NodeInfoProtocol(distances, n_cut)
+        node.protocols[CRT] = CrtProtocol(distances, classes, crt_cache)
+        engine.add_node(node)
+    observer = FixedPointObserver()
+    engine.add_observer(observer)
+    return engine, observer
+
+
+def simulate_aggregation(
+    framework: BandwidthPredictionFramework,
+    classes: BandwidthClasses,
+    n_cut: int = 10,
+    max_rounds: int | None = None,
+) -> tuple[DecentralizedClusterSearch, Engine]:
+    """Run the background mechanisms in the simulator, to a fixed point.
+
+    Returns a query-ready :class:`DecentralizedClusterSearch` whose
+    per-host state was produced by actual message passing, plus the
+    engine (for message/round statistics).
+    """
+    engine, observer = build_cluster_simulation(framework, classes, n_cut)
+    if max_rounds is None:
+        max_rounds = 2 * max(framework.anchor_tree.diameter(), 1) + 6
+    engine.run(max_rounds)
+    if not observer.converged:
+        raise SimulationError(
+            f"aggregation did not converge within {max_rounds} rounds"
+        )
+
+    search = DecentralizedClusterSearch(framework, classes, n_cut=n_cut)
+    for host, node in engine.nodes.items():
+        node_info = node.protocols[NODE_INFO]
+        crt = node.protocols[CRT]
+        assert isinstance(node_info, NodeInfoProtocol)
+        assert isinstance(crt, CrtProtocol)
+        state = search.state_of(host)
+        state.aggr_node = dict(node_info.aggr_node)
+        state.aggr_crt = {
+            neighbor: dict(table)
+            for neighbor, table in crt.aggr_crt.items()
+        }
+    search.mark_aggregated()
+    return search, engine

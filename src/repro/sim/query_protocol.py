@@ -1,0 +1,218 @@
+"""Algorithm 4 (ProcessQuery) as a message-passing protocol.
+
+:class:`~repro.core.decentralized.DecentralizedClusterSearch` executes
+query routing as a synchronous function call chain; this module runs
+the *same* routing as actual messages on the simulator: a ``query``
+message hops along the overlay (one hop per round, like a real
+forwarded RPC), and the answering host sends a ``reply`` message back
+to the origin.  The integration tests assert hop-for-hop equivalence
+with the synchronous implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import count
+
+from repro.core.decentralized import DecentralizedClusterSearch
+from repro.core.find_cluster import find_cluster
+from repro.core.query import BandwidthClasses
+from repro.exceptions import SimulationError
+from repro.metrics.metric import DistanceMatrix
+from repro.sim.engine import Engine, Protocol, SimNode
+from repro.sim.protocols import CRT, NODE_INFO, CrtProtocol, NodeInfoProtocol
+
+__all__ = ["QueryProtocol", "QueryClient", "attach_query_protocol"]
+
+QUERY = "query"
+
+
+@dataclass(frozen=True)
+class _QueryMessage:
+    """A routed query: constraints plus routing bookkeeping."""
+
+    query_id: int
+    k: int
+    l: float
+    origin: int
+    previous: int | None
+    hops: int
+
+
+@dataclass(frozen=True)
+class _ReplyMessage:
+    """The answer, sent straight back to the origin."""
+
+    query_id: int
+    cluster: tuple[int, ...]
+    hops: int
+
+
+@dataclass
+class QueryProtocol(Protocol):
+    """Per-node handler for query and reply messages.
+
+    Reads the co-located aggregation protocols' state (Algorithms 2-3)
+    exactly as the synchronous implementation reads its node states.
+    """
+
+    distances: DistanceMatrix
+    results: dict[int, _ReplyMessage] = field(default_factory=dict)
+
+    def on_round(self, node: SimNode, engine: Engine) -> None:
+        """Queries are client-initiated; nothing periodic to do."""
+
+    def on_message(self, node: SimNode, message, engine: Engine) -> None:
+        """Dispatch a routed query or deliver a reply (Alg. 4)."""
+        payload = message.payload
+        if isinstance(payload, _ReplyMessage):
+            self.results[payload.query_id] = payload
+            return
+        if not isinstance(payload, _QueryMessage):
+            raise SimulationError(
+                f"unexpected query-protocol payload {payload!r}"
+            )
+        self._handle_query(node, payload, engine)
+
+    # -- Algorithm 4 ---------------------------------------------------------
+
+    def _handle_query(
+        self, node: SimNode, query: _QueryMessage, engine: Engine
+    ) -> None:
+        node_info = node.protocol(NODE_INFO)
+        crt = node.protocol(CRT)
+        assert isinstance(node_info, NodeInfoProtocol)
+        assert isinstance(crt, CrtProtocol)
+
+        own_size = crt.aggr_crt.get(node.node_id, {}).get(query.l, 0)
+        if query.k <= own_size:
+            space = list(node_info.clustering_space(node.node_id))
+            local = self.distances.restrict(space)
+            found = find_cluster(local, query.k, query.l)
+            if found:
+                cluster = tuple(sorted(space[i] for i in found))
+                self._reply(node, query, cluster, engine)
+                return
+        for neighbor in node.neighbors:
+            if neighbor == query.previous:
+                continue
+            size = crt.aggr_crt.get(neighbor, {}).get(query.l, 0)
+            if query.k <= size:
+                engine.send(
+                    node.node_id,
+                    neighbor,
+                    QUERY,
+                    _QueryMessage(
+                        query_id=query.query_id,
+                        k=query.k,
+                        l=query.l,
+                        origin=query.origin,
+                        previous=node.node_id,
+                        hops=query.hops + 1,
+                    ),
+                )
+                return
+        self._reply(node, query, (), engine)
+
+    def _reply(
+        self,
+        node: SimNode,
+        query: _QueryMessage,
+        cluster: tuple[int, ...],
+        engine: Engine,
+    ) -> None:
+        reply = _ReplyMessage(
+            query_id=query.query_id, cluster=cluster, hops=query.hops
+        )
+        if query.origin == node.node_id:
+            self.results[query.query_id] = reply
+        else:
+            engine.send(node.node_id, query.origin, QUERY, reply)
+
+
+class QueryClient:
+    """Submits queries into a running simulation and awaits replies."""
+
+    def __init__(
+        self, engine: Engine, classes: BandwidthClasses
+    ) -> None:
+        self._engine = engine
+        self._classes = classes
+        self._ids = count()
+        self._pending: dict[int, _QueryMessage] = {}
+
+    def submit(self, k: int, b: float, start: int) -> int:
+        """Inject query ``(k, b)`` at host *start*; returns a query id."""
+        if start not in self._engine.nodes:
+            raise SimulationError(f"unknown start host {start!r}")
+        snapped = self._classes.snap_bandwidth(b)
+        l = self._classes.transform.distance_constraint(snapped)
+        query_id = next(self._ids)
+        message = _QueryMessage(
+            query_id=query_id, k=int(k), l=l,
+            origin=start, previous=None, hops=0,
+        )
+        self._pending[query_id] = message
+        # Self-delivery via the engine keeps all handling in one path.
+        self._engine.send(start, start, QUERY, message)
+        return query_id
+
+    def result(self, start: int, query_id: int):
+        """The reply for *query_id* at its origin, or ``None`` so far."""
+        protocol = self._engine.nodes[start].protocol(QUERY)
+        assert isinstance(protocol, QueryProtocol)
+        return protocol.results.get(query_id)
+
+    def await_result(
+        self,
+        start: int,
+        query_id: int,
+        max_rounds: int = 100,
+        retry_after: int | None = None,
+    ):
+        """Run rounds until the reply arrives (or raise).
+
+        Unlike the periodic aggregation traffic, a query is a one-shot
+        message chain: under injected loss it can vanish.  With
+        *retry_after* set, the client re-submits the same query every
+        that-many silent rounds — re-submission is safe because routing
+        is read-only and the newest reply simply overwrites the result
+        slot (standard at-least-once RPC over an idempotent handler).
+        """
+        pending = self._pending.get(query_id)
+        silent = 0
+        for _ in range(max_rounds):
+            reply = self.result(start, query_id)
+            if reply is not None:
+                return reply
+            if (
+                retry_after is not None
+                and pending is not None
+                and silent >= retry_after
+            ):
+                self._engine.send(start, start, QUERY, pending)
+                silent = 0
+            self._engine.run_round()
+            silent += 1
+        reply = self.result(start, query_id)
+        if reply is None:
+            raise SimulationError(
+                f"query {query_id} unanswered after {max_rounds} rounds"
+            )
+        return reply
+
+
+def attach_query_protocol(
+    engine: Engine,
+    search: DecentralizedClusterSearch,
+) -> QueryClient:
+    """Install :class:`QueryProtocol` on every node of *engine*.
+
+    The engine must already carry the aggregation protocols
+    (:func:`repro.sim.protocols.build_cluster_simulation`); *search*
+    provides the shared predicted metric and class set.
+    """
+    distances = search.framework.predicted_distance_matrix()
+    for node in engine.nodes.values():
+        node.protocols[QUERY] = QueryProtocol(distances=distances)
+    return QueryClient(engine, search.classes)

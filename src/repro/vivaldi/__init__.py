@@ -1,0 +1,24 @@
+"""Vivaldi network coordinates (the comparison model's substrate).
+
+The paper's comparison model (Sec. IV-A) embeds bandwidth into a 2-d
+Euclidean space with Vivaldi [Dabek et al., SIGCOMM'04] under the
+rational transform, then clusters with the k-diameter algorithm of
+:mod:`repro.core.kdiameter`.
+
+* :mod:`repro.vivaldi.coordinates` — the adaptive-timestep Vivaldi
+  algorithm itself (synchronous, vectorized simulation).
+* :mod:`repro.vivaldi.embedding` — a framework-shaped wrapper exposing
+  ``predicted_distance_matrix`` / ``predicted_bandwidth_matrix`` so the
+  EUCL configurations plug into the same experiment drivers as the tree
+  configurations.
+"""
+
+from repro.vivaldi.coordinates import VivaldiConfig, VivaldiSystem
+from repro.vivaldi.embedding import VivaldiEmbedding, build_vivaldi_embedding
+
+__all__ = [
+    "VivaldiConfig",
+    "VivaldiEmbedding",
+    "VivaldiSystem",
+    "build_vivaldi_embedding",
+]

@@ -1,0 +1,114 @@
+"""Framework-shaped wrapper around Vivaldi for the EUCL configurations.
+
+The experiment drivers treat prediction substrates uniformly: anything
+with ``predicted_distance_matrix()`` / ``predicted_bandwidth_matrix()``
+can feed a clustering algorithm.  :class:`VivaldiEmbedding` gives the
+Vivaldi system that interface, applying the rational transform on the
+way in (bandwidth -> measured distance) and on the way out (embedded
+distance -> predicted bandwidth), exactly as Sec. IV-A describes the
+comparison model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.metric import BandwidthMatrix, DistanceMatrix
+from repro.metrics.transform import RationalTransform
+from repro.vivaldi.coordinates import VivaldiConfig, VivaldiSystem
+
+__all__ = ["VivaldiEmbedding", "build_vivaldi_embedding"]
+
+
+class VivaldiEmbedding:
+    """Bandwidth embedded into 2-d Euclidean space via Vivaldi.
+
+    Parameters
+    ----------
+    bandwidth:
+        Ground-truth bandwidth matrix (measurement stand-in).
+    transform:
+        The rational transform (Sec. II-B).
+    config:
+        Vivaldi tunables; the default uses 2 dimensions as in the paper.
+    seed:
+        Seed for the Vivaldi simulation.
+    """
+
+    def __init__(
+        self,
+        bandwidth: BandwidthMatrix,
+        transform: RationalTransform | None = None,
+        config: VivaldiConfig | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self._bandwidth = bandwidth
+        self._transform = transform or RationalTransform()
+        self._system = VivaldiSystem(
+            distances=bandwidth.to_distance_matrix(self._transform),
+            config=config,
+            seed=seed,
+        )
+        self._system.run()
+        self._distance_cache: DistanceMatrix | None = None
+
+    @property
+    def transform(self) -> RationalTransform:
+        """The bandwidth <-> distance transform in use."""
+        return self._transform
+
+    @property
+    def bandwidth_matrix(self) -> BandwidthMatrix:
+        """The ground-truth bandwidth matrix (for evaluation only)."""
+        return self._bandwidth
+
+    @property
+    def system(self) -> VivaldiSystem:
+        """The underlying Vivaldi simulation."""
+        return self._system
+
+    @property
+    def coordinates(self) -> np.ndarray:
+        """Final ``(n, 2)`` coordinates (what the clustering runs on)."""
+        return self._system.coordinates
+
+    @property
+    def size(self) -> int:
+        """Number of embedded nodes."""
+        return self._system.size
+
+    def predicted_distance_matrix(self) -> DistanceMatrix:
+        """Pairwise embedded distances (cached)."""
+        if self._distance_cache is None:
+            self._distance_cache = self._system.embedded_distance_matrix()
+        return self._distance_cache
+
+    def predicted_bandwidth(self, u: int, v: int) -> float:
+        """``BW_T(u, v) = C / ||x_u - x_v||`` (``inf`` when ``u == v``)."""
+        if u == v:
+            return float("inf")
+        return self._transform.to_bandwidth(
+            self.predicted_distance_matrix().distance(u, v)
+        )
+
+    def predicted_bandwidth_matrix(self) -> np.ndarray:
+        """Dense predicted bandwidth (diagonal ``inf``)."""
+        distances = self.predicted_distance_matrix().values
+        with np.errstate(divide="ignore"):
+            bandwidth = self._transform.c / distances
+        return bandwidth
+
+
+def build_vivaldi_embedding(
+    bandwidth: BandwidthMatrix,
+    seed: int | np.random.Generator | None = 0,
+    rounds: int = 400,
+    transform: RationalTransform | None = None,
+) -> VivaldiEmbedding:
+    """Convenience builder mirroring :func:`repro.predtree.build_framework`."""
+    return VivaldiEmbedding(
+        bandwidth=bandwidth,
+        transform=transform,
+        config=VivaldiConfig(rounds=rounds),
+        seed=seed,
+    )

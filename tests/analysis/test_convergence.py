@@ -1,0 +1,51 @@
+"""Tests for aggregation-convergence diagnostics."""
+
+import pytest
+
+from repro.analysis.convergence import measure_convergence
+from repro.core.query import BandwidthClasses
+from repro.datasets.planetlab import hp_planetlab_like
+from repro.predtree.framework import build_framework
+
+
+@pytest.fixture(scope="module")
+def report():
+    dataset = hp_planetlab_like(seed=3, n=35)
+    framework = build_framework(dataset.bandwidth, seed=4)
+    classes = BandwidthClasses.linear(15.0, 75.0, 4)
+    return measure_convergence(framework, classes, n_cut=4), framework
+
+
+class TestMeasureConvergence:
+    def test_converges(self, report):
+        result, _ = report
+        assert result.converged
+
+    def test_rounds_bounded_by_budget(self, report):
+        result, framework = report
+        budget = 2 * max(framework.anchor_tree.diameter(), 1) + 4
+        assert 1 <= result.rounds <= budget
+
+    def test_diameter_matches_overlay(self, report):
+        result, framework = report
+        assert result.diameter == framework.anchor_tree.diameter()
+
+    def test_rounds_over_diameter_reasonable(self, report):
+        result, _ = report
+        # Information needs >= diameter rounds; the CRT chase adds a
+        # small constant factor, never an n-dependent blowup.
+        assert result.rounds_over_diameter <= 4.0
+
+    def test_message_rate_is_twice_mean_degree(self, report):
+        result, framework = report
+        anchor = framework.anchor_tree
+        mean_degree = sum(
+            anchor.degree(h) for h in framework.hosts
+        ) / framework.size
+        assert result.messages_per_host_per_round == pytest.approx(
+            2 * mean_degree
+        )
+
+    def test_host_count(self, report):
+        result, framework = report
+        assert result.hosts == framework.size

@@ -1,0 +1,71 @@
+"""Tests for the WPR-exponent fit."""
+
+import math
+
+import pytest
+
+from repro.analysis.model_fit import fit_wpr_exponent
+from repro.analysis.treeness import wpr_model
+from repro.exceptions import ValidationError
+
+
+class TestFitWprExponent:
+    def test_recovers_known_exponent(self):
+        c = 3.5
+        points = [(f, f**c) for f in (0.2, 0.4, 0.6, 0.8)]
+        fit = fit_wpr_exponent(points)
+        assert fit.usable
+        assert fit.exponent == pytest.approx(c, rel=1e-9)
+        assert fit.residual == pytest.approx(0.0, abs=1e-9)
+
+    def test_recovers_model_generated_data(self):
+        eps_avg, f_a = 0.3, 0.4
+        points = [
+            (f, wpr_model(f, eps_avg, f_a)) for f in (0.3, 0.5, 0.7, 0.9)
+        ]
+        fit = fit_wpr_exponent(points)
+        # Equation 1's exponent is 1/eps#.
+        from repro.analysis.treeness import adjusted_epsilon
+        assert fit.exponent == pytest.approx(
+            1.0 / adjusted_epsilon(eps_avg, f_a), rel=1e-9
+        )
+
+    def test_boundary_points_skipped(self):
+        points = [(0.0, 0.0), (1.0, 1.0), (0.5, 0.25), (0.7, 0.49)]
+        fit = fit_wpr_exponent(points)
+        assert fit.points_used == 2
+        assert fit.exponent == pytest.approx(2.0, rel=1e-9)
+
+    def test_insufficient_points_unusable(self):
+        fit = fit_wpr_exponent([(0.5, 0.25)])
+        assert not fit.usable
+        assert math.isnan(fit.exponent)
+
+    def test_noise_increases_residual(self):
+        clean = [(f, f**2) for f in (0.2, 0.4, 0.6, 0.8)]
+        noisy = [(f, min(0.999, (f**2) * 1.5)) for f, _ in clean]
+        assert fit_wpr_exponent(noisy).residual > (
+            fit_wpr_exponent(clean).residual
+        )
+
+    def test_lower_treeness_means_lower_exponent(self):
+        # The quantitative Fig. 5 claim: larger eps_avg -> smaller c.
+        f_a = 0.4
+        fits = []
+        for eps_avg in (0.1, 0.5, 2.0):
+            points = [
+                (f, wpr_model(f, eps_avg, f_a))
+                for f in (0.3, 0.5, 0.7, 0.9)
+            ]
+            fits.append(fit_wpr_exponent(points).exponent)
+        assert fits == sorted(fits, reverse=True)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            fit_wpr_exponent([(1.5, 0.5)])
+        with pytest.raises(ValidationError):
+            fit_wpr_exponent([(0.5, -0.1)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            fit_wpr_exponent([])

@@ -1,0 +1,74 @@
+"""Tests for relative-error computation and empirical CDFs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.relerr import empirical_cdf, relative_bandwidth_errors
+from repro.exceptions import ValidationError
+from repro.metrics.metric import BandwidthMatrix
+
+
+@pytest.fixture
+def real():
+    matrix = np.array(
+        [[1.0, 100.0, 50.0], [100.0, 1.0, 20.0], [50.0, 20.0, 1.0]]
+    )
+    return BandwidthMatrix(matrix)
+
+
+class TestRelativeErrors:
+    def test_exact_prediction_zero_error(self, real):
+        predicted = real.values.copy()
+        np.fill_diagonal(predicted, 0.0)
+        errors = relative_bandwidth_errors(real, predicted)
+        assert np.allclose(errors, 0.0)
+
+    def test_error_values(self, real):
+        predicted = real.values.copy()
+        predicted[0, 1] = predicted[1, 0] = 80.0  # |100-80|/100 = 0.2
+        errors = relative_bandwidth_errors(real, predicted)
+        assert sorted(errors.tolist())[-1] == pytest.approx(0.2)
+
+    def test_length_is_pair_count(self, real):
+        errors = relative_bandwidth_errors(real, real.values)
+        assert errors.shape == (3,)
+
+    def test_shape_mismatch_rejected(self, real):
+        with pytest.raises(ValidationError):
+            relative_bandwidth_errors(real, np.zeros((2, 2)))
+
+    def test_nonfinite_prediction_rejected(self, real):
+        predicted = real.values.copy()
+        predicted[0, 1] = np.inf
+        with pytest.raises(ValidationError):
+            relative_bandwidth_errors(real, predicted)
+
+
+class TestEmpiricalCdf:
+    def test_monotone_and_bounded(self):
+        rng = np.random.default_rng(0)
+        values = rng.exponential(0.3, size=500)
+        xs, fractions = empirical_cdf(values)
+        assert np.all(np.diff(fractions) >= 0)
+        assert fractions[0] >= 0.0
+        assert fractions[-1] <= 1.0
+
+    def test_known_values(self):
+        values = np.array([0.1, 0.2, 0.3, 0.4])
+        xs, fractions = empirical_cdf(
+            values, grid=np.array([0.0, 0.25, 1.0])
+        )
+        assert fractions.tolist() == [0.0, 0.5, 1.0]
+
+    def test_custom_grid_respected(self):
+        grid = np.array([0.0, 0.5])
+        xs, _ = empirical_cdf(np.array([0.2]), grid=grid)
+        assert np.array_equal(xs, grid)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            empirical_cdf(np.array([]))
+
+    def test_all_zero_values(self):
+        xs, fractions = empirical_cdf(np.zeros(10))
+        assert fractions[-1] == 1.0

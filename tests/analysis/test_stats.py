@@ -1,0 +1,60 @@
+"""Tests for the shared statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.analysis.stats import bin_means, mean_or_nan
+from repro.exceptions import ValidationError
+
+
+class TestMeanOrNan:
+    def test_mean(self):
+        assert mean_or_nan([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_is_nan(self):
+        assert math.isnan(mean_or_nan([]))
+
+    def test_nans_skipped(self):
+        assert mean_or_nan([1.0, float("nan"), 3.0]) == 2.0
+
+    def test_all_nan_is_nan(self):
+        assert math.isnan(mean_or_nan([float("nan")] * 3))
+
+
+class TestBinMeans:
+    def test_basic_binning(self):
+        out = bin_means(
+            xs=[0.5, 1.5, 1.7, 2.5],
+            ys=[1.0, 2.0, 4.0, 8.0],
+            edges=[0.0, 1.0, 2.0, 3.0],
+        )
+        assert out == [(0.5, 1.0, 1), (1.5, 3.0, 2), (2.5, 8.0, 1)]
+
+    def test_empty_bins_dropped(self):
+        out = bin_means([0.5], [1.0], edges=[0.0, 1.0, 2.0])
+        assert len(out) == 1
+
+    def test_right_edge_closed(self):
+        out = bin_means([2.0], [5.0], edges=[0.0, 1.0, 2.0])
+        assert out == [(1.5, 5.0, 1)]
+
+    def test_out_of_range_skipped(self):
+        out = bin_means([-1.0, 5.0], [1.0, 1.0], edges=[0.0, 1.0])
+        assert out == []
+
+    def test_nan_y_skipped(self):
+        out = bin_means(
+            [0.5, 0.6], [float("nan"), 2.0], edges=[0.0, 1.0]
+        )
+        assert out == [(0.5, 2.0, 1)]
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValidationError):
+            bin_means([1.0], [], edges=[0.0, 1.0])
+
+    def test_bad_edges_rejected(self):
+        with pytest.raises(ValidationError):
+            bin_means([1.0], [1.0], edges=[1.0])
+        with pytest.raises(ValidationError):
+            bin_means([1.0], [1.0], edges=[1.0, 0.5])

@@ -1,0 +1,141 @@
+"""Tests for the treeness variables and Equation 1 (Sec. IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.treeness import (
+    DEFAULT_ALPHA,
+    TreenessPoint,
+    adjusted_epsilon,
+    bounded_epsilon,
+    bounded_slope,
+    cdf_fraction_below,
+    fraction_near,
+    wpr_model,
+)
+from repro.exceptions import ValidationError
+from repro.metrics.metric import BandwidthMatrix
+
+
+@pytest.fixture
+def bandwidth():
+    matrix = np.array(
+        [
+            [1.0, 10.0, 20.0, 30.0],
+            [10.0, 1.0, 40.0, 50.0],
+            [20.0, 40.0, 1.0, 60.0],
+            [30.0, 50.0, 60.0, 1.0],
+        ]
+    )
+    return BandwidthMatrix(matrix)
+
+
+class TestDatasetFeatures:
+    def test_f_b_is_cdf(self, bandwidth):
+        # Pairs: 10, 20, 30, 40, 50, 60.
+        assert cdf_fraction_below(bandwidth, 35.0) == pytest.approx(0.5)
+        assert cdf_fraction_below(bandwidth, 5.0) == 0.0
+        assert cdf_fraction_below(bandwidth, 100.0) == 1.0
+
+    def test_f_a_band(self, bandwidth):
+        # Band [b-10, b+10] around 35: pairs 30, 40 -> 2/6.
+        assert fraction_near(bandwidth, 35.0) == pytest.approx(1 / 3)
+
+    def test_f_a_custom_width(self, bandwidth):
+        # Band [15, 55] around 35: pairs 20, 30, 40, 50 -> 4/6.
+        assert fraction_near(bandwidth, 35.0, half_width=20.0) == (
+            pytest.approx(2 / 3)
+        )
+
+    def test_f_a_rejects_bad_width(self, bandwidth):
+        with pytest.raises(ValidationError):
+            fraction_near(bandwidth, 35.0, half_width=0.0)
+
+
+class TestBoundedVariables:
+    def test_bounded_epsilon_range(self):
+        assert bounded_epsilon(0.0) == 0.0
+        assert bounded_epsilon(1.0) == 0.5
+        assert 0.99 < bounded_epsilon(1000.0) < 1.0
+
+    def test_bounded_epsilon_monotone(self):
+        values = [bounded_epsilon(e) for e in (0.0, 0.1, 1.0, 10.0)]
+        assert values == sorted(values)
+
+    def test_bounded_epsilon_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            bounded_epsilon(-0.1)
+
+    def test_bounded_slope_endpoints(self):
+        # f_a* in [1/alpha, alpha].
+        assert bounded_slope(0.0) == pytest.approx(1 / DEFAULT_ALPHA)
+        assert bounded_slope(1.0) == pytest.approx(DEFAULT_ALPHA)
+
+    def test_bounded_slope_rejects_bad_alpha(self):
+        with pytest.raises(ValidationError):
+            bounded_slope(0.5, alpha=1.0)
+
+    def test_adjusted_epsilon_capped_at_one(self):
+        assert adjusted_epsilon(1000.0, 1.0) == 1.0
+
+    def test_adjusted_epsilon_zero_for_tree(self):
+        assert adjusted_epsilon(0.0, 0.5) == 0.0
+
+
+class TestWprModel:
+    def test_boundaries(self):
+        assert wpr_model(0.0, 0.5, 0.5) == 0.0
+        assert wpr_model(1.0, 0.5, 0.5) == 1.0
+        assert wpr_model(0.5, 0.0, 0.5) == 0.0  # perfect tree
+
+    def test_random_pick_limit(self):
+        # eps# = 1 means WPR = f_b (uniformly random pair choice).
+        f_b = 0.37
+        assert wpr_model(f_b, 1e9, 1.0) == pytest.approx(f_b, abs=1e-3)
+
+    def test_monotone_in_f_b(self):
+        values = [wpr_model(f, 0.3, 0.4) for f in (0.1, 0.5, 0.9)]
+        assert values == sorted(values)
+
+    def test_monotone_in_epsilon(self):
+        values = [wpr_model(0.6, e, 0.4) for e in (0.05, 0.3, 2.0)]
+        assert values == sorted(values)
+
+    def test_exponent_above_one(self):
+        # WPR = f_b^c with c > 1 -> WPR < f_b for f_b < 1.
+        assert wpr_model(0.5, 0.3, 0.4) < 0.5
+
+    def test_rejects_bad_f_b(self):
+        with pytest.raises(ValidationError):
+            wpr_model(1.5, 0.3, 0.4)
+
+
+class TestTreenessPoint:
+    def test_normalized_wpr(self):
+        point = TreenessPoint(
+            b=30.0, f_b=0.5, f_a=0.4, eps_avg=0.3, wpr=0.25
+        )
+        assert point.normalized_wpr == pytest.approx(
+            0.25 ** bounded_slope(0.4)
+        )
+
+    def test_model_wpr_matches_equation(self):
+        point = TreenessPoint(
+            b=30.0, f_b=0.5, f_a=0.4, eps_avg=0.3, wpr=0.25
+        )
+        assert point.model_wpr == pytest.approx(
+            wpr_model(0.5, 0.3, 0.4)
+        )
+
+    def test_normalization_separates_by_epsilon(self):
+        # Two datasets with the same f_b/f_a but different eps: the
+        # model's normalized WPRs order by eps.
+        low = TreenessPoint(
+            b=30.0, f_b=0.6, f_a=0.4, eps_avg=0.1,
+            wpr=wpr_model(0.6, 0.1, 0.4),
+        )
+        high = TreenessPoint(
+            b=30.0, f_b=0.6, f_a=0.4, eps_avg=1.0,
+            wpr=wpr_model(0.6, 1.0, 0.4),
+        )
+        assert low.normalized_wpr < high.normalized_wpr

@@ -1,0 +1,92 @@
+"""Tests for WPR / RR metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.wpr import (
+    evaluate_cluster,
+    return_rate,
+    wrong_pair_rate,
+)
+from repro.exceptions import ValidationError
+from repro.metrics.metric import BandwidthMatrix
+
+
+@pytest.fixture
+def bandwidth():
+    matrix = np.array(
+        [
+            [1.0, 50.0, 20.0, 5.0],
+            [50.0, 1.0, 40.0, 10.0],
+            [20.0, 40.0, 1.0, 30.0],
+            [5.0, 10.0, 30.0, 1.0],
+        ]
+    )
+    return BandwidthMatrix(matrix)
+
+
+class TestEvaluateCluster:
+    def test_all_good(self, bandwidth):
+        verdict = evaluate_cluster([0, 1, 2], bandwidth, b=15.0)
+        assert verdict.total_pairs == 3
+        assert verdict.wrong_pairs == 0
+        assert verdict.satisfied
+        assert verdict.wpr == 0.0
+
+    def test_some_wrong(self, bandwidth):
+        # Pairs: (0,1)=50 ok, (0,3)=5 wrong, (1,3)=10 wrong for b=15.
+        verdict = evaluate_cluster([0, 1, 3], bandwidth, b=15.0)
+        assert verdict.total_pairs == 3
+        assert verdict.wrong_pairs == 2
+        assert not verdict.satisfied
+        assert verdict.wpr == pytest.approx(2 / 3)
+
+    def test_boundary_is_satisfied(self, bandwidth):
+        # BW exactly equal to b is NOT a wrong pair (constraint is >=).
+        verdict = evaluate_cluster([0, 2], bandwidth, b=20.0)
+        assert verdict.wrong_pairs == 0
+
+    def test_singleton_cluster(self, bandwidth):
+        verdict = evaluate_cluster([2], bandwidth, b=15.0)
+        assert verdict.total_pairs == 0
+        assert verdict.wpr == 0.0
+
+    def test_duplicates_rejected(self, bandwidth):
+        with pytest.raises(ValidationError):
+            evaluate_cluster([0, 0], bandwidth, b=10.0)
+
+
+class TestWrongPairRate:
+    def test_aggregates_over_clusters(self, bandwidth):
+        results = [([0, 1, 2], 15.0), ([0, 1, 3], 15.0)]
+        # 0 wrong of 3 + 2 wrong of 3 = 2/6.
+        assert wrong_pair_rate(results, bandwidth) == pytest.approx(1 / 3)
+
+    def test_empty_clusters_skipped(self, bandwidth):
+        results = [([], 15.0), ([0, 1], 15.0)]
+        assert wrong_pair_rate(results, bandwidth) == 0.0
+
+    def test_nan_when_nothing_returned(self, bandwidth):
+        assert math.isnan(wrong_pair_rate([([], 15.0)], bandwidth))
+
+    def test_harder_constraint_no_lower_wpr(self, bandwidth):
+        easy = wrong_pair_rate([([0, 1, 2, 3], 6.0)], bandwidth)
+        hard = wrong_pair_rate([([0, 1, 2, 3], 45.0)], bandwidth)
+        assert hard >= easy
+
+
+class TestReturnRate:
+    def test_basic(self):
+        assert return_rate([True, False, True, True]) == 0.75
+
+    def test_all_found(self):
+        assert return_rate([True] * 5 ) == 1.0
+
+    def test_none_found(self):
+        assert return_rate([False] * 4) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            return_rate([])

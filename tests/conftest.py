@@ -1,0 +1,88 @@
+"""Shared fixtures for the test suite.
+
+Conventions:
+
+* fixtures returning matrices are module-scoped where construction is
+  expensive (frameworks) and function-scoped when mutation is possible;
+* everything is seeded — a failing test reproduces byte-identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import BandwidthClasses
+from repro.datasets.planetlab import hp_planetlab_like
+from repro.datasets.synthetic import access_link_bandwidth
+from repro.metrics.metric import BandwidthMatrix, DistanceMatrix
+from repro.predtree.framework import build_framework
+
+
+def make_distance_matrix(values) -> DistanceMatrix:
+    """Build a DistanceMatrix from a plain nested list (test helper)."""
+    return DistanceMatrix(np.asarray(values, dtype=float))
+
+
+def random_tree_distance_matrix(
+    n: int, seed: int = 0, weight_low: float = 0.1, weight_high: float = 3.0
+) -> DistanceMatrix:
+    """Path-sum distances of a random edge-weighted tree (exact tree
+    metric) — the canonical input for correctness-theorem tests."""
+    rng = np.random.default_rng(seed)
+    parent = [-1] * n
+    weight = [0.0] * n
+    for node in range(1, n):
+        parent[node] = int(rng.integers(0, node))
+        weight[node] = float(rng.uniform(weight_low, weight_high))
+    root_distance = [0.0] * n
+    for node in range(1, n):
+        root_distance[node] = root_distance[parent[node]] + weight[node]
+    ancestors = []
+    for node in range(n):
+        chain = set()
+        current = node
+        while current != -1:
+            chain.add(current)
+            current = parent[current]
+        ancestors.append(chain)
+    matrix = np.zeros((n, n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            current = v
+            while current not in ancestors[u]:
+                current = parent[current]
+            d = root_distance[u] + root_distance[v] - 2 * root_distance[current]
+            matrix[u, v] = matrix[v, u] = d
+    return DistanceMatrix(matrix)
+
+
+@pytest.fixture
+def ultrametric_bandwidth() -> BandwidthMatrix:
+    """24-node access-link-model matrix: a perfect tree metric."""
+    return access_link_bandwidth(24, seed=7)
+
+
+@pytest.fixture
+def tree_distances() -> DistanceMatrix:
+    """20-node exact additive tree metric."""
+    return random_tree_distance_matrix(20, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """40-node HP-like dataset (session-scoped: generation is cheap but
+    used by many tests)."""
+    return hp_planetlab_like(seed=0, n=40)
+
+
+@pytest.fixture(scope="session")
+def small_framework(small_dataset):
+    """Framework over the 40-node dataset (session-scoped, read-only)."""
+    return build_framework(small_dataset.bandwidth, seed=1)
+
+
+@pytest.fixture(scope="session")
+def hp_classes() -> BandwidthClasses:
+    """The HP query-range bandwidth classes used across tests."""
+    return BandwidthClasses.linear(15.0, 75.0, 7)

@@ -1,0 +1,69 @@
+"""Tests for the TREE-CENTRAL end-to-end searcher."""
+
+import pytest
+
+from repro.core.centralized import CentralizedClusterSearch
+from repro.core.query import ClusterQuery
+
+
+class TestCentralizedClusterSearch:
+    def test_query_returns_k_nodes(self, small_framework):
+        search = CentralizedClusterSearch(small_framework)
+        cluster = search.query(ClusterQuery(k=4, b=20.0))
+        assert len(cluster) == 4
+        assert len(set(cluster)) == 4
+
+    def test_cluster_valid_under_predicted_metric(self, small_framework):
+        search = CentralizedClusterSearch(small_framework)
+        query = ClusterQuery(k=4, b=30.0)
+        cluster = search.query(query)
+        if cluster:
+            l = query.distance_constraint(small_framework.transform)
+            assert search.distances.diameter(cluster) <= l + 1e-9
+
+    def test_predicted_bandwidth_meets_constraint(self, small_framework):
+        search = CentralizedClusterSearch(small_framework)
+        b = 25.0
+        cluster = search.query(ClusterQuery(k=3, b=b))
+        for i, u in enumerate(cluster):
+            for v in cluster[i + 1:]:
+                assert small_framework.predicted_bandwidth(u, v) >= (
+                    b - 1e-6
+                )
+
+    def test_impossible_query_returns_empty(self, small_framework):
+        search = CentralizedClusterSearch(small_framework)
+        assert search.query(ClusterQuery(k=40, b=10_000.0)) == []
+
+    def test_query_kb_shortcut(self, small_framework):
+        search = CentralizedClusterSearch(small_framework)
+        assert search.query_kb(3, 20.0) == search.query(
+            ClusterQuery(k=3, b=20.0)
+        )
+
+    def test_max_size_monotone_in_b(self, small_framework):
+        search = CentralizedClusterSearch(small_framework)
+        sizes = [
+            search.max_size_for_bandwidth(b) for b in (15.0, 40.0, 75.0)
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_max_size_consistent_with_query(self, small_framework):
+        search = CentralizedClusterSearch(small_framework)
+        b = 30.0
+        max_size = search.max_size_for_bandwidth(b)
+        if max_size >= 2:
+            assert search.query(ClusterQuery(k=max_size, b=b))
+        if max_size < small_framework.size:
+            assert not search.query(ClusterQuery(k=max_size + 1, b=b))
+
+    def test_higher_b_never_easier(self, small_framework):
+        search = CentralizedClusterSearch(small_framework)
+        for k in (3, 8):
+            easy = bool(search.query(ClusterQuery(k=k, b=16.0)))
+            hard = bool(search.query(ClusterQuery(k=k, b=70.0)))
+            assert easy or not hard  # hard found -> easy found
+
+    def test_distances_property_cached(self, small_framework):
+        search = CentralizedClusterSearch(small_framework)
+        assert search.distances is search.distances

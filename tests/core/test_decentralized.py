@@ -1,0 +1,208 @@
+"""Tests for the decentralized system (Algorithms 2, 3, 4).
+
+The converged aggregation state is validated against direct oracles:
+
+* Theorem 3.2 — ``x.aggrNode[m]`` must equal the ``n_cut`` closest nodes
+  (by predicted distance) among everything reachable from ``x`` via
+  ``m`` on the anchor tree;
+* Theorem 3.3 — ``x.aggrCRT[m][l]`` must equal the maximum over hosts
+  ``w`` reachable via ``m`` of the max cluster size in ``w``'s local
+  clustering space.
+"""
+
+import pytest
+
+from repro.core.decentralized import DecentralizedClusterSearch
+from repro.core.find_cluster import max_cluster_size
+from repro.core.query import BandwidthClasses
+from repro.exceptions import QueryError, ValidationError
+
+N_CUT = 5
+
+
+@pytest.fixture(scope="module")
+def converged(request):
+    """A converged decentralized system over the 40-node dataset."""
+    small_framework = request.getfixturevalue("small_framework")
+    hp_classes = request.getfixturevalue("hp_classes")
+    search = DecentralizedClusterSearch(
+        small_framework, hp_classes, n_cut=N_CUT
+    )
+    report = search.run_aggregation()
+    assert report.converged
+    return search
+
+
+def expected_aggr_node(search, x, m):
+    """Theorem 3.2 oracle."""
+    anchor = search.framework.anchor_tree
+    reachable = sorted(anchor.reachable_via(x, m))
+    row = search.framework.predicted_distance_matrix().row(x)
+    ranked = sorted(reachable, key=lambda u: (row[u], u))
+    return tuple(sorted(ranked[:N_CUT]))
+
+
+class TestAggregationNodeInfo:
+    def test_converges_within_budget(self, converged):
+        assert converged.state_of(converged.hosts[0]).aggr_node
+
+    def test_theorem_3_2_every_edge(self, converged):
+        anchor = converged.framework.anchor_tree
+        for x in converged.hosts:
+            for m in anchor.neighbors(x):
+                actual = converged.state_of(x).aggr_node[m]
+                assert actual == expected_aggr_node(converged, x, m), (
+                    f"aggrNode mismatch at x={x}, m={m}"
+                )
+
+    def test_aggr_node_size_bounded(self, converged):
+        for x in converged.hosts:
+            for nodes in converged.state_of(x).aggr_node.values():
+                assert len(nodes) <= N_CUT
+
+    def test_clustering_space_contains_self(self, converged):
+        for x in converged.hosts:
+            assert x in converged.state_of(x).clustering_space()
+
+    def test_clustering_space_bounded(self, converged):
+        for x in converged.hosts:
+            state = converged.state_of(x)
+            bound = 1 + N_CUT * len(state.neighbors)
+            assert len(state.clustering_space()) <= bound
+
+
+class TestAggregationCrt:
+    def test_theorem_3_3_every_edge(self, converged):
+        anchor = converged.framework.anchor_tree
+        distances = converged.framework.predicted_distance_matrix()
+        for x in converged.hosts:
+            for m in anchor.neighbors(x):
+                actual = converged.state_of(x).aggr_crt[m]
+                for l in converged.distance_classes:
+                    expected = 0
+                    for w in anchor.reachable_via(x, m):
+                        space = converged.state_of(w).clustering_space()
+                        local = distances.restrict(space)
+                        expected = max(
+                            expected, max_cluster_size(local, l)
+                        )
+                    assert actual[l] == expected, (
+                        f"aggrCRT mismatch at x={x}, m={m}, l={l}"
+                    )
+
+    def test_own_entry_matches_local_space(self, converged):
+        distances = converged.framework.predicted_distance_matrix()
+        for x in converged.hosts[:10]:
+            state = converged.state_of(x)
+            local = distances.restrict(state.clustering_space())
+            for l in converged.distance_classes:
+                assert state.own_max_size(l) == max_cluster_size(local, l)
+
+    def test_crt_monotone_in_l(self, converged):
+        # Looser distance constraints admit bigger clusters.
+        for x in converged.hosts:
+            state = converged.state_of(x)
+            for table in state.aggr_crt.values():
+                ls = sorted(table)
+                sizes = [table[l] for l in ls]
+                assert sizes == sorted(sizes)
+
+
+class TestProcessQuery:
+    def test_requires_aggregation(self, small_framework, hp_classes):
+        search = DecentralizedClusterSearch(
+            small_framework, hp_classes, n_cut=N_CUT
+        )
+        with pytest.raises(QueryError):
+            search.process_query(3, 30.0, start=search.hosts[0])
+
+    def test_found_cluster_is_valid(self, converged):
+        result = converged.process_query(3, 30.0, start=converged.hosts[0])
+        assert result.found
+        assert len(result.cluster) == 3
+        distances = converged.framework.predicted_distance_matrix()
+        assert distances.diameter(result.cluster) <= result.l + 1e-9
+
+    def test_snapping_strengthens_constraint(self, converged):
+        result = converged.process_query(3, 22.0, start=converged.hosts[0])
+        assert result.snapped_b >= 22.0
+
+    def test_unsupported_constraint_raises(self, converged):
+        from repro.exceptions import UnsupportedConstraintError
+        with pytest.raises(UnsupportedConstraintError):
+            converged.process_query(3, 10_000.0, start=converged.hosts[0])
+
+    def test_unsatisfiable_k_returns_empty(self, converged):
+        result = converged.process_query(
+            39, 75.0, start=converged.hosts[0]
+        )
+        assert not result.found
+        assert result.cluster == []
+
+    def test_no_host_visited_twice(self, converged):
+        for start in converged.hosts[:10]:
+            for k in (3, 10, 25):
+                result = converged.process_query(k, 40.0, start=start)
+                assert len(result.visited) == len(set(result.visited))
+
+    def test_hops_consistent_with_visits(self, converged):
+        result = converged.process_query(4, 30.0, start=converged.hosts[5])
+        assert result.hops == len(result.visited) - 1
+
+    def test_any_entry_point_finds_when_centrally_findable(self, converged):
+        # Routing invariant: if ANY host's CRT promises a cluster of
+        # size k at class l, the query finds one from EVERY entry point.
+        k, b = 4, 30.0
+        l = converged.classes.snap_distance(b)
+        promised = any(
+            converged.state_of(x).own_max_size(l) >= k
+            for x in converged.hosts
+        )
+        if promised:
+            for start in converged.hosts:
+                assert converged.process_query(k, b, start=start).found
+
+    def test_found_from_everywhere_or_nowhere(self, converged):
+        # Fixed-point CRTs are globally consistent: either every entry
+        # node answers a (k, l) query or none does.
+        for k in (3, 12, 30):
+            outcomes = {
+                converged.process_query(k, 50.0, start=start).found
+                for start in converged.hosts
+            }
+            assert len(outcomes) == 1
+
+    def test_strict_mode_weaker(self, converged):
+        # The paper's literal `k < CRT` can only refuse more queries.
+        for start in converged.hosts[:8]:
+            strict = converged.process_query(
+                3, 30.0, start=start, strict=True
+            )
+            relaxed = converged.process_query(3, 30.0, start=start)
+            if strict.found:
+                assert relaxed.found
+
+    def test_bad_k_rejected(self, converged):
+        with pytest.raises(QueryError):
+            converged.process_query(1, 30.0, start=converged.hosts[0])
+
+    def test_unknown_start_rejected(self, converged):
+        with pytest.raises(QueryError):
+            converged.process_query(3, 30.0, start=99999)
+
+
+class TestConstruction:
+    def test_bad_n_cut_rejected(self, small_framework, hp_classes):
+        with pytest.raises(ValidationError):
+            DecentralizedClusterSearch(
+                small_framework, hp_classes, n_cut=0
+            )
+
+    def test_report_counts(self, small_framework, hp_classes):
+        search = DecentralizedClusterSearch(
+            small_framework, hp_classes, n_cut=3
+        )
+        report = search.run_aggregation()
+        assert report.rounds >= 1
+        assert report.node_info_messages > 0
+        assert report.converged

@@ -1,0 +1,85 @@
+"""Property-based tests for the decentralized system on random inputs.
+
+These complement the fixed-dataset oracle tests with randomized small
+systems: whatever the bandwidth matrix and overlay shape, the global
+routing invariants must hold.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decentralized import DecentralizedClusterSearch
+from repro.core.query import BandwidthClasses
+from repro.metrics.metric import BandwidthMatrix
+from repro.predtree.framework import build_framework
+
+
+def build_system(n: int, seed: int, n_cut: int):
+    rng = np.random.default_rng(seed)
+    raw = rng.uniform(5.0, 120.0, size=(n, n))
+    raw = (raw + raw.T) / 2
+    framework = build_framework(BandwidthMatrix(raw), seed=seed + 1)
+    classes = BandwidthClasses.linear(10.0, 100.0, 5)
+    search = DecentralizedClusterSearch(framework, classes, n_cut=n_cut)
+    report = search.run_aggregation()
+    assert report.converged
+    return framework, search
+
+
+@given(
+    n=st.integers(min_value=4, max_value=14),
+    seed=st.integers(0, 200),
+    k=st.integers(min_value=2, max_value=6),
+    b=st.floats(min_value=10.0, max_value=99.0),
+)
+@settings(max_examples=20, deadline=None)
+def test_outcome_independent_of_entry_point(n, seed, k, b):
+    framework, search = build_system(n, seed, n_cut=3)
+    outcomes = {
+        search.process_query(k, b, start=start).found
+        for start in framework.hosts
+    }
+    assert len(outcomes) == 1
+
+
+@given(
+    n=st.integers(min_value=4, max_value=12),
+    seed=st.integers(0, 200),
+    k=st.integers(min_value=2, max_value=5),
+    b=st.floats(min_value=10.0, max_value=99.0),
+)
+@settings(max_examples=20, deadline=None)
+def test_found_clusters_valid_and_terminating(n, seed, k, b):
+    framework, search = build_system(n, seed, n_cut=3)
+    distances = framework.predicted_distance_matrix()
+    for start in framework.hosts[:4]:
+        result = search.process_query(k, b, start=start)
+        # Termination bookkeeping: no revisits, hops consistent.
+        assert len(result.visited) == len(set(result.visited))
+        assert result.hops == len(result.visited) - 1
+        assert result.hops < n
+        if result.found:
+            assert len(result.cluster) == k
+            assert distances.diameter(result.cluster) <= result.l + 1e-9
+
+
+@given(
+    n=st.integers(min_value=5, max_value=12),
+    seed=st.integers(0, 200),
+)
+@settings(max_examples=15, deadline=None)
+def test_larger_n_cut_never_reduces_capability(n, seed):
+    _, small = build_system(n, seed, n_cut=2)
+    framework, large = build_system(n, seed, n_cut=6)
+    for k in (2, 3, n // 2 + 1):
+        if k < 2:
+            continue
+        found_small = small.process_query(
+            k, 50.0, start=framework.hosts[0]
+        ).found
+        found_large = large.process_query(
+            k, 50.0, start=framework.hosts[0]
+        ).found
+        if found_small:
+            assert found_large

@@ -1,0 +1,226 @@
+"""Tests for Algorithm 1 (FindCluster) and the max-k search.
+
+The key correctness arguments:
+
+* on a tree metric, FindCluster returns a valid cluster whenever a
+  brute-force search finds one (completeness, Theorem 3.1), and every
+  returned cluster satisfies the constraints (soundness);
+* the vectorized implementation is equivalent to the paper's pseudocode
+  transcription on arbitrary metrics;
+* ``max_cluster_size`` equals the brute-force maximum.
+"""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.find_cluster import (
+    find_cluster,
+    find_cluster_reference,
+    max_cluster_size,
+    max_cluster_size_linear,
+)
+from repro.exceptions import QueryError, ValidationError
+from repro.metrics.metric import DistanceMatrix
+from tests.conftest import make_distance_matrix, random_tree_distance_matrix
+
+
+def brute_force_exists(d: DistanceMatrix, k: int, l: float) -> bool:
+    """Exhaustive search over all k-subsets (the ground-truth oracle)."""
+    for subset in combinations(range(d.size), k):
+        if d.diameter(list(subset)) <= l:
+            return True
+    return False
+
+
+def random_symmetric_matrix(n: int, seed: int) -> DistanceMatrix:
+    rng = np.random.default_rng(seed)
+    raw = rng.uniform(0.5, 10.0, size=(n, n))
+    raw = (raw + raw.T) / 2
+    np.fill_diagonal(raw, 0.0)
+    return DistanceMatrix(raw)
+
+
+class TestFindClusterBasics:
+    def test_simple_cluster(self):
+        d = make_distance_matrix(
+            [[0, 1, 9, 9], [1, 0, 9, 9], [9, 9, 0, 1], [9, 9, 1, 0]]
+        )
+        assert find_cluster(d, 2, 1.0) in ([0, 1], [2, 3])
+
+    def test_no_cluster(self):
+        d = make_distance_matrix(
+            [[0, 5, 5], [5, 0, 5], [5, 5, 0]]
+        )
+        assert find_cluster(d, 2, 1.0) == []
+
+    def test_whole_space_cluster(self):
+        d = make_distance_matrix(
+            [[0, 1, 1], [1, 0, 1], [1, 1, 0]]
+        )
+        assert find_cluster(d, 3, 1.0) == [0, 1, 2]
+
+    def test_returned_cluster_satisfies_constraints(self):
+        d = random_tree_distance_matrix(15, seed=0)
+        l = float(np.percentile(d.upper_triangle(), 40))
+        cluster = find_cluster(d, 3, l)
+        if cluster:
+            assert len(cluster) == 3
+            assert d.diameter(cluster) <= l + 1e-12
+
+    def test_exact_size_k_returned(self):
+        d = make_distance_matrix(
+            [[0, 1, 1, 1], [1, 0, 1, 1], [1, 1, 0, 1], [1, 1, 1, 0]]
+        )
+        assert len(find_cluster(d, 2, 1.0)) == 2
+
+    def test_zero_constraint(self):
+        d = make_distance_matrix([[0, 1], [1, 0]])
+        assert find_cluster(d, 2, 0.0) == []
+
+    def test_k_larger_than_n(self):
+        d = make_distance_matrix([[0, 1], [1, 0]])
+        assert find_cluster(d, 3, 10.0) == []
+
+    def test_invalid_k_rejected(self):
+        d = make_distance_matrix([[0, 1], [1, 0]])
+        with pytest.raises(ValidationError):
+            find_cluster(d, 1, 1.0)
+
+    def test_invalid_l_rejected(self):
+        d = make_distance_matrix([[0, 1], [1, 0]])
+        with pytest.raises(ValidationError):
+            find_cluster(d, 2, float("nan"))
+        with pytest.raises(ValidationError):
+            find_cluster(d, 2, -1.0)
+
+    def test_single_node_space_rejected(self):
+        with pytest.raises(QueryError):
+            find_cluster(make_distance_matrix([[0]]), 2, 1.0)
+
+    def test_deterministic_selection(self):
+        d = make_distance_matrix(
+            [[0, 1, 1, 1], [1, 0, 1, 1], [1, 1, 0, 1], [1, 1, 1, 0]]
+        )
+        # "any k nodes" is implemented as smallest ids.
+        assert find_cluster(d, 2, 1.0) == [0, 1]
+
+
+class TestCompleteness:
+    """Theorem 3.1: on tree metrics FindCluster misses nothing."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_brute_force_on_tree_metrics(self, seed):
+        d = random_tree_distance_matrix(10, seed=seed)
+        quantiles = np.percentile(d.upper_triangle(), [20, 50, 80])
+        for k in (2, 3, 4, 6):
+            for l in quantiles:
+                found = bool(find_cluster(d, k, float(l)))
+                expected = brute_force_exists(d, k, float(l))
+                assert found == expected, (seed, k, l)
+
+    def test_soundness_on_non_tree_metrics(self):
+        # On arbitrary metrics completeness may fail but soundness
+        # (returned clusters satisfy the constraint) must hold.
+        for seed in range(5):
+            d = random_symmetric_matrix(10, seed)
+            l = float(np.percentile(d.upper_triangle(), 50))
+            cluster = find_cluster(d, 3, l)
+            if cluster:
+                assert d.diameter(cluster) <= l + 1e-12
+
+
+class TestReferenceEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_answer_as_reference_tree_metric(self, seed):
+        d = random_tree_distance_matrix(9, seed=seed)
+        l = float(np.percentile(d.upper_triangle(), 60))
+        for k in (2, 3, 5):
+            fast = find_cluster(d, k, l)
+            slow = find_cluster_reference(d, k, l)
+            # Both must agree on existence; when both find, both must
+            # be valid (the chosen pair may differ by scan order).
+            assert bool(fast) == bool(slow)
+            if fast:
+                assert d.diameter(fast) <= l + 1e-12
+                assert d.diameter(slow) <= l + 1e-12
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_same_existence_on_arbitrary_metrics(self, seed):
+        d = random_symmetric_matrix(8, seed=seed + 100)
+        l = float(np.percentile(d.upper_triangle(), 50))
+        for k in (2, 3, 4):
+            assert bool(find_cluster(d, k, l)) == bool(
+                find_cluster_reference(d, k, l)
+            )
+
+
+class TestMaxClusterSize:
+    def test_matches_linear_scan(self):
+        for seed in range(6):
+            d = random_tree_distance_matrix(12, seed=seed)
+            for q in (30, 60, 90):
+                l = float(np.percentile(d.upper_triangle(), q))
+                assert max_cluster_size(d, l) == (
+                    max_cluster_size_linear(d, l)
+                )
+
+    def test_matches_brute_force(self):
+        for seed in range(4):
+            d = random_tree_distance_matrix(9, seed=seed + 50)
+            l = float(np.percentile(d.upper_triangle(), 50))
+            best = 1
+            for k in range(2, 10):
+                if brute_force_exists(d, k, l):
+                    best = k
+            assert max_cluster_size(d, l) == best
+
+    def test_whole_space(self):
+        d = random_tree_distance_matrix(7, seed=1)
+        assert max_cluster_size(d, d.diameter()) == 7
+
+    def test_singleton_when_nothing_pairs(self):
+        d = make_distance_matrix([[0, 5], [5, 0]])
+        assert max_cluster_size(d, 1.0) == 1
+
+    def test_single_node_space(self):
+        assert max_cluster_size(make_distance_matrix([[0]]), 1.0) == 1
+
+
+@given(
+    n=st.integers(min_value=4, max_value=10),
+    seed=st.integers(0, 300),
+    k=st.integers(min_value=2, max_value=5),
+    quantile=st.floats(min_value=5, max_value=95),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_find_cluster_completeness_tree_metric(
+    n, seed, k, quantile
+):
+    d = random_tree_distance_matrix(n, seed=seed)
+    l = float(np.percentile(d.upper_triangle(), quantile))
+    cluster = find_cluster(d, k, l)
+    if cluster:
+        assert len(cluster) == k
+        assert len(set(cluster)) == k
+        assert d.diameter(cluster) <= l + 1e-9
+    elif k <= n:
+        assert not brute_force_exists(d, k, l)
+
+
+@given(
+    n=st.integers(min_value=4, max_value=9),
+    seed=st.integers(0, 300),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_max_size_monotone_in_l(n, seed):
+    d = random_tree_distance_matrix(n, seed=seed)
+    tri = np.sort(d.upper_triangle())
+    sizes = [
+        max_cluster_size(d, float(l))
+        for l in (tri[0] / 2, tri[len(tri) // 2], tri[-1])
+    ]
+    assert sizes == sorted(sizes)

@@ -1,0 +1,151 @@
+"""Tests for the Euclidean k-diameter baseline (comparison model)."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kdiameter import (
+    find_cluster_euclidean,
+    lens_nodes,
+    split_by_chord,
+)
+from repro.exceptions import QueryError, ValidationError
+
+
+def pairwise(points: np.ndarray) -> np.ndarray:
+    diff = points[:, None, :] - points[None, :, :]
+    return np.sqrt((diff**2).sum(axis=2))
+
+
+def brute_force_exists(points: np.ndarray, k: int, l: float) -> bool:
+    d = pairwise(points)
+    n = points.shape[0]
+    for subset in combinations(range(n), k):
+        sub = d[np.ix_(subset, subset)]
+        if sub.max() <= l:
+            return True
+    return False
+
+
+class TestLensGeometry:
+    def test_lens_contains_endpoints(self):
+        points = np.array([[0, 0], [1, 0], [5, 5]], dtype=float)
+        members = lens_nodes(points, pairwise(points), 0, 1)
+        assert 0 in members and 1 in members
+        assert 2 not in members
+
+    def test_split_sides_cover_members(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 1, size=(20, 2))
+        d = pairwise(points)
+        members = lens_nodes(points, d, 0, 1)
+        side_a, side_b = split_by_chord(points, members, 0, 1)
+        assert sorted(side_a + side_b) == sorted(members.tolist())
+
+    def test_half_lens_diameter_bound(self):
+        # The geometric fact the algorithm relies on: each closed
+        # half-lens has diameter exactly d(p, q).
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            points = rng.uniform(0, 1, size=(30, 2))
+            d = pairwise(points)
+            p, q = 0, 1
+            delta = d[p, q]
+            members = lens_nodes(points, d, p, q)
+            side_a, side_b = split_by_chord(points, members, p, q)
+            for side in (side_a, side_b):
+                for u in side:
+                    for v in side:
+                        assert d[u, v] <= delta + 1e-9
+
+
+class TestFindClusterEuclidean:
+    def test_simple_two_clusters(self):
+        points = np.array(
+            [[0, 0], [0.5, 0], [0, 0.5], [10, 10], [10.5, 10]], dtype=float
+        )
+        cluster = find_cluster_euclidean(points, 3, 1.0)
+        assert cluster == [0, 1, 2]
+
+    def test_no_cluster(self):
+        points = np.array([[0, 0], [10, 0], [0, 10]], dtype=float)
+        assert find_cluster_euclidean(points, 2, 1.0) == []
+
+    def test_cluster_satisfies_constraint(self):
+        rng = np.random.default_rng(2)
+        points = rng.uniform(0, 4, size=(25, 2))
+        cluster = find_cluster_euclidean(points, 5, 1.5)
+        if cluster:
+            d = pairwise(points)
+            sub = d[np.ix_(cluster, cluster)]
+            assert sub.max() <= 1.5 + 1e-9
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(3)
+        for trial in range(8):
+            points = rng.uniform(0, 3, size=(10, 2))
+            for k in (2, 3, 4):
+                for l in (0.8, 1.5, 2.5):
+                    found = bool(find_cluster_euclidean(points, k, l))
+                    assert found == brute_force_exists(points, k, l), (
+                        trial, k, l,
+                    )
+
+    def test_needs_bipartite_mis(self):
+        # A configuration where the greedy "whole lens" answer is wrong:
+        # two far-apart arcs inside the lens of (p, q).  MIS must pick
+        # nodes from one side plus compatible ones from the other.
+        points = np.array(
+            [
+                [0.0, 0.0],   # p
+                [1.0, 0.0],   # q
+                [0.5, 0.85],  # top, far from bottom points
+                [0.5, -0.85],  # bottom
+                [0.4, 0.1],   # middle, compatible with everyone
+            ]
+        )
+        d = pairwise(points)
+        assert d[2, 3] > 1.0  # top/bottom conflict across the chord
+        cluster = find_cluster_euclidean(points, 4, 1.0)
+        assert len(cluster) == 4
+        sub = d[np.ix_(cluster, cluster)]
+        assert sub.max() <= 1.0 + 1e-9
+
+    def test_rejects_bad_coordinates(self):
+        with pytest.raises(ValidationError):
+            find_cluster_euclidean(np.zeros((3, 3)), 2, 1.0)
+        with pytest.raises(ValidationError):
+            find_cluster_euclidean(
+                np.array([[np.nan, 0], [0, 0]]), 2, 1.0
+            )
+
+    def test_rejects_bad_k(self):
+        points = np.zeros((3, 2))
+        with pytest.raises(ValidationError):
+            find_cluster_euclidean(points, 1, 1.0)
+
+    def test_single_point_space_rejected(self):
+        with pytest.raises(QueryError):
+            find_cluster_euclidean(np.zeros((1, 2)), 2, 1.0)
+
+
+@given(
+    seed=st.integers(0, 500),
+    n=st.integers(min_value=4, max_value=12),
+    k=st.integers(min_value=2, max_value=4),
+    l=st.floats(min_value=0.2, max_value=3.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_euclidean_matches_brute_force(seed, n, k, l):
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0, 2.5, size=(n, 2))
+    found = find_cluster_euclidean(points, k, l)
+    if found:
+        d = pairwise(points)
+        assert d[np.ix_(found, found)].max() <= l + 1e-9
+        assert len(found) == k
+    else:
+        assert not brute_force_exists(points, k, l)

@@ -1,0 +1,81 @@
+"""Tests for the pair-scan order semantics (DESIGN.md §5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.find_cluster import (
+    find_cluster,
+    find_cluster_reference,
+)
+from repro.core.kdiameter import find_cluster_euclidean
+from repro.exceptions import QueryError
+from tests.conftest import random_tree_distance_matrix
+
+
+class TestFindClusterPairOrder:
+    def test_index_order_matches_reference_exactly(self):
+        # The reference oracle *is* the pseudocode's index order, so
+        # index mode must return the identical cluster, not merely an
+        # equally valid one.
+        for seed in range(6):
+            d = random_tree_distance_matrix(12, seed=seed)
+            l = float(np.percentile(d.upper_triangle(), 55))
+            for k in (2, 4, 6):
+                assert find_cluster(
+                    d, k, l, pair_order="index"
+                ) == find_cluster_reference(d, k, l), (seed, k)
+
+    def test_orders_agree_on_existence(self):
+        rng = np.random.default_rng(0)
+        for seed in range(6):
+            raw = rng.uniform(0.5, 10, size=(10, 10))
+            raw = (raw + raw.T) / 2
+            np.fill_diagonal(raw, 0)
+            from repro.metrics.metric import DistanceMatrix
+            d = DistanceMatrix(raw)
+            l = float(np.percentile(d.upper_triangle(), 50))
+            for k in (2, 3, 5):
+                nearest = find_cluster(d, k, l, pair_order="nearest")
+                index = find_cluster(d, k, l, pair_order="index")
+                assert bool(nearest) == bool(index)
+                for cluster in (nearest, index):
+                    if cluster:
+                        assert d.diameter(cluster) <= l + 1e-12
+
+    def test_nearest_is_at_least_as_conservative(self):
+        # The nearest-order cluster's diameter never exceeds the
+        # index-order one's (it is built from the smallest viable pair).
+        for seed in range(8):
+            d = random_tree_distance_matrix(14, seed=seed + 20)
+            l = float(np.percentile(d.upper_triangle(), 60))
+            nearest = find_cluster(d, 4, l, pair_order="nearest")
+            index = find_cluster(d, 4, l, pair_order="index")
+            if nearest and index:
+                assert d.diameter(nearest) <= d.diameter(index) + 1e-12
+
+    def test_unknown_order_rejected(self):
+        d = random_tree_distance_matrix(6, seed=0)
+        with pytest.raises(QueryError):
+            find_cluster(d, 2, 1.0, pair_order="random")
+
+
+class TestEuclideanPairOrder:
+    def test_orders_agree_on_existence(self):
+        rng = np.random.default_rng(1)
+        for _ in range(6):
+            points = rng.uniform(0, 3, size=(12, 2))
+            for k in (2, 3, 4):
+                for l in (0.8, 1.6):
+                    nearest = find_cluster_euclidean(
+                        points, k, l, pair_order="nearest"
+                    )
+                    index = find_cluster_euclidean(
+                        points, k, l, pair_order="index"
+                    )
+                    assert bool(nearest) == bool(index)
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(QueryError):
+            find_cluster_euclidean(
+                np.zeros((3, 2)), 2, 1.0, pair_order="bogus"
+            )

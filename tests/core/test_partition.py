@@ -1,0 +1,101 @@
+"""Tests for greedy cluster partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import partition_into_clusters
+from repro.exceptions import QueryError, ValidationError
+from tests.conftest import make_distance_matrix, random_tree_distance_matrix
+
+
+def two_islands() -> "DistanceMatrix":
+    # Two tight groups {0,1,2} and {3,4}, far apart.
+    inf = 100.0
+    return make_distance_matrix(
+        [
+            [0, 1, 1, inf, inf],
+            [1, 0, 1, inf, inf],
+            [1, 1, 0, inf, inf],
+            [inf, inf, inf, 0, 2],
+            [inf, inf, inf, 2, 0],
+        ]
+    )
+
+
+class TestPartition:
+    def test_two_islands_found(self):
+        partition = partition_into_clusters(two_islands(), l=2.0)
+        assert partition.clusters == ((0, 1, 2), (3, 4))
+        assert partition.unclustered == ()
+
+    def test_clusters_disjoint_and_covering(self):
+        d = random_tree_distance_matrix(20, seed=0)
+        l = float(np.percentile(d.upper_triangle(), 40))
+        partition = partition_into_clusters(d, l)
+        seen: list[int] = []
+        for cluster in partition.clusters:
+            seen.extend(cluster)
+        seen.extend(partition.unclustered)
+        assert sorted(seen) == list(range(20))
+
+    def test_every_cluster_satisfies_constraint(self):
+        d = random_tree_distance_matrix(18, seed=1)
+        l = float(np.percentile(d.upper_triangle(), 35))
+        partition = partition_into_clusters(d, l)
+        for cluster in partition.clusters:
+            assert d.diameter(list(cluster)) <= l + 1e-9
+
+    def test_greedy_sizes_non_increasing(self):
+        d = random_tree_distance_matrix(25, seed=2)
+        l = float(np.percentile(d.upper_triangle(), 30))
+        partition = partition_into_clusters(d, l)
+        sizes = [len(c) for c in partition.clusters]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_min_size_respected(self):
+        d = random_tree_distance_matrix(20, seed=3)
+        l = float(np.percentile(d.upper_triangle(), 30))
+        partition = partition_into_clusters(d, l, min_size=4)
+        for cluster in partition.clusters:
+            assert len(cluster) >= 4
+
+    def test_max_clusters_cap(self):
+        d = random_tree_distance_matrix(24, seed=4)
+        l = float(np.percentile(d.upper_triangle(), 50))
+        partition = partition_into_clusters(d, l, max_clusters=1)
+        assert len(partition.clusters) <= 1
+
+    def test_tiny_l_clusters_nothing(self):
+        d = random_tree_distance_matrix(10, seed=5)
+        tiny = float(d.upper_triangle().min()) / 10
+        partition = partition_into_clusters(d, tiny)
+        assert partition.clusters == ()
+        assert len(partition.unclustered) == 10
+
+    def test_huge_l_single_cluster(self):
+        d = random_tree_distance_matrix(10, seed=6)
+        partition = partition_into_clusters(d, d.diameter())
+        assert partition.clusters == (tuple(range(10)),)
+
+    def test_cluster_of_lookup(self):
+        partition = partition_into_clusters(two_islands(), l=2.0)
+        assert partition.cluster_of(1) == 0
+        assert partition.cluster_of(4) == 1
+
+    def test_cluster_of_unclustered_is_none(self):
+        d = random_tree_distance_matrix(10, seed=7)
+        tiny = float(d.upper_triangle().min()) / 10
+        partition = partition_into_clusters(d, tiny)
+        assert partition.cluster_of(0) is None
+
+    def test_clustered_count(self):
+        partition = partition_into_clusters(two_islands(), l=2.0)
+        assert partition.clustered_count == 5
+
+    def test_bad_min_size_rejected(self):
+        with pytest.raises(ValidationError):
+            partition_into_clusters(two_islands(), l=1.0, min_size=1)
+
+    def test_bad_max_clusters_rejected(self):
+        with pytest.raises(QueryError):
+            partition_into_clusters(two_islands(), l=1.0, max_clusters=0)

@@ -1,0 +1,49 @@
+"""Property-based tests for greedy partitioning."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import partition_into_clusters
+from tests.conftest import random_tree_distance_matrix
+
+
+@given(
+    n=st.integers(min_value=4, max_value=16),
+    seed=st.integers(0, 300),
+    quantile=st.floats(min_value=10, max_value=90),
+    min_size=st.integers(min_value=2, max_value=4),
+)
+@settings(max_examples=30, deadline=None)
+def test_partition_invariants(n, seed, quantile, min_size):
+    d = random_tree_distance_matrix(n, seed=seed)
+    l = float(np.percentile(d.upper_triangle(), quantile))
+    partition = partition_into_clusters(d, l, min_size=min_size)
+
+    # Exact cover of the node set.
+    seen: list[int] = []
+    for cluster in partition.clusters:
+        seen.extend(cluster)
+    seen.extend(partition.unclustered)
+    assert sorted(seen) == list(range(n))
+
+    # Every cluster valid and big enough; sizes non-increasing.
+    sizes = []
+    for cluster in partition.clusters:
+        assert len(cluster) >= min_size
+        assert d.diameter(list(cluster)) <= l + 1e-9
+        sizes.append(len(cluster))
+    assert sizes == sorted(sizes, reverse=True)
+
+
+@given(
+    n=st.integers(min_value=4, max_value=14),
+    seed=st.integers(0, 300),
+)
+@settings(max_examples=20, deadline=None)
+def test_looser_constraint_clusters_no_fewer_nodes(n, seed):
+    d = random_tree_distance_matrix(n, seed=seed)
+    tri = np.sort(d.upper_triangle())
+    tight = partition_into_clusters(d, float(tri[len(tri) // 4]))
+    loose = partition_into_clusters(d, float(tri[-1]))
+    assert loose.clustered_count >= tight.clustered_count

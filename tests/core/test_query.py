@@ -1,0 +1,98 @@
+"""Unit tests for query types and bandwidth classes."""
+
+import pytest
+
+from repro.core.query import BandwidthClasses, ClusterQuery
+from repro.exceptions import QueryError, UnsupportedConstraintError
+from repro.metrics.transform import RationalTransform
+
+
+class TestClusterQuery:
+    def test_valid(self):
+        query = ClusterQuery(k=5, b=30.0)
+        assert query.k == 5
+        assert query.b == 30.0
+
+    def test_k_below_two_rejected(self):
+        with pytest.raises(QueryError):
+            ClusterQuery(k=1, b=30.0)
+
+    def test_non_integer_k_rejected(self):
+        with pytest.raises(QueryError):
+            ClusterQuery(k=2.5, b=30.0)
+
+    def test_non_positive_b_rejected(self):
+        with pytest.raises(Exception):
+            ClusterQuery(k=2, b=0.0)
+
+    def test_distance_constraint(self):
+        query = ClusterQuery(k=2, b=25.0)
+        assert query.distance_constraint(RationalTransform(c=100.0)) == 4.0
+
+
+class TestBandwidthClasses:
+    def test_linear_construction(self):
+        classes = BandwidthClasses.linear(10.0, 50.0, 5)
+        assert classes.bandwidths == [10.0, 20.0, 30.0, 40.0, 50.0]
+        assert len(classes) == 5
+
+    def test_linear_single_class(self):
+        classes = BandwidthClasses.linear(10.0, 50.0, 1)
+        assert classes.bandwidths == [10.0]
+
+    def test_linear_rejects_inverted_range(self):
+        with pytest.raises(QueryError):
+            BandwidthClasses.linear(50.0, 10.0, 3)
+
+    def test_rejects_empty(self):
+        with pytest.raises(QueryError):
+            BandwidthClasses([])
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(QueryError):
+            BandwidthClasses([10.0, 5.0])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(QueryError):
+            BandwidthClasses([10.0, 10.0])
+
+    def test_distance_classes_ascending(self):
+        classes = BandwidthClasses([10.0, 20.0, 50.0])
+        distances = classes.distance_classes
+        assert distances == sorted(distances)
+        assert distances[0] == pytest.approx(2.0)  # C=100 / 50
+
+    def test_snap_up(self):
+        classes = BandwidthClasses([10.0, 20.0, 50.0])
+        assert classes.snap_bandwidth(15.0) == 20.0
+        assert classes.snap_bandwidth(20.0) == 20.0
+        assert classes.snap_bandwidth(5.0) == 10.0
+
+    def test_snap_exact_boundary(self):
+        classes = BandwidthClasses([10.0, 20.0])
+        assert classes.snap_bandwidth(10.0) == 10.0
+
+    def test_snap_above_largest_rejected(self):
+        classes = BandwidthClasses([10.0, 20.0])
+        with pytest.raises(UnsupportedConstraintError):
+            classes.snap_bandwidth(21.0)
+
+    def test_snap_never_weakens(self):
+        classes = BandwidthClasses.linear(15.0, 75.0, 7)
+        for b in (15.0, 23.0, 44.4, 74.9):
+            assert classes.snap_bandwidth(b) >= b - 1e-9
+
+    def test_snap_distance_consistent(self):
+        classes = BandwidthClasses([10.0, 20.0])
+        assert classes.snap_distance(15.0) == pytest.approx(5.0)  # 100/20
+
+    def test_contains(self):
+        classes = BandwidthClasses([10.0, 20.0])
+        assert 10.0 in classes
+        assert 15.0 not in classes
+
+    def test_custom_transform(self):
+        classes = BandwidthClasses(
+            [10.0], transform=RationalTransform(c=50.0)
+        )
+        assert classes.distance_classes == [5.0]

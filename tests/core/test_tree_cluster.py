@@ -1,0 +1,121 @@
+"""Tests for the ball-cover tree clustering algorithm.
+
+The decisive property: on the metric induced by a prediction tree, the
+ball-cover maximum equals Algorithm 1's ``max_cluster_size`` — same
+answers, better asymptotics.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.find_cluster import find_cluster, max_cluster_size
+from repro.core.tree_cluster import (
+    best_ball_cover,
+    find_cluster_tree,
+    max_cluster_size_tree,
+)
+from repro.exceptions import QueryError, ValidationError
+from repro.metrics.metric import BandwidthMatrix, DistanceMatrix
+from repro.predtree.framework import build_framework
+from repro.predtree.tree import PredictionTree
+
+
+def framework_tree(n: int, seed: int):
+    rng = np.random.default_rng(seed)
+    raw = rng.uniform(1.0, 100.0, size=(n, n))
+    raw = (raw + raw.T) / 2
+    framework = build_framework(BandwidthMatrix(raw), seed=seed + 1)
+    return framework.tree, framework.predicted_distance_matrix()
+
+
+class TestBallCover:
+    def test_small_tree_cover(self):
+        tree = PredictionTree()
+        tree.add_first_host(0)
+        tree.add_second_host(1, 10.0)
+        tree.attach_host(2, 0, 1, gromov_to_end=5.0, leaf_weight=1.0)
+        # Hosts 1 and 2 are 6 apart; 0 and 2 also 6; 0 and 1 are 10.
+        cover = best_ball_cover(tree, l=6.0)
+        assert cover.size == 2
+        cover_all = best_ball_cover(tree, l=10.0)
+        assert cover_all.size == 3
+
+    def test_zero_radius(self):
+        tree = PredictionTree()
+        tree.add_first_host(0)
+        tree.add_second_host(1, 5.0)
+        cover = best_ball_cover(tree, l=0.0)
+        assert cover.size == 1
+
+    def test_singleton_tree(self):
+        tree = PredictionTree()
+        tree.add_first_host(7)
+        cover = best_ball_cover(tree, l=1.0)
+        assert cover.hosts == (7,)
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(QueryError):
+            best_ball_cover(PredictionTree(), l=1.0)
+
+    def test_negative_l_rejected(self):
+        tree = PredictionTree()
+        tree.add_first_host(0)
+        with pytest.raises(ValidationError):
+            best_ball_cover(tree, l=-1.0)
+
+    def test_cover_has_bounded_diameter(self):
+        tree, distances = framework_tree(15, seed=0)
+        l = float(np.percentile(distances.upper_triangle(), 50))
+        cover = best_ball_cover(tree, l)
+        assert distances.diameter(list(cover.hosts)) <= l + 1e-6
+
+
+class TestEquivalenceWithAlgorithm1:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_max_size_matches(self, seed):
+        tree, distances = framework_tree(14, seed=seed)
+        for q in (20, 45, 70, 95):
+            l = float(np.percentile(distances.upper_triangle(), q))
+            assert max_cluster_size_tree(tree, l) == max_cluster_size(
+                distances, l
+            ), (seed, q)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_find_cluster_existence_matches(self, seed):
+        tree, distances = framework_tree(12, seed=seed + 10)
+        l = float(np.percentile(distances.upper_triangle(), 50))
+        for k in (2, 4, 7, 11):
+            via_tree = find_cluster_tree(tree, k, l)
+            via_matrix = find_cluster(distances, k, l)
+            assert bool(via_tree) == bool(via_matrix), (seed, k)
+            if via_tree:
+                assert distances.diameter(via_tree) <= l + 1e-6
+
+    def test_requires_two_hosts(self):
+        tree = PredictionTree()
+        tree.add_first_host(0)
+        with pytest.raises(QueryError):
+            find_cluster_tree(tree, 2, 1.0)
+
+    def test_bad_k_rejected(self):
+        tree = PredictionTree()
+        tree.add_first_host(0)
+        tree.add_second_host(1, 1.0)
+        with pytest.raises(ValidationError):
+            find_cluster_tree(tree, 1, 1.0)
+
+
+@given(
+    n=st.integers(min_value=4, max_value=14),
+    seed=st.integers(0, 400),
+    quantile=st.floats(min_value=10, max_value=90),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_ball_cover_equals_algorithm1(n, seed, quantile):
+    tree, distances = framework_tree(n, seed=seed)
+    l = float(np.percentile(distances.upper_triangle(), quantile))
+    assert max_cluster_size_tree(tree, l) == max_cluster_size(
+        distances, l
+    )

@@ -1,0 +1,63 @@
+"""Property-based tests for the ball-cover structure itself."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.tree_cluster import best_ball_cover
+from repro.metrics.metric import BandwidthMatrix
+from repro.predtree.framework import build_framework
+
+
+def framework_tree(n: int, seed: int):
+    rng = np.random.default_rng(seed)
+    raw = rng.uniform(1.0, 100.0, size=(n, n))
+    raw = (raw + raw.T) / 2
+    framework = build_framework(BandwidthMatrix(raw), seed=seed + 1)
+    return framework.tree, framework.predicted_distance_matrix()
+
+
+@given(
+    n=st.integers(min_value=3, max_value=12),
+    seed=st.integers(0, 300),
+    quantile=st.floats(min_value=5, max_value=95),
+)
+@settings(max_examples=30, deadline=None)
+def test_cover_members_within_diameter(n, seed, quantile):
+    tree, distances = framework_tree(n, seed)
+    l = float(np.percentile(distances.upper_triangle(), quantile))
+    cover = best_ball_cover(tree, l)
+    members = list(cover.hosts)
+    assert members == sorted(members)
+    assert len(set(members)) == len(members)
+    if len(members) >= 2:
+        assert distances.diameter(members) <= l + 1e-6
+
+
+@given(
+    n=st.integers(min_value=3, max_value=10),
+    seed=st.integers(0, 300),
+)
+@settings(max_examples=20, deadline=None)
+def test_cover_size_monotone_in_l(n, seed):
+    tree, distances = framework_tree(n, seed)
+    tri = np.sort(distances.upper_triangle())
+    small = best_ball_cover(tree, float(tri[0]) / 2).size
+    medium = best_ball_cover(tree, float(tri[len(tri) // 2])).size
+    large = best_ball_cover(tree, float(tri[-1])).size
+    assert small <= medium <= large
+    assert large == n  # the full diameter covers everyone
+
+
+@given(
+    n=st.integers(min_value=3, max_value=10),
+    seed=st.integers(0, 300),
+)
+@settings(max_examples=20, deadline=None)
+def test_cover_offset_on_reported_edge(n, seed):
+    tree, distances = framework_tree(n, seed)
+    l = float(np.median(distances.upper_triangle()))
+    cover = best_ball_cover(tree, l)
+    u, v = cover.edge
+    if u != v:
+        assert 0.0 <= cover.offset <= tree.edge_weight(u, v) + 1e-9

@@ -1,0 +1,93 @@
+"""Tests for dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import Dataset
+from repro.datasets.io import load_dataset, save_dataset
+from repro.datasets.synthetic import access_link_bandwidth
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture
+def dataset():
+    return Dataset(
+        name="test-ds",
+        bandwidth=access_link_bandwidth(12, seed=0),
+        description="unit-test dataset",
+        metadata={"seed": 0, "params": [1, 2.5], "nested": {"a": 1}},
+    )
+
+
+class TestRoundtrip:
+    def test_matrix_identical(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "ds")
+        loaded = load_dataset(path)
+        assert np.array_equal(
+            loaded.bandwidth.values, dataset.bandwidth.values
+        )
+
+    def test_metadata_preserved(self, dataset, tmp_path):
+        save_dataset(dataset, tmp_path / "ds")
+        loaded = load_dataset(tmp_path / "ds")
+        assert loaded.name == "test-ds"
+        assert loaded.description == "unit-test dataset"
+        assert loaded.metadata["seed"] == 0
+        assert loaded.metadata["nested"] == {"a": 1}
+
+    def test_suffix_handling(self, dataset, tmp_path):
+        save_dataset(dataset, tmp_path / "with.npz")
+        loaded = load_dataset(tmp_path / "with.npz")
+        assert loaded.size == dataset.size
+
+    def test_creates_parent_directories(self, dataset, tmp_path):
+        path = save_dataset(dataset, tmp_path / "deep" / "dir" / "ds")
+        assert path.exists()
+
+    def test_numpy_metadata_jsonified(self, tmp_path):
+        ds = Dataset(
+            name="np-meta",
+            bandwidth=access_link_bandwidth(5, seed=1),
+            metadata={"value": np.float64(1.5), "arr": np.arange(3)},
+        )
+        save_dataset(ds, tmp_path / "np")
+        loaded = load_dataset(tmp_path / "np")
+        assert loaded.metadata["value"] == 1.5
+        assert loaded.metadata["arr"] == [0, 1, 2]
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_dataset(tmp_path / "absent")
+
+    def test_wrong_archive_contents(self, tmp_path):
+        np.savez(tmp_path / "bad.npz", other=np.zeros((2, 2)))
+        with pytest.raises(DatasetError):
+            load_dataset(tmp_path / "bad")
+
+    def test_missing_sidecar_is_tolerated(self, dataset, tmp_path):
+        save_dataset(dataset, tmp_path / "ds")
+        (tmp_path / "ds.json").unlink()
+        loaded = load_dataset(tmp_path / "ds")
+        assert loaded.name == "ds"
+        assert loaded.size == dataset.size
+
+
+class TestDatasetRecord:
+    def test_summary_contains_name_and_size(self, dataset):
+        assert "test-ds" in dataset.summary()
+        assert "n=12" in dataset.summary()
+
+    def test_distance_matrix_shape(self, dataset):
+        assert dataset.distance_matrix().size == 12
+
+    def test_epsilon_of_tree_metric_zero(self, dataset):
+        assert dataset.epsilon_average(samples=1000) == pytest.approx(
+            0.0, abs=1e-9
+        )
+
+    def test_percentiles_ordered(self, dataset):
+        assert dataset.bandwidth_percentile(20) <= (
+            dataset.bandwidth_percentile(80)
+        )

@@ -1,0 +1,95 @@
+"""Tests for the calibrated PlanetLab-like dataset builders."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.planetlab import (
+    HP_QUERY_RANGE,
+    UMD_QUERY_RANGE,
+    calibrated_lognormal_parameters,
+    hp_planetlab_like,
+    umd_planetlab_like,
+)
+from repro.exceptions import DatasetError
+
+
+class TestCalibration:
+    def test_solver_hits_quantiles(self):
+        mu, sigma = calibrated_lognormal_parameters((15.0, 0.2), (75.0, 0.8))
+        # Verify the implied access-rate quantiles by Monte Carlo on the
+        # min-of-two-draws distribution.
+        rng = np.random.default_rng(0)
+        rates = np.exp(rng.normal(mu, sigma, size=200_000))
+        pairs = np.minimum(rates[::2], rates[1::2])
+        assert np.mean(pairs < 15.0) == pytest.approx(0.2, abs=0.02)
+        assert np.mean(pairs < 75.0) == pytest.approx(0.8, abs=0.02)
+
+    def test_solver_rejects_bad_anchors(self):
+        with pytest.raises(DatasetError):
+            calibrated_lognormal_parameters((75.0, 0.2), (15.0, 0.8))
+        with pytest.raises(DatasetError):
+            calibrated_lognormal_parameters((15.0, 0.8), (75.0, 0.2))
+
+
+class TestHpLike:
+    def test_default_size(self):
+        assert hp_planetlab_like(seed=0, n=50).size == 50
+        # The paper's size is the builder default.
+        assert hp_planetlab_like.__defaults__ is not None
+
+    def test_percentiles_near_query_range(self):
+        dataset = hp_planetlab_like(seed=0, n=150)
+        p20 = dataset.bandwidth_percentile(20)
+        p80 = dataset.bandwidth_percentile(80)
+        # The composite + noise shifts things a bit; the query range
+        # must stay inside a generous band around the anchors.
+        assert HP_QUERY_RANGE[0] == pytest.approx(p20, rel=0.25)
+        assert HP_QUERY_RANGE[1] == pytest.approx(p80, rel=0.25)
+
+    def test_treeness_is_small_but_nonzero(self):
+        dataset = hp_planetlab_like(seed=0, n=80)
+        eps = dataset.epsilon_average(samples=4000)
+        assert 0.0 < eps < 0.5
+
+    def test_noiseless_variant_is_tree_metric(self):
+        from repro.metrics.fourpoint import is_tree_metric
+        dataset = hp_planetlab_like(
+            seed=0, n=30, noise_sigma=0.0, noise_sigma_high=0.0
+        )
+        assert is_tree_metric(dataset.distance_matrix(), samples=2000)
+
+    def test_deterministic(self):
+        a = hp_planetlab_like(seed=3, n=30)
+        b = hp_planetlab_like(seed=3, n=30)
+        assert np.array_equal(a.bandwidth.values, b.bandwidth.values)
+
+    def test_different_seeds_differ(self):
+        a = hp_planetlab_like(seed=1, n=30)
+        b = hp_planetlab_like(seed=2, n=30)
+        assert not np.array_equal(a.bandwidth.values, b.bandwidth.values)
+
+    def test_metadata_records_provenance(self):
+        dataset = hp_planetlab_like(seed=0, n=30)
+        assert dataset.metadata["n"] == 30
+        assert "noise_sigma" in dataset.metadata
+        assert "pathChirp" in dataset.description
+
+
+class TestUmdLike:
+    def test_size_default_is_paper(self):
+        dataset = umd_planetlab_like(seed=0, n=60)
+        assert dataset.size == 60
+
+    def test_percentiles_near_query_range(self):
+        dataset = umd_planetlab_like(seed=0, n=150)
+        p20 = dataset.bandwidth_percentile(20)
+        p80 = dataset.bandwidth_percentile(80)
+        assert UMD_QUERY_RANGE[0] == pytest.approx(p20, rel=0.25)
+        assert UMD_QUERY_RANGE[1] == pytest.approx(p80, rel=0.25)
+
+    def test_umd_richer_than_hp(self):
+        # UMD's query range sits higher: its median pairwise bandwidth
+        # should exceed HP's.
+        hp = hp_planetlab_like(seed=0, n=100)
+        umd = umd_planetlab_like(seed=0, n=100)
+        assert umd.bandwidth_percentile(50) > hp.bandwidth_percentile(50)

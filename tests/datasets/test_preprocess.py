@@ -1,0 +1,168 @@
+"""Tests for the raw-measurement preprocessing pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.planetlab import hp_planetlab_like
+from repro.datasets.preprocess import (
+    RawMeasurements,
+    asymmetry_factors,
+    largest_complete_submatrix,
+    preprocess_raw,
+    simulate_raw_measurements,
+)
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture(scope="module")
+def truth():
+    return hp_planetlab_like(seed=0, n=50)
+
+
+class TestSimulateRaw:
+    def test_coverage_roughly_respected(self, truth):
+        raw = simulate_raw_measurements(
+            truth, coverage=0.7, node_dropout=0.0, seed=1
+        )
+        assert raw.coverage() == pytest.approx(0.7, abs=0.08)
+
+    def test_full_coverage_no_dropout(self, truth):
+        raw = simulate_raw_measurements(
+            truth, coverage=1.0, node_dropout=0.0, seed=2
+        )
+        assert raw.coverage() == 1.0
+
+    def test_asymmetry_mean_preserves_pair_average(self, truth):
+        raw = simulate_raw_measurements(
+            truth, coverage=1.0, node_dropout=0.0,
+            asymmetry_mean=0.3, seed=3,
+        )
+        n = truth.size
+        iu, iv = np.triu_indices(n, k=1)
+        mean = (raw.values[iu, iv] + raw.values[iv, iu]) / 2
+        assert np.allclose(mean, truth.bandwidth.values[iu, iv], rtol=1e-9)
+
+    def test_lee_et_al_asymmetry_shape(self, truth):
+        # ~90% of pairs below asymmetry factor 0.5 (Sec. II-B).
+        raw = simulate_raw_measurements(
+            truth, coverage=1.0, node_dropout=0.0,
+            asymmetry_mean=0.2, seed=4,
+        )
+        factors = asymmetry_factors(raw)
+        assert float(np.mean(factors < 0.5)) >= 0.85
+
+    def test_zero_asymmetry(self, truth):
+        raw = simulate_raw_measurements(
+            truth, coverage=1.0, node_dropout=0.0,
+            asymmetry_mean=0.0, seed=5,
+        )
+        assert float(asymmetry_factors(raw).max()) < 1e-12
+
+    def test_bad_parameters_rejected(self, truth):
+        with pytest.raises(Exception):
+            simulate_raw_measurements(truth, coverage=1.5)
+        with pytest.raises(DatasetError):
+            simulate_raw_measurements(truth, asymmetry_mean=1.0)
+
+
+class TestLargestCompleteSubmatrix:
+    def test_complete_input_keeps_everything(self, truth):
+        raw = simulate_raw_measurements(
+            truth, coverage=1.0, node_dropout=0.0, seed=6
+        )
+        assert largest_complete_submatrix(raw) == list(range(truth.size))
+
+    def test_single_flaky_node_dropped(self):
+        values = np.full((4, 4), 10.0)
+        np.fill_diagonal(values, np.nan)
+        values[2, 0] = np.nan  # node 2 failed one measurement
+        raw = RawMeasurements(values=values)
+        assert largest_complete_submatrix(raw) in ([0, 1, 3], [1, 2, 3])
+
+    def test_extraction_is_complete(self, truth):
+        raw = simulate_raw_measurements(
+            truth, coverage=0.9, node_dropout=0.15, seed=7
+        )
+        keep = largest_complete_submatrix(raw)
+        index = np.asarray(keep)
+        sub = raw.values[np.ix_(index, index)]
+        off = ~np.eye(len(keep), dtype=bool)
+        assert not np.any(np.isnan(sub[off]))
+
+    def test_flaky_nodes_preferentially_dropped(self, truth):
+        raw = simulate_raw_measurements(
+            truth, coverage=1.0, node_dropout=0.2, seed=8
+        )
+        keep = largest_complete_submatrix(raw)
+        # Some nodes are flaky with seed 8, so some must be dropped —
+        # but most of the population survives.
+        assert 2 <= len(keep) <= truth.size
+        assert len(keep) >= truth.size // 2
+
+
+class TestPreprocessRaw:
+    def test_roundtrip_when_clean(self, truth):
+        raw = simulate_raw_measurements(
+            truth, coverage=1.0, node_dropout=0.0,
+            asymmetry_mean=0.0, seed=9,
+        )
+        dataset = preprocess_raw(raw)
+        assert dataset.size == truth.size
+        assert np.allclose(
+            dataset.bandwidth.upper_triangle(),
+            truth.bandwidth.upper_triangle(),
+            rtol=1e-9,
+        )
+
+    def test_symmetrization_averages_directions(self, truth):
+        raw = simulate_raw_measurements(
+            truth, coverage=1.0, node_dropout=0.0,
+            asymmetry_mean=0.3, seed=10,
+        )
+        dataset = preprocess_raw(raw)
+        # Averaging the asymmetric split recovers the ground truth.
+        assert np.allclose(
+            dataset.bandwidth.upper_triangle(),
+            truth.bandwidth.upper_triangle(),
+            rtol=1e-9,
+        )
+
+    def test_provenance_metadata(self, truth):
+        raw = simulate_raw_measurements(
+            truth, coverage=0.9, node_dropout=0.1, seed=11
+        )
+        dataset = preprocess_raw(raw, name="hp-prepped")
+        assert dataset.name == "hp-prepped"
+        assert dataset.metadata["raw_size"] == truth.size
+        assert len(dataset.metadata["kept_nodes"]) == dataset.size
+
+    def test_hopeless_raw_rejected(self):
+        values = np.full((3, 3), np.nan)
+        raw = RawMeasurements(values=values)
+        with pytest.raises(DatasetError):
+            preprocess_raw(raw)
+
+    def test_resulting_dataset_usable_by_framework(self, truth):
+        from repro.predtree.framework import build_framework
+
+        raw = simulate_raw_measurements(
+            truth, coverage=0.95, node_dropout=0.1, seed=12
+        )
+        dataset = preprocess_raw(raw)
+        framework = build_framework(dataset.bandwidth, seed=0)
+        assert framework.size == dataset.size
+
+
+class TestRawMeasurements:
+    def test_rejects_non_square(self):
+        with pytest.raises(DatasetError):
+            RawMeasurements(values=np.zeros((2, 3)))
+
+    def test_rejects_negative_measured(self):
+        values = np.array([[np.nan, -1.0], [1.0, np.nan]])
+        with pytest.raises(DatasetError):
+            RawMeasurements(values=values)
+
+    def test_coverage_of_tiny(self):
+        raw = RawMeasurements(values=np.array([[np.nan]]))
+        assert raw.coverage() == 1.0

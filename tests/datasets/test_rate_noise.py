@@ -1,0 +1,86 @@
+"""Tests for rate-dependent measurement noise."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    access_link_bandwidth,
+    apply_rate_dependent_noise,
+)
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture
+def clean():
+    return access_link_bandwidth(60, seed=0, mu=3.5, sigma=1.0)
+
+
+class TestRateDependentNoise:
+    def test_zero_sigmas_identity(self, clean):
+        assert apply_rate_dependent_noise(clean, 0.0, 0.0) is clean
+
+    def test_symmetric_output(self, clean):
+        noisy = apply_rate_dependent_noise(clean, 0.05, 0.3, seed=1)
+        values = noisy.values.copy()
+        np.fill_diagonal(values, 0.0)
+        assert np.allclose(values, values.T)
+
+    def test_fast_pairs_noisier_than_slow(self, clean):
+        # Aggregate over seeds: the relative perturbation of top-decile
+        # pairs must exceed that of bottom-decile pairs.
+        tri_clean = clean.upper_triangle()
+        top = tri_clean >= np.percentile(tri_clean, 90)
+        bottom = tri_clean <= np.percentile(tri_clean, 10)
+        top_dev, bottom_dev = [], []
+        for seed in range(5):
+            noisy = apply_rate_dependent_noise(
+                clean, 0.02, 0.4, seed=seed
+            )
+            ratio = noisy.upper_triangle() / tri_clean
+            deviation = np.abs(np.log(ratio))
+            top_dev.append(deviation[top].mean())
+            bottom_dev.append(deviation[bottom].mean())
+        assert np.mean(top_dev) > 2 * np.mean(bottom_dev)
+
+    def test_median_roughly_preserved(self, clean):
+        noisy = apply_rate_dependent_noise(clean, 0.05, 0.2, seed=2)
+        assert np.median(noisy.upper_triangle()) == pytest.approx(
+            np.median(clean.upper_triangle()), rel=0.15
+        )
+
+    def test_uniform_when_sigmas_equal(self, clean):
+        # With equal endpoints the noise is homoscedastic: deviations of
+        # top and bottom pairs match statistically.
+        tri_clean = clean.upper_triangle()
+        top = tri_clean >= np.percentile(tri_clean, 90)
+        bottom = tri_clean <= np.percentile(tri_clean, 10)
+        top_dev, bottom_dev = [], []
+        for seed in range(6):
+            noisy = apply_rate_dependent_noise(
+                clean, 0.2, 0.2, seed=seed
+            )
+            ratio = noisy.upper_triangle() / tri_clean
+            deviation = np.abs(np.log(ratio))
+            top_dev.append(deviation[top].mean())
+            bottom_dev.append(deviation[bottom].mean())
+        assert np.mean(top_dev) == pytest.approx(
+            np.mean(bottom_dev), rel=0.5
+        )
+
+    def test_negative_sigma_rejected(self, clean):
+        with pytest.raises(DatasetError):
+            apply_rate_dependent_noise(clean, -0.1, 0.2)
+        with pytest.raises(DatasetError):
+            apply_rate_dependent_noise(clean, 0.1, -0.2)
+
+    def test_treeness_degrades_with_high_sigma(self, clean):
+        from repro.metrics.fourpoint import epsilon_average
+        mild = apply_rate_dependent_noise(clean, 0.01, 0.05, seed=3)
+        heavy = apply_rate_dependent_noise(clean, 0.05, 0.5, seed=3)
+        eps_mild = epsilon_average(
+            mild.to_distance_matrix(), samples=3000, seed=0
+        )
+        eps_heavy = epsilon_average(
+            heavy.to_distance_matrix(), samples=3000, seed=0
+        )
+        assert eps_mild < eps_heavy

@@ -1,0 +1,93 @@
+"""Tests for subset extraction (Fig. 5 / Fig. 6 inputs)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.planetlab import hp_planetlab_like
+from repro.datasets.subsets import (
+    random_subset,
+    random_subsets,
+    treeness_variants,
+)
+from repro.exceptions import DatasetError
+
+
+@pytest.fixture(scope="module")
+def parent():
+    return hp_planetlab_like(seed=0, n=60)
+
+
+class TestRandomSubset:
+    def test_size(self, parent):
+        sub = random_subset(parent, 20, seed=1)
+        assert sub.size == 20
+
+    def test_values_come_from_parent(self, parent):
+        sub = random_subset(parent, 10, seed=2)
+        nodes = sub.metadata["subset_nodes"]
+        for i, u in enumerate(nodes):
+            for j, v in enumerate(nodes):
+                if i != j:
+                    assert sub.bandwidth(i, j) == parent.bandwidth(u, v)
+
+    def test_rejects_oversized(self, parent):
+        with pytest.raises(DatasetError):
+            random_subset(parent, 61)
+
+    def test_rejects_undersized(self, parent):
+        with pytest.raises(DatasetError):
+            random_subset(parent, 1)
+
+    def test_deterministic(self, parent):
+        a = random_subset(parent, 15, seed=3)
+        b = random_subset(parent, 15, seed=3)
+        assert np.array_equal(a.bandwidth.values, b.bandwidth.values)
+
+
+class TestRandomSubsets:
+    def test_count_and_independence(self, parent):
+        subsets = random_subsets(parent, 20, count=3, seed=4)
+        assert len(subsets) == 3
+        assert not np.array_equal(
+            subsets[0].bandwidth.values, subsets[1].bandwidth.values
+        )
+
+
+class TestTreenessVariants:
+    def test_one_per_level(self, parent):
+        variants = treeness_variants(
+            parent, size=25, noise_levels=(0.0, 0.2, 0.5), seed=5
+        )
+        assert len(variants) == 3
+
+    def test_epsilon_monotone_in_noise(self, parent):
+        variants = treeness_variants(
+            parent, size=30, noise_levels=(0.0, 0.3, 0.8), seed=6
+        )
+        eps = [v.epsilon_average(samples=2000) for v in variants]
+        assert eps[0] < eps[1] < eps[2]
+
+    def test_shared_node_population(self, parent):
+        variants = treeness_variants(
+            parent, size=20, noise_levels=(0.0, 0.4), seed=7
+        )
+        assert (
+            variants[0].metadata["subset_nodes"]
+            == variants[1].metadata["subset_nodes"]
+        )
+
+    def test_bandwidth_distribution_stays_centred(self, parent):
+        variants = treeness_variants(
+            parent, size=40, noise_levels=(0.0, 0.5), seed=8
+        )
+        clean = np.median(variants[0].bandwidth.upper_triangle())
+        noisy = np.median(variants[1].bandwidth.upper_triangle())
+        assert noisy == pytest.approx(clean, rel=0.25)
+
+    def test_rejects_single_level(self, parent):
+        with pytest.raises(DatasetError):
+            treeness_variants(parent, size=20, noise_levels=(0.0,))
+
+    def test_rejects_negative_level(self, parent):
+        with pytest.raises(DatasetError):
+            treeness_variants(parent, size=20, noise_levels=(0.0, -0.1))

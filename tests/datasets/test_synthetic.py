@@ -1,0 +1,145 @@
+"""Tests for the synthetic bandwidth generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    access_link_bandwidth,
+    apply_lognormal_noise,
+    hierarchy_bandwidth,
+    lognormal_access_rates,
+    random_tree_metric_bandwidth,
+)
+from repro.exceptions import DatasetError
+from repro.metrics.fourpoint import epsilon_average, is_tree_metric
+
+
+class TestAccessLinkModel:
+    def test_is_perfect_tree_metric(self):
+        for seed in range(4):
+            bw = access_link_bandwidth(16, seed=seed)
+            assert is_tree_metric(bw.to_distance_matrix())
+
+    def test_min_structure(self):
+        bw = access_link_bandwidth(10, seed=0)
+        values = bw.values
+        # BW(u, v) = min(A_u, A_v): every row's off-diagonal max equals
+        # the smaller of the two largest access rates... simpler: matrix
+        # values are drawn from at most n distinct rates.
+        off = values[~np.eye(10, dtype=bool)]
+        assert len(np.unique(off)) <= 10
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(DatasetError):
+            access_link_bandwidth(1)
+
+    def test_deterministic(self):
+        a = access_link_bandwidth(8, seed=5)
+        b = access_link_bandwidth(8, seed=5)
+        assert np.array_equal(a.values, b.values)
+
+
+class TestHierarchyModel:
+    def test_is_perfect_tree_metric(self):
+        for seed in range(4):
+            bw = hierarchy_bandwidth(14, seed=seed)
+            assert is_tree_metric(bw.to_distance_matrix())
+
+    def test_capacities_positive(self):
+        bw = hierarchy_bandwidth(12, seed=1)
+        off = bw.values[~np.eye(12, dtype=bool)]
+        assert np.all(off >= 1.0)
+
+    def test_decay_shrinks_deep_links(self):
+        strong = hierarchy_bandwidth(20, seed=2, decay=1.0)
+        weak = hierarchy_bandwidth(20, seed=2, decay=0.3)
+        assert weak.upper_triangle().mean() < (
+            strong.upper_triangle().mean()
+        )
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(DatasetError):
+            hierarchy_bandwidth(10, decay=0.0)
+        with pytest.raises(DatasetError):
+            hierarchy_bandwidth(10, decay=1.5)
+
+    def test_rejects_tiny_n(self):
+        with pytest.raises(DatasetError):
+            hierarchy_bandwidth(1)
+
+
+class TestRandomTreeMetricModel:
+    def test_is_perfect_tree_metric(self):
+        for seed in range(4):
+            bw = random_tree_metric_bandwidth(12, seed=seed)
+            assert is_tree_metric(bw.to_distance_matrix(), tolerance=1e-7)
+
+    def test_bandwidth_positive_finite(self):
+        bw = random_tree_metric_bandwidth(10, seed=3)
+        off = bw.values[~np.eye(10, dtype=bool)]
+        assert np.all(np.isfinite(off))
+        assert np.all(off > 0)
+
+
+class TestLognormalNoise:
+    def test_zero_sigma_identity(self):
+        bw = access_link_bandwidth(10, seed=0)
+        assert apply_lognormal_noise(bw, 0.0) is bw
+
+    def test_noise_degrades_treeness(self):
+        bw = access_link_bandwidth(25, seed=1)
+        clean_eps = epsilon_average(
+            bw.to_distance_matrix(), samples=3000, seed=0
+        )
+        noisy = apply_lognormal_noise(bw, sigma=0.4, seed=2)
+        noisy_eps = epsilon_average(
+            noisy.to_distance_matrix(), samples=3000, seed=0
+        )
+        assert clean_eps == pytest.approx(0.0, abs=1e-9)
+        assert noisy_eps > 0.1
+
+    def test_noise_is_symmetric(self):
+        bw = access_link_bandwidth(12, seed=3)
+        noisy = apply_lognormal_noise(bw, sigma=0.3, seed=4)
+        values = noisy.values.copy()
+        np.fill_diagonal(values, 0.0)
+        assert np.allclose(values, values.T)
+
+    def test_noise_keeps_median_centred(self):
+        bw = access_link_bandwidth(40, seed=5)
+        noisy = apply_lognormal_noise(bw, sigma=0.2, seed=6)
+        clean_median = np.median(bw.upper_triangle())
+        noisy_median = np.median(noisy.upper_triangle())
+        assert noisy_median == pytest.approx(clean_median, rel=0.15)
+
+    def test_negative_sigma_rejected(self):
+        bw = access_link_bandwidth(5, seed=0)
+        with pytest.raises(DatasetError):
+            apply_lognormal_noise(bw, sigma=-0.1)
+
+    def test_more_sigma_more_epsilon(self):
+        bw = access_link_bandwidth(25, seed=7)
+        eps = []
+        for sigma in (0.05, 0.5):
+            noisy = apply_lognormal_noise(bw, sigma=sigma, seed=8)
+            eps.append(
+                epsilon_average(
+                    noisy.to_distance_matrix(), samples=3000, seed=0
+                )
+            )
+        assert eps[0] < eps[1]
+
+
+class TestAccessRates:
+    def test_clipping(self):
+        rng = np.random.default_rng(0)
+        rates = lognormal_access_rates(
+            500, mu=4.0, sigma=3.0, rng=rng, low=1.0, high=100.0
+        )
+        assert rates.min() >= 1.0
+        assert rates.max() <= 100.0
+
+    def test_rejects_tiny_n(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(DatasetError):
+            lognormal_access_rates(1, 4.0, 1.0, rng)

@@ -1,0 +1,89 @@
+"""Tests for the churn experiment driver."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.churn import ChurnParams, ChurnResult, ChurnStep, run_churn
+
+
+@pytest.fixture(scope="module")
+def result():
+    params = ChurnParams(
+        n=25, departures=4, queries_per_step=8, k=3, n_cut=5
+    )
+    return run_churn(params)
+
+
+class TestRunChurn:
+    def test_one_step_per_departure(self, result):
+        assert len(result.steps) == 4
+
+    def test_live_hosts_strictly_decreasing(self, result):
+        live = [step.live_hosts for step in result.steps]
+        assert live == sorted(live, reverse=True)
+        assert live[0] == 24
+        assert live[-1] == 21
+
+    def test_rates_bounded(self, result):
+        for step in result.steps:
+            assert 0.0 <= step.return_rate <= 1.0
+            if not math.isnan(step.valid_fraction):
+                assert 0.0 <= step.valid_fraction <= 1.0
+
+    def test_displaced_bounded_by_system(self, result):
+        for step in result.steps:
+            assert 0 <= step.displaced < 25
+
+    def test_shape_check_passes_at_test_scale(self, result):
+        assert result.shape_check() == []
+
+    def test_table_renders(self, result):
+        text = result.format_table()
+        assert "churn" in text
+        assert "RR" in text
+
+    def test_too_many_departures_rejected(self):
+        with pytest.raises(ExperimentError):
+            ChurnParams(n=10, departures=9).build_dataset()
+
+    def test_presets(self):
+        assert ChurnParams.quick().n == 50
+        assert ChurnParams.paper().departures == 60
+
+
+class TestShapeCheck:
+    def _steps(self, rrs, valids, rounds=None):
+        rounds = rounds or [8] * len(rrs)
+        return ChurnResult(
+            params=ChurnParams(),
+            steps=[
+                ChurnStep(
+                    live_hosts=50 - i,
+                    displaced=0,
+                    aggregation_rounds=r,
+                    return_rate=rr,
+                    valid_fraction=v,
+                )
+                for i, (rr, v, r) in enumerate(zip(rrs, valids, rounds))
+            ],
+        )
+
+    def test_rr_collapse_detected(self):
+        result = self._steps([1.0, 0.9, 0.3], [1.0, 1.0, 1.0])
+        assert any("RR collapsed" in p for p in result.shape_check())
+
+    def test_low_validity_detected(self):
+        result = self._steps([1.0, 1.0], [0.3, 0.4])
+        assert any("valid" in p for p in result.shape_check())
+
+    def test_healing_blowup_detected(self):
+        result = self._steps(
+            [1.0, 1.0], [1.0, 1.0], rounds=[5, 40]
+        )
+        assert any("healing" in p for p in result.shape_check())
+
+    def test_empty_steps_flagged(self):
+        result = ChurnResult(params=ChurnParams(), steps=[])
+        assert result.shape_check() == ["no churn steps recorded"]

@@ -1,0 +1,102 @@
+"""Tests for CSV export of figure results."""
+
+import csv
+
+import pytest
+
+from repro.experiments.fig3_accuracy import Fig3Params, run_fig3
+from repro.experiments.fig4_tradeoff import Fig4Params, run_fig4
+from repro.experiments.fig5_treeness import Fig5Params, run_fig5
+from repro.experiments.fig6_scalability import Fig6Params, run_fig6
+from repro.experiments.report import write_csv
+
+
+def read_csv(path):
+    with open(path, newline="") as handle:
+        return list(csv.reader(handle))
+
+
+@pytest.fixture(scope="module")
+def tiny_results():
+    fig3 = run_fig3(
+        Fig3Params(
+            dataset="hp", n=25, k=3, queries_per_round=10, rounds=1,
+            vivaldi_rounds=40, bins=2,
+        )
+    )
+    fig4 = run_fig4(
+        Fig4Params(
+            dataset="hp", n=25, k_range=(2, 10), queries_per_round=8,
+            rounds=1, bins=2,
+        )
+    )
+    fig5 = run_fig5(
+        Fig5Params(
+            dataset="hp", parent_n=30, subset_size=16,
+            noise_levels=(0.0, 0.5), queries_per_round=10, rounds=1,
+            bins=3, eps_samples=500,
+        )
+    )
+    fig6 = run_fig6(
+        Fig6Params(
+            parent_n=30, sizes=(15, 20), datasets_per_size=1,
+            queries_per_round=5, rounds=1,
+        )
+    )
+    return fig3, fig4, fig5, fig6
+
+
+class TestWriteCsv:
+    def test_basic_write(self, tmp_path):
+        path = write_csv(
+            tmp_path / "x.csv", ["a", "b"], [[1, 2], [3, 4]]
+        )
+        assert read_csv(path) == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_directories(self, tmp_path):
+        path = write_csv(tmp_path / "d" / "x.csv", ["a"], [[1]])
+        assert path.exists()
+
+
+class TestFigureExports:
+    def test_fig3_panels_present(self, tiny_results, tmp_path):
+        fig3 = tiny_results[0]
+        fig3.write_csv(tmp_path / "fig3.csv")
+        rows = read_csv(tmp_path / "fig3.csv")
+        panels = {row[0] for row in rows[1:]}
+        assert panels == {"wpr", "cdf"}
+        series = {row[1] for row in rows[1:] if row[0] == "cdf"}
+        assert series == {"tree", "eucl"}
+
+    def test_fig4_series_present(self, tiny_results, tmp_path):
+        fig4 = tiny_results[1]
+        fig4.write_csv(tmp_path / "fig4.csv")
+        rows = read_csv(tmp_path / "fig4.csv")
+        assert rows[0] == ["series", "k", "return_rate", "queries"]
+        assert {row[0] for row in rows[1:]} == {
+            "tree-decentral", "tree-central",
+        }
+
+    def test_fig5_columns(self, tiny_results, tmp_path):
+        fig5 = tiny_results[2]
+        fig5.write_csv(tmp_path / "fig5.csv")
+        rows = read_csv(tmp_path / "fig5.csv")
+        assert rows[0] == [
+            "variant", "eps_avg", "f_b", "wpr", "normalized_wpr",
+        ]
+        assert len({row[0] for row in rows[1:]}) == 2  # two variants
+
+    def test_fig6_rows_match_series(self, tiny_results, tmp_path):
+        fig6 = tiny_results[3]
+        fig6.write_csv(tmp_path / "fig6.csv")
+        rows = read_csv(tmp_path / "fig6.csv")
+        assert len(rows) == 1 + len(fig6.series)
+        assert [int(row[0]) for row in rows[1:]] == [15, 20]
+
+    def test_csv_values_parse_as_floats(self, tiny_results, tmp_path):
+        fig4 = tiny_results[1]
+        fig4.write_csv(tmp_path / "fig4.csv")
+        for row in read_csv(tmp_path / "fig4.csv")[1:]:
+            float(row[1])
+            rate = float(row[2])
+            assert 0.0 <= rate <= 1.0

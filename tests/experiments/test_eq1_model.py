@@ -1,0 +1,49 @@
+"""Tests for the Equation-1 validation driver."""
+
+import math
+
+import pytest
+
+from repro.experiments.eq1_model import Eq1Params, run_eq1
+from repro.experiments.fig5_treeness import Fig5Params
+
+
+@pytest.fixture(scope="module")
+def result():
+    params = Eq1Params(
+        fig5=Fig5Params(
+            dataset="hp", parent_n=40, subset_size=24,
+            noise_levels=(0.0, 0.3, 0.7), queries_per_round=40,
+            rounds=1, bins=5, eps_samples=1000,
+        )
+    )
+    return run_eq1(params)
+
+
+class TestEq1Result:
+    def test_one_fit_per_variant(self, result):
+        assert len(result.fits) == 3
+
+    def test_eps_ordering_preserved(self, result):
+        eps = [fit.eps_avg for fit in result.fits]
+        assert eps == sorted(eps)
+
+    def test_model_exponent_from_adjusted_epsilon(self, result):
+        from repro.analysis.treeness import adjusted_epsilon
+        for fit in result.fits:
+            eps_sharp = adjusted_epsilon(fit.eps_avg, fit.mean_f_a)
+            if eps_sharp > 0:
+                assert fit.model_exponent == pytest.approx(
+                    1.0 / eps_sharp
+                )
+
+    def test_table_mentions_correlation(self, result):
+        assert "correlation" in result.format_table()
+
+    def test_correlation_in_range_or_nan(self, result):
+        if not math.isnan(result.correlation):
+            assert -1.0 <= result.correlation <= 1.0
+
+    def test_presets_build(self):
+        assert Eq1Params.quick("hp").fig5.dataset == "hp"
+        assert Eq1Params.paper("umd").fig5.subset_size == 100

@@ -1,0 +1,141 @@
+"""Smoke + shape tests for the figure drivers (tiny scales).
+
+Full quick-scale runs live in the benchmark harness; here each driver
+runs at the smallest scale that still exercises every code path, and the
+result objects' invariants are checked.
+"""
+
+import math
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.fig3_accuracy import Fig3Params, run_fig3
+from repro.experiments.fig4_tradeoff import Fig4Params, run_fig4
+from repro.experiments.fig5_treeness import Fig5Params, run_fig5
+from repro.experiments.fig6_scalability import Fig6Params, run_fig6
+from repro.experiments.runner import Approach
+
+
+@pytest.fixture(scope="module")
+def fig3_result():
+    params = Fig3Params(
+        dataset="hp", n=30, k=3, queries_per_round=15, rounds=1,
+        vivaldi_rounds=60, bins=3,
+    )
+    return run_fig3(params)
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    params = Fig4Params(
+        dataset="hp", n=30, k_range=(2, 15), queries_per_round=12,
+        rounds=1, bins=3,
+    )
+    return run_fig4(params)
+
+
+class TestFig3:
+    def test_all_approaches_present(self, fig3_result):
+        assert set(fig3_result.wpr_series) == {
+            Approach.TREE_DECENTRAL,
+            Approach.TREE_CENTRAL,
+            Approach.EUCL_CENTRAL,
+        }
+
+    def test_wpr_in_unit_interval(self, fig3_result):
+        for series in fig3_result.wpr_series.values():
+            for _, wpr, pairs in series:
+                assert 0.0 <= wpr <= 1.0
+                assert pairs > 0
+
+    def test_cdfs_monotone(self, fig3_result):
+        for key in ("tree", "eucl"):
+            _, cdf = fig3_result.relerr_cdf[key]
+            assert all(a <= b + 1e-12 for a, b in zip(cdf, cdf[1:]))
+
+    def test_return_rates_recorded(self, fig3_result):
+        for approach, rate in fig3_result.return_rate.items():
+            assert 0.0 <= rate <= 1.0
+
+    def test_format_table_mentions_all_curves(self, fig3_result):
+        text = fig3_result.format_table()
+        assert "tree-central" in text
+        assert "eucl-central" in text
+        assert "CDF" in text
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ExperimentError):
+            Fig3Params.quick("nonexistent")
+        with pytest.raises(ExperimentError):
+            Fig3Params(dataset="nope").build_dataset()
+
+
+class TestFig4:
+    def test_rr_bounded(self, fig4_result):
+        for series in fig4_result.rr_series.values():
+            for _, rate, asked in series:
+                assert 0.0 <= rate <= 1.0
+                assert asked > 0
+
+    def test_both_approaches(self, fig4_result):
+        assert set(fig4_result.rr_series) == {
+            Approach.TREE_DECENTRAL,
+            Approach.TREE_CENTRAL,
+        }
+
+    def test_format_table(self, fig4_result):
+        assert "RR vs k" in fig4_result.format_table()
+
+    def test_paper_preset_scales(self):
+        params = Fig4Params.paper("umd")
+        assert params.n == 317
+        assert params.k_range == (2, 150)
+
+
+class TestFig5:
+    def test_smoke(self):
+        params = Fig5Params(
+            dataset="hp", parent_n=40, subset_size=20,
+            noise_levels=(0.0, 0.5), queries_per_round=20, rounds=1,
+            bins=4, eps_samples=800,
+        )
+        result = run_fig5(params)
+        assert len(result.curves) == 2
+        assert result.curves[0].eps_avg < result.curves[1].eps_avg
+        for curve in result.curves:
+            for f_b, wpr, normalized in curve.points:
+                assert 0.0 <= f_b <= 1.0
+                assert 0.0 <= wpr <= 1.0
+                assert 0.0 <= normalized <= 1.0
+        assert "treeness" in result.format_table()
+
+    def test_paper_preset(self):
+        params = Fig5Params.paper("umd")
+        assert params.subset_size == 100
+        assert len(params.noise_levels) == 6
+
+
+class TestFig6:
+    def test_smoke(self):
+        params = Fig6Params(
+            parent_n=40, sizes=(20, 30), datasets_per_size=1,
+            queries_per_round=8, rounds=1,
+        )
+        result = run_fig6(params)
+        assert [row[0] for row in result.series] == [20, 30]
+        for _, mean_hops, max_hops, queries in result.series:
+            assert not math.isnan(mean_hops)
+            assert mean_hops <= max_hops
+            assert queries == 8
+        assert "hops" in result.format_table()
+
+    def test_size_exceeding_parent_rejected(self):
+        params = Fig6Params(parent_n=20, sizes=(30,))
+        with pytest.raises(ExperimentError):
+            params.build_parent()
+
+    def test_paper_preset(self):
+        params = Fig6Params.paper()
+        assert max(params.sizes) == 300
+        assert params.datasets_per_size == 10

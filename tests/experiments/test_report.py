@@ -1,0 +1,38 @@
+"""Tests for the plain-text report rendering."""
+
+from repro.experiments.report import format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(
+            ["name", "value"],
+            [["a", 1.0], ["long-name", 123.456]],
+        )
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("name")
+        # All rows padded to equal column starts.
+        assert lines[2].index("1") == lines[3].index("123".split()[0][0])
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[0.123456789]])
+        assert "0.1235" in text
+
+
+class TestFormatSeries:
+    def test_rendering(self):
+        text = format_series("curve", [(1.0, 0.5), (2.0, 0.25)])
+        assert text.startswith("curve: [")
+        assert "(1, 0.5)" in text
+
+    def test_empty(self):
+        assert format_series("empty", []) == "empty: []"

@@ -1,0 +1,90 @@
+"""Tests for the shared experiment machinery."""
+
+import numpy as np
+import pytest
+
+from repro.core.query import BandwidthClasses
+from repro.exceptions import ExperimentError
+from repro.experiments.runner import (
+    Approach,
+    SubstrateBundle,
+    uniform_queries,
+)
+
+
+@pytest.fixture(scope="module")
+def bundle(request):
+    dataset = request.getfixturevalue("small_dataset")
+    return SubstrateBundle(
+        dataset,
+        seed=0,
+        classes=BandwidthClasses.linear(15.0, 75.0, 7),
+        n_cut=5,
+        vivaldi_rounds=100,
+    )
+
+
+class TestSubstrateBundle:
+    def test_framework_lazy_and_cached(self, bundle):
+        assert bundle.framework is bundle.framework
+
+    def test_central_query(self, bundle):
+        record = bundle.run_query(Approach.TREE_CENTRAL, 3, 25.0)
+        assert record.found
+        assert len(record.cluster) == 3
+        assert record.hops is None
+
+    def test_eucl_query(self, bundle):
+        record = bundle.run_query(Approach.EUCL_CENTRAL, 3, 25.0)
+        assert record.hops is None
+        if record.found:
+            assert len(record.cluster) == 3
+
+    def test_decentral_query(self, bundle):
+        record = bundle.run_query(Approach.TREE_DECENTRAL, 3, 25.0)
+        assert record.hops is not None
+        assert record.hops >= 0
+
+    def test_decentral_unsupported_constraint_is_miss(self, bundle):
+        record = bundle.run_query(Approach.TREE_DECENTRAL, 3, 9999.0)
+        assert not record.found
+
+    def test_decentral_without_classes_rejected(self, small_dataset):
+        bare = SubstrateBundle(small_dataset, seed=1)
+        with pytest.raises(ExperimentError):
+            bare.run_query(Approach.TREE_DECENTRAL, 3, 25.0)
+
+    def test_ground_truth_oracle_finds_valid_cluster(self, bundle,
+                                                     small_dataset):
+        record = bundle.run_query_ground_truth(3, 25.0)
+        if record.found:
+            for i, u in enumerate(record.cluster):
+                for v in record.cluster[i + 1:]:
+                    assert small_dataset.bandwidth(u, v) >= 25.0 - 1e-9
+
+
+class TestUniformQueries:
+    def test_counts_and_ranges(self):
+        rng = np.random.default_rng(0)
+        queries = uniform_queries(50, (2, 10), (15.0, 75.0), rng)
+        assert len(queries) == 50
+        for k, b in queries:
+            assert 2 <= k <= 10
+            assert 15.0 <= b <= 75.0
+
+    def test_bad_count(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ExperimentError):
+            uniform_queries(0, (2, 10), (15.0, 75.0), rng)
+
+    def test_bad_k_range(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ExperimentError):
+            uniform_queries(5, (1, 10), (15.0, 75.0), rng)
+        with pytest.raises(ExperimentError):
+            uniform_queries(5, (10, 2), (15.0, 75.0), rng)
+
+    def test_bad_b_range(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ExperimentError):
+            uniform_queries(5, (2, 10), (0.0, 75.0), rng)

@@ -1,0 +1,82 @@
+"""Tests for the hub-search extension."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.extensions.hub import find_hub, rank_hubs
+from tests.conftest import make_distance_matrix
+
+
+@pytest.fixture
+def distances():
+    # Node 2 is equidistant-close to 0, 1, 3; node 4 is far from all.
+    return make_distance_matrix(
+        [
+            [0, 4, 1, 5, 9],
+            [4, 0, 1, 6, 9],
+            [1, 1, 0, 2, 9],
+            [5, 6, 2, 0, 9],
+            [9, 9, 9, 9, 0],
+        ]
+    )
+
+
+class TestRankHubs:
+    def test_best_first(self, distances):
+        ranked = rank_hubs(distances, [0, 1, 3])
+        assert ranked[0].node == 2
+        assert ranked[0].worst_distance == 2.0
+
+    def test_targets_excluded_by_default(self, distances):
+        ranked = rank_hubs(distances, [0, 1])
+        assert all(r.node not in (0, 1) for r in ranked)
+
+    def test_targets_includable(self, distances):
+        ranked = rank_hubs(distances, [0, 1], exclude_targets=False)
+        assert any(r.node in (0, 1) for r in ranked)
+
+    def test_ordering_keys(self, distances):
+        ranked = rank_hubs(distances, [0, 1, 3])
+        worst = [r.worst_distance for r in ranked]
+        assert worst == sorted(worst)
+
+    def test_empty_targets_rejected(self, distances):
+        with pytest.raises(QueryError):
+            rank_hubs(distances, [])
+
+    def test_out_of_range_target_rejected(self, distances):
+        with pytest.raises(QueryError):
+            rank_hubs(distances, [99])
+
+
+class TestFindHub:
+    def test_unconstrained_returns_best(self, distances):
+        hub = find_hub(distances, [0, 1, 3])
+        assert hub is not None
+        assert hub.node == 2
+
+    def test_constraint_satisfied(self, distances):
+        hub = find_hub(distances, [0, 1, 3], l=2.0)
+        assert hub is not None
+        assert hub.worst_distance <= 2.0
+
+    def test_unsatisfiable_constraint(self, distances):
+        assert find_hub(distances, [0, 1, 3], l=0.5) is None
+
+    def test_single_target(self, distances):
+        hub = find_hub(distances, [4])
+        assert hub is not None
+        assert hub.worst_distance == 9.0
+
+    def test_mean_distance_populated(self, distances):
+        hub = find_hub(distances, [0, 1, 3])
+        assert hub.mean_distance == pytest.approx((1 + 1 + 2) / 3)
+
+    def test_hub_on_framework_distances(self, small_framework):
+        predicted = small_framework.predicted_distance_matrix()
+        hub = find_hub(predicted, [0, 1, 2, 3])
+        assert hub is not None
+        assert hub.node not in (0, 1, 2, 3)
+        # The hub must be at least as good as any other candidate.
+        ranked = rank_hubs(predicted, [0, 1, 2, 3])
+        assert hub.worst_distance == ranked[0].worst_distance

@@ -1,0 +1,72 @@
+"""Tests for latency-constrained clustering (future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QueryError
+from repro.extensions.latency import (
+    LatencyQuery,
+    find_latency_cluster,
+    synthetic_latency_matrix,
+)
+
+
+class TestLatencyQuery:
+    def test_valid(self):
+        query = LatencyQuery(k=4, max_rtt=50.0)
+        assert query.k == 4
+
+    def test_bad_k(self):
+        with pytest.raises(QueryError):
+            LatencyQuery(k=1, max_rtt=50.0)
+
+    def test_bad_rtt(self):
+        with pytest.raises(Exception):
+            LatencyQuery(k=3, max_rtt=0.0)
+
+
+class TestSyntheticLatency:
+    def test_shape_and_symmetry(self):
+        latency = synthetic_latency_matrix(20, seed=0)
+        assert latency.size == 20  # DistanceMatrix validates the rest
+
+    def test_median_near_target(self):
+        latency = synthetic_latency_matrix(40, seed=1, base_rtt=25.0)
+        median = float(np.median(latency.upper_triangle()))
+        assert median == pytest.approx(50.0, rel=0.3)
+
+    def test_near_tree_metric(self):
+        from repro.metrics.fourpoint import epsilon_average
+        latency = synthetic_latency_matrix(25, seed=2, noise_sigma=0.0)
+        assert epsilon_average(latency, samples=2000) < 0.05
+
+    def test_deterministic(self):
+        a = synthetic_latency_matrix(15, seed=3)
+        b = synthetic_latency_matrix(15, seed=3)
+        assert np.array_equal(a.values, b.values)
+
+
+class TestFindLatencyCluster:
+    def test_cluster_satisfies_rtt(self):
+        latency = synthetic_latency_matrix(30, seed=4)
+        rtt = float(np.percentile(latency.upper_triangle(), 40))
+        cluster = find_latency_cluster(
+            latency, LatencyQuery(k=4, max_rtt=rtt)
+        )
+        if cluster:
+            assert latency.diameter(cluster) <= rtt + 1e-9
+            assert len(cluster) == 4
+
+    def test_tight_rtt_unsatisfiable(self):
+        latency = synthetic_latency_matrix(20, seed=5)
+        tiny = float(latency.upper_triangle().min()) / 10
+        assert find_latency_cluster(
+            latency, LatencyQuery(k=3, max_rtt=tiny)
+        ) == []
+
+    def test_loose_rtt_returns_everything_possible(self):
+        latency = synthetic_latency_matrix(12, seed=6)
+        cluster = find_latency_cluster(
+            latency, LatencyQuery(k=12, max_rtt=latency.diameter())
+        )
+        assert cluster == list(range(12))

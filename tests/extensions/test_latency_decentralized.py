@@ -1,0 +1,91 @@
+"""Tests for the decentralized latency-constrained search."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import QueryError
+from repro.extensions.latency import (
+    DecentralizedLatencySearch,
+    latency_to_pseudo_bandwidth,
+    synthetic_latency_matrix,
+)
+
+
+@pytest.fixture(scope="module")
+def latency():
+    return synthetic_latency_matrix(30, seed=9, base_rtt=25.0)
+
+
+@pytest.fixture(scope="module")
+def search(latency):
+    rtts = latency.upper_triangle()
+    classes = [float(np.percentile(rtts, q)) for q in (10, 25, 50, 75, 95)]
+    return DecentralizedLatencySearch(
+        latency, rtt_classes=classes, n_cut=6, seed=0
+    )
+
+
+class TestPseudoBandwidth:
+    def test_roundtrip_exact(self, latency):
+        pseudo = latency_to_pseudo_bandwidth(latency, c=100.0)
+        restored = pseudo.to_distance_matrix()
+        assert np.allclose(restored.values, latency.values, rtol=1e-12)
+
+    def test_rejects_zero_rtt(self):
+        from tests.conftest import make_distance_matrix
+        d = make_distance_matrix([[0, 0, 1], [0, 0, 1], [1, 1, 0]])
+        with pytest.raises(QueryError):
+            latency_to_pseudo_bandwidth(d)
+
+
+class TestDecentralizedLatencySearch:
+    def test_found_cluster_respects_rtt(self, latency, search):
+        rtts = latency.upper_triangle()
+        budget = float(np.percentile(rtts, 60))
+        result = search.query(4, budget, start=search.hosts[0])
+        assert result.found
+        worst = max(
+            latency.distance(u, v)
+            for i, u in enumerate(result.cluster)
+            for v in result.cluster[i + 1:]
+        )
+        # Predicted validity is exact; ground-truth validity holds up
+        # to the embedding error of the near-tree latency data.
+        assert worst <= budget * 1.3
+
+    def test_predicted_rtt_close_to_truth(self, latency, search):
+        errors = []
+        for u in search.hosts[:8]:
+            for v in search.hosts[:8]:
+                if u == v:
+                    continue
+                truth = latency.distance(u, v)
+                errors.append(
+                    abs(search.predicted_rtt(u, v) - truth) / truth
+                )
+        assert float(np.median(errors)) < 0.15
+
+    def test_tight_budget_rejected_below_classes(self, search):
+        with pytest.raises(QueryError):
+            search.query(3, 0.001, start=search.hosts[0])
+
+    def test_snapping_never_weakens(self, latency, search):
+        rtts = latency.upper_triangle()
+        budget = float(np.percentile(rtts, 80))
+        result = search.query(3, budget, start=search.hosts[0])
+        if result.found:
+            # The distance class used must be at most the requested rtt.
+            assert result.l <= budget + 1e-9
+
+    def test_outcome_entry_independent(self, latency, search):
+        rtts = latency.upper_triangle()
+        budget = float(np.percentile(rtts, 55))
+        outcomes = {
+            search.query(4, budget, start=start).found
+            for start in search.hosts[:10]
+        }
+        assert len(outcomes) == 1
+
+    def test_empty_classes_rejected(self, latency):
+        with pytest.raises(QueryError):
+            DecentralizedLatencySearch(latency, rtt_classes=[])

@@ -1,0 +1,113 @@
+"""Integration tests for dynamic membership across the whole stack.
+
+The storage-replica scenario as a test: place a cluster, lose one of
+its members, heal the overlay, re-place — everything through the public
+API.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.decentralized import DecentralizedClusterSearch
+from repro.core.query import BandwidthClasses
+from repro.datasets.planetlab import umd_planetlab_like
+from repro.predtree.framework import build_framework
+from repro.predtree.snapshot import framework_from_dict, framework_to_dict
+
+
+@pytest.fixture()
+def stack():
+    dataset = umd_planetlab_like(seed=13, n=40)
+    framework = build_framework(dataset.bandwidth, seed=14)
+    classes = BandwidthClasses.linear(30.0, 110.0, 5)
+    return dataset, framework, classes
+
+
+class TestDepartAndReplace:
+    def test_cluster_replaced_without_departed_member(self, stack):
+        dataset, framework, classes = stack
+        search = DecentralizedClusterSearch(framework, classes, n_cut=6)
+        search.run_aggregation()
+        result = search.process_query(4, 60.0, start=framework.hosts[0])
+        assert result.found
+        victim = result.cluster[0]
+        if victim == framework.anchor_tree.root:
+            victim = result.cluster[1]
+
+        framework.remove_host(victim)
+        healed = DecentralizedClusterSearch(framework, classes, n_cut=6)
+        healed.run_aggregation()
+        replacement = healed.process_query(
+            4, 60.0, start=framework.hosts[0]
+        )
+        assert replacement.found
+        assert victim not in replacement.cluster
+
+    def test_departed_never_in_any_local_space(self, stack):
+        dataset, framework, classes = stack
+        anchor = framework.anchor_tree
+        victim = next(
+            h for h in framework.hosts
+            if h != anchor.root
+        )
+        framework.remove_host(victim)
+        search = DecentralizedClusterSearch(framework, classes, n_cut=6)
+        search.run_aggregation()
+        for host in search.hosts:
+            assert victim not in search.state_of(host).clustering_space()
+
+    def test_sequential_departures(self, stack):
+        dataset, framework, classes = stack
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            candidates = [
+                h for h in framework.hosts
+                if h != framework.anchor_tree.root
+            ]
+            framework.remove_host(int(rng.choice(candidates)))
+            framework.tree.check_invariants()
+            framework.anchor_tree.check_invariants()
+        assert framework.size == 35
+        search = DecentralizedClusterSearch(framework, classes, n_cut=6)
+        search.run_aggregation()
+        result = search.process_query(3, 40.0, start=framework.hosts[0])
+        assert result.found
+
+    def test_partial_matrix_pushes_departed_far_away(self, stack):
+        dataset, framework, classes = stack
+        victim = next(
+            h for h in framework.hosts
+            if h != framework.anchor_tree.root
+        )
+        framework.remove_host(victim)
+        matrix = framework.predicted_distance_matrix(allow_partial=True)
+        live = framework.hosts[0]
+        assert matrix.distance(live, victim) >= 1e8
+
+
+class TestSnapshotWithDynamics:
+    def test_snapshot_after_departure_roundtrips(self, stack):
+        dataset, framework, classes = stack
+        victim = next(
+            h for h in framework.hosts
+            if h != framework.anchor_tree.root
+        )
+        framework.remove_host(victim)
+        restored = framework_from_dict(
+            framework_to_dict(framework), dataset.bandwidth
+        )
+        assert sorted(restored.hosts) == sorted(framework.hosts)
+        a = framework.predicted_distance_matrix(allow_partial=True)
+        b = restored.predicted_distance_matrix(allow_partial=True)
+        assert np.allclose(a.values, b.values)
+
+    def test_restored_framework_supports_queries(self, stack):
+        dataset, framework, classes = stack
+        restored = framework_from_dict(
+            framework_to_dict(framework), dataset.bandwidth
+        )
+        search = DecentralizedClusterSearch(restored, classes, n_cut=6)
+        search.run_aggregation()
+        assert search.process_query(
+            3, 40.0, start=restored.hosts[0]
+        ).found

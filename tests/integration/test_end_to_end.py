@@ -1,0 +1,159 @@
+"""End-to-end integration tests across the full stack.
+
+These exercise the complete paper pipeline: dataset -> prediction
+framework -> (de)centralized clustering -> ground-truth evaluation, and
+assert the cross-cutting invariants the paper's argument rests on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.relerr import relative_bandwidth_errors
+from repro.analysis.wpr import evaluate_cluster, wrong_pair_rate
+from repro.core.centralized import CentralizedClusterSearch
+from repro.core.decentralized import DecentralizedClusterSearch
+from repro.core.find_cluster import find_cluster
+from repro.core.query import BandwidthClasses, ClusterQuery
+from repro.datasets.planetlab import hp_planetlab_like
+from repro.predtree.framework import build_framework
+from repro.sim.protocols import simulate_aggregation
+from repro.vivaldi.embedding import build_vivaldi_embedding
+
+
+@pytest.fixture(scope="module")
+def stack():
+    dataset = hp_planetlab_like(seed=2, n=45)
+    framework = build_framework(dataset.bandwidth, seed=3)
+    classes = BandwidthClasses.linear(15.0, 75.0, 7)
+    decentral = DecentralizedClusterSearch(framework, classes, n_cut=6)
+    decentral.run_aggregation()
+    return dataset, framework, classes, decentral
+
+
+class TestPerfectTreeMetricPipeline:
+    """On a noiseless dataset every layer must be loss-free."""
+
+    def test_zero_wpr_end_to_end(self):
+        dataset = hp_planetlab_like(
+            seed=5, n=35, noise_sigma=0.0, noise_sigma_high=0.0
+        )
+        framework = build_framework(dataset.bandwidth, seed=6)
+        search = CentralizedClusterSearch(framework)
+        results = []
+        for b in (20.0, 35.0, 50.0):
+            cluster = search.query(ClusterQuery(k=4, b=b))
+            results.append((cluster, b))
+        assert wrong_pair_rate(results, dataset.bandwidth) == 0.0
+
+    def test_embedding_error_zero(self):
+        dataset = hp_planetlab_like(
+            seed=5, n=35, noise_sigma=0.0, noise_sigma_high=0.0
+        )
+        framework = build_framework(dataset.bandwidth, seed=6)
+        errors = relative_bandwidth_errors(
+            dataset.bandwidth, framework.predicted_bandwidth_matrix()
+        )
+        assert float(errors.max()) < 1e-6
+
+
+class TestCentralVsDecentral:
+    def test_decentral_subset_of_central_capability(self, stack):
+        # RR(decentral) <= RR(central) pointwise: whenever the
+        # decentralized system answers, the centralized one must too.
+        dataset, framework, classes, decentral = stack
+        central = CentralizedClusterSearch(framework)
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            k = int(rng.integers(2, 20))
+            b = float(rng.uniform(15.0, 75.0))
+            result = decentral.process_query(
+                k, b, start=int(rng.choice(framework.hosts))
+            )
+            if result.found:
+                snapped = result.snapped_b
+                assert central.query(ClusterQuery(k=k, b=snapped))
+
+    def test_decentral_clusters_valid_under_prediction(self, stack):
+        dataset, framework, classes, decentral = stack
+        distances = framework.predicted_distance_matrix()
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            k = int(rng.integers(2, 12))
+            b = float(rng.uniform(15.0, 75.0))
+            result = decentral.process_query(
+                k, b, start=int(rng.choice(framework.hosts))
+            )
+            if result.found:
+                assert distances.diameter(result.cluster) <= (
+                    result.l + 1e-9
+                )
+
+    def test_wpr_gap_small_for_easy_queries(self, stack):
+        dataset, framework, classes, decentral = stack
+        central = CentralizedClusterSearch(framework)
+        central_results = []
+        decentral_results = []
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            b = float(rng.uniform(15.0, 60.0))
+            central_results.append(
+                (central.query(ClusterQuery(k=3, b=b)), b)
+            )
+            result = decentral.process_query(
+                3, b, start=int(rng.choice(framework.hosts))
+            )
+            decentral_results.append((result.cluster, b))
+        wpr_central = wrong_pair_rate(central_results, dataset.bandwidth)
+        wpr_decentral = wrong_pair_rate(
+            decentral_results, dataset.bandwidth
+        )
+        assert abs(wpr_central - wpr_decentral) < 0.2
+
+
+class TestSimulatedPipeline:
+    def test_simulated_aggregation_answers_queries(self, stack):
+        dataset, framework, classes, _ = stack
+        search, engine = simulate_aggregation(framework, classes, n_cut=6)
+        result = search.process_query(3, 30.0, start=framework.hosts[0])
+        assert result.found
+        verdict = evaluate_cluster(
+            result.cluster, dataset.bandwidth, result.snapped_b
+        )
+        # Easy query on mildly noisy data: most pairs must be right.
+        assert verdict.wpr <= 0.5
+
+
+class TestTreeBeatsEuclid:
+    def test_embedding_accuracy_ordering(self):
+        # At the paper's operating sizes (>= ~100 nodes) the tree
+        # embedding dominates Vivaldi; tiny systems are too noisy for a
+        # stable ordering, so this test runs on a 100-node dataset.
+        dataset = hp_planetlab_like(seed=0, n=100)
+        framework = build_framework(dataset.bandwidth, seed=1)
+        vivaldi = build_vivaldi_embedding(
+            dataset.bandwidth, seed=4, rounds=300
+        )
+        tree_errors = relative_bandwidth_errors(
+            dataset.bandwidth, framework.predicted_bandwidth_matrix()
+        )
+        eucl_errors = relative_bandwidth_errors(
+            dataset.bandwidth, vivaldi.predicted_bandwidth_matrix()
+        )
+        assert np.median(tree_errors) < np.median(eucl_errors)
+
+
+class TestGroundTruthOracle:
+    def test_algorithm1_on_truth_never_wrong(self, stack):
+        # Algorithm 1 run directly on ground-truth distances can only
+        # return clusters that truly satisfy the constraint (soundness
+        # needs no tree assumption).
+        dataset, framework, classes, _ = stack
+        truth = dataset.distance_matrix()
+        transform = framework.transform
+        for b in (20.0, 40.0, 60.0):
+            cluster = find_cluster(
+                truth, 4, transform.distance_constraint(b)
+            )
+            if cluster:
+                verdict = evaluate_cluster(cluster, dataset.bandwidth, b)
+                assert verdict.satisfied

@@ -1,0 +1,150 @@
+"""Unit tests for the four-point condition and treeness statistics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.fourpoint import (
+    epsilon_average,
+    epsilon_of_quadruple,
+    four_point_condition_holds,
+    four_point_stats,
+    is_tree_metric,
+    sample_quadruples,
+)
+from repro.metrics.metric import DistanceMatrix
+from tests.conftest import make_distance_matrix, random_tree_distance_matrix
+
+
+def square_metric() -> DistanceMatrix:
+    """The unit-square Euclidean metric: the classic 4PC violator."""
+    points = np.array([[0, 0], [1, 0], [1, 1], [0, 1]], dtype=float)
+    diff = points[:, None, :] - points[None, :, :]
+    return DistanceMatrix(np.sqrt((diff**2).sum(axis=2)))
+
+
+class TestFourPointCondition:
+    def test_tree_metric_satisfies_everywhere(self):
+        d = random_tree_distance_matrix(10, seed=1)
+        for quad in sample_quadruples(10, 50, seed=2):
+            assert four_point_condition_holds(d, *quad)
+
+    def test_square_violates(self):
+        assert not four_point_condition_holds(square_metric(), 0, 1, 2, 3)
+
+    def test_epsilon_zero_on_tree_metric(self):
+        d = random_tree_distance_matrix(12, seed=3)
+        for quad in sample_quadruples(12, 80, seed=4):
+            assert epsilon_of_quadruple(d, *quad) == pytest.approx(
+                0.0, abs=1e-9
+            )
+
+    def test_epsilon_positive_on_square(self):
+        assert epsilon_of_quadruple(square_metric(), 0, 1, 2, 3) > 0.1
+
+    def test_epsilon_square_value(self):
+        # Square with side 1: sums are 2, sqrt(8), sqrt(8) -> the two
+        # largest are equal, so the square is "degenerate-tree" for this
+        # labeling; a rectangle is not.
+        points = np.array([[0, 0], [2, 0], [2, 1], [0, 1]], dtype=float)
+        diff = points[:, None, :] - points[None, :, :]
+        d = DistanceMatrix(np.sqrt((diff**2).sum(axis=2)))
+        assert epsilon_of_quadruple(d, 0, 1, 2, 3) > 0.0
+
+    def test_epsilon_scale_invariant(self):
+        d = square_metric()
+        scaled = DistanceMatrix(d.values * 17.0)
+        assert epsilon_of_quadruple(d, 0, 1, 2, 3) == pytest.approx(
+            epsilon_of_quadruple(scaled, 0, 1, 2, 3)
+        )
+
+
+class TestSampleQuadruples:
+    def test_exhaustive_when_small(self):
+        quads = sample_quadruples(5, 100)
+        assert quads.shape == (5, 4)  # C(5,4) = 5
+
+    def test_sampled_when_large(self):
+        quads = sample_quadruples(30, 64, seed=0)
+        assert quads.shape == (64, 4)
+
+    def test_all_entries_distinct_within_row(self):
+        for row in sample_quadruples(12, 50, seed=1):
+            assert len(set(row.tolist())) == 4
+
+    def test_rejects_too_few_nodes(self):
+        with pytest.raises(ValidationError):
+            sample_quadruples(3, 10)
+
+    def test_deterministic_given_seed(self):
+        a = sample_quadruples(20, 30, seed=42)
+        b = sample_quadruples(20, 30, seed=42)
+        assert np.array_equal(a, b)
+
+
+class TestEpsilonAverage:
+    def test_zero_for_tree_metric(self):
+        d = random_tree_distance_matrix(15, seed=5)
+        assert epsilon_average(d, samples=500) == pytest.approx(0, abs=1e-9)
+
+    def test_positive_for_noisy_metric(self):
+        d = random_tree_distance_matrix(15, seed=5)
+        rng = np.random.default_rng(0)
+        noise = rng.uniform(0.7, 1.3, size=d.values.shape)
+        noise = (noise + noise.T) / 2
+        noisy = d.values * noise
+        np.fill_diagonal(noisy, 0)
+        assert epsilon_average(DistanceMatrix(noisy), samples=500) > 0.01
+
+    def test_more_noise_means_larger_epsilon(self):
+        d = random_tree_distance_matrix(20, seed=6)
+        rng = np.random.default_rng(1)
+        values = []
+        for spread in (0.05, 0.4):
+            noise = rng.uniform(1 - spread, 1 + spread, size=d.values.shape)
+            noise = (noise + noise.T) / 2
+            noisy = d.values * noise
+            np.fill_diagonal(noisy, 0)
+            values.append(
+                epsilon_average(DistanceMatrix(noisy), samples=2000, seed=3)
+            )
+        assert values[0] < values[1]
+
+
+class TestIsTreeMetric:
+    def test_accepts_tree_metric(self):
+        assert is_tree_metric(random_tree_distance_matrix(10, seed=7))
+
+    def test_rejects_euclidean_square(self):
+        points = np.array([[0, 0], [2, 0], [2, 1], [0, 1]], dtype=float)
+        diff = points[:, None, :] - points[None, :, :]
+        d = DistanceMatrix(np.sqrt((diff**2).sum(axis=2)))
+        assert not is_tree_metric(d)
+
+    def test_trivially_true_below_four_points(self):
+        assert is_tree_metric(make_distance_matrix([[0, 1], [1, 0]]))
+        assert is_tree_metric(
+            make_distance_matrix([[0, 1, 9], [1, 0, 9], [9, 9, 0]])
+        )
+
+    def test_sampled_mode(self):
+        d = random_tree_distance_matrix(30, seed=8)
+        assert is_tree_metric(d, samples=500, seed=9)
+
+
+class TestFourPointStats:
+    def test_fields_consistent(self):
+        d = random_tree_distance_matrix(12, seed=10)
+        stats = four_point_stats(d, samples=300)
+        assert stats.eps_avg == pytest.approx(0.0, abs=1e-9)
+        assert stats.eps_max == pytest.approx(0.0, abs=1e-9)
+        assert stats.fraction_zero == pytest.approx(1.0)
+        assert stats.samples == 300 or stats.samples == 495  # C(12,4)=495
+
+    def test_median_between_zero_and_max(self):
+        rng = np.random.default_rng(2)
+        raw = rng.uniform(1, 10, size=(10, 10))
+        raw = (raw + raw.T) / 2
+        np.fill_diagonal(raw, 0)
+        stats = four_point_stats(DistanceMatrix(raw), samples=150)
+        assert 0.0 <= stats.eps_median <= stats.eps_max

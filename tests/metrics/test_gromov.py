@@ -1,0 +1,58 @@
+"""Unit tests for Gromov products."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.gromov import gromov_product, gromov_product_matrix
+from tests.conftest import make_distance_matrix, random_tree_distance_matrix
+
+
+class TestGromovProduct:
+    def test_definition(self):
+        d = make_distance_matrix([[0, 4, 6], [4, 0, 8], [6, 8, 0]])
+        # (x|y)_z with x=1, y=2, z=0: (4 + 6 - 8) / 2 = 1
+        assert gromov_product(d, 1, 2, 0) == 1.0
+
+    def test_symmetry_in_first_two_args(self):
+        d = make_distance_matrix([[0, 4, 6], [4, 0, 8], [6, 8, 0]])
+        assert gromov_product(d, 1, 2, 0) == gromov_product(d, 2, 1, 0)
+
+    def test_product_at_self_is_distance(self):
+        # (x|x)_z = d(z, x).
+        d = make_distance_matrix([[0, 4, 6], [4, 0, 8], [6, 8, 0]])
+        assert gromov_product(d, 1, 1, 0) == 4.0
+
+    def test_nonnegative_in_true_metric(self):
+        d = random_tree_distance_matrix(12, seed=5)
+        for z in range(3):
+            for x in range(12):
+                for y in range(12):
+                    assert gromov_product(d, x, y, z) >= -1e-12
+
+    def test_bounded_by_distances_to_base(self):
+        # (x|y)_z <= min(d(z,x), d(z,y)) in any metric.
+        d = random_tree_distance_matrix(10, seed=6)
+        for x in range(10):
+            for y in range(10):
+                bound = min(d.distance(0, x), d.distance(0, y))
+                assert gromov_product(d, x, y, 0) <= bound + 1e-12
+
+    def test_tree_interpretation(self):
+        # Path metric on a path graph 0-1-2 with weights 3, 5:
+        # (0|2)_1 should be 0 (paths from 1 to 0 and to 2 diverge at 1).
+        d = make_distance_matrix([[0, 3, 8], [3, 0, 5], [8, 5, 0]])
+        assert gromov_product(d, 0, 2, 1) == 0.0
+
+    def test_matrix_matches_scalar(self):
+        d = random_tree_distance_matrix(8, seed=7)
+        matrix = gromov_product_matrix(d, 2)
+        for x in range(8):
+            for y in range(8):
+                assert matrix[x, y] == pytest.approx(
+                    gromov_product(d, x, y, 2)
+                )
+
+    def test_matrix_diagonal_is_base_row(self):
+        d = random_tree_distance_matrix(8, seed=8)
+        matrix = gromov_product_matrix(d, 3)
+        assert np.allclose(np.diagonal(matrix), d.row(3))

@@ -1,0 +1,185 @@
+"""Unit tests for DistanceMatrix / BandwidthMatrix wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.metric import BandwidthMatrix, DistanceMatrix
+from repro.metrics.transform import RationalTransform
+from tests.conftest import make_distance_matrix
+
+
+class TestDistanceMatrix:
+    def test_basic_lookup(self):
+        d = make_distance_matrix([[0, 2, 3], [2, 0, 1], [3, 1, 0]])
+        assert d.distance(0, 2) == 3.0
+        assert d(1, 2) == 1.0  # callable alias
+
+    def test_size_and_nodes(self):
+        d = make_distance_matrix([[0, 1], [1, 0]])
+        assert d.size == 2
+        assert list(d.nodes) == [0, 1]
+        assert len(d) == 2
+
+    def test_values_read_only(self):
+        d = make_distance_matrix([[0, 1], [1, 0]])
+        with pytest.raises(ValueError):
+            d.values[0, 1] = 5.0
+
+    def test_constructor_copies_input(self):
+        raw = np.array([[0.0, 1.0], [1.0, 0.0]])
+        d = DistanceMatrix(raw)
+        raw[0, 1] = 99.0
+        assert d.distance(0, 1) == 1.0
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValidationError):
+            DistanceMatrix([[0, 1], [2, 0]])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            DistanceMatrix([[0, -1], [-1, 0]])
+
+    def test_rejects_nonzero_diagonal(self):
+        with pytest.raises(ValidationError):
+            DistanceMatrix([[1, 2], [2, 1]])
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            DistanceMatrix(np.zeros((2, 3)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            DistanceMatrix(np.zeros((0, 0)))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValidationError):
+            DistanceMatrix([[0, np.nan], [np.nan, 0]])
+
+    def test_node_id_bounds_checked(self):
+        d = make_distance_matrix([[0, 1], [1, 0]])
+        with pytest.raises(ValidationError):
+            d.distance(0, 2)
+        with pytest.raises(ValidationError):
+            d.distance(-1, 0)
+
+    def test_diameter_whole_space(self):
+        d = make_distance_matrix([[0, 2, 7], [2, 0, 4], [7, 4, 0]])
+        assert d.diameter() == 7.0
+
+    def test_diameter_subset(self):
+        d = make_distance_matrix([[0, 2, 7], [2, 0, 4], [7, 4, 0]])
+        assert d.diameter([0, 1]) == 2.0
+        assert d.diameter([1, 2]) == 4.0
+
+    def test_diameter_singleton_is_zero(self):
+        d = make_distance_matrix([[0, 2], [2, 0]])
+        assert d.diameter([1]) == 0.0
+
+    def test_diameter_rejects_empty(self):
+        d = make_distance_matrix([[0, 2], [2, 0]])
+        with pytest.raises(ValidationError):
+            d.diameter([])
+
+    def test_diameter_rejects_duplicates(self):
+        d = make_distance_matrix([[0, 2], [2, 0]])
+        with pytest.raises(ValidationError):
+            d.diameter([0, 0])
+
+    def test_restrict_reindexes(self):
+        d = make_distance_matrix([[0, 2, 7], [2, 0, 4], [7, 4, 0]])
+        sub = d.restrict([0, 2])
+        assert sub.size == 2
+        assert sub.distance(0, 1) == 7.0
+
+    def test_restrict_preserves_order(self):
+        d = make_distance_matrix([[0, 2, 7], [2, 0, 4], [7, 4, 0]])
+        sub = d.restrict([2, 0])
+        assert sub.distance(0, 1) == 7.0  # symmetric so same value
+        assert sub.distance(0, 0) == 0.0
+
+    def test_pairs_enumerates_upper_triangle(self):
+        d = make_distance_matrix([[0, 1, 2], [1, 0, 3], [2, 3, 0]])
+        assert list(d.pairs()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_pairs_by_distance_sorted(self):
+        d = make_distance_matrix([[0, 5, 2], [5, 0, 3], [2, 3, 0]])
+        pairs = d.pairs_by_distance()
+        distances = [d.distance(u, v) for u, v in pairs]
+        assert distances == sorted(distances)
+        assert pairs[0] == (0, 2)
+
+    def test_upper_triangle_length(self):
+        d = make_distance_matrix([[0, 1, 2], [1, 0, 3], [2, 3, 0]])
+        assert d.upper_triangle().tolist() == [1.0, 2.0, 3.0]
+
+    def test_equality_and_hash(self):
+        a = make_distance_matrix([[0, 1], [1, 0]])
+        b = make_distance_matrix([[0, 1], [1, 0]])
+        c = make_distance_matrix([[0, 2], [2, 0]])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_row_view(self):
+        d = make_distance_matrix([[0, 1, 2], [1, 0, 3], [2, 3, 0]])
+        assert d.row(1).tolist() == [1.0, 0.0, 3.0]
+
+
+class TestBandwidthMatrix:
+    def test_diagonal_forced_to_inf(self):
+        bw = BandwidthMatrix([[1.0, 10.0], [10.0, 1.0]])
+        assert bw(0, 0) == np.inf
+        assert bw(0, 1) == 10.0
+
+    def test_rejects_nonpositive_offdiagonal(self):
+        with pytest.raises(ValidationError):
+            BandwidthMatrix([[1.0, 0.0], [0.0, 1.0]])
+
+    def test_rejects_asymmetric(self):
+        with pytest.raises(ValidationError):
+            BandwidthMatrix([[1.0, 5.0], [9.0, 1.0]])
+
+    def test_rejects_infinite_offdiagonal(self):
+        with pytest.raises(ValidationError):
+            BandwidthMatrix([[1.0, np.inf], [np.inf, 1.0]])
+
+    def test_to_distance_matrix(self):
+        bw = BandwidthMatrix([[1.0, 50.0], [50.0, 1.0]])
+        d = bw.to_distance_matrix(RationalTransform(c=100.0))
+        assert d.distance(0, 1) == 2.0
+        assert d.distance(0, 0) == 0.0
+
+    def test_restrict(self):
+        matrix = np.array(
+            [[1.0, 10.0, 20.0], [10.0, 1.0, 30.0], [20.0, 30.0, 1.0]]
+        )
+        bw = BandwidthMatrix(matrix)
+        sub = bw.restrict([1, 2])
+        assert sub.size == 2
+        assert sub(0, 1) == 30.0
+
+    def test_percentile(self):
+        matrix = np.array(
+            [[1.0, 10.0, 20.0], [10.0, 1.0, 30.0], [20.0, 30.0, 1.0]]
+        )
+        bw = BandwidthMatrix(matrix)
+        assert bw.percentile(50) == 20.0
+
+    def test_upper_triangle(self):
+        matrix = np.array(
+            [[1.0, 10.0, 20.0], [10.0, 1.0, 30.0], [20.0, 30.0, 1.0]]
+        )
+        bw = BandwidthMatrix(matrix)
+        assert sorted(bw.upper_triangle().tolist()) == [10.0, 20.0, 30.0]
+
+    def test_roundtrip_distance_bandwidth(self):
+        rng = np.random.default_rng(0)
+        raw = rng.uniform(5, 200, size=(6, 6))
+        raw = (raw + raw.T) / 2
+        bw = BandwidthMatrix(raw)
+        d = bw.to_distance_matrix()
+        transform = RationalTransform()
+        iu, iv = np.triu_indices(6, k=1)
+        back = transform.to_bandwidth(d.values[iu, iv])
+        assert np.allclose(back, bw.values[iu, iv])

@@ -1,0 +1,119 @@
+"""Property-based tests (hypothesis) for the metrics substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.fourpoint import (
+    epsilon_of_quadruple,
+    four_point_condition_holds,
+    is_tree_metric,
+)
+from repro.metrics.gromov import gromov_product
+from repro.metrics.metric import BandwidthMatrix, DistanceMatrix
+from repro.metrics.transform import RationalTransform, symmetrize_average
+from tests.conftest import random_tree_distance_matrix
+
+positive_bandwidth = st.floats(
+    min_value=0.01, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+positive_c = st.floats(min_value=0.01, max_value=1e4)
+
+
+@given(bandwidth=positive_bandwidth, c=positive_c)
+def test_rational_transform_roundtrips(bandwidth, c):
+    transform = RationalTransform(c=c)
+    assert np.isclose(
+        transform.to_bandwidth(transform.to_distance(bandwidth)),
+        bandwidth,
+        rtol=1e-9,
+    )
+
+
+@given(
+    a=positive_bandwidth, b=positive_bandwidth, c=positive_c
+)
+def test_rational_transform_reverses_order(a, b, c):
+    transform = RationalTransform(c=c)
+    if a < b:
+        assert transform.to_distance(a) >= transform.to_distance(b)
+
+
+@given(st.integers(min_value=4, max_value=14), st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_random_tree_metrics_satisfy_4pc(n, seed):
+    d = random_tree_distance_matrix(n, seed=seed)
+    assert is_tree_metric(d)
+
+
+@given(st.integers(min_value=5, max_value=12), st.integers(0, 500))
+@settings(max_examples=25, deadline=None)
+def test_ultrametric_from_min_bandwidth_is_tree_metric(n, seed):
+    # The access-link model of [20]: BW = min(A_u, A_v) gives a tree
+    # metric under the rational transform.
+    rng = np.random.default_rng(seed)
+    rates = rng.uniform(1.0, 100.0, size=n)
+    bw = BandwidthMatrix(np.minimum.outer(rates, rates))
+    assert is_tree_metric(bw.to_distance_matrix())
+
+
+@given(st.integers(min_value=4, max_value=10), st.integers(0, 300))
+@settings(max_examples=25, deadline=None)
+def test_epsilon_nonnegative_on_arbitrary_symmetric_matrices(n, seed):
+    rng = np.random.default_rng(seed)
+    raw = rng.uniform(0.1, 10.0, size=(n, n))
+    raw = (raw + raw.T) / 2
+    np.fill_diagonal(raw, 0.0)
+    d = DistanceMatrix(raw)
+    for quad in [(0, 1, 2, 3)]:
+        assert epsilon_of_quadruple(d, *quad) >= 0.0
+
+
+@given(st.integers(min_value=4, max_value=12), st.integers(0, 300),
+       st.floats(min_value=0.1, max_value=50.0))
+@settings(max_examples=25, deadline=None)
+def test_4pc_invariant_under_scaling(n, seed, scale):
+    d = random_tree_distance_matrix(n, seed=seed)
+    scaled = DistanceMatrix(d.values * scale)
+    assert four_point_condition_holds(scaled, 0, 1, 2, 3)
+
+
+@given(st.integers(min_value=4, max_value=12), st.integers(0, 200))
+@settings(max_examples=25, deadline=None)
+def test_gromov_product_triangle_identity(n, seed):
+    # (x|y)_z + (y|z)_x = d(x, z) — used by the placement logic to keep
+    # d_T(x, z) exact.
+    d = random_tree_distance_matrix(n, seed=seed)
+    for x in range(min(n, 4)):
+        for y in range(min(n, 4)):
+            for z in range(min(n, 4)):
+                left = gromov_product(d, x, y, z) + gromov_product(
+                    d, y, z, x
+                )
+                assert np.isclose(left, d.distance(x, z), atol=1e-9)
+
+
+@given(
+    st.integers(min_value=2, max_value=8),
+    st.integers(0, 200),
+)
+@settings(max_examples=25, deadline=None)
+def test_symmetrize_average_is_idempotent(n, seed):
+    rng = np.random.default_rng(seed)
+    raw = rng.uniform(1.0, 100.0, size=(n, n))
+    once = symmetrize_average(raw)
+    twice = symmetrize_average(once)
+    assert np.allclose(once, twice)
+
+
+@given(st.integers(min_value=3, max_value=10), st.integers(0, 200))
+@settings(max_examples=25, deadline=None)
+def test_restrict_preserves_distances(n, seed):
+    d = random_tree_distance_matrix(n, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    size = int(rng.integers(2, n + 1))
+    nodes = sorted(rng.choice(n, size=size, replace=False).tolist())
+    sub = d.restrict(nodes)
+    for i, u in enumerate(nodes):
+        for j, v in enumerate(nodes):
+            assert sub.distance(i, j) == d.distance(u, v)

@@ -1,0 +1,125 @@
+"""Unit tests for the bandwidth <-> distance transforms (Sec. II-B)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.transform import (
+    LinearTransform,
+    RationalTransform,
+    symmetrize_average,
+)
+
+
+class TestRationalTransform:
+    def test_distance_of_bandwidth(self):
+        assert RationalTransform(c=100.0).to_distance(50.0) == 2.0
+
+    def test_bandwidth_of_distance(self):
+        assert RationalTransform(c=100.0).to_bandwidth(2.0) == 50.0
+
+    def test_roundtrip_scalar(self):
+        transform = RationalTransform(c=37.5)
+        assert transform.to_bandwidth(transform.to_distance(12.0)) == (
+            pytest.approx(12.0)
+        )
+
+    def test_roundtrip_array(self):
+        transform = RationalTransform()
+        bandwidth = np.array([1.0, 10.0, 123.4])
+        out = transform.to_bandwidth(transform.to_distance(bandwidth))
+        assert np.allclose(out, bandwidth)
+
+    def test_paper_example_fig1(self):
+        # Fig. 1: C = 100, d_T(b, c) = 23 -> predicted bandwidth ~77.
+        transform = RationalTransform(c=100.0)
+        assert transform.to_bandwidth(23.0) == pytest.approx(4.3478, abs=1e-3)
+        assert round(transform.to_bandwidth(23.0) * 23.0) == 100
+
+    def test_infinite_bandwidth_maps_to_zero_distance(self):
+        assert RationalTransform().to_distance(np.inf) == 0.0
+
+    def test_zero_bandwidth_maps_to_infinite_distance(self):
+        assert RationalTransform().to_distance(0.0) == np.inf
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(ValidationError):
+            RationalTransform().to_distance(-1.0)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValidationError):
+            RationalTransform().to_bandwidth(-0.5)
+
+    def test_non_positive_c_rejected(self):
+        with pytest.raises(ValidationError):
+            RationalTransform(c=0.0)
+        with pytest.raises(ValidationError):
+            RationalTransform(c=-5.0)
+
+    def test_constraint_conversion_is_involutive(self):
+        transform = RationalTransform(c=100.0)
+        assert transform.distance_constraint(25.0) == 4.0
+        assert transform.bandwidth_constraint(4.0) == 25.0
+
+    def test_distance_matrix_zero_diagonal(self):
+        bandwidth = np.array([[1.0, 50.0], [50.0, 1.0]])
+        distances = RationalTransform(c=100.0).distance_matrix(bandwidth)
+        assert distances[0, 0] == 0.0
+        assert distances[0, 1] == 2.0
+
+    def test_distance_matrix_rejects_nonpositive_offdiagonal(self):
+        bandwidth = np.array([[1.0, 0.0], [0.0, 1.0]])
+        with pytest.raises(ValidationError):
+            RationalTransform().distance_matrix(bandwidth)
+
+    def test_distance_matrix_rejects_asymmetric(self):
+        bandwidth = np.array([[1.0, 10.0], [20.0, 1.0]])
+        with pytest.raises(ValidationError):
+            RationalTransform().distance_matrix(bandwidth)
+
+    def test_bandwidth_matrix_has_infinite_diagonal(self):
+        distances = np.array([[0.0, 2.0], [2.0, 0.0]])
+        bandwidth = RationalTransform(c=100.0).bandwidth_matrix(distances)
+        assert bandwidth[0, 0] == np.inf
+        assert bandwidth[0, 1] == 50.0
+
+    def test_order_reversal(self):
+        # Higher bandwidth must mean smaller distance.
+        transform = RationalTransform()
+        assert transform.to_distance(100.0) < transform.to_distance(10.0)
+
+
+class TestLinearTransform:
+    def test_basic_mapping(self):
+        transform = LinearTransform(c=200.0)
+        assert transform.to_distance(50.0) == 150.0
+        assert transform.to_bandwidth(150.0) == 50.0
+
+    def test_rejects_bandwidth_above_c(self):
+        with pytest.raises(ValidationError):
+            LinearTransform(c=100.0).to_distance(150.0)
+
+    def test_distance_matrix_zero_diagonal(self):
+        bandwidth = np.array([[10.0, 50.0], [50.0, 10.0]])
+        distances = LinearTransform(c=100.0).distance_matrix(bandwidth)
+        assert distances[0, 0] == 0.0
+        assert distances[0, 1] == 50.0
+
+    def test_rejects_non_positive_c(self):
+        with pytest.raises(ValidationError):
+            LinearTransform(c=-1.0)
+
+
+class TestSymmetrizeAverage:
+    def test_averages_directions(self):
+        raw = np.array([[0.0, 10.0], [30.0, 0.0]])
+        out = symmetrize_average(raw)
+        assert out[0, 1] == out[1, 0] == 20.0
+
+    def test_symmetric_input_unchanged(self):
+        raw = np.array([[0.0, 5.0], [5.0, 0.0]])
+        assert np.array_equal(symmetrize_average(raw), raw)
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValidationError):
+            symmetrize_average(np.ones((2, 3)))

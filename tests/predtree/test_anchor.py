@@ -1,0 +1,142 @@
+"""Unit tests for the AnchorTree overlay."""
+
+import pytest
+
+from repro.exceptions import TreeConstructionError, UnknownNodeError
+from repro.predtree.anchor import AnchorTree
+
+
+def chain(n: int) -> AnchorTree:
+    tree = AnchorTree()
+    tree.add_root(0)
+    for host in range(1, n):
+        tree.add_child(host, host - 1)
+    return tree
+
+
+def star(n: int) -> AnchorTree:
+    tree = AnchorTree()
+    tree.add_root(0)
+    for host in range(1, n):
+        tree.add_child(host, 0)
+    return tree
+
+
+class TestConstruction:
+    def test_root(self):
+        tree = AnchorTree()
+        tree.add_root(5)
+        assert tree.root == 5
+        assert tree.size == 1
+
+    def test_double_root_rejected(self):
+        tree = AnchorTree()
+        tree.add_root(0)
+        with pytest.raises(TreeConstructionError):
+            tree.add_root(1)
+
+    def test_empty_root_access_rejected(self):
+        with pytest.raises(TreeConstructionError):
+            AnchorTree().root
+
+    def test_child_of_unknown_anchor_rejected(self):
+        tree = AnchorTree()
+        tree.add_root(0)
+        with pytest.raises(UnknownNodeError):
+            tree.add_child(1, 99)
+
+    def test_duplicate_host_rejected(self):
+        tree = chain(3)
+        with pytest.raises(TreeConstructionError):
+            tree.add_child(1, 0)
+
+
+class TestTopology:
+    def test_neighbors_root(self):
+        tree = star(4)
+        assert tree.neighbors(0) == [1, 2, 3]
+
+    def test_neighbors_leaf(self):
+        tree = star(4)
+        assert tree.neighbors(2) == [0]
+
+    def test_neighbors_middle_of_chain(self):
+        tree = chain(5)
+        assert tree.neighbors(2) == [1, 3]
+
+    def test_degree_and_max_degree(self):
+        tree = star(6)
+        assert tree.degree(0) == 5
+        assert tree.degree(3) == 1
+        assert tree.max_degree() == 5
+
+    def test_depth(self):
+        tree = chain(5)
+        assert tree.depth(0) == 0
+        assert tree.depth(4) == 4
+
+    def test_height(self):
+        assert chain(5).height() == 4
+        assert star(5).height() == 1
+
+    def test_diameter_chain(self):
+        assert chain(6).diameter() == 5
+
+    def test_diameter_star(self):
+        assert star(6).diameter() == 2
+
+    def test_diameter_singleton(self):
+        tree = AnchorTree()
+        tree.add_root(0)
+        assert tree.diameter() == 0
+
+    def test_contains(self):
+        tree = chain(3)
+        assert 2 in tree
+        assert 99 not in tree
+
+    def test_bfs_order_starts_at_root(self):
+        tree = chain(4)
+        assert tree.bfs_order()[0] == 0
+        assert set(tree.bfs_order()) == {0, 1, 2, 3}
+
+
+class TestReachability:
+    def test_reachable_via_child_is_subtree(self):
+        tree = chain(5)
+        assert tree.reachable_via(1, 2) == {2, 3, 4}
+
+    def test_reachable_via_parent_is_rest(self):
+        tree = chain(5)
+        assert tree.reachable_via(2, 1) == {0, 1}
+
+    def test_reachable_via_non_neighbor_rejected(self):
+        tree = chain(5)
+        with pytest.raises(UnknownNodeError):
+            tree.reachable_via(0, 3)
+
+    def test_partition_property(self):
+        # For any node, the reachable sets via its neighbors partition
+        # the rest of the tree.
+        tree = chain(7)
+        for host in range(7):
+            union: set[int] = set()
+            for neighbor in tree.neighbors(host):
+                part = tree.reachable_via(host, neighbor)
+                assert union.isdisjoint(part)
+                union |= part
+            assert union == set(range(7)) - {host}
+
+    def test_subtree(self):
+        tree = chain(4)
+        assert tree.subtree(2) == {2, 3}
+        assert tree.subtree(0) == {0, 1, 2, 3}
+
+
+class TestInvariants:
+    def test_check_passes_on_valid_tree(self):
+        chain(6).check_invariants()
+        star(6).check_invariants()
+
+    def test_check_empty(self):
+        AnchorTree().check_invariants()

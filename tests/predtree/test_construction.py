@@ -1,0 +1,145 @@
+"""Unit tests for placement planning and end-node search."""
+
+import pytest
+
+from repro.exceptions import TreeConstructionError
+from repro.metrics.gromov import gromov_product
+from repro.predtree.anchor import AnchorTree
+from repro.predtree.construction import (
+    EndNodeSearch,
+    plan_placement,
+)
+from repro.predtree.tree import PredictionTree
+from tests.conftest import random_tree_distance_matrix
+
+
+def build_partial(d, hosts):
+    """Build tree+anchor over `hosts` using exact placement from d."""
+    tree = PredictionTree()
+    anchor = AnchorTree()
+    tree.add_first_host(hosts[0])
+    anchor.add_root(hosts[0])
+    if len(hosts) > 1:
+        tree.add_second_host(hosts[1], d.distance(hosts[0], hosts[1]))
+        anchor.add_child(hosts[1], hosts[0])
+    for host in hosts[2:]:
+        placement = plan_placement(
+            tree, anchor, base=hosts[0],
+            measure=lambda other, h=host: d.distance(h, other),
+            search=EndNodeSearch.EXHAUSTIVE,
+        )
+        a = tree.attach_host(
+            host, placement.base, placement.end,
+            placement.gromov_to_end, placement.leaf_weight,
+        )
+        anchor.add_child(host, a)
+    return tree, anchor
+
+
+class TestPlanPlacement:
+    def test_requires_two_hosts(self):
+        tree = PredictionTree()
+        anchor = AnchorTree()
+        tree.add_first_host(0)
+        anchor.add_root(0)
+        with pytest.raises(TreeConstructionError):
+            plan_placement(tree, anchor, 0, lambda other: 1.0)
+
+    def test_unknown_base_rejected(self):
+        d = random_tree_distance_matrix(5, seed=0)
+        tree, anchor = build_partial(d, [0, 1])
+        with pytest.raises(TreeConstructionError):
+            plan_placement(tree, anchor, 99, lambda other: 1.0)
+
+    def test_measurement_counting(self):
+        d = random_tree_distance_matrix(6, seed=1)
+        tree, anchor = build_partial(d, [0, 1, 2])
+        placement = plan_placement(
+            tree, anchor, 0,
+            measure=lambda other: d.distance(3, other),
+            search=EndNodeSearch.EXHAUSTIVE,
+        )
+        # Exhaustive: one base measurement + one per other host.
+        assert placement.measurements == 1 + 2
+
+    def test_exhaustive_picks_max_gromov(self):
+        d = random_tree_distance_matrix(8, seed=2)
+        tree, anchor = build_partial(d, list(range(6)))
+        new = 6
+        placement = plan_placement(
+            tree, anchor, 0,
+            measure=lambda other: d.distance(new, other),
+            search=EndNodeSearch.EXHAUSTIVE,
+        )
+        products = {
+            y: gromov_product(d, new, y, 0) for y in range(1, 6)
+        }
+        best = max(products.values())
+        assert products[placement.end] == pytest.approx(best)
+
+    def test_placement_preserves_base_and_end_distances(self):
+        # After attaching per the placement, d_T(x, z) and d_T(x, y)
+        # must equal the measured distances (tree metric input).
+        d = random_tree_distance_matrix(10, seed=3)
+        tree, anchor = build_partial(d, list(range(7)))
+        new = 7
+        placement = plan_placement(
+            tree, anchor, 0,
+            measure=lambda other: d.distance(new, other),
+            search=EndNodeSearch.EXHAUSTIVE,
+        )
+        tree.attach_host(
+            new, placement.base, placement.end,
+            placement.gromov_to_end, placement.leaf_weight,
+        )
+        assert tree.distance(new, placement.base) == pytest.approx(
+            d.distance(new, placement.base), abs=1e-5
+        )
+        assert tree.distance(new, placement.end) == pytest.approx(
+            d.distance(new, placement.end), abs=1e-5
+        )
+
+    def test_anchor_descent_matches_exhaustive_on_tree_metric(self):
+        # On a perfect tree metric the greedy descent must find an end
+        # node achieving the same (maximal) Gromov product.
+        d = random_tree_distance_matrix(12, seed=4)
+        tree, anchor = build_partial(d, list(range(9)))
+        new = 9
+        exhaustive = plan_placement(
+            tree, anchor, 0,
+            measure=lambda other: d.distance(new, other),
+            search=EndNodeSearch.EXHAUSTIVE,
+        )
+        descent = plan_placement(
+            tree, anchor, 0,
+            measure=lambda other: d.distance(new, other),
+            search=EndNodeSearch.ANCHOR_DESCENT,
+        )
+        best = gromov_product(d, new, exhaustive.end, 0)
+        found = gromov_product(d, new, descent.end, 0)
+        assert found == pytest.approx(best, abs=1e-9)
+
+    def test_anchor_descent_uses_fewer_measurements_on_chains(self):
+        d = random_tree_distance_matrix(20, seed=5)
+        tree, anchor = build_partial(d, list(range(15)))
+        new = 15
+        exhaustive = plan_placement(
+            tree, anchor, 0,
+            measure=lambda other: d.distance(new, other),
+            search=EndNodeSearch.EXHAUSTIVE,
+        )
+        descent = plan_placement(
+            tree, anchor, 0,
+            measure=lambda other: d.distance(new, other),
+            search=EndNodeSearch.ANCHOR_DESCENT,
+        )
+        assert descent.measurements <= exhaustive.measurements
+
+    def test_leaf_weight_nonnegative(self):
+        d = random_tree_distance_matrix(10, seed=6)
+        tree, anchor = build_partial(d, list(range(8)))
+        placement = plan_placement(
+            tree, anchor, 0,
+            measure=lambda other: d.distance(9, other),
+        )
+        assert placement.leaf_weight >= 0.0

@@ -1,0 +1,54 @@
+"""Tests for the exported end-node search helper."""
+
+import pytest
+
+from repro.predtree.construction import EndNodeSearch, find_end_node
+from tests.conftest import random_tree_distance_matrix
+from tests.predtree.test_construction import build_partial
+
+
+@pytest.fixture()
+def built():
+    d = random_tree_distance_matrix(10, seed=11)
+    tree, anchor = build_partial(d, list(range(8)))
+    return d, tree, anchor
+
+
+class TestFindEndNode:
+    def test_exhaustive_returns_measured_distance(self, built):
+        d, tree, anchor = built
+        new = 8
+        d_xz = d.distance(new, 0)
+        end, d_xy, used = find_end_node(
+            tree, anchor, 0, d_xz,
+            lambda other: d.distance(new, other),
+            EndNodeSearch.EXHAUSTIVE,
+        )
+        assert d_xy == d.distance(new, end)
+        assert used == 7  # every host except the base
+
+    def test_descent_uses_no_more_measurements(self, built):
+        d, tree, anchor = built
+        new = 9
+        d_xz = d.distance(new, 0)
+        _, _, exhaustive_used = find_end_node(
+            tree, anchor, 0, d_xz,
+            lambda other: d.distance(new, other),
+            EndNodeSearch.EXHAUSTIVE,
+        )
+        _, _, descent_used = find_end_node(
+            tree, anchor, 0, d_xz,
+            lambda other: d.distance(new, other),
+            EndNodeSearch.ANCHOR_DESCENT,
+        )
+        assert descent_used <= exhaustive_used
+
+    def test_end_is_existing_host(self, built):
+        d, tree, anchor = built
+        end, _, _ = find_end_node(
+            tree, anchor, 0, d.distance(9, 0),
+            lambda other: d.distance(9, other),
+            EndNodeSearch.ANCHOR_DESCENT,
+        )
+        assert tree.has_host(end)
+        assert end != 0  # never the base

@@ -1,0 +1,146 @@
+"""Unit tests for the BandwidthPredictionFramework."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TreeConstructionError, UnknownNodeError
+from repro.metrics.fourpoint import is_tree_metric
+from repro.metrics.metric import BandwidthMatrix
+from repro.predtree.construction import EndNodeSearch
+from repro.predtree.framework import (
+    BandwidthPredictionFramework,
+    build_framework,
+)
+
+
+def ultrametric_matrix(n: int, seed: int = 0) -> BandwidthMatrix:
+    rng = np.random.default_rng(seed)
+    rates = rng.uniform(5.0, 200.0, size=n)
+    return BandwidthMatrix(np.minimum.outer(rates, rates))
+
+
+class TestConstruction:
+    def test_all_hosts_joined(self):
+        bw = ultrametric_matrix(15)
+        framework = build_framework(bw, seed=0)
+        assert sorted(framework.hosts) == list(range(15))
+        assert framework.size == 15
+
+    def test_join_order_is_seeded_shuffle(self):
+        bw = ultrametric_matrix(15)
+        a = build_framework(bw, seed=1)
+        b = build_framework(bw, seed=1)
+        c = build_framework(bw, seed=2)
+        assert a.hosts == b.hosts
+        assert a.hosts != c.hosts  # overwhelmingly likely for n=15
+
+    def test_explicit_join_order(self):
+        bw = ultrametric_matrix(6)
+        order = [3, 1, 4, 0, 5, 2]
+        framework = BandwidthPredictionFramework(bw, join_order=order)
+        assert framework.hosts == order
+        assert framework.anchor_tree.root == 3
+
+    def test_duplicate_join_rejected(self):
+        bw = ultrametric_matrix(5)
+        framework = build_framework(bw, seed=0)
+        with pytest.raises(TreeConstructionError):
+            framework.add_host(0)
+
+    def test_structures_valid(self):
+        framework = build_framework(ultrametric_matrix(20), seed=3)
+        framework.tree.check_invariants()
+        framework.anchor_tree.check_invariants()
+
+
+class TestPrediction:
+    def test_exact_on_perfect_tree_metric(self):
+        bw = ultrametric_matrix(25, seed=4)
+        truth = bw.to_distance_matrix()
+        for search in (
+            EndNodeSearch.EXHAUSTIVE, EndNodeSearch.ANCHOR_DESCENT
+        ):
+            framework = build_framework(bw, seed=5, search=search)
+            predicted = framework.predicted_distance_matrix()
+            assert np.allclose(
+                predicted.values, truth.values, atol=1e-4
+            ), f"{search} embedding not exact"
+
+    def test_label_distance_equals_tree_distance(self):
+        framework = build_framework(ultrametric_matrix(20, seed=6), seed=7)
+        tree = framework.tree
+        hosts = framework.hosts
+        for u in hosts[:10]:
+            for v in hosts[:10]:
+                assert framework.predicted_distance(u, v) == pytest.approx(
+                    tree.distance(u, v), abs=1e-9
+                )
+
+    def test_predicted_matrix_is_tree_metric(self):
+        # Whatever the input, the *predicted* metric is realized by a
+        # tree, hence satisfies 4PC.
+        rng = np.random.default_rng(8)
+        raw = rng.uniform(5.0, 100.0, size=(12, 12))
+        raw = (raw + raw.T) / 2
+        framework = build_framework(BandwidthMatrix(raw), seed=9)
+        assert is_tree_metric(framework.predicted_distance_matrix(),
+                              tolerance=1e-6)
+
+    def test_predicted_bandwidth_inverse_of_distance(self):
+        framework = build_framework(ultrametric_matrix(10, seed=10), seed=11)
+        u, v = framework.hosts[0], framework.hosts[1]
+        d = framework.predicted_distance(u, v)
+        assert framework.predicted_bandwidth(u, v) == pytest.approx(
+            framework.transform.c / d
+        )
+
+    def test_predicted_bandwidth_self_is_infinite(self):
+        framework = build_framework(ultrametric_matrix(5), seed=0)
+        assert framework.predicted_bandwidth(2, 2) == np.inf
+
+    def test_bandwidth_matrix_diagonal(self):
+        framework = build_framework(ultrametric_matrix(5), seed=0)
+        matrix = framework.predicted_bandwidth_matrix()
+        assert np.all(np.isinf(np.diagonal(matrix)))
+
+    def test_unknown_host_label(self):
+        framework = build_framework(ultrametric_matrix(5), seed=0)
+        with pytest.raises(UnknownNodeError):
+            framework.label_of(99)
+
+
+class TestMeasurementAccounting:
+    def test_anchor_descent_saves_measurements(self):
+        bw = ultrametric_matrix(40, seed=12)
+        exhaustive = build_framework(
+            bw, seed=13, search=EndNodeSearch.EXHAUSTIVE
+        )
+        descent = build_framework(
+            bw, seed=13, search=EndNodeSearch.ANCHOR_DESCENT
+        )
+        full = 40 * 39 // 2
+        assert exhaustive.stats().measurements == full
+        assert descent.stats().measurements < full
+
+    def test_stats_fields(self):
+        framework = build_framework(ultrametric_matrix(12), seed=0)
+        stats = framework.stats()
+        assert stats.host_count == 12
+        assert stats.anchor_height >= 1
+        assert stats.anchor_max_degree >= 1
+        assert stats.tree_vertices >= 12
+
+
+class TestOverlay:
+    def test_overlay_neighbors_match_anchor_tree(self):
+        framework = build_framework(ultrametric_matrix(15), seed=1)
+        for host in framework.hosts:
+            assert framework.overlay_neighbors(host) == (
+                framework.anchor_tree.neighbors(host)
+            )
+
+    def test_partial_framework_rejects_full_matrix(self):
+        bw = ultrametric_matrix(6)
+        framework = BandwidthPredictionFramework(bw, join_order=[0, 1, 2])
+        with pytest.raises(TreeConstructionError):
+            framework.predicted_distance_matrix()

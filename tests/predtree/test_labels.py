@@ -1,0 +1,97 @@
+"""Unit tests for distance labels (Sec. II-D)."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.predtree.labels import DistanceLabel, LabelEntry, label_distance
+
+
+def label(root: int, *entries: tuple[int, float, float]) -> DistanceLabel:
+    return DistanceLabel(
+        root=root,
+        entries=tuple(LabelEntry(host=h, u=u, v=v) for h, u, v in entries),
+    )
+
+
+class TestLabelBasics:
+    def test_root_label(self):
+        root = label(0)
+        assert root.host == 0
+        assert root.chain == (0,)
+        assert len(root) == 0
+
+    def test_chain(self):
+        lab = label(0, (1, 0.0, 25.0), (3, 10.0, 20.0))
+        assert lab.host == 3
+        assert lab.chain == (0, 1, 3)
+
+    def test_negative_segments_rejected(self):
+        with pytest.raises(ValidationError):
+            LabelEntry(host=1, u=-1.0, v=0.0)
+        with pytest.raises(ValidationError):
+            LabelEntry(host=1, u=0.0, v=-2.0)
+
+
+class TestLabelDistance:
+    def test_same_host_zero(self):
+        lab = label(0, (1, 0.0, 25.0))
+        assert label_distance(lab, lab) == 0.0
+
+    def test_root_to_child(self):
+        root = label(0)
+        child = label(0, (1, 0.0, 25.0))
+        assert label_distance(root, child) == 25.0
+        assert label_distance(child, root) == 25.0
+
+    def test_paper_fig1_example(self):
+        # Label of d: (a -0-> t_b -25-> b -10-> t_d -20-> d).
+        # d_T(a, d) = 0 + (25 - 10) + 20 = 35.
+        a = label(0)
+        b = label(0, (1, 0.0, 25.0))
+        d = label(0, (1, 0.0, 25.0), (3, 10.0, 20.0))
+        assert label_distance(a, d) == 35.0
+        # d_T(b, d) = 10 + 20 = 30 (b is an ancestor anchor of d).
+        assert label_distance(b, d) == 30.0
+
+    def test_siblings_same_anchor(self):
+        # Two hosts anchored at b, inner nodes at 10 and 18 from b.
+        x = label(0, (1, 0.0, 25.0), (3, 10.0, 20.0))
+        y = label(0, (1, 0.0, 25.0), (4, 18.0, 5.0))
+        assert label_distance(x, y) == (18.0 - 10.0) + 20.0 + 5.0
+
+    def test_siblings_same_position(self):
+        x = label(0, (1, 0.0, 25.0), (3, 10.0, 20.0))
+        y = label(0, (1, 0.0, 25.0), (4, 10.0, 5.0))
+        assert label_distance(x, y) == 25.0
+
+    def test_diverging_at_root_edge(self):
+        # Both anchored at host 1 via different inner positions.
+        x = label(0, (1, 0.0, 25.0), (2, 5.0, 7.0))
+        y = label(0, (1, 0.0, 25.0), (3, 12.0, 2.0))
+        assert label_distance(x, y) == 7.0 + 7.0 + 2.0
+
+    def test_deep_descent(self):
+        # Chain of three anchors under b.
+        x = label(
+            0, (1, 0.0, 25.0), (2, 10.0, 20.0), (5, 4.0, 3.0)
+        )
+        b = label(0, (1, 0.0, 25.0))
+        # b -> t_2 (10) -> toward 2 until t_5 branches at 4 from 2:
+        # 10 + (20 - 4) + 3 = 29.
+        assert label_distance(b, x) == 29.0
+
+    def test_symmetry(self):
+        x = label(0, (1, 0.0, 25.0), (2, 10.0, 20.0))
+        y = label(0, (1, 0.0, 25.0), (3, 18.0, 5.0), (4, 2.0, 1.0))
+        assert label_distance(x, y) == label_distance(y, x)
+
+    def test_different_roots_rejected(self):
+        with pytest.raises(ValidationError):
+            label_distance(label(0), label(1))
+
+    def test_inconsistent_label_rejected(self):
+        # Next inner node beyond the leaf-path length.
+        x = label(0, (1, 0.0, 5.0), (2, 99.0, 1.0))
+        y = label(0)
+        with pytest.raises(ValidationError):
+            label_distance(y, x)

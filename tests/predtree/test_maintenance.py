@@ -1,0 +1,203 @@
+"""Tests for dynamic membership: host departure and re-join.
+
+The paper's requirement list (Sec. I) includes *dynamic clustering*:
+membership adapts as the network changes.  Departure support excises a
+leaf host exactly (undoing its arrival's edge split) and makes any
+displaced anchor descendants re-join through the normal protocol.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TreeConstructionError, UnknownNodeError
+from repro.metrics.metric import BandwidthMatrix
+from repro.predtree.anchor import AnchorTree
+from repro.predtree.framework import (
+    BandwidthPredictionFramework,
+    build_framework,
+)
+from repro.predtree.tree import PredictionTree
+
+
+def ultrametric(n: int, seed: int = 0) -> BandwidthMatrix:
+    rng = np.random.default_rng(seed)
+    rates = rng.uniform(5.0, 200.0, size=n)
+    return BandwidthMatrix(np.minimum.outer(rates, rates))
+
+
+class TestTreeLeafRemoval:
+    def test_remove_restores_geometry(self):
+        tree = PredictionTree()
+        tree.add_first_host(0)
+        tree.add_second_host(1, 10.0)
+        tree.attach_host(2, 0, 1, gromov_to_end=4.0, leaf_weight=3.0)
+        before = tree.distance(0, 1)
+        tree.remove_leaf_host(2)
+        tree.check_invariants()
+        assert tree.host_count == 2
+        assert tree.distance(0, 1) == before
+        # The split of edge (0, 1) must have been contracted away.
+        assert tree.vertex_count == 2
+
+    def test_remove_host_with_anchor_children_rejected(self):
+        tree = PredictionTree()
+        tree.add_first_host(0)
+        tree.add_second_host(1, 10.0)
+        tree.attach_host(2, 0, 1, 4.0, 3.0)       # anchor 1
+        tree.attach_host(3, 0, 2, 6.0, 1.0)        # lands on 2's leaf edge
+        assert tree.anchor_of(3) == 2
+        with pytest.raises(TreeConstructionError):
+            tree.remove_leaf_host(2)
+
+    def test_remove_attachment_point_host_rejected(self):
+        tree = PredictionTree()
+        tree.add_first_host(0)
+        tree.add_second_host(1, 10.0)
+        # Host 2 snaps exactly onto host 1's vertex.
+        tree.attach_host(2, 0, 1, gromov_to_end=10.0, leaf_weight=2.0)
+        with pytest.raises(TreeConstructionError):
+            tree.remove_leaf_host(1)
+
+    def test_remove_last_host(self):
+        tree = PredictionTree()
+        tree.add_first_host(5)
+        tree.remove_leaf_host(5)
+        assert tree.host_count == 0
+        assert tree.vertex_count == 0
+
+    def test_remove_unknown_host(self):
+        tree = PredictionTree()
+        tree.add_first_host(0)
+        with pytest.raises(UnknownNodeError):
+            tree.remove_leaf_host(9)
+
+
+class TestAnchorLeafRemoval:
+    def test_remove_leaf(self):
+        anchor = AnchorTree()
+        anchor.add_root(0)
+        anchor.add_child(1, 0)
+        anchor.add_child(2, 1)
+        anchor.remove_leaf(2)
+        assert 2 not in anchor
+        assert anchor.children(1) == []
+        anchor.check_invariants()
+
+    def test_remove_with_children_rejected(self):
+        anchor = AnchorTree()
+        anchor.add_root(0)
+        anchor.add_child(1, 0)
+        anchor.add_child(2, 1)
+        with pytest.raises(TreeConstructionError):
+            anchor.remove_leaf(1)
+
+    def test_remove_root_with_others_rejected(self):
+        anchor = AnchorTree()
+        anchor.add_root(0)
+        anchor.add_child(1, 0)
+        anchor.remove_leaf(1)
+        anchor.add_child(1, 0)
+        with pytest.raises(TreeConstructionError):
+            anchor.remove_leaf(0)
+
+    def test_remove_last_root(self):
+        anchor = AnchorTree()
+        anchor.add_root(0)
+        anchor.remove_leaf(0)
+        assert anchor.size == 0
+
+
+class TestFrameworkDeparture:
+    def test_leaf_departure_no_rejoin(self):
+        framework = build_framework(ultrametric(12), seed=0)
+        anchor = framework.anchor_tree
+        leaf = next(
+            host for host in framework.hosts
+            if not anchor.children(host) and host != anchor.root
+        )
+        rejoined = framework.remove_host(leaf)
+        assert rejoined == []
+        assert leaf not in framework.hosts
+        framework.tree.check_invariants()
+        framework.anchor_tree.check_invariants()
+
+    def test_departure_preserves_other_distances(self):
+        bw = ultrametric(15, seed=1)
+        framework = build_framework(bw, seed=2)
+        anchor = framework.anchor_tree
+        leaf = next(
+            host for host in framework.hosts
+            if not anchor.children(host) and host != anchor.root
+        )
+        survivors = [h for h in framework.hosts if h != leaf]
+        before = {
+            (u, v): framework.predicted_distance(u, v)
+            for u in survivors[:6]
+            for v in survivors[:6]
+        }
+        framework.remove_host(leaf)
+        for (u, v), value in before.items():
+            assert framework.predicted_distance(u, v) == pytest.approx(
+                value, abs=1e-9
+            )
+
+    def test_inner_departure_rejoins_descendants(self):
+        bw = ultrametric(20, seed=3)
+        framework = build_framework(bw, seed=4)
+        anchor = framework.anchor_tree
+        parent = next(
+            host for host in framework.hosts
+            if anchor.children(host) and host != anchor.root
+        )
+        descendants = sorted(anchor.subtree(parent) - {parent})
+        rejoined = framework.remove_host(parent)
+        assert sorted(rejoined) == descendants
+        assert parent not in framework.hosts
+        assert framework.size == 19
+        framework.tree.check_invariants()
+        framework.anchor_tree.check_invariants()
+
+    def test_rejoined_predictions_still_exact_on_tree_metric(self):
+        bw = ultrametric(18, seed=5)
+        truth = bw.to_distance_matrix()
+        framework = build_framework(bw, seed=6)
+        anchor = framework.anchor_tree
+        parent = next(
+            host for host in framework.hosts
+            if anchor.children(host) and host != anchor.root
+        )
+        framework.remove_host(parent)
+        survivors = framework.hosts
+        for u in survivors[:8]:
+            for v in survivors[:8]:
+                assert framework.predicted_distance(u, v) == (
+                    pytest.approx(truth.distance(u, v), abs=1e-7)
+                )
+
+    def test_root_departure_rejected(self):
+        framework = build_framework(ultrametric(8), seed=7)
+        with pytest.raises(TreeConstructionError):
+            framework.remove_host(framework.anchor_tree.root)
+
+    def test_unknown_departure_rejected(self):
+        framework = build_framework(ultrametric(8), seed=8)
+        with pytest.raises(UnknownNodeError):
+            framework.remove_host(999)
+
+    def test_departed_host_can_rejoin(self):
+        framework = build_framework(ultrametric(10), seed=9)
+        anchor = framework.anchor_tree
+        leaf = next(
+            host for host in framework.hosts
+            if not anchor.children(host) and host != anchor.root
+        )
+        framework.remove_host(leaf)
+        framework.add_host(leaf)
+        assert leaf in framework.hosts
+        assert framework.size == 10
+
+    def test_single_host_framework_drains(self):
+        bw = ultrametric(3, seed=10)
+        framework = BandwidthPredictionFramework(bw, join_order=[0])
+        framework.remove_host(0)
+        assert framework.size == 0

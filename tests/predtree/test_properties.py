@@ -1,0 +1,127 @@
+"""Property-based tests for the prediction substrate.
+
+The central claims: (1) on a perfect tree metric the framework's
+embedding is *exact* in both search modes, (2) distance labels always
+reproduce tree distances, (3) the prediction tree stays structurally
+valid under arbitrary join orders.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.metric import BandwidthMatrix
+from repro.predtree.construction import EndNodeSearch
+from repro.predtree.framework import build_framework
+from repro.predtree.labels import label_distance
+from tests.conftest import random_tree_distance_matrix
+
+
+@given(
+    n=st.integers(min_value=4, max_value=18),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=25, deadline=None)
+def test_exhaustive_embedding_exact_on_additive_tree_metrics(n, seed):
+    d = random_tree_distance_matrix(n, seed=seed, weight_low=0.2)
+    with np.errstate(divide="ignore"):
+        bw = 100.0 / d.values
+    np.fill_diagonal(bw, np.inf)
+    framework = build_framework(
+        BandwidthMatrix(bw), seed=seed + 1, search=EndNodeSearch.EXHAUSTIVE
+    )
+    predicted = framework.predicted_distance_matrix()
+    assert np.allclose(predicted.values, d.values, atol=1e-4)
+
+
+@given(
+    n=st.integers(min_value=4, max_value=20),
+    seed=st.integers(0, 1000),
+    search=st.sampled_from(list(EndNodeSearch)),
+)
+@settings(max_examples=25, deadline=None)
+def test_both_searches_exact_on_bottleneck_ultrametrics(n, seed, search):
+    # The access-link model of [20] — the structure the evaluation
+    # datasets are built from.  Anchor descent is provably exact here;
+    # on general additive tree metrics it is only a heuristic (see the
+    # construction module docstring).
+    rng = np.random.default_rng(seed)
+    rates = rng.uniform(1.0, 200.0, size=n)
+    bw = BandwidthMatrix(np.minimum.outer(rates, rates))
+    d = bw.to_distance_matrix()
+    framework = build_framework(bw, seed=seed + 1, search=search)
+    predicted = framework.predicted_distance_matrix()
+    assert np.allclose(predicted.values, d.values, atol=1e-4)
+
+
+@given(
+    n=st.integers(min_value=6, max_value=16),
+    seed=st.integers(0, 500),
+)
+@settings(max_examples=20, deadline=None)
+def test_anchor_descent_accurate_on_additive_tree_metrics(n, seed):
+    # Heuristic mode: not always exact, but the bulk of pairs must be
+    # embedded exactly (the walk only errs for hosts whose maximizer
+    # hides behind an out-scoring sibling branch).
+    d = random_tree_distance_matrix(n, seed=seed, weight_low=0.2)
+    with np.errstate(divide="ignore"):
+        bw = 100.0 / d.values
+    np.fill_diagonal(bw, np.inf)
+    framework = build_framework(
+        BandwidthMatrix(bw), seed=seed + 1,
+        search=EndNodeSearch.ANCHOR_DESCENT,
+    )
+    predicted = framework.predicted_distance_matrix()
+    relative = np.abs(predicted.values - d.values) / max(
+        float(d.values.max()), 1e-9
+    )
+    assert float(np.median(relative)) <= 0.05
+    # "Exact" up to the deliberate 1e-6 leaf-weight floor.
+    assert float(np.mean(relative <= 1e-5)) >= 0.5
+
+
+@given(n=st.integers(min_value=3, max_value=15), seed=st.integers(0, 500))
+@settings(max_examples=25, deadline=None)
+def test_labels_reproduce_tree_distances_on_arbitrary_input(n, seed):
+    rng = np.random.default_rng(seed)
+    raw = rng.uniform(1.0, 200.0, size=(n, n))
+    raw = (raw + raw.T) / 2
+    framework = build_framework(BandwidthMatrix(raw), seed=seed)
+    tree = framework.tree
+    for u in framework.hosts:
+        for v in framework.hosts:
+            via_labels = label_distance(
+                framework.label_of(u), framework.label_of(v)
+            )
+            assert abs(via_labels - tree.distance(u, v)) < 1e-7
+
+
+@given(n=st.integers(min_value=2, max_value=20), seed=st.integers(0, 500))
+@settings(max_examples=25, deadline=None)
+def test_structural_invariants_hold_for_any_input(n, seed):
+    rng = np.random.default_rng(seed)
+    raw = rng.uniform(0.5, 500.0, size=(n, n))
+    raw = (raw + raw.T) / 2
+    framework = build_framework(BandwidthMatrix(raw), seed=seed + 7)
+    framework.tree.check_invariants()
+    framework.anchor_tree.check_invariants()
+    # Leaf-path geometry: every host's inner vertex is on its anchor's
+    # leaf path, so label u never exceeds the anchor's leaf-path length.
+    for host in framework.hosts:
+        label = framework.label_of(host)
+        entries = label.entries
+        for i in range(len(entries) - 1):
+            assert entries[i + 1].u <= entries[i].v + 1e-9
+
+
+@given(n=st.integers(min_value=3, max_value=12), seed=st.integers(0, 300))
+@settings(max_examples=20, deadline=None)
+def test_predicted_distances_are_symmetric_nonnegative(n, seed):
+    rng = np.random.default_rng(seed)
+    raw = rng.uniform(1.0, 100.0, size=(n, n))
+    raw = (raw + raw.T) / 2
+    framework = build_framework(BandwidthMatrix(raw), seed=seed)
+    matrix = framework.predicted_distance_matrix().values
+    assert np.allclose(matrix, matrix.T)
+    assert np.all(matrix >= 0)
+    assert np.allclose(np.diagonal(matrix), 0.0)

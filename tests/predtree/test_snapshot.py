@@ -1,0 +1,122 @@
+"""Tests for framework snapshot persistence."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TreeConstructionError
+from repro.metrics.metric import BandwidthMatrix
+from repro.predtree.framework import build_framework
+from repro.predtree.snapshot import (
+    framework_from_dict,
+    framework_to_dict,
+    load_framework,
+    save_framework,
+)
+
+
+@pytest.fixture(scope="module")
+def original():
+    rng = np.random.default_rng(0)
+    raw = rng.uniform(5.0, 150.0, size=(25, 25))
+    raw = (raw + raw.T) / 2
+    bandwidth = BandwidthMatrix(raw)
+    return bandwidth, build_framework(bandwidth, seed=1)
+
+
+class TestRoundtrip:
+    def test_predicted_distances_identical(self, original):
+        bandwidth, framework = original
+        restored = framework_from_dict(
+            framework_to_dict(framework), bandwidth
+        )
+        a = framework.predicted_distance_matrix().values
+        b = restored.predicted_distance_matrix().values
+        assert np.allclose(a, b, atol=1e-12)
+
+    def test_labels_identical(self, original):
+        bandwidth, framework = original
+        restored = framework_from_dict(
+            framework_to_dict(framework), bandwidth
+        )
+        for host in framework.hosts:
+            assert framework.label_of(host) == restored.label_of(host)
+
+    def test_overlay_identical(self, original):
+        bandwidth, framework = original
+        restored = framework_from_dict(
+            framework_to_dict(framework), bandwidth
+        )
+        for host in framework.hosts:
+            assert framework.overlay_neighbors(host) == (
+                restored.overlay_neighbors(host)
+            )
+
+    def test_join_order_preserved(self, original):
+        bandwidth, framework = original
+        restored = framework_from_dict(
+            framework_to_dict(framework), bandwidth
+        )
+        assert restored.hosts == framework.hosts
+
+    def test_file_roundtrip(self, original, tmp_path):
+        bandwidth, framework = original
+        path = save_framework(framework, tmp_path / "overlay.json")
+        restored = load_framework(path, bandwidth)
+        assert np.allclose(
+            framework.predicted_distance_matrix().values,
+            restored.predicted_distance_matrix().values,
+        )
+
+    def test_restored_framework_accepts_new_hosts(self, tmp_path):
+        rng = np.random.default_rng(2)
+        raw = rng.uniform(5.0, 150.0, size=(12, 12))
+        raw = (raw + raw.T) / 2
+        bandwidth = BandwidthMatrix(raw)
+        from repro.predtree.framework import BandwidthPredictionFramework
+        partial = BandwidthPredictionFramework(
+            bandwidth, join_order=list(range(10))
+        )
+        path = save_framework(partial, tmp_path / "partial.json")
+        restored = load_framework(path, bandwidth)
+        restored.add_host(10)
+        restored.add_host(11)
+        assert restored.size == 12
+        restored.tree.check_invariants()
+
+    def test_restored_framework_supports_departure(self, original):
+        bandwidth, framework = original
+        restored = framework_from_dict(
+            framework_to_dict(framework), bandwidth
+        )
+        anchor = restored.anchor_tree
+        leaf = next(
+            host for host in restored.hosts
+            if not anchor.children(host) and host != anchor.root
+        )
+        restored.remove_host(leaf)
+        assert leaf not in restored.hosts
+
+    def test_measurement_count_carried(self, original):
+        bandwidth, framework = original
+        restored = framework_from_dict(
+            framework_to_dict(framework), bandwidth
+        )
+        assert restored.stats().measurements == (
+            framework.stats().measurements
+        )
+
+
+class TestErrors:
+    def test_bad_version_rejected(self, original):
+        bandwidth, framework = original
+        payload = framework_to_dict(framework)
+        payload["version"] = 99
+        with pytest.raises(TreeConstructionError):
+            framework_from_dict(payload, bandwidth)
+
+    def test_snapshot_is_json_clean(self, original):
+        import json
+
+        _, framework = original
+        text = json.dumps(framework_to_dict(framework))
+        assert json.loads(text)["version"] == 1

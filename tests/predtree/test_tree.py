@@ -1,0 +1,197 @@
+"""Unit tests for the PredictionTree data structure."""
+
+import pytest
+
+from repro.exceptions import (
+    TreeConstructionError,
+    UnknownNodeError,
+    ValidationError,
+)
+from repro.predtree.tree import PredictionTree
+
+
+def two_host_tree(distance: float = 25.0) -> PredictionTree:
+    tree = PredictionTree()
+    tree.add_first_host(0)
+    tree.add_second_host(1, distance)
+    return tree
+
+
+class TestConstruction:
+    def test_first_host(self):
+        tree = PredictionTree()
+        tree.add_first_host(7)
+        assert tree.hosts == [7]
+        assert tree.host_count == 1
+        assert tree.vertex_count == 1
+        assert tree.anchor_of(7) is None
+
+    def test_first_host_twice_rejected(self):
+        tree = PredictionTree()
+        tree.add_first_host(0)
+        with pytest.raises(TreeConstructionError):
+            tree.add_first_host(1)
+
+    def test_second_host(self):
+        tree = two_host_tree(25.0)
+        assert tree.distance(0, 1) == 25.0
+        assert tree.anchor_of(1) == 0
+
+    def test_second_host_inner_node_is_root(self):
+        # Paper convention (Fig. 1): d_T(a, t_b) = 0.
+        tree = two_host_tree()
+        assert tree.inner_vertex_of(1) == tree.vertex_of_host(0)
+
+    def test_second_host_requires_exactly_one(self):
+        tree = PredictionTree()
+        with pytest.raises(TreeConstructionError):
+            tree.add_second_host(1, 5.0)
+
+    def test_duplicate_host_rejected(self):
+        tree = PredictionTree()
+        tree.add_first_host(0)
+        with pytest.raises(ValidationError):
+            tree.add_second_host(0, 5.0)
+
+    def test_duplicate_attach_rejected(self):
+        tree = two_host_tree()
+        with pytest.raises(ValidationError):
+            tree.attach_host(1, 0, 1, 1.0, 1.0)
+
+    def test_negative_distance_rejected(self):
+        tree = PredictionTree()
+        tree.add_first_host(0)
+        with pytest.raises(ValidationError):
+            tree.add_second_host(1, -1.0)
+
+
+class TestAttachHost:
+    def test_midpoint_split(self):
+        tree = two_host_tree(10.0)
+        anchor = tree.attach_host(
+            2, base_host=0, end_host=1, gromov_to_end=4.0, leaf_weight=3.0
+        )
+        assert anchor == 1  # edge (0,1) is owned by host 1
+        assert tree.distance(0, 2) == pytest.approx(7.0)
+        assert tree.distance(1, 2) == pytest.approx(9.0)
+        assert tree.distance(0, 1) == pytest.approx(10.0)  # unchanged
+
+    def test_snap_to_base(self):
+        tree = two_host_tree(10.0)
+        tree.attach_host(2, 0, 1, gromov_to_end=0.0, leaf_weight=5.0)
+        assert tree.distance(0, 2) == pytest.approx(5.0)
+        assert tree.distance(1, 2) == pytest.approx(15.0)
+
+    def test_snap_to_base_anchor_is_base(self):
+        tree = two_host_tree(10.0)
+        anchor = tree.attach_host(2, 0, 1, 0.0, 5.0)
+        assert anchor == 0
+
+    def test_snap_to_end(self):
+        tree = two_host_tree(10.0)
+        anchor = tree.attach_host(2, 0, 1, gromov_to_end=10.0, leaf_weight=2.0)
+        assert anchor == 1
+        assert tree.distance(1, 2) == pytest.approx(2.0)
+        assert tree.distance(0, 2) == pytest.approx(12.0)
+
+    def test_gromov_clamped_to_path(self):
+        tree = two_host_tree(10.0)
+        tree.attach_host(2, 0, 1, gromov_to_end=99.0, leaf_weight=1.0)
+        assert tree.distance(1, 2) == pytest.approx(1.0)
+
+    def test_negative_gromov_clamped_to_zero(self):
+        tree = two_host_tree(10.0)
+        tree.attach_host(2, 0, 1, gromov_to_end=-3.0, leaf_weight=1.0)
+        assert tree.distance(0, 2) == pytest.approx(1.0)
+
+    def test_anchor_ownership_chain(self):
+        # Attach 2 on edge (0,1): anchor 1.  Then attach 3 whose inner
+        # node lands on 2's leaf edge: anchor must be 2.
+        tree = two_host_tree(10.0)
+        tree.attach_host(2, 0, 1, 4.0, 6.0)
+        # Path 0~2 has length 10: inner at 7 => beyond the split point 4,
+        # i.e. on 2's leaf edge.
+        anchor = tree.attach_host(3, 0, 2, gromov_to_end=7.0, leaf_weight=2.0)
+        assert anchor == 2
+
+    def test_requires_two_existing_hosts(self):
+        tree = PredictionTree()
+        tree.add_first_host(0)
+        with pytest.raises(TreeConstructionError):
+            tree.attach_host(1, 0, 0, 0.0, 1.0)
+
+    def test_base_equals_end_rejected(self):
+        tree = two_host_tree()
+        with pytest.raises(TreeConstructionError):
+            tree.attach_host(2, 0, 0, 0.0, 1.0)
+
+    def test_negative_leaf_weight_rejected(self):
+        tree = two_host_tree()
+        with pytest.raises(ValidationError):
+            tree.attach_host(2, 0, 1, 1.0, -1.0)
+
+    def test_invariants_after_many_attachments(self):
+        tree = two_host_tree(10.0)
+        for host in range(2, 12):
+            tree.attach_host(
+                host, 0, host - 1,
+                gromov_to_end=float(host % 5),
+                leaf_weight=float(host),
+            )
+            tree.check_invariants()
+        assert tree.host_count == 12
+
+
+class TestAccessors:
+    def test_unknown_host_raises(self):
+        tree = two_host_tree()
+        with pytest.raises(UnknownNodeError):
+            tree.vertex_of_host(99)
+        with pytest.raises(UnknownNodeError):
+            tree.anchor_of(99)
+        with pytest.raises(UnknownNodeError):
+            tree.inner_vertex_of(99)
+
+    def test_host_at_vertex(self):
+        tree = two_host_tree()
+        assert tree.host_at_vertex(tree.vertex_of_host(1)) == 1
+
+    def test_edges_enumeration(self):
+        tree = two_host_tree(10.0)
+        edges = list(tree.edges())
+        assert len(edges) == 1
+        u, v, weight, owner = edges[0]
+        assert weight == 10.0
+        assert owner == 1
+
+    def test_path_endpoints(self):
+        tree = two_host_tree()
+        u = tree.vertex_of_host(0)
+        v = tree.vertex_of_host(1)
+        path = tree.path(u, v)
+        assert path[0] == u and path[-1] == v
+
+    def test_path_to_self(self):
+        tree = two_host_tree()
+        u = tree.vertex_of_host(0)
+        assert tree.path(u, u) == [u]
+
+    def test_distances_from_covers_all_hosts(self):
+        tree = two_host_tree(10.0)
+        tree.attach_host(2, 0, 1, 4.0, 6.0)
+        distances = tree.distances_from(0)
+        assert set(distances) == {0, 1, 2}
+        assert distances[0] == 0.0
+
+    def test_distance_matrix_symmetric_zero_diagonal(self):
+        tree = two_host_tree(10.0)
+        tree.attach_host(2, 0, 1, 4.0, 6.0)
+        matrix = tree.distance_matrix()
+        assert matrix.shape == (3, 3)
+        assert matrix[0, 0] == 0.0
+        assert matrix[0, 1] == matrix[1, 0]
+
+    def test_neighbors_unknown_vertex(self):
+        tree = two_host_tree()
+        with pytest.raises(UnknownNodeError):
+            tree.neighbors(12345)

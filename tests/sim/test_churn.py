@@ -1,0 +1,110 @@
+"""Churn tests: the aggregation protocols under node departure.
+
+When a host leaves the overlay, its id keeps circulating in aggregated
+node sets for a while ("ghost" entries).  Because every ``aggrNode``
+entry is recomputed from upstream state each round and the departed
+host no longer injects itself, ghosts drain within one overlay
+diameter of rounds — the system self-heals without any tombstone
+mechanism, which is what makes the paper's periodic background design
+suitable for dynamic networks.
+"""
+
+import pytest
+
+from repro.core.query import BandwidthClasses
+from repro.datasets.planetlab import hp_planetlab_like
+from repro.predtree.framework import build_framework
+from repro.sim.protocols import (
+    NODE_INFO,
+    NodeInfoProtocol,
+    build_cluster_simulation,
+)
+
+
+@pytest.fixture()
+def running_sim():
+    dataset = hp_planetlab_like(seed=4, n=30)
+    framework = build_framework(dataset.bandwidth, seed=5)
+    classes = BandwidthClasses.linear(15.0, 75.0, 4)
+    engine, observer = build_cluster_simulation(
+        framework, classes, n_cut=4
+    )
+    engine.run(max_rounds=50)
+    assert observer.converged
+    return framework, engine
+
+
+def ghost_references(engine, departed: int) -> int:
+    """How many aggrNode entries still mention the departed host."""
+    count = 0
+    for node in engine.nodes.values():
+        protocol = node.protocols[NODE_INFO]
+        assert isinstance(protocol, NodeInfoProtocol)
+        for nodes in protocol.aggr_node.values():
+            if departed in nodes:
+                count += 1
+    return count
+
+
+class TestChurn:
+    def test_departed_leaf_drains_from_aggregation(self, running_sim):
+        framework, engine = running_sim
+        anchor = framework.anchor_tree
+        leaf = next(
+            host for host in framework.hosts
+            if not anchor.children(host) and host != anchor.root
+        )
+        assert ghost_references(engine, leaf) > 0  # it was aggregated
+        engine.remove_node(leaf)
+        budget = 2 * max(anchor.diameter(), 1) + 4
+        for _ in range(budget):
+            engine.run_round()
+        assert ghost_references(engine, leaf) == 0
+
+    def test_neighbors_updated_on_departure(self, running_sim):
+        framework, engine = running_sim
+        anchor = framework.anchor_tree
+        leaf = next(
+            host for host in framework.hosts
+            if not anchor.children(host) and host != anchor.root
+        )
+        parent = anchor.parent(leaf)
+        engine.remove_node(leaf)
+        assert leaf not in engine.nodes[parent].neighbors
+
+    def test_messages_to_departed_dropped(self, running_sim):
+        framework, engine = running_sim
+        anchor = framework.anchor_tree
+        leaf = next(
+            host for host in framework.hosts
+            if not anchor.children(host) and host != anchor.root
+        )
+        dropped_before = engine.messages_dropped
+        engine.run_round()        # in-flight messages to the leaf exist
+        engine.remove_node(leaf)
+        engine.run_round()
+        assert engine.messages_dropped >= dropped_before
+
+    def test_aggregation_reconverges_after_departure(self, running_sim):
+        framework, engine = running_sim
+        anchor = framework.anchor_tree
+        leaf = next(
+            host for host in framework.hosts
+            if not anchor.children(host) and host != anchor.root
+        )
+        engine.remove_node(leaf)
+        # Re-run to a fresh fixed point; snapshots must stabilize.
+        previous = None
+        stable = False
+        for _ in range(60):
+            engine.run_round()
+            current = {
+                (node.node_id, name): protocol.snapshot()
+                for node in engine.nodes.values()
+                for name, protocol in node.protocols.items()
+            }
+            if previous == current and not engine.has_pending_messages():
+                stable = True
+                break
+            previous = current
+        assert stable

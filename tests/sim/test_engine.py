@@ -1,0 +1,154 @@
+"""Tests for the round-based simulation engine."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.sim.engine import (
+    Engine,
+    FixedPointObserver,
+    Message,
+    Observer,
+    Protocol,
+    SimNode,
+)
+
+
+class EchoProtocol(Protocol):
+    """Sends a counter to all neighbors each round; records receipts."""
+
+    def __init__(self) -> None:
+        self.sent = 0
+        self.received: list[Message] = []
+
+    def on_round(self, node, engine) -> None:
+        for neighbor in node.neighbors:
+            engine.send(node.node_id, neighbor, "echo", self.sent)
+        self.sent += 1
+
+    def on_message(self, node, message, engine) -> None:
+        self.received.append(message)
+
+    def snapshot(self):
+        return self.sent
+
+
+class SilentProtocol(Protocol):
+    def on_round(self, node, engine) -> None:
+        pass
+
+    def on_message(self, node, message, engine) -> None:
+        pass
+
+    def snapshot(self):
+        return 0
+
+
+def two_node_engine(protocol_factory=EchoProtocol):
+    engine = Engine()
+    for node_id, neighbors in ((0, [1]), (1, [0])):
+        node = SimNode(node_id=node_id, neighbors=list(neighbors))
+        node.protocols["echo"] = protocol_factory()
+        engine.add_node(node)
+    return engine
+
+
+class TestEngineBasics:
+    def test_duplicate_node_rejected(self):
+        engine = Engine()
+        engine.add_node(SimNode(node_id=0, neighbors=[]))
+        with pytest.raises(SimulationError):
+            engine.add_node(SimNode(node_id=0, neighbors=[]))
+
+    def test_remove_unknown_node_rejected(self):
+        with pytest.raises(SimulationError):
+            Engine().remove_node(3)
+
+    def test_messages_delivered_next_round(self):
+        engine = two_node_engine()
+        engine.run_round()
+        # Sent during round 0, delivered at the start of round 1 (which
+        # run_round executes as part of advancing).
+        assert engine.nodes[0].protocols["echo"].received
+        assert engine.messages_delivered == 2
+
+    def test_delay_respected(self):
+        engine = Engine()
+        node = SimNode(node_id=0, neighbors=[])
+        node.protocols["p"] = SilentProtocol()
+        engine.add_node(node)
+        engine.send(0, 0, "p", "late", delay=3)
+        engine.run_round()
+        engine.run_round()
+        assert engine.messages_delivered == 0
+        engine.run_round()
+        assert engine.messages_delivered == 1
+
+    def test_send_to_unknown_recipient_dropped(self):
+        engine = two_node_engine()
+        engine.send(0, 99, "echo", "x")
+        assert engine.messages_dropped == 1
+
+    def test_bad_delay_rejected(self):
+        engine = two_node_engine()
+        with pytest.raises(SimulationError):
+            engine.send(0, 1, "echo", "x", delay=0)
+
+    def test_message_to_removed_node_dropped(self):
+        engine = two_node_engine()
+        engine.send(0, 1, "echo", "x")
+        engine.remove_node(1)
+        engine.run_round()
+        assert engine.messages_dropped == 1
+
+    def test_remove_node_updates_neighbors(self):
+        engine = two_node_engine()
+        engine.remove_node(1)
+        assert engine.nodes[0].neighbors == []
+
+    def test_run_respects_max_rounds(self):
+        engine = two_node_engine()
+        executed = engine.run(max_rounds=5)
+        assert executed == 5
+        assert engine.round == 5
+
+    def test_run_rejects_zero_rounds(self):
+        with pytest.raises(SimulationError):
+            two_node_engine().run(max_rounds=0)
+
+    def test_unknown_protocol_message_dropped(self):
+        engine = two_node_engine()
+        engine.send(0, 1, "nonexistent", "x")
+        engine.run_round()
+        assert engine.messages_dropped == 1
+
+
+class TestObservers:
+    def test_observer_stops_run(self):
+        class StopAfterTwo(Observer):
+            def after_round(self, engine) -> bool:
+                return engine.round >= 2
+
+        engine = two_node_engine()
+        engine.add_observer(StopAfterTwo())
+        executed = engine.run(max_rounds=100)
+        assert executed == 2
+
+    def test_fixed_point_observer_on_static_protocol(self):
+        engine = two_node_engine(SilentProtocol)
+        observer = FixedPointObserver()
+        engine.add_observer(observer)
+        executed = engine.run(max_rounds=10)
+        assert observer.converged
+        assert executed <= 3
+
+    def test_fixed_point_observer_never_fires_on_changing_state(self):
+        engine = two_node_engine(EchoProtocol)  # counter always grows
+        observer = FixedPointObserver()
+        engine.add_observer(observer)
+        engine.run(max_rounds=6)
+        assert not observer.converged
+
+    def test_node_protocol_lookup(self):
+        node = SimNode(node_id=0, neighbors=[])
+        with pytest.raises(SimulationError):
+            node.protocol("missing")

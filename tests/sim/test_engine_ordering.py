@@ -1,0 +1,68 @@
+"""Delivery-ordering and bookkeeping guarantees of the engine."""
+
+from repro.sim.engine import Engine, Protocol, SimNode
+
+
+class Recorder(Protocol):
+    """Records payloads in delivery order."""
+
+    def __init__(self) -> None:
+        self.seen: list = []
+
+    def on_round(self, node, engine) -> None:
+        """No periodic behaviour."""
+
+    def on_message(self, node, message, engine) -> None:
+        """Append the payload in arrival order."""
+        self.seen.append(message.payload)
+
+    def snapshot(self):
+        """Delivery log as the comparable state."""
+        return tuple(self.seen)
+
+
+def single_node_engine():
+    engine = Engine()
+    node = SimNode(node_id=0, neighbors=[])
+    node.protocols["rec"] = Recorder()
+    engine.add_node(node)
+    return engine, node.protocols["rec"]
+
+
+class TestDeliveryOrdering:
+    def test_fifo_within_a_round(self):
+        engine, recorder = single_node_engine()
+        for i in range(10):
+            engine.send(0, 0, "rec", i)
+        engine.run_round()
+        assert recorder.seen == list(range(10))
+
+    def test_earlier_rounds_deliver_first(self):
+        engine, recorder = single_node_engine()
+        engine.send(0, 0, "rec", "late", delay=2)
+        engine.send(0, 0, "rec", "early", delay=1)
+        engine.run_round()
+        engine.run_round()
+        assert recorder.seen == ["early", "late"]
+
+    def test_counters_balance(self):
+        engine, recorder = single_node_engine()
+        for i in range(5):
+            engine.send(0, 0, "rec", i)
+        engine.send(0, 99, "rec", "nowhere")  # dropped at send
+        engine.run_round()
+        assert engine.messages_sent == 5
+        assert engine.messages_delivered == 5
+        assert engine.messages_dropped == 1
+        assert engine.messages_lost == 0
+
+    def test_pending_flag_lifecycle(self):
+        engine, _ = single_node_engine()
+        assert not engine.has_pending_messages()
+        engine.send(0, 0, "rec", "x", delay=3)
+        assert engine.has_pending_messages()
+        engine.run_round()
+        engine.run_round()
+        assert engine.has_pending_messages()
+        engine.run_round()
+        assert not engine.has_pending_messages()

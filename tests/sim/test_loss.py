@@ -1,0 +1,113 @@
+"""Failure-injection tests: aggregation under message loss.
+
+The background mechanisms are periodic and stateless-per-message (every
+round re-derives and re-sends fresh state), so transient message loss
+can delay convergence but never corrupt it: once loss stops, the system
+reaches the exact fixed point it would have reached losslessly.
+"""
+
+import pytest
+
+from repro.core.decentralized import DecentralizedClusterSearch
+from repro.core.query import BandwidthClasses
+from repro.datasets.planetlab import hp_planetlab_like
+from repro.exceptions import SimulationError
+from repro.predtree.framework import build_framework
+from repro.sim.engine import Engine, SimNode
+from repro.sim.protocols import CRT, NODE_INFO, build_cluster_simulation
+
+
+@pytest.fixture(scope="module")
+def stack():
+    dataset = hp_planetlab_like(seed=6, n=25)
+    framework = build_framework(dataset.bandwidth, seed=7)
+    classes = BandwidthClasses.linear(15.0, 75.0, 4)
+    reference = DecentralizedClusterSearch(framework, classes, n_cut=4)
+    reference.run_aggregation()
+    return framework, classes, reference
+
+
+def protocol_states(engine):
+    states = {}
+    for host, node in engine.nodes.items():
+        states[host] = (
+            dict(node.protocols[NODE_INFO].aggr_node),
+            {
+                m: dict(t)
+                for m, t in node.protocols[CRT].aggr_crt.items()
+            },
+        )
+    return states
+
+
+class TestEngineLoss:
+    def test_loss_rate_validated(self):
+        with pytest.raises(SimulationError):
+            Engine(loss_rate=1.5)
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.set_loss_rate(-0.1)
+
+    def test_full_loss_delivers_nothing(self):
+        engine = Engine(loss_rate=1.0, seed=0)
+        engine.add_node(SimNode(node_id=0, neighbors=[]))
+        engine.send(0, 0, "p", "x")
+        assert engine.messages_lost == 1
+        engine.run_round()
+        assert engine.messages_delivered == 0
+
+    def test_partial_loss_counted(self):
+        engine = Engine(loss_rate=0.5, seed=1)
+        engine.add_node(SimNode(node_id=0, neighbors=[]))
+        for _ in range(200):
+            engine.send(0, 0, "missing", "x")
+        assert 50 <= engine.messages_lost <= 150
+
+
+class TestAggregationUnderLoss:
+    def test_converges_to_lossless_fixed_point(self, stack):
+        framework, classes, reference = stack
+        engine, observer = build_cluster_simulation(
+            framework, classes, n_cut=4
+        )
+        # Phase 1: lossy rounds (30% of all messages vanish).
+        engine.set_loss_rate(0.3)
+        engine.run_round()
+        for _ in range(15):
+            engine.run_round()
+        # Phase 2: loss stops; the periodic protocols must self-heal.
+        engine.set_loss_rate(0.0)
+        engine.run(max_rounds=60)
+        assert observer.converged
+        for host in framework.hosts:
+            node = engine.nodes[host]
+            assert (
+                node.protocols[NODE_INFO].aggr_node
+                == reference.state_of(host).aggr_node
+            )
+            assert (
+                node.protocols[CRT].aggr_crt
+                == reference.state_of(host).aggr_crt
+            )
+
+    def test_loss_only_delays_not_diverges(self, stack):
+        framework, classes, _ = stack
+        lossless_engine, lossless_obs = build_cluster_simulation(
+            framework, classes, n_cut=4
+        )
+        lossless_rounds = lossless_engine.run(max_rounds=80)
+        assert lossless_obs.converged
+
+        lossy_engine, lossy_obs = build_cluster_simulation(
+            framework, classes, n_cut=4
+        )
+        lossy_engine.set_loss_rate(0.2)
+        for _ in range(10):
+            lossy_engine.run_round()
+        lossy_engine.set_loss_rate(0.0)
+        lossy_engine.run(max_rounds=120)
+        assert lossy_obs.converged
+        assert protocol_states(lossy_engine) == protocol_states(
+            lossless_engine
+        )
+        assert lossy_engine.messages_lost > 0

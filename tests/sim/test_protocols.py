@@ -1,0 +1,90 @@
+"""Integration tests: message-passing protocols vs synchronous reference.
+
+The decisive property: the simulator's converged per-host state is
+*identical* to `DecentralizedClusterSearch.run_aggregation()` — the
+decentralization changes the execution model, not the answers.
+"""
+
+import pytest
+
+from repro.core.decentralized import DecentralizedClusterSearch
+from repro.exceptions import SimulationError
+from repro.sim.protocols import (
+    NODE_INFO,
+    build_cluster_simulation,
+    simulate_aggregation,
+)
+
+
+@pytest.fixture(scope="module")
+def sim_pair(request):
+    framework = request.getfixturevalue("small_framework")
+    classes = request.getfixturevalue("hp_classes")
+    reference = DecentralizedClusterSearch(framework, classes, n_cut=5)
+    reference.run_aggregation()
+    simulated, engine = simulate_aggregation(
+        framework, classes, n_cut=5
+    )
+    return reference, simulated, engine
+
+
+class TestFixedPointEquivalence:
+    def test_node_info_identical(self, sim_pair):
+        reference, simulated, _ = sim_pair
+        for host in reference.hosts:
+            assert (
+                reference.state_of(host).aggr_node
+                == simulated.state_of(host).aggr_node
+            )
+
+    def test_crt_identical(self, sim_pair):
+        reference, simulated, _ = sim_pair
+        for host in reference.hosts:
+            assert (
+                reference.state_of(host).aggr_crt
+                == simulated.state_of(host).aggr_crt
+            )
+
+    def test_queries_agree(self, sim_pair):
+        reference, simulated, _ = sim_pair
+        for start in reference.hosts[:10]:
+            for k, b in ((3, 25.0), (8, 40.0), (20, 70.0)):
+                a = reference.process_query(k, b, start=start)
+                b_result = simulated.process_query(k, b, start=start)
+                assert a.cluster == b_result.cluster
+                assert a.hops == b_result.hops
+
+    def test_engine_statistics(self, sim_pair):
+        _, _, engine = sim_pair
+        assert engine.messages_sent > 0
+        assert engine.messages_delivered <= engine.messages_sent
+
+
+class TestSimulationMachinery:
+    def test_build_wires_all_hosts(self, small_framework, hp_classes):
+        engine, _ = build_cluster_simulation(
+            small_framework, hp_classes, n_cut=3
+        )
+        assert set(engine.nodes) == set(small_framework.hosts)
+        for host, node in engine.nodes.items():
+            assert node.neighbors == small_framework.overlay_neighbors(
+                host
+            )
+
+    def test_non_convergence_raises(self, small_framework, hp_classes):
+        with pytest.raises(SimulationError):
+            simulate_aggregation(
+                small_framework, hp_classes, n_cut=3, max_rounds=1
+            )
+
+    def test_clustering_space_helper(self, small_framework, hp_classes):
+        engine, observer = build_cluster_simulation(
+            small_framework, hp_classes, n_cut=3
+        )
+        engine.run(max_rounds=50)
+        assert observer.converged
+        host = small_framework.hosts[0]
+        protocol = engine.nodes[host].protocols[NODE_INFO]
+        space = protocol.clustering_space(host)
+        assert host in space
+        assert list(space) == sorted(space)

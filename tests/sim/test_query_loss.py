@@ -1,0 +1,60 @@
+"""Query routing under message loss: retries make queries reliable."""
+
+import pytest
+
+from repro.core.decentralized import DecentralizedClusterSearch
+from repro.core.query import BandwidthClasses
+from repro.datasets.planetlab import hp_planetlab_like
+from repro.exceptions import SimulationError
+from repro.predtree.framework import build_framework
+from repro.sim.protocols import build_cluster_simulation
+from repro.sim.query_protocol import attach_query_protocol
+
+
+@pytest.fixture()
+def lossy_stack():
+    dataset = hp_planetlab_like(seed=8, n=25)
+    framework = build_framework(dataset.bandwidth, seed=9)
+    classes = BandwidthClasses.linear(15.0, 75.0, 5)
+    engine, observer = build_cluster_simulation(
+        framework, classes, n_cut=5
+    )
+    engine.run(max_rounds=60)
+    assert observer.converged
+    reference = DecentralizedClusterSearch(framework, classes, n_cut=5)
+    reference.run_aggregation()
+    client = attach_query_protocol(engine, reference)
+    return framework, reference, engine, client
+
+
+class TestQueryUnderLoss:
+    def test_retry_survives_heavy_loss(self, lossy_stack):
+        framework, reference, engine, client = lossy_stack
+        engine.set_loss_rate(0.5)
+        start = framework.hosts[2]
+        expected = reference.process_query(3, 30.0, start=start)
+        query_id = client.submit(3, 30.0, start=start)
+        reply = client.await_result(
+            start, query_id, max_rounds=400, retry_after=10
+        )
+        assert reply.cluster == tuple(expected.cluster)
+
+    def test_without_retry_total_loss_times_out(self, lossy_stack):
+        framework, _, engine, client = lossy_stack
+        engine.set_loss_rate(1.0)
+        start = framework.hosts[0]
+        query_id = client.submit(3, 30.0, start=start)
+        with pytest.raises(SimulationError):
+            client.await_result(start, query_id, max_rounds=15)
+
+    def test_retry_is_idempotent_when_lossless(self, lossy_stack):
+        framework, reference, engine, client = lossy_stack
+        engine.set_loss_rate(0.0)
+        start = framework.hosts[1]
+        expected = reference.process_query(4, 40.0, start=start)
+        query_id = client.submit(4, 40.0, start=start)
+        # Aggressive retry must not corrupt the answer.
+        reply = client.await_result(
+            start, query_id, max_rounds=100, retry_after=1
+        )
+        assert reply.cluster == tuple(expected.cluster)

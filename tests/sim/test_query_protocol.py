@@ -1,0 +1,74 @@
+"""Tests: message-passing query routing vs the synchronous Algorithm 4."""
+
+import numpy as np
+import pytest
+
+from repro.core.decentralized import DecentralizedClusterSearch
+from repro.exceptions import SimulationError
+from repro.sim.protocols import build_cluster_simulation
+from repro.sim.query_protocol import attach_query_protocol
+
+
+@pytest.fixture(scope="module")
+def query_stack(request):
+    framework = request.getfixturevalue("small_framework")
+    classes = request.getfixturevalue("hp_classes")
+    engine, observer = build_cluster_simulation(
+        framework, classes, n_cut=5
+    )
+    engine.run(max_rounds=60)
+    assert observer.converged
+
+    reference = DecentralizedClusterSearch(framework, classes, n_cut=5)
+    reference.run_aggregation()
+    client = attach_query_protocol(engine, reference)
+    return framework, reference, engine, client
+
+
+class TestQueryProtocol:
+    def test_reply_matches_synchronous(self, query_stack):
+        framework, reference, engine, client = query_stack
+        rng = np.random.default_rng(0)
+        for _ in range(15):
+            start = int(rng.choice(framework.hosts))
+            k = int(rng.integers(2, 12))
+            b = float(rng.uniform(15.0, 74.0))
+            expected = reference.process_query(k, b, start=start)
+            query_id = client.submit(k, b, start=start)
+            reply = client.await_result(start, query_id)
+            assert tuple(expected.cluster) == reply.cluster
+            assert expected.hops == reply.hops
+
+    def test_unsatisfiable_query_empty_reply(self, query_stack):
+        framework, _, engine, client = query_stack
+        start = framework.hosts[0]
+        query_id = client.submit(39, 74.0, start=start)
+        reply = client.await_result(start, query_id)
+        assert reply.cluster == ()
+
+    def test_multiple_concurrent_queries(self, query_stack):
+        framework, reference, engine, client = query_stack
+        starts = framework.hosts[:5]
+        ids = [client.submit(3, 30.0, start=s) for s in starts]
+        for start, query_id in zip(starts, ids):
+            reply = client.await_result(start, query_id)
+            expected = reference.process_query(3, 30.0, start=start)
+            assert reply.cluster == tuple(expected.cluster)
+
+    def test_unknown_start_rejected(self, query_stack):
+        _, _, _, client = query_stack
+        with pytest.raises(SimulationError):
+            client.submit(3, 30.0, start=99999)
+
+    def test_rounds_consumed_match_hops(self, query_stack):
+        # A query that needs h forwarding hops takes h+1 message legs
+        # plus (possibly) one reply leg — all within a small round
+        # budget, one hop per round.
+        framework, reference, engine, client = query_stack
+        start = framework.hosts[3]
+        expected = reference.process_query(8, 60.0, start=start)
+        query_id = client.submit(8, 60.0, start=start)
+        before = engine.round
+        client.await_result(start, query_id)
+        rounds_used = engine.round - before
+        assert rounds_used <= expected.hops + 3

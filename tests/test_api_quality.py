@@ -1,0 +1,94 @@
+"""API-quality meta tests: documentation and export hygiene.
+
+Every public item (documented deliverable (e)) must carry a docstring,
+and every name a package exports in ``__all__`` must actually resolve.
+"""
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.core",
+    "repro.datasets",
+    "repro.experiments",
+    "repro.extensions",
+    "repro.metrics",
+    "repro.predtree",
+    "repro.sim",
+    "repro.vivaldi",
+]
+
+
+def iter_modules():
+    seen = set()
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        seen.add(package_name)
+        for info in pkgutil.iter_modules(package.__path__):
+            name = f"{package_name}.{info.name}"
+            if name not in seen:
+                seen.add(name)
+                yield importlib.import_module(name)
+
+
+ALL_MODULES = list(iter_modules())
+
+
+@pytest.mark.parametrize(
+    "module", ALL_MODULES, ids=[m.__name__ for m in ALL_MODULES]
+)
+def test_module_has_docstring(module):
+    assert module.__doc__ and module.__doc__.strip(), (
+        f"{module.__name__} lacks a module docstring"
+    )
+
+
+@pytest.mark.parametrize(
+    "module", ALL_MODULES, ids=[m.__name__ for m in ALL_MODULES]
+)
+def test_all_exports_resolve(module):
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), (
+            f"{module.__name__}.__all__ exports missing name {name!r}"
+        )
+
+
+@pytest.mark.parametrize(
+    "module", ALL_MODULES, ids=[m.__name__ for m in ALL_MODULES]
+)
+def test_public_callables_documented(module):
+    for name in getattr(module, "__all__", []):
+        item = getattr(module, name)
+        if inspect.isfunction(item) or inspect.isclass(item):
+            assert item.__doc__ and item.__doc__.strip(), (
+                f"{module.__name__}.{name} lacks a docstring"
+            )
+        if inspect.isclass(item):
+            for method_name, method in inspect.getmembers(
+                item, inspect.isfunction
+            ):
+                if method_name.startswith("_"):
+                    continue
+                if method.__qualname__.split(".")[0] != item.__name__:
+                    continue  # inherited from elsewhere
+                assert method.__doc__ and method.__doc__.strip(), (
+                    f"{module.__name__}.{name}.{method_name} lacks a "
+                    "docstring"
+                )
+
+
+def test_version_exposed():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_exports_importable():
+    for name in repro.__all__:
+        assert hasattr(repro, name)

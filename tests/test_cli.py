@@ -1,0 +1,79 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_dataset_defaults(self):
+        args = build_parser().parse_args(["dataset"])
+        assert args.dataset == "hp"
+        assert args.seed == 0
+
+    def test_query_args(self):
+        args = build_parser().parse_args(
+            ["query", "-k", "5", "-b", "30", "--approach", "decentral"]
+        )
+        assert args.k == 5
+        assert args.b == 30.0
+
+    def test_figures_have_scale(self):
+        for name in ("fig3", "fig4", "fig5", "fig6"):
+            args = build_parser().parse_args([name])
+            assert args.scale == "quick"
+
+
+class TestCommands:
+    def test_dataset_stats(self, capsys):
+        assert main(["dataset", "--n", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "hp-planetlab-like" in out
+        assert "eps_avg" in out
+
+    def test_dataset_save(self, capsys, tmp_path):
+        target = str(tmp_path / "out")
+        assert main(["dataset", "--n", "15", "--save", target]) == 0
+        assert (tmp_path / "out.npz").exists()
+        assert (tmp_path / "out.json").exists()
+
+    def test_query_central(self, capsys):
+        code = main(["query", "--n", "25", "-k", "3", "-b", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cluster:" in out
+
+    def test_query_decentral(self, capsys):
+        code = main(
+            [
+                "query", "--n", "25", "-k", "3", "-b", "30",
+                "--approach", "decentral",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hops:" in out
+
+    def test_query_impossible(self, capsys):
+        code = main(["query", "--n", "20", "-k", "19", "-b", "5000"])
+        assert code == 1
+        assert "no cluster" in capsys.readouterr().out
+
+    def test_hub(self, capsys):
+        code = main(["hub", "--n", "20", "--targets", "0", "1", "2"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hub: node" in out
+
+    def test_hub_unsatisfiable(self, capsys):
+        code = main(
+            [
+                "hub", "--n", "20", "--targets", "0", "1",
+                "-b", "100000",
+            ]
+        )
+        assert code == 1

@@ -1,0 +1,112 @@
+"""Tests for the Vivaldi coordinate system."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.metrics.metric import DistanceMatrix
+from repro.vivaldi.coordinates import VivaldiConfig, VivaldiSystem
+
+
+def euclidean_matrix(n: int, seed: int = 0) -> DistanceMatrix:
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0, 10, size=(n, 2))
+    diff = points[:, None, :] - points[None, :, :]
+    return DistanceMatrix(np.sqrt((diff**2).sum(axis=2)))
+
+
+class TestVivaldiConfig:
+    def test_defaults(self):
+        config = VivaldiConfig()
+        assert config.dimensions == 2
+        assert config.ce == 0.25
+        assert config.cc == 0.25
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValidationError):
+            VivaldiConfig(dimensions=0)
+        with pytest.raises(ValidationError):
+            VivaldiConfig(ce=-0.1)
+        with pytest.raises(ValidationError):
+            VivaldiConfig(rounds=0)
+        with pytest.raises(ValidationError):
+            VivaldiConfig(neighbors=0)
+
+
+class TestVivaldiSystem:
+    def test_rejects_single_node(self):
+        with pytest.raises(ValidationError):
+            VivaldiSystem(DistanceMatrix([[0.0]]))
+
+    def test_converges_on_euclidean_input(self):
+        d = euclidean_matrix(30, seed=1)
+        system = VivaldiSystem(d, VivaldiConfig(rounds=600), seed=2)
+        system.run()
+        assert system.median_relative_error() < 0.12
+
+    def test_error_decreases_with_rounds(self):
+        d = euclidean_matrix(25, seed=3)
+        system = VivaldiSystem(d, VivaldiConfig(rounds=600), seed=4)
+        system.run(20)
+        early = system.median_relative_error()
+        system.run(580)
+        late = system.median_relative_error()
+        assert late < early
+
+    def test_rounds_counted(self):
+        d = euclidean_matrix(10, seed=5)
+        system = VivaldiSystem(d, VivaldiConfig(rounds=5), seed=6)
+        system.run()
+        assert system.rounds_run == 5
+        system.run(3)
+        assert system.rounds_run == 8
+
+    def test_coordinates_shape(self):
+        d = euclidean_matrix(12, seed=7)
+        system = VivaldiSystem(
+            d, VivaldiConfig(rounds=2, dimensions=3), seed=8
+        )
+        system.run()
+        assert system.coordinates.shape == (12, 3)
+
+    def test_embedded_matrix_valid(self):
+        d = euclidean_matrix(10, seed=9)
+        system = VivaldiSystem(d, VivaldiConfig(rounds=50), seed=10)
+        system.run()
+        embedded = system.embedded_distance_matrix()
+        assert embedded.size == 10  # constructor validates the rest
+
+    def test_deterministic_under_seed(self):
+        d = euclidean_matrix(10, seed=11)
+        a = VivaldiSystem(d, VivaldiConfig(rounds=30), seed=12)
+        b = VivaldiSystem(d, VivaldiConfig(rounds=30), seed=12)
+        a.run()
+        b.run()
+        assert np.array_equal(a.coordinates, b.coordinates)
+
+    def test_neighbor_sets_limited(self):
+        d = euclidean_matrix(20, seed=13)
+        system = VivaldiSystem(
+            d, VivaldiConfig(rounds=1, neighbors=4), seed=14
+        )
+        assert system._neighbor_sets.shape == (20, 4)
+
+    def test_errors_bounded(self):
+        d = euclidean_matrix(15, seed=15)
+        system = VivaldiSystem(d, VivaldiConfig(rounds=100), seed=16)
+        system.run()
+        errors = system.errors
+        assert np.all(errors >= 0)
+        assert np.all(errors <= 10.0)
+
+    def test_coincident_start_recovers(self):
+        # All nodes start near the origin; the random repulsion must
+        # separate them instead of dividing by zero.
+        d = euclidean_matrix(8, seed=17)
+        system = VivaldiSystem(d, VivaldiConfig(rounds=200), seed=18)
+        system.run()
+        coordinates = system.coordinates
+        spread = np.abs(
+            coordinates - coordinates.mean(axis=0, keepdims=True)
+        ).max()
+        assert spread > 0.1

@@ -1,0 +1,59 @@
+"""Tests for the VivaldiEmbedding wrapper (EUCL substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.vivaldi.coordinates import VivaldiConfig
+from repro.vivaldi.embedding import VivaldiEmbedding, build_vivaldi_embedding
+
+
+@pytest.fixture(scope="module")
+def embedding(request):
+    dataset = request.getfixturevalue("small_dataset")
+    return VivaldiEmbedding(
+        dataset.bandwidth, config=VivaldiConfig(rounds=200), seed=0
+    )
+
+
+class TestVivaldiEmbedding:
+    def test_coordinates_are_2d(self, embedding, small_dataset):
+        assert embedding.coordinates.shape == (small_dataset.size, 2)
+
+    def test_predicted_matrix_cached(self, embedding):
+        assert (
+            embedding.predicted_distance_matrix()
+            is embedding.predicted_distance_matrix()
+        )
+
+    def test_predicted_bandwidth_self_infinite(self, embedding):
+        assert embedding.predicted_bandwidth(3, 3) == np.inf
+
+    def test_predicted_bandwidth_positive(self, embedding):
+        assert embedding.predicted_bandwidth(0, 1) > 0
+
+    def test_bandwidth_matrix_shape(self, embedding, small_dataset):
+        matrix = embedding.predicted_bandwidth_matrix()
+        assert matrix.shape == (small_dataset.size, small_dataset.size)
+        assert np.all(np.isinf(np.diagonal(matrix)))
+
+    def test_transform_roundtrip(self, embedding):
+        d = embedding.predicted_distance_matrix().distance(0, 1)
+        bw = embedding.predicted_bandwidth(0, 1)
+        assert bw == pytest.approx(embedding.transform.c / d)
+
+    def test_builder_defaults(self, small_dataset):
+        built = build_vivaldi_embedding(
+            small_dataset.bandwidth, seed=1, rounds=50
+        )
+        assert built.size == small_dataset.size
+
+    def test_embedding_correlates_with_truth(self, small_dataset):
+        # Even a rough 2-d embedding must rank near/far pairs mostly
+        # correctly on this data.
+        embedding = build_vivaldi_embedding(
+            small_dataset.bandwidth, seed=2, rounds=400
+        )
+        truth = small_dataset.distance_matrix().upper_triangle()
+        predicted = embedding.predicted_distance_matrix().upper_triangle()
+        correlation = np.corrcoef(truth, predicted)[0, 1]
+        assert correlation > 0.5
