@@ -1,0 +1,106 @@
+"""Service-layer throughput: cold rebuild vs warm cache vs batching.
+
+The pre-service entry points rebuild routing tables from scratch for
+every query ("cold").  The long-lived :class:`ClusterQueryService`
+amortizes that: repeated queries hit the generation-keyed result cache
+("warm"), and batches pay for aggregation once per distinct snapped
+class ("batched").  This bench measures all three regimes at n=100 and
+n=200 and asserts the service's reason to exist: warm-cache repeated
+queries are at least 5x the cold per-query path at n=200 (in practice
+the gap is several orders of magnitude).
+"""
+
+import time
+
+from benchmarks.conftest import emit
+from repro.core.decentralized import DecentralizedClusterSearch
+from repro.core.query import BandwidthClasses, ClusterQuery
+from repro.datasets.planetlab import hp_planetlab_like
+from repro.experiments.report import format_table
+from repro.predtree.framework import build_framework
+from repro.service import ClusterQueryService
+
+SIZES = (100, 200)
+N_CUT = 8
+COLD_QUERIES = 3
+WARM_QUERIES = 300
+
+
+def _query_mix() -> list[ClusterQuery]:
+    return [
+        ClusterQuery(k=4, b=30.0),
+        ClusterQuery(k=6, b=45.0),
+        ClusterQuery(k=3, b=20.0),
+        ClusterQuery(k=5, b=30.0),
+    ]
+
+
+def _cold_qps(framework, classes) -> float:
+    """Per-query table rebuild (what every pre-service caller does)."""
+    mix = _query_mix()
+    began = time.perf_counter()
+    for query in mix[:COLD_QUERIES]:
+        snapped = classes.snap_bandwidth(query.b)
+        search = DecentralizedClusterSearch(
+            framework,
+            BandwidthClasses([snapped], transform=classes.transform),
+            n_cut=N_CUT,
+        )
+        search.run_aggregation()
+        search.process_query(query.k, snapped, start=framework.hosts[0])
+    return COLD_QUERIES / (time.perf_counter() - began)
+
+
+def _warm_qps(framework, classes) -> float:
+    """Repeated queries against a primed service (cache-hit regime)."""
+    service = ClusterQueryService(framework, classes, n_cut=N_CUT)
+    mix = _query_mix()
+    for query in mix:
+        service.submit(query)
+    began = time.perf_counter()
+    for index in range(WARM_QUERIES):
+        service.submit(mix[index % len(mix)])
+    return WARM_QUERIES / (time.perf_counter() - began)
+
+
+def _batched_qps(framework, classes) -> float:
+    """One big batch on a fresh service (aggregation amortized)."""
+    service = ClusterQueryService(framework, classes, n_cut=N_CUT)
+    mix = _query_mix()
+    stream = [mix[index % len(mix)] for index in range(WARM_QUERIES)]
+    began = time.perf_counter()
+    service.submit_batch(stream, max_workers=4)
+    return WARM_QUERIES / (time.perf_counter() - began)
+
+
+def test_service_throughput(benchmark):
+    rows = []
+    speedup_at = {}
+
+    def run():
+        for n in SIZES:
+            dataset = hp_planetlab_like(seed=0, n=n)
+            framework = build_framework(dataset.bandwidth, seed=1)
+            classes = BandwidthClasses.linear(15.0, 75.0, 7)
+            cold = _cold_qps(framework, classes)
+            warm = _warm_qps(framework, classes)
+            batched = _batched_qps(framework, classes)
+            speedup_at[n] = warm / cold
+            rows.append([n, "cold", f"{cold:.2f}", "1.0x"])
+            rows.append(
+                [n, "batched", f"{batched:.2f}", f"{batched / cold:.0f}x"]
+            )
+            rows.append(
+                [n, "warm", f"{warm:.2f}", f"{warm / cold:.0f}x"]
+            )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["n", "mode", "queries/s", "vs cold"],
+        rows,
+        title="cluster-query service throughput",
+    )
+    emit("service_throughput", table)
+    assert speedup_at[200] >= 5.0, (
+        f"warm cache only {speedup_at[200]:.1f}x cold at n=200"
+    )

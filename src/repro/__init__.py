@@ -60,6 +60,7 @@ from repro.predtree import (
     PredictionTree,
     build_framework,
 )
+from repro.service import ClusterQueryService, ServiceResult
 from repro.vivaldi import VivaldiEmbedding, build_vivaldi_embedding
 
 __version__ = "1.0.0"
@@ -70,6 +71,7 @@ __all__ = [
     "BandwidthPredictionFramework",
     "CentralizedClusterSearch",
     "ClusterQuery",
+    "ClusterQueryService",
     "Dataset",
     "DecentralizedClusterSearch",
     "DistanceMatrix",
@@ -78,6 +80,7 @@ __all__ = [
     "QueryResult",
     "RationalTransform",
     "ReproError",
+    "ServiceResult",
     "VivaldiEmbedding",
     "build_framework",
     "build_vivaldi_embedding",

@@ -8,6 +8,7 @@ Subcommands
 ``eq1``       the Equation-1 model-validation experiment
 ``churn``     dynamic-membership experiment (departures + healing)
 ``hub``       run the hub-search extension on a generated dataset
+``serve-bench``  drive the long-lived query service with synthetic load
 
 Every experiment prints the same text tables the benchmark harness
 emits, so the CLI is the scriptable way to reproduce EXPERIMENTS.md.
@@ -46,6 +47,11 @@ from repro.experiments import (
 )
 from repro.extensions.hub import find_hub
 from repro.predtree.framework import build_framework
+from repro.service import (
+    ClusterQueryService,
+    LoadGenConfig,
+    run_loadgen,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -108,6 +114,29 @@ def build_parser() -> argparse.ArgumentParser:
             figure.add_argument(
                 "--dataset", choices=["hp", "umd"], default="hp"
             )
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="long-lived query service under synthetic load",
+    )
+    _add_dataset_args(serve)
+    serve.add_argument(
+        "--queries", type=int, default=200, help="total queries to submit"
+    )
+    serve.add_argument(
+        "--batch-size", type=int, default=25, help="queries per batch"
+    )
+    serve.add_argument(
+        "--churn-rate", type=float, default=0.0,
+        help="probability per batch of one departure + re-join",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="thread-pool width for class fan-out (default: sequential)",
+    )
+    serve.add_argument(
+        "--n-cut", type=int, default=10, help="Algorithm 2 cutoff"
+    )
 
     hub = sub.add_parser("hub", help="hub-search extension (Sec. VI)")
     _add_dataset_args(hub)
@@ -232,6 +261,32 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    framework = build_framework(dataset.bandwidth, seed=args.seed)
+    query_range = (
+        HP_QUERY_RANGE if args.dataset == "hp" else UMD_QUERY_RANGE
+    )
+    classes = BandwidthClasses.linear(*query_range, 7)
+    service = ClusterQueryService(framework, classes, n_cut=args.n_cut)
+    config = LoadGenConfig(
+        queries=args.queries,
+        batch_size=args.batch_size,
+        churn_rate=args.churn_rate,
+        max_workers=args.workers,
+        seed=args.seed,
+    )
+    report = run_loadgen(service, config)
+    print(report.format_table())
+    stats = service.stats()
+    print(
+        f"\ngeneration: {stats.generation}  hosts: {stats.host_count}  "
+        f"cached results: {stats.result_cache_entries}  "
+        f"hit rate: {stats.telemetry.hit_rate:.2f}"
+    )
+    return 0
+
+
 def _cmd_hub(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args)
     framework = build_framework(dataset.bandwidth, seed=args.seed)
@@ -267,6 +322,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "eq1": _cmd_figure,
         "churn": _cmd_figure,
         "hub": _cmd_hub,
+        "serve-bench": _cmd_serve_bench,
     }
     try:
         return handlers[args.command](args)

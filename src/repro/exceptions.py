@@ -20,6 +20,8 @@ __all__ = [
     "UnsupportedConstraintError",
     "SimulationError",
     "ExperimentError",
+    "ServiceError",
+    "StaleGenerationError",
 ]
 
 
@@ -66,3 +68,12 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver was misconfigured or failed to converge."""
+
+
+class ServiceError(ReproError):
+    """The long-lived cluster-query service layer failed or was misused."""
+
+
+class StaleGenerationError(ServiceError):
+    """A query was pinned to an overlay generation that is no longer
+    current (membership or bandwidth state changed underneath it)."""

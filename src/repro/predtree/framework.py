@@ -108,6 +108,7 @@ class BandwidthPredictionFramework:
         self._labels: dict[int, DistanceLabel] = {}
         self._measurements = 0
         self._distance_cache: np.ndarray | None = None
+        self._generation = 0
 
         if join_order is None:
             rng = as_rng(seed)
@@ -141,6 +142,7 @@ class BandwidthPredictionFramework:
         self._labels = {}
         self._measurements = measurements
         self._distance_cache = None
+        self._generation = 0
         if anchor.size:
             for host in anchor.bfs_order():
                 parent = anchor.parent(host)
@@ -166,6 +168,7 @@ class BandwidthPredictionFramework:
         if self._tree.has_host(host):
             raise TreeConstructionError(f"host {host!r} already joined")
         self._distance_cache = None
+        self._generation += 1
         if self._tree.host_count == 0:
             self._tree.add_first_host(host)
             self._anchor.add_root(host)
@@ -217,6 +220,7 @@ class BandwidthPredictionFramework:
         if not self._tree.has_host(host):
             raise UnknownNodeError(f"unknown host {host!r}")
         self._distance_cache = None
+        self._generation += 1
         if self._tree.host_count == 1:
             self._tree.remove_leaf_host(host)
             self._anchor.remove_leaf(host)
@@ -278,6 +282,18 @@ class BandwidthPredictionFramework:
     def hosts(self) -> list[int]:
         """Hosts in join order."""
         return self._tree.hosts
+
+    @property
+    def generation(self) -> int:
+        """Monotonic overlay generation.
+
+        Incremented on every membership change (including the implicit
+        re-joins a departure triggers), so any value read before a
+        change is guaranteed to differ from the value read after it.
+        Long-lived layers (:mod:`repro.service`) key caches on this to
+        guarantee answers are never computed from a stale overlay.
+        """
+        return self._generation
 
     @property
     def size(self) -> int:

@@ -1,0 +1,48 @@
+"""repro.service — the long-lived, cache-aware cluster-query service.
+
+The rest of the repository answers one query per process: build a
+framework, aggregate routing tables, query, throw everything away.
+This package keeps all of that alive and serves *streams* of ``(k, b)``
+queries against it:
+
+* :class:`~repro.service.core.ClusterQueryService` — the service
+  itself: owns the framework, snaps constraints, serves from a
+  generation-keyed result cache, exposes membership ops;
+* :mod:`~repro.service.cache` — the LRU result cache and the per-class
+  aggregation memo (both invalidated by generation bump);
+* :mod:`~repro.service.executor` — batched execution grouped by
+  snapped distance class, with optional thread fan-out;
+* :mod:`~repro.service.telemetry` — counters and latency histograms;
+* :mod:`~repro.service.loadgen` — the load generator behind
+  ``repro-bcc serve-bench`` and the throughput benchmark.
+"""
+
+from repro.service.cache import AggregationCache, LRUCache
+from repro.service.core import (
+    ClusterQueryService,
+    ServiceResult,
+    ServiceStats,
+)
+from repro.service.executor import BatchExecutor, group_by_class
+from repro.service.loadgen import LoadGenConfig, LoadGenReport, run_loadgen
+from repro.service.telemetry import (
+    LatencyHistogram,
+    ServiceTelemetry,
+    TelemetrySnapshot,
+)
+
+__all__ = [
+    "AggregationCache",
+    "BatchExecutor",
+    "ClusterQueryService",
+    "LRUCache",
+    "LatencyHistogram",
+    "LoadGenConfig",
+    "LoadGenReport",
+    "ServiceResult",
+    "ServiceStats",
+    "ServiceTelemetry",
+    "TelemetrySnapshot",
+    "group_by_class",
+    "run_loadgen",
+]

@@ -1,0 +1,125 @@
+"""Caching for the cluster-query service.
+
+Two layers, both generation-aware:
+
+* :class:`LRUCache` — a bounded result cache.  The service keys it by
+  ``(k, snapped_class, generation)``: because the overlay generation is
+  part of the key, a membership or bandwidth change (which bumps the
+  generation) makes every old entry unreachable — stale answers are
+  structurally impossible, not merely unlikely.
+* :class:`AggregationCache` — memoizes the expensive per-class
+  routing-table aggregation (Algorithms 2-3 restricted to one distance
+  class) keyed by ``(snapped_class, generation)``.  Entries from older
+  generations are evicted eagerly on :meth:`AggregationCache.put`, so
+  at most one generation's tables are ever held.
+
+Both caches also support *explicit* invalidation (:meth:`LRUCache.clear`
+/ :meth:`AggregationCache.invalidate`) for changes that do not flow
+through the membership API, e.g. an in-place bandwidth-matrix edit.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Hashable
+from typing import Any
+
+from repro.exceptions import ServiceError
+
+__all__ = ["LRUCache", "AggregationCache"]
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A thread-safe least-recently-used mapping with bounded size.
+
+    ``get`` refreshes recency; ``put`` evicts the least recently used
+    entry once *capacity* is exceeded.  Hit/miss counts are tracked so
+    the service can surface them through telemetry.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ServiceError(f"capacity must be >= 1, got {capacity!r}")
+        self._capacity = int(capacity)
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of entries retained."""
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value (refreshing recency) or *default*."""
+        with self._lock:
+            value = self._entries.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Insert/overwrite *key*, evicting the LRU entry if full."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (explicit invalidation)."""
+        with self._lock:
+            self._entries.clear()
+
+
+class AggregationCache:
+    """Memo of per-class aggregated routing state, generation-keyed.
+
+    Values are whatever the service builds per distance class (an
+    aggregated single-class :class:`~repro.core.decentralized.
+    DecentralizedClusterSearch`); this container only manages identity,
+    recency-free storage, and cross-generation eviction.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[float, int], Any] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, snapped: float, generation: int) -> Any | None:
+        """The memoized aggregation for ``(snapped, generation)``, or None."""
+        with self._lock:
+            return self._entries.get((float(snapped), int(generation)))
+
+    def put(self, snapped: float, generation: int, value: Any) -> None:
+        """Memoize *value*, evicting entries from other generations."""
+        generation = int(generation)
+        with self._lock:
+            stale = [
+                key for key in self._entries if key[1] != generation
+            ]
+            for key in stale:
+                del self._entries[key]
+            self._entries[(float(snapped), generation)] = value
+
+    def invalidate(self) -> None:
+        """Drop everything (membership/bandwidth change)."""
+        with self._lock:
+            self._entries.clear()

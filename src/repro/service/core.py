@@ -1,0 +1,371 @@
+"""The long-lived cluster-query service (:class:`ClusterQueryService`).
+
+Every other entry point in this repository (CLI ``query``, examples,
+experiment drivers) rebuilds the prediction framework and the cluster
+routing tables from scratch for each call.  The paper's decentralized
+design (Algorithms 2-4) exists precisely so that a *live* overlay can
+answer a continuous stream of queries; this module supplies that
+regime in-process:
+
+* one :class:`~repro.predtree.framework.BandwidthPredictionFramework`
+  is owned for the lifetime of the service;
+* per-distance-class routing-table aggregation is built lazily, once
+  per ``(class, generation)``, and memoized;
+* results are served from a generation-keyed LRU cache, so repeated
+  queries cost a dictionary lookup;
+* membership changes (``add_host`` / ``remove_host``) bump the overlay
+  generation, which structurally invalidates every cached answer — a
+  query can never return a cluster computed against a stale overlay.
+
+See DESIGN.md §6 ("Service layer") for the invalidation scheme.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.core.decentralized import DecentralizedClusterSearch
+from repro.core.query import BandwidthClasses, ClusterQuery
+from repro.exceptions import ServiceError, StaleGenerationError
+from repro.predtree.framework import BandwidthPredictionFramework
+from repro.service.cache import AggregationCache, LRUCache
+from repro.service.telemetry import ServiceTelemetry, TelemetrySnapshot
+
+__all__ = ["ClusterQueryService", "ServiceResult", "ServiceStats"]
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """One answered query.
+
+    Attributes
+    ----------
+    cluster:
+        Sorted host ids of the found cluster (empty when unsatisfied).
+    hops:
+        Overlay forwarding hops the original computation took (0 for a
+        locally answered or cached query).
+    start:
+        Entry host the original computation was submitted at.
+    snapped_b:
+        Bandwidth class the constraint was snapped up to (Mbps).
+    l:
+        Distance class actually queried.
+    generation:
+        Overlay generation the answer is valid for — always the
+        service's current generation at the time the result was
+        returned.
+    cached:
+        Whether the answer came from the result cache.
+    latency_s:
+        Wall-clock service time for this call in seconds.
+    """
+
+    cluster: tuple[int, ...]
+    hops: int
+    start: int
+    snapped_b: float
+    l: float
+    generation: int
+    cached: bool
+    latency_s: float
+
+    @property
+    def found(self) -> bool:
+        """Whether a cluster was returned."""
+        return bool(self.cluster)
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Operational snapshot of a :class:`ClusterQueryService`.
+
+    Attributes
+    ----------
+    generation:
+        Current overlay generation.
+    host_count:
+        Hosts currently in the overlay.
+    result_cache_entries:
+        Entries currently held by the LRU result cache.
+    aggregation_entries:
+        Per-class aggregations memoized for the current generation.
+    telemetry:
+        Counter/latency snapshot (see :class:`~repro.service.telemetry.
+        TelemetrySnapshot`).
+    """
+
+    generation: int
+    host_count: int
+    result_cache_entries: int
+    aggregation_entries: int
+    telemetry: TelemetrySnapshot
+
+
+class ClusterQueryService:
+    """A long-lived, cache-aware front end over the decentralized system.
+
+    Parameters
+    ----------
+    framework:
+        Fully built prediction framework; the service takes ownership
+        of its membership (drive joins/departures through the service,
+        not the framework, so caches stay coherent).
+    classes:
+        Bandwidth classes users may query with.  Constraints are
+        snapped up exactly as in the decentralized system.
+    n_cut:
+        Algorithm 2 aggregation cutoff for the routing tables.
+    pair_order:
+        Pair-scan order for local cluster extraction (see
+        :func:`~repro.core.find_cluster.find_cluster`).
+    cache_size:
+        Capacity of the LRU result cache.
+    telemetry:
+        Optional externally owned telemetry sink (a fresh one is
+        created by default).
+
+    Notes
+    -----
+    The result cache is keyed by ``(k, snapped_class, generation)``;
+    the entry host is deliberately *not* part of the key.  Any cluster
+    satisfying ``(k, b)`` is a correct answer regardless of where the
+    query entered the overlay, so all entry points share one cached
+    answer per constraint (the paper's queries are anycast in the same
+    sense).  Callers that need per-entry routing behaviour (e.g. hop
+    counts for evaluation) should use
+    :class:`~repro.core.decentralized.DecentralizedClusterSearch`
+    directly.
+    """
+
+    def __init__(
+        self,
+        framework: BandwidthPredictionFramework,
+        classes: BandwidthClasses,
+        n_cut: int = 10,
+        pair_order: str = "nearest",
+        cache_size: int = 1024,
+        telemetry: ServiceTelemetry | None = None,
+    ) -> None:
+        if framework.size < 2:
+            raise ServiceError(
+                "the service needs a framework with at least 2 hosts, "
+                f"got {framework.size}"
+            )
+        self._framework = framework
+        self._classes = classes
+        self._n_cut = int(n_cut)
+        self._pair_order = pair_order
+        self._results = LRUCache(cache_size)
+        self._aggregations = AggregationCache()
+        self._telemetry = telemetry or ServiceTelemetry()
+        # Serializes membership changes and generation reads against
+        # each other; query execution itself runs outside the lock so
+        # batched classes can fan out across threads.
+        self._membership_lock = threading.RLock()
+        # Local epoch for invalidations that do not change membership
+        # (e.g. an in-place bandwidth-matrix edit).  The published
+        # generation is framework.generation + epoch: both terms are
+        # monotonic, so the sum never revisits an old value.
+        self._epoch = 0
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def framework(self) -> BandwidthPredictionFramework:
+        """The owned prediction framework (read-only use, please)."""
+        return self._framework
+
+    @property
+    def classes(self) -> BandwidthClasses:
+        """The bandwidth-class set queries are snapped against."""
+        return self._classes
+
+    @property
+    def generation(self) -> int:
+        """The current overlay generation (monotonic)."""
+        with self._membership_lock:
+            return self._framework.generation + self._epoch
+
+    @property
+    def hosts(self) -> list[int]:
+        """Hosts currently in the overlay."""
+        return self._framework.hosts
+
+    @property
+    def telemetry(self) -> ServiceTelemetry:
+        """The telemetry sink (counters + latency histogram)."""
+        return self._telemetry
+
+    def stats(self) -> ServiceStats:
+        """Operational snapshot: generation, cache fill, telemetry."""
+        return ServiceStats(
+            generation=self.generation,
+            host_count=self._framework.size,
+            result_cache_entries=len(self._results),
+            aggregation_entries=len(self._aggregations),
+            telemetry=self._telemetry.snapshot(),
+        )
+
+    # -- membership -----------------------------------------------------------
+
+    def add_host(self, host: int) -> None:
+        """Join *host* to the overlay; bumps the generation."""
+        with self._membership_lock:
+            self._framework.add_host(host)
+            self._invalidate_locked()
+        self._telemetry.record_membership_change()
+
+    def remove_host(self, host: int) -> list[int]:
+        """Handle the departure of *host*; bumps the generation.
+
+        Returns the hosts that re-joined (the departed host's anchor
+        descendants, as in
+        :meth:`~repro.predtree.framework.BandwidthPredictionFramework.
+        remove_host`).  After this returns, no query — cached or fresh —
+        can ever yield a cluster containing *host*.
+        """
+        with self._membership_lock:
+            rejoined = self._framework.remove_host(host)
+            self._invalidate_locked()
+        self._telemetry.record_membership_change()
+        return rejoined
+
+    def invalidate(self) -> None:
+        """Explicitly drop all cached state and bump the generation.
+
+        Call this after mutating anything the service cannot observe,
+        e.g. editing the ground-truth bandwidth matrix in place.
+        """
+        with self._membership_lock:
+            self._epoch += 1
+            self._invalidate_locked()
+
+    def _invalidate_locked(self) -> None:
+        """Drop caches; caller holds the membership lock."""
+        self._results.clear()
+        self._aggregations.invalidate()
+
+    # -- query execution ------------------------------------------------------
+
+    def _class_search(
+        self, snapped: float, generation: int
+    ) -> DecentralizedClusterSearch:
+        """The aggregated single-class search for *snapped*, memoized.
+
+        Restricting the routing tables to one distance class is what
+        lets a batch grouped by class pay for aggregation exactly once
+        per class instead of once per |L| classes per query.
+        """
+        search = self._aggregations.get(snapped, generation)
+        if search is not None:
+            return search
+        search = DecentralizedClusterSearch(
+            self._framework,
+            BandwidthClasses([snapped], transform=self._classes.transform),
+            n_cut=self._n_cut,
+            pair_order=self._pair_order,
+        )
+        search.run_aggregation()
+        self._telemetry.record_aggregation_build()
+        self._aggregations.put(snapped, generation, search)
+        return search
+
+    def submit(
+        self,
+        query: ClusterQuery,
+        start: int | None = None,
+        expected_generation: int | None = None,
+    ) -> ServiceResult:
+        """Answer one ``(k, b)`` query against the live overlay.
+
+        Parameters
+        ----------
+        query:
+            The constraint pair.
+        start:
+            Entry host for a computed (non-cached) answer; defaults to
+            the overlay's first host.  Cached answers ignore it (see
+            the class notes on the cache key).
+        expected_generation:
+            When given, the query is pinned: if the overlay generation
+            differs — before or after computation — the call raises
+            :class:`~repro.exceptions.StaleGenerationError` instead of
+            returning an answer the caller would consider stale.
+        """
+        began = time.perf_counter()
+        generation = self.generation
+        if (
+            expected_generation is not None
+            and expected_generation != generation
+        ):
+            raise StaleGenerationError(
+                f"query pinned to generation {expected_generation}, "
+                f"overlay is at {generation}"
+            )
+        snapped = self._classes.snap_bandwidth(query.b)
+        key = (query.k, snapped, generation)
+        cached = self._results.get(key)
+        if cached is not None:
+            cluster, hops, entry, l = cached
+            self._telemetry.record_query(
+                time.perf_counter() - began, cached=True,
+                found=bool(cluster),
+            )
+            return ServiceResult(
+                cluster=cluster,
+                hops=hops,
+                start=entry,
+                snapped_b=snapped,
+                l=l,
+                generation=generation,
+                cached=True,
+                latency_s=time.perf_counter() - began,
+            )
+
+        search = self._class_search(snapped, generation)
+        entry = start if start is not None else self._framework.hosts[0]
+        outcome = search.process_query(query.k, snapped, start=entry)
+        if self.generation != generation:
+            # Membership changed under our feet: the answer was
+            # computed against an overlay that no longer exists.
+            raise StaleGenerationError(
+                f"overlay generation changed from {generation} to "
+                f"{self.generation} while the query was in flight"
+            )
+        cluster = tuple(outcome.cluster)
+        self._results.put(key, (cluster, outcome.hops, entry, outcome.l))
+        self._telemetry.record_query(
+            time.perf_counter() - began, cached=False, found=bool(cluster)
+        )
+        return ServiceResult(
+            cluster=cluster,
+            hops=outcome.hops,
+            start=entry,
+            snapped_b=snapped,
+            l=outcome.l,
+            generation=generation,
+            cached=False,
+            latency_s=time.perf_counter() - began,
+        )
+
+    def submit_batch(
+        self,
+        queries: list[ClusterQuery],
+        start: int | None = None,
+        max_workers: int | None = None,
+    ) -> list[ServiceResult]:
+        """Answer a batch, grouped by snapped class (order preserved).
+
+        Grouping means the per-class routing-table aggregation runs at
+        most once per distinct class in the batch; with *max_workers*
+        the class groups additionally fan out across a thread pool.
+        Delegates to :class:`~repro.service.executor.BatchExecutor`.
+        """
+        from repro.service.executor import BatchExecutor
+
+        return BatchExecutor(self, max_workers=max_workers).run(
+            queries, start=start
+        )

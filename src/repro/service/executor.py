@@ -1,0 +1,108 @@
+"""Batched query execution grouped by snapped distance class.
+
+A batch of ``(k, b)`` queries usually hits far fewer distinct bandwidth
+classes than it has queries (users pick constraints from the
+predetermined set ``L``).  Executing the batch grouped by snapped class
+means the expensive per-class routing-table aggregation runs **once per
+distinct class in the batch**, after which every query in the group is
+a cheap table lookup plus local cluster extraction.  Class groups are
+independent — they touch disjoint memo entries — so they can optionally
+fan out across a :class:`~concurrent.futures.ThreadPoolExecutor`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
+
+from repro.core.query import BandwidthClasses, ClusterQuery
+from repro.exceptions import ServiceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.core import ClusterQueryService, ServiceResult
+
+__all__ = ["BatchExecutor", "group_by_class"]
+
+
+def group_by_class(
+    queries: list[ClusterQuery], classes: BandwidthClasses
+) -> dict[float, list[int]]:
+    """Partition *queries* (by index) by snapped bandwidth class.
+
+    Returns ``{snapped_class: [query indices]}`` with indices in their
+    original order.  Raises
+    :class:`~repro.exceptions.UnsupportedConstraintError` if any query
+    exceeds the largest class — before any work is done, so a batch is
+    validated atomically.
+    """
+    groups: dict[float, list[int]] = {}
+    for index, query in enumerate(queries):
+        snapped = classes.snap_bandwidth(query.b)
+        groups.setdefault(snapped, []).append(index)
+    return groups
+
+
+class BatchExecutor:
+    """Executes batches against one :class:`ClusterQueryService`.
+
+    Parameters
+    ----------
+    service:
+        The service to answer through (its caches and telemetry are
+        shared with single-query traffic).
+    max_workers:
+        Thread-pool width for fanning class groups out; ``None`` (or a
+        batch with a single distinct class) executes sequentially.
+    """
+
+    def __init__(
+        self,
+        service: "ClusterQueryService",
+        max_workers: int | None = None,
+    ) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ServiceError(
+                f"max_workers must be >= 1, got {max_workers!r}"
+            )
+        self._service = service
+        self._max_workers = max_workers
+
+    def run(
+        self,
+        queries: list[ClusterQuery],
+        start: int | None = None,
+    ) -> list["ServiceResult"]:
+        """Answer every query, returning results in submission order.
+
+        The whole batch is pinned to the generation observed at entry:
+        if membership changes while the batch is in flight, the
+        affected queries raise
+        :class:`~repro.exceptions.StaleGenerationError` rather than
+        mixing answers from two different overlays.
+        """
+        service = self._service
+        service.telemetry.record_batch()
+        if not queries:
+            return []
+        generation = service.generation
+        groups = group_by_class(queries, service.classes)
+        results: list[ServiceResult | None] = [None] * len(queries)
+
+        def run_group(indices: list[int]) -> None:
+            for index in indices:
+                results[index] = service.submit(
+                    queries[index],
+                    start=start,
+                    expected_generation=generation,
+                )
+
+        group_lists = list(groups.values())
+        if self._max_workers is not None and len(group_lists) > 1:
+            workers = min(self._max_workers, len(group_lists))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                # list() re-raises the first worker exception, if any.
+                list(pool.map(run_group, group_lists))
+        else:
+            for indices in group_lists:
+                run_group(indices)
+        return [result for result in results if result is not None]

@@ -1,0 +1,188 @@
+"""Service telemetry: counters and latency histograms.
+
+A long-lived query service is only operable if it can report what it is
+doing: how many queries it served, how often the result cache hit, how
+many routing-table aggregations it had to rebuild, and where the
+latency quantiles sit.  :class:`ServiceTelemetry` collects all of that
+behind one lock so the batched executor can record from worker threads,
+and :meth:`ServiceTelemetry.snapshot` freezes it into an immutable
+:class:`TelemetrySnapshot` for reporting.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+from repro.exceptions import ServiceError
+
+__all__ = [
+    "LatencyHistogram",
+    "ServiceTelemetry",
+    "TelemetrySnapshot",
+]
+
+
+class LatencyHistogram:
+    """Bounded reservoir of latency samples with quantile readout.
+
+    Keeps at most *capacity* samples; once full, every new sample
+    overwrites the oldest (a sliding window, which for a service is the
+    regime of interest — recent behaviour).  Quantiles use the
+    nearest-rank method on a sorted copy, so reads never perturb the
+    reservoir.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ServiceError(f"capacity must be >= 1, got {capacity!r}")
+        self._capacity = int(capacity)
+        self._samples: list[float] = []
+        self._cursor = 0
+        self._total = 0
+        self._sum = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Add one latency sample (in seconds)."""
+        value = float(seconds)
+        if not math.isfinite(value) or value < 0:
+            raise ServiceError(
+                f"latency sample must be finite >= 0, got {seconds!r}"
+            )
+        if len(self._samples) < self._capacity:
+            self._samples.append(value)
+        else:
+            self._samples[self._cursor] = value
+            self._cursor = (self._cursor + 1) % self._capacity
+        self._total += 1
+        self._sum += value
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    @property
+    def total_recorded(self) -> int:
+        """Samples ever recorded (including ones the window dropped)."""
+        return self._total
+
+    def mean(self) -> float:
+        """Mean over every sample ever recorded (``nan`` when empty)."""
+        return self._sum / self._total if self._total else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile ``q in [0, 1]`` over the current window.
+
+        Returns ``nan`` when no samples have been recorded.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ServiceError(f"quantile must lie in [0, 1], got {q!r}")
+        if not self._samples:
+            return float("nan")
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[rank]
+
+
+@dataclass(frozen=True)
+class TelemetrySnapshot:
+    """Immutable view of the service counters at one instant.
+
+    Attributes
+    ----------
+    queries_served:
+        Total queries answered (from cache or computed).
+    cache_hits / cache_misses:
+        Result-cache outcomes.
+    aggregation_builds:
+        Per-class routing-table aggregations executed (the expensive
+        rebuild the cache layer exists to amortize).
+    batches:
+        ``submit_batch`` calls executed.
+    membership_changes:
+        ``add_host``/``remove_host`` operations applied.
+    unsatisfied:
+        Queries that returned an empty cluster.
+    latency_p50_s / latency_p95_s / latency_p99_s / latency_mean_s:
+        Per-query service latency quantiles in seconds (``nan`` before
+        the first query).
+    """
+
+    queries_served: int
+    cache_hits: int
+    cache_misses: int
+    aggregation_builds: int
+    batches: int
+    membership_changes: int
+    unsatisfied: int
+    latency_p50_s: float
+    latency_p95_s: float
+    latency_p99_s: float
+    latency_mean_s: float
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hit fraction (``nan`` before the first query)."""
+        looked = self.cache_hits + self.cache_misses
+        return self.cache_hits / looked if looked else float("nan")
+
+
+class ServiceTelemetry:
+    """Thread-safe counters + latency histogram for one service."""
+
+    def __init__(self, histogram_capacity: int = 4096) -> None:
+        self._lock = threading.Lock()
+        self._histogram = LatencyHistogram(histogram_capacity)
+        self._queries_served = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._aggregation_builds = 0
+        self._batches = 0
+        self._membership_changes = 0
+        self._unsatisfied = 0
+
+    def record_query(
+        self, latency_s: float, cached: bool, found: bool
+    ) -> None:
+        """Account one served query."""
+        with self._lock:
+            self._queries_served += 1
+            if cached:
+                self._cache_hits += 1
+            else:
+                self._cache_misses += 1
+            if not found:
+                self._unsatisfied += 1
+            self._histogram.record(latency_s)
+
+    def record_aggregation_build(self) -> None:
+        """Account one per-class routing-table aggregation rebuild."""
+        with self._lock:
+            self._aggregation_builds += 1
+
+    def record_batch(self) -> None:
+        """Account one batch execution."""
+        with self._lock:
+            self._batches += 1
+
+    def record_membership_change(self) -> None:
+        """Account one membership operation (join or departure)."""
+        with self._lock:
+            self._membership_changes += 1
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """Freeze the current counters into a :class:`TelemetrySnapshot`."""
+        with self._lock:
+            return TelemetrySnapshot(
+                queries_served=self._queries_served,
+                cache_hits=self._cache_hits,
+                cache_misses=self._cache_misses,
+                aggregation_builds=self._aggregation_builds,
+                batches=self._batches,
+                membership_changes=self._membership_changes,
+                unsatisfied=self._unsatisfied,
+                latency_p50_s=self._histogram.quantile(0.50),
+                latency_p95_s=self._histogram.quantile(0.95),
+                latency_p99_s=self._histogram.quantile(0.99),
+                latency_mean_s=self._histogram.mean(),
+            )

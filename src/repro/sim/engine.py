@@ -25,11 +25,6 @@ from typing import Any
 
 from repro.exceptions import SimulationError
 
-
-def _random_source(seed: int | None) -> random.Random:
-    """A dedicated PRNG for failure injection (never shared)."""
-    return random.Random(seed)
-
 __all__ = [
     "Message",
     "Protocol",
@@ -38,6 +33,11 @@ __all__ = [
     "FixedPointObserver",
     "Engine",
 ]
+
+
+def _random_source(seed: int | None) -> random.Random:
+    """A dedicated PRNG for failure injection (never shared)."""
+    return random.Random(seed)
 
 
 @dataclass(frozen=True)

@@ -96,3 +96,49 @@ class TestBandwidthClasses:
             [10.0], transform=RationalTransform(c=50.0)
         )
         assert classes.distance_classes == [5.0]
+
+
+class TestSnappingEdgeCases:
+    """Boundary behaviour of the snap-up rule (Sec. III-B.3)."""
+
+    def test_every_class_boundary_snaps_to_itself(self):
+        classes = BandwidthClasses.linear(15.0, 75.0, 7)
+        for boundary in classes.bandwidths:
+            assert classes.snap_bandwidth(boundary) == boundary
+
+    def test_boundary_with_float_noise_snaps_to_itself(self):
+        # Linear construction produces values like 25.000000000000004;
+        # a query for the printed value 25.0 must not snap past it.
+        classes = BandwidthClasses.linear(15.0, 75.0, 7)
+        for boundary in classes.bandwidths:
+            assert classes.snap_bandwidth(boundary + 1e-13) == boundary
+
+    def test_just_below_boundary_snaps_up_to_it(self):
+        classes = BandwidthClasses([10.0, 20.0, 50.0])
+        assert classes.snap_bandwidth(19.999) == 20.0
+        assert classes.snap_bandwidth(20.001) == 50.0
+
+    def test_above_largest_class_raises(self):
+        classes = BandwidthClasses.linear(15.0, 75.0, 7)
+        with pytest.raises(UnsupportedConstraintError):
+            classes.snap_bandwidth(75.0 + 1e-6)
+        with pytest.raises(UnsupportedConstraintError):
+            classes.snap_bandwidth(1e9)
+
+    def test_largest_class_itself_is_supported(self):
+        classes = BandwidthClasses.linear(15.0, 75.0, 7)
+        assert classes.snap_bandwidth(75.0) == 75.0
+
+    def test_single_class_set(self):
+        classes = BandwidthClasses([30.0])
+        assert len(classes) == 1
+        assert classes.snap_bandwidth(30.0) == 30.0
+        assert classes.snap_bandwidth(0.001) == 30.0
+        assert classes.snap_distance(10.0) == pytest.approx(100.0 / 30.0)
+        with pytest.raises(UnsupportedConstraintError):
+            classes.snap_bandwidth(30.0 + 1e-6)
+
+    def test_single_class_from_linear(self):
+        classes = BandwidthClasses.linear(30.0, 75.0, 1)
+        assert classes.bandwidths == [30.0]
+        assert classes.snap_bandwidth(12.0) == 30.0

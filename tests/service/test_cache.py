@@ -1,0 +1,89 @@
+"""Tests for the LRU result cache and the aggregation memo."""
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import AggregationCache, LRUCache
+
+
+class TestLRUCache:
+    def test_basic_roundtrip(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_miss_returns_default(self):
+        cache = LRUCache(4)
+        assert cache.get("missing") is None
+        assert cache.get("missing", 42) == 42
+
+    def test_eviction_is_lru(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a": "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+
+    def test_overwrite_refreshes(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)      # overwrite refreshes recency
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_hit_miss_counters(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("nope")
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_clear(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ServiceError):
+            LRUCache(0)
+
+
+class TestAggregationCache:
+    def test_memoizes_per_class_and_generation(self):
+        memo = AggregationCache()
+        memo.put(30.0, 5, "tables-30")
+        memo.put(45.0, 5, "tables-45")
+        assert memo.get(30.0, 5) == "tables-30"
+        assert memo.get(45.0, 5) == "tables-45"
+        assert len(memo) == 2
+
+    def test_generation_mismatch_misses(self):
+        memo = AggregationCache()
+        memo.put(30.0, 5, "tables")
+        assert memo.get(30.0, 6) is None
+
+    def test_put_evicts_older_generations(self):
+        memo = AggregationCache()
+        memo.put(30.0, 5, "old-a")
+        memo.put(45.0, 5, "old-b")
+        memo.put(30.0, 6, "new")
+        assert len(memo) == 1
+        assert memo.get(30.0, 5) is None
+        assert memo.get(30.0, 6) == "new"
+
+    def test_invalidate(self):
+        memo = AggregationCache()
+        memo.put(30.0, 5, "tables")
+        memo.invalidate()
+        assert len(memo) == 0
+        assert memo.get(30.0, 5) is None

@@ -1,0 +1,137 @@
+"""Tests for :class:`ClusterQueryService` — the service tentpole."""
+
+import pytest
+
+from repro.core.query import BandwidthClasses, ClusterQuery
+from repro.exceptions import (
+    ServiceError,
+    StaleGenerationError,
+    UnsupportedConstraintError,
+)
+from repro.predtree.framework import build_framework
+from repro.service import ClusterQueryService
+
+
+class TestSubmit:
+    def test_returns_valid_cluster(self, service):
+        result = service.submit(ClusterQuery(k=4, b=30.0))
+        assert result.found
+        assert len(result.cluster) == 4
+        assert result.snapped_b >= 30.0
+        assert result.generation == service.generation
+        # Every returned pair satisfies the snapped constraint under
+        # the predicted distances the system works with.
+        framework = service.framework
+        for i, u in enumerate(result.cluster):
+            for v in result.cluster[i + 1:]:
+                assert framework.predicted_distance(u, v) <= result.l + 1e-9
+
+    def test_repeat_query_is_cached(self, service):
+        first = service.submit(ClusterQuery(k=4, b=30.0))
+        second = service.submit(ClusterQuery(k=4, b=30.0))
+        assert not first.cached
+        assert second.cached
+        assert second.cluster == first.cluster
+
+    def test_cache_shared_across_snapped_constraints(self, service):
+        first = service.submit(ClusterQuery(k=4, b=28.0))
+        second = service.submit(ClusterQuery(k=4, b=30.0))
+        # Both snap to the same class, so the second is a hit.
+        assert first.snapped_b == second.snapped_b
+        assert second.cached
+
+    def test_cache_shared_across_entry_hosts(self, service):
+        hosts = service.hosts
+        first = service.submit(ClusterQuery(k=3, b=20.0), start=hosts[0])
+        second = service.submit(ClusterQuery(k=3, b=20.0), start=hosts[-1])
+        assert second.cached
+        assert second.cluster == first.cluster
+
+    def test_unsatisfiable_query_cached_too(self, service):
+        impossible = ClusterQuery(k=29, b=75.0)
+        first = service.submit(impossible)
+        second = service.submit(impossible)
+        assert not first.found
+        assert not second.found
+        assert second.cached
+
+    def test_unsupported_constraint_raises(self, service):
+        with pytest.raises(UnsupportedConstraintError):
+            service.submit(ClusterQuery(k=3, b=1e6))
+
+    def test_stale_pin_rejected(self, service):
+        generation = service.generation
+        victim = service.submit(ClusterQuery(k=3, b=20.0)).cluster[0]
+        service.remove_host(victim)
+        with pytest.raises(StaleGenerationError):
+            service.submit(
+                ClusterQuery(k=3, b=20.0), expected_generation=generation
+            )
+
+    def test_current_pin_accepted(self, service):
+        result = service.submit(
+            ClusterQuery(k=3, b=20.0),
+            expected_generation=service.generation,
+        )
+        assert result.found
+
+
+class TestMembership:
+    def test_membership_bumps_generation(self, service):
+        before = service.generation
+        victim = max(
+            host for host in service.hosts
+            if host != service.framework.anchor_tree.root
+        )
+        service.remove_host(victim)
+        after_remove = service.generation
+        assert after_remove > before
+        service.add_host(victim)
+        assert service.generation > after_remove
+
+    def test_generation_bump_invalidates_cache(self, service):
+        query = ClusterQuery(k=4, b=30.0)
+        service.submit(query)
+        assert service.submit(query).cached
+        victim = max(
+            host for host in service.hosts
+            if host != service.framework.anchor_tree.root
+        )
+        service.remove_host(victim)
+        fresh = service.submit(query)
+        assert not fresh.cached
+
+    def test_explicit_invalidate(self, service):
+        query = ClusterQuery(k=4, b=30.0)
+        service.submit(query)
+        before = service.generation
+        service.invalidate()
+        assert service.generation > before
+        assert not service.submit(query).cached
+
+    def test_rejects_tiny_framework(self):
+        import numpy as np
+
+        from repro.metrics.metric import BandwidthMatrix
+
+        tiny = build_framework(
+            BandwidthMatrix(np.full((1, 1), np.inf)), seed=0
+        )
+        with pytest.raises(ServiceError):
+            ClusterQueryService(tiny, BandwidthClasses([10.0]), n_cut=2)
+
+
+class TestStats:
+    def test_stats_counts(self, service):
+        query = ClusterQuery(k=4, b=30.0)
+        service.submit(query)
+        service.submit(query)
+        stats = service.stats()
+        assert stats.host_count == 30
+        assert stats.telemetry.queries_served == 2
+        assert stats.telemetry.cache_hits == 1
+        assert stats.telemetry.cache_misses == 1
+        assert stats.telemetry.aggregation_builds == 1
+        assert stats.result_cache_entries == 1
+        assert stats.aggregation_entries == 1
+        assert stats.telemetry.hit_rate == pytest.approx(0.5)

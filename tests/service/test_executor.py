@@ -1,0 +1,71 @@
+"""Tests for batched execution grouped by snapped distance class."""
+
+import pytest
+
+from repro.core.query import ClusterQuery
+from repro.exceptions import ServiceError, UnsupportedConstraintError
+from repro.service import BatchExecutor, group_by_class
+
+
+def _mixed_batch():
+    return [
+        ClusterQuery(k=3, b=20.0),   # snaps to 30
+        ClusterQuery(k=4, b=30.0),   # snaps to 30
+        ClusterQuery(k=3, b=40.0),   # snaps to 45
+        ClusterQuery(k=5, b=20.0),   # snaps to 30
+        ClusterQuery(k=3, b=60.0),   # snaps to 60
+    ]
+
+
+class TestGroupByClass:
+    def test_groups_by_snapped_class(self, service):
+        groups = group_by_class(_mixed_batch(), service.classes)
+        assert groups == {30.0: [0, 1, 3], 45.0: [2], 60.0: [4]}
+
+    def test_unsupported_constraint_fails_whole_batch(self, service):
+        batch = [ClusterQuery(k=3, b=20.0), ClusterQuery(k=3, b=1e6)]
+        with pytest.raises(UnsupportedConstraintError):
+            group_by_class(batch, service.classes)
+
+    def test_empty_batch(self, service):
+        assert group_by_class([], service.classes) == {}
+
+
+class TestBatchExecutor:
+    def test_results_in_submission_order(self, service):
+        batch = _mixed_batch()
+        results = service.submit_batch(batch)
+        assert len(results) == len(batch)
+        for query, result in zip(batch, results):
+            assert result.snapped_b == service.classes.snap_bandwidth(
+                query.b
+            )
+            assert len(result.cluster) in (0, query.k)
+
+    def test_aggregation_once_per_class(self, service):
+        service.submit_batch(_mixed_batch())
+        snapshot = service.telemetry.snapshot()
+        # 3 distinct snapped classes in the batch -> exactly 3 builds.
+        assert snapshot.aggregation_builds == 3
+        assert snapshot.batches == 1
+
+    def test_parallel_matches_sequential(self, service):
+        batch = _mixed_batch() * 3
+        sequential = service.submit_batch(batch)
+        parallel = service.submit_batch(batch, max_workers=3)
+        assert [r.cluster for r in sequential] == [
+            r.cluster for r in parallel
+        ]
+
+    def test_empty_batch(self, service):
+        assert service.submit_batch([]) == []
+
+    def test_rejects_bad_workers(self, service):
+        with pytest.raises(ServiceError):
+            BatchExecutor(service, max_workers=0)
+
+    def test_batch_reuses_result_cache(self, service):
+        batch = _mixed_batch()
+        service.submit_batch(batch)
+        results = service.submit_batch(batch)
+        assert all(result.cached for result in results)

@@ -1,0 +1,69 @@
+"""Tests for the synthetic load generator."""
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import LoadGenConfig, run_loadgen
+
+
+class TestLoadGenConfig:
+    def test_defaults_valid(self):
+        config = LoadGenConfig()
+        assert config.queries == 200
+        assert config.churn_rate == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"queries": 0},
+            {"batch_size": 0},
+            {"k_choices": ()},
+            {"k_choices": (1,)},
+            {"distinct_constraints": 0},
+            {"churn_rate": 1.5},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ServiceError):
+            LoadGenConfig(**kwargs)
+
+
+class TestRunLoadgen:
+    def test_plain_run(self, service):
+        config = LoadGenConfig(
+            queries=40, batch_size=10, k_choices=(3, 4),
+            distinct_constraints=3, seed=1,
+        )
+        report = run_loadgen(service, config)
+        assert report.queries == 40
+        assert 0 <= report.found <= 40
+        assert report.throughput_qps > 0
+        assert report.telemetry.queries_served == 40
+        # Few distinct constraints + small k set => caching must bite.
+        assert report.telemetry.cache_hits > report.telemetry.cache_misses
+
+    def test_churny_run_completes(self, service):
+        config = LoadGenConfig(
+            queries=30, batch_size=6, k_choices=(3,),
+            distinct_constraints=2, churn_rate=1.0, seed=2,
+        )
+        report = run_loadgen(service, config)
+        assert report.queries == 30
+        assert report.churn_events == 5
+        assert report.telemetry.membership_changes == 10  # leave + rejoin
+        assert service.framework.size == 30  # every victim re-joined
+
+    def test_report_table_renders(self, service):
+        report = run_loadgen(
+            service,
+            LoadGenConfig(queries=10, batch_size=5, seed=3),
+        )
+        table = report.format_table()
+        assert "throughput (q/s)" in table
+        assert "aggregation rebuilds" in table
+
+    def test_deterministic_mix(self, service):
+        config = LoadGenConfig(queries=20, batch_size=5, seed=7)
+        first = run_loadgen(service, config)
+        second = run_loadgen(service, config)
+        assert first.found == second.found

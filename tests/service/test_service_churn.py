@@ -1,0 +1,69 @@
+"""Churn during serving: departures must never leak into answers.
+
+The acceptance property of the service layer's generation scheme: once
+``remove_host`` returns, no query — cached, fresh, single, or batched —
+may return a cluster containing the removed host.
+"""
+
+import pytest
+
+from repro.core.query import ClusterQuery
+from repro.exceptions import StaleGenerationError
+
+
+def _non_root_member(service, cluster):
+    root = service.framework.anchor_tree.root
+    return next(host for host in cluster if host != root)
+
+
+class TestChurnDuringServing:
+    def test_removed_host_never_served_again(self, service):
+        queries = [
+            ClusterQuery(k=3, b=20.0),
+            ClusterQuery(k=4, b=30.0),
+            ClusterQuery(k=5, b=20.0),
+        ]
+        for query in queries:        # warm every cache layer
+            service.submit(query)
+        victim = _non_root_member(
+            service, service.submit(queries[0]).cluster
+        )
+        service.remove_host(victim)
+        for query in queries:
+            result = service.submit(query)
+            assert victim not in result.cluster
+            assert not result.cached or result.generation == (
+                service.generation
+            )
+        for result in service.submit_batch(queries, max_workers=2):
+            assert victim not in result.cluster
+
+    def test_sustained_churn_never_leaks(self, service):
+        query = ClusterQuery(k=3, b=20.0)
+        removed: list[int] = []
+        for _ in range(4):
+            cluster = service.submit(query).cluster
+            assert cluster, "query became unsatisfiable mid-test"
+            for departed in removed:
+                assert departed not in cluster
+            victim = _non_root_member(service, cluster)
+            service.remove_host(victim)
+            removed.append(victim)
+
+    def test_rejoin_after_departure_is_servable_again(self, service):
+        query = ClusterQuery(k=3, b=20.0)
+        victim = _non_root_member(service, service.submit(query).cluster)
+        service.remove_host(victim)
+        assert victim not in service.hosts
+        service.add_host(victim)
+        assert victim in service.hosts
+        result = service.submit(query)
+        assert result.found        # the overlay serves either way
+
+    def test_batch_pinned_generation_rejects_mid_batch_churn(self, service):
+        query = ClusterQuery(k=3, b=20.0)
+        generation = service.generation
+        victim = _non_root_member(service, service.submit(query).cluster)
+        service.remove_host(victim)
+        with pytest.raises(StaleGenerationError):
+            service.submit(query, expected_generation=generation)

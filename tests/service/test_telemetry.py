@@ -1,0 +1,77 @@
+"""Tests for service telemetry: histograms, counters, snapshots."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import LatencyHistogram, ServiceTelemetry
+
+
+class TestLatencyHistogram:
+    def test_quantiles_nearest_rank(self):
+        histogram = LatencyHistogram()
+        for value in range(1, 101):        # 1..100 ms
+            histogram.record(value / 1000)
+        assert histogram.quantile(0.50) == pytest.approx(0.050)
+        assert histogram.quantile(0.95) == pytest.approx(0.095)
+        assert histogram.quantile(0.99) == pytest.approx(0.099)
+        assert histogram.quantile(0.0) == pytest.approx(0.001)
+        assert histogram.quantile(1.0) == pytest.approx(0.100)
+
+    def test_empty_is_nan(self):
+        histogram = LatencyHistogram()
+        assert math.isnan(histogram.quantile(0.5))
+        assert math.isnan(histogram.mean())
+
+    def test_window_slides_but_mean_is_global(self):
+        histogram = LatencyHistogram(capacity=4)
+        for value in (1.0, 1.0, 1.0, 1.0, 9.0, 9.0, 9.0, 9.0):
+            histogram.record(value)
+        assert len(histogram) == 4
+        assert histogram.total_recorded == 8
+        assert histogram.quantile(0.5) == 9.0      # window: recent half
+        assert histogram.mean() == pytest.approx(5.0)
+
+    def test_rejects_bad_samples(self):
+        histogram = LatencyHistogram()
+        with pytest.raises(ServiceError):
+            histogram.record(-1.0)
+        with pytest.raises(ServiceError):
+            histogram.record(float("nan"))
+
+    def test_rejects_bad_quantile(self):
+        histogram = LatencyHistogram()
+        with pytest.raises(ServiceError):
+            histogram.quantile(1.5)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ServiceError):
+            LatencyHistogram(0)
+
+
+class TestServiceTelemetry:
+    def test_counters_accumulate(self):
+        telemetry = ServiceTelemetry()
+        telemetry.record_query(0.001, cached=False, found=True)
+        telemetry.record_query(0.0001, cached=True, found=True)
+        telemetry.record_query(0.002, cached=False, found=False)
+        telemetry.record_aggregation_build()
+        telemetry.record_batch()
+        telemetry.record_membership_change()
+        snapshot = telemetry.snapshot()
+        assert snapshot.queries_served == 3
+        assert snapshot.cache_hits == 1
+        assert snapshot.cache_misses == 2
+        assert snapshot.unsatisfied == 1
+        assert snapshot.aggregation_builds == 1
+        assert snapshot.batches == 1
+        assert snapshot.membership_changes == 1
+        assert snapshot.hit_rate == pytest.approx(1 / 3)
+        assert snapshot.latency_p50_s <= snapshot.latency_p99_s
+
+    def test_empty_snapshot(self):
+        snapshot = ServiceTelemetry().snapshot()
+        assert snapshot.queries_served == 0
+        assert math.isnan(snapshot.hit_rate)
+        assert math.isnan(snapshot.latency_p50_s)

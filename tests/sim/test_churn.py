@@ -12,6 +12,7 @@ suitable for dynamic networks.
 import pytest
 
 from repro.core.query import BandwidthClasses
+from repro.sim.engine import Engine, Message, Protocol, SimNode
 from repro.datasets.planetlab import hp_planetlab_like
 from repro.predtree.framework import build_framework
 from repro.sim.protocols import (
@@ -44,6 +45,69 @@ def ghost_references(engine, departed: int) -> int:
             if departed in nodes:
                 count += 1
     return count
+
+
+class _Recorder(Protocol):
+    """Silent protocol that records every message it receives."""
+
+    def __init__(self) -> None:
+        self.received: list[Message] = []
+
+    def on_round(self, node, engine) -> None:
+        pass
+
+    def on_message(self, node, message, engine) -> None:
+        self.received.append(message)
+
+
+class TestEngineChurnRegression:
+    """In-flight messages to removed nodes are dropped, not delivered."""
+
+    @staticmethod
+    def _engine_with_recorders() -> tuple[Engine, dict[int, _Recorder]]:
+        engine = Engine()
+        recorders = {}
+        for node_id in (0, 1):
+            recorders[node_id] = _Recorder()
+            engine.add_node(
+                SimNode(
+                    node_id=node_id,
+                    neighbors=[1 - node_id],
+                    protocols={"recorder": recorders[node_id]},
+                )
+            )
+        return engine, recorders
+
+    def test_in_flight_message_to_removed_node_is_dropped(self):
+        engine, recorders = self._engine_with_recorders()
+        engine.send(0, 1, "recorder", "late", delay=2)  # in flight
+        engine.remove_node(1)
+        engine.run_round()
+        engine.run_round()        # past the scheduled delivery round
+        assert recorders[1].received == []
+        assert engine.messages_dropped == 1
+        assert engine.messages_delivered == 0
+
+    def test_send_to_already_removed_node_is_dropped(self):
+        engine, recorders = self._engine_with_recorders()
+        engine.remove_node(1)
+        engine.send(0, 1, "recorder", "gone", delay=1)
+        assert engine.messages_sent == 0
+        assert engine.messages_dropped == 1
+        engine.run_round()
+        assert recorders[1].received == []
+
+    def test_surviving_traffic_unaffected_by_removal(self):
+        engine, recorders = self._engine_with_recorders()
+        engine.send(0, 1, "recorder", "doomed", delay=2)
+        engine.send(1, 0, "recorder", "fine", delay=2)
+        engine.remove_node(1)
+        engine.run_round()
+        engine.run_round()
+        assert [m.payload for m in recorders[0].received] == ["fine"]
+        assert recorders[1].received == []
+        assert engine.messages_dropped == 1
+        assert engine.messages_delivered == 1
 
 
 class TestChurn:

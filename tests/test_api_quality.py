@@ -21,6 +21,7 @@ PACKAGES = [
     "repro.extensions",
     "repro.metrics",
     "repro.predtree",
+    "repro.service",
     "repro.sim",
     "repro.vivaldi",
 ]

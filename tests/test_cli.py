@@ -27,6 +27,13 @@ class TestParser:
             args = build_parser().parse_args([name])
             assert args.scale == "quick"
 
+    def test_serve_bench_defaults(self):
+        args = build_parser().parse_args(["serve-bench"])
+        assert args.queries == 200
+        assert args.batch_size == 25
+        assert args.churn_rate == 0.0
+        assert args.workers is None
+
 
 class TestCommands:
     def test_dataset_stats(self, capsys):
@@ -62,6 +69,19 @@ class TestCommands:
         code = main(["query", "--n", "20", "-k", "19", "-b", "5000"])
         assert code == 1
         assert "no cluster" in capsys.readouterr().out
+
+    def test_serve_bench(self, capsys):
+        code = main(
+            [
+                "serve-bench", "--n", "25", "--queries", "30",
+                "--batch-size", "10", "--churn-rate", "0.5",
+                "--n-cut", "5",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "throughput (q/s)" in out
+        assert "generation:" in out
 
     def test_hub(self, capsys):
         code = main(["hub", "--n", "20", "--targets", "0", "1", "2"])
