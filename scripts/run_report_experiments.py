@@ -72,9 +72,9 @@ def main() -> int:
         lambda: report_fig6(args.full),
     ]
     for job in jobs:
-        start = time.time()
+        start = time.perf_counter()
         name, result = job()
-        elapsed = time.time() - start
+        elapsed = time.perf_counter() - start
         table = result.format_table()
         problems = result.shape_check()
         status = "OK" if not problems else f"SHAPE ISSUES: {problems}"

@@ -23,6 +23,7 @@ non-tree data (``eps# = 1``) errs like a uniformly random pair pick
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -106,7 +107,7 @@ def wpr_model(
     eps_sharp = adjusted_epsilon(eps_avg, f_a, alpha)
     if f_b == 0.0:
         return 0.0
-    if eps_sharp == 0.0:
+    if math.isclose(eps_sharp, 0.0, abs_tol=1e-12):
         return 0.0 if f_b < 1.0 else 1.0
     return float(f_b ** (1.0 / eps_sharp))
 

@@ -9,6 +9,7 @@ Subcommands
 ``churn``     dynamic-membership experiment (departures + healing)
 ``hub``       run the hub-search extension on a generated dataset
 ``serve-bench``  drive the long-lived query service with synthetic load
+``lint``      run the repository's AST invariant checker (RPR rules)
 
 Every experiment prints the same text tables the benchmark harness
 emits, so the CLI is the scriptable way to reproduce EXPERIMENTS.md.
@@ -46,6 +47,7 @@ from repro.experiments import (
     run_fig6,
 )
 from repro.extensions.hub import find_hub
+from repro.lint.cli import add_lint_arguments, run_lint_command
 from repro.predtree.framework import build_framework
 from repro.service import (
     ClusterQueryService,
@@ -137,6 +139,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--n-cut", type=int, default=10, help="Algorithm 2 cutoff"
     )
+
+    lint = sub.add_parser(
+        "lint",
+        help="AST invariant checker (rules RPR001-RPR008)",
+    )
+    add_lint_arguments(lint)
 
     hub = sub.add_parser("hub", help="hub-search extension (Sec. VI)")
     _add_dataset_args(hub)
@@ -323,6 +331,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "churn": _cmd_figure,
         "hub": _cmd_hub,
         "serve-bench": _cmd_serve_bench,
+        "lint": run_lint_command,
     }
     try:
         return handlers[args.command](args)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro._validation import check_cluster_size
 from repro.core.find_cluster import find_cluster, max_cluster_size
 from repro.core.query import BandwidthClasses
 from repro.exceptions import QueryError, ValidationError
@@ -375,8 +376,7 @@ class DecentralizedClusterSearch:
                 "run_aggregation() must complete before queries are "
                 "processed"
             )
-        if int(k) != k or k < 2:
-            raise QueryError(f"k must be an integer >= 2, got {k!r}")
+        check_cluster_size(k, "k")
         if start not in self._states:
             raise QueryError(f"unknown start host {start!r}")
         snapped = self.classes.snap_bandwidth(b)

@@ -38,6 +38,7 @@ __all__ = [
     "find_cluster",
     "find_cluster_reference",
     "max_cluster_size",
+    "max_cluster_size_linear",
 ]
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass
 
-from repro._validation import check_positive
+from repro._validation import check_cluster_size, check_positive
 from repro.exceptions import QueryError, UnsupportedConstraintError
 from repro.metrics.transform import RationalTransform
 
@@ -39,8 +39,7 @@ class ClusterQuery:
     b: float
 
     def __post_init__(self) -> None:
-        if int(self.k) != self.k or self.k < 2:
-            raise QueryError(f"k must be an integer >= 2, got {self.k!r}")
+        check_cluster_size(self.k, "k")
         check_positive(self.b, "b")
 
     def distance_constraint(self, transform: RationalTransform) -> float:

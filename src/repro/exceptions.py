@@ -22,6 +22,7 @@ __all__ = [
     "ExperimentError",
     "ServiceError",
     "StaleGenerationError",
+    "LintError",
 ]
 
 
@@ -77,3 +78,8 @@ class ServiceError(ReproError):
 class StaleGenerationError(ServiceError):
     """A query was pinned to an overlay generation that is no longer
     current (membership or bandwidth state changed underneath it)."""
+
+
+class LintError(ReproError):
+    """The static-analysis engine was misconfigured (bad rule id,
+    malformed baseline file, missing lint target)."""

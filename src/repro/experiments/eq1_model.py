@@ -18,6 +18,7 @@ normalized curves; we regress), indexed in DESIGN.md as experiment
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
@@ -27,7 +28,7 @@ from repro.analysis.treeness import adjusted_epsilon, wpr_model
 from repro.experiments.fig5_treeness import Fig5Params, run_fig5
 from repro.experiments.report import format_table
 
-__all__ = ["Eq1Params", "Eq1Result", "run_eq1"]
+__all__ = ["Eq1Params", "Eq1Result", "VariantFit", "run_eq1"]
 
 
 @dataclass(frozen=True)
@@ -141,7 +142,9 @@ def run_eq1(params: Eq1Params) -> Eq1Result:
         variant_f_a = _mean_f_a(params, curve.name)
         eps_sharp = adjusted_epsilon(curve.eps_avg, variant_f_a)
         model_exponent = (
-            float("inf") if eps_sharp == 0 else 1.0 / eps_sharp
+            float("inf")
+            if math.isclose(eps_sharp, 0.0, abs_tol=1e-12)
+            else 1.0 / eps_sharp
         )
         fits.append(
             VariantFit(

@@ -36,7 +36,7 @@ from repro.experiments.report import format_table
 from repro.experiments.runner import SubstrateBundle
 from repro.metrics.fourpoint import epsilon_average
 
-__all__ = ["Fig5Params", "Fig5Result", "run_fig5"]
+__all__ = ["Fig5Params", "Fig5Result", "VariantCurve", "run_fig5"]
 
 
 @dataclass(frozen=True)

@@ -29,7 +29,12 @@ from repro.predtree.framework import (
 from repro.vivaldi.coordinates import VivaldiConfig
 from repro.vivaldi.embedding import VivaldiEmbedding
 
-__all__ = ["Approach", "QueryRecord", "SubstrateBundle"]
+__all__ = [
+    "Approach",
+    "QueryRecord",
+    "SubstrateBundle",
+    "uniform_queries",
+]
 
 
 class Approach(enum.Enum):

@@ -1,0 +1,110 @@
+"""Baseline support: grandfather existing findings, gate new ones.
+
+A baseline file records how many findings with each fingerprint
+(``rule::path::message``, no line numbers — see
+:attr:`~repro.lint.findings.Finding.fingerprint`) existed when the
+baseline was captured.  On later runs, up to that many matching
+findings are classified *baselined* and do not fail the build; any
+excess is *new* and does.  Fixing a grandfathered finding therefore
+never breaks CI, while reintroducing one — or adding another instance
+of it — always does.
+
+Regenerate with ``scripts/lint_baseline.py`` (or ``repro-bcc lint
+--write-baseline``) after deliberately accepting findings.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.exceptions import LintError
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "split_findings"]
+
+_VERSION = 1
+
+
+class Baseline:
+    """Fingerprint → allowed-count map, loadable from / savable to JSON."""
+
+    def __init__(self, allowances: dict[str, int] | None = None) -> None:
+        self._allowances = dict(allowances or {})
+
+    @property
+    def allowances(self) -> dict[str, int]:
+        """Copy of the fingerprint → count map."""
+        return dict(self._allowances)
+
+    def __len__(self) -> int:
+        return sum(self._allowances.values())
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding]) -> "Baseline":
+        """A baseline that grandfathers exactly *findings*."""
+        return cls(dict(Counter(f.fingerprint for f in findings)))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        file_path = Path(path)
+        if not file_path.exists():
+            return cls()
+        try:
+            payload = json.loads(file_path.read_text())
+        except json.JSONDecodeError as error:
+            raise LintError(
+                f"baseline file {file_path} is not valid JSON: {error}"
+            ) from error
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != _VERSION
+            or not isinstance(payload.get("fingerprints"), dict)
+        ):
+            raise LintError(
+                f"baseline file {file_path} has an unrecognized layout "
+                f"(expected {{'version': {_VERSION}, 'fingerprints': ...}})"
+            )
+        allowances: dict[str, int] = {}
+        for fingerprint, count in payload["fingerprints"].items():
+            if not isinstance(fingerprint, str) or not isinstance(count, int):
+                raise LintError(
+                    f"baseline file {file_path} contains a malformed entry "
+                    f"({fingerprint!r}: {count!r})"
+                )
+            if count > 0:
+                allowances[fingerprint] = count
+        return cls(allowances)
+
+    def save(self, path: str | Path) -> Path:
+        """Write the baseline as deterministic (sorted) JSON."""
+        file_path = Path(path)
+        payload = {
+            "version": _VERSION,
+            "fingerprints": dict(sorted(self._allowances.items())),
+        }
+        file_path.write_text(json.dumps(payload, indent=2) + "\n")
+        return file_path
+
+
+def split_findings(
+    findings: list[Finding], baseline: Baseline
+) -> tuple[list[Finding], list[Finding]]:
+    """Partition *findings* into ``(new, baselined)`` against *baseline*.
+
+    Findings are consumed against the allowance in sorted (location)
+    order, so the classification is deterministic.
+    """
+    remaining = dict(baseline.allowances)
+    new: list[Finding] = []
+    baselined: list[Finding] = []
+    for finding in sorted(findings):
+        allowance = remaining.get(finding.fingerprint, 0)
+        if allowance > 0:
+            remaining[finding.fingerprint] = allowance - 1
+            baselined.append(finding)
+        else:
+            new.append(finding)
+    return new, baselined

@@ -1,0 +1,110 @@
+"""Command-line runner for :mod:`repro.lint`.
+
+Two front doors share this module:
+
+* ``repro-bcc lint ...`` (the main CLI's subcommand), and
+* ``python -m repro.lint ...`` — dependency-free: unlike the full CLI,
+  importing the lint engine needs nothing beyond the standard library,
+  so CI can gate on it without installing numpy/scipy.
+
+Exit codes: 0 clean, 1 new findings, 2 usage/configuration error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.exceptions import LintError
+from repro.lint.baseline import Baseline
+from repro.lint.engine import lint_paths
+from repro.lint.report import render_json, render_text
+
+__all__ = ["add_lint_arguments", "run_lint_command", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``lint`` arguments to *parser*."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files/directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="output format",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="baseline file of grandfathered findings",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings into --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="RPRnnn[,RPRnnn...]",
+        default=None,
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also list baselined findings in text output",
+    )
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Execute a parsed ``lint`` invocation; returns the exit code."""
+    rules = (
+        [rule.strip() for rule in args.rules.split(",") if rule.strip()]
+        if args.rules
+        else None
+    )
+    baseline = (
+        Baseline.load(args.baseline)
+        if args.baseline and not args.write_baseline
+        else None
+    )
+    report = lint_paths(list(args.paths), rules=rules, baseline=baseline)
+    if args.write_baseline:
+        if not args.baseline:
+            print(
+                "error: --write-baseline requires --baseline PATH",
+                file=sys.stderr,
+            )
+            return 2
+        recorded = Baseline.from_findings(list(report.new))
+        path = recorded.save(args.baseline)
+        print(
+            f"baseline with {len(recorded)} finding(s) written to {path}"
+        )
+        return 0
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``python -m repro.lint``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST invariant checker (rules RPR001-RPR008)",
+    )
+    add_lint_arguments(parser)
+    args = parser.parse_args(argv)
+    try:
+        return run_lint_command(args)
+    except LintError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2

@@ -1,0 +1,195 @@
+"""The lint engine: collect files, parse, run rules, gate on baseline.
+
+Pipeline for one run (:func:`lint_paths`):
+
+1. expand the given paths to ``.py`` files (skipping ``__pycache__``
+   and hidden directories);
+2. parse each file once into a shared :class:`~repro.lint.rules.
+   FileContext` (a syntax error becomes an ``RPR000`` finding rather
+   than aborting the run);
+3. run every selected rule — per-file rules on each applicable file,
+   project rules once over the whole set;
+4. drop findings suppressed by ``# repro: noqa[...]`` directives;
+5. split the rest into *new* vs *baselined* against the baseline file.
+
+The CLI fails the build exactly when ``new`` is non-empty.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import LintError
+from repro.lint.baseline import Baseline, split_findings
+from repro.lint.findings import Finding
+from repro.lint.noqa import is_suppressed
+from repro.lint.rules import FileContext, Rule, all_rules, rules_by_id
+
+__all__ = ["LintReport", "lint_paths", "collect_files", "parse_file"]
+
+#: Pseudo-rule id for files the engine cannot parse.
+PARSE_ERROR_RULE = "RPR000"
+
+_SKIPPED_DIRECTORIES = {"__pycache__", ".git", ".venv", "node_modules"}
+
+
+@dataclass(frozen=True)
+class LintReport:
+    """Outcome of one lint run.
+
+    Attributes
+    ----------
+    new:
+        Findings not covered by the baseline — these fail the build.
+    baselined:
+        Grandfathered findings (present, but allowed by the baseline).
+    suppressed:
+        Count of findings silenced by ``# repro: noqa`` directives.
+    files_checked:
+        Number of files parsed and analyzed.
+    """
+
+    new: tuple[Finding, ...]
+    baselined: tuple[Finding, ...]
+    suppressed: int
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run is clean (no new findings)."""
+        return not self.new
+
+    @property
+    def all_findings(self) -> tuple[Finding, ...]:
+        """New and baselined findings together, in location order."""
+        return tuple(sorted([*self.new, *self.baselined]))
+
+
+@dataclass
+class _RunState:
+    contexts: list[FileContext] = field(default_factory=list)
+    findings: list[Finding] = field(default_factory=list)
+
+
+def collect_files(paths: list[str | Path]) -> list[Path]:
+    """Expand *paths* (files or directories) to sorted ``.py`` files."""
+    collected: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise LintError(f"lint target {path} does not exist")
+        if path.is_file():
+            if path.suffix == ".py":
+                collected.add(path)
+            continue
+        for file_path in path.rglob("*.py"):
+            parts = set(file_path.parts)
+            if parts & _SKIPPED_DIRECTORIES:
+                continue
+            if any(part.startswith(".") for part in file_path.parts[1:]):
+                continue
+            collected.add(file_path)
+    return sorted(collected)
+
+
+def _display_path(path: Path) -> str:
+    """Stable posix-style path for findings (relative when possible)."""
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def parse_file(path: Path) -> FileContext | Finding:
+    """Parse *path*; returns a context, or an RPR000 finding on errors."""
+    display = _display_path(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as error:
+        return Finding(
+            path=display,
+            line=1,
+            col=0,
+            rule=PARSE_ERROR_RULE,
+            message=f"cannot read file: {error}",
+        )
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as error:
+        return Finding(
+            path=display,
+            line=error.lineno or 1,
+            col=(error.offset or 1) - 1,
+            rule=PARSE_ERROR_RULE,
+            message=f"syntax error: {error.msg}",
+        )
+    return FileContext(
+        path=path,
+        display=display,
+        source=source,
+        tree=tree,
+        lines=tuple(source.splitlines()),
+    )
+
+
+def _apply_noqa(
+    findings: list[Finding], contexts: dict[str, FileContext]
+) -> tuple[list[Finding], int]:
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        context = contexts.get(finding.path)
+        line = ""
+        if context is not None and 1 <= finding.line <= len(context.lines):
+            line = context.lines[finding.line - 1]
+        if line and is_suppressed(line, finding.rule):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+def lint_paths(
+    paths: list[str | Path],
+    rules: list[str] | None = None,
+    baseline: Baseline | None = None,
+) -> LintReport:
+    """Run the rule engine over *paths*.
+
+    Parameters
+    ----------
+    paths:
+        Files and/or directories to lint.
+    rules:
+        Rule ids to run (default: every registered rule).
+    baseline:
+        Grandfathered findings (default: empty — everything is new).
+    """
+    selected: list[Rule] = (
+        all_rules() if rules is None else rules_by_id(rules)
+    )
+    state = _RunState()
+    for path in collect_files(paths):
+        parsed = parse_file(path)
+        if isinstance(parsed, Finding):
+            state.findings.append(parsed)
+        else:
+            state.contexts.append(parsed)
+
+    for rule in selected:
+        for context in state.contexts:
+            if rule.applies_to(context.display):
+                state.findings.extend(rule.check_file(context))
+        state.findings.extend(rule.check_project(state.contexts))
+
+    by_display = {context.display: context for context in state.contexts}
+    kept, suppressed = _apply_noqa(state.findings, by_display)
+    new, baselined = split_findings(kept, baseline or Baseline())
+    return LintReport(
+        new=tuple(new),
+        baselined=tuple(baselined),
+        suppressed=suppressed,
+        files_checked=len(state.contexts),
+    )

@@ -1,0 +1,59 @@
+"""The :class:`Finding` record every lint rule emits.
+
+A finding pinpoints one violation: which rule, where (path/line/column),
+and a human-readable message.  Findings are value objects — hashable,
+totally ordered by location — so the engine can sort, deduplicate, and
+diff them against a baseline without caring which rule produced them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One static-analysis violation.
+
+    Attributes
+    ----------
+    path:
+        Posix-style path of the offending file, as given to the engine.
+    line / col:
+        1-based line and 0-based column of the offending node.
+    rule:
+        Rule identifier (``RPR001`` .. ``RPR008``).
+    message:
+        Human-readable description of the violation and the fix.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity used by the baseline mechanism.
+
+        Deliberately excludes ``line``/``col`` so that unrelated edits
+        shifting a grandfathered finding do not make it "new".
+        """
+        return f"{self.rule}::{self.path}::{self.message}"
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready representation (``repro-bcc lint --format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """The one-line human form: ``path:line:col RPRnnn message``."""
+        return f"{self.path}:{self.line}:{self.col} {self.rule} {self.message}"

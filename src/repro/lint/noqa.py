@@ -1,0 +1,45 @@
+"""Per-line suppression directives: ``# repro: noqa[RPRnnn]``.
+
+Suppressions are deliberately *scoped*: a bare ``# repro: noqa``
+silences every rule on that line, while ``# repro: noqa[RPR002]`` (or a
+comma-separated list) silences only the named rules — so a suppression
+documents exactly which invariant the author chose to override.  The
+generic ruff/flake8 ``# noqa`` spelling is intentionally **not**
+honoured: these rules encode repository invariants, and opting out of
+one should be a visible, greppable decision.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["suppressed_rules", "is_suppressed", "NOQA_PATTERN"]
+
+#: Matches ``# repro: noqa`` with an optional ``[RPR001, RPR002]`` list.
+NOQA_PATTERN = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Z0-9,\s]+)\])?", re.IGNORECASE
+)
+
+
+def suppressed_rules(line: str) -> frozenset[str] | None:
+    """The rule ids suppressed on *line*, or ``None`` when no directive.
+
+    An empty frozenset means "suppress everything" (bare directive).
+    """
+    match = NOQA_PATTERN.search(line)
+    if match is None:
+        return None
+    rules = match.group("rules")
+    if rules is None:
+        return frozenset()
+    return frozenset(
+        rule.strip().upper() for rule in rules.split(",") if rule.strip()
+    )
+
+
+def is_suppressed(line: str, rule: str) -> bool:
+    """Whether *line* carries a directive silencing *rule*."""
+    rules = suppressed_rules(line)
+    if rules is None:
+        return False
+    return not rules or rule.upper() in rules

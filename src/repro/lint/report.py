@@ -1,0 +1,52 @@
+"""Rendering for lint runs: human text and machine-readable JSON.
+
+The human format is the classic one-finding-per-line compiler style
+(clickable ``path:line:col`` prefixes) followed by a summary line; the
+JSON format carries the same information plus the run metadata, for CI
+annotation tooling.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintReport
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: LintReport, verbose: bool = False) -> str:
+    """Human-readable rendering of *report*.
+
+    With *verbose*, baselined (grandfathered) findings are listed too,
+    marked as such; otherwise only new findings are shown.
+    """
+    lines: list[str] = []
+    for finding in sorted(report.new):
+        lines.append(finding.render())
+    if verbose:
+        for finding in sorted(report.baselined):
+            lines.append(f"{finding.render()} (baselined)")
+    summary = (
+        f"{len(report.new)} new finding(s), "
+        f"{len(report.baselined)} baselined, "
+        f"{report.suppressed} suppressed, "
+        f"{report.files_checked} file(s) checked"
+    )
+    if lines:
+        return "\n".join([*lines, "", summary])
+    return summary
+
+
+def render_json(report: LintReport) -> str:
+    """JSON rendering of *report* (stable key order)."""
+    payload = {
+        "new": [finding.to_dict() for finding in sorted(report.new)],
+        "baselined": [
+            finding.to_dict() for finding in sorted(report.baselined)
+        ],
+        "suppressed": report.suppressed,
+        "files_checked": report.files_checked,
+        "ok": report.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

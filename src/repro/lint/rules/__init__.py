@@ -1,0 +1,155 @@
+"""Rule registry for :mod:`repro.lint`.
+
+Every rule is a subclass of :class:`Rule` registered via
+:func:`register`.  Rules come in two granularities:
+
+* **file rules** implement :meth:`Rule.check_file` and see one parsed
+  module at a time (most rules);
+* **project rules** implement :meth:`Rule.check_project` and see every
+  parsed module in the run at once (RPR004's call-graph walk needs
+  cross-module visibility).
+
+Importing this package imports every rule module, which populates the
+registry as a side effect — :func:`all_rules` is the engine's entry
+point.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from importlib import import_module
+from pathlib import Path
+from typing import Callable, ClassVar, Iterable
+
+from repro.exceptions import LintError
+from repro.lint.findings import Finding
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "register",
+    "all_rules",
+    "rules_by_id",
+    "RULE_ID_PATTERN",
+]
+
+#: Shape every rule identifier must have.
+RULE_ID_PATTERN = re.compile(r"^RPR\d{3}$")
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """One parsed module as seen by the rules.
+
+    Attributes
+    ----------
+    path:
+        The file's filesystem path (as resolved by the engine).
+    display:
+        Posix-style path used in findings and for rule scoping; rules
+        match substrings like ``"repro/service/"`` against it.
+    source:
+        Raw file contents.
+    tree:
+        The parsed :class:`ast.Module`.
+    lines:
+        ``source.splitlines()`` (1-based access via ``lines[n - 1]``).
+    """
+
+    path: Path
+    display: str
+    source: str
+    tree: ast.Module
+    lines: tuple[str, ...]
+
+    def finding(
+        self, node: ast.AST, rule: str, message: str
+    ) -> Finding:
+        """A :class:`Finding` at *node*'s location in this file."""
+        return Finding(
+            path=self.display,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for all lint rules.
+
+    Subclasses set :attr:`rule_id` and :attr:`summary`, optionally
+    narrow :meth:`applies_to`, and implement :meth:`check_file` (or
+    :meth:`check_project` for whole-run rules).
+    """
+
+    rule_id: ClassVar[str] = ""
+    summary: ClassVar[str] = ""
+
+    def applies_to(self, display: str) -> bool:
+        """Whether this rule runs on the file at *display* (default: all)."""
+        return True
+
+    def check_file(self, context: FileContext) -> Iterable[Finding]:
+        """Findings for one module; default none."""
+        return ()
+
+    def check_project(
+        self, contexts: list[FileContext]
+    ) -> Iterable[Finding]:
+        """Findings needing the whole run's modules; default none."""
+        return ()
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_class: Callable[[], Rule]) -> Callable[[], Rule]:
+    """Class decorator: instantiate and register a :class:`Rule`."""
+    rule = rule_class()
+    if not RULE_ID_PATTERN.match(rule.rule_id):
+        raise LintError(
+            f"rule id {rule.rule_id!r} does not match RPRnnn"
+        )
+    if rule.rule_id in _REGISTRY:
+        raise LintError(f"duplicate rule id {rule.rule_id}")
+    _REGISTRY[rule.rule_id] = rule
+    return rule_class
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def rules_by_id(rule_ids: Iterable[str]) -> list[Rule]:
+    """The rules named by *rule_ids*; unknown ids raise :class:`LintError`."""
+    selected = []
+    for rule_id in rule_ids:
+        canonical = rule_id.strip().upper()
+        if canonical not in _REGISTRY:
+            known = ", ".join(sorted(_REGISTRY))
+            raise LintError(
+                f"unknown rule {rule_id!r} (known rules: {known})"
+            )
+        selected.append(_REGISTRY[canonical])
+    return selected
+
+
+# Import every rule module so the registry is populated on package
+# import.  Done via importlib at the tail because rule modules import
+# the names defined above.
+_RULE_MODULES = (
+    "randomness",
+    "floateq",
+    "locks",
+    "coldpath",
+    "validation",
+    "raises",
+    "exports",
+    "timing",
+)
+for _module_name in _RULE_MODULES:
+    import_module(f"repro.lint.rules.{_module_name}")

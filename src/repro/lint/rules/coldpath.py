@@ -1,0 +1,179 @@
+"""RPR004 — keep the overlay alive: no cold-path rebuilds per query.
+
+PR 1's service layer exists so that the expensive artifacts — the
+prediction framework and full distance/bandwidth matrices — are built
+*once* and kept alive across queries; per-query work must be table
+lookups plus local cluster extraction.  This rule walks a simple
+intra-package call graph over ``repro/service/`` starting from the
+per-query entry points (every public method of the classes in
+``service/core.py`` and ``service/executor.py`` except ``__init__``)
+and flags any reachable call to a cold-path constructor
+(``build_framework``, ``BandwidthPredictionFramework``, full matrix
+rebuilds).
+
+Resolution is name-based (``self.x()`` → same class; bare/attribute
+names → any same-package definition), which is exactly as strong as
+the invariant needs: the service package is small and flat by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, Rule, register
+
+__all__ = ["ColdPathRule"]
+
+PACKAGE_SCOPE = "repro/service/"
+ENTRY_MODULES = ("service/core.py", "service/executor.py")
+
+#: Constructors/rebuilds that must stay out of per-query paths.
+COLD_CALLS = frozenset(
+    {
+        "build_framework",
+        "BandwidthPredictionFramework",
+        "PredictionFramework",
+        "build_vivaldi_embedding",
+        "predicted_distance_matrix",
+        "predicted_bandwidth_matrix",
+    }
+)
+
+
+def _callee_name(call: ast.Call) -> tuple[str, bool]:
+    """``(name, via_self)`` for a call's terminal callee name."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id, False
+    if isinstance(func, ast.Attribute):
+        via_self = (
+            isinstance(func.value, ast.Name) and func.value.id == "self"
+        )
+        return func.attr, via_self
+    return "", False
+
+
+class _Definition:
+    """One function/method definition and the calls inside it."""
+
+    def __init__(
+        self,
+        context: FileContext,
+        class_name: str | None,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> None:
+        self.context = context
+        self.class_name = class_name
+        self.node = node
+        self.calls: list[tuple[str, bool, ast.Call]] = []
+        for inner in ast.walk(node):
+            if isinstance(inner, ast.Call):
+                name, via_self = _callee_name(inner)
+                if name:
+                    self.calls.append((name, via_self, inner))
+
+    @property
+    def qualified(self) -> str:
+        if self.class_name:
+            return f"{self.class_name}.{self.node.name}"
+        return self.node.name
+
+
+def _collect_definitions(
+    contexts: list[FileContext],
+) -> list[_Definition]:
+    definitions: list[_Definition] = []
+    for context in contexts:
+        for node in context.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                definitions.append(_Definition(context, None, node))
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(
+                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        definitions.append(
+                            _Definition(context, node.name, item)
+                        )
+    return definitions
+
+
+@register
+class ColdPathRule(Rule):
+    """Flag cold-path constructors reachable from per-query paths."""
+
+    rule_id = "RPR004"
+    summary = (
+        "no framework/matrix rebuild reachable from service "
+        "per-query paths (keep the overlay alive)"
+    )
+
+    def check_project(
+        self, contexts: list[FileContext]
+    ) -> Iterable[Finding]:
+        service = [
+            context
+            for context in contexts
+            if PACKAGE_SCOPE in context.display
+        ]
+        if not service:
+            return
+        definitions = _collect_definitions(service)
+        by_name: dict[str, list[_Definition]] = {}
+        for definition in definitions:
+            by_name.setdefault(definition.node.name, []).append(definition)
+            # ``ClassName(...)`` runs ``ClassName.__init__`` — resolve
+            # in-package instantiations to the constructor body.
+            if definition.node.name == "__init__" and definition.class_name:
+                by_name.setdefault(definition.class_name, []).append(
+                    definition
+                )
+
+        entries = [
+            definition
+            for definition in definitions
+            if definition.class_name is not None
+            and not definition.node.name.startswith("_")
+            and any(
+                module in definition.context.display
+                for module in ENTRY_MODULES
+            )
+        ]
+
+        # Breadth-first reachability over name-resolved edges, keeping
+        # the first call chain that reaches each definition for the
+        # finding message.
+        queue: list[tuple[_Definition, tuple[str, ...]]] = [
+            (entry, (entry.qualified,)) for entry in entries
+        ]
+        seen: set[int] = {id(entry) for entry in entries}
+        reported: set[tuple[str, int]] = set()
+        while queue:
+            definition, chain = queue.pop(0)
+            for name, via_self, call in definition.calls:
+                if name in COLD_CALLS:
+                    key = (definition.context.display, call.lineno)
+                    if key not in reported:
+                        reported.add(key)
+                        yield definition.context.finding(
+                            call,
+                            self.rule_id,
+                            f"cold-path call {name}() reachable from "
+                            f"per-query entry point via "
+                            f"{' -> '.join(chain)} — build once at "
+                            "service construction, serve from the "
+                            "live overlay",
+                        )
+                    continue
+                for target in by_name.get(name, []):
+                    if via_self and (
+                        target.class_name != definition.class_name
+                    ):
+                        continue
+                    if id(target) not in seen:
+                        seen.add(id(target))
+                        queue.append(
+                            (target, chain + (target.qualified,))
+                        )

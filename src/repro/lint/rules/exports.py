@@ -1,0 +1,140 @@
+"""RPR007 — ``__all__`` must match the actually-defined public names.
+
+The reproduction's public API is its re-export chain (``repro/__init__``
+pulls from package ``__init__``s which pull from modules); a stale
+``__all__`` either advertises names that do not exist (``from x import
+*`` breaks) or silently hides a public definition from the API docs
+and the re-export layer.  For every module that declares ``__all__``,
+this rule checks both directions:
+
+* every listed name is bound at module top level;
+* every top-level public ``def``/``class`` is listed.
+
+Modules without ``__all__`` (tests, scripts) are not checked.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, Rule, register
+
+__all__ = ["DunderAllRule"]
+
+
+def _literal_all(tree: ast.Module) -> tuple[ast.Assign, list[str]] | None:
+    """The module's ``__all__`` assignment and its string entries."""
+    for node in tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(
+            isinstance(target, ast.Name) and target.id == "__all__"
+            for target in node.targets
+        ):
+            continue
+        if not isinstance(node.value, (ast.List, ast.Tuple)):
+            return None
+        entries = []
+        for element in node.value.elts:
+            if not isinstance(element, ast.Constant) or not isinstance(
+                element.value, str
+            ):
+                return None
+            entries.append(element.value)
+        return node, entries
+    return None
+
+
+def _top_level_bindings(tree: ast.Module) -> set[str]:
+    """Every name bound at module top level (defs, imports, assigns)."""
+    bound: set[str] = set()
+    for node in tree.body:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            bound.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    bound.update(
+                        element.id
+                        for element in target.elts
+                        if isinstance(element, ast.Name)
+                    )
+        elif isinstance(node, (ast.If, ast.Try)):
+            # e.g. version guards / optional-dependency fallbacks.
+            bound.update(_top_level_bindings_in(node))
+    return bound
+
+
+def _top_level_bindings_in(node: ast.stmt) -> set[str]:
+    bound: set[str] = set()
+    for inner in ast.walk(node):
+        if isinstance(
+            inner, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ):
+            bound.add(inner.name)
+        elif isinstance(inner, (ast.Import, ast.ImportFrom)):
+            for alias in inner.names:
+                if alias.name != "*":
+                    bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(inner, ast.Assign):
+            bound.update(
+                target.id
+                for target in inner.targets
+                if isinstance(target, ast.Name)
+            )
+    return bound
+
+
+@register
+class DunderAllRule(Rule):
+    """Flag ``__all__`` entries that drifted from the module body."""
+
+    rule_id = "RPR007"
+    summary = "__all__ must list exactly the defined public names"
+
+    def check_file(self, context: FileContext) -> Iterable[Finding]:
+        declared = _literal_all(context.tree)
+        if declared is None:
+            return
+        all_node, exported = declared
+        bound = _top_level_bindings(context.tree)
+        for name in exported:
+            if name not in bound and name != "__version__":
+                yield context.finding(
+                    all_node,
+                    self.rule_id,
+                    f"__all__ lists {name!r} but the module never "
+                    "binds it — `from module import *` would fail",
+                )
+        listed = set(exported)
+        for node in context.tree.body:
+            if not isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef),
+            ):
+                continue
+            if node.name.startswith("_") or node.name in listed:
+                continue
+            yield context.finding(
+                node,
+                self.rule_id,
+                f"public {node.name!r} is defined but missing from "
+                "__all__ — add it or make it private with a leading "
+                "underscore",
+            )

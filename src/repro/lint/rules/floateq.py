@@ -1,0 +1,85 @@
+"""RPR002 — no exact ``==``/``!=`` between bandwidth/distance floats.
+
+Distances in this system come from the rational transform ``d = C/bw``
+and from tree path sums — float arithmetic whose results are almost
+never exactly representable.  Comparing them with ``==`` makes the
+four-point condition and treeness checks break silently on round-off.
+The rule is heuristic: it flags equality comparisons where either
+operand's name looks like a bandwidth/distance quantity (``bw``,
+``dist*``, ``d_*``, ``delta*``, ``eps*``).  Use :func:`math.isclose`
+(or a tolerance helper such as ``numpy.isclose``) instead.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, Rule, register
+
+__all__ = ["FloatEqualityRule", "is_floatish_name"]
+
+#: An underscore-separated name part that marks a float-valued quantity.
+_PART_PATTERN = re.compile(r"^(bw|bandwidth(s)?|dist\w*|delta\w*|eps\w*)$")
+
+
+def is_floatish_name(name: str) -> bool:
+    """Whether *name* looks like a bandwidth/distance/treeness float.
+
+    Matches names containing a part equal to ``bw``/``bandwidth`` or
+    starting with ``dist``/``delta``/``eps``, plus the ``d_*`` metric
+    convention (``d_uv``, ``d_pq``).
+    """
+    parts = name.split("_")
+    if parts[0] == "d" and len(parts) > 1:
+        return True
+    return any(_PART_PATTERN.match(part) for part in parts if part)
+
+
+def _operand_name(node: ast.expr) -> str | None:
+    """The identifier a comparison operand reads from, if any."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        return _operand_name(node.value)
+    if isinstance(node, ast.Call):
+        return _operand_name(node.func)
+    return None
+
+
+@register
+class FloatEqualityRule(Rule):
+    """Flag ``==``/``!=`` where an operand is a float-like quantity."""
+
+    rule_id = "RPR002"
+    summary = (
+        "no exact ==/!= between bandwidth/distance floats; "
+        "use math.isclose or a tolerance helper"
+    )
+
+    def check_file(self, context: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(
+                node.ops, operands, operands[1:]
+            ):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                for operand in (left, right):
+                    name = _operand_name(operand)
+                    if name is not None and is_floatish_name(name):
+                        yield context.finding(
+                            node,
+                            self.rule_id,
+                            f"exact float comparison on {name!r}; "
+                            "round-off makes == on transformed "
+                            "bandwidth/distance values unreliable — "
+                            "use math.isclose or a tolerance helper",
+                        )
+                        break

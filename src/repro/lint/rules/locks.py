@@ -1,0 +1,187 @@
+"""RPR003 — lock discipline in ``repro.service``.
+
+The service layer (PR 1) shares mutable state across the batched
+executor's worker threads; every class that owns a
+``threading.Lock``/``RLock`` is expected to guard its own state with
+it.  This rule enforces the *write* side mechanically: inside a class
+whose ``__init__`` assigns both a lock and other instance attributes,
+any rebinding of those attributes (``self.x = ...``, ``self.x += ...``)
+outside ``__init__`` must happen inside a ``with self.<lock>:`` block.
+
+Reads and method calls on guarded attributes are deliberately not
+flagged: the service intentionally calls into internally synchronized
+objects (the caches) outside its own lock, and policing reads would
+outlaw that design rather than protect it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, Rule, register
+
+__all__ = ["LockDisciplineRule"]
+
+SCOPES = ("repro/service/",)
+
+_LOCK_CONSTRUCTORS = frozenset({"Lock", "RLock", "Condition"})
+
+
+def _self_attribute(node: ast.AST) -> str | None:
+    """``self.x`` -> ``"x"``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _is_lock_construction(value: ast.expr) -> bool:
+    """Whether *value* is a ``threading.Lock()``-style call."""
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in _LOCK_CONSTRUCTORS
+    if isinstance(func, ast.Name):
+        return func.id in _LOCK_CONSTRUCTORS
+    return False
+
+
+def _init_assignments(init: ast.FunctionDef) -> Iterator[tuple[str, ast.expr]]:
+    """``(attribute, value)`` pairs for every ``self.x = ...`` in *init*."""
+    for node in ast.walk(init):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = _self_attribute(target)
+                if attr is not None:
+                    yield attr, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            attr = _self_attribute(node.target)
+            if attr is not None:
+                yield attr, node.value
+
+
+class _MutationVisitor(ast.NodeVisitor):
+    """Collects unguarded writes to guarded attributes in one method."""
+
+    def __init__(self, guarded: frozenset[str], locks: frozenset[str]):
+        self._guarded = guarded
+        self._locks = locks
+        self._lock_depth = 0
+        self.unguarded: list[tuple[ast.AST, str]] = []
+
+    def _holds_lock(self, node: ast.With) -> bool:
+        for item in node.items:
+            attr = _self_attribute(item.context_expr)
+            if attr is None and isinstance(
+                item.context_expr, ast.Call
+            ):
+                # ``with self._lock:`` vs ``with self._lock_for(x):``
+                attr = _self_attribute(item.context_expr.func)
+            if attr is not None and attr in self._locks:
+                return True
+        return False
+
+    def visit_With(self, node: ast.With) -> None:
+        held = self._holds_lock(node)
+        self._lock_depth += 1 if held else 0
+        self.generic_visit(node)
+        self._lock_depth -= 1 if held else 0
+
+    def _record(self, node: ast.AST, target: ast.AST) -> None:
+        attr = _self_attribute(target)
+        if (
+            attr is not None
+            and attr in self._guarded
+            and self._lock_depth == 0
+        ):
+            self.unguarded.append((node, attr))
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._record(node, target)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record(node, node.target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record(node, node.target)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        # Nested function: its ``self`` is a different binding; skip.
+        return
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+@register
+class LockDisciplineRule(Rule):
+    """Flag unguarded writes to lock-protected instance state."""
+
+    rule_id = "RPR003"
+    summary = (
+        "attributes initialized alongside a Lock must only be "
+        "rebound inside `with self.<lock>:`"
+    )
+
+    def applies_to(self, display: str) -> bool:
+        return any(scope in display for scope in SCOPES)
+
+    def check_file(self, context: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(context, node)
+
+    def _check_class(
+        self, context: FileContext, class_def: ast.ClassDef
+    ) -> Iterator[Finding]:
+        init = next(
+            (
+                item
+                for item in class_def.body
+                if isinstance(item, ast.FunctionDef)
+                and item.name == "__init__"
+            ),
+            None,
+        )
+        if init is None:
+            return
+        locks: set[str] = set()
+        state: set[str] = set()
+        for attr, value in _init_assignments(init):
+            if _is_lock_construction(value):
+                locks.add(attr)
+            else:
+                state.add(attr)
+        if not locks:
+            return
+        guarded = frozenset(state - locks)
+        for method in class_def.body:
+            if (
+                not isinstance(
+                    method, (ast.FunctionDef, ast.AsyncFunctionDef)
+                )
+                or method.name == "__init__"
+            ):
+                continue
+            visitor = _MutationVisitor(guarded, frozenset(locks))
+            for statement in method.body:
+                visitor.visit(statement)
+            for offender, attr in visitor.unguarded:
+                yield context.finding(
+                    offender,
+                    self.rule_id,
+                    f"write to self.{attr} in "
+                    f"{class_def.name}.{method.name} outside "
+                    f"`with self.{sorted(locks)[0]}:` — state "
+                    "initialized alongside a Lock must be mutated "
+                    "under it",
+                )

@@ -1,0 +1,63 @@
+"""RPR006 — raise ``repro.exceptions`` types inside the service layer.
+
+Callers of the long-lived service catch :class:`repro.exceptions.
+ReproError` (or :class:`ServiceError`) to distinguish library failures
+from genuine bugs; the CLI maps them to exit code 2.  A bare
+``ValueError``/``RuntimeError`` escapes that contract and turns an
+operational condition into an unhandled crash.  Service code must
+raise from the :mod:`repro.exceptions` hierarchy (``ServiceError``,
+``StaleGenerationError``, ``ValidationError``, ...).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, Rule, register
+
+__all__ = ["ServiceExceptionRule"]
+
+SCOPES = ("repro/service/",)
+
+_FORBIDDEN = frozenset(
+    {"ValueError", "RuntimeError", "Exception", "KeyError", "TypeError"}
+)
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    exc = node.exc
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    return None
+
+
+@register
+class ServiceExceptionRule(Rule):
+    """Flag bare builtin exceptions raised in ``repro.service``."""
+
+    rule_id = "RPR006"
+    summary = (
+        "service code must raise repro.exceptions types, "
+        "not bare ValueError/RuntimeError"
+    )
+
+    def applies_to(self, display: str) -> bool:
+        return any(scope in display for scope in SCOPES)
+
+    def check_file(self, context: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Raise):
+                continue
+            name = _raised_name(node)
+            if name in _FORBIDDEN:
+                yield context.finding(
+                    node,
+                    self.rule_id,
+                    f"raise {name} escapes the ReproError hierarchy "
+                    "callers catch; raise ServiceError (or another "
+                    "repro.exceptions type) instead",
+                )

@@ -1,0 +1,113 @@
+"""RPR001 — no unseeded/global randomness in simulation code.
+
+Every experiment in the paper reproduction must be byte-reproducible
+from its seed (EXPERIMENTS.md protocol).  Global PRNG state —
+``random.random()`` and friends, or the legacy ``np.random.*`` module
+functions — breaks that silently: a second caller anywhere in the
+process perturbs the stream.  Simulation, experiment, and load-
+generation code must draw from an *injected* ``random.Random(seed)``
+or ``numpy.random.Generator`` (see ``repro._validation.as_rng``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, Rule, register
+
+__all__ = ["UnseededRandomnessRule"]
+
+#: Path fragments this rule polices (reproducibility-critical code).
+SCOPES = ("repro/sim/", "repro/experiments/", "service/loadgen")
+
+#: ``random.X(...)`` calls that are fine: constructing an injected PRNG
+#: or seeding one you own.
+_ALLOWED_RANDOM_ATTRS = frozenset({"Random", "SystemRandom"})
+
+#: ``np.random.X(...)`` calls that are fine: the Generator API.
+_ALLOWED_NP_RANDOM_ATTRS = frozenset(
+    {"Generator", "default_rng", "SeedSequence", "BitGenerator", "PCG64"}
+)
+
+
+def _attribute_chain(node: ast.AST) -> list[str] | None:
+    """``a.b.c`` as ``["a", "b", "c"]``, or None for non-name chains."""
+    parts: list[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return parts[::-1]
+
+
+def _iter_global_random_calls(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.Call, str]]:
+    """Yield ``(call, rendered_name)`` for each global-PRNG call."""
+    # Names bound by ``from random import x`` / ``from numpy.random
+    # import x`` also reach the global stream; track them.
+    tainted: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module in (
+            "random",
+            "numpy.random",
+        ):
+            allowed = (
+                _ALLOWED_RANDOM_ATTRS
+                if node.module == "random"
+                else _ALLOWED_NP_RANDOM_ATTRS
+            )
+            for alias in node.names:
+                if alias.name not in allowed:
+                    bound = alias.asname or alias.name
+                    tainted[bound] = f"{node.module}.{alias.name}"
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = _attribute_chain(node.func)
+        if chain is None:
+            continue
+        if (
+            len(chain) == 2
+            and chain[0] == "random"
+            and chain[1] not in _ALLOWED_RANDOM_ATTRS
+        ):
+            yield node, ".".join(chain)
+        elif (
+            len(chain) == 3
+            and chain[0] in ("np", "numpy")
+            and chain[1] == "random"
+            and chain[2] not in _ALLOWED_NP_RANDOM_ATTRS
+        ):
+            yield node, ".".join(chain)
+        elif len(chain) == 1 and chain[0] in tainted:
+            yield node, tainted[chain[0]]
+
+
+@register
+class UnseededRandomnessRule(Rule):
+    """Flag global-PRNG calls in reproducibility-critical packages."""
+
+    rule_id = "RPR001"
+    summary = (
+        "no unseeded/global randomness in sim/experiments/loadgen code; "
+        "inject a random.Random or numpy Generator"
+    )
+
+    def applies_to(self, display: str) -> bool:
+        return any(scope in display for scope in SCOPES)
+
+    def check_file(self, context: FileContext) -> Iterable[Finding]:
+        for call, name in _iter_global_random_calls(context.tree):
+            yield context.finding(
+                call,
+                self.rule_id,
+                f"global PRNG call {name}() breaks seeded "
+                "reproducibility; inject a random.Random(seed) or "
+                "numpy Generator (repro._validation.as_rng) instead",
+            )

@@ -1,0 +1,59 @@
+"""RPR008 — durations come from ``perf_counter``, not ``time.time``.
+
+``time.time()`` is wall-clock: NTP slews and clock steps make interval
+measurements drift or go negative, which corrupts the service latency
+histogram and every benchmark table.  Telemetry and benchmark code
+must measure durations with :func:`time.perf_counter` (or
+``perf_counter_ns``).  ``time.time()`` remains fine for *timestamps*
+outside the measurement paths this rule scopes to.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, Rule, register
+
+__all__ = ["WallClockDurationRule"]
+
+SCOPES = (
+    "repro/service/",
+    "benchmarks/",
+    "scripts/",
+    "telemetry",
+    "experiments/runner",
+)
+
+
+@register
+class WallClockDurationRule(Rule):
+    """Flag ``time.time()`` in telemetry/benchmark code."""
+
+    rule_id = "RPR008"
+    summary = (
+        "measure durations with time.perf_counter, "
+        "not wall-clock time.time"
+    )
+
+    def applies_to(self, display: str) -> bool:
+        return any(scope in display for scope in SCOPES)
+
+    def check_file(self, context: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "time"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ):
+                yield context.finding(
+                    node,
+                    self.rule_id,
+                    "time.time() is wall-clock and unsafe for "
+                    "durations; use time.perf_counter()",
+                )

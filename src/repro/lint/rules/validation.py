@@ -1,0 +1,130 @@
+"""RPR005 — public entry points must validate ``k``/``b`` centrally.
+
+Every public query surface takes the paper's constraint pair: cluster
+size ``k`` and bandwidth floor ``b``.  Validation of those arguments is
+centralized in :mod:`repro._validation` (uniform error messages, one
+place to harden), and :class:`repro.core.query.ClusterQuery` validates
+on construction.  This rule flags a public function/method in the
+query-serving packages that takes a parameter literally named ``k`` or
+``b`` but never routes it through a validating sink: a
+``repro._validation`` helper, a ``check_*``/``require``/``validate*``
+call, a ``ClusterQuery(...)`` construction, or a snapping/transform
+method that validates internally.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, Rule, register
+
+__all__ = ["ValidationRoutingRule"]
+
+SCOPES = ("repro/core/", "repro/service/", "repro/extensions/")
+
+#: Callee names that count as validating the argument fed to them.
+_VALIDATING_PREFIXES = ("check_", "_check", "validate", "_validate")
+_VALIDATING_NAMES = frozenset({"require", "as_rng"})
+#: Constructors / methods that validate their ``k``/``b`` internally.
+_VALIDATING_SINKS = frozenset(
+    {
+        "ClusterQuery",
+        "snap_bandwidth",
+        "snap_distance",
+        "distance_constraint",
+        "bandwidth_constraint",
+        "submit",
+        "submit_batch",
+        "process_query",
+        "query",
+        "query_kb",
+    }
+)
+
+_PARAMS = ("k", "b")
+
+
+def _callee_terminal(call: ast.Call) -> str:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _is_validating_callee(name: str) -> bool:
+    return (
+        name in _VALIDATING_NAMES
+        or name in _VALIDATING_SINKS
+        or name.startswith(_VALIDATING_PREFIXES)
+    )
+
+
+def _names_in(node: ast.expr) -> Iterator[str]:
+    for inner in ast.walk(node):
+        if isinstance(inner, ast.Name):
+            yield inner.id
+
+
+def _validated_params(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> set[str]:
+    """Parameter names fed (possibly inside an expression) to a sink."""
+    validated: set[str] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, ast.Call):
+            continue
+        if not _is_validating_callee(_callee_terminal(node)):
+            continue
+        for argument in [*node.args, *(kw.value for kw in node.keywords)]:
+            validated.update(
+                name for name in _names_in(argument) if name in _PARAMS
+            )
+    return validated
+
+
+@register
+class ValidationRoutingRule(Rule):
+    """Flag public ``k``/``b`` entry points that skip validation."""
+
+    rule_id = "RPR005"
+    summary = (
+        "public functions taking k/b must route them through "
+        "repro._validation (or a validating constructor)"
+    )
+
+    def applies_to(self, display: str) -> bool:
+        return any(scope in display for scope in SCOPES)
+
+    def check_file(self, context: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            if node.name.startswith("_"):
+                continue
+            params = {
+                arg.arg
+                for arg in [
+                    *node.args.posonlyargs,
+                    *node.args.args,
+                    *node.args.kwonlyargs,
+                ]
+                if arg.arg in _PARAMS
+            }
+            if not params:
+                continue
+            missing = sorted(params - _validated_params(node))
+            for param in missing:
+                yield context.finding(
+                    node,
+                    self.rule_id,
+                    f"public entry point {node.name}() takes "
+                    f"{param!r} but never routes it through "
+                    "repro._validation (or ClusterQuery/snap_*); "
+                    "ad-hoc checks drift — validate centrally",
+                )

@@ -16,6 +16,10 @@ Two layers, both generation-aware:
 Both caches also support *explicit* invalidation (:meth:`LRUCache.clear`
 / :meth:`AggregationCache.invalidate`) for changes that do not flow
 through the membership API, e.g. an in-place bandwidth-matrix edit.
+
+Both are generic over their payload types (``LRUCache[K, V]``,
+``AggregationCache[V]``) so call sites — and mypy's strict gate on this
+package — see fully typed values instead of ``Any``.
 """
 
 from __future__ import annotations
@@ -23,16 +27,17 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from collections.abc import Hashable
-from typing import Any
+from typing import Generic, TypeVar
 
 from repro.exceptions import ServiceError
 
 __all__ = ["LRUCache", "AggregationCache"]
 
-_MISSING = object()
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
 
 
-class LRUCache:
+class LRUCache(Generic[K, V]):
     """A thread-safe least-recently-used mapping with bounded size.
 
     ``get`` refreshes recency; ``put`` evicts the least recently used
@@ -44,7 +49,7 @@ class LRUCache:
         if capacity < 1:
             raise ServiceError(f"capacity must be >= 1, got {capacity!r}")
         self._capacity = int(capacity)
-        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._entries: OrderedDict[K, V] = OrderedDict()
         self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
@@ -57,22 +62,23 @@ class LRUCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def __contains__(self, key: Hashable) -> bool:
+    def __contains__(self, key: K) -> bool:
         with self._lock:
             return key in self._entries
 
-    def get(self, key: Hashable, default: Any = None) -> Any:
+    def get(self, key: K, default: V | None = None) -> V | None:
         """Return the cached value (refreshing recency) or *default*."""
         with self._lock:
-            value = self._entries.get(key, _MISSING)
-            if value is _MISSING:
+            try:
+                value = self._entries[key]
+            except KeyError:
                 self.misses += 1
                 return default
             self._entries.move_to_end(key)
             self.hits += 1
             return value
 
-    def put(self, key: Hashable, value: Any) -> None:
+    def put(self, key: K, value: V) -> None:
         """Insert/overwrite *key*, evicting the LRU entry if full."""
         with self._lock:
             if key in self._entries:
@@ -87,7 +93,7 @@ class LRUCache:
             self._entries.clear()
 
 
-class AggregationCache:
+class AggregationCache(Generic[V]):
     """Memo of per-class aggregated routing state, generation-keyed.
 
     Values are whatever the service builds per distance class (an
@@ -97,18 +103,18 @@ class AggregationCache:
     """
 
     def __init__(self) -> None:
-        self._entries: dict[tuple[float, int], Any] = {}
+        self._entries: dict[tuple[float, int], V] = {}
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, snapped: float, generation: int) -> Any | None:
+    def get(self, snapped: float, generation: int) -> V | None:
         """The memoized aggregation for ``(snapped, generation)``, or None."""
         with self._lock:
             return self._entries.get((float(snapped), int(generation)))
 
-    def put(self, snapped: float, generation: int, value: Any) -> None:
+    def put(self, snapped: float, generation: int, value: V) -> None:
         """Memoize *value*, evicting entries from other generations."""
         generation = int(generation)
         with self._lock:

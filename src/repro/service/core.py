@@ -35,6 +35,11 @@ from repro.service.telemetry import ServiceTelemetry, TelemetrySnapshot
 
 __all__ = ["ClusterQueryService", "ServiceResult", "ServiceStats"]
 
+#: Result-cache key: ``(k, snapped_class, generation)``.
+_ResultKey = tuple[int, float, int]
+#: Cached payload: ``(cluster, hops, entry_host, distance_class)``.
+_CachedAnswer = tuple[tuple[int, ...], int, int, float]
+
 
 @dataclass(frozen=True)
 class ServiceResult:
@@ -158,8 +163,12 @@ class ClusterQueryService:
         self._classes = classes
         self._n_cut = int(n_cut)
         self._pair_order = pair_order
-        self._results = LRUCache(cache_size)
-        self._aggregations = AggregationCache()
+        self._results: LRUCache[_ResultKey, _CachedAnswer] = LRUCache(
+            cache_size
+        )
+        self._aggregations: AggregationCache[DecentralizedClusterSearch] = (
+            AggregationCache()
+        )
         self._telemetry = telemetry or ServiceTelemetry()
         # Serializes membership changes and generation reads against
         # each other; query execution itself runs outside the lock so

@@ -1,0 +1,48 @@
+"""Fixtures for the static-analysis tests.
+
+The rules scope themselves by path fragments (``repro/sim/``,
+``repro/service/``, ...), so the helper writes each snippet into a
+mirrored package layout under ``tmp_path`` before linting it.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import Finding, lint_paths
+
+
+class LintHarness:
+    """Writes snippets into a fake repo tree and lints them."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+
+    def write(self, rel_path: str, source: str) -> Path:
+        path = self.root / rel_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return path
+
+    def lint(
+        self,
+        rel_path: str,
+        source: str,
+        rules: list[str] | None = None,
+    ) -> list[Finding]:
+        """Lint one snippet at *rel_path*; returns the new findings."""
+        path = self.write(rel_path, source)
+        report = lint_paths([path], rules=rules)
+        return list(report.new)
+
+    def lint_tree(self, rules: list[str] | None = None):
+        """Lint everything written so far (for project-level rules)."""
+        return lint_paths([self.root], rules=rules)
+
+
+@pytest.fixture
+def harness(tmp_path) -> LintHarness:
+    return LintHarness(tmp_path)

@@ -1,0 +1,147 @@
+"""The lint CLI: exit codes, formats, baseline workflow, repo hygiene.
+
+Covers both front doors — the dependency-free ``python -m repro.lint``
+entry (:func:`repro.lint.cli.main`) and the ``repro-bcc lint``
+subcommand wiring.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.lint.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+BAD_SOURCE = """\
+import random
+
+
+def jitter():
+    return random.random()
+"""
+
+
+@pytest.fixture
+def bad_tree(tmp_path):
+    target = tmp_path / "src" / "repro" / "sim" / "bad.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(BAD_SOURCE)
+    return tmp_path
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "fine.py").write_text("x = 1\n")
+        assert main([str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 new finding(s)" in out
+
+    def test_findings_exit_one(self, bad_tree, capsys):
+        assert main([str(bad_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR001" in out
+        assert "bad.py:5:" in out
+
+    def test_missing_target_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_malformed_baseline_exits_two(self, bad_tree, capsys):
+        broken = bad_tree / "baseline.json"
+        broken.write_text("{not json")
+        code = main([str(bad_tree), "--baseline", str(broken)])
+        assert code == 2
+        assert "baseline" in capsys.readouterr().err
+
+
+class TestOutputFormats:
+    def test_json_payload(self, bad_tree, capsys):
+        assert main([str(bad_tree), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["baselined"] == []
+        assert [finding["rule"] for finding in payload["new"]] == ["RPR001"]
+        assert payload["files_checked"] == 1
+
+    def test_verbose_lists_baselined(self, bad_tree, capsys):
+        baseline = bad_tree / "baseline.json"
+        assert main(
+            [str(bad_tree), "--baseline", str(baseline), "--write-baseline"]
+        ) == 0
+        capsys.readouterr()
+        code = main(
+            [str(bad_tree), "--baseline", str(baseline), "--verbose"]
+        )
+        assert code == 0
+        assert "(baselined)" in capsys.readouterr().out
+
+
+class TestBaselineWorkflow:
+    def test_write_baseline_requires_baseline_path(self, bad_tree, capsys):
+        assert main([str(bad_tree), "--write-baseline"]) == 2
+        assert "--baseline" in capsys.readouterr().err
+
+    def test_write_then_gate_round_trip(self, bad_tree, capsys):
+        baseline = bad_tree / "baseline.json"
+        assert main(
+            [str(bad_tree), "--baseline", str(baseline), "--write-baseline"]
+        ) == 0
+        assert "1 finding(s)" in capsys.readouterr().out
+
+        # Grandfathered: the same tree now gates clean ...
+        assert main([str(bad_tree), "--baseline", str(baseline)]) == 0
+
+        # ... but a *new* violation still fails the build.
+        extra = bad_tree / "src" / "repro" / "sim" / "worse.py"
+        extra.write_text(BAD_SOURCE)
+        assert main([str(bad_tree), "--baseline", str(baseline)]) == 1
+
+
+class TestRuleSelection:
+    def test_rules_subset(self, bad_tree, capsys):
+        assert main([str(bad_tree), "--rules", "RPR002,RPR008"]) == 0
+        capsys.readouterr()
+        assert main([str(bad_tree), "--rules", "RPR001"]) == 1
+
+    def test_unknown_rule_id_exits_two(self, bad_tree, capsys):
+        assert main([str(bad_tree), "--rules", "RPR999"]) == 2
+        assert "RPR999" in capsys.readouterr().err
+
+
+class TestMainCli:
+    """The ``repro-bcc lint`` subcommand shares the same machinery."""
+
+    def test_subcommand_parses_and_runs(self, bad_tree, capsys):
+        from repro.cli import main as repro_main
+
+        code = repro_main(["lint", str(bad_tree), "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+
+
+class TestRepositoryHygiene:
+    """The repo's own code must satisfy its own invariants."""
+
+    def test_src_and_scripts_lint_clean(self, capsys):
+        code = main(
+            [
+                str(REPO_ROOT / "src"),
+                str(REPO_ROOT / "scripts"),
+                str(REPO_ROOT / "benchmarks"),
+                "--baseline",
+                str(REPO_ROOT / "lint_baseline.json"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0, f"repository lint regressed:\n{out}"
+
+    def test_checked_in_baseline_is_empty(self):
+        payload = json.loads(
+            (REPO_ROOT / "lint_baseline.json").read_text()
+        )
+        assert payload == {"version": 1, "fingerprints": {}}

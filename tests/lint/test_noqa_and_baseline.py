@@ -1,0 +1,147 @@
+"""Suppression (`# repro: noqa[...]`) and baseline mechanics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import LintError
+from repro.lint import (
+    Baseline,
+    Finding,
+    is_suppressed,
+    lint_paths,
+    split_findings,
+    suppressed_rules,
+)
+
+BAD_RANDOM = """
+import random
+
+def jitter():
+    return random.random(){suffix}
+"""
+
+
+def _finding(rule: str = "RPR001", line: int = 5) -> Finding:
+    return Finding(
+        path="src/repro/sim/bad.py",
+        line=line,
+        col=11,
+        rule=rule,
+        message="global PRNG call",
+    )
+
+
+class TestNoqaParsing:
+    def test_plain_line_not_suppressed(self):
+        assert suppressed_rules("x = random.random()") is None
+
+    def test_bare_noqa_suppresses_everything(self):
+        rules = suppressed_rules("x = 1  # repro: noqa")
+        assert rules == frozenset()
+        assert is_suppressed("x = 1  # repro: noqa", "RPR001")
+        assert is_suppressed("x = 1  # repro: noqa", "RPR008")
+
+    def test_scoped_noqa_suppresses_listed_rules_only(self):
+        line = "x = 1  # repro: noqa[RPR001, RPR002]"
+        assert suppressed_rules(line) == frozenset({"RPR001", "RPR002"})
+        assert is_suppressed(line, "RPR001")
+        assert is_suppressed(line, "RPR002")
+        assert not is_suppressed(line, "RPR003")
+
+    def test_generic_flake8_noqa_is_not_honored(self):
+        assert suppressed_rules("x = 1  # noqa") is None
+        assert not is_suppressed("x = 1  # noqa: RPR001", "RPR001")
+
+
+class TestNoqaInEngine:
+    def test_scoped_noqa_silences_the_finding(self, harness):
+        findings = harness.lint(
+            "src/repro/sim/suppressed.py",
+            BAD_RANDOM.format(suffix="  # repro: noqa[RPR001]"),
+            rules=["RPR001"],
+        )
+        assert findings == []
+
+    def test_suppressed_findings_are_counted(self, harness):
+        path = harness.write(
+            "src/repro/sim/suppressed.py",
+            BAD_RANDOM.format(suffix="  # repro: noqa[RPR001]"),
+        )
+        report = lint_paths([path], rules=["RPR001"])
+        assert report.suppressed == 1
+        assert report.ok
+
+    def test_wrong_rule_id_does_not_suppress(self, harness):
+        findings = harness.lint(
+            "src/repro/sim/wrong_id.py",
+            BAD_RANDOM.format(suffix="  # repro: noqa[RPR002]"),
+            rules=["RPR001"],
+        )
+        assert [finding.rule for finding in findings] == ["RPR001"]
+
+
+class TestBaseline:
+    def test_save_load_round_trip(self, tmp_path):
+        baseline = Baseline.from_findings([_finding(), _finding("RPR007")])
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.allowances == baseline.allowances
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert baseline.allowances == {}
+
+    def test_malformed_file_raises_linterror(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(LintError):
+            Baseline.load(path)
+        path.write_text(json.dumps({"version": 1, "fingerprints": []}))
+        with pytest.raises(LintError):
+            Baseline.load(path)
+
+    def test_duplicate_findings_counted(self):
+        baseline = Baseline.from_findings([_finding(), _finding(line=9)])
+        assert list(baseline.allowances.values()) == [2]
+
+    def test_split_separates_known_from_new(self):
+        known = _finding()
+        fresh = _finding("RPR008")
+        baseline = Baseline.from_findings([known])
+        new, baselined = split_findings([known, fresh], baseline)
+        assert [finding.rule for finding in new] == ["RPR008"]
+        assert [finding.rule for finding in baselined] == ["RPR001"]
+
+    def test_allowances_are_consumed_per_occurrence(self):
+        # One grandfathered occurrence; a second identical finding
+        # (same rule/path/message, different line) is new.
+        baseline = Baseline.from_findings([_finding()])
+        new, baselined = split_findings(
+            [_finding(line=5), _finding(line=9)], baseline
+        )
+        assert len(baselined) == 1
+        assert len(new) == 1
+
+    def test_line_moves_stay_baselined(self):
+        # Fingerprints ignore line numbers, so unrelated edits above a
+        # grandfathered finding do not resurrect it.
+        baseline = Baseline.from_findings([_finding(line=5)])
+        new, baselined = split_findings([_finding(line=42)], baseline)
+        assert new == []
+        assert len(baselined) == 1
+
+    def test_engine_applies_baseline(self, harness):
+        path = harness.write(
+            "src/repro/sim/grandfathered.py",
+            BAD_RANDOM.format(suffix=""),
+        )
+        first = lint_paths([path], rules=["RPR001"])
+        assert not first.ok
+        baseline = Baseline.from_findings(first.new)
+        second = lint_paths([path], rules=["RPR001"], baseline=baseline)
+        assert second.ok
+        assert [finding.rule for finding in second.baselined] == ["RPR001"]

@@ -1,0 +1,432 @@
+"""One bad/good fixture pair per RPR rule.
+
+Every test seeds a minimal violation of exactly one invariant and
+asserts the rule flags it — and that the idiomatic correct version of
+the same code comes back clean.
+"""
+
+from __future__ import annotations
+
+from repro.lint import Finding
+
+
+def rule_ids(findings: list[Finding]) -> set[str]:
+    return {finding.rule for finding in findings}
+
+
+class TestRPR001UnseededRandomness:
+    def test_global_random_flagged(self, harness):
+        findings = harness.lint(
+            "src/repro/sim/bad.py",
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+            rules=["RPR001"],
+        )
+        assert rule_ids(findings) == {"RPR001"}
+        assert "random.random" in findings[0].message
+
+    def test_legacy_numpy_random_flagged(self, harness):
+        findings = harness.lint(
+            "src/repro/experiments/bad.py",
+            """
+            import numpy as np
+
+            def draw(n):
+                return np.random.rand(n)
+            """,
+            rules=["RPR001"],
+        )
+        assert rule_ids(findings) == {"RPR001"}
+
+    def test_from_import_of_global_stream_flagged(self, harness):
+        findings = harness.lint(
+            "src/repro/service/loadgen_extra.py",
+            """
+            from random import randint
+
+            def pick():
+                return randint(0, 10)
+            """,
+            rules=["RPR001"],
+        )
+        assert rule_ids(findings) == {"RPR001"}
+
+    def test_injected_generators_clean(self, harness):
+        findings = harness.lint(
+            "src/repro/sim/good.py",
+            """
+            import random
+            import numpy as np
+
+            def jitter(rng: random.Random) -> float:
+                return rng.random()
+
+            def source(seed):
+                return random.Random(seed), np.random.default_rng(seed)
+            """,
+            rules=["RPR001"],
+        )
+        assert findings == []
+
+    def test_out_of_scope_module_ignored(self, harness):
+        findings = harness.lint(
+            "src/repro/datasets/anything.py",
+            """
+            import random
+
+            def jitter():
+                return random.random()
+            """,
+            rules=["RPR001"],
+        )
+        assert findings == []
+
+
+class TestRPR002FloatEquality:
+    def test_distance_equality_flagged(self, harness):
+        findings = harness.lint(
+            "src/repro/metrics/bad.py",
+            """
+            def same(dist_a, dist_b):
+                return dist_a == dist_b
+            """,
+            rules=["RPR002"],
+        )
+        assert rule_ids(findings) == {"RPR002"}
+
+    def test_eps_inequality_flagged(self, harness):
+        findings = harness.lint(
+            "src/repro/analysis/bad.py",
+            """
+            def check(eps_sharp):
+                if eps_sharp != 0.0:
+                    return 1.0 / eps_sharp
+                return float("inf")
+            """,
+            rules=["RPR002"],
+        )
+        assert rule_ids(findings) == {"RPR002"}
+
+    def test_isclose_clean(self, harness):
+        findings = harness.lint(
+            "src/repro/metrics/good.py",
+            """
+            import math
+
+            def same(dist_a, dist_b):
+                return math.isclose(dist_a, dist_b, abs_tol=1e-12)
+
+            def ordered(dist_a, dist_b):
+                return dist_a < dist_b
+            """,
+            rules=["RPR002"],
+        )
+        assert findings == []
+
+    def test_non_float_names_clean(self, harness):
+        findings = harness.lint(
+            "src/repro/service/good_names.py",
+            """
+            def stale(expected_generation, generation, steps):
+                return expected_generation != generation or steps == 3
+            """,
+            rules=["RPR002"],
+        )
+        assert findings == []
+
+
+class TestRPR003LockDiscipline:
+    def test_unguarded_write_flagged(self, harness):
+        findings = harness.lint(
+            "src/repro/service/bad_locks.py",
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+
+                def bump(self):
+                    self.total += 1
+            """,
+            rules=["RPR003"],
+        )
+        assert rule_ids(findings) == {"RPR003"}
+        assert "self.total" in findings[0].message
+
+    def test_guarded_write_clean(self, harness):
+        findings = harness.lint(
+            "src/repro/service/good_locks.py",
+            """
+            import threading
+
+            class Counter:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self.total = 0
+
+                def bump(self):
+                    with self._lock:
+                        self.total += 1
+            """,
+            rules=["RPR003"],
+        )
+        assert findings == []
+
+    def test_lockless_class_not_policed(self, harness):
+        findings = harness.lint(
+            "src/repro/service/no_lock.py",
+            """
+            class Window:
+                def __init__(self):
+                    self.samples = []
+                    self.cursor = 0
+
+                def record(self, value):
+                    self.cursor = self.cursor + 1
+            """,
+            rules=["RPR003"],
+        )
+        assert findings == []
+
+
+class TestRPR004ColdPath:
+    def test_rebuild_reachable_from_submit_flagged(self, harness):
+        harness.write(
+            "src/repro/service/core.py",
+            """
+            class Service:
+                def __init__(self, framework):
+                    self._framework = framework
+
+                def submit(self, query):
+                    return self._rebuild(query)
+
+                def _rebuild(self, query):
+                    from repro.predtree.framework import build_framework
+                    return build_framework(query)
+            """,
+        )
+        report = harness.lint_tree(rules=["RPR004"])
+        assert rule_ids(list(report.new)) == {"RPR004"}
+        assert "build_framework" in report.new[0].message
+        assert "Service.submit" in report.new[0].message
+
+    def test_construction_time_build_clean(self, harness):
+        harness.write(
+            "src/repro/service/core.py",
+            """
+            from repro.predtree.framework import build_framework
+
+            def make_service(matrix, seed):
+                return Service(build_framework(matrix, seed=seed))
+
+            class Service:
+                def __init__(self, framework):
+                    self._framework = framework
+
+                def submit(self, query):
+                    return self._framework.hosts[0]
+            """,
+        )
+        report = harness.lint_tree(rules=["RPR004"])
+        assert list(report.new) == []
+
+
+class TestRPR005ValidationRouting:
+    def test_unvalidated_k_flagged(self, harness):
+        findings = harness.lint(
+            "src/repro/core/bad_api.py",
+            """
+            def answer(k, b):
+                if k < 2:
+                    raise ValueError("bad k")
+                return k * b
+            """,
+            rules=["RPR005"],
+        )
+        assert rule_ids(findings) == {"RPR005"}
+        assert any("'k'" in finding.message for finding in findings)
+
+    def test_validated_entry_point_clean(self, harness):
+        findings = harness.lint(
+            "src/repro/core/good_api.py",
+            """
+            from repro._validation import check_cluster_size, check_positive
+
+            def answer(k, b):
+                check_cluster_size(k, "k")
+                check_positive(b, "b")
+                return k * b
+
+            def delegate(k, b):
+                return answer(k=k, b=b) if False else ClusterQuery(k, b)
+            """,
+            rules=["RPR005"],
+        )
+        assert findings == []
+
+    def test_private_helpers_not_policed(self, harness):
+        findings = harness.lint(
+            "src/repro/core/private.py",
+            """
+            def _inner(k, b):
+                return k * b
+            """,
+            rules=["RPR005"],
+        )
+        assert findings == []
+
+
+class TestRPR006ServiceExceptions:
+    def test_bare_valueerror_flagged(self, harness):
+        findings = harness.lint(
+            "src/repro/service/bad_raise.py",
+            """
+            def submit(queries):
+                if not queries:
+                    raise ValueError("empty batch")
+            """,
+            rules=["RPR006"],
+        )
+        assert rule_ids(findings) == {"RPR006"}
+
+    def test_repro_exception_clean(self, harness):
+        findings = harness.lint(
+            "src/repro/service/good_raise.py",
+            """
+            from repro.exceptions import ServiceError
+
+            def submit(queries):
+                if not queries:
+                    raise ServiceError("empty batch")
+            """,
+            rules=["RPR006"],
+        )
+        assert findings == []
+
+    def test_outside_service_not_policed(self, harness):
+        findings = harness.lint(
+            "src/repro/datasets/loader.py",
+            """
+            def load(path):
+                raise ValueError("datasets may use builtin errors")
+            """,
+            rules=["RPR006"],
+        )
+        assert findings == []
+
+
+class TestRPR007DunderAll:
+    def test_phantom_export_flagged(self, harness):
+        findings = harness.lint(
+            "src/repro/anywhere.py",
+            """
+            __all__ = ["exists", "ghost"]
+
+            def exists():
+                return 1
+            """,
+            rules=["RPR007"],
+        )
+        assert rule_ids(findings) == {"RPR007"}
+        assert "ghost" in findings[0].message
+
+    def test_unlisted_public_def_flagged(self, harness):
+        findings = harness.lint(
+            "src/repro/anywhere2.py",
+            """
+            __all__ = ["listed"]
+
+            def listed():
+                return 1
+
+            def forgotten():
+                return 2
+            """,
+            rules=["RPR007"],
+        )
+        assert rule_ids(findings) == {"RPR007"}
+        assert "forgotten" in findings[0].message
+
+    def test_consistent_module_clean(self, harness):
+        findings = harness.lint(
+            "src/repro/anywhere3.py",
+            """
+            from collections import OrderedDict
+
+            __all__ = ["listed", "OrderedDict", "CONSTANT"]
+
+            CONSTANT = 3
+
+            def listed():
+                return _hidden()
+
+            def _hidden():
+                return 1
+            """,
+            rules=["RPR007"],
+        )
+        assert findings == []
+
+    def test_module_without_all_skipped(self, harness):
+        findings = harness.lint(
+            "scripts/whatever.py",
+            """
+            def public_helper():
+                return 1
+            """,
+            rules=["RPR007"],
+        )
+        assert findings == []
+
+
+class TestRPR008WallClock:
+    def test_time_time_flagged_in_bench(self, harness):
+        findings = harness.lint(
+            "benchmarks/bench_thing.py",
+            """
+            import time
+
+            def measure(fn):
+                start = time.time()
+                fn()
+                return time.time() - start
+            """,
+            rules=["RPR008"],
+        )
+        assert rule_ids(findings) == {"RPR008"}
+        assert len(findings) == 2
+
+    def test_perf_counter_clean(self, harness):
+        findings = harness.lint(
+            "src/repro/service/good_timing.py",
+            """
+            import time
+
+            def measure(fn):
+                start = time.perf_counter()
+                fn()
+                return time.perf_counter() - start
+            """,
+            rules=["RPR008"],
+        )
+        assert findings == []
+
+    def test_wall_clock_ok_outside_measurement_code(self, harness):
+        findings = harness.lint(
+            "src/repro/datasets/stamp.py",
+            """
+            import time
+
+            def created_at():
+                return time.time()
+            """,
+            rules=["RPR008"],
+        )
+        assert findings == []
