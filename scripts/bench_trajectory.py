@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Persistent service benchmark trajectory (``BENCH_service.json``).
+
+Runs the service-layer benchmarks in-process (no pytest) and writes a
+machine-readable trajectory to ``BENCH_service.json`` at the repo
+root, so successive commits carry comparable numbers:
+
+* cold vs warm multi-class batch latency and throughput;
+* aggregation-build counts from telemetry — the proof that a warm
+  batch over ``m`` classes costs ONE shared node-info fixed point plus
+  ``m`` per-class CRT passes, not ``m`` full fixed points;
+* a single ``add_host`` on an n=200 overlay absorbed incrementally
+  (no full substrate rebuild), with its maintenance report.
+
+The script is also a gate: it exits non-zero when the warm
+aggregation-build count is not strictly below the cold one, i.e. when
+the shared-substrate split has silently stopped amortizing.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_trajectory.py [--smoke] [--out PATH]
+
+``--smoke`` shrinks the batch workload for CI; the n=200 incremental
+churn proof runs at full size in both modes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.query import BandwidthClasses, ClusterQuery  # noqa: E402
+from repro.datasets.planetlab import hp_planetlab_like  # noqa: E402
+from repro.predtree.framework import build_framework  # noqa: E402
+from repro.service import ClusterQueryService  # noqa: E402
+
+N_CUT = 8
+CHURN_N = 200
+
+
+def _build_service(n: int) -> ClusterQueryService:
+    dataset = hp_planetlab_like(seed=0, n=n)
+    framework = build_framework(dataset.bandwidth, seed=1)
+    classes = BandwidthClasses.linear(15.0, 75.0, 7)
+    return ClusterQueryService(framework, classes, n_cut=N_CUT)
+
+
+def _batch(classes: BandwidthClasses, k: int) -> list[ClusterQuery]:
+    return [ClusterQuery(k=k, b=b) for b in classes.bandwidths]
+
+
+def measure_batches(n: int, repeats: int) -> dict:
+    """Cold batch, then warm batches with fresh (k, b) pairs."""
+    service = _build_service(n)
+    classes = service.classes
+
+    began = time.perf_counter()
+    service.submit_batch(_batch(classes, k=4), max_workers=4)
+    cold_s = time.perf_counter() - began
+    cold = service.telemetry.snapshot()
+
+    warm_queries = 0
+    began = time.perf_counter()
+    for index in range(repeats):
+        batch = _batch(classes, k=5 + index)
+        service.submit_batch(batch, max_workers=4)
+        warm_queries += len(batch)
+    warm_s = time.perf_counter() - began
+    warm = service.telemetry.snapshot()
+
+    return {
+        "n": n,
+        "classes": len(classes),
+        "cold": {
+            "latency_s": round(cold_s, 6),
+            "substrate_builds": cold.substrate_builds,
+            "crt_passes": cold.aggregation_builds,
+            "builds_total": cold.substrate_builds + cold.aggregation_builds,
+        },
+        "warm": {
+            "latency_s": round(warm_s, 6),
+            "batches": repeats,
+            "queries": warm_queries,
+            "throughput_qps": round(warm_queries / max(warm_s, 1e-9), 2),
+            # Deltas over the cold batch: what the warm regime paid.
+            "substrate_builds": warm.substrate_builds - cold.substrate_builds,
+            "crt_passes": warm.aggregation_builds - cold.aggregation_builds,
+            "builds_total": (
+                (warm.substrate_builds + warm.aggregation_builds)
+                - (cold.substrate_builds + cold.aggregation_builds)
+            ),
+        },
+    }
+
+
+def measure_incremental(n: int) -> dict:
+    """A single add_host at size *n* must ride the incremental path."""
+    service = _build_service(n)
+    framework = service.framework
+    service.submit(ClusterQuery(k=4, b=30.0))
+    primed = service.telemetry.snapshot()
+
+    leaf = [
+        host
+        for host in framework.hosts
+        if not framework.anchor_tree.children(host)
+    ][-1]
+    service.remove_host(leaf)
+    began = time.perf_counter()
+    service.add_host(leaf)
+    join_s = time.perf_counter() - began
+    after = service.telemetry.snapshot()
+
+    return {
+        "n": n,
+        "join_latency_s": round(join_s, 6),
+        "substrate_builds_before": primed.substrate_builds,
+        "substrate_builds_after": after.substrate_builds,
+        "incremental_updates": after.incremental_updates,
+        "full_rebuild": after.substrate_builds != primed.substrate_builds,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI-sized batch workload (the churn proof stays at n=200)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_service.json",
+        help="output path (default: BENCH_service.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    batch_n = 60 if args.smoke else 200
+    repeats = 3 if args.smoke else 10
+
+    batches = measure_batches(batch_n, repeats)
+    incremental = measure_incremental(CHURN_N)
+
+    trajectory = {
+        "schema": 1,
+        "mode": "smoke" if args.smoke else "full",
+        "n_cut": N_CUT,
+        "batches": batches,
+        "incremental": incremental,
+    }
+    args.out.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(json.dumps(trajectory, indent=2))
+
+    failures = []
+    if batches["warm"]["builds_total"] >= batches["cold"]["builds_total"]:
+        failures.append(
+            "warm aggregation-build count "
+            f"({batches['warm']['builds_total']}) is not strictly below "
+            f"cold ({batches['cold']['builds_total']}): the shared "
+            "substrate is no longer amortizing"
+        )
+    if batches["cold"]["substrate_builds"] != 1:
+        failures.append(
+            "cold multi-class batch built the substrate "
+            f"{batches['cold']['substrate_builds']} times, expected 1"
+        )
+    if batches["cold"]["crt_passes"] != batches["classes"]:
+        failures.append(
+            f"cold batch over {batches['classes']} classes ran "
+            f"{batches['cold']['crt_passes']} CRT passes, expected one "
+            "per class"
+        )
+    if incremental["full_rebuild"]:
+        failures.append(
+            f"add_host at n={incremental['n']} fell back to a full "
+            "substrate rebuild"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,8 +19,10 @@
 from repro.core.centralized import CentralizedClusterSearch
 from repro.core.decentralized import (
     AggregationReport,
+    AggregationSubstrate,
     ClusterNodeState,
     DecentralizedClusterSearch,
+    MaintenanceReport,
     QueryResult,
 )
 from repro.core.find_cluster import (
@@ -40,12 +42,14 @@ from repro.core.tree_cluster import (
 
 __all__ = [
     "AggregationReport",
+    "AggregationSubstrate",
     "BallCover",
     "BandwidthClasses",
     "CentralizedClusterSearch",
     "ClusterNodeState",
     "ClusterQuery",
     "DecentralizedClusterSearch",
+    "MaintenanceReport",
     "Partition",
     "QueryResult",
     "best_ball_cover",

@@ -17,6 +17,17 @@ forwarded toward a neighbor whose CRT promises a big-enough cluster
 returns to its immediate predecessor can never revisit a host, so
 routing always terminates.
 
+The two aggregation mechanisms split cleanly by what they depend on:
+``aggrNode`` is *class-independent* (driven only by predicted distances
+and ``n_cut``) while ``aggrCRT`` depends on the distance-class set.
+:class:`AggregationSubstrate` captures the class-independent half so one
+Algorithm 2 fixed point can be shared by any number of per-class
+searches, and maintains it *incrementally* across single-host overlay
+changes (seeded re-propagation from the changed neighborhood instead of
+a cold rebuild).  :class:`DecentralizedClusterSearch` either owns a
+private substrate (the classic standalone behaviour) or layers the
+cheap per-class CRT pass over a shared one.
+
 The background mechanisms are periodic; :meth:`DecentralizedClusterSearch.
 run_aggregation` executes synchronous rounds until a fixed point, which is
 reached after at most (anchor-tree diameter) rounds because information
@@ -26,6 +37,7 @@ point against direct oracles derived from Theorems 3.2 and 3.3.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from repro._validation import check_cluster_size
@@ -38,6 +50,8 @@ from repro.predtree.framework import BandwidthPredictionFramework
 __all__ = [
     "ClusterNodeState",
     "AggregationReport",
+    "AggregationSubstrate",
+    "MaintenanceReport",
     "QueryResult",
     "DecentralizedClusterSearch",
     "propagate_node_info",
@@ -155,6 +169,332 @@ class AggregationReport:
 
 
 @dataclass(frozen=True)
+class MaintenanceReport:
+    """Outcome of one substrate maintenance operation.
+
+    Attributes
+    ----------
+    kind:
+        ``"build"`` (first full fixed point), ``"incremental"`` (seeded
+        re-propagation converged), or ``"rebuild"`` (incremental budget
+        exhausted or structure change forced a cold rebuild).
+    rounds:
+        Propagation rounds executed by this operation.
+    messages:
+        Algorithm 2 messages sent by this operation.
+    touched_hosts:
+        Hosts whose ``aggrNode`` tables were rewritten (upper bound on
+        the blast radius of the change; the full host count for a
+        build/rebuild).
+    """
+
+    kind: str
+    rounds: int
+    messages: int
+    touched_hosts: int
+
+
+class AggregationSubstrate:
+    """The class-independent half of the CRT: Algorithm 2 at fixed point.
+
+    One substrate holds, per host, the overlay neighbor list and the
+    ``aggrNode`` tables — everything Algorithms 3 and 4 consume that
+    does *not* depend on the distance-class set.  Build it once per
+    overlay generation and layer any number of per-class
+    :class:`DecentralizedClusterSearch` passes on top (each pays only
+    the cheap CRT propagation for its own classes).
+
+    Membership changes are applied *incrementally*: a single join or a
+    leaf departure only perturbs tables along the paths that actually
+    learn something new, so :meth:`apply_join`/:meth:`apply_leave` seed
+    event-driven propagation from the changed host's neighborhood and
+    let it quiesce, falling back to a full rebuild only when the round
+    budget is exhausted (the anchor tree restructured more than a
+    single-host change can).
+
+    All mutating and snapshot-taking methods are serialized behind an
+    internal lock so a service thread can maintain the substrate while
+    query threads snapshot it.
+
+    Parameters
+    ----------
+    framework:
+        The live prediction framework (overlay + predicted distances).
+    n_cut:
+        Algorithm 2 aggregation cutoff.
+    """
+
+    def __init__(
+        self, framework: BandwidthPredictionFramework, n_cut: int = 10
+    ) -> None:
+        if n_cut < 1:
+            raise ValidationError(f"n_cut must be >= 1, got {n_cut!r}")
+        self.framework = framework
+        self.n_cut = int(n_cut)
+        self._lock = threading.RLock()
+        self._distances: DistanceMatrix = (
+            framework.predicted_distance_matrix(allow_partial=True)
+        )
+        self._neighbors: dict[int, list[int]] = {
+            host: framework.overlay_neighbors(host)
+            for host in framework.hosts
+        }
+        self._tables: dict[int, dict[int, tuple[int, ...]]] = {
+            host: {} for host in self._neighbors
+        }
+        self._built = False
+        self._generation = framework.generation
+        self._budget = 0
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Framework generation the tables were last synchronized to."""
+        with self._lock:
+            return self._generation
+
+    @property
+    def built(self) -> bool:
+        """Whether the Algorithm 2 fixed point has been computed."""
+        with self._lock:
+            return self._built
+
+    @property
+    def hosts(self) -> list[int]:
+        """Hosts currently covered by the substrate."""
+        with self._lock:
+            return list(self._neighbors)
+
+    @property
+    def distances(self) -> DistanceMatrix:
+        """The predicted-distance matrix the tables rank against."""
+        with self._lock:
+            return self._distances
+
+    def snapshot(self) -> dict[int, tuple[list[int], dict[int, tuple[int, ...]]]]:
+        """Consistent per-host copy: ``{host: (neighbors, aggr_node)}``.
+
+        Per-class searches adopt this copy so later incremental
+        maintenance of the substrate can never mutate state under an
+        in-flight query.
+        """
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _snapshot_locked(
+        self,
+    ) -> dict[int, tuple[list[int], dict[int, tuple[int, ...]]]]:
+        return {
+            host: (list(self._neighbors[host]), dict(self._tables[host]))
+            for host in self._neighbors
+        }
+
+    def adopt(
+        self,
+    ) -> tuple[
+        DistanceMatrix,
+        dict[int, tuple[list[int], dict[int, tuple[int, ...]]]],
+        int,
+    ]:
+        """Atomic adoption view: ``(distances, snapshot, round budget)``.
+
+        All three pieces are taken under one lock acquisition, so a
+        concurrent incremental update can never interleave between them
+        and hand an adopter tables from one generation with distances
+        from another.  A substrate that was never built is built first;
+        a built-but-stale one is adopted as-is at its recorded
+        generation — staleness policy belongs to the caller (the
+        service re-validates its pinned generation before publishing),
+        and rebuilding here would read the live framework from a
+        context that holds no membership lock.
+        """
+        with self._lock:
+            if not self._built:
+                self.build()
+            return self._distances, self._snapshot_locked(), self._budget
+
+    # -- fixed-point computation --------------------------------------------
+
+    def _round_budget(self) -> int:
+        """Round budget: information travels one overlay hop per round."""
+        return 2 * max(self.framework.anchor_tree.diameter(), 1) + 4
+
+    def _propagate_from(
+        self, seeds: set[int], max_rounds: int
+    ) -> tuple[int, int, set[int], bool]:
+        """Event-driven Algorithm 2 propagation from *seeds*.
+
+        Each round, every dirty host recomputes its outgoing messages
+        from current state (double-buffered within the round); only
+        receivers whose tables changed stay dirty.  Returns ``(rounds,
+        messages, touched, quiesced)``.
+        """
+        dirty = {host for host in seeds if host in self._neighbors}
+        touched: set[int] = set(dirty)
+        rounds = 0
+        messages = 0
+        while dirty and rounds < max_rounds:
+            rounds += 1
+            updates: dict[tuple[int, int], tuple[int, ...]] = {}
+            for m in dirty:
+                tables = self._tables[m]
+                for x in self._neighbors[m]:
+                    messages += 1
+                    updates[(x, m)] = propagate_node_info(
+                        m, tables, x, self._distances.row(x), self.n_cut
+                    )
+            next_dirty: set[int] = set()
+            for (x, m), nodes in updates.items():
+                if self._tables[x].get(m) != nodes:
+                    self._tables[x][m] = nodes
+                    next_dirty.add(x)
+            touched |= next_dirty
+            dirty = next_dirty
+        return rounds, messages, touched, not dirty
+
+    def _rebuild_locked(self) -> MaintenanceReport:
+        """Cold full fixed point; caller holds the lock."""
+        self._distances = self.framework.predicted_distance_matrix(
+            allow_partial=True
+        )
+        self._neighbors = {
+            host: self.framework.overlay_neighbors(host)
+            for host in self.framework.hosts
+        }
+        self._tables = {host: {} for host in self._neighbors}
+        budget = self._round_budget()
+        rounds, messages, _, quiesced = self._propagate_from(
+            set(self._neighbors), budget
+        )
+        if not quiesced:
+            raise QueryError(
+                "Algorithm 2 failed to reach a fixed point within "
+                f"{budget} rounds on a static overlay"
+            )
+        self._budget = budget
+        self._built = True
+        self._generation = self.framework.generation
+        return MaintenanceReport(
+            kind="rebuild",
+            rounds=rounds,
+            messages=messages,
+            touched_hosts=len(self._neighbors),
+        )
+
+    def build(self) -> MaintenanceReport:
+        """Compute (or recompute, if stale) the full fixed point."""
+        with self._lock:
+            report = self._rebuild_locked()
+            if report.kind == "rebuild":
+                report = MaintenanceReport(
+                    kind="build",
+                    rounds=report.rounds,
+                    messages=report.messages,
+                    touched_hosts=report.touched_hosts,
+                )
+            return report
+
+    def ensure(self) -> MaintenanceReport:
+        """Idempotent build: a no-op report when already at fixed point."""
+        with self._lock:
+            if self._built and self._generation == self.framework.generation:
+                return MaintenanceReport(
+                    kind="incremental", rounds=0, messages=0, touched_hosts=0
+                )
+            return self.build()
+
+    # -- incremental maintenance --------------------------------------------
+
+    def apply_join(self, host: int) -> MaintenanceReport:
+        """Absorb the join of *host* (already applied to the framework).
+
+        A join attaches one leaf to the anchor tree and leaves every
+        existing pairwise predicted distance untouched, so the old
+        tables are still a fixed point of everything except the new
+        host's information; seeded propagation floods exactly that.
+        """
+        with self._lock:
+            if not self._built:
+                return self.build()
+            if host in self._neighbors:
+                raise QueryError(
+                    f"host {host!r} is already part of the substrate"
+                )
+            self._distances = self.framework.predicted_distance_matrix(
+                allow_partial=True
+            )
+            neighbors = self.framework.overlay_neighbors(host)
+            self._neighbors[host] = list(neighbors)
+            self._tables[host] = {}
+            for neighbor in neighbors:
+                self._neighbors[neighbor] = (
+                    self.framework.overlay_neighbors(neighbor)
+                )
+            seeds = {host, *neighbors}
+            budget = self._round_budget()
+            rounds, messages, touched, quiesced = self._propagate_from(
+                seeds, budget
+            )
+            if not quiesced:
+                return self._rebuild_locked()
+            self._budget = budget
+            self._generation = self.framework.generation
+            return MaintenanceReport(
+                kind="incremental",
+                rounds=rounds,
+                messages=messages,
+                touched_hosts=len(touched),
+            )
+
+    def apply_leave(self, host: int) -> MaintenanceReport:
+        """Absorb the departure of anchor-leaf *host*.
+
+        Valid only when the departure displaced nobody (the framework's
+        ``remove_host`` returned no re-joined hosts); a restructuring
+        departure changes many predicted distances at once and must go
+        through :meth:`build` instead.
+        """
+        with self._lock:
+            if not self._built:
+                return self.build()
+            if host not in self._neighbors:
+                raise QueryError(f"host {host!r} is not in the substrate")
+            if host in self.framework.hosts:
+                raise QueryError(
+                    f"host {host!r} is still part of the overlay; apply "
+                    "the departure to the framework first"
+                )
+            self._distances = self.framework.predicted_distance_matrix(
+                allow_partial=True
+            )
+            former = self._neighbors.pop(host)
+            del self._tables[host]
+            for neighbor in former:
+                if neighbor not in self._neighbors:
+                    continue
+                self._neighbors[neighbor] = (
+                    self.framework.overlay_neighbors(neighbor)
+                )
+                self._tables[neighbor].pop(host, None)
+            seeds = {n for n in former if n in self._neighbors}
+            budget = self._round_budget()
+            rounds, messages, touched, quiesced = self._propagate_from(
+                seeds, budget
+            )
+            if not quiesced:
+                return self._rebuild_locked()
+            self._budget = budget
+            self._generation = self.framework.generation
+            return MaintenanceReport(
+                kind="incremental",
+                rounds=rounds,
+                messages=messages,
+                touched_hosts=len(touched),
+            )
+
+
+@dataclass(frozen=True)
 class QueryResult:
     """Outcome of one decentralized query.
 
@@ -201,6 +541,14 @@ class DecentralizedClusterSearch:
         Pair-scan order used when answering queries from a local
         clustering space (``"nearest"`` or ``"index"``; see
         :func:`~repro.core.find_cluster.find_cluster`).
+    substrate:
+        Optional shared :class:`AggregationSubstrate` over the same
+        framework.  When given, the Algorithm 2 fixed point is adopted
+        from it (ensuring it first) instead of recomputed, and
+        :meth:`run_aggregation` only runs the per-class CRT pass — the
+        cheap, class-dependent half.  The adopted tables are copied, so
+        later incremental maintenance of the substrate never mutates
+        this search's state.
     """
 
     def __init__(
@@ -209,6 +557,7 @@ class DecentralizedClusterSearch:
         classes: BandwidthClasses,
         n_cut: int = 10,
         pair_order: str = "nearest",
+        substrate: AggregationSubstrate | None = None,
     ) -> None:
         if n_cut < 1:
             raise ValidationError(f"n_cut must be >= 1, got {n_cut!r}")
@@ -216,16 +565,38 @@ class DecentralizedClusterSearch:
         self.classes = classes
         self.n_cut = int(n_cut)
         self.pair_order = pair_order
-        self._distances: DistanceMatrix = (
-            framework.predicted_distance_matrix(allow_partial=True)
-        )
-        self._states: dict[int, ClusterNodeState] = {
-            host: ClusterNodeState(
-                host=host,
-                neighbors=framework.overlay_neighbors(host),
+        self._node_info_fixed = False
+        if substrate is not None:
+            if substrate.framework is not framework:
+                raise ValidationError(
+                    "substrate was built over a different framework"
+                )
+            if substrate.n_cut != self.n_cut:
+                raise ValidationError(
+                    f"substrate n_cut={substrate.n_cut} does not match "
+                    f"search n_cut={self.n_cut}"
+                )
+            self._distances, snapshot, budget = substrate.adopt()
+            self._states = {
+                host: ClusterNodeState(
+                    host=host, neighbors=neighbors, aggr_node=tables
+                )
+                for host, (neighbors, tables) in snapshot.items()
+            }
+            self._node_info_fixed = True
+            self._round_budget_hint: int | None = budget
+        else:
+            self._distances = framework.predicted_distance_matrix(
+                allow_partial=True
             )
-            for host in framework.hosts
-        }
+            self._states = {
+                host: ClusterNodeState(
+                    host=host,
+                    neighbors=framework.overlay_neighbors(host),
+                )
+                for host in framework.hosts
+            }
+            self._round_budget_hint = None
         # Cache of own-CRT computations keyed by the local space content;
         # FindCluster is by far the most expensive step of Algorithm 3 and
         # the space only changes while Algorithm 2 is still converging.
@@ -319,6 +690,30 @@ class DecentralizedClusterSearch:
                 changed = True
         return changed
 
+    def run_crt_round(self) -> bool:
+        """One synchronous round of Algorithm 3 only (Algorithm 2 fixed).
+
+        Used when the node-info tables were adopted from a shared
+        :class:`AggregationSubstrate`: clustering spaces are final, so
+        only the CRT values still need to chase them.  Returns ``True``
+        when any state changed.
+        """
+        crt_updates: dict[tuple[int, int], dict[float, int]] = {}
+        for state in self._states.values():
+            own = self._own_crt(state)
+            for x in state.neighbors:
+                crt_updates[(x, state.host)] = self._propagate_crt(
+                    state, x, own
+                )
+            crt_updates[(state.host, state.host)] = own
+
+        changed = False
+        for (x, m), table in crt_updates.items():
+            if self._states[x].aggr_crt.get(m) != table:
+                self._states[x].aggr_crt[m] = table
+                changed = True
+        return changed
+
     def run_aggregation(
         self, max_rounds: int | None = None
     ) -> AggregationReport:
@@ -327,23 +722,36 @@ class DecentralizedClusterSearch:
         The default budget is ``2 * diameter + 4`` rounds: node info
         floods in ``diameter`` rounds and CRT values chase it, so the
         fixed point always lands inside the budget on a static overlay.
+        On a substrate-backed search only the CRT half runs (node info
+        is already at fixed point), so ``node_info_messages`` is 0 and
+        the round budget comes from the substrate's adoption view — the
+        live anchor tree is never read, so a concurrent membership
+        change cannot perturb an in-flight pass.
         """
-        anchor = self.framework.anchor_tree
         if max_rounds is None:
-            max_rounds = 2 * max(anchor.diameter(), 1) + 4
+            if self._round_budget_hint is not None:
+                max_rounds = self._round_budget_hint
+            else:
+                anchor = self.framework.anchor_tree
+                max_rounds = 2 * max(anchor.diameter(), 1) + 4
         edges = sum(len(s.neighbors) for s in self._states.values())
+        step = (
+            self.run_crt_round if self._node_info_fixed else self.run_round
+        )
         rounds = 0
         converged = False
         for _ in range(max_rounds):
             rounds += 1
-            if not self.run_round():
+            if not step():
                 converged = True
                 break
         self._aggregated = True
         return AggregationReport(
             rounds=rounds,
             converged=converged,
-            node_info_messages=rounds * edges,
+            node_info_messages=(
+                0 if self._node_info_fixed else rounds * edges
+            ),
             crt_messages=rounds * edges,
         )
 

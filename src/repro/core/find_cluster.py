@@ -19,7 +19,13 @@ Two implementations are provided:
   pseudocode (used as the test oracle);
 * :func:`find_cluster` — a vectorized variant that sorts pairs by
   distance, prunes pairs with ``d(p, q) > l``, and evaluates membership
-  with numpy; identical results, much faster.
+  with numpy; much faster, and *validity-equivalent* rather than
+  member-identical: it finds a cluster exactly when the reference does,
+  and anything returned satisfies ``|X| = k`` and ``diam(X) <= l``, but
+  with the default ``pair_order="nearest"`` the pair scan runs in a
+  different order, so the two may legitimately return *different* valid
+  clusters.  Only ``pair_order="index"`` reproduces the reference's
+  member-for-member output.
 
 :func:`max_cluster_size` performs the binary search of Sec. III-B.3 —
 the largest ``k`` for which a cluster of diameter ``l`` exists — used to

@@ -20,7 +20,14 @@ from repro._validation import check_cluster_size, check_positive
 from repro.exceptions import QueryError, UnsupportedConstraintError
 from repro.metrics.transform import RationalTransform
 
-__all__ = ["ClusterQuery", "BandwidthClasses"]
+__all__ = ["ClusterQuery", "BandwidthClasses", "CLASS_EPSILON"]
+
+#: Absolute tolerance for matching a bandwidth against a class value.
+#: Membership (``in``) and snapping share this single epsilon: a value
+#: within it of a class *is* that class.  Two tolerances here would let
+#: a bandwidth the class set reports as present snap past its own class
+#: to the next stronger one (or raise at the top class).
+CLASS_EPSILON = 1e-9
 
 
 @dataclass(frozen=True)
@@ -124,16 +131,22 @@ class BandwidthClasses:
         return len(self._bandwidths)
 
     def __contains__(self, b: float) -> bool:
-        return any(abs(b - value) < 1e-9 for value in self._bandwidths)
+        return any(
+            abs(b - value) < CLASS_EPSILON for value in self._bandwidths
+        )
 
     def snap_bandwidth(self, b: float) -> float:
         """The smallest class ``>= b`` (strengthen, never weaken).
 
-        Raises :class:`UnsupportedConstraintError` when *b* exceeds the
-        largest class — no table entry can answer such a query.
+        A value within :data:`CLASS_EPSILON` of a class snaps to that
+        class — the same tolerance :meth:`__contains__` uses, so any
+        bandwidth the set reports as present snaps to itself rather
+        than past itself.  Raises :class:`UnsupportedConstraintError`
+        when *b* exceeds the largest class (beyond tolerance) — no
+        table entry can answer such a query.
         """
         check_positive(b, "b")
-        index = bisect.bisect_left(self._bandwidths, b - 1e-12)
+        index = bisect.bisect_left(self._bandwidths, b - CLASS_EPSILON)
         if index >= len(self._bandwidths):
             raise UnsupportedConstraintError(
                 f"bandwidth constraint {b} Mbps exceeds the largest class "

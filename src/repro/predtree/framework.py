@@ -35,8 +35,44 @@ from repro.predtree.tree import PredictionTree
 __all__ = [
     "BandwidthPredictionFramework",
     "FrameworkStats",
+    "MembershipChange",
     "build_framework",
 ]
+
+
+@dataclass(frozen=True)
+class MembershipChange:
+    """Record of the last membership operation applied to a framework.
+
+    Long-lived layers (:mod:`repro.service`) use this to maintain
+    derived state *incrementally*: the record carries exactly the
+    overlay neighborhood a change can have perturbed, and whether the
+    anchor tree restructured (``rejoined`` non-empty), which is the
+    signal that only a full rebuild is sound.
+
+    Attributes
+    ----------
+    kind:
+        ``"join"`` or ``"leave"``.
+    host:
+        The host that joined or departed.
+    anchor:
+        The anchor-tree attachment point: the overlay neighbor gained
+        by a join, or the departed host's former parent for a leave
+        (``None`` for the first host / the last departure).
+    rejoined:
+        Hosts displaced by a departure that re-joined through the
+        normal protocol — non-empty means the anchor tree restructured
+        beyond the single changed edge.
+    generation:
+        The framework generation *after* the change completed.
+    """
+
+    kind: str
+    host: int
+    anchor: int | None
+    rejoined: tuple[int, ...]
+    generation: int
 
 
 @dataclass(frozen=True)
@@ -109,6 +145,7 @@ class BandwidthPredictionFramework:
         self._measurements = 0
         self._distance_cache: np.ndarray | None = None
         self._generation = 0
+        self._last_change: MembershipChange | None = None
 
         if join_order is None:
             rng = as_rng(seed)
@@ -143,6 +180,7 @@ class BandwidthPredictionFramework:
         self._measurements = measurements
         self._distance_cache = None
         self._generation = 0
+        self._last_change = None
         if anchor.size:
             for host in anchor.bfs_order():
                 parent = anchor.parent(host)
@@ -173,6 +211,13 @@ class BandwidthPredictionFramework:
             self._tree.add_first_host(host)
             self._anchor.add_root(host)
             self._labels[host] = DistanceLabel(root=host, entries=())
+            self._last_change = MembershipChange(
+                kind="join",
+                host=host,
+                anchor=None,
+                rejoined=(),
+                generation=self._generation,
+            )
             return
         if self._tree.host_count == 1:
             root = self._anchor.root
@@ -182,6 +227,13 @@ class BandwidthPredictionFramework:
             self._labels[host] = DistanceLabel(
                 root=root,
                 entries=(LabelEntry(host=host, u=0.0, v=distance),),
+            )
+            self._last_change = MembershipChange(
+                kind="join",
+                host=host,
+                anchor=root,
+                rejoined=(),
+                generation=self._generation,
             )
             return
 
@@ -204,6 +256,13 @@ class BandwidthPredictionFramework:
         )
         self._anchor.add_child(host, anchor_host)
         self._labels[host] = self._build_label(host, anchor_host)
+        self._last_change = MembershipChange(
+            kind="join",
+            host=host,
+            anchor=anchor_host,
+            rejoined=(),
+            generation=self._generation,
+        )
 
     def remove_host(self, host: int) -> list[int]:
         """Handle the departure of *host* (dynamic membership).
@@ -225,6 +284,13 @@ class BandwidthPredictionFramework:
             self._tree.remove_leaf_host(host)
             self._anchor.remove_leaf(host)
             del self._labels[host]
+            self._last_change = MembershipChange(
+                kind="leave",
+                host=host,
+                anchor=None,
+                rejoined=(),
+                generation=self._generation,
+            )
             return []
         if self._anchor.root == host:
             raise TreeConstructionError(
@@ -234,6 +300,7 @@ class BandwidthPredictionFramework:
         # Detach the whole anchor subtree, deepest entries first, in a
         # way that preserves the original relative join order for the
         # re-join phase.
+        former_anchor = self._anchor.parent(host)
         subtree = self._anchor.subtree(host)
         join_order = [
             h for h in self._tree.hosts
@@ -245,6 +312,15 @@ class BandwidthPredictionFramework:
             del self._labels[departed]
         for rejoiner in join_order:
             self.add_host(rejoiner)
+        # Recorded last (the re-joins above each wrote a "join" record):
+        # observers see the departure as one composite change.
+        self._last_change = MembershipChange(
+            kind="leave",
+            host=host,
+            anchor=former_anchor,
+            rejoined=tuple(join_order),
+            generation=self._generation,
+        )
         return join_order
 
     def _removal_order(self, host: int) -> list[int]:
@@ -294,6 +370,16 @@ class BandwidthPredictionFramework:
         guarantee answers are never computed from a stale overlay.
         """
         return self._generation
+
+    @property
+    def last_change(self) -> MembershipChange | None:
+        """The most recent membership change, or ``None`` before any.
+
+        A departure that displaced hosts is reported as one composite
+        ``"leave"`` record (with ``rejoined`` filled in), not as its
+        constituent re-joins.
+        """
+        return self._last_change
 
     @property
     def size(self) -> int:

@@ -17,7 +17,7 @@ queries against it:
   ``repro-bcc serve-bench`` and the throughput benchmark.
 """
 
-from repro.service.cache import AggregationCache, LRUCache
+from repro.service.cache import AggregationCache, GenerationMemo, LRUCache
 from repro.service.core import (
     ClusterQueryService,
     ServiceResult,
@@ -35,6 +35,7 @@ __all__ = [
     "AggregationCache",
     "BatchExecutor",
     "ClusterQueryService",
+    "GenerationMemo",
     "LRUCache",
     "LatencyHistogram",
     "LoadGenConfig",

@@ -1,37 +1,45 @@
 """Caching for the cluster-query service.
 
-Two layers, both generation-aware:
+Three layers, all generation-aware:
 
 * :class:`LRUCache` — a bounded result cache.  The service keys it by
   ``(k, snapped_class, generation)``: because the overlay generation is
   part of the key, a membership or bandwidth change (which bumps the
   generation) makes every old entry unreachable — stale answers are
   structurally impossible, not merely unlikely.
-* :class:`AggregationCache` — memoizes the expensive per-class
-  routing-table aggregation (Algorithms 2-3 restricted to one distance
-  class) keyed by ``(snapped_class, generation)``.  Entries from older
-  generations are evicted eagerly on :meth:`AggregationCache.put`, so
-  at most one generation's tables are ever held.
+* :class:`GenerationMemo` — a single-slot memo for the *shared*
+  class-independent aggregation substrate (the Algorithm 2 fixed point,
+  :class:`~repro.core.decentralized.AggregationSubstrate`).  Exactly
+  one value exists per service, valid for exactly one generation;
+  :meth:`GenerationMemo.get_or_build` makes concurrent class groups
+  share one build instead of racing to produce N copies.
+* :class:`AggregationCache` — memoizes the per-class CRT pass
+  (Algorithm 3 restricted to one distance class, layered over the
+  substrate) keyed by ``(snapped_class, generation)``.  Entries from
+  older generations are evicted eagerly on :meth:`AggregationCache.
+  put`, so at most one generation's tables are ever held.
 
-Both caches also support *explicit* invalidation (:meth:`LRUCache.clear`
-/ :meth:`AggregationCache.invalidate`) for changes that do not flow
-through the membership API, e.g. an in-place bandwidth-matrix edit.
+All three also support *explicit* invalidation (:meth:`LRUCache.clear`
+/ :meth:`GenerationMemo.invalidate` / :meth:`AggregationCache.
+invalidate`) for changes that do not flow through the membership API,
+e.g. an in-place bandwidth-matrix edit.
 
-Both are generic over their payload types (``LRUCache[K, V]``,
-``AggregationCache[V]``) so call sites — and mypy's strict gate on this
-package — see fully typed values instead of ``Any``.
+All are generic over their payload types (``LRUCache[K, V]``,
+``GenerationMemo[V]``, ``AggregationCache[V]``) so call sites — and
+mypy's strict gate on this package — see fully typed values instead of
+``Any``.
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from collections.abc import Hashable
+from collections.abc import Callable, Hashable
 from typing import Generic, TypeVar
 
 from repro.exceptions import ServiceError
 
-__all__ = ["LRUCache", "AggregationCache"]
+__all__ = ["LRUCache", "AggregationCache", "GenerationMemo"]
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
@@ -91,6 +99,70 @@ class LRUCache(Generic[K, V]):
         """Drop every entry (explicit invalidation)."""
         with self._lock:
             self._entries.clear()
+
+
+class GenerationMemo(Generic[V]):
+    """Single-slot memo keyed by overlay generation.
+
+    Holds at most one value, tagged with the generation it was built
+    for.  :meth:`get_or_build` runs the factory under the memo's lock,
+    so when N worker threads ask for the same generation at once,
+    exactly one builds and the rest block and reuse — the contention
+    pattern of batched class groups needing one shared substrate.
+
+    :meth:`replace` supports *incremental* maintenance: the owner
+    mutates the held value in place (under its own synchronization) and
+    re-tags it with the new generation, instead of discarding it.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._value: V | None = None
+        self._generation: int | None = None
+
+    def get(self, generation: int) -> V | None:
+        """The held value if it is tagged with *generation*, else None."""
+        with self._lock:
+            if self._generation == int(generation):
+                return self._value
+            return None
+
+    def peek(self) -> tuple[int, V] | None:
+        """The current ``(generation, value)`` pair regardless of age."""
+        with self._lock:
+            if self._generation is None or self._value is None:
+                return None
+            return self._generation, self._value
+
+    def get_or_build(
+        self, generation: int, factory: Callable[[], V]
+    ) -> V:
+        """Return the value for *generation*, building it at most once.
+
+        The factory runs while the memo lock is held: concurrent
+        callers for the same generation serialize behind the single
+        build instead of each paying for their own.
+        """
+        generation = int(generation)
+        with self._lock:
+            if self._generation == generation and self._value is not None:
+                return self._value
+            value = factory()
+            self._value = value
+            self._generation = generation
+            return value
+
+    def replace(self, generation: int, value: V) -> None:
+        """Install *value* as the memo for *generation*."""
+        with self._lock:
+            self._value = value
+            self._generation = int(generation)
+
+    def invalidate(self) -> None:
+        """Drop the held value (next access rebuilds from scratch)."""
+        with self._lock:
+            self._value = None
+            self._generation = None
 
 
 class AggregationCache(Generic[V]):

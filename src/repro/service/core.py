@@ -9,13 +9,19 @@ regime in-process:
 
 * one :class:`~repro.predtree.framework.BandwidthPredictionFramework`
   is owned for the lifetime of the service;
-* per-distance-class routing-table aggregation is built lazily, once
-  per ``(class, generation)``, and memoized;
+* the class-independent Algorithm 2 fixed point (the *aggregation
+  substrate*) is built **once per overlay generation** and shared by
+  every distance class; per-class state is only the cheap CRT pass,
+  built lazily once per ``(class, generation)`` and memoized;
 * results are served from a generation-keyed LRU cache, so repeated
   queries cost a dictionary lookup;
 * membership changes (``add_host`` / ``remove_host``) bump the overlay
   generation, which structurally invalidates every cached answer — a
   query can never return a cluster computed against a stale overlay.
+  The substrate itself survives single-host changes: it is maintained
+  *incrementally* (seeded re-propagation around the changed host),
+  falling back to a cold rebuild only when the anchor tree
+  restructured (a departure that displaced descendants).
 
 See DESIGN.md §6 ("Service layer") for the invalidation scheme.
 """
@@ -26,11 +32,17 @@ import threading
 import time
 from dataclasses import dataclass
 
-from repro.core.decentralized import DecentralizedClusterSearch
+from repro.core.decentralized import (
+    AggregationSubstrate,
+    DecentralizedClusterSearch,
+)
 from repro.core.query import BandwidthClasses, ClusterQuery
 from repro.exceptions import ServiceError, StaleGenerationError
-from repro.predtree.framework import BandwidthPredictionFramework
-from repro.service.cache import AggregationCache, LRUCache
+from repro.predtree.framework import (
+    BandwidthPredictionFramework,
+    MembershipChange,
+)
+from repro.service.cache import AggregationCache, GenerationMemo, LRUCache
 from repro.service.telemetry import ServiceTelemetry, TelemetrySnapshot
 
 __all__ = ["ClusterQueryService", "ServiceResult", "ServiceStats"]
@@ -166,6 +178,9 @@ class ClusterQueryService:
         self._results: LRUCache[_ResultKey, _CachedAnswer] = LRUCache(
             cache_size
         )
+        self._substrate: GenerationMemo[AggregationSubstrate] = (
+            GenerationMemo()
+        )
         self._aggregations: AggregationCache[DecentralizedClusterSearch] = (
             AggregationCache()
         )
@@ -221,10 +236,17 @@ class ClusterQueryService:
     # -- membership -----------------------------------------------------------
 
     def add_host(self, host: int) -> None:
-        """Join *host* to the overlay; bumps the generation."""
+        """Join *host* to the overlay; bumps the generation.
+
+        The shared aggregation substrate is carried across the change
+        incrementally (seeded re-propagation from the joined host's
+        overlay neighborhood) — the next query pays a per-class CRT
+        pass, not a full node-info rebuild.
+        """
         with self._membership_lock:
             self._framework.add_host(host)
             self._invalidate_locked()
+            self._maintain_substrate_locked(self._framework.last_change)
         self._telemetry.record_membership_change()
 
     def remove_host(self, host: int) -> list[int]:
@@ -235,10 +257,16 @@ class ClusterQueryService:
         :meth:`~repro.predtree.framework.BandwidthPredictionFramework.
         remove_host`).  After this returns, no query — cached or fresh —
         can ever yield a cluster containing *host*.
+
+        A leaf departure (no re-joins) is absorbed into the aggregation
+        substrate incrementally; a departure that displaced descendants
+        restructured the anchor tree, so the substrate is dropped and
+        rebuilt cold by the next query.
         """
         with self._membership_lock:
             rejoined = self._framework.remove_host(host)
             self._invalidate_locked()
+            self._maintain_substrate_locked(self._framework.last_change)
         self._telemetry.record_membership_change()
         return rejoined
 
@@ -246,36 +274,134 @@ class ClusterQueryService:
         """Explicitly drop all cached state and bump the generation.
 
         Call this after mutating anything the service cannot observe,
-        e.g. editing the ground-truth bandwidth matrix in place.
+        e.g. editing the ground-truth bandwidth matrix in place.  The
+        substrate is dropped too: an unobserved change may have moved
+        predicted distances, which incremental maintenance cannot see.
         """
         with self._membership_lock:
             self._epoch += 1
             self._invalidate_locked()
+            self._substrate.invalidate()
 
     def _invalidate_locked(self) -> None:
-        """Drop caches; caller holds the membership lock."""
+        """Drop per-generation caches; caller holds the membership lock.
+
+        Deliberately leaves the substrate memo alone — membership paths
+        maintain it incrementally via
+        :meth:`_maintain_substrate_locked`, and :meth:`invalidate`
+        drops it explicitly.
+        """
         self._results.clear()
         self._aggregations.invalidate()
 
+    def _maintain_substrate_locked(
+        self, change: MembershipChange | None
+    ) -> None:
+        """Carry the substrate across one membership change.
+
+        Caller holds the membership lock and has already applied the
+        change to the framework.  Incremental maintenance is sound only
+        when the held substrate is exactly one generation behind and
+        the change did not restructure the anchor tree; anything else
+        drops the memo so the next query rebuilds cold.
+        """
+        held = self._substrate.peek()
+        if held is None:
+            return
+        held_generation, substrate = held
+        generation = self._framework.generation + self._epoch
+        if (
+            change is None
+            or change.rejoined
+            or held_generation != generation - 1
+        ):
+            self._substrate.invalidate()
+            return
+        if change.kind == "join":
+            report = substrate.apply_join(change.host)
+        else:
+            report = substrate.apply_leave(change.host)
+        if report.kind == "incremental":
+            self._telemetry.record_incremental_update()
+        else:
+            self._telemetry.record_substrate_build()
+        self._substrate.replace(generation, substrate)
+
     # -- query execution ------------------------------------------------------
+
+    def _substrate_for(self, generation: int) -> AggregationSubstrate:
+        """The shared node-info substrate for *generation*, built once.
+
+        Concurrent callers (batched class groups fanning out across
+        threads) serialize behind a single build inside the memo
+        instead of racing to produce one copy each.
+
+        Both the generation check and the build run under the
+        membership lock: a cold build reads the live framework, so
+        without the lock a query pinned to generation ``g`` could
+        capture a framework state from ``g+1`` mid-mutation and store
+        it in the memo under key ``g`` — the next membership change
+        would then apply its delta to a substrate that already
+        reflects it.  A pinned generation that no longer matches the
+        overlay raises :class:`StaleGenerationError` instead of
+        building from a framework the caller is not looking at.
+        """
+
+        def build() -> AggregationSubstrate:
+            substrate = AggregationSubstrate(
+                self._framework, n_cut=self._n_cut
+            )
+            substrate.ensure()
+            self._telemetry.record_substrate_build()
+            return substrate
+
+        with self._membership_lock:
+            if generation != self.generation:
+                raise StaleGenerationError(
+                    f"substrate requested for generation {generation}, "
+                    f"overlay is at {self.generation}"
+                )
+            return self._substrate.get_or_build(generation, build)
+
+    def prepare(self, generation: int | None = None) -> None:
+        """Eagerly build the shared substrate for *generation*.
+
+        Called by the batched executor before fanning class groups out
+        across threads, so workers find the expensive class-independent
+        half already done and only pay their own per-class CRT pass.
+        Safe to call at any time with no argument (e.g. to pre-warm
+        after membership churn before traffic arrives); with an
+        explicit *generation* it raises
+        :class:`~repro.exceptions.StaleGenerationError` when the
+        overlay has already moved on.
+        """
+        self._substrate_for(
+            self.generation if generation is None else generation
+        )
 
     def _class_search(
         self, snapped: float, generation: int
     ) -> DecentralizedClusterSearch:
-        """The aggregated single-class search for *snapped*, memoized.
+        """The single-class CRT layer for *snapped*, memoized.
 
-        Restricting the routing tables to one distance class is what
-        lets a batch grouped by class pay for aggregation exactly once
-        per class instead of once per |L| classes per query.
+        The expensive class-independent half (the Algorithm 2 fixed
+        point) comes from the shared substrate — built once per
+        generation however many classes are queried; this method only
+        adds the cheap per-class CRT pass.  Restricting the routing
+        tables to one distance class is what lets a batch grouped by
+        class pay for CRT aggregation exactly once per class instead of
+        once per |L| classes per query.
         """
         search = self._aggregations.get(snapped, generation)
         if search is not None:
             return search
+        substrate = self._substrate_for(generation)
         search = DecentralizedClusterSearch(
             self._framework,
             BandwidthClasses([snapped], transform=self._classes.transform),
             n_cut=self._n_cut,
             pair_order=self._pair_order,
+            substrate=substrate,
         )
         search.run_aggregation()
         self._telemetry.record_aggregation_build()
@@ -335,17 +461,34 @@ class ClusterQueryService:
             )
 
         search = self._class_search(snapped, generation)
-        entry = start if start is not None else self._framework.hosts[0]
-        outcome = search.process_query(query.k, snapped, start=entry)
-        if self.generation != generation:
-            # Membership changed under our feet: the answer was
-            # computed against an overlay that no longer exists.
-            raise StaleGenerationError(
-                f"overlay generation changed from {generation} to "
-                f"{self.generation} while the query was in flight"
+        # Host membership comes from the search's adopted snapshot, not
+        # the live framework: both the emptiness check and the default
+        # entry host must describe the pinned generation, not whatever
+        # the overlay mutated into while this query was in flight.
+        hosts = search.hosts
+        if not hosts:
+            raise ServiceError(
+                "cannot answer queries on an empty overlay — every host "
+                "has departed; add_host() before submitting"
             )
+        entry = start if start is not None else hosts[0]
+        outcome = search.process_query(query.k, snapped, start=entry)
         cluster = tuple(outcome.cluster)
-        self._results.put(key, (cluster, outcome.hops, entry, outcome.l))
+        # Re-validate and publish atomically: holding the membership
+        # lock means no invalidation can slip between the generation
+        # check and the cache insert, which would strand a
+        # dead-generation entry in an LRU slot forever.
+        with self._membership_lock:
+            if self.generation != generation:
+                # Membership changed under our feet: the answer was
+                # computed against an overlay that no longer exists.
+                raise StaleGenerationError(
+                    f"overlay generation changed from {generation} to "
+                    f"{self.generation} while the query was in flight"
+                )
+            self._results.put(
+                key, (cluster, outcome.hops, entry, outcome.l)
+            )
         self._telemetry.record_query(
             time.perf_counter() - began, cached=False, found=bool(cluster)
         )

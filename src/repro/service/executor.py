@@ -3,11 +3,16 @@
 A batch of ``(k, b)`` queries usually hits far fewer distinct bandwidth
 classes than it has queries (users pick constraints from the
 predetermined set ``L``).  Executing the batch grouped by snapped class
-means the expensive per-class routing-table aggregation runs **once per
-distinct class in the batch**, after which every query in the group is
-a cheap table lookup plus local cluster extraction.  Class groups are
-independent — they touch disjoint memo entries — so they can optionally
-fan out across a :class:`~concurrent.futures.ThreadPoolExecutor`.
+means the per-class CRT pass runs **once per distinct class in the
+batch**, after which every query in the group is a cheap table lookup
+plus local cluster extraction.  The class-independent half — the
+Algorithm 2 node-info fixed point — is shared by *all* groups: the
+executor builds it exactly once (via
+:meth:`~repro.service.core.ClusterQueryService.prepare`) before fanning
+out, so worker threads never race to produce N copies of the expensive
+substrate.  Class groups are otherwise independent — they touch
+disjoint memo entries — so they can optionally fan out across a
+:class:`~concurrent.futures.ThreadPoolExecutor`.
 """
 
 from __future__ import annotations
@@ -98,6 +103,11 @@ class BatchExecutor:
 
         group_lists = list(groups.values())
         if self._max_workers is not None and len(group_lists) > 1:
+            # Build the shared class-independent substrate once, up
+            # front; workers then only pay their own per-class CRT
+            # pass instead of serializing behind (or duplicating) the
+            # expensive node-info fixed point.
+            service.prepare(generation)
             workers = min(self._max_workers, len(group_lists))
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 # list() re-raises the first worker exception, if any.

@@ -117,7 +117,9 @@ class LoadGenReport:
             ["throughput (q/s)", f"{self.throughput_qps:.1f}"],
             ["cache hits", t.cache_hits],
             ["cache misses", t.cache_misses],
-            ["aggregation rebuilds", t.aggregation_builds],
+            ["substrate builds", t.substrate_builds],
+            ["incremental updates", t.incremental_updates],
+            ["per-class CRT passes", t.aggregation_builds],
             ["p50 latency (ms)", f"{t.latency_p50_s * 1e3:.3f}"],
             ["p95 latency (ms)", f"{t.latency_p95_s * 1e3:.3f}"],
             ["p99 latency (ms)", f"{t.latency_p99_s * 1e3:.3f}"],

@@ -95,8 +95,16 @@ class TelemetrySnapshot:
     cache_hits / cache_misses:
         Result-cache outcomes.
     aggregation_builds:
-        Per-class routing-table aggregations executed (the expensive
-        rebuild the cache layer exists to amortize).
+        Per-class CRT passes executed (Algorithm 3 restricted to one
+        distance class, layered over the shared substrate).
+    substrate_builds:
+        Full Algorithm 2 node-info fixed points computed — the
+        expensive class-independent build every class shares.  A warm
+        multi-class batch should show exactly 1 of these however many
+        classes it touches.
+    incremental_updates:
+        Membership changes absorbed by seeded re-propagation instead
+        of a substrate rebuild.
     batches:
         ``submit_batch`` calls executed.
     membership_changes:
@@ -112,6 +120,8 @@ class TelemetrySnapshot:
     cache_hits: int
     cache_misses: int
     aggregation_builds: int
+    substrate_builds: int
+    incremental_updates: int
     batches: int
     membership_changes: int
     unsatisfied: int
@@ -137,6 +147,8 @@ class ServiceTelemetry:
         self._cache_hits = 0
         self._cache_misses = 0
         self._aggregation_builds = 0
+        self._substrate_builds = 0
+        self._incremental_updates = 0
         self._batches = 0
         self._membership_changes = 0
         self._unsatisfied = 0
@@ -156,9 +168,19 @@ class ServiceTelemetry:
             self._histogram.record(latency_s)
 
     def record_aggregation_build(self) -> None:
-        """Account one per-class routing-table aggregation rebuild."""
+        """Account one per-class CRT pass (cheap, class-dependent)."""
         with self._lock:
             self._aggregation_builds += 1
+
+    def record_substrate_build(self) -> None:
+        """Account one full node-info fixed point (expensive, shared)."""
+        with self._lock:
+            self._substrate_builds += 1
+
+    def record_incremental_update(self) -> None:
+        """Account one membership change absorbed incrementally."""
+        with self._lock:
+            self._incremental_updates += 1
 
     def record_batch(self) -> None:
         """Account one batch execution."""
@@ -178,6 +200,8 @@ class ServiceTelemetry:
                 cache_hits=self._cache_hits,
                 cache_misses=self._cache_misses,
                 aggregation_builds=self._aggregation_builds,
+                substrate_builds=self._substrate_builds,
+                incremental_updates=self._incremental_updates,
                 batches=self._batches,
                 membership_changes=self._membership_changes,
                 unsatisfied=self._unsatisfied,

@@ -224,3 +224,56 @@ def test_property_max_size_monotone_in_l(n, seed):
         for l in (tri[0] / 2, tri[len(tri) // 2], tri[-1])
     ]
     assert sizes == sorted(sizes)
+
+
+@given(
+    n=st.integers(min_value=4, max_value=10),
+    seed=st.integers(0, 500),
+    k=st.integers(min_value=2, max_value=6),
+    quantile=st.floats(min_value=10, max_value=90),
+    tree=st.booleans(),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_validity_equivalence_with_reference(
+    n, seed, k, quantile, tree
+):
+    """The documented contract of the vectorized variant.
+
+    ``find_cluster`` is *validity-equivalent* to the paper pseudocode,
+    not member-identical: each finds a cluster exactly when the other
+    does, and anything either returns satisfies ``|X| = k`` with
+    ``diam(X) <= l`` — but the members may legitimately differ, so no
+    assertion here compares them.  Checked on exact tree metrics and on
+    arbitrary symmetric matrices (where Theorem 3.1 does not hold and
+    the explicit diameter check carries the guarantee).
+    """
+    d = (
+        random_tree_distance_matrix(n, seed=seed)
+        if tree
+        else random_symmetric_matrix(n, seed=seed)
+    )
+    l = float(np.percentile(d.upper_triangle(), quantile))
+    fast = find_cluster(d, k, l)
+    slow = find_cluster_reference(d, k, l)
+    assert bool(fast) == bool(slow)
+    for cluster in (fast, slow):
+        if cluster:
+            assert len(cluster) == k
+            assert len(set(cluster)) == k
+            assert d.diameter(cluster) <= l + 1e-9
+
+
+@given(
+    n=st.integers(min_value=4, max_value=9),
+    seed=st.integers(0, 300),
+    k=st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_index_order_is_member_identical(n, seed, k):
+    # Only the literal pseudocode scan order reproduces the reference's
+    # member-for-member output (see the module docstring).
+    d = random_tree_distance_matrix(n, seed=seed)
+    l = float(np.percentile(d.upper_triangle(), 60))
+    assert find_cluster(d, k, l, pair_order="index") == (
+        find_cluster_reference(d, k, l)
+    )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.query import BandwidthClasses, ClusterQuery
+from repro.core.query import CLASS_EPSILON, BandwidthClasses, ClusterQuery
 from repro.exceptions import QueryError, UnsupportedConstraintError
 from repro.metrics.transform import RationalTransform
 
@@ -142,3 +142,55 @@ class TestSnappingEdgeCases:
         classes = BandwidthClasses.linear(30.0, 75.0, 1)
         assert classes.bandwidths == [30.0]
         assert classes.snap_bandwidth(12.0) == 30.0
+
+
+class TestEpsilonUnification:
+    """Membership and snapping share one tolerance (CLASS_EPSILON).
+
+    The historical bug: ``__contains__`` matched within 1e-9 while
+    ``snap_bandwidth`` only forgave 1e-12, so a bandwidth the class set
+    reported as present could snap *past* its own class to the next
+    stronger one — and, at the top class, raise
+    ``UnsupportedConstraintError`` for a value that was "in" the set.
+    """
+
+    def test_inside_tolerance_snaps_to_own_class(self):
+        classes = BandwidthClasses([10.0, 20.0, 50.0])
+        for value in classes.bandwidths:
+            nudged = value + CLASS_EPSILON / 2
+            assert nudged in classes
+            assert classes.snap_bandwidth(nudged) == value
+
+    def test_top_class_inside_tolerance_does_not_raise(self):
+        # The regression case: 50.0 + 5e-10 is "in" the set, so it must
+        # snap to 50.0 rather than fall off the end of the table.
+        classes = BandwidthClasses([10.0, 20.0, 50.0])
+        nudged = 50.0 + CLASS_EPSILON / 2
+        assert nudged in classes
+        assert classes.snap_bandwidth(nudged) == 50.0
+
+    def test_beyond_tolerance_snaps_to_next_class(self):
+        classes = BandwidthClasses([10.0, 20.0, 50.0])
+        beyond = 20.0 + 1e-8  # > CLASS_EPSILON past the class
+        assert beyond not in classes
+        assert classes.snap_bandwidth(beyond) == 50.0
+
+    def test_beyond_tolerance_above_top_class_raises(self):
+        classes = BandwidthClasses([10.0, 20.0, 50.0])
+        beyond = 50.0 + 1e-8
+        assert beyond not in classes
+        with pytest.raises(UnsupportedConstraintError):
+            classes.snap_bandwidth(beyond)
+
+    def test_membership_implies_snap_to_self(self):
+        # The unifying invariant, swept across a noisy linear grid.
+        classes = BandwidthClasses.linear(15.0, 75.0, 7)
+        probes = [
+            b + delta
+            for b in classes.bandwidths
+            for delta in (-5e-10, 0.0, 5e-10, -1e-8, 1e-8)
+        ]
+        for probe in probes:
+            if probe in classes:
+                snapped = classes.snap_bandwidth(probe)
+                assert abs(snapped - probe) < CLASS_EPSILON

@@ -1,0 +1,153 @@
+"""Thread fan-out under membership churn.
+
+The service's concurrency contract: whatever interleaving of
+``submit_batch`` workers and membership changes occurs, every returned
+:class:`~repro.service.core.ServiceResult` carries a generation that
+corresponds to an overlay state that actually existed (was published by
+a completed membership operation), and the *only* failure a caller can
+observe from churn is :class:`~repro.exceptions.StaleGenerationError` —
+never a half-updated answer, never an internal error.
+"""
+
+import threading
+import time
+
+from repro.core.query import ClusterQuery
+from repro.exceptions import StaleGenerationError
+
+
+def _batch():
+    return [
+        ClusterQuery(k=3, b=20.0),
+        ClusterQuery(k=4, b=30.0),
+        ClusterQuery(k=3, b=40.0),
+        ClusterQuery(k=3, b=60.0),
+    ]
+
+
+class TestFanOutUnderChurn:
+    def test_results_only_from_generations_that_existed(self, service):
+        observed_lock = threading.Lock()
+        observed = {service.generation}
+        anchor = service.framework.anchor_tree
+        stop = threading.Event()
+        failures: list[BaseException] = []
+        results = []
+        results_lock = threading.Lock()
+        stale_count = [0]
+
+        def record_generation():
+            with observed_lock:
+                observed.add(service.generation)
+
+        def churn():
+            # Remove/re-add anchor leaves so the overlay stays healthy;
+            # subtree departures (with re-joins) are exercised too when
+            # a former leaf has since gained children.
+            try:
+                while not stop.is_set():
+                    victims = [
+                        host
+                        for host in service.hosts
+                        if not anchor.children(host)
+                        and host != anchor.root
+                    ]
+                    if not victims:
+                        break
+                    victim = victims[-1]
+                    service.remove_host(victim)
+                    record_generation()
+                    service.add_host(victim)
+                    record_generation()
+                    # Throttled so query windows exist between bumps —
+                    # unthrottled churn would (correctly) make every
+                    # batch stale, which tests nothing further.  The
+                    # window must exceed a warm batch (~0.1 s here).
+                    time.sleep(0.2)
+            except BaseException as error:  # pragma: no cover - fail loud
+                failures.append(error)
+
+        def serve():
+            try:
+                successes = 0
+                for _ in range(25):
+                    try:
+                        answered = service.submit_batch(
+                            _batch(), max_workers=2
+                        )
+                    except StaleGenerationError:
+                        stale_count[0] += 1
+                        continue
+                    with results_lock:
+                        results.extend(answered)
+                    successes += 1
+                    if successes >= 3:
+                        break
+            except BaseException as error:
+                failures.append(error)
+
+        servers = [threading.Thread(target=serve) for _ in range(3)]
+        churner = threading.Thread(target=churn)
+        churner.start()
+        for thread in servers:
+            thread.start()
+        for thread in servers:
+            thread.join()
+        stop.set()
+        churner.join()
+        record_generation()
+
+        # StaleGenerationError is the only acceptable failure mode.
+        assert failures == []
+        assert results, "no batch ever completed"
+        for result in results:
+            assert result.generation in observed, (
+                f"result claims generation {result.generation}, which "
+                "no completed membership operation ever published"
+            )
+            assert len(result.cluster) in (0, 3, 4)
+
+    def test_single_submits_under_churn(self, service):
+        anchor = service.framework.anchor_tree
+        stop = threading.Event()
+        failures: list[BaseException] = []
+
+        def churn():
+            try:
+                while not stop.is_set():
+                    victims = [
+                        host
+                        for host in service.hosts
+                        if not anchor.children(host)
+                        and host != anchor.root
+                    ]
+                    if not victims:
+                        break
+                    victim = victims[0]
+                    service.remove_host(victim)
+                    service.add_host(victim)
+            except BaseException as error:  # pragma: no cover - fail loud
+                failures.append(error)
+
+        def serve():
+            try:
+                for index in range(12):
+                    query = _batch()[index % 4]
+                    try:
+                        result = service.submit(query)
+                    except StaleGenerationError:
+                        continue
+                    assert len(result.cluster) in (0, query.k)
+            except BaseException as error:
+                failures.append(error)
+
+        churner = threading.Thread(target=churn)
+        servers = [threading.Thread(target=serve) for _ in range(2)]
+        churner.start()
+        for thread in servers:
+            thread.start()
+        for thread in servers:
+            thread.join()
+        stop.set()
+        churner.join()
+        assert failures == []

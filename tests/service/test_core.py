@@ -135,3 +135,162 @@ class TestStats:
         assert stats.result_cache_entries == 1
         assert stats.aggregation_entries == 1
         assert stats.telemetry.hit_rate == pytest.approx(0.5)
+
+
+class TestSharedSubstrate:
+    """The tentpole invariant: one node-info fixed point, m CRT passes."""
+
+    def _mixed_batch(self):
+        return [
+            ClusterQuery(k=3, b=20.0),   # snaps to 30
+            ClusterQuery(k=4, b=30.0),   # snaps to 30
+            ClusterQuery(k=3, b=40.0),   # snaps to 45
+            ClusterQuery(k=3, b=60.0),   # snaps to 60
+        ]
+
+    def test_batch_builds_substrate_once(self, service):
+        service.submit_batch(self._mixed_batch(), max_workers=3)
+        snapshot = service.telemetry.snapshot()
+        # 3 distinct snapped classes: 1 shared fixed point, 3 CRT passes.
+        assert snapshot.substrate_builds == 1
+        assert snapshot.aggregation_builds == 3
+
+    def test_sequential_classes_share_substrate(self, service):
+        for query in self._mixed_batch():
+            service.submit(query)
+        snapshot = service.telemetry.snapshot()
+        assert snapshot.substrate_builds == 1
+        assert snapshot.aggregation_builds == 3
+
+    def test_prepare_prewarms(self, service):
+        service.prepare()
+        snapshot = service.telemetry.snapshot()
+        assert snapshot.substrate_builds == 1
+        service.submit(ClusterQuery(k=3, b=20.0))
+        assert service.telemetry.snapshot().substrate_builds == 1
+
+
+def _anchor_leaf(service):
+    """A host whose departure displaces nobody (not the root)."""
+    anchor = service.framework.anchor_tree
+    return [
+        host for host in service.hosts if not anchor.children(host)
+    ][-1]
+
+
+class TestIncrementalMaintenance:
+    def test_leaf_churn_never_rebuilds(self, service):
+        query = ClusterQuery(k=3, b=20.0)
+        service.submit(query)
+        victim = _anchor_leaf(service)
+        assert service.remove_host(victim) == []
+        service.submit(query)
+        service.add_host(victim)
+        service.submit(query)
+        snapshot = service.telemetry.snapshot()
+        assert snapshot.substrate_builds == 1
+        assert snapshot.incremental_updates == 2
+
+    def test_incremental_answers_match_cold_service(self, service, dataset):
+        query = ClusterQuery(k=4, b=30.0)
+        service.submit(query)
+        victim = _anchor_leaf(service)
+        assert service.remove_host(victim) == []
+        warm = service.submit(query)
+
+        from repro.service import ClusterQueryService
+
+        framework = build_framework(dataset.bandwidth, seed=1)
+        cold_service = ClusterQueryService(
+            framework, service.classes, n_cut=5
+        )
+        cold_service.remove_host(victim)
+        cold = cold_service.submit(query)
+        assert warm.cluster == cold.cluster
+
+    def test_restructuring_departure_rebuilds(self, service):
+        query = ClusterQuery(k=3, b=20.0)
+        service.submit(query)
+        anchor = service.framework.anchor_tree
+        victim = next(
+            host
+            for host in service.hosts
+            if anchor.children(host) and host != anchor.root
+        )
+        rejoined = service.remove_host(victim)
+        assert rejoined
+        service.submit(query)
+        snapshot = service.telemetry.snapshot()
+        # The anchor tree restructured: incremental maintenance would
+        # be unsound, so the substrate was rebuilt cold instead.
+        assert snapshot.substrate_builds == 2
+        assert snapshot.incremental_updates == 0
+
+
+class TestEmptyOverlay:
+    def test_submit_on_empty_overlay_raises_service_error(self):
+        import numpy as np
+
+        from repro.metrics.metric import BandwidthMatrix
+
+        bandwidth = BandwidthMatrix(
+            np.array([[np.inf, 50.0], [50.0, np.inf]])
+        )
+        framework = build_framework(bandwidth, seed=0)
+        service = ClusterQueryService(
+            framework, BandwidthClasses([40.0, 60.0]), n_cut=2
+        )
+        root = framework.anchor_tree.root
+        for host in [h for h in service.hosts if h != root]:
+            service.remove_host(host)
+        service.remove_host(root)
+        assert service.hosts == []
+        with pytest.raises(ServiceError, match="empty overlay"):
+            service.submit(ClusterQuery(k=2, b=40.0))
+
+
+class TestResultCachePublishRace:
+    def test_invalidate_racing_publish_cannot_strand_dead_entry(
+        self, service
+    ):
+        """Regression: an invalidation landing between the post-compute
+        generation check and the cache insert must not leave a
+        dead-generation entry occupying an LRU slot forever.  The
+        racing cache forces that exact interleaving: the first publish
+        triggers a concurrent ``invalidate()`` and gives it half a
+        second to win the race before inserting."""
+        import threading
+
+        from repro.service.cache import LRUCache
+
+        class RacingCache(LRUCache):
+            def __init__(self, capacity, victim_service):
+                super().__init__(capacity)
+                self.victim_service = victim_service
+                self.invalidator = None
+
+            def put(self, key, value):
+                if self.invalidator is None:
+                    self.invalidator = threading.Thread(
+                        target=self.victim_service.invalidate
+                    )
+                    self.invalidator.start()
+                    # Unfixed, the insert runs outside the membership
+                    # lock, so this join sees the invalidation complete
+                    # and the entry below is stranded dead.  Fixed, the
+                    # invalidator blocks on the lock until the insert
+                    # is published atomically with its re-validation.
+                    self.invalidator.join(timeout=0.5)
+                super().put(key, value)
+
+        racing = RacingCache(16, service)
+        service._results = racing
+        service.submit(ClusterQuery(k=3, b=20.0))
+        assert racing.invalidator is not None
+        racing.invalidator.join(timeout=5.0)
+        assert not racing.invalidator.is_alive()
+        current = service.generation
+        stranded = [
+            key for key in list(racing._entries) if key[2] != current
+        ]
+        assert stranded == []

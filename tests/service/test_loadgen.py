@@ -60,7 +60,8 @@ class TestRunLoadgen:
         )
         table = report.format_table()
         assert "throughput (q/s)" in table
-        assert "aggregation rebuilds" in table
+        assert "per-class CRT passes" in table
+        assert "substrate builds" in table
 
     def test_deterministic_mix(self, service):
         config = LoadGenConfig(queries=20, batch_size=5, seed=7)
