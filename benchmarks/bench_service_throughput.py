@@ -8,6 +8,12 @@ class ("batched").  This bench measures all three regimes at n=100 and
 n=200 and asserts the service's reason to exist: warm-cache repeated
 queries are at least 5x the cold per-query path at n=200 (in practice
 the gap is several orders of magnitude).
+
+A fourth regime ("warm+trace") re-runs the warm measurement with a
+real :class:`~repro.obs.Tracer` attached, so the cost of tracing the
+cache-hit hot path is visible next to the untraced number.  The
+default no-op tracer's overhead is asserted separately (one branch;
+see ``scripts/bench_trajectory.py``'s tracing gates).
 """
 
 import time
@@ -17,6 +23,7 @@ from repro.core.decentralized import DecentralizedClusterSearch
 from repro.core.query import BandwidthClasses, ClusterQuery
 from repro.datasets.planetlab import hp_planetlab_like
 from repro.experiments.report import format_table
+from repro.obs import Tracer, TraceStore
 from repro.predtree.framework import build_framework
 from repro.service import ClusterQueryService
 
@@ -51,9 +58,11 @@ def _cold_qps(framework, classes) -> float:
     return COLD_QUERIES / (time.perf_counter() - began)
 
 
-def _warm_qps(framework, classes) -> float:
+def _warm_qps(framework, classes, tracer=None) -> float:
     """Repeated queries against a primed service (cache-hit regime)."""
-    service = ClusterQueryService(framework, classes, n_cut=N_CUT)
+    service = ClusterQueryService(
+        framework, classes, n_cut=N_CUT, tracer=tracer
+    )
     mix = _query_mix()
     for query in mix:
         service.submit(query)
@@ -84,6 +93,11 @@ def test_service_throughput(benchmark):
             classes = BandwidthClasses.linear(15.0, 75.0, 7)
             cold = _cold_qps(framework, classes)
             warm = _warm_qps(framework, classes)
+            traced = _warm_qps(
+                framework,
+                classes,
+                tracer=Tracer(store=TraceStore(capacity=1024)),
+            )
             batched = _batched_qps(framework, classes)
             speedup_at[n] = warm / cold
             rows.append([n, "cold", f"{cold:.2f}", "1.0x"])
@@ -92,6 +106,12 @@ def test_service_throughput(benchmark):
             )
             rows.append(
                 [n, "warm", f"{warm:.2f}", f"{warm / cold:.0f}x"]
+            )
+            rows.append(
+                [
+                    n, "warm+trace", f"{traced:.2f}",
+                    f"{traced / cold:.0f}x",
+                ]
             )
 
     benchmark.pedantic(run, rounds=1, iterations=1)

@@ -37,6 +37,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.query import BandwidthClasses, ClusterQuery  # noqa: E402
 from repro.datasets.planetlab import hp_planetlab_like  # noqa: E402
+from repro.obs import Tracer, TraceStore, TracerLike  # noqa: E402
 from repro.predtree.framework import build_framework  # noqa: E402
 from repro.service import ClusterQueryService  # noqa: E402
 
@@ -44,11 +45,15 @@ N_CUT = 8
 CHURN_N = 200
 
 
-def _build_service(n: int) -> ClusterQueryService:
+def _build_service(
+    n: int, tracer: TracerLike | None = None
+) -> ClusterQueryService:
     dataset = hp_planetlab_like(seed=0, n=n)
     framework = build_framework(dataset.bandwidth, seed=1)
     classes = BandwidthClasses.linear(15.0, 75.0, 7)
-    return ClusterQueryService(framework, classes, n_cut=N_CUT)
+    return ClusterQueryService(
+        framework, classes, n_cut=N_CUT, tracer=tracer
+    )
 
 
 def _batch(classes: BandwidthClasses, k: int) -> list[ClusterQuery]:
@@ -127,6 +132,64 @@ def measure_incremental(n: int) -> dict:
     }
 
 
+def measure_tracing(n: int, warm_queries: int) -> dict:
+    """Tracing must be free when off and structurally correct when on.
+
+    Measures the cache-hit hot path twice — default no-op tracer vs a
+    real tracer — and inspects the traced batch's span tree for the
+    shared-substrate invariant (one ``substrate.build`` under however
+    many ``batch.group`` spans).
+    """
+    mix = [ClusterQuery(k=4, b=b) for b in (15.0, 30.0, 60.0)]
+
+    def warm_qps(service: ClusterQueryService) -> float:
+        for query in mix:
+            service.submit(query)
+        began = time.perf_counter()
+        for index in range(warm_queries):
+            service.submit(mix[index % len(mix)])
+        return warm_queries / max(time.perf_counter() - began, 1e-9)
+
+    service_off = _build_service(n)
+    off_qps = warm_qps(service_off)
+
+    store = TraceStore(capacity=warm_queries + 64)
+    service_on = _build_service(n, tracer=Tracer(store=store))
+    on_qps = warm_qps(service_on)
+
+    # Structural gate: one traced COLD batch over every class — the
+    # substrate build must appear exactly once in the span tree, shared
+    # by all class groups (a warm service would show zero builds).
+    batch_store = TraceStore()
+    service_cold = _build_service(n, tracer=Tracer(store=batch_store))
+    batch = _batch(service_cold.classes, k=6)
+    service_cold.submit_batch(batch, max_workers=4)
+    batch_traces = [
+        trace
+        for trace in batch_store.traces()
+        if trace.root.name == "service.submit_batch"
+    ]
+    root = batch_traces[-1].root if batch_traces else None
+    return {
+        "n": n,
+        "warm_queries": warm_queries,
+        "noop_qps": round(off_qps, 2),
+        "traced_qps": round(on_qps, 2),
+        "traced_over_noop": round(on_qps / max(off_qps, 1e-9), 4),
+        "untraced_store": service_off.tracer.store is None,
+        "traced_recorded": store.recorded,
+        "batch_trace": {
+            "found": root is not None,
+            "substrate_builds": (
+                len(root.spans_named("substrate.build")) if root else 0
+            ),
+            "class_groups": (
+                len(root.spans_named("batch.group")) if root else 0
+            ),
+        },
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -147,13 +210,17 @@ def main(argv: list[str] | None = None) -> int:
 
     batches = measure_batches(batch_n, repeats)
     incremental = measure_incremental(CHURN_N)
+    tracing = measure_tracing(
+        batch_n, warm_queries=200 if args.smoke else 1000
+    )
 
     trajectory = {
-        "schema": 1,
+        "schema": 2,
         "mode": "smoke" if args.smoke else "full",
         "n_cut": N_CUT,
         "batches": batches,
         "incremental": incremental,
+        "tracing": tracing,
     }
     args.out.write_text(json.dumps(trajectory, indent=2) + "\n")
     print(json.dumps(trajectory, indent=2))
@@ -181,6 +248,30 @@ def main(argv: list[str] | None = None) -> int:
         failures.append(
             f"add_host at n={incremental['n']} fell back to a full "
             "substrate rebuild"
+        )
+    if not tracing["untraced_store"]:
+        failures.append(
+            "the default (no-op) tracer grew a trace store — tracing "
+            "is no longer off by default"
+        )
+    if tracing["batch_trace"]["substrate_builds"] != 1:
+        failures.append(
+            "traced multi-class batch shows "
+            f"{tracing['batch_trace']['substrate_builds']} "
+            "substrate.build spans, expected exactly 1 shared build"
+        )
+    if tracing["batch_trace"]["class_groups"] < 3:
+        failures.append(
+            "traced batch shows "
+            f"{tracing['batch_trace']['class_groups']} class-group "
+            "spans, expected >= 3"
+        )
+    if tracing["noop_qps"] < 0.9 * tracing["traced_qps"]:
+        failures.append(
+            "tracer-off hot path "
+            f"({tracing['noop_qps']} q/s) is more than noise slower "
+            f"than traced ({tracing['traced_qps']} q/s): the no-op "
+            "guard is no longer one cheap branch"
         )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

@@ -9,6 +9,7 @@ Subcommands
 ``churn``     dynamic-membership experiment (departures + healing)
 ``hub``       run the hub-search extension on a generated dataset
 ``serve-bench``  drive the long-lived query service with synthetic load
+``trace``     run a traced workload and dump the slowest span trees
 ``lint``      run the repository's AST invariant checker (RPR rules)
 
 Every experiment prints the same text tables the benchmark harness
@@ -48,6 +49,7 @@ from repro.experiments import (
 )
 from repro.extensions.hub import find_hub
 from repro.lint.cli import add_lint_arguments, run_lint_command
+from repro.obs import TraceStore, Tracer, render_trace_text
 from repro.predtree.framework import build_framework
 from repro.service import (
     ClusterQueryService,
@@ -140,9 +142,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--n-cut", type=int, default=10, help="Algorithm 2 cutoff"
     )
 
+    trace = sub.add_parser(
+        "trace",
+        help="run a traced workload, dump the slowest span trees",
+    )
+    _add_dataset_args(trace)
+    trace.add_argument(
+        "--queries", type=int, default=100, help="total queries to submit"
+    )
+    trace.add_argument(
+        "--batch-size", type=int, default=25, help="queries per batch"
+    )
+    trace.add_argument(
+        "--workers", type=int, default=None,
+        help="thread-pool width for class fan-out (default: sequential)",
+    )
+    trace.add_argument(
+        "--n-cut", type=int, default=10, help="Algorithm 2 cutoff"
+    )
+    trace.add_argument(
+        "--slowest", type=int, default=3, metavar="N",
+        help="how many of the slowest traces to dump",
+    )
+    trace.add_argument(
+        "--slow-ms", type=float, default=50.0,
+        help="slow-query log threshold in milliseconds",
+    )
+    trace.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="span-tree output format",
+    )
+
     lint = sub.add_parser(
         "lint",
-        help="AST invariant checker (rules RPR001-RPR008)",
+        help="AST invariant checker (rules RPR001-RPR009)",
     )
     add_lint_arguments(lint)
 
@@ -295,6 +328,47 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    dataset = _build_dataset(args)
+    framework = build_framework(dataset.bandwidth, seed=args.seed)
+    query_range = (
+        HP_QUERY_RANGE if args.dataset == "hp" else UMD_QUERY_RANGE
+    )
+    classes = BandwidthClasses.linear(*query_range, 7)
+    store = TraceStore(slow_threshold_s=args.slow_ms / 1e3)
+    service = ClusterQueryService(
+        framework,
+        classes,
+        n_cut=args.n_cut,
+        tracer=Tracer(store=store),
+    )
+    config = LoadGenConfig(
+        queries=args.queries,
+        batch_size=args.batch_size,
+        max_workers=args.workers,
+        seed=args.seed,
+    )
+    report = run_loadgen(service, config)
+    print(report.format_table())
+    slowest = store.slowest(args.slowest)
+    print(
+        f"\ntraces recorded: {store.recorded}  retained: {len(store)}  "
+        f"slow (>= {args.slow_ms:g} ms): {len(store.slow_queries())}"
+    )
+    if args.format == "json":
+        import json as _json
+
+        print(_json.dumps(
+            [trace.to_dict() for trace in slowest], indent=2
+        ))
+        return 0
+    print(f"\n{min(args.slowest, len(slowest))} slowest traces:")
+    for trace in slowest:
+        print()
+        print(render_trace_text(trace))
+    return 0
+
+
 def _cmd_hub(args: argparse.Namespace) -> int:
     dataset = _build_dataset(args)
     framework = build_framework(dataset.bandwidth, seed=args.seed)
@@ -331,6 +405,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "churn": _cmd_figure,
         "hub": _cmd_hub,
         "serve-bench": _cmd_serve_bench,
+        "trace": _cmd_trace,
         "lint": run_lint_command,
     }
     try:

@@ -45,6 +45,7 @@ from repro.core.find_cluster import find_cluster, max_cluster_size
 from repro.core.query import BandwidthClasses
 from repro.exceptions import QueryError, ValidationError
 from repro.metrics.metric import DistanceMatrix
+from repro.obs import NOOP_TRACER, TracerLike
 from repro.predtree.framework import BandwidthPredictionFramework
 
 __all__ = [
@@ -222,15 +223,24 @@ class AggregationSubstrate:
         The live prediction framework (overlay + predicted distances).
     n_cut:
         Algorithm 2 aggregation cutoff.
+    tracer:
+        Optional :class:`~repro.obs.tracer.TracerLike`; builds and
+        incremental maintenance emit ``substrate.*`` spans with round /
+        message / touched-host counts.  Defaults to the zero-overhead
+        no-op tracer.
     """
 
     def __init__(
-        self, framework: BandwidthPredictionFramework, n_cut: int = 10
+        self,
+        framework: BandwidthPredictionFramework,
+        n_cut: int = 10,
+        tracer: TracerLike = NOOP_TRACER,
     ) -> None:
         if n_cut < 1:
             raise ValidationError(f"n_cut must be >= 1, got {n_cut!r}")
         self.framework = framework
         self.n_cut = int(n_cut)
+        self._tracer = tracer
         self._lock = threading.RLock()
         self._distances: DistanceMatrix = (
             framework.predicted_distance_matrix(allow_partial=True)
@@ -384,11 +394,18 @@ class AggregationSubstrate:
 
     def build(self) -> MaintenanceReport:
         """Compute (or recompute, if stale) the full fixed point."""
-        with self._lock:
-            report = self._rebuild_locked()
-            if report.kind == "rebuild":
-                report = MaintenanceReport(
-                    kind="build",
+        with self._tracer.start_span("substrate.build") as span:
+            with self._lock:
+                report = self._rebuild_locked()
+                if report.kind == "rebuild":
+                    report = MaintenanceReport(
+                        kind="build",
+                        rounds=report.rounds,
+                        messages=report.messages,
+                        touched_hosts=report.touched_hosts,
+                    )
+                span.set(
+                    generation=self._generation,
                     rounds=report.rounds,
                     messages=report.messages,
                     touched_hosts=report.touched_hosts,
@@ -414,38 +431,50 @@ class AggregationSubstrate:
         tables are still a fixed point of everything except the new
         host's information; seeded propagation floods exactly that.
         """
-        with self._lock:
-            if not self._built:
-                return self.build()
-            if host in self._neighbors:
-                raise QueryError(
-                    f"host {host!r} is already part of the substrate"
+        with self._tracer.start_span(
+            "substrate.apply_join", host=host
+        ) as span:
+            with self._lock:
+                if not self._built:
+                    return self.build()
+                if host in self._neighbors:
+                    raise QueryError(
+                        f"host {host!r} is already part of the substrate"
+                    )
+                self._distances = self.framework.predicted_distance_matrix(
+                    allow_partial=True
                 )
-            self._distances = self.framework.predicted_distance_matrix(
-                allow_partial=True
-            )
-            neighbors = self.framework.overlay_neighbors(host)
-            self._neighbors[host] = list(neighbors)
-            self._tables[host] = {}
-            for neighbor in neighbors:
-                self._neighbors[neighbor] = (
-                    self.framework.overlay_neighbors(neighbor)
+                neighbors = self.framework.overlay_neighbors(host)
+                self._neighbors[host] = list(neighbors)
+                self._tables[host] = {}
+                for neighbor in neighbors:
+                    self._neighbors[neighbor] = (
+                        self.framework.overlay_neighbors(neighbor)
+                    )
+                seeds = {host, *neighbors}
+                budget = self._round_budget()
+                rounds, messages, touched, quiesced = self._propagate_from(
+                    seeds, budget
                 )
-            seeds = {host, *neighbors}
-            budget = self._round_budget()
-            rounds, messages, touched, quiesced = self._propagate_from(
-                seeds, budget
-            )
-            if not quiesced:
-                return self._rebuild_locked()
-            self._budget = budget
-            self._generation = self.framework.generation
-            return MaintenanceReport(
-                kind="incremental",
-                rounds=rounds,
-                messages=messages,
-                touched_hosts=len(touched),
-            )
+                if not quiesced:
+                    report = self._rebuild_locked()
+                else:
+                    self._budget = budget
+                    self._generation = self.framework.generation
+                    report = MaintenanceReport(
+                        kind="incremental",
+                        rounds=rounds,
+                        messages=messages,
+                        touched_hosts=len(touched),
+                    )
+                span.set(
+                    kind=report.kind,
+                    generation=self._generation,
+                    rounds=report.rounds,
+                    messages=report.messages,
+                    touched_hosts=report.touched_hosts,
+                )
+                return report
 
     def apply_leave(self, host: int) -> MaintenanceReport:
         """Absorb the departure of anchor-leaf *host*.
@@ -455,43 +484,57 @@ class AggregationSubstrate:
         departure changes many predicted distances at once and must go
         through :meth:`build` instead.
         """
-        with self._lock:
-            if not self._built:
-                return self.build()
-            if host not in self._neighbors:
-                raise QueryError(f"host {host!r} is not in the substrate")
-            if host in self.framework.hosts:
-                raise QueryError(
-                    f"host {host!r} is still part of the overlay; apply "
-                    "the departure to the framework first"
+        with self._tracer.start_span(
+            "substrate.apply_leave", host=host
+        ) as span:
+            with self._lock:
+                if not self._built:
+                    return self.build()
+                if host not in self._neighbors:
+                    raise QueryError(
+                        f"host {host!r} is not in the substrate"
+                    )
+                if host in self.framework.hosts:
+                    raise QueryError(
+                        f"host {host!r} is still part of the overlay; "
+                        "apply the departure to the framework first"
+                    )
+                self._distances = self.framework.predicted_distance_matrix(
+                    allow_partial=True
                 )
-            self._distances = self.framework.predicted_distance_matrix(
-                allow_partial=True
-            )
-            former = self._neighbors.pop(host)
-            del self._tables[host]
-            for neighbor in former:
-                if neighbor not in self._neighbors:
-                    continue
-                self._neighbors[neighbor] = (
-                    self.framework.overlay_neighbors(neighbor)
+                former = self._neighbors.pop(host)
+                del self._tables[host]
+                for neighbor in former:
+                    if neighbor not in self._neighbors:
+                        continue
+                    self._neighbors[neighbor] = (
+                        self.framework.overlay_neighbors(neighbor)
+                    )
+                    self._tables[neighbor].pop(host, None)
+                seeds = {n for n in former if n in self._neighbors}
+                budget = self._round_budget()
+                rounds, messages, touched, quiesced = self._propagate_from(
+                    seeds, budget
                 )
-                self._tables[neighbor].pop(host, None)
-            seeds = {n for n in former if n in self._neighbors}
-            budget = self._round_budget()
-            rounds, messages, touched, quiesced = self._propagate_from(
-                seeds, budget
-            )
-            if not quiesced:
-                return self._rebuild_locked()
-            self._budget = budget
-            self._generation = self.framework.generation
-            return MaintenanceReport(
-                kind="incremental",
-                rounds=rounds,
-                messages=messages,
-                touched_hosts=len(touched),
-            )
+                if not quiesced:
+                    report = self._rebuild_locked()
+                else:
+                    self._budget = budget
+                    self._generation = self.framework.generation
+                    report = MaintenanceReport(
+                        kind="incremental",
+                        rounds=rounds,
+                        messages=messages,
+                        touched_hosts=len(touched),
+                    )
+                span.set(
+                    kind=report.kind,
+                    generation=self._generation,
+                    rounds=report.rounds,
+                    messages=report.messages,
+                    touched_hosts=report.touched_hosts,
+                )
+                return report
 
 
 @dataclass(frozen=True)
@@ -549,6 +592,10 @@ class DecentralizedClusterSearch:
         cheap, class-dependent half.  The adopted tables are copied, so
         later incremental maintenance of the substrate never mutates
         this search's state.
+    tracer:
+        Optional :class:`~repro.obs.tracer.TracerLike`;
+        :meth:`run_aggregation` emits a ``crt.pass`` span with round
+        and message counts.  Defaults to the no-op tracer.
     """
 
     def __init__(
@@ -558,6 +605,7 @@ class DecentralizedClusterSearch:
         n_cut: int = 10,
         pair_order: str = "nearest",
         substrate: AggregationSubstrate | None = None,
+        tracer: TracerLike = NOOP_TRACER,
     ) -> None:
         if n_cut < 1:
             raise ValidationError(f"n_cut must be >= 1, got {n_cut!r}")
@@ -565,6 +613,7 @@ class DecentralizedClusterSearch:
         self.classes = classes
         self.n_cut = int(n_cut)
         self.pair_order = pair_order
+        self._tracer = tracer
         self._node_info_fixed = False
         if substrate is not None:
             if substrate.framework is not framework:
@@ -738,22 +787,34 @@ class DecentralizedClusterSearch:
         step = (
             self.run_crt_round if self._node_info_fixed else self.run_round
         )
-        rounds = 0
-        converged = False
-        for _ in range(max_rounds):
-            rounds += 1
-            if not step():
-                converged = True
-                break
-        self._aggregated = True
-        return AggregationReport(
-            rounds=rounds,
-            converged=converged,
-            node_info_messages=(
-                0 if self._node_info_fixed else rounds * edges
-            ),
-            crt_messages=rounds * edges,
-        )
+        with self._tracer.start_span(
+            "crt.pass",
+            classes=len(self.classes.distance_classes),
+            substrate_backed=self._node_info_fixed,
+        ) as span:
+            rounds = 0
+            converged = False
+            for _ in range(max_rounds):
+                rounds += 1
+                if not step():
+                    converged = True
+                    break
+            self._aggregated = True
+            report = AggregationReport(
+                rounds=rounds,
+                converged=converged,
+                node_info_messages=(
+                    0 if self._node_info_fixed else rounds * edges
+                ),
+                crt_messages=rounds * edges,
+            )
+            span.set(
+                rounds=report.rounds,
+                converged=report.converged,
+                node_info_messages=report.node_info_messages,
+                crt_messages=report.crt_messages,
+            )
+            return report
 
     def mark_aggregated(self) -> None:
         """Declare the per-host state ready for queries.

@@ -22,6 +22,7 @@ __all__ = [
     "ExperimentError",
     "ServiceError",
     "StaleGenerationError",
+    "TracingError",
     "LintError",
 ]
 
@@ -78,6 +79,11 @@ class ServiceError(ReproError):
 class StaleGenerationError(ServiceError):
     """A query was pinned to an overlay generation that is no longer
     current (membership or bandwidth state changed underneath it)."""
+
+
+class TracingError(ReproError):
+    """The observability layer (``repro.obs``) was misconfigured
+    (bad store capacity, negative slow-query threshold)."""
 
 
 class LintError(ReproError):

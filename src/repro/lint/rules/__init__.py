@@ -150,6 +150,7 @@ _RULE_MODULES = (
     "raises",
     "exports",
     "timing",
+    "spans",
 )
 for _module_name in _RULE_MODULES:
     import_module(f"repro.lint.rules.{_module_name}")

@@ -1,0 +1,68 @@
+"""RPR009 — spans must be closed via context manager.
+
+A :class:`~repro.obs.spans.Span` only records itself (and pops the
+tracer's thread-local stack) when it is *closed*; an opened-but-never-
+closed span corrupts the implicit parenting for every later span on
+that thread and the trace never reaches the store.  The ``with``
+statement is the only idiom that guarantees closure on every exit path
+(including exceptions), so this rule flags any ``....start_span(...)``
+call that is not the context expression of a ``with`` item::
+
+    with tracer.start_span("service.submit") as span:   # ok
+        ...
+    span = tracer.start_span("service.submit")          # RPR009
+
+Deliberate delegators (e.g. ``Span.start_span`` handing the with-block
+obligation to its caller) opt out with ``# repro: noqa[RPR009]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, Rule, register
+
+__all__ = ["SpanContextRule"]
+
+_METHOD = "start_span"
+
+
+def _with_item_calls(tree: ast.Module) -> frozenset[int]:
+    """``id()`` of every expression used as a with-item context."""
+    managed: set[int] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                managed.add(id(item.context_expr))
+    return frozenset(managed)
+
+
+@register
+class SpanContextRule(Rule):
+    """Flag ``start_span`` calls outside a ``with`` item."""
+
+    rule_id = "RPR009"
+    summary = (
+        "spans must be closed via context manager: use "
+        "`with ....start_span(...) as span:`, never a bare call"
+    )
+
+    def check_file(self, context: FileContext) -> Iterable[Finding]:
+        managed = _with_item_calls(context.tree)
+        for node in ast.walk(context.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == _METHOD
+                and id(node) not in managed
+            ):
+                yield context.finding(
+                    node,
+                    self.rule_id,
+                    "bare start_span() call — a span opened outside a "
+                    "`with` item may never close, which corrupts "
+                    "thread-local span parenting and loses the trace; "
+                    "write `with ....start_span(...) as span:`",
+                )

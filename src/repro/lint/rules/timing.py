@@ -20,6 +20,7 @@ __all__ = ["WallClockDurationRule"]
 
 SCOPES = (
     "repro/service/",
+    "repro/obs/",
     "benchmarks/",
     "scripts/",
     "telemetry",

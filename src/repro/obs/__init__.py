@@ -1,0 +1,39 @@
+"""repro.obs — structured, end-to-end query tracing.
+
+The service layer's counters and quantiles say *how much* work happened
+in aggregate; this package reconstructs *what one query actually did*
+across service → executor → substrate → per-class CRT pass → overlay
+routing:
+
+* :class:`~repro.obs.tracer.Tracer` creates per-query
+  :class:`~repro.obs.spans.Span` trees (submit → cache lookup →
+  substrate get-or-build / incremental maintenance → CRT pass →
+  routing), with generation, snapped class, cache outcome, and
+  round/message counts as span attributes;
+* :class:`~repro.obs.store.TraceStore` keeps the newest traces in a
+  bounded thread-safe ring buffer with a separate slow-query log, and
+  exports them as JSON or indented text;
+* :data:`~repro.obs.tracer.NOOP_TRACER` is the zero-overhead default —
+  instrumented layers branch on ``tracer.enabled`` once on their hot
+  path and otherwise pay only no-op method calls.
+
+Wire it in with ``ClusterQueryService(..., tracer=Tracer())`` or drive
+a traced workload from the CLI: ``repro-bcc trace``.  See DESIGN.md §8.
+"""
+
+from repro.obs.spans import NOOP_SPAN, Span, SpanLike
+from repro.obs.store import Trace, TraceStore, render_trace_text
+from repro.obs.tracer import NOOP_TRACER, NoopTracer, Tracer, TracerLike
+
+__all__ = [
+    "NOOP_SPAN",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "Span",
+    "SpanLike",
+    "Trace",
+    "TraceStore",
+    "Tracer",
+    "TracerLike",
+    "render_trace_text",
+]

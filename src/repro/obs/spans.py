@@ -1,0 +1,235 @@
+"""Spans: the unit of structured tracing.
+
+A :class:`Span` is one timed operation inside a query's execution —
+``service.submit``, ``substrate.build``, ``crt.pass``, ``sim.hop`` —
+carrying a name, key/value attributes, and child spans.  The root span
+of a tree identifies the whole trace; when it closes, the owning
+:class:`~repro.obs.tracer.Tracer` records the finished tree into its
+:class:`~repro.obs.store.TraceStore`.
+
+Spans are context managers and MUST be closed through ``with`` (the
+repository lint rule RPR009 enforces this mechanically): an unclosed
+span never ends, never records, and silently corrupts the thread's
+span stack.
+
+:data:`NOOP_SPAN` is the do-nothing stand-in handed out by
+:class:`~repro.obs.tracer.NoopTracer` so instrumented code paths need
+no ``if tracing:`` forks — every span operation on it is a cheap no-op.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import count
+from types import TracebackType
+from typing import TYPE_CHECKING, Iterator, Protocol
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.tracer import Tracer
+
+__all__ = ["Span", "SpanLike", "NOOP_SPAN"]
+
+#: Process-global id source (``next()`` on a ``count`` is atomic in
+#: CPython, so ids are unique across threads without a lock).
+_ids = count(1)
+
+
+def _next_id(prefix: str) -> str:
+    """A fresh process-unique id like ``s000042``."""
+    return f"{prefix}{next(_ids):06d}"
+
+
+class SpanLike(Protocol):
+    """Structural type shared by :class:`Span` and the no-op span.
+
+    Instrumented code annotates against this protocol so the same call
+    sites serve both a real tracer and the zero-overhead default.
+    """
+
+    def set(self, **attributes: object) -> "SpanLike":
+        """Attach attributes; returns the span for chaining."""
+        ...
+
+    def start_span(self, name: str, **attributes: object) -> "SpanLike":
+        """Open a child span of this span."""
+        ...
+
+    def __enter__(self) -> "SpanLike":
+        """Activate the span for the current thread."""
+        ...
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        """Close the span (records the trace when it is the root)."""
+        ...
+
+
+class Span:
+    """One timed, attributed operation in a trace tree.
+
+    Created via :meth:`~repro.obs.tracer.Tracer.start_span` (never
+    directly); entered with ``with`` and closed on exit.  Attributes
+    are free-form ``key=value`` pairs (generation, snapped class, cache
+    outcome, round/message counts, ...).
+    """
+
+    __slots__ = (
+        "name",
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "attributes",
+        "children",
+        "started_s",
+        "ended_s",
+        "status",
+        "error",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        tracer: "Tracer",
+        trace_id: str,
+        parent_id: str | None,
+        attributes: dict[str, object],
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = _next_id("s")
+        self.parent_id = parent_id
+        self.attributes = attributes
+        self.children: list["Span"] = []
+        self.started_s = time.perf_counter()
+        self.ended_s: float | None = None
+        self.status = "ok"
+        self.error: str | None = None
+        self._tracer = tracer
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        """Activate the span on the current thread's span stack."""
+        self._tracer._push(self)
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        """Close the span; the root span records the finished trace."""
+        self.ended_s = time.perf_counter()
+        if exc is not None:
+            self.status = "error"
+            self.error = f"{type(exc).__name__}: {exc}"
+        self._tracer._finish(self)
+        return False
+
+    def set(self, **attributes: object) -> "Span":
+        """Attach attributes to the span; returns it for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def start_span(self, name: str, **attributes: object) -> "Span":
+        """Open a child span (explicit parenting, thread-safe).
+
+        Delegates to the owning tracer with this span as the parent —
+        the way to hand a parent across threads, where the implicit
+        thread-local current span is not shared.
+        """
+        return self._tracer.start_span(  # repro: noqa[RPR009] - delegator; the caller owns the with-block
+            name, parent=self, **attributes
+        )
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def duration_s(self) -> float:
+        """Seconds from start to close (to *now* while still open)."""
+        ended = (
+            self.ended_s if self.ended_s is not None else time.perf_counter()
+        )
+        return ended - self.started_s
+
+    def iter_spans(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in list(self.children):
+            yield from child.iter_spans()
+
+    def spans_named(self, name: str) -> list["Span"]:
+        """Every span in this subtree called *name* (depth-first order)."""
+        return [span for span in self.iter_spans() if span.name == name]
+
+    def find(self, name: str) -> "Span | None":
+        """The first span in this subtree called *name*, or ``None``."""
+        for span in self.iter_spans():
+            if span.name == name:
+                return span
+        return None
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable view of this span subtree."""
+        payload: dict[str, object] = {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "duration_ms": round(self.duration_s * 1e3, 4),
+            "status": self.status,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, trace={self.trace_id}, "
+            f"attrs={self.attributes!r}, children={len(self.children)})"
+        )
+
+
+class _NoopSpan:
+    """The do-nothing span: every operation returns immediately.
+
+    A single shared instance (:data:`NOOP_SPAN`) backs the default
+    untraced mode, so instrumentation points cost a handful of no-op
+    method calls instead of allocations.
+    """
+
+    __slots__ = ()
+
+    def set(self, **attributes: object) -> "_NoopSpan":
+        """Discard the attributes."""
+        return self
+
+    def start_span(self, name: str, **attributes: object) -> "_NoopSpan":
+        """Return the shared no-op span."""
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        return False
+
+    def __repr__(self) -> str:
+        return "NOOP_SPAN"
+
+
+#: The shared do-nothing span (see :class:`_NoopSpan`).
+NOOP_SPAN = _NoopSpan()

@@ -1,0 +1,214 @@
+"""Bounded trace storage, the slow-query log, and exporters.
+
+:class:`TraceStore` is a thread-safe ring buffer of finished traces:
+the newest *capacity* traces are kept, older ones are overwritten (a
+serving system cares about recent behaviour; counters record how many
+were dropped).  Traces whose end-to-end duration meets the configured
+*slow threshold* are additionally copied into a separate, smaller
+slow-query ring so rare slow queries survive long after fast traffic
+has cycled the main buffer.
+
+Exports: :meth:`TraceStore.export_json` (machine-readable span trees)
+and :meth:`TraceStore.export_text` / :func:`render_trace_text` (an
+indented tree for terminals — what ``repro-bcc trace`` prints).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+from repro.exceptions import TracingError
+from repro.obs.spans import Span
+
+__all__ = ["Trace", "TraceStore", "render_trace_text"]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One finished trace: the root span tree plus headline numbers.
+
+    Attributes
+    ----------
+    trace_id:
+        Process-unique id of the trace (shared by every span in it).
+    root:
+        The closed root :class:`~repro.obs.spans.Span`; the whole tree
+        hangs off its ``children``.
+    duration_s:
+        End-to-end duration of the root span in seconds.
+    """
+
+    trace_id: str
+    root: Span
+    duration_s: float
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable view of the whole trace."""
+        return {
+            "trace_id": self.trace_id,
+            "duration_ms": round(self.duration_s * 1e3, 4),
+            "root": self.root.to_dict(),
+        }
+
+
+class TraceStore:
+    """Thread-safe bounded ring of finished traces + slow-query log.
+
+    Parameters
+    ----------
+    capacity:
+        Traces retained in the main ring (oldest overwritten first).
+    slow_threshold_s:
+        Traces at least this slow are copied into the slow-query ring
+        as well; 0 would log everything, so the default (50 ms) only
+        captures genuinely slow queries.
+    slow_capacity:
+        Traces retained in the slow-query ring.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        slow_threshold_s: float = 0.050,
+        slow_capacity: int = 32,
+    ) -> None:
+        if capacity < 1:
+            raise TracingError(f"capacity must be >= 1, got {capacity!r}")
+        if slow_capacity < 1:
+            raise TracingError(
+                f"slow_capacity must be >= 1, got {slow_capacity!r}"
+            )
+        if not slow_threshold_s >= 0:
+            raise TracingError(
+                "slow_threshold_s must be finite >= 0, got "
+                f"{slow_threshold_s!r}"
+            )
+        self._lock = threading.Lock()
+        self._traces: deque[Trace] = deque(maxlen=int(capacity))
+        self._slow: deque[Trace] = deque(maxlen=int(slow_capacity))
+        self.slow_threshold_s = float(slow_threshold_s)
+        self._recorded = 0
+        self._dropped = 0
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, root: Span) -> None:
+        """Record the finished trace rooted at *root*.
+
+        Called by the tracer when a root span closes; safe from any
+        thread.
+        """
+        trace = Trace(
+            trace_id=root.trace_id,
+            root=root,
+            duration_s=root.duration_s,
+        )
+        with self._lock:
+            if len(self._traces) == self._traces.maxlen:
+                self._dropped += 1
+            self._traces.append(trace)
+            if trace.duration_s >= self.slow_threshold_s:
+                self._slow.append(trace)
+            self._recorded += 1
+
+    def clear(self) -> None:
+        """Drop every stored trace (counters are kept)."""
+        with self._lock:
+            self._traces.clear()
+            self._slow.clear()
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._traces)
+
+    @property
+    def recorded(self) -> int:
+        """Traces ever recorded (including ones the ring dropped)."""
+        with self._lock:
+            return self._recorded
+
+    @property
+    def dropped(self) -> int:
+        """Traces overwritten by newer ones in the main ring."""
+        with self._lock:
+            return self._dropped
+
+    def traces(self) -> list[Trace]:
+        """The retained traces, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def slow_queries(self) -> list[Trace]:
+        """The retained slow traces (>= threshold), oldest first."""
+        with self._lock:
+            return list(self._slow)
+
+    def slowest(self, n: int = 1) -> list[Trace]:
+        """The *n* slowest retained traces, slowest first."""
+        if n < 1:
+            raise TracingError(f"n must be >= 1, got {n!r}")
+        with self._lock:
+            ranked = sorted(
+                self._traces, key=lambda t: t.duration_s, reverse=True
+            )
+        return ranked[:n]
+
+    def slowest_trace_id(self) -> str | None:
+        """Trace id of the slowest retained trace (``None`` when empty).
+
+        This is the id :class:`~repro.service.telemetry.
+        TelemetrySnapshot` links to, so an operator reading latency
+        quantiles can jump straight to the worst recent query.
+        """
+        ranked = self.slowest(1) if len(self) else []
+        return ranked[0].trace_id if ranked else None
+
+    def find(self, trace_id: str) -> Trace | None:
+        """The retained trace with *trace_id*, or ``None``."""
+        with self._lock:
+            for trace in self._traces:
+                if trace.trace_id == trace_id:
+                    return trace
+        return None
+
+    # -- export -------------------------------------------------------------
+
+    def export_json(self, limit: int | None = None) -> str:
+        """The retained traces as a JSON array (newest-first, *limit*-ed)."""
+        ordered = list(reversed(self.traces()))
+        if limit is not None:
+            ordered = ordered[:limit]
+        return json.dumps([trace.to_dict() for trace in ordered], indent=2)
+
+    def export_text(self, limit: int | None = None) -> str:
+        """The retained traces as indented text trees (newest first)."""
+        ordered = list(reversed(self.traces()))
+        if limit is not None:
+            ordered = ordered[:limit]
+        return "\n".join(render_trace_text(trace) for trace in ordered)
+
+
+def _render_span(span: Span, depth: int, lines: list[str]) -> None:
+    attrs = ", ".join(
+        f"{key}={value!r}" for key, value in sorted(span.attributes.items())
+    )
+    suffix = f"  {{{attrs}}}" if attrs else ""
+    error = f"  !{span.error}" if span.error is not None else ""
+    lines.append(
+        f"{'  ' * depth}{span.name}  {span.duration_s * 1e3:.3f} ms"
+        f"{suffix}{error}"
+    )
+    for child in span.children:
+        _render_span(child, depth + 1, lines)
+
+
+def render_trace_text(trace: Trace) -> str:
+    """Render one trace as an indented tree, one span per line."""
+    lines = [f"trace {trace.trace_id}  {trace.duration_s * 1e3:.3f} ms"]
+    _render_span(trace.root, 1, lines)
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Tracers: create span trees and record finished traces.
+
+Two implementations share one structural interface
+(:class:`TracerLike`):
+
+* :class:`Tracer` — the real thing.  ``start_span`` opens a
+  :class:`~repro.obs.spans.Span` parented under the current thread's
+  active span (or an explicitly passed parent, for cross-thread
+  fan-out); when a *root* span closes, the whole tree is recorded into
+  the tracer's :class:`~repro.obs.store.TraceStore`.
+* :class:`NoopTracer` — the zero-overhead default
+  (:data:`NOOP_TRACER`).  ``enabled`` is ``False`` so hot paths can
+  skip tracing with a single branch, and ``start_span`` returns the
+  shared :data:`~repro.obs.spans.NOOP_SPAN` so any unguarded
+  instrumentation point degrades to a no-op method call.
+
+Parenting is implicit within a thread (a thread-local span stack,
+pushed/popped by the spans' ``with`` blocks) and explicit across
+threads (``start_span(..., parent=span)`` — used by the batched
+executor to hang per-class group spans under one batch span while the
+groups run on worker threads).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Protocol
+
+from repro.obs.spans import NOOP_SPAN, Span, SpanLike, _NoopSpan, _next_id
+from repro.obs.store import TraceStore
+
+__all__ = ["Tracer", "NoopTracer", "TracerLike", "NOOP_TRACER"]
+
+
+class TracerLike(Protocol):
+    """Structural type shared by :class:`Tracer` and :class:`NoopTracer`.
+
+    Instrumented layers (service, decentralized core, simulator) accept
+    any ``TracerLike``; the default is always :data:`NOOP_TRACER`.
+    """
+
+    @property
+    def enabled(self) -> bool:
+        """Whether spans are actually recorded (the hot-path guard)."""
+        ...
+
+    @property
+    def store(self) -> TraceStore | None:
+        """The trace sink (``None`` for the no-op tracer)."""
+        ...
+
+    def start_span(
+        self,
+        name: str,
+        parent: SpanLike | None = None,
+        **attributes: object,
+    ) -> SpanLike:
+        """Open a span; must be closed via ``with`` (rule RPR009)."""
+        ...
+
+
+class _SpanStack(threading.local):
+    """Per-thread stack of active spans (implicit parenting)."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+
+
+class Tracer:
+    """Creates spans and records finished traces into a store.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.obs.store.TraceStore` finished traces are
+        recorded into (a fresh default-sized store when omitted).
+    """
+
+    #: Real tracers always record; hot paths branch on this once.
+    enabled = True
+
+    def __init__(self, store: TraceStore | None = None) -> None:
+        self.store: TraceStore = store if store is not None else TraceStore()
+        self._stack = _SpanStack()
+
+    def start_span(
+        self,
+        name: str,
+        parent: SpanLike | None = None,
+        **attributes: object,
+    ) -> Span:
+        """Open a span under *parent* (default: the thread's current span).
+
+        A span opened with no parent and no active span starts a new
+        trace; closing it records the tree.  Always use as a context
+        manager: ``with tracer.start_span("name") as span: ...``.
+        """
+        anchor = parent if isinstance(parent, Span) else self.current_span()
+        if anchor is None:
+            trace_id = _next_id("t")
+            parent_id = None
+        else:
+            trace_id = anchor.trace_id
+            parent_id = anchor.span_id
+        span = Span(
+            name=name,
+            tracer=self,
+            trace_id=trace_id,
+            parent_id=parent_id,
+            attributes=dict(attributes),
+        )
+        if anchor is not None:
+            # list.append is atomic under the GIL, so cross-thread
+            # explicit parenting needs no extra lock here.
+            anchor.children.append(span)
+        return span
+
+    def current_span(self) -> Span | None:
+        """The innermost active span on *this* thread, or ``None``."""
+        stack = self._stack.spans
+        return stack[-1] if stack else None
+
+    # -- span lifecycle hooks (called by Span) ------------------------------
+
+    def _push(self, span: Span) -> None:
+        self._stack.spans.append(span)
+
+    def _finish(self, span: Span) -> None:
+        stack = self._stack.spans
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # tolerate out-of-order exits
+            stack.remove(span)
+        if span.parent_id is None:
+            self.store.record(span)
+
+
+class NoopTracer:
+    """The zero-overhead tracer: never records, hands out one no-op span.
+
+    The default for every instrumented layer.  ``enabled`` is ``False``
+    so hot paths (the service's cached-answer path) skip all tracing
+    work behind a single branch; instrumentation points that are not
+    individually guarded degrade to no-op method calls on the shared
+    :data:`~repro.obs.spans.NOOP_SPAN`.
+    """
+
+    #: Never records; the hot-path branch reads this.
+    enabled = False
+    #: No sink — there is nothing to record into.
+    store: TraceStore | None = None
+
+    def start_span(
+        self,
+        name: str,
+        parent: SpanLike | None = None,
+        **attributes: object,
+    ) -> _NoopSpan:
+        """Return the shared no-op span (nothing is recorded)."""
+        return NOOP_SPAN
+
+
+#: Shared process-wide no-op tracer (safe: it holds no state).
+NOOP_TRACER = NoopTracer()

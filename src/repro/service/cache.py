@@ -38,6 +38,7 @@ from collections.abc import Callable, Hashable
 from typing import Generic, TypeVar
 
 from repro.exceptions import ServiceError
+from repro.obs import NOOP_TRACER, TracerLike
 
 __all__ = ["LRUCache", "AggregationCache", "GenerationMemo"]
 
@@ -135,19 +136,30 @@ class GenerationMemo(Generic[V]):
             return self._generation, self._value
 
     def get_or_build(
-        self, generation: int, factory: Callable[[], V]
+        self,
+        generation: int,
+        factory: Callable[[], V],
+        tracer: TracerLike = NOOP_TRACER,
     ) -> V:
         """Return the value for *generation*, building it at most once.
 
         The factory runs while the memo lock is held: concurrent
         callers for the same generation serialize behind the single
-        build instead of each paying for their own.
+        build instead of each paying for their own.  When *tracer* is
+        given, an actual build (memo miss) is wrapped in a
+        ``memo.build`` span — memo hits stay span-free, so the trace
+        of a warm batch shows exactly one build however many class
+        groups asked.
         """
         generation = int(generation)
         with self._lock:
             if self._generation == generation and self._value is not None:
                 return self._value
-            value = factory()
+            with tracer.start_span(
+                "memo.build", generation=generation
+            ) as span:
+                value = factory()
+                span.set(stale_generation=self._generation)
             self._value = value
             self._generation = generation
             return value

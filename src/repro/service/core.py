@@ -38,6 +38,7 @@ from repro.core.decentralized import (
 )
 from repro.core.query import BandwidthClasses, ClusterQuery
 from repro.exceptions import ServiceError, StaleGenerationError
+from repro.obs import NOOP_SPAN, NOOP_TRACER, SpanLike, TracerLike
 from repro.predtree.framework import (
     BandwidthPredictionFramework,
     MembershipChange,
@@ -143,6 +144,12 @@ class ClusterQueryService:
     telemetry:
         Optional externally owned telemetry sink (a fresh one is
         created by default).
+    tracer:
+        Optional :class:`~repro.obs.tracer.TracerLike`.  With a real
+        :class:`~repro.obs.Tracer`, every query produces a span tree
+        (submit → cache lookup → substrate build / CRT pass → routing)
+        recorded into the tracer's store; the default no-op tracer
+        keeps the hot path untraced behind a single branch.
 
     Notes
     -----
@@ -165,6 +172,7 @@ class ClusterQueryService:
         pair_order: str = "nearest",
         cache_size: int = 1024,
         telemetry: ServiceTelemetry | None = None,
+        tracer: TracerLike | None = None,
     ) -> None:
         if framework.size < 2:
             raise ServiceError(
@@ -185,6 +193,9 @@ class ClusterQueryService:
             AggregationCache()
         )
         self._telemetry = telemetry or ServiceTelemetry()
+        self._tracer: TracerLike = (
+            tracer if tracer is not None else NOOP_TRACER
+        )
         # Serializes membership changes and generation reads against
         # each other; query execution itself runs outside the lock so
         # batched classes can fan out across threads.
@@ -223,14 +234,26 @@ class ClusterQueryService:
         """The telemetry sink (counters + latency histogram)."""
         return self._telemetry
 
+    @property
+    def tracer(self) -> TracerLike:
+        """The tracer queries are recorded through (no-op by default)."""
+        return self._tracer
+
     def stats(self) -> ServiceStats:
-        """Operational snapshot: generation, cache fill, telemetry."""
+        """Operational snapshot: generation, cache fill, telemetry.
+
+        When the service is traced, the telemetry snapshot carries the
+        trace id of the slowest recent query so operators can pivot
+        from quantiles to one concrete span tree.
+        """
+        store = self._tracer.store
+        slowest = store.slowest_trace_id() if store is not None else None
         return ServiceStats(
             generation=self.generation,
             host_count=self._framework.size,
             result_cache_entries=len(self._results),
             aggregation_entries=len(self._aggregations),
-            telemetry=self._telemetry.snapshot(),
+            telemetry=self._telemetry.snapshot(slowest_trace_id=slowest),
         )
 
     # -- membership -----------------------------------------------------------
@@ -243,10 +266,11 @@ class ClusterQueryService:
         overlay neighborhood) — the next query pays a per-class CRT
         pass, not a full node-info rebuild.
         """
-        with self._membership_lock:
-            self._framework.add_host(host)
-            self._invalidate_locked()
-            self._maintain_substrate_locked(self._framework.last_change)
+        with self._tracer.start_span("service.add_host", host=host):
+            with self._membership_lock:
+                self._framework.add_host(host)
+                self._invalidate_locked()
+                self._maintain_substrate_locked(self._framework.last_change)
         self._telemetry.record_membership_change()
 
     def remove_host(self, host: int) -> list[int]:
@@ -263,10 +287,14 @@ class ClusterQueryService:
         restructured the anchor tree, so the substrate is dropped and
         rebuilt cold by the next query.
         """
-        with self._membership_lock:
-            rejoined = self._framework.remove_host(host)
-            self._invalidate_locked()
-            self._maintain_substrate_locked(self._framework.last_change)
+        with self._tracer.start_span(
+            "service.remove_host", host=host
+        ) as span:
+            with self._membership_lock:
+                rejoined = self._framework.remove_host(host)
+                self._invalidate_locked()
+                self._maintain_substrate_locked(self._framework.last_change)
+            span.set(rejoined=len(rejoined))
         self._telemetry.record_membership_change()
         return rejoined
 
@@ -349,7 +377,7 @@ class ClusterQueryService:
 
         def build() -> AggregationSubstrate:
             substrate = AggregationSubstrate(
-                self._framework, n_cut=self._n_cut
+                self._framework, n_cut=self._n_cut, tracer=self._tracer
             )
             substrate.ensure()
             self._telemetry.record_substrate_build()
@@ -361,7 +389,9 @@ class ClusterQueryService:
                     f"substrate requested for generation {generation}, "
                     f"overlay is at {self.generation}"
                 )
-            return self._substrate.get_or_build(generation, build)
+            return self._substrate.get_or_build(
+                generation, build, tracer=self._tracer
+            )
 
     def prepare(self, generation: int | None = None) -> None:
         """Eagerly build the shared substrate for *generation*.
@@ -395,18 +425,26 @@ class ClusterQueryService:
         search = self._aggregations.get(snapped, generation)
         if search is not None:
             return search
-        substrate = self._substrate_for(generation)
-        search = DecentralizedClusterSearch(
-            self._framework,
-            BandwidthClasses([snapped], transform=self._classes.transform),
-            n_cut=self._n_cut,
-            pair_order=self._pair_order,
-            substrate=substrate,
-        )
-        search.run_aggregation()
-        self._telemetry.record_aggregation_build()
-        self._aggregations.put(snapped, generation, search)
-        return search
+        with self._tracer.start_span(
+            "service.class_search",
+            snapped_b=snapped,
+            generation=generation,
+        ):
+            substrate = self._substrate_for(generation)
+            search = DecentralizedClusterSearch(
+                self._framework,
+                BandwidthClasses(
+                    [snapped], transform=self._classes.transform
+                ),
+                n_cut=self._n_cut,
+                pair_order=self._pair_order,
+                substrate=substrate,
+                tracer=self._tracer,
+            )
+            search.run_aggregation()
+            self._telemetry.record_aggregation_build()
+            self._aggregations.put(snapped, generation, search)
+            return search
 
     def submit(
         self,
@@ -430,7 +468,26 @@ class ClusterQueryService:
             :class:`~repro.exceptions.StaleGenerationError` instead of
             returning an answer the caller would consider stale.
         """
+        # The one tracing branch on the hot path: with the default
+        # no-op tracer a submit pays exactly this comparison and
+        # nothing else (NOOP_SPAN short-circuits all decoration).
+        if not self._tracer.enabled:
+            return self._answer(query, start, expected_generation, NOOP_SPAN)
+        with self._tracer.start_span(
+            "service.submit", k=query.k, b=query.b
+        ) as span:
+            return self._answer(query, start, expected_generation, span)
+
+    def _answer(
+        self,
+        query: ClusterQuery,
+        start: int | None,
+        expected_generation: int | None,
+        span: SpanLike,
+    ) -> ServiceResult:
+        """Compute one answer, decorating *span* when tracing is on."""
         began = time.perf_counter()
+        traced = span is not NOOP_SPAN
         generation = self.generation
         if (
             expected_generation is not None
@@ -442,9 +499,19 @@ class ClusterQueryService:
             )
         snapped = self._classes.snap_bandwidth(query.b)
         key = (query.k, snapped, generation)
-        cached = self._results.get(key)
+        if traced:
+            span.set(snapped_b=snapped, generation=generation)
+            with span.start_span("service.cache_lookup") as lookup:
+                cached = self._results.get(key)
+                lookup.set(
+                    outcome="hit" if cached is not None else "miss"
+                )
+        else:
+            cached = self._results.get(key)
         if cached is not None:
             cluster, hops, entry, l = cached
+            if traced:
+                span.set(cache="hit", found=bool(cluster))
             self._telemetry.record_query(
                 time.perf_counter() - began, cached=True,
                 found=bool(cluster),
@@ -460,6 +527,9 @@ class ClusterQueryService:
                 latency_s=time.perf_counter() - began,
             )
 
+        # Miss path: dominated by the class search / routing below, so
+        # unguarded no-op span calls are in the noise here.
+        span.set(cache="miss")
         search = self._class_search(snapped, generation)
         # Host membership comes from the search's adopted snapshot, not
         # the live framework: both the emptiness check and the default
@@ -472,8 +542,11 @@ class ClusterQueryService:
                 "has departed; add_host() before submitting"
             )
         entry = start if start is not None else hosts[0]
-        outcome = search.process_query(query.k, snapped, start=entry)
+        with span.start_span("service.route", entry=entry) as route:
+            outcome = search.process_query(query.k, snapped, start=entry)
+            route.set(hops=outcome.hops, found=bool(outcome.cluster))
         cluster = tuple(outcome.cluster)
+        span.set(found=bool(cluster), hops=outcome.hops)
         # Re-validate and publish atomically: holding the membership
         # lock means no invalidation can slip between the generation
         # check and the cache insert, which would strand a

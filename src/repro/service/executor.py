@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.query import BandwidthClasses, ClusterQuery
 from repro.exceptions import ServiceError
+from repro.obs import NOOP_SPAN, SpanLike
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.core import ClusterQueryService, ServiceResult
@@ -89,30 +90,55 @@ class BatchExecutor:
         service.telemetry.record_batch()
         if not queries:
             return []
+        tracer = service.tracer
+        if not tracer.enabled:
+            return self._run(queries, start, NOOP_SPAN)
+        with tracer.start_span(
+            "service.submit_batch", queries=len(queries)
+        ) as span:
+            return self._run(queries, start, span)
+
+    def _run(
+        self,
+        queries: list[ClusterQuery],
+        start: int | None,
+        span: SpanLike,
+    ) -> list["ServiceResult"]:
+        """Execute the grouped batch, decorating *span* when traced."""
+        service = self._service
         generation = service.generation
         groups = group_by_class(queries, service.classes)
+        span.set(generation=generation, classes=len(groups))
         results: list[ServiceResult | None] = [None] * len(queries)
 
-        def run_group(indices: list[int]) -> None:
-            for index in indices:
-                results[index] = service.submit(
-                    queries[index],
-                    start=start,
-                    expected_generation=generation,
-                )
+        def run_group(item: tuple[float, list[int]]) -> None:
+            snapped, indices = item
+            # The group span is *entered on the worker thread* with an
+            # explicit parent: entering pushes it onto that thread's
+            # local stack, so the submit spans below nest under it
+            # instead of starting new root traces.
+            with span.start_span(
+                "batch.group", snapped_b=snapped, queries=len(indices)
+            ):
+                for index in indices:
+                    results[index] = service.submit(
+                        queries[index],
+                        start=start,
+                        expected_generation=generation,
+                    )
 
-        group_lists = list(groups.values())
-        if self._max_workers is not None and len(group_lists) > 1:
+        group_items = list(groups.items())
+        if self._max_workers is not None and len(group_items) > 1:
             # Build the shared class-independent substrate once, up
             # front; workers then only pay their own per-class CRT
             # pass instead of serializing behind (or duplicating) the
             # expensive node-info fixed point.
             service.prepare(generation)
-            workers = min(self._max_workers, len(group_lists))
+            workers = min(self._max_workers, len(group_items))
             with ThreadPoolExecutor(max_workers=workers) as pool:
                 # list() re-raises the first worker exception, if any.
-                list(pool.map(run_group, group_lists))
+                list(pool.map(run_group, group_items))
         else:
-            for indices in group_lists:
-                run_group(indices)
+            for item in group_items:
+                run_group(item)
         return [result for result in results if result is not None]

@@ -29,9 +29,14 @@ class LatencyHistogram:
 
     Keeps at most *capacity* samples; once full, every new sample
     overwrites the oldest (a sliding window, which for a service is the
-    regime of interest — recent behaviour).  Quantiles use the
-    nearest-rank method on a sorted copy, so reads never perturb the
-    reservoir.
+    regime of interest — recent behaviour).  **Every statistic reads
+    that same window**: :meth:`mean` and :meth:`quantile` both describe
+    the retained samples, so once the reservoir wraps they stay
+    mutually consistent (a windowed sum is maintained incrementally —
+    the overwritten sample is subtracted on overwrite).  Lifetime
+    exposure is the *count* only, via :attr:`total_recorded`.
+    Quantiles use the nearest-rank method on a sorted copy, so reads
+    never perturb the reservoir.
     """
 
     def __init__(self, capacity: int = 4096) -> None:
@@ -41,7 +46,7 @@ class LatencyHistogram:
         self._samples: list[float] = []
         self._cursor = 0
         self._total = 0
-        self._sum = 0.0
+        self._window_sum = 0.0
 
     def record(self, seconds: float) -> None:
         """Add one latency sample (in seconds)."""
@@ -53,10 +58,11 @@ class LatencyHistogram:
         if len(self._samples) < self._capacity:
             self._samples.append(value)
         else:
+            self._window_sum -= self._samples[self._cursor]
             self._samples[self._cursor] = value
             self._cursor = (self._cursor + 1) % self._capacity
         self._total += 1
-        self._sum += value
+        self._window_sum += value
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -67,8 +73,14 @@ class LatencyHistogram:
         return self._total
 
     def mean(self) -> float:
-        """Mean over every sample ever recorded (``nan`` when empty)."""
-        return self._sum / self._total if self._total else float("nan")
+        """Mean over the current window (``nan`` when empty).
+
+        Windowed to match :meth:`quantile` — mean and p50 always
+        describe the same population of samples.
+        """
+        if not self._samples:
+            return float("nan")
+        return self._window_sum / len(self._samples)
 
     def quantile(self, q: float) -> float:
         """Nearest-rank quantile ``q in [0, 1]`` over the current window.
@@ -112,8 +124,14 @@ class TelemetrySnapshot:
     unsatisfied:
         Queries that returned an empty cluster.
     latency_p50_s / latency_p95_s / latency_p99_s / latency_mean_s:
-        Per-query service latency quantiles in seconds (``nan`` before
-        the first query).
+        Per-query service latency statistics in seconds, all computed
+        over the histogram's sliding window (``nan`` before the first
+        query).
+    slowest_trace_id:
+        Trace id of the slowest query currently retained by the
+        service's :class:`~repro.obs.store.TraceStore` — the handle to
+        jump from quantiles to the full span tree.  ``None`` when the
+        service runs untraced (the default no-op tracer).
     """
 
     queries_served: int
@@ -129,6 +147,7 @@ class TelemetrySnapshot:
     latency_p95_s: float
     latency_p99_s: float
     latency_mean_s: float
+    slowest_trace_id: str | None = None
 
     @property
     def hit_rate(self) -> float:
@@ -192,8 +211,15 @@ class ServiceTelemetry:
         with self._lock:
             self._membership_changes += 1
 
-    def snapshot(self) -> TelemetrySnapshot:
-        """Freeze the current counters into a :class:`TelemetrySnapshot`."""
+    def snapshot(
+        self, *, slowest_trace_id: str | None = None
+    ) -> TelemetrySnapshot:
+        """Freeze the current counters into a :class:`TelemetrySnapshot`.
+
+        *slowest_trace_id* is threaded through verbatim — the service
+        passes its trace store's current slowest trace so operators can
+        pivot from the latency quantiles to one concrete span tree.
+        """
         with self._lock:
             return TelemetrySnapshot(
                 queries_served=self._queries_served,
@@ -209,4 +235,5 @@ class ServiceTelemetry:
                 latency_p95_s=self._histogram.quantile(0.95),
                 latency_p99_s=self._histogram.quantile(0.99),
                 latency_mean_s=self._histogram.mean(),
+                slowest_trace_id=slowest_trace_id,
             )

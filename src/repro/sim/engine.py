@@ -217,14 +217,21 @@ class Engine:
         """Queue a message for delivery *delay* rounds from now.
 
         Subject to the engine's injected loss rate: lost messages are
-        counted in ``messages_lost`` and never delivered.
+        counted in ``messages_lost`` and never delivered.  Self-sends
+        (``sender == recipient``) are exempt from loss injection — a
+        node handing work to its own future round does not cross the
+        network, so modelled link loss must not eat it.
         """
         if delay < 1:
             raise SimulationError("delay must be >= 1 round")
         if recipient not in self.nodes:
             self.messages_dropped += 1
             return
-        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+        if (
+            sender != recipient
+            and self.loss_rate > 0.0
+            and self._rng.random() < self.loss_rate
+        ):
             self.messages_lost += 1
             return
         message = Message(
@@ -271,9 +278,15 @@ class Engine:
         for _ in range(max_rounds):
             self.run_round()
             executed += 1
-            if any(
+            # Evaluate EVERY observer before deciding to stop: a
+            # short-circuiting any() would starve observers after the
+            # first True one of their final-round callback (stateful
+            # observers like FixedPointObserver depend on seeing every
+            # round).
+            stop = [
                 observer.after_round(self) for observer in self._observers
-            ):
+            ]
+            if any(stop):
                 break
         return executed
 

@@ -19,6 +19,7 @@ from repro.core.find_cluster import find_cluster
 from repro.core.query import BandwidthClasses
 from repro.exceptions import SimulationError
 from repro.metrics.metric import DistanceMatrix
+from repro.obs import NOOP_TRACER, TracerLike
 from repro.sim.engine import Engine, Protocol, SimNode
 from repro.sim.protocols import CRT, NODE_INFO, CrtProtocol, NodeInfoProtocol
 
@@ -57,6 +58,7 @@ class QueryProtocol(Protocol):
     """
 
     distances: DistanceMatrix
+    tracer: TracerLike = NOOP_TRACER
     results: dict[int, _ReplyMessage] = field(default_factory=dict)
 
     def on_round(self, node: SimNode, engine: Engine) -> None:
@@ -79,6 +81,18 @@ class QueryProtocol(Protocol):
     def _handle_query(
         self, node: SimNode, query: _QueryMessage, engine: Engine
     ) -> None:
+        with self.tracer.start_span(
+            "sim.hop",
+            host=node.node_id,
+            query_id=query.query_id,
+            hops=query.hops,
+        ) as span:
+            span.set(outcome=self._route(node, query, engine))
+
+    def _route(
+        self, node: SimNode, query: _QueryMessage, engine: Engine
+    ) -> str:
+        """One Algorithm 4 step; returns the hop outcome for tracing."""
         node_info = node.protocol(NODE_INFO)
         crt = node.protocol(CRT)
         assert isinstance(node_info, NodeInfoProtocol)
@@ -92,7 +106,7 @@ class QueryProtocol(Protocol):
             if found:
                 cluster = tuple(sorted(space[i] for i in found))
                 self._reply(node, query, cluster, engine)
-                return
+                return "answered"
         for neighbor in node.neighbors:
             if neighbor == query.previous:
                 continue
@@ -111,8 +125,9 @@ class QueryProtocol(Protocol):
                         hops=query.hops + 1,
                     ),
                 )
-                return
+                return "forwarded"
         self._reply(node, query, (), engine)
+        return "unsatisfied"
 
     def _reply(
         self,
@@ -131,13 +146,23 @@ class QueryProtocol(Protocol):
 
 
 class QueryClient:
-    """Submits queries into a running simulation and awaits replies."""
+    """Submits queries into a running simulation and awaits replies.
+
+    Bookkeeping for in-flight queries lives in ``_pending`` so
+    :meth:`await_result` can re-submit under loss; entries are removed
+    as soon as :meth:`result` observes the reply, so a long-lived
+    client does not leak one record per query ever submitted.
+    """
 
     def __init__(
-        self, engine: Engine, classes: BandwidthClasses
+        self,
+        engine: Engine,
+        classes: BandwidthClasses,
+        tracer: TracerLike = NOOP_TRACER,
     ) -> None:
         self._engine = engine
         self._classes = classes
+        self._tracer = tracer
         self._ids = count()
         self._pending: dict[int, _QueryMessage] = {}
 
@@ -153,15 +178,32 @@ class QueryClient:
             origin=start, previous=None, hops=0,
         )
         self._pending[query_id] = message
-        # Self-delivery via the engine keeps all handling in one path.
+        # Self-delivery via the engine keeps all handling in one path;
+        # the engine exempts sender == recipient from loss injection,
+        # so a lossy network cannot eat the query before it exists.
         self._engine.send(start, start, QUERY, message)
         return query_id
 
     def result(self, start: int, query_id: int):
-        """The reply for *query_id* at its origin, or ``None`` so far."""
-        protocol = self._engine.nodes[start].protocol(QUERY)
+        """The reply for *query_id* at its origin, or ``None`` so far.
+
+        Raises :class:`~repro.exceptions.SimulationError` when *start*
+        has left the simulation (churn): its result slot departed with
+        it, so the reply is unreachable rather than merely late.
+        """
+        node = self._engine.nodes.get(start)
+        if node is None:
+            raise SimulationError(
+                f"origin host {start} is no longer in the simulation; "
+                f"the reply for query {query_id} is unreachable"
+            )
+        protocol = node.protocol(QUERY)
         assert isinstance(protocol, QueryProtocol)
-        return protocol.results.get(query_id)
+        reply = protocol.results.get(query_id)
+        if reply is not None:
+            # The round trip is over; drop the retry bookkeeping.
+            self._pending.pop(query_id, None)
+        return reply
 
     def await_result(
         self,
@@ -178,41 +220,61 @@ class QueryClient:
         that-many silent rounds — re-submission is safe because routing
         is read-only and the newest reply simply overwrites the result
         slot (standard at-least-once RPC over an idempotent handler).
+
+        When the client is traced, the wait is wrapped in a
+        ``sim.await`` span; ``sim.hop`` spans for hops delivered during
+        the wait nest under it (the engine rounds run on this thread).
         """
-        pending = self._pending.get(query_id)
-        silent = 0
-        for _ in range(max_rounds):
-            reply = self.result(start, query_id)
-            if reply is not None:
+        with self._tracer.start_span(
+            "sim.await", query_id=query_id, origin=start
+        ) as span:
+            pending = self._pending.get(query_id)
+            silent = 0
+            retries = 0
+            rounds = 0
+            try:
+                for _ in range(max_rounds):
+                    reply = self.result(start, query_id)
+                    if reply is not None:
+                        return reply
+                    if (
+                        retry_after is not None
+                        and pending is not None
+                        and silent >= retry_after
+                    ):
+                        self._engine.send(start, start, QUERY, pending)
+                        retries += 1
+                        silent = 0
+                    self._engine.run_round()
+                    rounds += 1
+                    silent += 1
+                reply = self.result(start, query_id)
+                if reply is None:
+                    raise SimulationError(
+                        f"query {query_id} unanswered after "
+                        f"{max_rounds} rounds"
+                    )
                 return reply
-            if (
-                retry_after is not None
-                and pending is not None
-                and silent >= retry_after
-            ):
-                self._engine.send(start, start, QUERY, pending)
-                silent = 0
-            self._engine.run_round()
-            silent += 1
-        reply = self.result(start, query_id)
-        if reply is None:
-            raise SimulationError(
-                f"query {query_id} unanswered after {max_rounds} rounds"
-            )
-        return reply
+            finally:
+                span.set(rounds=rounds, retries=retries)
 
 
 def attach_query_protocol(
     engine: Engine,
     search: DecentralizedClusterSearch,
+    tracer: TracerLike = NOOP_TRACER,
 ) -> QueryClient:
     """Install :class:`QueryProtocol` on every node of *engine*.
 
     The engine must already carry the aggregation protocols
     (:func:`repro.sim.protocols.build_cluster_simulation`); *search*
-    provides the shared predicted metric and class set.
+    provides the shared predicted metric and class set.  With a real
+    *tracer*, every routed hop emits a ``sim.hop`` span and client
+    waits emit ``sim.await`` spans.
     """
     distances = search.framework.predicted_distance_matrix()
     for node in engine.nodes.values():
-        node.protocols[QUERY] = QueryProtocol(distances=distances)
-    return QueryClient(engine, search.classes)
+        node.protocols[QUERY] = QueryProtocol(
+            distances=distances, tracer=tracer
+        )
+    return QueryClient(engine, search.classes, tracer=tracer)

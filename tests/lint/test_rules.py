@@ -430,3 +430,61 @@ class TestRPR008WallClock:
             rules=["RPR008"],
         )
         assert findings == []
+
+
+class TestRPR009SpanContext:
+    def test_bare_start_span_flagged(self, harness):
+        findings = harness.lint(
+            "src/repro/service/bad_span.py",
+            """
+            def answer(tracer, query):
+                span = tracer.start_span("service.submit")
+                span.set(k=query.k)
+                return query
+            """,
+            rules=["RPR009"],
+        )
+        assert rule_ids(findings) == {"RPR009"}
+        assert "with" in findings[0].message
+
+    def test_nested_bare_child_flagged(self, harness):
+        findings = harness.lint(
+            "src/repro/service/bad_child.py",
+            """
+            def answer(tracer):
+                with tracer.start_span("outer") as span:
+                    child = span.start_span("inner")
+                    child.set(ok=True)
+            """,
+            rules=["RPR009"],
+        )
+        assert rule_ids(findings) == {"RPR009"}
+        assert len(findings) == 1
+
+    def test_with_item_clean(self, harness):
+        findings = harness.lint(
+            "src/repro/service/good_span.py",
+            """
+            def answer(tracer, query):
+                with tracer.start_span("service.submit") as span:
+                    span.set(k=query.k)
+                    with span.start_span("service.route"):
+                        return query
+            """,
+            rules=["RPR009"],
+        )
+        assert findings == []
+
+    def test_noqa_opts_a_delegator_out(self, harness):
+        findings = harness.lint(
+            "src/repro/obs/delegate.py",
+            """
+            class Wrapper:
+                def start_span(self, name):
+                    return self._tracer.start_span(  # repro: noqa[RPR009] - delegator
+                        name
+                    )
+            """,
+            rules=["RPR009"],
+        )
+        assert findings == []

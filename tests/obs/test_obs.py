@@ -1,0 +1,240 @@
+"""Unit tests for repro.obs: spans, tracers, and the trace store."""
+
+import json
+import threading
+
+import pytest
+
+from repro.exceptions import TracingError
+from repro.obs import (
+    NOOP_SPAN,
+    NOOP_TRACER,
+    Trace,
+    Tracer,
+    TraceStore,
+    render_trace_text,
+)
+
+
+def fresh_tracer(**store_kwargs) -> Tracer:
+    return Tracer(store=TraceStore(**store_kwargs))
+
+
+class TestSpanTrees:
+    def test_nesting_is_implicit_within_a_thread(self):
+        tracer = fresh_tracer()
+        with tracer.start_span("root") as root:
+            with tracer.start_span("child") as child:
+                with tracer.start_span("grandchild"):
+                    pass
+            with tracer.start_span("sibling"):
+                pass
+        assert [c.name for c in root.children] == ["child", "sibling"]
+        assert [c.name for c in child.children] == ["grandchild"]
+        assert all(
+            span.trace_id == root.trace_id for span in root.iter_spans()
+        )
+
+    def test_attributes_at_open_and_via_set(self):
+        tracer = fresh_tracer()
+        with tracer.start_span("s", k=3) as span:
+            span.set(b=25.0, found=True)
+        assert span.attributes == {"k": 3, "b": 25.0, "found": True}
+
+    def test_root_close_records_the_trace(self):
+        tracer = fresh_tracer()
+        with tracer.start_span("root"):
+            with tracer.start_span("child"):
+                pass
+            # Child close must NOT record anything yet.
+            assert len(tracer.store) == 0
+        assert len(tracer.store) == 1
+        trace = tracer.store.traces()[0]
+        assert trace.root.name == "root"
+        assert trace.duration_s >= 0
+
+    def test_exception_marks_span_error_and_propagates(self):
+        tracer = fresh_tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.start_span("root") as span:
+                raise ValueError("boom")
+        assert span.status == "error"
+        assert "boom" in span.error
+        assert len(tracer.store) == 1  # errored traces are recorded too
+
+    def test_explicit_parent_crosses_threads(self):
+        tracer = fresh_tracer()
+        with tracer.start_span("batch") as batch:
+
+            def work() -> None:
+                # Entering with an explicit parent pushes onto THIS
+                # thread's stack, so further implicit spans nest.
+                with tracer.start_span("group", parent=batch):
+                    with tracer.start_span("inner"):
+                        pass
+
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+        (trace,) = tracer.store.traces()
+        (group,) = trace.root.spans_named("group")
+        assert [c.name for c in group.children] == ["inner"]
+
+    def test_span_search_helpers(self):
+        tracer = fresh_tracer()
+        with tracer.start_span("root") as root:
+            with tracer.start_span("x"):
+                pass
+            with tracer.start_span("x"):
+                pass
+        assert len(root.spans_named("x")) == 2
+        assert root.find("x") is not None
+        assert root.find("missing") is None
+
+    def test_to_dict_round_trips_through_json(self):
+        tracer = fresh_tracer()
+        with tracer.start_span("root", k=3) as root:
+            with tracer.start_span("child"):
+                pass
+        payload = json.loads(json.dumps(root.to_dict()))
+        assert payload["name"] == "root"
+        assert payload["attributes"] == {"k": 3}
+        assert payload["children"][0]["name"] == "child"
+
+
+class TestNoopPath:
+    def test_noop_tracer_is_disabled_and_storeless(self):
+        assert NOOP_TRACER.enabled is False
+        assert NOOP_TRACER.store is None
+
+    def test_noop_span_is_shared_and_inert(self):
+        span = NOOP_TRACER.start_span("anything", k=1)
+        assert span is NOOP_SPAN
+        with span.start_span("child") as child:
+            assert child is NOOP_SPAN
+            assert child.set(x=1) is NOOP_SPAN
+
+
+class TestTraceStore:
+    def test_validates_configuration(self):
+        with pytest.raises(TracingError):
+            TraceStore(capacity=0)
+        with pytest.raises(TracingError):
+            TraceStore(slow_capacity=0)
+        with pytest.raises(TracingError):
+            TraceStore(slow_threshold_s=-1.0)
+        with pytest.raises(TracingError):
+            TraceStore(slow_threshold_s=float("nan"))
+
+    def test_ring_drops_oldest_and_counts(self):
+        tracer = fresh_tracer(capacity=2)
+        for name in ("a", "b", "c"):
+            with tracer.start_span(name):
+                pass
+        store = tracer.store
+        assert store.recorded == 3
+        assert store.dropped == 1
+        assert [t.root.name for t in store.traces()] == ["b", "c"]
+
+    def test_slow_query_log_survives_fast_traffic(self):
+        # Threshold 0 ⇒ everything is "slow"; a tiny slow ring plus a
+        # tiny main ring shows the two are independently bounded.
+        tracer = fresh_tracer(
+            capacity=2, slow_threshold_s=0.0, slow_capacity=3
+        )
+        for name in ("a", "b", "c", "d"):
+            with tracer.start_span(name):
+                pass
+        store = tracer.store
+        assert [t.root.name for t in store.traces()] == ["c", "d"]
+        assert [t.root.name for t in store.slow_queries()] == [
+            "b", "c", "d",
+        ]
+
+    def test_threshold_filters_fast_traces(self):
+        tracer = fresh_tracer(slow_threshold_s=3600.0)
+        with tracer.start_span("fast"):
+            pass
+        assert tracer.store.slow_queries() == []
+        assert len(tracer.store) == 1
+
+    def test_slowest_and_find_and_clear(self):
+        tracer = fresh_tracer(slow_threshold_s=0.0)
+        with tracer.start_span("quick"):
+            pass
+        with tracer.start_span("slow"):
+            for _ in range(2000):
+                pass
+        store = tracer.store
+        ranked = store.slowest(2)
+        assert len(ranked) == 2
+        assert ranked[0].duration_s >= ranked[1].duration_s
+        assert store.slowest_trace_id() == ranked[0].trace_id
+        assert store.find(ranked[0].trace_id) is ranked[0]
+        assert store.find("t999999") is None
+        with pytest.raises(TracingError):
+            store.slowest(0)
+        store.clear()
+        assert len(store) == 0
+        assert store.slowest_trace_id() is None
+        assert store.recorded == 2  # counters survive clear()
+
+    def test_exports(self):
+        tracer = fresh_tracer()
+        with tracer.start_span("root", k=3):
+            with tracer.start_span("child"):
+                pass
+        store = tracer.store
+        parsed = json.loads(store.export_json())
+        assert parsed[0]["root"]["name"] == "root"
+        text = store.export_text()
+        assert "root" in text and "child" in text
+        assert json.loads(store.export_json(limit=0)) == []
+
+    def test_render_trace_text_shape(self):
+        tracer = fresh_tracer()
+        with tracer.start_span("root", k=3):
+            with tracer.start_span("child"):
+                pass
+        (trace,) = tracer.store.traces()
+        lines = render_trace_text(trace).splitlines()
+        assert lines[0].startswith(f"trace {trace.trace_id}")
+        assert lines[1].lstrip().startswith("root")
+        assert "{k=3}" in lines[1]
+        assert lines[2].startswith("    child") or "child" in lines[2]
+
+    def test_trace_to_dict(self):
+        tracer = fresh_tracer()
+        with tracer.start_span("root"):
+            pass
+        (trace,) = tracer.store.traces()
+        assert isinstance(trace, Trace)
+        payload = trace.to_dict()
+        assert payload["trace_id"] == trace.trace_id
+        assert payload["root"]["name"] == "root"
+
+
+class TestConcurrentRecording:
+    def test_many_threads_record_without_corruption(self):
+        tracer = fresh_tracer(capacity=1000)
+
+        def work(i: int) -> None:
+            with tracer.start_span(f"root-{i}"):
+                with tracer.start_span("child"):
+                    pass
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(16)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        store = tracer.store
+        assert store.recorded == 16
+        names = {t.root.name for t in store.traces()}
+        assert names == {f"root-{i}" for i in range(16)}
+        # Each trace kept its own single child — no cross-thread mixing.
+        assert all(
+            len(t.root.children) == 1 for t in store.traces()
+        )

@@ -24,14 +24,32 @@ class TestLatencyHistogram:
         assert math.isnan(histogram.quantile(0.5))
         assert math.isnan(histogram.mean())
 
-    def test_window_slides_but_mean_is_global(self):
+    def test_window_slides_and_mean_is_windowed(self):
         histogram = LatencyHistogram(capacity=4)
         for value in (1.0, 1.0, 1.0, 1.0, 9.0, 9.0, 9.0, 9.0):
             histogram.record(value)
         assert len(histogram) == 4
         assert histogram.total_recorded == 8
-        assert histogram.quantile(0.5) == 9.0      # window: recent half
-        assert histogram.mean() == pytest.approx(5.0)
+        # Both statistics describe the same sliding window (the recent
+        # half), so they agree — mean must not mix in dropped samples.
+        assert histogram.quantile(0.5) == 9.0
+        assert histogram.mean() == pytest.approx(9.0)
+
+    def test_mean_matches_window_after_wraparound(self):
+        # Regression: mean() used to divide the *lifetime* sum by the
+        # lifetime count while quantile() read the sliding window, so
+        # after capacity + k records the two described different
+        # populations.  The windowed sum must subtract each overwritten
+        # sample exactly.
+        histogram = LatencyHistogram(capacity=8)
+        values = [float(v) for v in range(1, 8 + 5 + 1)]   # capacity + 5
+        for value in values:
+            histogram.record(value)
+        window = values[-8:]
+        assert histogram.mean() == pytest.approx(sum(window) / len(window))
+        assert histogram.total_recorded == len(values)
+        assert histogram.quantile(0.0) == min(window)
+        assert histogram.quantile(1.0) == max(window)
 
     def test_rejects_bad_samples(self):
         histogram = LatencyHistogram()

@@ -148,6 +148,44 @@ class TestObservers:
         engine.run(max_rounds=6)
         assert not observer.converged
 
+    def test_every_observer_sees_the_final_round(self):
+        # Regression: stopping used to short-circuit through any(), so
+        # observers registered after the first True one were starved of
+        # their final-round callback (fatal for stateful observers).
+        class StopImmediately(Observer):
+            def after_round(self, engine) -> bool:
+                return True
+
+        class CountRounds(Observer):
+            def __init__(self) -> None:
+                self.calls = 0
+
+            def after_round(self, engine) -> bool:
+                self.calls += 1
+                return False
+
+        engine = two_node_engine()
+        counter = CountRounds()
+        engine.add_observer(StopImmediately())
+        engine.add_observer(counter)
+        executed = engine.run(max_rounds=10)
+        assert executed == 1
+        assert counter.calls == 1
+
+    def test_any_stopping_observer_still_stops(self):
+        class Stop(Observer):
+            def after_round(self, engine) -> bool:
+                return engine.round >= 3
+
+        class Never(Observer):
+            def after_round(self, engine) -> bool:
+                return False
+
+        engine = two_node_engine()
+        engine.add_observer(Never())
+        engine.add_observer(Stop())
+        assert engine.run(max_rounds=100) == 3
+
     def test_node_protocol_lookup(self):
         node = SimNode(node_id=0, neighbors=[])
         with pytest.raises(SimulationError):

@@ -50,18 +50,29 @@ class TestEngineLoss:
 
     def test_full_loss_delivers_nothing(self):
         engine = Engine(loss_rate=1.0, seed=0)
-        engine.add_node(SimNode(node_id=0, neighbors=[]))
-        engine.send(0, 0, "p", "x")
+        engine.add_node(SimNode(node_id=0, neighbors=[1]))
+        engine.add_node(SimNode(node_id=1, neighbors=[0]))
+        engine.send(0, 1, "p", "x")
         assert engine.messages_lost == 1
         engine.run_round()
         assert engine.messages_delivered == 0
 
     def test_partial_loss_counted(self):
         engine = Engine(loss_rate=0.5, seed=1)
-        engine.add_node(SimNode(node_id=0, neighbors=[]))
+        engine.add_node(SimNode(node_id=0, neighbors=[1]))
+        engine.add_node(SimNode(node_id=1, neighbors=[0]))
         for _ in range(200):
-            engine.send(0, 0, "missing", "x")
+            engine.send(0, 1, "missing", "x")
         assert 50 <= engine.messages_lost <= 150
+
+    def test_self_sends_exempt_from_loss(self):
+        # Regression: a node handing work to its own next round never
+        # crosses the network, so even loss_rate=1.0 must not eat it.
+        engine = Engine(loss_rate=1.0, seed=0)
+        engine.add_node(SimNode(node_id=0, neighbors=[]))
+        engine.send(0, 0, "missing", "x")
+        assert engine.messages_lost == 0
+        assert engine.messages_sent == 1
 
 
 class TestAggregationUnderLoss:

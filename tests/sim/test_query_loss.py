@@ -40,12 +40,38 @@ class TestQueryUnderLoss:
         assert reply.cluster == tuple(expected.cluster)
 
     def test_without_retry_total_loss_times_out(self, lossy_stack):
-        framework, _, engine, client = lossy_stack
+        framework, reference, engine, client = lossy_stack
+        # The injection self-send is loss-exempt (it never crosses the
+        # network), so total loss only bites once the query actually
+        # has to be forwarded: pick an entry host that cannot answer
+        # locally.
+        start = next(
+            host
+            for host in framework.hosts
+            if reference.process_query(5, 30.0, start=host).hops > 0
+        )
         engine.set_loss_rate(1.0)
-        start = framework.hosts[0]
-        query_id = client.submit(3, 30.0, start=start)
+        query_id = client.submit(5, 30.0, start=start)
         with pytest.raises(SimulationError):
             client.await_result(start, query_id, max_rounds=15)
+
+    def test_submission_survives_total_loss(self, lossy_stack):
+        # Regression: the client injects via send(start, start, ...),
+        # which used to be subject to injected loss — at loss_rate=1.0
+        # the query vanished before a single hop existed.  Self-sends
+        # are loss-free now, so a locally answerable query completes
+        # even under total network loss, without retries.
+        framework, reference, engine, client = lossy_stack
+        start = next(
+            host
+            for host in framework.hosts
+            if reference.process_query(5, 30.0, start=host).hops == 0
+        )
+        expected = reference.process_query(5, 30.0, start=start)
+        engine.set_loss_rate(1.0)
+        query_id = client.submit(5, 30.0, start=start)
+        reply = client.await_result(start, query_id, max_rounds=15)
+        assert reply.cluster == tuple(expected.cluster)
 
     def test_retry_is_idempotent_when_lossless(self, lossy_stack):
         framework, reference, engine, client = lossy_stack

@@ -72,3 +72,44 @@ class TestQueryProtocol:
         client.await_result(start, query_id)
         rounds_used = engine.round - before
         assert rounds_used <= expected.hops + 3
+
+
+@pytest.fixture()
+def fresh_stack(small_framework, hp_classes):
+    """Function-scoped stack for tests that mutate the engine (churn)."""
+    engine, observer = build_cluster_simulation(
+        small_framework, hp_classes, n_cut=5
+    )
+    engine.run(max_rounds=60)
+    assert observer.converged
+    reference = DecentralizedClusterSearch(
+        small_framework, hp_classes, n_cut=5
+    )
+    reference.run_aggregation()
+    client = attach_query_protocol(engine, reference)
+    return small_framework, reference, engine, client
+
+
+class TestQueryClientBookkeeping:
+    def test_pending_cleaned_after_reply(self, query_stack):
+        # Regression: _pending grew by one entry per query ever
+        # submitted; observing the reply must drop the retry record.
+        framework, _, engine, client = query_stack
+        start = framework.hosts[0]
+        query_id = client.submit(3, 30.0, start=start)
+        assert query_id in client._pending
+        reply = client.await_result(start, query_id)
+        assert reply is not None
+        assert query_id not in client._pending
+
+    def test_churned_origin_raises_simulation_error(self, fresh_stack):
+        # Regression: result() used to raise a bare KeyError when the
+        # origin host had churned out of the simulation.
+        framework, _, engine, client = fresh_stack
+        start = framework.hosts[0]
+        query_id = client.submit(10, 60.0, start=start)
+        engine.remove_node(start)
+        with pytest.raises(SimulationError, match="no longer in"):
+            client.result(start, query_id)
+        with pytest.raises(SimulationError, match="no longer in"):
+            client.await_result(start, query_id, max_rounds=3)

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.extensions",
     "repro.metrics",
+    "repro.obs",
     "repro.predtree",
     "repro.service",
     "repro.sim",

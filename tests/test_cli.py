@@ -34,6 +34,13 @@ class TestParser:
         assert args.churn_rate == 0.0
         assert args.workers is None
 
+    def test_trace_defaults(self):
+        args = build_parser().parse_args(["trace"])
+        assert args.queries == 100
+        assert args.slowest == 3
+        assert args.slow_ms == 50.0
+        assert args.format == "text"
+
 
 class TestCommands:
     def test_dataset_stats(self, capsys):
@@ -82,6 +89,34 @@ class TestCommands:
         assert code == 0
         assert "throughput (q/s)" in out
         assert "generation:" in out
+
+    def test_trace_text(self, capsys):
+        code = main(
+            [
+                "trace", "--n", "25", "--queries", "20",
+                "--batch-size", "10", "--n-cut", "5", "--slowest", "2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "traces recorded:" in out
+        assert "service.submit_batch" in out
+        assert "substrate.build" in out
+
+    def test_trace_json(self, capsys):
+        import json
+
+        code = main(
+            [
+                "trace", "--n", "25", "--queries", "10",
+                "--batch-size", "10", "--n-cut", "5", "--slowest", "1",
+                "--format", "json",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        payload = json.loads(out[out.index("["):])
+        assert payload[0]["root"]["name"] == "service.submit_batch"
 
     def test_hub(self, capsys):
         code = main(["hub", "--n", "20", "--targets", "0", "1", "2"])
