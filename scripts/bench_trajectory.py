@@ -10,24 +10,33 @@ root, so successive commits carry comparable numbers:
   batch over ``m`` classes costs ONE shared node-info fixed point plus
   ``m`` per-class CRT passes, not ``m`` full fixed points;
 * a single ``add_host`` on an n=200 overlay absorbed incrementally
-  (no full substrate rebuild), with its maintenance report.
+  (no full substrate rebuild), with its maintenance report;
+* the kernel-backend comparison — the cold batched build (one
+  substrate fixed point plus one CRT pass per class) timed under
+  ``REPRO_KERNELS=python`` and ``REPRO_KERNELS=numpy`` at n=200, and
+  the numpy cold build alone at n=1000 in full mode.
 
 The script is also a gate: it exits non-zero when the warm
-aggregation-build count is not strictly below the cold one, i.e. when
-the shared-substrate split has silently stopped amortizing.
+aggregation-build count is not strictly below the cold one (the
+shared-substrate split has silently stopped amortizing), or when the
+numpy kernel speedup at n=200 drops below 1.5x (below 3x it only
+warns).
 
 Usage::
 
     PYTHONPATH=src python scripts/bench_trajectory.py [--smoke] [--out PATH]
 
-``--smoke`` shrinks the batch workload for CI; the n=200 incremental
-churn proof runs at full size in both modes.
+``--smoke`` shrinks the batch workload for CI and skips the n=1000
+kernel build; the n=200 incremental churn proof and the n=200 kernel
+comparison run at full size in both modes.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
+import platform
 import sys
 import time
 from pathlib import Path
@@ -37,6 +46,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.query import BandwidthClasses, ClusterQuery  # noqa: E402
 from repro.datasets.planetlab import hp_planetlab_like  # noqa: E402
+from repro.kernels import BACKEND_ENV  # noqa: E402
 from repro.obs import Tracer, TraceStore, TracerLike  # noqa: E402
 from repro.predtree.framework import build_framework  # noqa: E402
 from repro.service import ClusterQueryService  # noqa: E402
@@ -190,6 +200,56 @@ def measure_tracing(n: int, warm_queries: int) -> dict:
     }
 
 
+def _cold_batch_seconds(n: int, backend: str) -> float:
+    """Cold batched build under a pinned kernel backend.
+
+    One query per class: one substrate fixed point + ``m`` CRT passes,
+    the exact workload the kernels vectorize.  The env var is read per
+    build, so pinning it just for this measurement is race-free in a
+    single-threaded driver.
+    """
+    previous = os.environ.get(BACKEND_ENV)
+    os.environ[BACKEND_ENV] = backend
+    try:
+        service = _build_service(n)
+        began = time.perf_counter()
+        service.submit_batch(_batch(service.classes, k=5), max_workers=4)
+        return time.perf_counter() - began
+    finally:
+        if previous is None:
+            os.environ.pop(BACKEND_ENV, None)
+        else:
+            os.environ[BACKEND_ENV] = previous
+
+
+def measure_kernels(smoke: bool) -> dict:
+    """Pure-Python reference vs numpy kernels on the cold batched build."""
+    python_s = _cold_batch_seconds(200, "python")
+    numpy_s = _cold_batch_seconds(200, "numpy")
+    section = {
+        "n200": {
+            "python_cold_s": round(python_s, 6),
+            "numpy_cold_s": round(numpy_s, 6),
+            "speedup": round(python_s / max(numpy_s, 1e-9), 2),
+        },
+    }
+    if not smoke:
+        section["n1000"] = {
+            "numpy_cold_s": round(_cold_batch_seconds(1000, "numpy"), 6),
+        }
+    return section
+
+
+def environment_info() -> dict:
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy.__version__,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -213,14 +273,17 @@ def main(argv: list[str] | None = None) -> int:
     tracing = measure_tracing(
         batch_n, warm_queries=200 if args.smoke else 1000
     )
+    kernels = measure_kernels(smoke=args.smoke)
 
     trajectory = {
-        "schema": 2,
+        "schema": 3,
         "mode": "smoke" if args.smoke else "full",
         "n_cut": N_CUT,
+        "environment": environment_info(),
         "batches": batches,
         "incremental": incremental,
         "tracing": tracing,
+        "kernels": kernels,
     }
     args.out.write_text(json.dumps(trajectory, indent=2) + "\n")
     print(json.dumps(trajectory, indent=2))
@@ -272,6 +335,25 @@ def main(argv: list[str] | None = None) -> int:
             f"({tracing['noop_qps']} q/s) is more than noise slower "
             f"than traced ({tracing['traced_qps']} q/s): the no-op "
             "guard is no longer one cheap branch"
+        )
+    speedup = kernels["n200"]["speedup"]
+    if speedup < 1.5:
+        failures.append(
+            f"numpy kernel cold build at n=200 is only {speedup}x "
+            "faster than the pure-Python reference (hard floor: 1.5x)"
+        )
+    elif speedup < 3.0:
+        print(
+            f"WARN: numpy kernel speedup at n=200 is {speedup}x, "
+            "below the 3x target",
+            file=sys.stderr,
+        )
+    else:
+        print(f"kernel speedup at n=200: {speedup}x (target >= 3x)")
+    if "n1000" in kernels and kernels["n1000"]["numpy_cold_s"] >= 10.0:
+        failures.append(
+            "numpy cold batched build at n=1000 took "
+            f"{kernels['n1000']['numpy_cold_s']}s, expected < 10s"
         )
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)

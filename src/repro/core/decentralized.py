@@ -43,7 +43,16 @@ from dataclasses import dataclass, field
 from repro._validation import check_cluster_size
 from repro.core.find_cluster import find_cluster, max_cluster_size
 from repro.core.query import BandwidthClasses
-from repro.exceptions import QueryError, ValidationError
+from repro.exceptions import KernelError, QueryError, ValidationError
+from repro.kernels import active_backend
+from repro.kernels.aggr import node_info_sweep, tables_from_sweep
+from repro.kernels.crt import (
+    CrtPrecompute,
+    clustering_spaces,
+    crt_sweep,
+    crt_tables,
+)
+from repro.kernels.tree import TreeCSR, compile_tree
 from repro.metrics.metric import DistanceMatrix
 from repro.obs import NOOP_TRACER, TracerLike
 from repro.predtree.framework import BandwidthPredictionFramework
@@ -52,6 +61,7 @@ __all__ = [
     "ClusterNodeState",
     "AggregationReport",
     "AggregationSubstrate",
+    "KernelView",
     "MaintenanceReport",
     "QueryResult",
     "DecentralizedClusterSearch",
@@ -195,6 +205,23 @@ class MaintenanceReport:
     touched_hosts: int
 
 
+@dataclass(frozen=True)
+class KernelView:
+    """Compiled array view of a substrate fixed point.
+
+    Produced by :class:`AggregationSubstrate` on the NumPy backend and
+    consumed by per-class searches: the compiled anchor tree, every
+    host's clustering-space contents (aligned to the CSR's compact
+    numbering), and the shared class-independent CRT precompute.  The
+    view is immutable and internally thread-safe, so any number of
+    concurrent per-class passes can extract from it.
+    """
+
+    csr: TreeCSR
+    spaces: list[tuple[int, ...]]
+    precompute: CrtPrecompute
+
+
 class AggregationSubstrate:
     """The class-independent half of the CRT: Algorithm 2 at fixed point.
 
@@ -255,6 +282,7 @@ class AggregationSubstrate:
         self._built = False
         self._generation = framework.generation
         self._budget = 0
+        self._kernel_view: KernelView | None = None
 
     # -- introspection ------------------------------------------------------
 
@@ -324,6 +352,73 @@ class AggregationSubstrate:
                 self.build()
             return self._distances, self._snapshot_locked(), self._budget
 
+    def adopt_view(
+        self,
+    ) -> tuple[
+        DistanceMatrix,
+        dict[int, tuple[list[int], dict[int, tuple[int, ...]]]],
+        int,
+        KernelView | None,
+    ]:
+        """:meth:`adopt` plus the kernel view, still one lock hold.
+
+        The fourth element is ``None`` on the pure-Python backend (or
+        when the overlay cannot be compiled); per-class searches then
+        run the reference CRT rounds instead of the batched kernel.
+        """
+        with self._lock:
+            if not self._built:
+                self.build()
+            return (
+                self._distances,
+                self._snapshot_locked(),
+                self._budget,
+                self._kernel_view_locked(),
+            )
+
+    def warm_kernel(self) -> bool:
+        """Compile the kernel view ahead of adoption.
+
+        Called by the service's ``prepare()`` before a batch fans out:
+        without it, the first per-class worker after incremental
+        maintenance pays the compile under the substrate lock while
+        its siblings queue behind it.  Returns whether a kernel view
+        is available (``False`` on the pure-Python backend).
+        """
+        with self._lock:
+            if not self._built:
+                self.build()
+            return self._kernel_view_locked() is not None
+
+    def _kernel_view_locked(self) -> KernelView | None:
+        """The cached kernel view, compiling it on demand.
+
+        A substrate maintained incrementally (or built on the python
+        backend) has correct tables but no compiled arrays; the first
+        kernel-backed adoption after such maintenance recompiles from
+        the substrate's own state — never the live framework, which may
+        already have moved on.
+        """
+        if active_backend() != "numpy":
+            return None
+        if self._kernel_view is None:
+            try:
+                with self._tracer.start_span(
+                    "kernel.compile", hosts=len(self._neighbors)
+                ) as span:
+                    csr = compile_tree(
+                        self._neighbors, self._distances.values
+                    )
+                    span.set(depth=csr.depth)
+            except KernelError:
+                return None
+            self._kernel_view = KernelView(
+                csr=csr,
+                spaces=clustering_spaces(csr, self._tables),
+                precompute=CrtPrecompute(self._distances.values),
+            )
+        return self._kernel_view
+
     # -- fixed-point computation --------------------------------------------
 
     def _round_budget(self) -> int:
@@ -373,23 +468,65 @@ class AggregationSubstrate:
             for host in self.framework.hosts
         }
         self._tables = {host: {} for host in self._neighbors}
+        self._kernel_view = None
         budget = self._round_budget()
-        rounds, messages, _, quiesced = self._propagate_from(
-            set(self._neighbors), budget
-        )
-        if not quiesced:
-            raise QueryError(
-                "Algorithm 2 failed to reach a fixed point within "
-                f"{budget} rounds on a static overlay"
+        report: MaintenanceReport | None = None
+        if active_backend() == "numpy":
+            report = self._rebuild_kernel_locked()
+        if report is None:
+            rounds, messages, _, quiesced = self._propagate_from(
+                set(self._neighbors), budget
+            )
+            if not quiesced:
+                raise QueryError(
+                    "Algorithm 2 failed to reach a fixed point within "
+                    f"{budget} rounds on a static overlay"
+                )
+            report = MaintenanceReport(
+                kind="rebuild",
+                rounds=rounds,
+                messages=messages,
+                touched_hosts=len(self._neighbors),
             )
         self._budget = budget
         self._built = True
         self._generation = self.framework.generation
+        return report
+
+    def _rebuild_kernel_locked(self) -> MaintenanceReport | None:
+        """Vectorized cold build: two sweeps instead of O(diam) rounds.
+
+        Returns ``None`` when the overlay cannot be compiled (not a
+        tree — e.g. a framework handing out inconsistent neighbor
+        lists mid-restructure); the caller then falls back to the
+        reference round protocol, which needs no tree guarantee.
+        """
+        try:
+            with self._tracer.start_span(
+                "kernel.compile", hosts=len(self._neighbors)
+            ) as span:
+                csr = compile_tree(self._neighbors, self._distances.values)
+                span.set(depth=csr.depth)
+        except KernelError:
+            return None
+        with self._tracer.start_span(
+            "kernel.sweep", kind="node_info", hosts=csr.size
+        ) as span:
+            up, down = node_info_sweep(csr, self.n_cut)
+            self._tables = tables_from_sweep(csr, up, down)
+            span.set(levels=csr.depth + 1)
+        self._kernel_view = KernelView(
+            csr=csr,
+            spaces=clustering_spaces(csr, self._tables),
+            precompute=CrtPrecompute(self._distances.values),
+        )
+        # One upward and one downward sweep; each visits every directed
+        # edge once — the message/round ledger of the closed form.
         return MaintenanceReport(
             kind="rebuild",
-            rounds=rounds,
-            messages=messages,
-            touched_hosts=len(self._neighbors),
+            rounds=2,
+            messages=2 * (csr.size - 1),
+            touched_hosts=csr.size,
         )
 
     def build(self) -> MaintenanceReport:
@@ -409,6 +546,7 @@ class AggregationSubstrate:
                     rounds=report.rounds,
                     messages=report.messages,
                     touched_hosts=report.touched_hosts,
+                    kernel=self._kernel_view is not None,
                 )
             return report
 
@@ -444,6 +582,7 @@ class AggregationSubstrate:
                 self._distances = self.framework.predicted_distance_matrix(
                     allow_partial=True
                 )
+                self._kernel_view = None
                 neighbors = self.framework.overlay_neighbors(host)
                 self._neighbors[host] = list(neighbors)
                 self._tables[host] = {}
@@ -502,6 +641,7 @@ class AggregationSubstrate:
                 self._distances = self.framework.predicted_distance_matrix(
                     allow_partial=True
                 )
+                self._kernel_view = None
                 former = self._neighbors.pop(host)
                 del self._tables[host]
                 for neighbor in former:
@@ -625,7 +765,7 @@ class DecentralizedClusterSearch:
                     f"substrate n_cut={substrate.n_cut} does not match "
                     f"search n_cut={self.n_cut}"
                 )
-            self._distances, snapshot, budget = substrate.adopt()
+            self._distances, snapshot, budget, view = substrate.adopt_view()
             self._states = {
                 host: ClusterNodeState(
                     host=host, neighbors=neighbors, aggr_node=tables
@@ -633,6 +773,7 @@ class DecentralizedClusterSearch:
                 for host, (neighbors, tables) in snapshot.items()
             }
             self._node_info_fixed = True
+            self._kernel_view: KernelView | None = view
             self._round_budget_hint: int | None = budget
         else:
             self._distances = framework.predicted_distance_matrix(
@@ -645,6 +786,7 @@ class DecentralizedClusterSearch:
                 )
                 for host in framework.hosts
             }
+            self._kernel_view = None
             self._round_budget_hint = None
         # Cache of own-CRT computations keyed by the local space content;
         # FindCluster is by far the most expensive step of Algorithm 3 and
@@ -776,7 +918,14 @@ class DecentralizedClusterSearch:
         the round budget comes from the substrate's adoption view — the
         live anchor tree is never read, so a concurrent membership
         change cannot perturb an in-flight pass.
+
+        When the substrate handed over a compiled :class:`KernelView`
+        (NumPy backend), the CRT half is evaluated by the batched
+        kernel instead of rounds; *max_rounds* is then irrelevant (the
+        closed form is exact, not iterative).
         """
+        if self._node_info_fixed and self._kernel_view is not None:
+            return self._run_aggregation_kernel()
         if max_rounds is None:
             if self._round_budget_hint is not None:
                 max_rounds = self._round_budget_hint
@@ -812,6 +961,55 @@ class DecentralizedClusterSearch:
                 rounds=report.rounds,
                 converged=report.converged,
                 node_info_messages=report.node_info_messages,
+                crt_messages=report.crt_messages,
+            )
+            return report
+
+    def _run_aggregation_kernel(self) -> AggregationReport:
+        """Batched Algorithm 3: all classes in one pair-table pass.
+
+        The own tables come from the substrate's shared
+        :class:`~repro.kernels.crt.CrtPrecompute` (deduplicated by
+        space contents and reused by every concurrent per-class
+        search); the propagated values are two level-order max-sweeps.
+        The resulting ``aggrCRT`` state is identical to the round
+        protocol's fixed point.
+        """
+        view = self._kernel_view
+        assert view is not None
+        classes = self.classes.distance_classes
+        with self._tracer.start_span(
+            "crt.pass",
+            classes=len(classes),
+            substrate_backed=True,
+            backend="numpy",
+        ) as span:
+            with self._tracer.start_span(
+                "kernel.sweep",
+                kind="crt",
+                hosts=view.csr.size,
+                classes=len(classes),
+            ) as sweep_span:
+                own = view.precompute.own_matrix(view.spaces, classes)
+                up_crt, down_crt = crt_sweep(view.csr, own)
+                sweep_span.set(
+                    distinct_spaces=view.precompute.distinct_spaces
+                )
+            tables = crt_tables(view.csr, own, up_crt, down_crt, classes)
+            for host, crt in tables.items():
+                self._states[host].aggr_crt = crt
+            self._aggregated = True
+            edges = 2 * (view.csr.size - 1) if view.csr.size > 1 else 0
+            report = AggregationReport(
+                rounds=2,
+                converged=True,
+                node_info_messages=0,
+                crt_messages=edges,
+            )
+            span.set(
+                rounds=report.rounds,
+                converged=report.converged,
+                node_info_messages=0,
                 crt_messages=report.crt_messages,
             )
             return report

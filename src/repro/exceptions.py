@@ -24,6 +24,7 @@ __all__ = [
     "StaleGenerationError",
     "TracingError",
     "LintError",
+    "KernelError",
 ]
 
 
@@ -89,3 +90,9 @@ class TracingError(ReproError):
 class LintError(ReproError):
     """The static-analysis engine was misconfigured (bad rule id,
     malformed baseline file, missing lint target)."""
+
+
+class KernelError(ReproError):
+    """The vectorized kernel layer (``repro.kernels``) was misconfigured
+    (unknown ``REPRO_KERNELS`` backend, numpy requested but missing) or
+    fed a non-tree overlay."""

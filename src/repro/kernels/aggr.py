@@ -1,0 +1,199 @@
+"""Algorithm 2 (*DynAggrNodeInfo*) as two exact level-order sweeps.
+
+The gossip protocol's fixed point has a closed recursive form on a
+tree.  Write ``A(x, m)`` for the table host ``x`` holds about neighbor
+``m`` (the message ``m`` sends ``x`` at fixed point):
+
+    A(x, m) = top_{n_cut by d(x, ·)} ( {m} ∪ ⋃_{v ∈ N(m) \\ {x}} A(m, v) )
+
+Every dependency of a directed edge ``(x ← m)`` lies strictly on the
+far side of that edge, so on a tree the recursion is well-founded and
+has a *unique* solution — the same one the round-based protocol in
+:mod:`repro.core.decentralized` converges to.  Rooting the tree turns
+it into the classic rerooting pattern:
+
+* **upward sweep** (deepest level first): ``up[i] = A(parent(i), i)``
+  merges ``{i}`` with the children's ``up`` tables, ranked by distance
+  to the parent;
+* **downward sweep** (root first): ``down[i] = A(i, parent(i))``
+  merges ``{parent}``, the parent's own ``down`` table, and the
+  *siblings'* ``up`` tables, ranked by distance to ``i``.
+
+Each level is processed as one padded 2D array: gather candidates,
+rank each row with one ``np.lexsort`` over ``(distance, host id)`` —
+the reference's exact tie-break — and keep the first ``n_cut``
+columns.  Candidate sets are unions of *disjoint* subtree sets, so no
+dedup pass is needed.  Two sweeps touch each directed edge exactly
+once: ``2·(n-1)`` merges total, versus ``O(diameter)`` full rounds for
+the round-based protocol.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.kernels.tree import TreeCSR
+
+__all__ = ["node_info_sweep", "tables_from_sweep"]
+
+#: Id-key used for padding slots so they rank after every real host.
+_PAD_ID = np.iinfo(np.int64).max
+
+
+def _rank_rows(
+    candidates: np.ndarray,
+    receivers: np.ndarray,
+    dist: np.ndarray,
+    host_ids: np.ndarray,
+    n_cut: int,
+) -> np.ndarray:
+    """Per-row top-``n_cut`` of *candidates* by ``(d(receiver, ·), id)``.
+
+    ``candidates`` is ``(rows, width)`` of compact indices padded with
+    ``-1``; ``receivers`` is ``(rows,)`` compact indices.  Returns
+    ``(rows, n_cut)`` compact indices padded with ``-1``.
+    """
+    rows, width = candidates.shape
+    pad = candidates < 0
+    safe = np.where(pad, 0, candidates)
+    distances = dist[receivers[:, None], safe]
+    distances[pad] = np.inf
+    ids = np.where(pad, _PAD_ID, host_ids[safe])
+    # Primary key: distance to the receiver; secondary: original host
+    # id — exactly ``sorted(candidates, key=lambda u: (d[u], u))``.
+    order = np.lexsort((ids, distances), axis=1)
+    ranked = np.take_along_axis(candidates, order, axis=1)
+    if width >= n_cut:
+        return ranked[:, :n_cut]
+    out = np.full((rows, n_cut), -1, dtype=np.int64)
+    out[:, :width] = ranked
+    return out
+
+
+def _gather_children(
+    destination: np.ndarray,
+    column: int,
+    nodes: np.ndarray,
+    source: np.ndarray,
+    child_start: np.ndarray,
+    child_counts: np.ndarray,
+    n_cut: int,
+    skip: np.ndarray | None = None,
+) -> None:
+    """Copy the k-th child's *source* table into each node's slot.
+
+    For every node in *nodes* with at least ``k + 1`` children, place
+    ``source[child_start[node] + k]`` into
+    ``destination[:, column : column + n_cut]``.  With *skip* given
+    (the downward sweep excluding each node itself from its siblings),
+    children equal to the skip target are left as padding.
+    """
+    max_children = int(child_counts.max()) if len(child_counts) else 0
+    for k in range(max_children):
+        has = child_counts > k
+        if skip is not None:
+            child = child_start[nodes] + k
+            has = has & (child != skip)
+        rows = np.flatnonzero(has)
+        if not len(rows):
+            continue
+        children = child_start[nodes[rows]] + k
+        lo = column + k * n_cut
+        destination[rows, lo:lo + n_cut] = source[children]
+
+
+def node_info_sweep(
+    csr: TreeCSR, n_cut: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Compute every directed edge's fixed-point ``aggrNode`` table.
+
+    Returns ``(up, down)``, both ``(size, n_cut)`` compact-index
+    arrays padded with ``-1``:
+
+    * ``up[i]`` — the table ``parent(i)`` holds about ``i`` (undefined
+      padding row for the root);
+    * ``down[i]`` — the table ``i`` holds about ``parent(i)``
+      (undefined for the root).
+    """
+    size = csr.size
+    up = np.full((size, n_cut), -1, dtype=np.int64)
+    down = np.full((size, n_cut), -1, dtype=np.int64)
+    if size <= 1:
+        return up, down
+    levels = csr.levels()
+
+    # Upward sweep: deepest level first; children are always one level
+    # deeper, so their ``up`` rows are final when the level runs.
+    for lo, hi in reversed(levels[1:]):
+        nodes = np.arange(lo, hi, dtype=np.int64)
+        counts = csr.child_end[lo:hi] - csr.child_start[lo:hi]
+        width = 1 + int(counts.max() if len(counts) else 0) * n_cut
+        candidates = np.full((hi - lo, width), -1, dtype=np.int64)
+        candidates[:, 0] = nodes
+        _gather_children(
+            candidates, 1, nodes, up, csr.child_start, counts, n_cut
+        )
+        up[lo:hi] = _rank_rows(
+            candidates, csr.parent[lo:hi], csr.dist, csr.host_ids, n_cut
+        )
+
+    # Downward sweep: root's children first; a node's ``down`` row
+    # depends on its parent's ``down`` (one level up, already final)
+    # and its siblings' ``up`` (finished above).
+    for lo, hi in levels[1:]:
+        nodes = np.arange(lo, hi, dtype=np.int64)
+        parents = csr.parent[lo:hi]
+        sibling_counts = csr.child_end[parents] - csr.child_start[parents]
+        width = (
+            1 + n_cut
+            + int(sibling_counts.max() if len(sibling_counts) else 0)
+            * n_cut
+        )
+        candidates = np.full((hi - lo, width), -1, dtype=np.int64)
+        candidates[:, 0] = parents
+        grand = csr.parent[parents] >= 0
+        rows = np.flatnonzero(grand)
+        if len(rows):
+            candidates[rows, 1:1 + n_cut] = down[parents[rows]]
+        _gather_children(
+            candidates,
+            1 + n_cut,
+            parents,
+            up,
+            csr.child_start,
+            sibling_counts,
+            n_cut,
+            skip=nodes,
+        )
+        down[lo:hi] = _rank_rows(
+            candidates, nodes, csr.dist, csr.host_ids, n_cut
+        )
+    return up, down
+
+
+def tables_from_sweep(
+    csr: TreeCSR, up: np.ndarray, down: np.ndarray
+) -> dict[int, dict[int, tuple[int, ...]]]:
+    """Materialize sweep results as the substrate's table-of-dicts.
+
+    Output matches :class:`repro.core.decentralized.
+    AggregationSubstrate` exactly: ``{host: {neighbor: sorted tuple of
+    host ids}}`` — the id-sorted presentation the reference protocol
+    stores.
+    """
+
+    def entry(row: np.ndarray) -> tuple[int, ...]:
+        kept = row[row >= 0]
+        return tuple(sorted(int(h) for h in csr.host_ids[kept]))
+
+    tables: dict[int, dict[int, tuple[int, ...]]] = {
+        int(host): {} for host in csr.host_ids
+    }
+    for index in range(csr.size):
+        host = int(csr.host_ids[index])
+        parent = int(csr.parent[index])
+        if parent >= 0:
+            # What the parent knows about this subtree, and vice versa.
+            tables[int(csr.host_ids[parent])][host] = entry(up[index])
+            tables[host][int(csr.host_ids[parent])] = entry(down[index])
+    return tables

@@ -1,0 +1,200 @@
+"""Anchor-tree compilation into flat CSR-style arrays.
+
+The cold-path kernels (:mod:`repro.kernels.aggr`,
+:mod:`repro.kernels.crt`) replace the iterate-until-quiescent gossip
+fixed points of Algorithms 2 and 3 with *two exact level-order sweeps*
+over the anchor tree.  For that they need the tree in array form, not
+as per-host neighbor dicts: :func:`compile_tree` turns an undirected
+adjacency mapping into a :class:`TreeCSR` — a BFS-ordered node
+numbering with parent pointers, contiguous children ranges, level
+offsets, and the dense distance matrix re-indexed to the same compact
+numbering.  Compile once per overlay generation; every sweep after
+that is pure array traversal.
+
+The compiler *verifies* the overlay is a tree (connected, acyclic,
+symmetric adjacency): the sweeps' correctness argument — each directed
+overlay edge's fixed-point value depends only on edges strictly deeper
+on its far side — holds on trees only.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import KernelError
+from repro.metrics.metric import submatrix
+
+__all__ = ["TreeCSR", "compile_tree"]
+
+
+@dataclass(frozen=True)
+class TreeCSR:
+    """One overlay tree, flattened for level-order array sweeps.
+
+    Nodes are renumbered ``0 .. size-1`` in BFS order from the root, so
+    node 0 is the root, every parent index is smaller than all of its
+    children's indices, and each BFS level occupies one contiguous
+    index range.  Children of one parent are contiguous too (BFS
+    enqueues them together), which is what lets the sweeps gather "the
+    k-th child of every node on this level" with a single indexed load.
+
+    Attributes
+    ----------
+    host_ids:
+        ``(size,)`` original host ids in BFS order (``host_ids[i]`` is
+        the overlay host compact index ``i`` stands for).
+    parent:
+        ``(size,)`` compact parent indices; ``-1`` for the root.
+    child_start / child_end:
+        ``(size,)`` half-open ranges: the children of compact node
+        ``i`` are ``child_start[i] .. child_end[i] - 1``.
+    level_offsets:
+        ``(depth + 2,)`` offsets into BFS order: level ``d`` is the
+        slice ``level_offsets[d] : level_offsets[d + 1]``.
+    dist:
+        ``(size, size)`` float64 pairwise distances in compact index
+        space (a re-indexed copy of the substrate's distance matrix).
+    """
+
+    host_ids: np.ndarray
+    parent: np.ndarray
+    child_start: np.ndarray
+    child_end: np.ndarray
+    level_offsets: np.ndarray
+    dist: np.ndarray
+
+    @property
+    def size(self) -> int:
+        """Number of overlay nodes."""
+        return int(self.host_ids.shape[0])
+
+    @property
+    def depth(self) -> int:
+        """Deepest BFS level (0 for a single-node tree)."""
+        return int(self.level_offsets.shape[0]) - 2
+
+    def levels(self) -> list[tuple[int, int]]:
+        """``[(start, end), ...]`` compact-index slice per BFS level."""
+        offsets = self.level_offsets
+        return [
+            (int(offsets[d]), int(offsets[d + 1]))
+            for d in range(len(offsets) - 1)
+        ]
+
+    def children_of(self, node: int) -> np.ndarray:
+        """Compact indices of *node*'s children."""
+        return np.arange(
+            int(self.child_start[node]), int(self.child_end[node])
+        )
+
+
+def compile_tree(
+    neighbors: Mapping[int, Sequence[int]],
+    distance_values: np.ndarray,
+    root: int | None = None,
+) -> TreeCSR:
+    """Compile an undirected tree adjacency into a :class:`TreeCSR`.
+
+    Parameters
+    ----------
+    neighbors:
+        ``{host: [neighbor host, ...]}`` over every overlay host.  Must
+        describe a single connected tree with symmetric adjacency.
+    distance_values:
+        Dense ``(n, n)`` distance array indexed by *original* host id
+        (hosts may be a subset of ``0 .. n-1``; absent ids are simply
+        never referenced).
+    root:
+        Host to root the BFS at; defaults to the smallest host id.
+        The choice never changes sweep results — the two-pass
+        computes every *directed* edge's value — only the numbering.
+    """
+    if not neighbors:
+        raise KernelError("cannot compile an empty overlay")
+    hosts = set(neighbors)
+    matrix = np.asarray(distance_values, dtype=np.float64)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise KernelError(
+            f"distance_values must be square, got shape {matrix.shape}"
+        )
+    for host in hosts:
+        if not 0 <= int(host) < matrix.shape[0]:
+            raise KernelError(
+                f"host {host!r} outside the distance matrix "
+                f"(n={matrix.shape[0]})"
+            )
+    edge_count = 0
+    for host, adjacent in neighbors.items():
+        for other in adjacent:
+            if other not in hosts:
+                raise KernelError(
+                    f"neighbor {other!r} of host {host!r} is not an "
+                    "overlay host"
+                )
+            edge_count += 1
+    if edge_count != 2 * (len(hosts) - 1):
+        raise KernelError(
+            "overlay is not a tree: expected "
+            f"{2 * (len(hosts) - 1)} directed edges for {len(hosts)} "
+            f"hosts, got {edge_count}"
+        )
+
+    start = min(hosts) if root is None else int(root)
+    if start not in hosts:
+        raise KernelError(f"root {root!r} is not an overlay host")
+
+    # BFS, recording parents, children ranges, and level boundaries.
+    # Children of one node are appended consecutively, so their compact
+    # indices form the half-open range recorded here.
+    order: list[int] = [start]
+    parent_of: dict[int, int] = {start: -1}
+    child_start = [0] * len(hosts)
+    child_end = [0] * len(hosts)
+    cursor = 0
+    while cursor < len(order):
+        node = order[cursor]
+        child_start[cursor] = len(order)
+        for other in neighbors[node]:
+            if other == parent_of[node]:
+                continue
+            if other in parent_of:
+                raise KernelError(
+                    "overlay is not a tree: host "
+                    f"{other!r} is reachable along two paths"
+                )
+            parent_of[other] = node
+            order.append(other)
+        child_end[cursor] = len(order)
+        cursor += 1
+    if len(order) != len(hosts):
+        raise KernelError(
+            "overlay is not connected: reached "
+            f"{len(order)} of {len(hosts)} hosts from {start!r}"
+        )
+
+    host_ids = np.asarray(order, dtype=np.int64)
+    compact_of = {host: index for index, host in enumerate(order)}
+    parent = np.asarray(
+        [compact_of[parent_of[h]] if parent_of[h] != -1 else -1
+         for h in order],
+        dtype=np.int64,
+    )
+    # BFS order is non-decreasing in depth, so levels are contiguous
+    # slices; derive boundaries from parent depths (parents precede
+    # children in the order).
+    depth = np.zeros(len(order), dtype=np.int64)
+    for index in range(1, len(order)):
+        depth[index] = depth[parent[index]] + 1
+    level_offsets = np.searchsorted(depth, np.arange(int(depth[-1]) + 2))
+    dist = submatrix(matrix, host_ids)
+    return TreeCSR(
+        host_ids=host_ids,
+        parent=parent,
+        child_start=np.asarray(child_start, dtype=np.int64),
+        child_end=np.asarray(child_end, dtype=np.int64),
+        level_offsets=np.asarray(level_offsets, dtype=np.int64),
+        dist=dist,
+    )

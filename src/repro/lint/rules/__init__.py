@@ -151,6 +151,7 @@ _RULE_MODULES = (
     "exports",
     "timing",
     "spans",
+    "kernelimports",
 )
 for _module_name in _RULE_MODULES:
     import_module(f"repro.lint.rules.{_module_name}")

@@ -27,7 +27,20 @@ from repro._validation import (
 from repro.exceptions import ValidationError
 from repro.metrics.transform import RationalTransform
 
-__all__ = ["DistanceMatrix", "BandwidthMatrix"]
+__all__ = ["DistanceMatrix", "BandwidthMatrix", "submatrix"]
+
+
+def submatrix(values: np.ndarray, nodes: Sequence[int]) -> np.ndarray:
+    """Dense sub-block ``values[nodes × nodes]`` as a fresh array.
+
+    The shared low-level gather behind :meth:`DistanceMatrix.restrict`
+    and the ``repro.kernels`` space tables: re-indexes a square array
+    to the given node order and returns a contiguous *copy*, so the
+    caller may keep it across later mutations of the source.  No
+    validation — callers own the node-id checks.
+    """
+    selector = np.asarray(nodes, dtype=np.intp)
+    return np.ascontiguousarray(values[np.ix_(selector, selector)])
 
 
 class DistanceMatrix:
@@ -111,8 +124,7 @@ class DistanceMatrix:
             raise ValidationError("nodes must be non-empty")
         for node in index:
             check_node_id(node, self.size, "node")
-        selector = np.asarray(index, dtype=np.intp)
-        return DistanceMatrix(self._values[np.ix_(selector, selector)])
+        return DistanceMatrix(submatrix(self._values, index))
 
     def diameter(self, nodes: Sequence[int] | None = None) -> float:
         """``diam(X) = max_{u,v in X} d(u, v)`` (Sec. III intro).

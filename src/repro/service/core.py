@@ -345,6 +345,7 @@ class ClusterQueryService:
         ):
             self._substrate.invalidate()
             return
+        began = time.perf_counter()
         if change.kind == "join":
             report = substrate.apply_join(change.host)
         else:
@@ -352,7 +353,13 @@ class ClusterQueryService:
         if report.kind == "incremental":
             self._telemetry.record_incremental_update()
         else:
-            self._telemetry.record_substrate_build()
+            # The incremental budget was exhausted and the substrate
+            # rebuilt cold — that is a substrate build, histogram
+            # included, so maintenance-triggered cold paths show up in
+            # the same latency statistics as first-query builds.
+            self._telemetry.record_substrate_build(
+                time.perf_counter() - began
+            )
         self._substrate.replace(generation, substrate)
 
     # -- query execution ------------------------------------------------------
@@ -379,8 +386,11 @@ class ClusterQueryService:
             substrate = AggregationSubstrate(
                 self._framework, n_cut=self._n_cut, tracer=self._tracer
             )
+            began = time.perf_counter()
             substrate.ensure()
-            self._telemetry.record_substrate_build()
+            self._telemetry.record_substrate_build(
+                time.perf_counter() - began
+            )
             return substrate
 
         with self._membership_lock:
@@ -404,10 +414,16 @@ class ClusterQueryService:
         explicit *generation* it raises
         :class:`~repro.exceptions.StaleGenerationError` when the
         overlay has already moved on.
+
+        Besides the Algorithm 2 fixed point this also warms the
+        substrate's compiled kernel view (NumPy backend), so worker
+        threads adopt pre-compiled arrays instead of serializing
+        behind the first adopter's compile.
         """
-        self._substrate_for(
+        substrate = self._substrate_for(
             self.generation if generation is None else generation
         )
+        substrate.warm_kernel()
 
     def _class_search(
         self, snapped: float, generation: int

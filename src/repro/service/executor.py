@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.query import BandwidthClasses, ClusterQuery
 from repro.exceptions import ServiceError
+from repro.kernels import active_backend
 from repro.obs import NOOP_SPAN, SpanLike
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -108,7 +109,11 @@ class BatchExecutor:
         service = self._service
         generation = service.generation
         groups = group_by_class(queries, service.classes)
-        span.set(generation=generation, classes=len(groups))
+        span.set(
+            generation=generation,
+            classes=len(groups),
+            backend=active_backend(),
+        )
         results: list[ServiceResult | None] = [None] * len(queries)
 
         def run_group(item: tuple[float, list[int]]) -> None:

@@ -132,6 +132,12 @@ class TelemetrySnapshot:
         service's :class:`~repro.obs.store.TraceStore` — the handle to
         jump from quantiles to the full span tree.  ``None`` when the
         service runs untraced (the default no-op tracer).
+    substrate_build_p50_s / substrate_build_p95_s /
+    substrate_build_mean_s:
+        Cold-path substrate build latency statistics in seconds
+        (``nan`` until the first timed build).  The counter alone
+        cannot surface a cold-path *regression* — a build that got 10x
+        slower still counts once; the histogram makes it visible.
     """
 
     queries_served: int
@@ -148,6 +154,9 @@ class TelemetrySnapshot:
     latency_p99_s: float
     latency_mean_s: float
     slowest_trace_id: str | None = None
+    substrate_build_p50_s: float = float("nan")
+    substrate_build_p95_s: float = float("nan")
+    substrate_build_mean_s: float = float("nan")
 
     @property
     def hit_rate(self) -> float:
@@ -162,6 +171,7 @@ class ServiceTelemetry:
     def __init__(self, histogram_capacity: int = 4096) -> None:
         self._lock = threading.Lock()
         self._histogram = LatencyHistogram(histogram_capacity)
+        self._build_histogram = LatencyHistogram(histogram_capacity)
         self._queries_served = 0
         self._cache_hits = 0
         self._cache_misses = 0
@@ -191,10 +201,18 @@ class ServiceTelemetry:
         with self._lock:
             self._aggregation_builds += 1
 
-    def record_substrate_build(self) -> None:
-        """Account one full node-info fixed point (expensive, shared)."""
+    def record_substrate_build(self, latency_s: float | None = None) -> None:
+        """Account one full node-info fixed point (expensive, shared).
+
+        *latency_s* feeds the ``substrate_build_seconds`` histogram;
+        ``None`` keeps counter-only accounting for callers that cannot
+        time the build (kept for compatibility, and exercised by the
+        no-rebuild paths).
+        """
         with self._lock:
             self._substrate_builds += 1
+            if latency_s is not None:
+                self._build_histogram.record(latency_s)
 
     def record_incremental_update(self) -> None:
         """Account one membership change absorbed incrementally."""
@@ -236,4 +254,7 @@ class ServiceTelemetry:
                 latency_p99_s=self._histogram.quantile(0.99),
                 latency_mean_s=self._histogram.mean(),
                 slowest_trace_id=slowest_trace_id,
+                substrate_build_p50_s=self._build_histogram.quantile(0.50),
+                substrate_build_p95_s=self._build_histogram.quantile(0.95),
+                substrate_build_mean_s=self._build_histogram.mean(),
             )

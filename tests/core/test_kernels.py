@@ -1,0 +1,432 @@
+"""Differential tests: the vectorized kernels vs. the round protocol.
+
+The kernel layer's whole contract is *bit-identical* fixed points: the
+two-pass sweeps and the batched CRT kernel must reproduce exactly the
+tables the reference protocol converges to, on every overlay and every
+distance matrix — including degenerate ties, which is why several
+generators quantize distances.  Oracles here are written directly on
+the pure reference functions (``propagate_node_info`` /
+``propagate_crt`` / ``own_crt_table``), so kernel bugs cannot hide
+behind a shared implementation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decentralized import (
+    AggregationSubstrate,
+    DecentralizedClusterSearch,
+    own_crt_table,
+    propagate_crt,
+    propagate_node_info,
+)
+from repro.core.find_cluster import max_cluster_size
+from repro.core.query import BandwidthClasses, ClusterQuery
+from repro.datasets.planetlab import hp_planetlab_like
+from repro.exceptions import KernelError
+from repro.kernels import BACKEND_ENV, active_backend
+from repro.kernels.aggr import node_info_sweep, tables_from_sweep
+from repro.kernels.crt import (
+    CrtPrecompute,
+    clustering_spaces,
+    crt_sweep,
+    crt_tables,
+)
+from repro.kernels.tree import compile_tree
+from repro.metrics.metric import DistanceMatrix
+from repro.predtree.framework import build_framework
+from repro.service.core import ClusterQueryService
+from repro.service.executor import BatchExecutor
+
+from tests.conftest import random_tree_distance_matrix
+
+
+def random_overlay(n: int, seed: int) -> dict[int, list[int]]:
+    """A random tree adjacency over hosts ``0..n-1``."""
+    rng = np.random.default_rng(seed)
+    neighbors: dict[int, list[int]] = {0: []}
+    for node in range(1, n):
+        parent = int(rng.integers(0, node))
+        neighbors[node] = [parent]
+        neighbors[parent].append(node)
+    return neighbors
+
+
+def random_distances(n: int, seed: int, quantize: bool) -> DistanceMatrix:
+    """A random (non-tree) metric-ish matrix; quantized to force ties."""
+    rng = np.random.default_rng(seed)
+    raw = rng.uniform(0.5, 30.0, size=(n, n))
+    raw = (raw + raw.T) / 2
+    if quantize:
+        raw = np.round(raw)
+    np.fill_diagonal(raw, 0.0)
+    return DistanceMatrix(raw)
+
+
+def reference_node_info(neighbors, distances, n_cut):
+    """The Algorithm 2 fixed point, iterated on the pure functions."""
+    tables = {host: {} for host in neighbors}
+    for _ in range(2 * len(neighbors) + 4):
+        updates = {
+            (x, m): propagate_node_info(
+                m, tables[m], x, distances.row(x), n_cut
+            )
+            for m in neighbors
+            for x in neighbors[m]
+        }
+        changed = False
+        for (x, m), nodes in updates.items():
+            if tables[x].get(m) != nodes:
+                tables[x][m] = nodes
+                changed = True
+        if not changed:
+            return tables
+    raise AssertionError("reference protocol failed to converge")
+
+
+def reference_crt(neighbors, node_tables, distances, classes):
+    """The Algorithm 3 fixed point, iterated on the pure functions."""
+    spaces = {}
+    for host in neighbors:
+        members = {host}
+        for nodes in node_tables[host].values():
+            members.update(nodes)
+        spaces[host] = tuple(sorted(members))
+    own = {
+        host: own_crt_table(spaces[host], distances, classes)
+        for host in neighbors
+    }
+    crt = {host: {host: dict(own[host])} for host in neighbors}
+    for _ in range(2 * len(neighbors) + 4):
+        updates = {
+            (x, m): propagate_crt(
+                neighbors[m], crt[m], x, own[m], classes
+            )
+            for m in neighbors
+            for x in neighbors[m]
+        }
+        changed = False
+        for (x, m), table in updates.items():
+            if crt[x].get(m) != table:
+                crt[x][m] = table
+                changed = True
+        if not changed:
+            return crt
+    raise AssertionError("reference CRT failed to converge")
+
+
+class TestBackendSelection:
+    def test_auto_prefers_numpy(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert active_backend() == "numpy"
+        monkeypatch.setenv(BACKEND_ENV, "auto")
+        assert active_backend() == "numpy"
+
+    def test_python_forced(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "python")
+        assert active_backend() == "python"
+
+    def test_value_normalized(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "  NumPy ")
+        assert active_backend() == "numpy"
+
+    def test_unknown_backend_raises(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "cython")
+        with pytest.raises(KernelError, match="cython"):
+            active_backend()
+
+
+class TestCompileTree:
+    def test_structure_invariants(self):
+        neighbors = random_overlay(25, seed=3)
+        d = random_distances(25, seed=4, quantize=False)
+        csr = compile_tree(neighbors, d.values)
+        assert csr.size == 25
+        assert int(csr.parent[0]) == -1
+        # Parents precede children; children ranges tile 1..size-1.
+        seen = []
+        for node in range(csr.size):
+            for child in csr.children_of(node):
+                assert int(csr.parent[child]) == node
+                assert child > node
+                seen.append(int(child))
+        assert sorted(seen) == list(range(1, 25))
+        # Levels are contiguous and depth-consistent.
+        for depth, (lo, hi) in enumerate(csr.levels()):
+            for node in range(lo, hi):
+                if depth == 0:
+                    assert int(csr.parent[node]) == -1
+                else:
+                    parent = int(csr.parent[node])
+                    plo, phi = csr.levels()[depth - 1]
+                    assert plo <= parent < phi
+        # Distances are re-indexed to compact numbering.
+        np.testing.assert_array_equal(
+            csr.dist,
+            d.values[np.ix_(csr.host_ids, csr.host_ids)],
+        )
+
+    def test_rejects_cycle(self):
+        neighbors = {0: [1, 2], 1: [0, 2], 2: [0, 1]}
+        d = random_distances(3, seed=0, quantize=False)
+        with pytest.raises(KernelError, match="not a tree"):
+            compile_tree(neighbors, d.values)
+
+    def test_rejects_disconnected(self):
+        neighbors = {0: [1], 1: [0], 2: [3], 3: [2]}
+        d = random_distances(4, seed=0, quantize=False)
+        with pytest.raises(KernelError, match="not a tree"):
+            compile_tree(neighbors, d.values)
+
+    def test_rejects_empty_and_bad_root(self):
+        d = random_distances(2, seed=0, quantize=False)
+        with pytest.raises(KernelError, match="empty"):
+            compile_tree({}, d.values)
+        with pytest.raises(KernelError, match="root"):
+            compile_tree({0: [1], 1: [0]}, d.values, root=7)
+
+    def test_root_choice_never_changes_tables(self):
+        neighbors = random_overlay(18, seed=9)
+        d = random_distances(18, seed=10, quantize=True)
+        tables = []
+        for root in (0, 5, 17):
+            csr = compile_tree(neighbors, d.values, root=root)
+            up, down = node_info_sweep(csr, 4)
+            tables.append(tables_from_sweep(csr, up, down))
+        assert tables[0] == tables[1] == tables[2]
+
+
+class TestNodeInfoSweepDifferential:
+    @pytest.mark.parametrize("n,seed,n_cut", [
+        (2, 0, 2),
+        (7, 1, 1),
+        (20, 2, 3),
+        (40, 3, 8),
+        (60, 4, 5),
+    ])
+    def test_matches_reference_on_random_overlays(self, n, seed, n_cut):
+        neighbors = random_overlay(n, seed)
+        d = random_distances(n, seed + 100, quantize=True)
+        expected = reference_node_info(neighbors, d, n_cut)
+        csr = compile_tree(neighbors, d.values)
+        up, down = node_info_sweep(csr, n_cut)
+        assert tables_from_sweep(csr, up, down) == expected
+
+    def test_matches_reference_on_tree_metric(self):
+        d = random_tree_distance_matrix(30, seed=5)
+        neighbors = random_overlay(30, seed=6)
+        expected = reference_node_info(neighbors, d, 4)
+        csr = compile_tree(neighbors, d.values)
+        up, down = node_info_sweep(csr, 4)
+        assert tables_from_sweep(csr, up, down) == expected
+
+    def test_single_host_overlay(self):
+        d = DistanceMatrix([[0.0]])
+        csr = compile_tree({0: []}, d.values)
+        up, down = node_info_sweep(csr, 3)
+        assert tables_from_sweep(csr, up, down) == {0: {}}
+
+
+class TestCrtKernelDifferential:
+    CLASSES = [2.0, 5.0, 9.0, 14.0, 30.0]
+
+    def _kernel_crt(self, neighbors, d, n_cut, classes):
+        csr = compile_tree(neighbors, d.values)
+        up, down = node_info_sweep(csr, n_cut)
+        node_tables = tables_from_sweep(csr, up, down)
+        spaces = clustering_spaces(csr, node_tables)
+        pre = CrtPrecompute(d.values)
+        own = pre.own_matrix(spaces, classes)
+        up_crt, down_crt = crt_sweep(csr, own)
+        return node_tables, crt_tables(csr, own, up_crt, down_crt, classes)
+
+    @pytest.mark.parametrize("n,seed,n_cut", [
+        (6, 0, 2),
+        (15, 1, 3),
+        (30, 2, 8),
+        (40, 3, 4),
+    ])
+    def test_matches_reference(self, n, seed, n_cut):
+        neighbors = random_overlay(n, seed)
+        d = random_distances(n, seed + 50, quantize=True)
+        node_tables, kernel = self._kernel_crt(
+            neighbors, d, n_cut, self.CLASSES
+        )
+        assert node_tables == reference_node_info(neighbors, d, n_cut)
+        expected = reference_crt(
+            neighbors, node_tables, d, self.CLASSES
+        )
+        assert kernel == expected
+
+    def test_space_table_matches_max_cluster_size(self):
+        d = random_distances(24, seed=11, quantize=True)
+        pre = CrtPrecompute(d.values)
+        rng = np.random.default_rng(12)
+        for _ in range(10):
+            members = sorted(
+                int(h) for h in
+                rng.choice(24, size=int(rng.integers(1, 16)),
+                           replace=False)
+            )
+            table = pre.table_for(tuple(members))
+            local = d.restrict(members)
+            for l in [0.0, 1.0, 3.5, 8.0, 15.0, 40.0]:
+                assert table.max_size_for(l) == max_cluster_size(
+                    local, l
+                ), (members, l)
+
+    def test_space_tables_deduplicated(self):
+        d = random_distances(10, seed=1, quantize=False)
+        pre = CrtPrecompute(d.values)
+        first = pre.table_for((0, 2, 5))
+        again = pre.table_for((0, 2, 5))
+        assert first is again
+        assert pre.distinct_spaces == 1
+
+
+@given(
+    n=st.integers(min_value=2, max_value=16),
+    seed=st.integers(0, 500),
+    n_cut=st.integers(min_value=1, max_value=6),
+    quantize=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_kernel_fixed_point_property(n, seed, n_cut, quantize):
+    """Whatever the overlay, metric, ties, and cutoff: exact equality."""
+    neighbors = random_overlay(n, seed)
+    d = random_distances(n, seed + 1000, quantize=quantize)
+    classes = [1.0, 4.0, 10.0, 25.0]
+
+    csr = compile_tree(neighbors, d.values)
+    up, down = node_info_sweep(csr, n_cut)
+    node_tables = tables_from_sweep(csr, up, down)
+    assert node_tables == reference_node_info(neighbors, d, n_cut)
+
+    spaces = clustering_spaces(csr, node_tables)
+    pre = CrtPrecompute(d.values)
+    own = pre.own_matrix(spaces, classes)
+    up_crt, down_crt = crt_sweep(csr, own)
+    kernel = crt_tables(csr, own, up_crt, down_crt, classes)
+    assert kernel == reference_crt(neighbors, node_tables, d, classes)
+
+
+@given(
+    n=st.integers(min_value=3, max_value=14),
+    seed=st.integers(0, 300),
+    n_cut=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=25, deadline=None)
+def test_kernel_matches_reference_on_tree_metrics(n, seed, n_cut):
+    """Seeded random *exact tree metrics* (the paper's input class)."""
+    d = random_tree_distance_matrix(n, seed=seed)
+    neighbors = random_overlay(n, seed + 7)
+    csr = compile_tree(neighbors, d.values)
+    up, down = node_info_sweep(csr, n_cut)
+    assert tables_from_sweep(csr, up, down) == reference_node_info(
+        neighbors, d, n_cut
+    )
+
+
+class TestSubstrateKernelPath:
+    @pytest.fixture()
+    def framework(self):
+        dataset = hp_planetlab_like(seed=0, n=40)
+        return build_framework(dataset.bandwidth, seed=1)
+
+    def test_backends_build_identical_tables(
+        self, framework, monkeypatch
+    ):
+        monkeypatch.setenv(BACKEND_ENV, "python")
+        reference = AggregationSubstrate(framework, n_cut=5)
+        reference.ensure()
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        kernel = AggregationSubstrate(framework, n_cut=5)
+        kernel.ensure()
+        assert kernel.snapshot() == reference.snapshot()
+
+    def test_kernel_build_report_counts_sweeps(
+        self, framework, monkeypatch
+    ):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        substrate = AggregationSubstrate(framework, n_cut=5)
+        report = substrate.build()
+        hosts = len(framework.hosts)
+        assert report.kind == "build"
+        assert report.rounds == 2
+        assert report.messages == 2 * (hosts - 1)
+        assert report.touched_hosts == hosts
+
+    def test_adopt_view_exposes_kernel_only_on_numpy(
+        self, framework, monkeypatch
+    ):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        substrate = AggregationSubstrate(framework, n_cut=5)
+        *_, view = substrate.adopt_view()
+        assert view is not None
+        assert view.csr.size == len(framework.hosts)
+        monkeypatch.setenv(BACKEND_ENV, "python")
+        *_, view = substrate.adopt_view()
+        assert view is None
+
+    def test_python_built_substrate_compiles_lazily(
+        self, framework, monkeypatch
+    ):
+        monkeypatch.setenv(BACKEND_ENV, "python")
+        substrate = AggregationSubstrate(framework, n_cut=5)
+        substrate.ensure()
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert substrate.warm_kernel()
+        *_, view = substrate.adopt_view()
+        assert view is not None
+        assert clustering_spaces(view.csr, {
+            host: tables
+            for host, (_, tables) in substrate.snapshot().items()
+        }) == view.spaces
+
+    def test_layered_queries_identical_across_backends(
+        self, framework, hp_classes, monkeypatch
+    ):
+        answers = {}
+        for backend in ("python", "numpy"):
+            monkeypatch.setenv(BACKEND_ENV, backend)
+            substrate = AggregationSubstrate(framework, n_cut=5)
+            substrate.ensure()
+            search = DecentralizedClusterSearch(
+                framework, hp_classes, n_cut=5, substrate=substrate
+            )
+            report = search.run_aggregation()
+            assert report.converged
+            assert report.node_info_messages == 0
+            answers[backend] = [
+                search.process_query(k, b, start)
+                for k in (2, 4, 9)
+                for b in (20.0, 45.0, 70.0)
+                for start in (0, 17, 39)
+            ]
+        assert answers["python"] == answers["numpy"]
+
+
+class TestServiceKernelParity:
+    def _batch_answers(self, monkeypatch, backend):
+        monkeypatch.setenv(BACKEND_ENV, backend)
+        dataset = hp_planetlab_like(seed=2, n=40)
+        framework = build_framework(dataset.bandwidth, seed=3)
+        classes = BandwidthClasses.linear(15.0, 75.0, 7)
+        service = ClusterQueryService(framework, classes, n_cut=5)
+        executor = BatchExecutor(service, max_workers=4)
+        queries = [
+            ClusterQuery(k=k, b=b)
+            for k in (2, 5)
+            for b in classes.bandwidths
+        ]
+        return [
+            (r.cluster, r.hops, r.found)
+            for r in executor.run(queries)
+        ]
+
+    def test_cold_batches_identical_across_backends(self, monkeypatch):
+        assert self._batch_answers(
+            monkeypatch, "python"
+        ) == self._batch_answers(monkeypatch, "numpy")

@@ -488,3 +488,93 @@ class TestRPR009SpanContext:
             rules=["RPR009"],
         )
         assert findings == []
+
+
+class TestRPR010KernelImports:
+    def test_service_import_flagged(self, harness):
+        findings = harness.lint(
+            "src/repro/kernels/bad_service.py",
+            """
+            import numpy as np
+            from repro.service.core import ClusterQueryService
+
+            def sweep(view):
+                return np.asarray(view)
+            """,
+            rules=["RPR010"],
+        )
+        assert rule_ids(findings) == {"RPR010"}
+        assert "repro.service.core" in findings[0].message
+
+    def test_obs_import_flagged(self, harness):
+        findings = harness.lint(
+            "src/repro/kernels/bad_obs.py",
+            """
+            from repro.obs import NOOP_TRACER
+
+            def traced():
+                return NOOP_TRACER
+            """,
+            rules=["RPR010"],
+        )
+        assert rule_ids(findings) == {"RPR010"}
+
+    def test_function_local_import_flagged(self, harness):
+        findings = harness.lint(
+            "src/repro/kernels/bad_lazy.py",
+            """
+            def sneak():
+                import repro.sim.protocols as protocols
+                return protocols
+            """,
+            rules=["RPR010"],
+        )
+        assert rule_ids(findings) == {"RPR010"}
+
+    def test_third_party_import_flagged(self, harness):
+        findings = harness.lint(
+            "src/repro/kernels/bad_scipy.py",
+            """
+            from scipy.sparse import csr_matrix
+
+            def compile_tree():
+                return csr_matrix
+            """,
+            rules=["RPR010"],
+        )
+        assert rule_ids(findings) == {"RPR010"}
+
+    def test_allowed_imports_clean(self, harness):
+        findings = harness.lint(
+            "src/repro/kernels/good.py",
+            """
+            import threading
+            from collections.abc import Mapping
+
+            import numpy as np
+
+            from repro.exceptions import KernelError
+            from repro.kernels.tree import TreeCSR
+            from repro.metrics.metric import submatrix
+
+            def sweep(csr):
+                if not isinstance(csr, TreeCSR):
+                    raise KernelError("not a tree")
+                return np.zeros(1), threading, Mapping, submatrix
+            """,
+            rules=["RPR010"],
+        )
+        assert findings == []
+
+    def test_rule_scoped_to_kernels_only(self, harness):
+        findings = harness.lint(
+            "src/repro/service/uses_service.py",
+            """
+            from repro.service.telemetry import ServiceTelemetry
+
+            def telemetry():
+                return ServiceTelemetry()
+            """,
+            rules=["RPR010"],
+        )
+        assert findings == []

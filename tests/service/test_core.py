@@ -1,5 +1,7 @@
 """Tests for :class:`ClusterQueryService` — the service tentpole."""
 
+import math
+
 import pytest
 
 from repro.core.query import BandwidthClasses, ClusterQuery
@@ -168,6 +170,14 @@ class TestSharedSubstrate:
         assert snapshot.substrate_builds == 1
         service.submit(ClusterQuery(k=3, b=20.0))
         assert service.telemetry.snapshot().substrate_builds == 1
+
+    def test_cold_build_latency_lands_in_histogram(self, service):
+        service.prepare()
+        snapshot = service.telemetry.snapshot()
+        # The build was timed, not just counted.
+        assert math.isfinite(snapshot.substrate_build_mean_s)
+        assert snapshot.substrate_build_mean_s >= 0.0
+        assert math.isfinite(snapshot.substrate_build_p50_s)
 
 
 def _anchor_leaf(service):

@@ -93,3 +93,29 @@ class TestServiceTelemetry:
         assert snapshot.queries_served == 0
         assert math.isnan(snapshot.hit_rate)
         assert math.isnan(snapshot.latency_p50_s)
+
+    def test_substrate_build_latency_histogram(self):
+        # Regression: substrate builds used to be counter-only, so a
+        # cold path that got 10x slower was invisible in the snapshot.
+        telemetry = ServiceTelemetry()
+        for latency in (0.5, 1.0, 4.0):
+            telemetry.record_substrate_build(latency)
+        snapshot = telemetry.snapshot()
+        assert snapshot.substrate_builds == 3
+        assert snapshot.substrate_build_p50_s == pytest.approx(1.0)
+        assert snapshot.substrate_build_p95_s == pytest.approx(4.0)
+        assert snapshot.substrate_build_mean_s == pytest.approx(5.5 / 3)
+
+    def test_substrate_build_without_latency_counts_only(self):
+        telemetry = ServiceTelemetry()
+        telemetry.record_substrate_build()
+        snapshot = telemetry.snapshot()
+        assert snapshot.substrate_builds == 1
+        assert math.isnan(snapshot.substrate_build_p50_s)
+        assert math.isnan(snapshot.substrate_build_mean_s)
+
+    def test_empty_snapshot_build_histogram_is_nan(self):
+        snapshot = ServiceTelemetry().snapshot()
+        assert math.isnan(snapshot.substrate_build_p50_s)
+        assert math.isnan(snapshot.substrate_build_p95_s)
+        assert math.isnan(snapshot.substrate_build_mean_s)
