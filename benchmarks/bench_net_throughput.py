@@ -1,0 +1,115 @@
+"""Wire overhead: the same query stream in-process vs over TCP.
+
+Drives one deterministic loadgen stream three ways against identical
+freshly-built services:
+
+* **in-process** — ``run_loadgen`` straight into the service;
+* **wire** — ``run_net_loadgen`` through the asyncio TCP server and
+  the blocking client (framing + JSON codec + loopback + event-loop
+  hop on top of the identical service work);
+* **wire+churn** — the same but with membership churn injected through
+  the wire, so every generation-stamp/stale-refresh path is on the
+  measured path too.
+
+Asserts that serving over loopback costs less than an order of
+magnitude (the protocol must stay thin enough that the service, not
+the framing, dominates) and that the wire stream answers exactly as
+many queries as the in-process one.
+"""
+
+import time
+
+from benchmarks.conftest import emit
+from repro.core.query import BandwidthClasses
+from repro.datasets.planetlab import hp_planetlab_like
+from repro.experiments.report import format_table
+from repro.net import ClusterClient, run_net_loadgen, serve_in_background
+from repro.predtree.framework import build_framework
+from repro.service import ClusterQueryService, LoadGenConfig, run_loadgen
+
+N = 100
+N_CUT = 8
+CONFIG = LoadGenConfig(
+    queries=300,
+    batch_size=25,
+    distinct_constraints=4,
+    churn_rate=0.0,
+    max_workers=None,
+    seed=7,
+)
+CHURN_CONFIG = LoadGenConfig(
+    queries=300,
+    batch_size=25,
+    distinct_constraints=4,
+    churn_rate=0.2,
+    max_workers=None,
+    seed=7,
+)
+MAX_WIRE_OVERHEAD = 10.0
+
+
+def _build_service() -> ClusterQueryService:
+    dataset = hp_planetlab_like(seed=0, n=N)
+    framework = build_framework(dataset.bandwidth, seed=1)
+    classes = BandwidthClasses.linear(15.0, 75.0, 7)
+    return ClusterQueryService(framework, classes, n_cut=N_CUT)
+
+
+def _single_query_rtt_ms() -> float:
+    """Median-ish round-trip for one cached query over the wire."""
+    service = _build_service()
+    with serve_in_background(service) as handle:
+        with ClusterClient(*handle.address) as client:
+            client.submit(4, 30.0)  # prime the cache + the stamp
+            began = time.perf_counter()
+            rounds = 200
+            for _ in range(rounds):
+                client.submit(4, 30.0)
+            return (time.perf_counter() - began) / rounds * 1e3
+
+
+def test_net_throughput(benchmark):
+    rows = []
+    outcome = {}
+
+    def run():
+        in_process = run_loadgen(_build_service(), CONFIG)
+        wire = run_net_loadgen(_build_service(), CONFIG)
+        churny = run_net_loadgen(_build_service(), CHURN_CONFIG)
+        rtt_ms = _single_query_rtt_ms()
+        outcome["in_process"] = in_process
+        outcome["wire"] = wire
+        outcome["overhead"] = (
+            in_process.throughput_qps / max(wire.throughput_qps, 1e-9)
+        )
+        rows.append(
+            ["in-process", f"{in_process.throughput_qps:.1f}",
+             in_process.queries, in_process.churn_events, "1.0x"]
+        )
+        rows.append(
+            ["wire", f"{wire.throughput_qps:.1f}", wire.queries,
+             wire.churn_events, f"{outcome['overhead']:.2f}x"]
+        )
+        rows.append(
+            ["wire+churn", f"{churny.throughput_qps:.1f}",
+             churny.queries, churny.churn_events,
+             f"{in_process.throughput_qps / max(churny.throughput_qps, 1e-9):.2f}x"]
+        )
+        rows.append(["1-query rtt (ms)", f"{rtt_ms:.3f}", 1, 0, "-"])
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["mode", "queries/s", "queries", "churn", "overhead"],
+        rows,
+        title=f"wire vs in-process throughput (n={N})",
+    )
+    emit("net_throughput", table)
+    assert outcome["wire"].queries == outcome["in_process"].queries
+    assert outcome["wire"].found == outcome["in_process"].found, (
+        "the wire run answered the identical stream differently"
+    )
+    assert outcome["overhead"] <= MAX_WIRE_OVERHEAD, (
+        f"wire overhead {outcome['overhead']:.2f}x exceeds "
+        f"{MAX_WIRE_OVERHEAD}x — framing/codec cost now dominates "
+        "the service"
+    )

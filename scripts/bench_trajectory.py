@@ -14,13 +14,19 @@ root, so successive commits carry comparable numbers:
 * the kernel-backend comparison — the cold batched build (one
   substrate fixed point plus one CRT pass per class) timed under
   ``REPRO_KERNELS=python`` and ``REPRO_KERNELS=numpy`` at n=200, and
-  the numpy cold build alone at n=1000 in full mode.
+  the numpy cold build alone at n=1000 in full mode;
+* the wire overhead — the identical deterministic query stream (with
+  churn) driven in-process and over loopback TCP through
+  ``repro.net``, plus a direct answer-equality check between a served
+  batch and its in-process twin.
 
 The script is also a gate: it exits non-zero when the warm
 aggregation-build count is not strictly below the cold one (the
-shared-substrate split has silently stopped amortizing), or when the
+shared-substrate split has silently stopped amortizing), when the
 numpy kernel speedup at n=200 drops below 1.5x (below 3x it only
-warns).
+warns), or when a batch served over TCP answers differently from the
+in-process service it wraps.  A wire-overhead ratio above 2.5x warns
+without failing.
 
 Usage::
 
@@ -240,6 +246,62 @@ def measure_kernels(smoke: bool) -> dict:
     return section
 
 
+#: Wire-overhead ratio (in-process qps / wire qps) above which the
+#: gate warns.  Not a hard failure: loopback TCP cost varies with CI
+#: machine load, while a silent protocol regression shows up first as
+#: an answer mismatch, which IS a hard failure.
+WIRE_OVERHEAD_WARN = 2.5
+
+
+def measure_net(smoke: bool) -> dict:
+    """The identical churny stream, in-process vs over loopback TCP.
+
+    Both runs build a fresh service from the same seeds and consume
+    the same deterministic query/churn stream, so the throughput ratio
+    is the pure wire overhead (framing + JSON codec + TCP + event-loop
+    hop).  A third, fresh service pair answers one mixed batch both
+    ways for an exact cluster-equality check.
+    """
+    from repro.net import ClusterClient, run_net_loadgen, serve_in_background
+    from repro.service import LoadGenConfig, run_loadgen
+
+    n = 60 if smoke else 200
+    config = LoadGenConfig(
+        queries=120 if smoke else 400,
+        batch_size=20,
+        churn_rate=0.1,
+        max_workers=None,
+        seed=7,
+    )
+    in_process = run_loadgen(_build_service(n), config)
+    wire = run_net_loadgen(_build_service(n), config)
+
+    service_direct = _build_service(n)
+    service_served = _build_service(n)
+    batch = _batch(service_direct.classes, k=4)
+    direct = service_direct.submit_batch(batch)
+    with serve_in_background(service_served) as handle:
+        with ClusterClient(*handle.address) as client:
+            served = client.submit_batch(batch)
+    results_match = [r.cluster for r in direct] == [
+        r.cluster for r in served
+    ]
+
+    return {
+        "n": n,
+        "queries": config.queries,
+        "churn_events": wire.churn_events,
+        "in_process_qps": round(in_process.throughput_qps, 2),
+        "wire_qps": round(wire.throughput_qps, 2),
+        "wire_overhead": round(
+            in_process.throughput_qps / max(wire.throughput_qps, 1e-9), 4
+        ),
+        "found_in_process": in_process.found,
+        "found_wire": wire.found,
+        "results_match": results_match,
+    }
+
+
 def environment_info() -> dict:
     import numpy
 
@@ -274,9 +336,10 @@ def main(argv: list[str] | None = None) -> int:
         batch_n, warm_queries=200 if args.smoke else 1000
     )
     kernels = measure_kernels(smoke=args.smoke)
+    net = measure_net(smoke=args.smoke)
 
     trajectory = {
-        "schema": 3,
+        "schema": 4,
         "mode": "smoke" if args.smoke else "full",
         "n_cut": N_CUT,
         "environment": environment_info(),
@@ -284,6 +347,7 @@ def main(argv: list[str] | None = None) -> int:
         "incremental": incremental,
         "tracing": tracing,
         "kernels": kernels,
+        "net": net,
     }
     args.out.write_text(json.dumps(trajectory, indent=2) + "\n")
     print(json.dumps(trajectory, indent=2))
@@ -350,6 +414,31 @@ def main(argv: list[str] | None = None) -> int:
         )
     else:
         print(f"kernel speedup at n=200: {speedup}x (target >= 3x)")
+    if not net["results_match"]:
+        failures.append(
+            "a batch served over TCP answered differently from the "
+            "in-process service it wraps — the wire protocol is "
+            "corrupting results"
+        )
+    if net["found_wire"] != net["found_in_process"]:
+        failures.append(
+            "the wire loadgen stream found "
+            f"{net['found_wire']} clusters vs "
+            f"{net['found_in_process']} in-process on the identical "
+            "deterministic stream"
+        )
+    if net["wire_overhead"] > WIRE_OVERHEAD_WARN:
+        print(
+            f"WARN: wire overhead is {net['wire_overhead']}x "
+            f"(warn threshold: {WIRE_OVERHEAD_WARN}x) — loopback TCP "
+            "serving is losing more throughput than expected",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"wire overhead: {net['wire_overhead']}x "
+            f"(warn threshold: {WIRE_OVERHEAD_WARN}x)"
+        )
     if "n1000" in kernels and kernels["n1000"]["numpy_cold_s"] >= 10.0:
         failures.append(
             "numpy cold batched build at n=1000 took "

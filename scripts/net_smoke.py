@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""CI smoke for the networked serving path (``repro.net``).
+
+Boots the asyncio server around a small in-process service, hammers it
+with ~1k queries over a blocking TCP client, bumps the overlay
+generation once mid-stream (a host departs and re-joins through the
+wire), and then audits for leaks:
+
+* every thread started for the server must be joined;
+* no socket objects may remain open (checked via ``gc`` after the
+  server drains);
+* answers after the generation bump must equal a fresh in-process
+  service's answers (the client refreshed transparently).
+
+Run it with warnings promoted so an unclosed transport anywhere in the
+stack fails the job::
+
+    PYTHONPATH=src python -W error::ResourceWarning scripts/net_smoke.py
+
+Exit status is 0 on success, 1 with a ``FAIL:`` line otherwise.
+"""
+
+from __future__ import annotations
+
+import gc
+import socket
+import sys
+import threading
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.query import BandwidthClasses, ClusterQuery  # noqa: E402
+from repro.datasets.planetlab import hp_planetlab_like  # noqa: E402
+from repro.net import ClusterClient, serve_in_background  # noqa: E402
+from repro.predtree.framework import build_framework  # noqa: E402
+from repro.service import ClusterQueryService  # noqa: E402
+
+QUERIES = 1000
+BUMP_AT = 500  # stream offset of the one generation bump
+
+
+def _build_service() -> ClusterQueryService:
+    dataset = hp_planetlab_like(seed=0, n=40)
+    framework = build_framework(dataset.bandwidth, seed=1)
+    classes = BandwidthClasses.linear(15.0, 75.0, 7)
+    return ClusterQueryService(framework, classes, n_cut=8)
+
+
+def _stream() -> list[ClusterQuery]:
+    ks = (3, 5, 8)
+    bs = (20.0, 30.0, 45.0, 60.0, 70.0)
+    return [
+        ClusterQuery(k=ks[i % len(ks)], b=bs[i % len(bs)])
+        for i in range(QUERIES)
+    ]
+
+
+def _open_sockets() -> list[socket.socket]:
+    gc.collect()
+    return [
+        obj
+        for obj in gc.get_objects()
+        if isinstance(obj, socket.socket) and obj.fileno() != -1
+    ]
+
+
+def main() -> int:
+    failures: list[str] = []
+    threads_before = set(threading.enumerate())
+    sockets_before = {id(s) for s in _open_sockets()}
+
+    service = _build_service()
+    stream = _stream()
+    answers = []
+    with serve_in_background(service) as handle:
+        with ClusterClient(*handle.address) as client:
+            snapshot = client.snapshot()
+            victim = next(
+                h for h in snapshot.hosts if h != snapshot.root
+            )
+            generation_before = client.ping()
+            for offset, query in enumerate(stream):
+                if offset == BUMP_AT:
+                    client.remove_host(victim)
+                    client.add_host(victim)
+                answers.append(client.submit(query.k, query.b))
+            generation_after = client.ping()
+            served = handle.server.requests_served
+
+    # -- correctness ---------------------------------------------------------
+    # A departure cascades: the victim's subtree re-joins one host at
+    # a time and every mutation bumps the generation, so the exact
+    # delta depends on the overlay shape — only monotonicity is stable.
+    if generation_after <= generation_before:
+        failures.append(
+            f"generation went {generation_before} -> "
+            f"{generation_after}, expected the depart+rejoin bump to "
+            "raise it"
+        )
+    # +1 snapshot, +1 first ping, +2 membership, +1 final ping.
+    if served < QUERIES + 5:
+        failures.append(
+            f"server counted {served} requests, expected >= "
+            f"{QUERIES + 5}"
+        )
+    reference = _build_service()
+    reference.remove_host(victim)
+    reference.add_host(victim)
+    tail = stream[BUMP_AT:]
+    direct = reference.submit_batch(tail)
+    mismatches = sum(
+        1
+        for wire, local in zip(answers[BUMP_AT:], direct)
+        if wire.cluster != local.cluster
+    )
+    if mismatches:
+        failures.append(
+            f"{mismatches}/{len(tail)} post-bump answers differ from "
+            "the in-process reference"
+        )
+
+    # -- leak audit ----------------------------------------------------------
+    leaked_threads = [
+        thread
+        for thread in threading.enumerate()
+        if thread not in threads_before and thread.is_alive()
+    ]
+    if leaked_threads:
+        failures.append(
+            "server threads still alive after stop: "
+            + ", ".join(t.name for t in leaked_threads)
+        )
+    leaked_sockets = [
+        s for s in _open_sockets() if id(s) not in sockets_before
+    ]
+    if leaked_sockets:
+        failures.append(
+            f"{len(leaked_sockets)} socket(s) left open after the "
+            "server drained"
+        )
+
+    print(
+        f"net smoke: {len(answers)} queries answered, "
+        f"{served} requests served, generation "
+        f"{generation_before} -> {generation_after}, "
+        f"{len(leaked_threads)} leaked threads, "
+        f"{len(leaked_sockets)} leaked sockets"
+    )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

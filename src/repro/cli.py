@@ -9,6 +9,7 @@ Subcommands
 ``churn``     dynamic-membership experiment (departures + healing)
 ``hub``       run the hub-search extension on a generated dataset
 ``serve-bench``  drive the long-lived query service with synthetic load
+``serve``     serve cluster queries over TCP (optionally multi-process)
 ``trace``     run a traced workload and dump the slowest span trees
 ``lint``      run the repository's AST invariant checker (RPR rules)
 
@@ -141,6 +142,36 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--n-cut", type=int, default=10, help="Algorithm 2 cutoff"
     )
+    serve.add_argument(
+        "--net", action="store_true",
+        help="drive the same load through a TCP server + wire client "
+             "and report the wire overhead vs the in-process run",
+    )
+
+    server = sub.add_parser(
+        "serve",
+        help="serve cluster queries over TCP (repro.net)",
+    )
+    _add_dataset_args(server)
+    server.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    server.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (0 picks an ephemeral port, printed at start)",
+    )
+    server.add_argument(
+        "--n-cut", type=int, default=10, help="Algorithm 2 cutoff"
+    )
+    server.add_argument(
+        "--fanout", type=int, default=0, metavar="WORKERS",
+        help="serve through a multi-process coordinator with WORKERS "
+             "replica processes (0 = in-process service)",
+    )
+    server.add_argument(
+        "--max-seconds", type=float, default=None,
+        help="stop after this many seconds (default: run until ^C)",
+    )
 
     trace = sub.add_parser(
         "trace",
@@ -175,7 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="AST invariant checker (rules RPR001-RPR009)",
+        help="AST invariant checker (rules RPR001-RPR011)",
     )
     add_lint_arguments(lint)
 
@@ -325,6 +356,90 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         f"cached results: {stats.result_cache_entries}  "
         f"hit rate: {stats.telemetry.hit_rate:.2f}"
     )
+    if args.net:
+        from repro.net import run_net_loadgen
+
+        # A fresh service, so the wire run pays the same cold caches
+        # the in-process run above did.
+        framework = build_framework(dataset.bandwidth, seed=args.seed)
+        wire_service = ClusterQueryService(
+            framework, classes, n_cut=args.n_cut
+        )
+        wire = run_net_loadgen(wire_service, config)
+        print()
+        print(wire.format_table())
+        ratio = (
+            report.throughput_qps / wire.throughput_qps
+            if wire.throughput_qps > 0
+            else float("inf")
+        )
+        print(
+            f"\nwire overhead: in-process {report.throughput_qps:.1f} "
+            f"q/s vs wire {wire.throughput_qps:.1f} q/s "
+            f"(ratio {ratio:.2f}x)"
+        )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.net import ServiceSpec, serve_in_background
+    from repro.net.coordinator import ClusterCoordinator
+    from repro.net.server import QueryBackend
+
+    query_range = (
+        HP_QUERY_RANGE if args.dataset == "hp" else UMD_QUERY_RANGE
+    )
+    coordinator: ClusterCoordinator | None = None
+    backend: QueryBackend
+    if args.fanout > 0:
+        spec = ServiceSpec(
+            dataset=args.dataset,
+            n=args.n,
+            dataset_seed=args.seed,
+            classes_low=query_range[0],
+            classes_high=query_range[1],
+            n_cut=args.n_cut,
+        )
+        coordinator = ClusterCoordinator(spec, workers=args.fanout)
+        coordinator.start()
+        backend = coordinator
+    else:
+        dataset = _build_dataset(args)
+        framework = build_framework(dataset.bandwidth, seed=args.seed)
+        classes = BandwidthClasses.linear(*query_range, 7)
+        backend = ClusterQueryService(
+            framework, classes, n_cut=args.n_cut
+        )
+    handle = serve_in_background(
+        backend, host=args.host, port=args.port
+    )
+    host, port = handle.address
+    mode = (
+        f"coordinator({args.fanout} workers)"
+        if coordinator is not None
+        else "in-process service"
+    )
+    print(
+        f"serving {args.dataset} overlay on {host}:{port} via {mode} "
+        f"(generation {backend.generation}, "
+        f"{len(backend.hosts)} hosts) — Ctrl-C to stop"
+    )
+    try:
+        if args.max_seconds is not None:
+            import time as _time
+
+            _time.sleep(args.max_seconds)
+        else:  # pragma: no cover - interactive path
+            import threading as _threading
+
+            _threading.Event().wait()
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        handle.stop()
+        if coordinator is not None:
+            coordinator.close()
+    print(f"served {handle.server.requests_served} request(s)")
     return 0
 
 
@@ -405,6 +520,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "churn": _cmd_figure,
         "hub": _cmd_hub,
         "serve-bench": _cmd_serve_bench,
+        "serve": _cmd_serve,
         "trace": _cmd_trace,
         "lint": run_lint_command,
     }

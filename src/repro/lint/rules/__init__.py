@@ -152,6 +152,7 @@ _RULE_MODULES = (
     "timing",
     "spans",
     "kernelimports",
+    "blocking",
 )
 for _module_name in _RULE_MODULES:
     import_module(f"repro.lint.rules.{_module_name}")

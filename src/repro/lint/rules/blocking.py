@@ -1,0 +1,130 @@
+"""RPR011 — no blocking calls inside ``async def`` bodies.
+
+An asyncio server multiplexes every connection onto one event-loop
+thread: a single blocking call inside a coroutine stalls *all*
+connections for its duration, which is exactly the failure mode the
+``repro.net`` server is designed to avoid (backend work belongs in
+``loop.run_in_executor``).  This rule walks every ``async def`` and
+flags calls that are blocking by construction:
+
+* ``time.sleep`` (use ``await asyncio.sleep``);
+* synchronous socket operations — ``socket.create_connection``, or
+  ``.recv`` / ``.send`` / ``.sendall`` / ``.accept`` / ``.connect``
+  on a socket-like receiver (use asyncio streams);
+* blocking subprocess helpers — ``subprocess.run`` / ``call`` /
+  ``check_call`` / ``check_output`` (use
+  ``asyncio.create_subprocess_exec``).
+
+Nested synchronous ``def`` functions inside a coroutine are *not*
+flagged: defining a helper is free, and the legitimate pattern —
+handing it to ``run_in_executor`` — is precisely how blocking work
+should leave the loop.  Scoped to ``repro/net/`` where the event loop
+lives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, Rule, register
+
+__all__ = ["BlockingInAsyncRule"]
+
+SCOPES = ("repro/net/",)
+
+#: ``module.function`` calls that block the calling thread.
+_BLOCKING_QUALIFIED = {
+    ("time", "sleep"): "await asyncio.sleep(...) instead",
+    ("socket", "create_connection"):
+        "use asyncio.open_connection(...)",
+    ("socket", "socket"): "use asyncio streams",
+    ("subprocess", "run"): "use asyncio.create_subprocess_exec(...)",
+    ("subprocess", "call"): "use asyncio.create_subprocess_exec(...)",
+    ("subprocess", "check_call"):
+        "use asyncio.create_subprocess_exec(...)",
+    ("subprocess", "check_output"):
+        "use asyncio.create_subprocess_exec(...)",
+}
+
+#: Method names that mark a synchronous socket API on any receiver
+#: *named like* a socket (``sock``, ``socket``, ``conn`` …).
+_SOCKET_METHODS = {
+    "recv", "recv_into", "send", "sendall", "accept", "connect",
+}
+_SOCKETISH_NAMES = {"sock", "socket", "conn", "connection", "client"}
+
+_AsyncDef = ast.AsyncFunctionDef
+
+
+def _blocking_reason(node: ast.Call) -> str | None:
+    """Why *node* blocks the event loop, or ``None`` if it does not."""
+    func = node.func
+    if isinstance(func, ast.Attribute) and isinstance(
+        func.value, ast.Name
+    ):
+        hint = _BLOCKING_QUALIFIED.get((func.value.id, func.attr))
+        if hint is not None:
+            return (
+                f"{func.value.id}.{func.attr}() blocks the event "
+                f"loop; {hint}"
+            )
+        if (
+            func.attr in _SOCKET_METHODS
+            and func.value.id.lower() in _SOCKETISH_NAMES
+        ):
+            return (
+                f"synchronous socket call .{func.attr}() blocks the "
+                "event loop; use asyncio streams or run_in_executor"
+            )
+    return None
+
+
+def _async_body_calls(
+    function: _AsyncDef,
+) -> Iterable[ast.Call]:
+    """Calls lexically inside *function*'s own async body.
+
+    Descends statements and expressions but stops at nested function
+    definitions (sync helpers destined for ``run_in_executor`` are
+    fine; nested ``async def`` bodies are visited when the outer walk
+    reaches them as statements of the module walk).
+    """
+    stack: list[ast.AST] = list(function.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class BlockingInAsyncRule(Rule):
+    """Flag blocking calls written directly inside coroutine bodies."""
+
+    rule_id = "RPR011"
+    summary = (
+        "no blocking calls (time.sleep, sync sockets, subprocess) "
+        "inside async def bodies"
+    )
+
+    def applies_to(self, display: str) -> bool:
+        return any(scope in display for scope in SCOPES)
+
+    def check_file(self, context: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.AsyncFunctionDef):
+                continue
+            for call in _async_body_calls(node):
+                reason = _blocking_reason(call)
+                if reason is not None:
+                    yield context.finding(
+                        call,
+                        self.rule_id,
+                        f"in async def {node.name}: {reason}",
+                    )

@@ -1,0 +1,91 @@
+"""repro.net — networked serving for the cluster-query service.
+
+Everything below :mod:`repro.service` answers queries in-process; this
+package puts the service behind a socket and, one level up, behind a
+pool of worker processes:
+
+* :mod:`~repro.net.framing` — length-prefixed wire frames with a
+  versioned payload codec (JSON always; msgpack when installed) and a
+  max-frame guard enforced on both ends;
+* :mod:`~repro.net.protocol` — the typed request/response envelope:
+  submit / submit_batch / add_host / remove_host / snapshot / ping,
+  generation-stamped queries, and errors carried as stable integer
+  codes (:mod:`repro.exceptions`) so a
+  :class:`~repro.exceptions.StaleGenerationError` raised behind the
+  socket re-raises as the same type in the client;
+* :mod:`~repro.net.server` — the asyncio front end: per-connection
+  reader tasks, pipelined per-request handlers, backend calls pushed
+  off-loop, graceful drain, ``net.accept`` / ``net.request`` tracer
+  spans;
+* :mod:`~repro.net.client` — blocking and asyncio clients with
+  timeouts, bounded retry-with-backoff, and automatic
+  refresh-and-retry when the overlay generation moved underneath a
+  stamped query;
+* :mod:`~repro.net.coordinator` — multi-process fan-out: replica
+  services rebuilt deterministically from a :class:`~repro.net.
+  coordinator.ServiceSpec`, membership broadcast as generation bumps,
+  stale workers synced and re-dispatched, dead workers respawned;
+* :mod:`~repro.net.loadgen` — the wire-level twin of the service
+  load generator, for measuring wire overhead (``repro-bcc
+  serve-bench --net``).
+
+See DESIGN.md §11 and the README "Networked serving" section.
+"""
+
+from repro.net.client import (
+    AsyncClusterClient,
+    ClientGroupDispatcher,
+    ClusterClient,
+)
+from repro.net.coordinator import (
+    ClusterCoordinator,
+    CoordinatorStats,
+    ServiceSpec,
+)
+from repro.net.framing import (
+    CODEC_JSON,
+    CODEC_MSGPACK,
+    DEFAULT_MAX_FRAME,
+    FRAME_VERSION,
+    FrameDecoder,
+    encode_frame,
+)
+from repro.net.loadgen import run_net_loadgen
+from repro.net.protocol import (
+    ENVELOPE_VERSION,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+)
+from repro.net.server import (
+    ClusterQueryServer,
+    QueryBackend,
+    ServerHandle,
+    serve_in_background,
+)
+
+__all__ = [
+    "AsyncClusterClient",
+    "CODEC_JSON",
+    "CODEC_MSGPACK",
+    "ClientGroupDispatcher",
+    "ClusterClient",
+    "ClusterCoordinator",
+    "ClusterQueryServer",
+    "CoordinatorStats",
+    "DEFAULT_MAX_FRAME",
+    "ENVELOPE_VERSION",
+    "FRAME_VERSION",
+    "FrameDecoder",
+    "QueryBackend",
+    "ServerHandle",
+    "ServiceSpec",
+    "decode_request",
+    "decode_response",
+    "encode_frame",
+    "encode_request",
+    "encode_response",
+    "run_net_loadgen",
+    "serve_in_background",
+]

@@ -1,0 +1,617 @@
+"""Blocking and asyncio clients for the cluster-query wire protocol.
+
+Both clients share the same behaviour contract:
+
+* **Timeouts everywhere.**  Connecting is bounded by
+  ``connect_timeout``, every request by ``request_timeout``; a hung
+  server surfaces as :class:`~repro.exceptions.NetworkError`, never as
+  an indefinite hang.
+* **Bounded retry with backoff on transient transport failures.**
+  Connection refused/reset and timeouts on *idempotent* requests
+  (submit, batch, ping, snapshot) reconnect and retry up to
+  ``retries`` times with exponential backoff.  Membership changes are
+  **never** transport-retried: a timed-out ``add_host`` may well have
+  been applied, and blindly replaying it would double-join.
+* **Generation stamping with automatic refresh.**  The client caches
+  the last generation it saw (from any response) and stamps query
+  requests with it.  When the overlay moved — churn between requests —
+  the server answers with a
+  :class:`~repro.exceptions.StaleGenerationError` code *and its
+  current generation*; the client refreshes its cache from that and
+  retries, up to ``stale_retries`` times.  Set
+  ``refresh_on_stale=False`` to surface the stale error to the caller
+  instead (how the integration tests observe staleness on the wire).
+
+:class:`ClientGroupDispatcher` adapts a client to the batch executor's
+remote fan-out hook (:class:`~repro.service.executor.GroupDispatcher`),
+so an in-process service can offload per-class groups to a remote
+server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+import time
+from typing import Callable, TypeVar
+
+from repro.core.query import ClusterQuery
+from repro.exceptions import (
+    NetworkError,
+    ProtocolError,
+    ReproError,
+    StaleGenerationError,
+)
+from repro.net.framing import DEFAULT_MAX_FRAME, FrameDecoder, encode_frame
+from repro.net.protocol import (
+    AddHostRequest,
+    ErrorResponse,
+    MembershipResponse,
+    PingRequest,
+    PongResponse,
+    RemoveHostRequest,
+    Request,
+    Response,
+    ResultBatchResponse,
+    ResultResponse,
+    SnapshotRequest,
+    SnapshotResponse,
+    SubmitBatchRequest,
+    SubmitRequest,
+    decode_response,
+    encode_request,
+    response_error,
+)
+from repro.service.core import ServiceResult
+
+__all__ = ["AsyncClusterClient", "ClientGroupDispatcher", "ClusterClient"]
+
+T = TypeVar("T")
+
+#: Transport failures considered transient (reconnect + retry).
+#: NetworkError covers connection setup (refused/unreachable wrapped
+#: by connect()) and stream desync (FrameError / ProtocolError): in
+#: every case the connection is torn down and rebuilt from scratch,
+#: so retrying an *idempotent* request is safe.
+_TRANSIENT = (ConnectionError, TimeoutError, OSError, NetworkError)
+
+
+def _generation_of(response: Response) -> int | None:
+    """The overlay generation a response reveals, if any."""
+    if isinstance(response, (PongResponse, MembershipResponse)):
+        return response.generation
+    if isinstance(response, SnapshotResponse):
+        return response.generation
+    if isinstance(response, ResultResponse):
+        return response.result.generation
+    if isinstance(response, ResultBatchResponse) and response.results:
+        return response.results[-1].generation
+    if isinstance(response, ErrorResponse):
+        return response.generation
+    return None
+
+
+class _ClientCore:
+    """State and decode logic shared by the sync and async clients."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float,
+        request_timeout: float,
+        retries: int,
+        backoff_s: float,
+        stale_retries: int,
+        refresh_on_stale: bool,
+        max_frame: int,
+    ) -> None:
+        if retries < 0 or stale_retries < 0:
+            raise NetworkError("retries must be >= 0")
+        if connect_timeout <= 0 or request_timeout <= 0:
+            raise NetworkError("timeouts must be positive")
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self.stale_retries = stale_retries
+        self.refresh_on_stale = refresh_on_stale
+        self.max_frame = max_frame
+        self.generation: int | None = None
+        self.stale_refreshes = 0
+        self._next_id = 0
+
+    def take_id(self) -> int:
+        """The next request id (monotonic per client)."""
+        self._next_id += 1
+        return self._next_id
+
+    def note(self, response: Response) -> None:
+        """Cache the generation a response reveals."""
+        generation = _generation_of(response)
+        if generation is not None:
+            self.generation = generation
+
+    def unwrap(self, response: Response) -> Response:
+        """Raise the typed error an :class:`ErrorResponse` carries."""
+        if isinstance(response, ErrorResponse):
+            raise response_error(response)
+        return response
+
+
+class ClusterClient:
+    """Blocking TCP client for a :class:`~repro.net.server.
+    ClusterQueryServer`.
+
+    Parameters
+    ----------
+    host, port:
+        Server address (e.g. from ``ServerHandle.address``).
+    connect_timeout, request_timeout:
+        Seconds before connecting / one request fails.
+    retries:
+        Transport retries for idempotent requests.
+    backoff_s:
+        Initial backoff; doubles per retry.
+    stale_retries:
+        How many refresh-and-retry rounds a stale answer gets.
+    refresh_on_stale:
+        When ``False``, stale errors raise instead of refreshing.
+    max_frame:
+        Frame-size bound (must be at least the server's).
+
+    Usable as a context manager; connects lazily on first request.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 5.0,
+        request_timeout: float = 30.0,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        stale_retries: int = 2,
+        refresh_on_stale: bool = True,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        self._core = _ClientCore(
+            host,
+            port,
+            connect_timeout,
+            request_timeout,
+            retries,
+            backoff_s,
+            stale_retries,
+            refresh_on_stale,
+            max_frame,
+        )
+        self._sock: socket.socket | None = None
+        self._decoder = FrameDecoder(max_frame)
+
+    # -- connection lifecycle ----------------------------------------------
+
+    @property
+    def generation(self) -> int | None:
+        """Last overlay generation observed (``None`` before contact)."""
+        return self._core.generation
+
+    @property
+    def stale_refreshes(self) -> int:
+        """How many times a stale answer triggered a refresh-retry."""
+        return self._core.stale_refreshes
+
+    def connect(self) -> None:
+        """Open the TCP connection (no-op when already connected)."""
+        if self._sock is not None:
+            return
+        core = self._core
+        try:
+            self._sock = socket.create_connection(
+                (core.host, core.port), timeout=core.connect_timeout
+            )
+        except OSError as error:
+            raise NetworkError(
+                f"cannot connect to {core.host}:{core.port}: {error}"
+            ) from error
+        self._sock.settimeout(core.request_timeout)
+        self._decoder = FrameDecoder(core.max_frame)
+
+    def close(self) -> None:
+        """Close the connection (safe to call repeatedly)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "ClusterClient":
+        """Context-manager entry: connect eagerly."""
+        self.connect()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context-manager exit: close the connection."""
+        self.close()
+
+    # -- request machinery --------------------------------------------------
+
+    def _roundtrip(self, request: Request) -> Response:
+        """One framed request/response exchange (no retries here)."""
+        self.connect()
+        assert self._sock is not None
+        core = self._core
+        request_id = core.take_id()
+        frame = encode_frame(
+            encode_request(request_id, request), max_frame=core.max_frame
+        )
+        self._sock.sendall(frame)
+        deadline = time.perf_counter() + core.request_timeout
+        while True:
+            if time.perf_counter() > deadline:
+                raise TimeoutError(
+                    f"no response to request {request_id} within "
+                    f"{core.request_timeout}s"
+                )
+            data = self._sock.recv(65536)
+            if not data:
+                raise ConnectionError("server closed the connection")
+            for message in self._decoder.feed(data):
+                response_id, response = decode_response(message)
+                if response_id == request_id or response_id == 0:
+                    core.note(response)
+                    return response
+                # A response to a request this client object never
+                # sent means the stream is out of sync — fail loudly.
+                raise ProtocolError(
+                    f"response for unknown request id {response_id}"
+                )
+
+    def _request(self, request: Request, retriable: bool) -> Response:
+        core = self._core
+        attempts = core.retries + 1 if retriable else 1
+        last: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(core.backoff_s * (2 ** (attempt - 1)))
+            try:
+                return core.unwrap(self._roundtrip(request))
+            except _TRANSIENT as error:
+                self.close()
+                last = error
+        raise NetworkError(
+            f"request failed after {attempts} attempt(s): {last}"
+        ) from last
+
+    def _with_stale_refresh(
+        self, build: Callable[[int | None], Request]
+    ) -> Response:
+        """Send a stamped request, refreshing the stamp on staleness."""
+        core = self._core
+        for _ in range(core.stale_retries + 1):
+            try:
+                return self._request(
+                    build(core.generation), retriable=True
+                )
+            except StaleGenerationError:
+                if not core.refresh_on_stale:
+                    raise
+                # unwrap() already cached the server's generation off
+                # the error response; count the refresh and go again.
+                core.stale_refreshes += 1
+        raise StaleGenerationError(
+            f"still stale after {core.stale_retries} generation "
+            "refresh(es) — the overlay is churning faster than this "
+            "client can chase"
+        )
+
+    # -- typed API ----------------------------------------------------------
+
+    def ping(self) -> int:
+        """Round-trip a ping; returns (and caches) the generation."""
+        response = self._request(PingRequest(), retriable=True)
+        assert isinstance(response, PongResponse)
+        return response.generation
+
+    def snapshot(self) -> SnapshotResponse:
+        """The server's overlay snapshot (generation, hosts, root)."""
+        response = self._request(SnapshotRequest(), retriable=True)
+        assert isinstance(response, SnapshotResponse)
+        return response
+
+    def submit(
+        self, k: int, b: float, start: int | None = None
+    ) -> ServiceResult:
+        """Answer one ``(k, b)`` query over the wire."""
+        response = self._with_stale_refresh(
+            lambda generation: SubmitRequest(
+                k=k, b=b, start=start, generation=generation
+            )
+        )
+        assert isinstance(response, ResultResponse)
+        return response.result
+
+    def submit_batch(
+        self,
+        queries: list[ClusterQuery],
+        start: int | None = None,
+    ) -> list[ServiceResult]:
+        """Answer a batch over the wire, results in submission order."""
+        pairs = tuple((query.k, query.b) for query in queries)
+        response = self._with_stale_refresh(
+            lambda generation: SubmitBatchRequest(
+                queries=pairs, start=start, generation=generation
+            )
+        )
+        assert isinstance(response, ResultBatchResponse)
+        return list(response.results)
+
+    def add_host(self, host: int) -> int:
+        """Join *host*; returns the new generation.  Not retried."""
+        response = self._request(AddHostRequest(host), retriable=False)
+        assert isinstance(response, MembershipResponse)
+        return response.generation
+
+    def remove_host(self, host: int) -> tuple[int, tuple[int, ...]]:
+        """Depart *host*; returns ``(generation, rejoined)``.  Not
+        retried."""
+        response = self._request(
+            RemoveHostRequest(host), retriable=False
+        )
+        assert isinstance(response, MembershipResponse)
+        return response.generation, response.rejoined
+
+
+class AsyncClusterClient:
+    """Asyncio twin of :class:`ClusterClient` (same contract).
+
+    Use as an async context manager::
+
+        async with AsyncClusterClient(host, port) as client:
+            result = await client.submit(k=4, b=30.0)
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 5.0,
+        request_timeout: float = 30.0,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+        stale_retries: int = 2,
+        refresh_on_stale: bool = True,
+        max_frame: int = DEFAULT_MAX_FRAME,
+    ) -> None:
+        self._core = _ClientCore(
+            host,
+            port,
+            connect_timeout,
+            request_timeout,
+            retries,
+            backoff_s,
+            stale_retries,
+            refresh_on_stale,
+            max_frame,
+        )
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._decoder = FrameDecoder(max_frame)
+        # One request in flight at a time: concurrent coroutines
+        # sharing this client serialize here instead of stealing each
+        # other's bytes off the shared stream reader.
+        self._io_lock = asyncio.Lock()
+
+    @property
+    def generation(self) -> int | None:
+        """Last overlay generation observed (``None`` before contact)."""
+        return self._core.generation
+
+    @property
+    def stale_refreshes(self) -> int:
+        """How many times a stale answer triggered a refresh-retry."""
+        return self._core.stale_refreshes
+
+    async def connect(self) -> None:
+        """Open the connection (no-op when already connected)."""
+        if self._writer is not None:
+            return
+        core = self._core
+        try:
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(core.host, core.port),
+                timeout=core.connect_timeout,
+            )
+        except (OSError, asyncio.TimeoutError) as error:
+            raise NetworkError(
+                f"cannot connect to {core.host}:{core.port}: {error}"
+            ) from error
+        self._decoder = FrameDecoder(core.max_frame)
+
+    async def close(self) -> None:
+        """Close the connection (safe to call repeatedly)."""
+        writer, self._writer, self._reader = self._writer, None, None
+        if writer is not None:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass  # server already hung up
+
+    async def __aenter__(self) -> "AsyncClusterClient":
+        """Async context entry: connect eagerly."""
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        """Async context exit: close the connection."""
+        await self.close()
+
+    async def _roundtrip(self, request: Request) -> Response:
+        async with self._io_lock:
+            return await self._roundtrip_locked(request)
+
+    async def _roundtrip_locked(self, request: Request) -> Response:
+        await self.connect()
+        assert self._reader is not None and self._writer is not None
+        core = self._core
+        request_id = core.take_id()
+        frame = encode_frame(
+            encode_request(request_id, request), max_frame=core.max_frame
+        )
+        self._writer.write(frame)
+        await self._writer.drain()
+        deadline = (
+            asyncio.get_running_loop().time() + core.request_timeout
+        )
+        while True:
+            remaining = deadline - asyncio.get_running_loop().time()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"no response to request {request_id} within "
+                    f"{core.request_timeout}s"
+                )
+            try:
+                data = await asyncio.wait_for(
+                    self._reader.read(65536), timeout=remaining
+                )
+            except asyncio.TimeoutError as error:
+                raise TimeoutError(str(error)) from error
+            if not data:
+                raise ConnectionError("server closed the connection")
+            for message in self._decoder.feed(data):
+                response_id, response = decode_response(message)
+                if response_id == request_id or response_id == 0:
+                    core.note(response)
+                    return response
+                raise ProtocolError(
+                    f"response for unknown request id {response_id}"
+                )
+
+    async def _request(
+        self, request: Request, retriable: bool
+    ) -> Response:
+        core = self._core
+        attempts = core.retries + 1 if retriable else 1
+        last: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                await asyncio.sleep(
+                    core.backoff_s * (2 ** (attempt - 1))
+                )
+            try:
+                return core.unwrap(await self._roundtrip(request))
+            except _TRANSIENT as error:
+                await self.close()
+                last = error
+        raise NetworkError(
+            f"request failed after {attempts} attempt(s): {last}"
+        ) from last
+
+    async def _with_stale_refresh(
+        self, build: Callable[[int | None], Request]
+    ) -> Response:
+        core = self._core
+        for _ in range(core.stale_retries + 1):
+            try:
+                return await self._request(
+                    build(core.generation), retriable=True
+                )
+            except StaleGenerationError:
+                if not core.refresh_on_stale:
+                    raise
+                core.stale_refreshes += 1
+        raise StaleGenerationError(
+            f"still stale after {core.stale_retries} generation "
+            "refresh(es) — the overlay is churning faster than this "
+            "client can chase"
+        )
+
+    async def ping(self) -> int:
+        """Round-trip a ping; returns (and caches) the generation."""
+        response = await self._request(PingRequest(), retriable=True)
+        assert isinstance(response, PongResponse)
+        return response.generation
+
+    async def snapshot(self) -> SnapshotResponse:
+        """The server's overlay snapshot (generation, hosts, root)."""
+        response = await self._request(
+            SnapshotRequest(), retriable=True
+        )
+        assert isinstance(response, SnapshotResponse)
+        return response
+
+    async def submit(
+        self, k: int, b: float, start: int | None = None
+    ) -> ServiceResult:
+        """Answer one ``(k, b)`` query over the wire."""
+        response = await self._with_stale_refresh(
+            lambda generation: SubmitRequest(
+                k=k, b=b, start=start, generation=generation
+            )
+        )
+        assert isinstance(response, ResultResponse)
+        return response.result
+
+    async def submit_batch(
+        self,
+        queries: list[ClusterQuery],
+        start: int | None = None,
+    ) -> list[ServiceResult]:
+        """Answer a batch over the wire, results in submission order."""
+        pairs = tuple((query.k, query.b) for query in queries)
+        response = await self._with_stale_refresh(
+            lambda generation: SubmitBatchRequest(
+                queries=pairs, start=start, generation=generation
+            )
+        )
+        assert isinstance(response, ResultBatchResponse)
+        return list(response.results)
+
+    async def add_host(self, host: int) -> int:
+        """Join *host*; returns the new generation.  Not retried."""
+        response = await self._request(
+            AddHostRequest(host), retriable=False
+        )
+        assert isinstance(response, MembershipResponse)
+        return response.generation
+
+    async def remove_host(
+        self, host: int
+    ) -> tuple[int, tuple[int, ...]]:
+        """Depart *host*; returns ``(generation, rejoined)``.  Not
+        retried."""
+        response = await self._request(
+            RemoveHostRequest(host), retriable=False
+        )
+        assert isinstance(response, MembershipResponse)
+        return response.generation, response.rejoined
+
+
+class ClientGroupDispatcher:
+    """Adapts a :class:`ClusterClient` to the executor's remote hook.
+
+    Plug into :class:`~repro.service.executor.BatchExecutor` (or
+    ``ClusterQueryService.submit_batch(dispatcher=...)``) to send each
+    per-class group to a remote server instead of answering locally —
+    the executor still does the grouping, ordering, and merging.
+    """
+
+    def __init__(self, client: ClusterClient) -> None:
+        self._client = client
+
+    def dispatch_group(
+        self,
+        snapped: float,
+        indices: list[int],
+        queries: list[ClusterQuery],
+        generation: int,
+        start: int | None,
+    ) -> list[ServiceResult]:
+        """Answer one class group through the wire client."""
+        del snapped, generation  # the server re-derives both
+        return self._client.submit_batch(
+            [queries[index] for index in indices], start=start
+        )

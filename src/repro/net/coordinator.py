@@ -1,0 +1,696 @@
+"""Multi-process fan-out over replica cluster-query services.
+
+One :class:`ClusterQueryService` answers a batch grouped by distance
+class; the per-class groups are independent, so the natural next step
+up is answering *different classes on different processes*.  The
+:class:`ClusterCoordinator` does exactly that:
+
+* Every worker process holds its **own replica service**, rebuilt
+  deterministically from a picklable :class:`ServiceSpec` — the same
+  dataset seed, framework seed, and class set produce the same overlay
+  and therefore the same answers as an in-process service (which is
+  what the end-to-end tests assert).
+* The coordinator keeps a local **authority replica** whose only job
+  is membership and generation bookkeeping (it never answers
+  queries).  ``add_host`` / ``remove_host`` apply there first, append
+  to a **membership log**, and — in the default *broadcast* mode —
+  push the event to every live worker, which applies the same
+  deterministic mutation and reports its new generation.
+* With ``broadcast_membership=False`` workers drift on purpose: the
+  next dispatch pinned to the authority's generation draws a ``stale``
+  reply, and the coordinator **syncs** the worker (ships the log
+  suffix it missed) and re-dispatches.  That is the same
+  stale-then-refresh dance the wire client performs, exercised at the
+  process level.
+* A worker that dies (killed, crashed, broken pipe) is **evicted and
+  respawned**: the replacement replays the entire membership log from
+  the spec's initial state and the group is re-dispatched to it.
+
+Dispatch is round-robin over per-class groups with one coordinator
+thread per worker, so distinct classes genuinely run concurrently in
+distinct processes.  The coordinator satisfies the server's
+:class:`~repro.net.server.QueryBackend` protocol, so the whole
+assembly can sit behind one :class:`~repro.net.server.
+ClusterQueryServer` socket.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from dataclasses import dataclass
+from multiprocessing.connection import Connection
+from typing import TYPE_CHECKING
+
+from repro.core.query import BandwidthClasses, ClusterQuery
+from repro.exceptions import (
+    CoordinatorError,
+    ReproError,
+    ServiceError,
+    StaleGenerationError,
+    error_from_code,
+)
+from repro.service.core import ClusterQueryService, ServiceResult
+from repro.service.executor import group_by_class
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.context import SpawnContext
+    from multiprocessing.process import BaseProcess
+
+__all__ = ["ClusterCoordinator", "CoordinatorStats", "ServiceSpec"]
+
+#: One membership event: ``("join" | "leave", host)``.
+_Event = tuple[str, int]
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """A picklable, deterministic recipe for one replica service.
+
+    Two processes building from the same spec get byte-identical
+    overlays (datasets and frameworks are seeded), so replicas answer
+    exactly like an in-process service — the property the coordinator
+    relies on to merge per-class results from different processes.
+
+    Attributes
+    ----------
+    dataset:
+        ``"hp"`` or ``"umd"`` (the calibrated PlanetLab-like builders).
+    n:
+        Overlay size (``None`` for the dataset's calibrated default).
+    dataset_seed, framework_seed:
+        Seeds for the dataset generator and the prediction framework.
+    classes_low, classes_high, classes_count:
+        The linear bandwidth-class set queries snap against.
+    n_cut:
+        Algorithm 2 aggregation cutoff.
+    pair_order:
+        Pair-scan order for local cluster extraction.
+    cache_size:
+        Per-replica LRU result-cache capacity.
+    """
+
+    dataset: str = "hp"
+    n: int | None = 64
+    dataset_seed: int = 0
+    framework_seed: int = 1
+    classes_low: float = 15.0
+    classes_high: float = 75.0
+    classes_count: int = 7
+    n_cut: int = 10
+    pair_order: str = "nearest"
+    cache_size: int = 1024
+
+    def build(self) -> ClusterQueryService:
+        """Construct the replica service this spec describes."""
+        from repro.datasets.planetlab import (
+            hp_planetlab_like,
+            umd_planetlab_like,
+        )
+        from repro.predtree.framework import build_framework
+
+        if self.dataset == "hp":
+            builder = hp_planetlab_like
+        elif self.dataset == "umd":
+            builder = umd_planetlab_like
+        else:
+            raise ServiceError(
+                f"unknown spec dataset {self.dataset!r} "
+                "(expected 'hp' or 'umd')"
+            )
+        if self.n is None:
+            dataset = builder(seed=self.dataset_seed)
+        else:
+            dataset = builder(seed=self.dataset_seed, n=self.n)
+        framework = build_framework(
+            dataset.bandwidth, seed=self.framework_seed
+        )
+        classes = BandwidthClasses.linear(
+            self.classes_low, self.classes_high, self.classes_count
+        )
+        return ClusterQueryService(
+            framework,
+            classes,
+            n_cut=self.n_cut,
+            pair_order=self.pair_order,
+            cache_size=self.cache_size,
+        )
+
+
+def _apply_event(service: ClusterQueryService, event: _Event) -> None:
+    """Apply one membership-log event to a replica."""
+    kind, host = event
+    if kind == "join":
+        service.add_host(host)
+    elif kind == "leave":
+        service.remove_host(host)
+    else:  # pragma: no cover - log is coordinator-authored
+        raise ServiceError(f"unknown membership event kind {kind!r}")
+
+
+def _worker_main(spec: ServiceSpec, conn: Connection) -> None:
+    """Entry point of one worker process: serve commands off *conn*.
+
+    Commands (tuples, pickled over the pipe):
+
+    * ``("sync", events)`` — apply a membership-log suffix; replies
+      ``("ok", generation)``.
+    * ``("dispatch", generation, pairs, start)`` — answer the
+      ``(k, b)`` pairs as a batch.  Replies ``("stale", local_gen)``
+      when this replica is not at the pinned generation (the
+      coordinator syncs and retries), ``("results", [...])`` on
+      success.
+    * ``("ping",)`` — replies ``("ok", generation)``.
+    * ``("stop",)`` — exit the loop (process then terminates).
+
+    Any :class:`~repro.exceptions.ReproError` escapes as
+    ``("error", code, message)`` so it re-raises with its own type on
+    the coordinator side; the worker keeps serving.
+    """
+    service = spec.build()
+    while True:
+        try:
+            command = conn.recv()
+        except (EOFError, OSError):
+            break  # coordinator went away; nothing left to serve
+        try:
+            reply = _serve_command(service, command)
+        except ReproError as error:
+            reply = ("error", error.code, str(error))
+        except Exception as error:  # noqa: BLE001 - process boundary
+            reply = (
+                "error",
+                ServiceError.code,
+                f"worker failure: {error}",
+            )
+        if reply is None:
+            break
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break
+
+
+def _serve_command(
+    service: ClusterQueryService, command: object
+) -> tuple[object, ...] | None:
+    """Execute one coordinator command against the replica."""
+    if not isinstance(command, tuple) or not command:
+        raise ServiceError(f"malformed worker command: {command!r}")
+    verb = command[0]
+    if verb == "stop":
+        return None
+    if verb == "ping":
+        return ("ok", service.generation)
+    if verb == "sync":
+        (_, events) = command
+        for event in events:
+            _apply_event(service, event)
+        return ("ok", service.generation)
+    if verb == "dispatch":
+        (_, generation, pairs, start) = command
+        if service.generation != generation:
+            return ("stale", service.generation)
+        queries = [ClusterQuery(k=k, b=b) for k, b in pairs]
+        results = service.submit_batch(queries, start=start)
+        return ("results", results)
+    raise ServiceError(f"unknown worker command verb {verb!r}")
+
+
+class _WorkerSlot:
+    """Coordinator-side handle on one worker process."""
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.process: "BaseProcess | None" = None
+        self.conn: Connection | None = None
+        #: How many membership-log events this worker has applied.
+        self.applied = 0
+        #: Serializes pipe use between dispatch threads and broadcast.
+        self.lock = threading.Lock()
+
+
+@dataclass(frozen=True)
+class CoordinatorStats:
+    """Operational counters for a :class:`ClusterCoordinator`.
+
+    Attributes
+    ----------
+    workers:
+        Configured worker-process count.
+    generation:
+        The authority replica's current generation.
+    dispatched_groups:
+        Per-class groups sent to workers (including retries).
+    stale_redispatches:
+        Dispatches answered ``stale`` and retried after a sync.
+    respawns:
+        Worker processes replaced after dying mid-service.
+    """
+
+    workers: int
+    generation: int
+    dispatched_groups: int = 0
+    stale_redispatches: int = 0
+    respawns: int = 0
+
+
+class ClusterCoordinator:
+    """Fans per-class query groups across replica worker processes.
+
+    Parameters
+    ----------
+    spec:
+        The deterministic replica recipe (also builds the local
+        authority).
+    workers:
+        Worker-process count (>= 1).
+    broadcast_membership:
+        ``True`` (default) pushes every membership change to workers
+        eagerly; ``False`` lets workers go stale and be synced lazily
+        on the next dispatch that catches them behind.
+    request_timeout:
+        Seconds to wait for one worker reply before declaring the
+        worker dead.
+    max_redispatch:
+        How many times one group may be re-dispatched (after a stale
+        sync or a respawn) before the batch fails with
+        :class:`~repro.exceptions.CoordinatorError`.
+
+    Use as a context manager, or call :meth:`start` / :meth:`close`.
+    Satisfies :class:`~repro.net.server.QueryBackend`, so a
+    coordinator can serve behind a :class:`~repro.net.server.
+    ClusterQueryServer` socket directly.
+    """
+
+    def __init__(
+        self,
+        spec: ServiceSpec,
+        workers: int = 2,
+        broadcast_membership: bool = True,
+        request_timeout: float = 120.0,
+        max_redispatch: int = 3,
+    ) -> None:
+        if workers < 1:
+            raise CoordinatorError(
+                f"workers must be >= 1, got {workers!r}"
+            )
+        if request_timeout <= 0:
+            raise CoordinatorError("request_timeout must be positive")
+        self._spec = spec
+        self._broadcast = broadcast_membership
+        self._request_timeout = request_timeout
+        self._max_redispatch = max_redispatch
+        # Membership/generation authority; deliberately never queried.
+        self._authority = spec.build()
+        self._log: list[_Event] = []
+        self._context: "SpawnContext" = multiprocessing.get_context(
+            "spawn"
+        )
+        self._slots = [_WorkerSlot(index) for index in range(workers)]
+        self._started = False
+        self._round_robin = 0
+        self._stats_lock = threading.Lock()
+        self._dispatched_groups = 0
+        self._stale_redispatches = 0
+        self._respawns = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Spawn every worker process (idempotent)."""
+        if self._started:
+            return
+        for slot in self._slots:
+            self._spawn(slot)
+        self._started = True
+
+    def close(self) -> None:
+        """Stop and join every worker (safe to call repeatedly)."""
+        for slot in self._slots:
+            with slot.lock:
+                if slot.conn is not None:
+                    try:
+                        slot.conn.send(("stop",))
+                    except (BrokenPipeError, OSError):
+                        pass  # already dead; join below still applies
+                    slot.conn.close()
+                    slot.conn = None
+                if slot.process is not None:
+                    slot.process.join(timeout=10.0)
+                    if slot.process.is_alive():  # pragma: no cover
+                        slot.process.terminate()
+                        slot.process.join(timeout=10.0)
+                    slot.process = None
+        self._started = False
+
+    def __enter__(self) -> "ClusterCoordinator":
+        """Context entry: start the workers."""
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        """Context exit: stop the workers."""
+        self.close()
+
+    def _spawn(self, slot: _WorkerSlot) -> None:
+        """(Re)create the process behind *slot*; caller holds no lock
+        or the slot's own lock."""
+        parent, child = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(self._spec, child),
+            name=f"repro-net-worker-{slot.index}",
+            daemon=True,
+        )
+        process.start()
+        child.close()
+        slot.process = process
+        slot.conn = parent
+        slot.applied = 0
+        # A fresh replica is at the spec's initial state: replay the
+        # whole membership log so it catches up to the authority.
+        self._sync_locked(slot)
+
+    # -- introspection (QueryBackend surface) --------------------------------
+
+    @property
+    def generation(self) -> int:
+        """The authority's current overlay generation."""
+        return self._authority.generation
+
+    @property
+    def hosts(self) -> list[int]:
+        """Hosts currently in the overlay (per the authority)."""
+        return self._authority.hosts
+
+    @property
+    def classes(self) -> BandwidthClasses:
+        """The bandwidth-class set queries snap against."""
+        return self._authority.classes
+
+    def overlay_root(self) -> int:
+        """The anchor-tree root (the one host that cannot depart)."""
+        return int(self._authority.framework.anchor_tree.root)
+
+    def stats(self) -> CoordinatorStats:
+        """Operational snapshot (dispatches, redispatches, respawns)."""
+        with self._stats_lock:
+            return CoordinatorStats(
+                workers=len(self._slots),
+                generation=self.generation,
+                dispatched_groups=self._dispatched_groups,
+                stale_redispatches=self._stale_redispatches,
+                respawns=self._respawns,
+            )
+
+    # -- membership ----------------------------------------------------------
+
+    def add_host(self, host: int) -> None:
+        """Join *host* everywhere; bumps the generation."""
+        self._membership(("join", host))
+
+    def remove_host(self, host: int) -> list[int]:
+        """Depart *host* everywhere; returns the authority's
+        re-joiners."""
+        rejoined = self._membership(("leave", host))
+        return rejoined
+
+    def _membership(self, event: _Event) -> list[int]:
+        kind, host = event
+        if kind == "join":
+            self._authority.add_host(host)
+            rejoined: list[int] = []
+        else:
+            rejoined = self._authority.remove_host(host)
+        self._log.append(event)
+        if self._broadcast and self._started:
+            for slot in self._slots:
+                with slot.lock:
+                    try:
+                        self._sync_locked(slot)
+                    except CoordinatorError:
+                        # Worker died during broadcast: respawn now so
+                        # the next dispatch finds a live replica.
+                        self._respawn_locked(slot)
+        return rejoined
+
+    # -- worker RPC ----------------------------------------------------------
+
+    def _call_locked(
+        self, slot: _WorkerSlot, command: tuple[object, ...]
+    ) -> tuple[object, ...]:
+        """One command/reply exchange; caller holds ``slot.lock``.
+
+        Raises :class:`~repro.exceptions.CoordinatorError` when the
+        worker is dead or silent past the timeout; re-raises typed
+        :class:`~repro.exceptions.ReproError` replies.
+        """
+        conn = slot.conn
+        process = slot.process
+        if conn is None or process is None:
+            raise CoordinatorError(
+                f"worker {slot.index} is not running"
+            )
+        try:
+            conn.send(command)
+            if not conn.poll(self._request_timeout):
+                raise CoordinatorError(
+                    f"worker {slot.index} gave no reply within "
+                    f"{self._request_timeout}s"
+                )
+            reply = conn.recv()
+        except (BrokenPipeError, EOFError, OSError) as error:
+            raise CoordinatorError(
+                f"worker {slot.index} died mid-call: {error}"
+            ) from error
+        if (
+            isinstance(reply, tuple)
+            and reply
+            and reply[0] == "error"
+        ):
+            _, code, message = reply
+            raise error_from_code(int(code), str(message))
+        if not isinstance(reply, tuple) or not reply:
+            raise CoordinatorError(
+                f"worker {slot.index} sent a malformed reply: "
+                f"{reply!r}"
+            )
+        return reply
+
+    def _sync_locked(self, slot: _WorkerSlot) -> None:
+        """Ship *slot* the membership-log suffix it has not applied."""
+        missing = self._log[slot.applied:]
+        reply = self._call_locked(slot, ("sync", missing))
+        slot.applied = len(self._log)
+        verb, generation = reply
+        if verb != "ok" or generation != self.generation:
+            raise CoordinatorError(
+                f"worker {slot.index} diverged after sync: it is at "
+                f"generation {generation}, authority at "
+                f"{self.generation} — replicas are no longer "
+                "deterministic twins"
+            )
+
+    def _respawn_locked(self, slot: _WorkerSlot) -> None:
+        """Evict *slot*'s process and bring up a replacement."""
+        if slot.conn is not None:
+            slot.conn.close()
+            slot.conn = None
+        if slot.process is not None:
+            slot.process.join(timeout=10.0)
+            if slot.process.is_alive():
+                slot.process.terminate()
+                slot.process.join(timeout=10.0)
+            slot.process = None
+        with self._stats_lock:
+            self._respawns += 1
+        self._spawn(slot)
+
+    def _dispatch_to_slot(
+        self,
+        slot: _WorkerSlot,
+        pairs: list[tuple[int, float]],
+        generation: int,
+        start: int | None,
+    ) -> list[ServiceResult]:
+        """Dispatch one group, healing stale/dead workers as needed."""
+        attempts = 0
+        while True:
+            attempts += 1
+            if attempts > self._max_redispatch + 1:
+                raise CoordinatorError(
+                    f"group re-dispatched {attempts - 1} time(s) "
+                    f"without an answer at generation {generation}"
+                )
+            with slot.lock:
+                try:
+                    reply = self._call_locked(
+                        slot,
+                        ("dispatch", generation, pairs, start),
+                    )
+                except CoordinatorError:
+                    # Dead worker: evict, respawn (replays the log),
+                    # and re-dispatch to the replacement.
+                    self._respawn_locked(slot)
+                    continue
+                finally:
+                    with self._stats_lock:
+                        self._dispatched_groups += 1
+                if reply[0] == "stale":
+                    # Lagging replica: ship the missed membership
+                    # events, then re-dispatch.
+                    self._sync_locked(slot)
+                    with self._stats_lock:
+                        self._stale_redispatches += 1
+                    continue
+            if reply[0] != "results":
+                raise CoordinatorError(
+                    f"worker {slot.index} sent unexpected reply verb "
+                    f"{reply[0]!r} to a dispatch"
+                )
+            results = reply[1]
+            if not isinstance(results, list) or not all(
+                isinstance(result, ServiceResult) for result in results
+            ):
+                raise CoordinatorError(
+                    f"worker {slot.index} returned a malformed "
+                    "result list"
+                )
+            return results
+
+    # -- query execution (QueryBackend surface) ------------------------------
+
+    def submit(
+        self,
+        query: ClusterQuery,
+        start: int | None = None,
+        expected_generation: int | None = None,
+    ) -> ServiceResult:
+        """Answer one query on some worker (raises when pinned stale)."""
+        generation = self.generation
+        if (
+            expected_generation is not None
+            and expected_generation != generation
+        ):
+            raise StaleGenerationError(
+                f"query pinned to generation {expected_generation}, "
+                f"overlay is at {generation}"
+            )
+        slot = self._next_slot()
+        results = self._dispatch_to_slot(
+            slot, [(query.k, query.b)], generation, start
+        )
+        return results[0]
+
+    def submit_batch(
+        self,
+        queries: list[ClusterQuery],
+        start: int | None = None,
+    ) -> list[ServiceResult]:
+        """Answer a batch: classes fan out across worker processes.
+
+        Groups by snapped class exactly like the in-process executor,
+        assigns groups round-robin to workers, runs one coordinator
+        thread per engaged worker, and merges answers back into
+        submission order.  The whole batch is pinned to the entry
+        generation — concurrent membership changes surface as
+        :class:`~repro.exceptions.StaleGenerationError`, never as a
+        mixed-generation result list.
+        """
+        if not self._started:
+            self.start()
+        if not queries:
+            return []
+        generation = self.generation
+        groups = group_by_class(queries, self._authority.classes)
+        results: list[ServiceResult | None] = [None] * len(queries)
+        # Round-robin class groups over worker slots; one thread per
+        # engaged slot keeps each pipe single-threaded while distinct
+        # classes run in genuinely parallel processes.
+        plans: dict[int, list[tuple[float, list[int]]]] = {}
+        for offset, item in enumerate(groups.items()):
+            index = (self._round_robin + offset) % len(self._slots)
+            plans.setdefault(index, []).append(item)
+        self._round_robin = (self._round_robin + len(groups)) % len(
+            self._slots
+        )
+
+        failures: list[BaseException] = []
+
+        def run_plan(
+            slot: _WorkerSlot, plan: list[tuple[float, list[int]]]
+        ) -> None:
+            try:
+                for _snapped, indices in plan:
+                    pairs = [
+                        (queries[i].k, queries[i].b) for i in indices
+                    ]
+                    answers = self._dispatch_to_slot(
+                        slot, pairs, generation, start
+                    )
+                    if len(answers) != len(indices):
+                        raise CoordinatorError(
+                            f"worker {slot.index} returned "
+                            f"{len(answers)} answer(s) for a "
+                            f"{len(indices)}-query group"
+                        )
+                    for i, answer in zip(indices, answers):
+                        results[i] = answer
+            except BaseException as error:  # noqa: BLE001 - rejoined below
+                failures.append(error)
+
+        threads = [
+            threading.Thread(
+                target=run_plan,
+                args=(self._slots[index], plan),
+                name=f"repro-net-dispatch-{index}",
+            )
+            for index, plan in plans.items()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[0]
+        final = [result for result in results if result is not None]
+        if len(final) != len(queries):  # pragma: no cover - invariant
+            raise CoordinatorError(
+                "dispatch completed with missing answers"
+            )
+        return final
+
+    def dispatch_group(
+        self,
+        snapped: float,
+        indices: list[int],
+        queries: list[ClusterQuery],
+        generation: int,
+        start: int | None,
+    ) -> list[ServiceResult]:
+        """The :class:`~repro.service.executor.GroupDispatcher` hook.
+
+        Lets an in-process :class:`~repro.service.core.
+        ClusterQueryService` offload its class groups onto this
+        coordinator's worker pool.
+        """
+        del snapped  # workers re-snap deterministically
+        if not self._started:
+            self.start()
+        if generation != self.generation:
+            raise StaleGenerationError(
+                f"group pinned to generation {generation}, "
+                f"coordinator is at {self.generation}"
+            )
+        pairs = [(queries[i].k, queries[i].b) for i in indices]
+        return self._dispatch_to_slot(
+            self._next_slot(), pairs, generation, start
+        )
+
+    def _next_slot(self) -> _WorkerSlot:
+        if not self._started:
+            self.start()
+        slot = self._slots[self._round_robin % len(self._slots)]
+        self._round_robin += 1
+        return slot

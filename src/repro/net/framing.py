@@ -1,0 +1,223 @@
+"""Length-prefixed wire frames and the versioned payload codec.
+
+One frame on the wire is::
+
+    +-------+---------+-------+------------------+-----------------+
+    | magic | version | codec | payload length   | payload bytes   |
+    | 2 B   | 1 B     | 1 B   | 4 B (big-endian) | exactly length  |
+    +-------+---------+-------+------------------+-----------------+
+
+* ``magic`` (``b"RB"``) lets a server reject a client speaking the
+  wrong protocol on the first 2 bytes instead of misparsing garbage;
+* ``version`` is the frame-format version — a reader raises
+  :class:`~repro.exceptions.FrameError` on anything it does not speak,
+  so format changes are loud, never silent corruption;
+* ``codec`` names the payload encoding.  JSON is always available;
+  msgpack is negotiated per frame and gated on the optional
+  ``msgpack`` package (requesting it without the package installed
+  raises :class:`~repro.exceptions.FrameError` — it is never silently
+  substituted);
+* ``payload length`` is validated against the max-frame guard *before*
+  any payload is buffered, so an adversarial or corrupt length prefix
+  cannot balloon memory.
+
+:class:`FrameDecoder` is incremental: feed it whatever chunks the
+transport produced (half a header, three frames and a half, one byte
+at a time) and it yields exactly the complete messages, keeping the
+tail buffered.  Both the asyncio server and the blocking client reuse
+the same decoder, so framed behaviour cannot drift between them.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+from repro.exceptions import FrameError
+
+__all__ = [
+    "CODEC_JSON",
+    "CODEC_MSGPACK",
+    "DEFAULT_MAX_FRAME",
+    "FRAME_VERSION",
+    "FrameDecoder",
+    "encode_frame",
+]
+
+#: First bytes of every frame; rejects cross-protocol traffic early.
+MAGIC = b"RB"
+#: Frame-format version emitted by this build.
+FRAME_VERSION = 1
+#: Payload codec names (the wire carries their 1-byte ids).
+CODEC_JSON = "json"
+CODEC_MSGPACK = "msgpack"
+#: Refuse frames above this payload size unless the caller widens it.
+DEFAULT_MAX_FRAME = 4 * 1024 * 1024
+
+_HEADER = struct.Struct("!2sBBI")
+_CODEC_IDS = {CODEC_JSON: 1, CODEC_MSGPACK: 2}
+_CODEC_NAMES = {value: key for key, value in _CODEC_IDS.items()}
+
+
+def _msgpack_module() -> Any:
+    """The optional msgpack module, or a loud :class:`FrameError`."""
+    try:
+        import msgpack
+    except ImportError as error:  # pragma: no cover - env dependent
+        raise FrameError(
+            "the msgpack codec was requested but the msgpack package "
+            "is not installed; use the json codec instead"
+        ) from error
+    return msgpack
+
+
+def _encode_payload(message: object, codec: str) -> bytes:
+    if codec == CODEC_JSON:
+        return json.dumps(
+            message, separators=(",", ":"), allow_nan=False
+        ).encode("utf-8")
+    if codec == CODEC_MSGPACK:
+        packed = _msgpack_module().packb(message)
+        return bytes(packed)
+    raise FrameError(f"unknown payload codec {codec!r}")
+
+
+def _decode_payload(raw: bytes, codec_id: int) -> object:
+    codec = _CODEC_NAMES.get(codec_id)
+    if codec is None:
+        raise FrameError(f"frame carries unknown codec id {codec_id}")
+    try:
+        if codec == CODEC_JSON:
+            return json.loads(raw.decode("utf-8"))
+        return _msgpack_module().unpackb(raw)
+    except FrameError:
+        raise
+    except Exception as error:
+        raise FrameError(
+            f"undecodable {codec} payload: {error}"
+        ) from error
+
+
+def encode_frame(
+    message: object,
+    codec: str = CODEC_JSON,
+    max_frame: int = DEFAULT_MAX_FRAME,
+) -> bytes:
+    """Encode one *message* into a complete wire frame.
+
+    The message must be built from JSON-safe primitives (dicts, lists,
+    strings, numbers, booleans, ``None``); the typed protocol layer
+    (:mod:`repro.net.protocol`) produces exactly those.  Raises
+    :class:`~repro.exceptions.FrameError` when the encoded payload
+    exceeds *max_frame* — the writer enforces the same bound readers
+    do, so an oversized batch fails at the sender with a clear error
+    instead of poisoning the peer's connection.
+    """
+    if codec not in _CODEC_IDS:
+        raise FrameError(f"unknown payload codec {codec!r}")
+    try:
+        payload = _encode_payload(message, codec)
+    except FrameError:
+        raise
+    except (TypeError, ValueError) as error:
+        raise FrameError(
+            f"message is not {codec}-encodable: {error}"
+        ) from error
+    if len(payload) > max_frame:
+        raise FrameError(
+            f"encoded payload is {len(payload)} bytes, above the "
+            f"{max_frame}-byte frame limit"
+        )
+    header = _HEADER.pack(
+        MAGIC, FRAME_VERSION, _CODEC_IDS[codec], len(payload)
+    )
+    return header + payload
+
+
+class FrameDecoder:
+    """Incremental frame reader over an untrusted byte stream.
+
+    Parameters
+    ----------
+    max_frame:
+        Upper bound on a single frame's declared payload size.  A
+        header announcing more than this raises
+        :class:`~repro.exceptions.FrameError` immediately — before any
+        payload is buffered.
+
+    Notes
+    -----
+    A decoder that has raised is *poisoned*: the stream position is no
+    longer trustworthy (resynchronizing inside a corrupt byte stream
+    would risk misparsing payload bytes as headers), so every later
+    :meth:`feed` raises too.  Callers should drop the connection.
+    """
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        if max_frame < 1:
+            raise FrameError(
+                f"max_frame must be >= 1, got {max_frame!r}"
+            )
+        self._max_frame = max_frame
+        self._buffer = bytearray()
+        self._poisoned: FrameError | None = None
+
+    @property
+    def buffered(self) -> int:
+        """Bytes currently held waiting for the rest of a frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> list[object]:
+        """Consume *data*; return every message completed by it.
+
+        Partial frames stay buffered for the next call.  Raises
+        :class:`~repro.exceptions.FrameError` on malformed input (bad
+        magic, unknown version or codec, oversized declared length,
+        undecodable payload) and on every call after one has raised.
+        """
+        if self._poisoned is not None:
+            raise FrameError(
+                f"decoder already failed: {self._poisoned}"
+            )
+        self._buffer.extend(data)
+        try:
+            return self._drain()
+        except FrameError as error:
+            self._poisoned = error
+            raise
+
+    def _drain(self) -> list[object]:
+        messages: list[object] = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return messages
+            magic, version, codec_id, length = _HEADER.unpack_from(
+                self._buffer
+            )
+            if magic != MAGIC:
+                raise FrameError(
+                    f"bad frame magic {bytes(magic)!r} "
+                    f"(expected {MAGIC!r})"
+                )
+            if version != FRAME_VERSION:
+                raise FrameError(
+                    f"unsupported frame version {version} "
+                    f"(this build speaks {FRAME_VERSION})"
+                )
+            if codec_id not in _CODEC_NAMES:
+                raise FrameError(
+                    f"frame carries unknown codec id {codec_id}"
+                )
+            if length > self._max_frame:
+                raise FrameError(
+                    f"frame declares a {length}-byte payload, above "
+                    f"the {self._max_frame}-byte limit"
+                )
+            if len(self._buffer) < _HEADER.size + length:
+                return messages
+            payload = bytes(
+                self._buffer[_HEADER.size:_HEADER.size + length]
+            )
+            del self._buffer[:_HEADER.size + length]
+            messages.append(_decode_payload(payload, codec_id))

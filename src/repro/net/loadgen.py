@@ -1,0 +1,105 @@
+"""Wire-level load generation: the serve-bench harness over TCP.
+
+Boots a :class:`~repro.net.server.ClusterQueryServer` around a live
+:class:`~repro.service.core.ClusterQueryService` on a background
+thread, then drives it through a blocking
+:class:`~repro.net.client.ClusterClient` with the *identical*
+deterministic query stream :func:`~repro.service.loadgen.run_loadgen`
+uses in-process (same config, same seed, same churn draws).  The two
+reports are therefore directly comparable: the throughput ratio is the
+pure wire overhead — framing, JSON codec, loopback TCP, and the
+event-loop hop — with every service-side cost held constant.
+
+Churn is injected *through the wire* (``remove_host`` + ``add_host``
+requests between batches), so a churn-rate run also soaks the
+generation-stamp/refresh machinery end to end: the batch after a churn
+event is stamped with the pre-churn generation the client last saw,
+comes back :class:`~repro.exceptions.StaleGenerationError`, and is
+transparently refreshed and retried by the client.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro._validation import as_rng
+from repro.core.query import ClusterQuery
+from repro.net.client import ClusterClient
+from repro.net.server import serve_in_background
+from repro.service.core import ClusterQueryService, ServiceResult
+from repro.service.loadgen import LoadGenConfig, LoadGenReport, query_mix
+
+__all__ = ["run_net_loadgen"]
+
+
+def _churn_over_wire(
+    client: ClusterClient,
+    hosts: list[int],
+    root: int,
+    rng: np.random.Generator,
+) -> None:
+    """One churn event through the wire: depart + re-join a host.
+
+    Mirrors the in-process harness's victim draw exactly (same
+    candidate ordering, same RNG consumption), so a wire run and an
+    in-process run with the same seed churn the same hosts at the
+    same points in the stream.
+    """
+    candidates = [host for host in hosts if host != root]
+    victim = int(candidates[int(rng.integers(len(candidates)))])
+    client.remove_host(victim)
+    client.add_host(victim)
+
+
+def run_net_loadgen(
+    service: ClusterQueryService,
+    config: LoadGenConfig,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> LoadGenReport:
+    """Drive *service* through a TCP server with *config*'s stream.
+
+    ``config.max_workers`` is ignored: batches execute with the
+    server-side default (grouped, sequential), which is also what the
+    in-process comparison run should use for a fair wire-overhead
+    ratio.  Returns the same :class:`~repro.service.loadgen.
+    LoadGenReport` shape as the in-process harness, with the service's
+    telemetry snapshot taken after the socket drained.
+    """
+    rng = as_rng(config.seed)
+    stream = query_mix(service, config, rng)
+    churn_events = 0
+    results: list[ServiceResult] = []
+    with serve_in_background(service, host=host, port=port) as handle:
+        with ClusterClient(*handle.address) as client:
+            snapshot = client.snapshot()
+            began = time.perf_counter()
+            for offset in range(0, len(stream), config.batch_size):
+                batch = stream[offset:offset + config.batch_size]
+                if config.churn_rate and rng.random() < config.churn_rate:
+                    _churn_over_wire(
+                        client,
+                        list(snapshot.hosts),
+                        snapshot.root,
+                        rng,
+                    )
+                    churn_events += 1
+                results.extend(
+                    client.submit_batch(
+                        [
+                            ClusterQuery(k=query.k, b=query.b)
+                            for query in batch
+                        ]
+                    )
+                )
+            duration = time.perf_counter() - began
+    return LoadGenReport(
+        queries=len(results),
+        found=sum(1 for result in results if result.found),
+        churn_events=churn_events,
+        duration_s=duration,
+        throughput_qps=len(results) / duration if duration > 0 else 0.0,
+        telemetry=service.telemetry.snapshot(),
+    )

@@ -1,0 +1,505 @@
+"""Typed wire messages for the cluster-query service.
+
+Every message travels as one frame (:mod:`repro.net.framing`) whose
+payload is an *envelope*::
+
+    {"v": 1, "id": <request id>, "type": <tag>, "body": {...}}
+
+``id`` is chosen by the client and echoed by the server, so pipelined
+requests on one connection match up even when responses interleave.
+``type`` selects one of the dataclasses below; ``body`` carries its
+fields as JSON-safe primitives.  Decoding is strict: an unknown tag, a
+missing field, or a mistyped value raises
+:class:`~repro.exceptions.ProtocolError` — malformed traffic fails
+loudly at the boundary instead of surfacing as a ``KeyError`` deep in
+the service.
+
+Errors round-trip by **stable integer code** (:mod:`repro.exceptions`),
+never by class name: the server serializes any
+:class:`~repro.exceptions.ReproError` as ``(code, message)`` plus its
+current generation, and :func:`response_error` reconstructs the right
+class on the client — a
+:class:`~repro.exceptions.StaleGenerationError` raised behind the
+server's socket is a ``StaleGenerationError`` in the caller's
+``except`` clause, with the server's generation attached so the client
+can refresh and retry.
+
+Requests that mutate or read overlay state carry an optional
+``generation`` stamp; a stamped request whose generation no longer
+matches the server's overlay fails with the stale error above rather
+than silently answering against a different overlay than the client
+believes it is talking to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+from repro.exceptions import (
+    ProtocolError,
+    ReproError,
+    error_code,
+    error_from_code,
+)
+from repro.service.core import ServiceResult
+
+__all__ = [
+    "ENVELOPE_VERSION",
+    "AddHostRequest",
+    "ErrorResponse",
+    "MembershipResponse",
+    "PingRequest",
+    "PongResponse",
+    "RemoveHostRequest",
+    "Request",
+    "Response",
+    "ResultBatchResponse",
+    "ResultResponse",
+    "SnapshotRequest",
+    "SnapshotResponse",
+    "SubmitBatchRequest",
+    "SubmitRequest",
+    "decode_request",
+    "decode_response",
+    "encode_request",
+    "encode_response",
+    "error_response_for",
+    "response_error",
+    "result_from_wire",
+    "result_to_wire",
+]
+
+#: Version of the envelope schema (bumped on incompatible change).
+ENVELOPE_VERSION = 1
+
+
+# -- wire field extraction (strict) -----------------------------------------
+
+
+def _body_mapping(value: object, context: str) -> Mapping[str, object]:
+    if not isinstance(value, Mapping):
+        raise ProtocolError(f"{context} is not a mapping: {value!r}")
+    return value
+
+
+def _int_field(body: Mapping[str, object], key: str) -> int:
+    value = body.get(key)
+    # bool is an int subclass; reject it, a count/id is never a flag.
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ProtocolError(f"field {key!r} is not an integer: {value!r}")
+    return value
+
+
+def _optional_int_field(
+    body: Mapping[str, object], key: str
+) -> int | None:
+    if body.get(key) is None:
+        return None
+    return _int_field(body, key)
+
+
+def _float_field(body: Mapping[str, object], key: str) -> float:
+    value = body.get(key)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ProtocolError(f"field {key!r} is not a number: {value!r}")
+    return float(value)
+
+
+def _str_field(body: Mapping[str, object], key: str) -> str:
+    value = body.get(key)
+    if not isinstance(value, str):
+        raise ProtocolError(f"field {key!r} is not a string: {value!r}")
+    return value
+
+
+def _bool_field(body: Mapping[str, object], key: str) -> bool:
+    value = body.get(key)
+    if not isinstance(value, bool):
+        raise ProtocolError(f"field {key!r} is not a boolean: {value!r}")
+    return value
+
+
+def _int_list_field(
+    body: Mapping[str, object], key: str
+) -> tuple[int, ...]:
+    value = body.get(key)
+    if not isinstance(value, list):
+        raise ProtocolError(f"field {key!r} is not a list: {value!r}")
+    items: list[int] = []
+    for item in value:
+        if not isinstance(item, int) or isinstance(item, bool):
+            raise ProtocolError(
+                f"field {key!r} holds a non-integer item: {item!r}"
+            )
+        items.append(item)
+    return tuple(items)
+
+
+# -- requests ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SubmitRequest:
+    """One ``(k, b)`` query; ``generation`` pins it when not ``None``."""
+
+    k: int
+    b: float
+    start: int | None = None
+    generation: int | None = None
+
+
+@dataclass(frozen=True)
+class SubmitBatchRequest:
+    """A batch of ``(k, b)`` pairs answered in submission order."""
+
+    queries: tuple[tuple[int, float], ...]
+    start: int | None = None
+    generation: int | None = None
+
+
+@dataclass(frozen=True)
+class AddHostRequest:
+    """Join *host* to the overlay (bumps the generation)."""
+
+    host: int
+
+
+@dataclass(frozen=True)
+class RemoveHostRequest:
+    """Depart *host* from the overlay (bumps the generation)."""
+
+    host: int
+
+
+@dataclass(frozen=True)
+class SnapshotRequest:
+    """Describe the overlay: generation, hosts, root, backend stats."""
+
+
+@dataclass(frozen=True)
+class PingRequest:
+    """Liveness probe; the response carries the current generation."""
+
+
+Request = Union[
+    SubmitRequest,
+    SubmitBatchRequest,
+    AddHostRequest,
+    RemoveHostRequest,
+    SnapshotRequest,
+    PingRequest,
+]
+
+
+# -- responses --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ResultResponse:
+    """One answered query (the wire form of ``ServiceResult``)."""
+
+    result: ServiceResult
+
+
+@dataclass(frozen=True)
+class ResultBatchResponse:
+    """An answered batch, results in submission order."""
+
+    results: tuple[ServiceResult, ...]
+
+
+@dataclass(frozen=True)
+class MembershipResponse:
+    """Acknowledges a membership change at its new generation."""
+
+    generation: int
+    rejoined: tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class SnapshotResponse:
+    """The overlay as the server sees it right now."""
+
+    generation: int
+    host_count: int
+    hosts: tuple[int, ...]
+    root: int
+
+
+@dataclass(frozen=True)
+class PongResponse:
+    """Liveness answer; carries the server's current generation."""
+
+    generation: int
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """A failed request: stable error code, message, and the server's
+    generation at failure time (``None`` when unavailable) so stale
+    clients can refresh without a second round trip."""
+
+    code: int
+    message: str
+    generation: int | None = None
+
+
+Response = Union[
+    ResultResponse,
+    ResultBatchResponse,
+    MembershipResponse,
+    SnapshotResponse,
+    PongResponse,
+    ErrorResponse,
+]
+
+
+# -- ServiceResult <-> wire -------------------------------------------------
+
+
+def result_to_wire(result: ServiceResult) -> dict[str, object]:
+    """Flatten one :class:`ServiceResult` into JSON-safe primitives."""
+    return {
+        "cluster": list(result.cluster),
+        "hops": result.hops,
+        "start": result.start,
+        "snapped_b": result.snapped_b,
+        "l": result.l,
+        "generation": result.generation,
+        "cached": result.cached,
+        "latency_s": result.latency_s,
+    }
+
+
+def result_from_wire(body: object) -> ServiceResult:
+    """Rebuild a :class:`ServiceResult` from its wire form."""
+    fields = _body_mapping(body, "result")
+    return ServiceResult(
+        cluster=_int_list_field(fields, "cluster"),
+        hops=_int_field(fields, "hops"),
+        start=_int_field(fields, "start"),
+        snapped_b=_float_field(fields, "snapped_b"),
+        l=_float_field(fields, "l"),
+        generation=_int_field(fields, "generation"),
+        cached=_bool_field(fields, "cached"),
+        latency_s=_float_field(fields, "latency_s"),
+    )
+
+
+# -- envelope encode/decode -------------------------------------------------
+
+_REQUEST_TAGS: dict[type[Request], str] = {
+    SubmitRequest: "submit",
+    SubmitBatchRequest: "submit_batch",
+    AddHostRequest: "add_host",
+    RemoveHostRequest: "remove_host",
+    SnapshotRequest: "snapshot",
+    PingRequest: "ping",
+}
+_RESPONSE_TAGS: dict[type[Response], str] = {
+    ResultResponse: "result",
+    ResultBatchResponse: "result_batch",
+    MembershipResponse: "membership",
+    SnapshotResponse: "snapshot",
+    PongResponse: "pong",
+    ErrorResponse: "error",
+}
+
+
+def _request_body(request: Request) -> dict[str, object]:
+    if isinstance(request, SubmitRequest):
+        return {
+            "k": request.k,
+            "b": request.b,
+            "start": request.start,
+            "generation": request.generation,
+        }
+    if isinstance(request, SubmitBatchRequest):
+        return {
+            "queries": [[k, b] for k, b in request.queries],
+            "start": request.start,
+            "generation": request.generation,
+        }
+    if isinstance(request, (AddHostRequest, RemoveHostRequest)):
+        return {"host": request.host}
+    return {}
+
+
+def _decode_request_body(tag: str, body: Mapping[str, object]) -> Request:
+    if tag == "submit":
+        return SubmitRequest(
+            k=_int_field(body, "k"),
+            b=_float_field(body, "b"),
+            start=_optional_int_field(body, "start"),
+            generation=_optional_int_field(body, "generation"),
+        )
+    if tag == "submit_batch":
+        raw = body.get("queries")
+        if not isinstance(raw, list):
+            raise ProtocolError(
+                f"field 'queries' is not a list: {raw!r}"
+            )
+        queries: list[tuple[int, float]] = []
+        for item in raw:
+            if not isinstance(item, list) or len(item) != 2:
+                raise ProtocolError(
+                    f"batch query is not a [k, b] pair: {item!r}"
+                )
+            pair = {"k": item[0], "b": item[1]}
+            queries.append(
+                (_int_field(pair, "k"), _float_field(pair, "b"))
+            )
+        return SubmitBatchRequest(
+            queries=tuple(queries),
+            start=_optional_int_field(body, "start"),
+            generation=_optional_int_field(body, "generation"),
+        )
+    if tag == "add_host":
+        return AddHostRequest(host=_int_field(body, "host"))
+    if tag == "remove_host":
+        return RemoveHostRequest(host=_int_field(body, "host"))
+    if tag == "snapshot":
+        return SnapshotRequest()
+    if tag == "ping":
+        return PingRequest()
+    raise ProtocolError(f"unknown request type {tag!r}")
+
+
+def _response_body(response: Response) -> dict[str, object]:
+    if isinstance(response, ResultResponse):
+        return {"result": result_to_wire(response.result)}
+    if isinstance(response, ResultBatchResponse):
+        return {
+            "results": [
+                result_to_wire(result) for result in response.results
+            ]
+        }
+    if isinstance(response, MembershipResponse):
+        return {
+            "generation": response.generation,
+            "rejoined": list(response.rejoined),
+        }
+    if isinstance(response, SnapshotResponse):
+        return {
+            "generation": response.generation,
+            "host_count": response.host_count,
+            "hosts": list(response.hosts),
+            "root": response.root,
+        }
+    if isinstance(response, PongResponse):
+        return {"generation": response.generation}
+    return {
+        "code": response.code,
+        "message": response.message,
+        "generation": response.generation,
+    }
+
+
+def _decode_response_body(
+    tag: str, body: Mapping[str, object]
+) -> Response:
+    if tag == "result":
+        return ResultResponse(result=result_from_wire(body.get("result")))
+    if tag == "result_batch":
+        raw = body.get("results")
+        if not isinstance(raw, list):
+            raise ProtocolError(
+                f"field 'results' is not a list: {raw!r}"
+            )
+        return ResultBatchResponse(
+            results=tuple(result_from_wire(item) for item in raw)
+        )
+    if tag == "membership":
+        return MembershipResponse(
+            generation=_int_field(body, "generation"),
+            rejoined=_int_list_field(body, "rejoined"),
+        )
+    if tag == "snapshot":
+        return SnapshotResponse(
+            generation=_int_field(body, "generation"),
+            host_count=_int_field(body, "host_count"),
+            hosts=_int_list_field(body, "hosts"),
+            root=_int_field(body, "root"),
+        )
+    if tag == "pong":
+        return PongResponse(generation=_int_field(body, "generation"))
+    if tag == "error":
+        return ErrorResponse(
+            code=_int_field(body, "code"),
+            message=_str_field(body, "message"),
+            generation=_optional_int_field(body, "generation"),
+        )
+    raise ProtocolError(f"unknown response type {tag!r}")
+
+
+def _encode_envelope(
+    request_id: int, tag: str, body: dict[str, object]
+) -> dict[str, object]:
+    return {
+        "v": ENVELOPE_VERSION,
+        "id": request_id,
+        "type": tag,
+        "body": body,
+    }
+
+
+def _decode_envelope(message: object) -> tuple[int, str, Mapping[str, object]]:
+    envelope = _body_mapping(message, "envelope")
+    version = _int_field(envelope, "v")
+    if version != ENVELOPE_VERSION:
+        raise ProtocolError(
+            f"unsupported envelope version {version} "
+            f"(this build speaks {ENVELOPE_VERSION})"
+        )
+    return (
+        _int_field(envelope, "id"),
+        _str_field(envelope, "type"),
+        _body_mapping(envelope.get("body"), "envelope body"),
+    )
+
+
+def encode_request(request_id: int, request: Request) -> dict[str, object]:
+    """Wrap *request* in an envelope ready for :func:`encode_frame`."""
+    return _encode_envelope(
+        request_id, _REQUEST_TAGS[type(request)], _request_body(request)
+    )
+
+
+def decode_request(message: object) -> tuple[int, Request]:
+    """Decode one request envelope into ``(request id, request)``."""
+    request_id, tag, body = _decode_envelope(message)
+    return request_id, _decode_request_body(tag, body)
+
+
+def encode_response(
+    request_id: int, response: Response
+) -> dict[str, object]:
+    """Wrap *response* in an envelope echoing *request_id*."""
+    return _encode_envelope(
+        request_id,
+        _RESPONSE_TAGS[type(response)],
+        _response_body(response),
+    )
+
+
+def decode_response(message: object) -> tuple[int, Response]:
+    """Decode one response envelope into ``(request id, response)``."""
+    request_id, tag, body = _decode_envelope(message)
+    return request_id, _decode_response_body(tag, body)
+
+
+def error_response_for(
+    error: ReproError, generation: int | None
+) -> ErrorResponse:
+    """The wire form of *error*: stable code + message + generation."""
+    return ErrorResponse(
+        code=error_code(error),
+        message=str(error),
+        generation=generation,
+    )
+
+
+def response_error(response: ErrorResponse) -> ReproError:
+    """Reconstruct the typed exception an :class:`ErrorResponse` carries."""
+    return error_from_code(response.code, response.message)

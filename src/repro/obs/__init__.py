@@ -18,7 +18,10 @@ routing:
   path and otherwise pay only no-op method calls.
 
 Wire it in with ``ClusterQueryService(..., tracer=Tracer())`` or drive
-a traced workload from the CLI: ``repro-bcc trace``.  See DESIGN.md §8.
+a traced workload from the CLI: ``repro-bcc trace``.  The TCP server
+(:mod:`repro.net`) records ``net.accept`` / ``net.request`` spans into
+the same store, so served traffic traces like in-process traffic.  See
+DESIGN.md §8.
 """
 
 from repro.obs.spans import NOOP_SPAN, Span, SpanLike

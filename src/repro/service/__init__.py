@@ -23,8 +23,17 @@ from repro.service.core import (
     ServiceResult,
     ServiceStats,
 )
-from repro.service.executor import BatchExecutor, group_by_class
-from repro.service.loadgen import LoadGenConfig, LoadGenReport, run_loadgen
+from repro.service.executor import (
+    BatchExecutor,
+    GroupDispatcher,
+    group_by_class,
+)
+from repro.service.loadgen import (
+    LoadGenConfig,
+    LoadGenReport,
+    query_mix,
+    run_loadgen,
+)
 from repro.service.telemetry import (
     LatencyHistogram,
     ServiceTelemetry,
@@ -36,6 +45,7 @@ __all__ = [
     "BatchExecutor",
     "ClusterQueryService",
     "GenerationMemo",
+    "GroupDispatcher",
     "LRUCache",
     "LatencyHistogram",
     "LoadGenConfig",
@@ -45,5 +55,6 @@ __all__ = [
     "ServiceTelemetry",
     "TelemetrySnapshot",
     "group_by_class",
+    "query_mix",
     "run_loadgen",
 ]

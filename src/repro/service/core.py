@@ -31,6 +31,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.decentralized import (
     AggregationSubstrate,
@@ -45,6 +46,9 @@ from repro.predtree.framework import (
 )
 from repro.service.cache import AggregationCache, GenerationMemo, LRUCache
 from repro.service.telemetry import ServiceTelemetry, TelemetrySnapshot
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.executor import GroupDispatcher
 
 __all__ = ["ClusterQueryService", "ServiceResult", "ServiceStats"]
 
@@ -597,16 +601,21 @@ class ClusterQueryService:
         queries: list[ClusterQuery],
         start: int | None = None,
         max_workers: int | None = None,
+        dispatcher: "GroupDispatcher | None" = None,
     ) -> list[ServiceResult]:
         """Answer a batch, grouped by snapped class (order preserved).
 
         Grouping means the per-class routing-table aggregation runs at
         most once per distinct class in the batch; with *max_workers*
         the class groups additionally fan out across a thread pool.
-        Delegates to :class:`~repro.service.executor.BatchExecutor`.
+        With *dispatcher* each class group is answered remotely (see
+        :class:`~repro.service.executor.GroupDispatcher`) — e.g. over
+        a ``repro.net`` wire client — while this service still does
+        the grouping and merge.  Delegates to
+        :class:`~repro.service.executor.BatchExecutor`.
         """
         from repro.service.executor import BatchExecutor
 
-        return BatchExecutor(self, max_workers=max_workers).run(
-            queries, start=start
-        )
+        return BatchExecutor(
+            self, max_workers=max_workers, dispatcher=dispatcher
+        ).run(queries, start=start)

@@ -18,7 +18,7 @@ disjoint memo entries — so they can optionally fan out across a
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.core.query import BandwidthClasses, ClusterQuery
 from repro.exceptions import ServiceError
@@ -28,7 +28,38 @@ from repro.obs import NOOP_SPAN, SpanLike
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.service.core import ClusterQueryService, ServiceResult
 
-__all__ = ["BatchExecutor", "group_by_class"]
+__all__ = ["BatchExecutor", "GroupDispatcher", "group_by_class"]
+
+
+@runtime_checkable
+class GroupDispatcher(Protocol):
+    """Remote fan-out hook for one per-class query group.
+
+    The executor still owns grouping, generation pinning, and merging
+    results back into submission order; a dispatcher only decides
+    *where* one class group's queries are answered.  ``repro.net``
+    supplies two implementations: :class:`~repro.net.client.
+    ClientGroupDispatcher` (one remote server over TCP) and the
+    multi-process :class:`~repro.net.coordinator.ClusterCoordinator`.
+    """
+
+    def dispatch_group(
+        self,
+        snapped: float,
+        indices: list[int],
+        queries: list["ClusterQuery"],
+        generation: int,
+        start: int | None,
+    ) -> list["ServiceResult"]:
+        """Answer ``[queries[i] for i in indices]``, preserving order.
+
+        *snapped* is the group's distance class and *generation* the
+        pinned overlay generation; implementations should raise
+        :class:`~repro.exceptions.StaleGenerationError` (directly or
+        from the remote side) when they cannot answer at that
+        generation.
+        """
+        ...
 
 
 def group_by_class(
@@ -60,12 +91,20 @@ class BatchExecutor:
     max_workers:
         Thread-pool width for fanning class groups out; ``None`` (or a
         batch with a single distinct class) executes sequentially.
+    dispatcher:
+        Optional :class:`GroupDispatcher` answering each class group
+        remotely instead of through *service*.  Dispatched groups run
+        sequentially regardless of *max_workers* — a wire client is
+        not thread-safe, and a multi-process coordinator parallelizes
+        across workers internally — and the local substrate is not
+        pre-built (the remote side owns its own).
     """
 
     def __init__(
         self,
         service: "ClusterQueryService",
         max_workers: int | None = None,
+        dispatcher: GroupDispatcher | None = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ServiceError(
@@ -73,6 +112,7 @@ class BatchExecutor:
             )
         self._service = service
         self._max_workers = max_workers
+        self._dispatcher = dispatcher
 
     def run(
         self,
@@ -123,8 +163,23 @@ class BatchExecutor:
             # local stack, so the submit spans below nest under it
             # instead of starting new root traces.
             with span.start_span(
-                "batch.group", snapped_b=snapped, queries=len(indices)
+                "batch.group",
+                snapped_b=snapped,
+                queries=len(indices),
+                remote=self._dispatcher is not None,
             ):
+                if self._dispatcher is not None:
+                    answers = self._dispatcher.dispatch_group(
+                        snapped, indices, queries, generation, start
+                    )
+                    if len(answers) != len(indices):
+                        raise ServiceError(
+                            f"dispatcher returned {len(answers)} "
+                            f"result(s) for a {len(indices)}-query group"
+                        )
+                    for index, answer in zip(indices, answers):
+                        results[index] = answer
+                    return
                 for index in indices:
                     results[index] = service.submit(
                         queries[index],
@@ -133,7 +188,11 @@ class BatchExecutor:
                     )
 
         group_items = list(groups.items())
-        if self._max_workers is not None and len(group_items) > 1:
+        if (
+            self._max_workers is not None
+            and len(group_items) > 1
+            and self._dispatcher is None
+        ):
             # Build the shared class-independent substrate once, up
             # front; workers then only pay their own per-class CRT
             # pass instead of serializing behind (or duplicating) the

@@ -24,7 +24,7 @@ from repro.experiments.report import format_table
 from repro.service.core import ClusterQueryService, ServiceResult
 from repro.service.telemetry import TelemetrySnapshot
 
-__all__ = ["LoadGenConfig", "LoadGenReport", "run_loadgen"]
+__all__ = ["LoadGenConfig", "LoadGenReport", "query_mix", "run_loadgen"]
 
 
 @dataclass(frozen=True)
@@ -129,12 +129,17 @@ class LoadGenReport:
         )
 
 
-def _query_mix(
+def query_mix(
     service: ClusterQueryService,
     config: LoadGenConfig,
     rng: np.random.Generator,
 ) -> list[ClusterQuery]:
-    """Draw the full query stream up front (all constraints snappable)."""
+    """Draw the full query stream up front (all constraints snappable).
+
+    Public so the wire-level harness (:mod:`repro.net.loadgen`) can
+    drive a server with the *identical* deterministic stream and make
+    in-process vs over-the-wire throughput directly comparable.
+    """
     bandwidths = service.classes.bandwidths
     low, high = bandwidths[0], bandwidths[-1]
     pool = [
@@ -166,7 +171,7 @@ def run_loadgen(
 ) -> LoadGenReport:
     """Drive *service* with the configured stream; returns the report."""
     rng = as_rng(config.seed)
-    stream = _query_mix(service, config, rng)
+    stream = query_mix(service, config, rng)
     churn_events = 0
     results: list[ServiceResult] = []
     began = time.perf_counter()

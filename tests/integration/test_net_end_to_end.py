@@ -1,0 +1,155 @@
+"""Acceptance test: TCP server over a 2-worker coordinator.
+
+The full assembly under test::
+
+    ClusterClient ──TCP──▶ ClusterQueryServer ──▶ ClusterCoordinator
+                                                   ├─ worker process 0
+                                                   └─ worker process 1
+
+A mixed ``(k, b)`` batch travels the wire, fans out across both worker
+processes, and must come back identical to an in-process
+:class:`~repro.service.core.ClusterQueryService` built from the same
+spec.  Mid-batch membership churn bumps the generation: a pinned
+client sees :class:`~repro.exceptions.StaleGenerationError` *over the
+wire*, and a refresh-enabled client recovers transparently.
+"""
+
+import pytest
+
+from repro.core.query import ClusterQuery
+from repro.exceptions import StaleGenerationError
+from repro.net import (
+    ClusterClient,
+    ClusterCoordinator,
+    ServiceSpec,
+    serve_in_background,
+)
+
+SPEC = ServiceSpec(
+    dataset="hp",
+    n=24,
+    dataset_seed=0,
+    framework_seed=1,
+    classes_low=15.0,
+    classes_high=75.0,
+    classes_count=5,
+    n_cut=5,
+)
+
+QUERIES = [
+    ClusterQuery(k=3, b=20.0),
+    ClusterQuery(k=5, b=60.0),
+    ClusterQuery(k=4, b=30.0),
+    ClusterQuery(k=6, b=45.0),
+    ClusterQuery(k=3, b=70.0),
+    ClusterQuery(k=4, b=55.0),
+]
+
+
+@pytest.fixture(scope="module")
+def coordinator():
+    with ClusterCoordinator(SPEC, workers=2) as coord:
+        yield coord
+
+
+@pytest.fixture(scope="module")
+def server(coordinator):
+    with serve_in_background(coordinator) as handle:
+        yield handle
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return SPEC.build()
+
+
+class TestWireBatchOverWorkerPool:
+    def test_results_identical_to_in_process_service(
+        self, server, coordinator, reference
+    ):
+        with ClusterClient(*server.address) as client:
+            wire = client.submit_batch(QUERIES)
+        direct = reference.submit_batch(QUERIES)
+        assert [r.cluster for r in wire] == [
+            r.cluster for r in direct
+        ]
+        assert [r.snapped_b for r in wire] == [
+            r.snapped_b for r in direct
+        ]
+        assert [r.l for r in wire] == [r.l for r in direct]
+        # The batch genuinely crossed process boundaries.
+        assert coordinator.stats().dispatched_groups >= 2
+
+    def test_snapshot_reflects_coordinator_membership(
+        self, server, coordinator
+    ):
+        with ClusterClient(*server.address) as client:
+            snapshot = client.snapshot()
+        assert sorted(snapshot.hosts) == sorted(coordinator.hosts)
+        assert snapshot.root == coordinator.overlay_root()
+
+
+class TestChurnDuringFlight:
+    def test_pinned_client_goes_stale_then_recovers(
+        self, server, coordinator, reference
+    ):
+        victim = next(
+            h
+            for h in coordinator.hosts
+            if h != coordinator.overlay_root()
+        )
+        pinned = ClusterClient(
+            *server.address, refresh_on_stale=False
+        )
+        fresh = ClusterClient(*server.address)
+        try:
+            # Both clients cache the pre-churn generation.
+            pinned.ping()
+            fresh.ping()
+
+            # Membership changes mid-flight, behind both clients.
+            rejoined = coordinator.remove_host(victim)
+            coordinator.add_host(victim)
+            assert reference.remove_host(victim) == rejoined
+            reference.add_host(victim)
+
+            # The pinned client's stale stamp crosses the wire and
+            # comes back as a typed error.
+            with pytest.raises(StaleGenerationError):
+                pinned.submit_batch(QUERIES)
+
+            # The refresh-enabled client re-pings, re-stamps, and the
+            # post-churn answers still match the in-process twin.
+            wire = fresh.submit_batch(QUERIES)
+            assert fresh.stale_refreshes == 1
+            assert fresh.generation == coordinator.generation
+            direct = reference.submit_batch(QUERIES)
+            assert [r.cluster for r in wire] == [
+                r.cluster for r in direct
+            ]
+        finally:
+            pinned.close()
+            fresh.close()
+
+    def test_membership_over_wire_reaches_every_worker(
+        self, server, coordinator, reference
+    ):
+        victim = next(
+            h
+            for h in coordinator.hosts
+            if h != coordinator.overlay_root()
+        )
+        with ClusterClient(*server.address) as client:
+            generation, rejoined = client.remove_host(victim)
+            assert generation == coordinator.generation
+            assert client.add_host(victim) == coordinator.generation
+        assert reference.remove_host(victim) == list(rejoined)
+        reference.add_host(victim)
+        # Post-churn wire answers still match the mirrored twin —
+        # i.e. the broadcast reached the worker replicas.
+        with ClusterClient(*server.address) as client:
+            wire = client.submit_batch(QUERIES)
+        direct = reference.submit_batch(QUERIES)
+        assert [r.cluster for r in wire] == [
+            r.cluster for r in direct
+        ]

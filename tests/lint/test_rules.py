@@ -578,3 +578,121 @@ class TestRPR010KernelImports:
             rules=["RPR010"],
         )
         assert findings == []
+
+
+class TestRPR011BlockingInAsync:
+    def test_time_sleep_in_coroutine_flagged(self, harness):
+        findings = harness.lint(
+            "src/repro/net/bad_sleep.py",
+            """
+            import time
+
+            async def backoff():
+                time.sleep(0.1)
+            """,
+            rules=["RPR011"],
+        )
+        assert rule_ids(findings) == {"RPR011"}
+        assert "time.sleep" in findings[0].message
+        assert "backoff" in findings[0].message
+
+    def test_sync_socket_ops_flagged(self, harness):
+        findings = harness.lint(
+            "src/repro/net/bad_socket.py",
+            """
+            import socket
+
+            async def fetch(host, port):
+                sock = socket.create_connection((host, port))
+                data = sock.recv(4096)
+                sock.sendall(b"bye")
+                return data
+            """,
+            rules=["RPR011"],
+        )
+        assert rule_ids(findings) == {"RPR011"}
+        assert len(findings) == 3
+
+    def test_subprocess_run_flagged(self, harness):
+        findings = harness.lint(
+            "src/repro/net/bad_subprocess.py",
+            """
+            import subprocess
+
+            async def deploy():
+                subprocess.run(["true"], check=True)
+            """,
+            rules=["RPR011"],
+        )
+        assert rule_ids(findings) == {"RPR011"}
+        assert "subprocess.run" in findings[0].message
+
+    def test_async_sleep_and_streams_clean(self, harness):
+        findings = harness.lint(
+            "src/repro/net/good_async.py",
+            """
+            import asyncio
+
+            async def backoff_then_fetch(host, port):
+                await asyncio.sleep(0.1)
+                reader, writer = await asyncio.open_connection(
+                    host, port
+                )
+                data = await reader.read(4096)
+                writer.close()
+                await writer.wait_closed()
+                return data
+            """,
+            rules=["RPR011"],
+        )
+        assert findings == []
+
+    def test_sync_helper_inside_coroutine_clean(self, harness):
+        findings = harness.lint(
+            "src/repro/net/good_executor.py",
+            """
+            import asyncio
+            import time
+
+            async def answer(backend, query):
+                def blocking_work():
+                    time.sleep(0.001)
+                    return backend.submit(query)
+
+                loop = asyncio.get_running_loop()
+                return await loop.run_in_executor(
+                    None, blocking_work
+                )
+            """,
+            rules=["RPR011"],
+        )
+        assert findings == []
+
+    def test_blocking_fine_outside_async_def(self, harness):
+        findings = harness.lint(
+            "src/repro/net/good_sync_client.py",
+            """
+            import socket
+            import time
+
+            def connect(host, port):
+                time.sleep(0.0)
+                sock = socket.create_connection((host, port))
+                return sock.recv(1)
+            """,
+            rules=["RPR011"],
+        )
+        assert findings == []
+
+    def test_rule_scoped_to_net_only(self, harness):
+        findings = harness.lint(
+            "src/repro/service/async_elsewhere.py",
+            """
+            import time
+
+            async def nap():
+                time.sleep(1.0)
+            """,
+            rules=["RPR011"],
+        )
+        assert findings == []

@@ -1,0 +1,28 @@
+"""Shared fixtures for the networked-serving tests."""
+
+import pytest
+
+from repro.core.query import BandwidthClasses
+from repro.datasets.planetlab import hp_planetlab_like
+from repro.net import serve_in_background
+from repro.predtree.framework import build_framework
+from repro.service import ClusterQueryService
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return hp_planetlab_like(seed=0, n=30)
+
+
+@pytest.fixture()
+def service(dataset):
+    framework = build_framework(dataset.bandwidth, seed=1)
+    classes = BandwidthClasses.linear(15.0, 75.0, 5)
+    return ClusterQueryService(framework, classes, n_cut=5)
+
+
+@pytest.fixture()
+def server(service):
+    """A background server over the function-scoped service."""
+    with serve_in_background(service) as handle:
+        yield handle

@@ -1,0 +1,209 @@
+"""Multi-process coordinator tests: determinism, churn, healing.
+
+Worker processes are spawned (not forked), so every test here runs
+replicas built from a picklable :class:`ServiceSpec`.  The overlay is
+kept small to bound spawn cost; correctness is always asserted against
+an in-process reference service built from the *same* spec.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.query import ClusterQuery
+from repro.exceptions import (
+    CoordinatorError,
+    ServiceError,
+    StaleGenerationError,
+)
+from repro.net import ClusterCoordinator, ServiceSpec
+
+SPEC = ServiceSpec(
+    dataset="hp",
+    n=24,
+    dataset_seed=0,
+    framework_seed=1,
+    classes_low=15.0,
+    classes_high=75.0,
+    classes_count=5,
+    n_cut=5,
+)
+
+# Mixed batch spanning several distance classes so a 2-worker
+# coordinator genuinely engages both processes.
+QUERIES = [
+    ClusterQuery(k=3, b=20.0),
+    ClusterQuery(k=5, b=60.0),
+    ClusterQuery(k=4, b=30.0),
+    ClusterQuery(k=6, b=45.0),
+    ClusterQuery(k=3, b=70.0),
+]
+
+
+def _clusters(results):
+    return [r.cluster for r in results]
+
+
+def _non_root_host(coordinator) -> int:
+    root = coordinator.overlay_root()
+    return next(h for h in coordinator.hosts if h != root)
+
+
+@pytest.fixture(scope="module")
+def coordinator():
+    with ClusterCoordinator(SPEC, workers=2) as coord:
+        yield coord
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """In-process twin; churn tests must mirror events onto it."""
+    return SPEC.build()
+
+
+class TestServiceSpec:
+    def test_pickle_round_trip(self):
+        assert pickle.loads(pickle.dumps(SPEC)) == SPEC
+
+    def test_build_is_deterministic(self):
+        a, b = SPEC.build(), SPEC.build()
+        assert a.hosts == b.hosts
+        assert a.generation == b.generation
+        query = ClusterQuery(k=4, b=30.0)
+        assert a.submit(query).cluster == b.submit(query).cluster
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(ServiceError, match="unknown spec dataset"):
+            ServiceSpec(dataset="nope").build()
+
+
+class TestValidation:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(CoordinatorError, match="workers"):
+            ClusterCoordinator(SPEC, workers=0)
+
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(CoordinatorError, match="request_timeout"):
+            ClusterCoordinator(SPEC, request_timeout=0.0)
+
+
+class TestDispatchCorrectness:
+    def test_batch_matches_in_process_reference(
+        self, coordinator, reference
+    ):
+        fanned = coordinator.submit_batch(QUERIES)
+        direct = reference.submit_batch(QUERIES)
+        assert _clusters(fanned) == _clusters(direct)
+        assert [r.snapped_b for r in fanned] == [
+            r.snapped_b for r in direct
+        ]
+
+    def test_single_submit_matches_reference(
+        self, coordinator, reference
+    ):
+        query = ClusterQuery(k=4, b=30.0)
+        assert (
+            coordinator.submit(query).cluster
+            == reference.submit(query).cluster
+        )
+
+    def test_batch_engages_multiple_workers(self, coordinator):
+        before = coordinator.stats().dispatched_groups
+        coordinator.submit_batch(QUERIES)
+        after = coordinator.stats().dispatched_groups
+        # QUERIES spans >= 2 snapped classes, hence >= 2 groups.
+        assert after - before >= 2
+
+    def test_empty_batch(self, coordinator):
+        assert coordinator.submit_batch([]) == []
+
+    def test_stale_pinned_submit_raises(self, coordinator):
+        with pytest.raises(StaleGenerationError):
+            coordinator.submit(
+                ClusterQuery(k=3, b=20.0),
+                expected_generation=coordinator.generation + 1,
+            )
+
+    def test_dispatch_group_stale_pin_raises(self, coordinator):
+        queries = [ClusterQuery(k=3, b=20.0)]
+        with pytest.raises(StaleGenerationError):
+            coordinator.dispatch_group(
+                20.0,
+                [0],
+                queries,
+                generation=coordinator.generation + 1,
+                start=None,
+            )
+
+    def test_dispatch_group_hook_answers(self, coordinator, reference):
+        queries = [
+            ClusterQuery(k=3, b=20.0),
+            ClusterQuery(k=4, b=20.0),
+        ]
+        answers = coordinator.dispatch_group(
+            20.0,
+            [0, 1],
+            queries,
+            generation=coordinator.generation,
+            start=None,
+        )
+        direct = reference.submit_batch(queries)
+        assert _clusters(answers) == _clusters(direct)
+
+
+class TestBroadcastChurn:
+    def test_membership_broadcast_keeps_replicas_converged(
+        self, coordinator, reference
+    ):
+        victim = _non_root_host(coordinator)
+        before = coordinator.generation
+        rejoined = coordinator.remove_host(victim)
+        coordinator.add_host(victim)
+        # Mirror the same events onto the in-process twin.
+        assert reference.remove_host(victim) == rejoined
+        reference.add_host(victim)
+        assert coordinator.generation > before
+        assert coordinator.generation == reference.generation
+        fanned = coordinator.submit_batch(QUERIES)
+        direct = reference.submit_batch(QUERIES)
+        assert _clusters(fanned) == _clusters(direct)
+
+
+class TestLazySync:
+    def test_stale_workers_sync_on_dispatch(self):
+        reference = SPEC.build()
+        with ClusterCoordinator(
+            SPEC, workers=2, broadcast_membership=False
+        ) as coordinator:
+            victim = _non_root_host(coordinator)
+            rejoined = coordinator.remove_host(victim)
+            coordinator.add_host(victim)
+            assert reference.remove_host(victim) == rejoined
+            reference.add_host(victim)
+            # Workers were NOT told: the dispatch catches them behind,
+            # syncs the log suffix, and re-dispatches.
+            fanned = coordinator.submit_batch(QUERIES)
+            stats = coordinator.stats()
+            assert stats.stale_redispatches >= 1
+            assert stats.generation == reference.generation
+        direct = reference.submit_batch(QUERIES)
+        assert _clusters(fanned) == _clusters(direct)
+
+
+class TestWorkerDeath:
+    def test_dead_worker_is_respawned_and_batch_still_answers(
+        self, coordinator, reference
+    ):
+        victim_slot = coordinator._slots[0]
+        assert victim_slot.process is not None
+        victim_slot.process.kill()
+        victim_slot.process.join(timeout=10.0)
+        before = coordinator.stats().respawns
+        fanned = coordinator.submit_batch(QUERIES)
+        stats = coordinator.stats()
+        assert stats.respawns >= before + 1
+        direct = reference.submit_batch(QUERIES)
+        assert _clusters(fanned) == _clusters(direct)
+        # The replacement process is live and caught up.
+        assert victim_slot.process is not None
+        assert victim_slot.process.is_alive()

@@ -1,0 +1,196 @@
+"""Frame codec tests: round trips, fuzzing, and adversarial streams."""
+
+import json
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FrameError
+from repro.net.framing import (
+    DEFAULT_MAX_FRAME,
+    FRAME_VERSION,
+    MAGIC,
+    FrameDecoder,
+    encode_frame,
+)
+
+# JSON-safe messages (msgpack is optional in this environment, so the
+# suite fuzzes the always-available codec).
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=40),
+)
+_messages = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+def _header(
+    magic=MAGIC, version=FRAME_VERSION, codec=1, length=0
+) -> bytes:
+    return struct.pack("!2sBBI", magic, version, codec, length)
+
+
+class TestEncode:
+    def test_frame_layout(self):
+        frame = encode_frame({"a": 1})
+        magic, version, codec, length = struct.unpack_from(
+            "!2sBBI", frame
+        )
+        assert magic == MAGIC
+        assert version == FRAME_VERSION
+        assert codec == 1  # json
+        payload = frame[8:]
+        assert len(payload) == length
+        assert json.loads(payload) == {"a": 1}
+
+    def test_oversized_payload_rejected_at_sender(self):
+        with pytest.raises(FrameError, match="frame limit"):
+            encode_frame(["x" * 100], max_frame=16)
+
+    def test_unencodable_message_rejected(self):
+        with pytest.raises(FrameError, match="not json-encodable"):
+            encode_frame({"bad": object()})
+
+    def test_nan_rejected(self):
+        with pytest.raises(FrameError):
+            encode_frame({"x": float("nan")})
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(FrameError, match="unknown payload codec"):
+            encode_frame({}, codec="protobuf")
+
+    def test_msgpack_codec_gated_or_round_trips(self):
+        # msgpack is an optional dependency: with it installed the
+        # codec round-trips; without it the request must fail loudly,
+        # never silently substitute JSON.
+        try:
+            import msgpack  # noqa: F401
+        except ImportError:
+            with pytest.raises(FrameError, match="msgpack"):
+                encode_frame({"a": 1}, codec="msgpack")
+        else:
+            frame = encode_frame({"a": 1}, codec="msgpack")
+            assert FrameDecoder().feed(frame) == [{"a": 1}]
+
+
+class TestRoundTrip:
+    @given(message=_messages)
+    @settings(max_examples=150, deadline=None)
+    def test_single_message(self, message):
+        decoder = FrameDecoder()
+        out = decoder.feed(encode_frame(message))
+        assert len(out) == 1
+        assert out[0] == message
+        assert decoder.buffered == 0
+
+    @given(messages=st.lists(_messages, min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_interleaved_concatenated_frames(self, messages):
+        stream = b"".join(encode_frame(m) for m in messages)
+        decoder = FrameDecoder()
+        assert decoder.feed(stream) == messages
+
+    @given(
+        messages=st.lists(_messages, min_size=1, max_size=4),
+        chunk=st.integers(min_value=1, max_value=7),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_chunking(self, messages, chunk):
+        stream = b"".join(encode_frame(m) for m in messages)
+        decoder = FrameDecoder()
+        out = []
+        for offset in range(0, len(stream), chunk):
+            out.extend(decoder.feed(stream[offset:offset + chunk]))
+        assert out == messages
+        assert decoder.buffered == 0
+
+    def test_byte_at_a_time(self):
+        frame = encode_frame({"k": [1, 2, 3]})
+        decoder = FrameDecoder()
+        out = []
+        for i in range(len(frame)):
+            out.extend(decoder.feed(frame[i:i + 1]))
+        assert out == [{"k": [1, 2, 3]}]
+
+
+class TestTruncation:
+    @given(message=_messages, data=st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_truncated_frame_stays_buffered(self, message, data):
+        frame = encode_frame(message)
+        cut = data.draw(
+            st.integers(min_value=0, max_value=len(frame) - 1)
+        )
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:cut]) == []
+        assert decoder.buffered == cut
+        # The tail completes the frame.
+        assert decoder.feed(frame[cut:]) == [message]
+
+
+class TestAdversarial:
+    def test_bad_magic_rejected(self):
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError, match="magic"):
+            decoder.feed(_header(magic=b"XX") + b"{}")
+
+    def test_unknown_version_rejected(self):
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError, match="version"):
+            decoder.feed(_header(version=99))
+
+    def test_unknown_codec_id_rejected(self):
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError, match="codec id"):
+            decoder.feed(_header(codec=77))
+
+    def test_oversized_declared_length_rejected_before_buffering(self):
+        decoder = FrameDecoder(max_frame=64)
+        # Header alone declares 1 GiB: must fail now, without waiting
+        # for (or buffering) a single payload byte.
+        with pytest.raises(FrameError, match="limit"):
+            decoder.feed(_header(length=1 << 30))
+        assert decoder.buffered <= 8
+
+    def test_default_limit_applies(self):
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError, match="limit"):
+            decoder.feed(_header(length=DEFAULT_MAX_FRAME + 1))
+
+    def test_undecodable_payload_rejected(self):
+        decoder = FrameDecoder()
+        bad = b"\xff\xfe not json"
+        with pytest.raises(FrameError, match="undecodable"):
+            decoder.feed(_header(length=len(bad)) + bad)
+
+    def test_poisoned_decoder_refuses_everything_after(self):
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError):
+            decoder.feed(_header(magic=b"XX"))
+        good = encode_frame({"fine": True})
+        with pytest.raises(FrameError, match="already failed"):
+            decoder.feed(good)
+
+    @given(garbage=st.binary(min_size=8, max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_fuzzed_garbage_never_hangs_or_crashes(self, garbage):
+        decoder = FrameDecoder(max_frame=1024)
+        try:
+            decoder.feed(garbage)
+        except FrameError:
+            pass  # rejection is the expected outcome for most inputs
+
+    def test_zero_max_frame_rejected(self):
+        with pytest.raises(FrameError, match=">= 1"):
+            FrameDecoder(max_frame=0)

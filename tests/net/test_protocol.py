@@ -1,0 +1,240 @@
+"""Typed envelope tests: round trips, strictness, error codes."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import (
+    ProtocolError,
+    ServiceError,
+    StaleGenerationError,
+)
+from repro.net.framing import FrameDecoder, encode_frame
+from repro.net.protocol import (
+    AddHostRequest,
+    ErrorResponse,
+    MembershipResponse,
+    PingRequest,
+    PongResponse,
+    RemoveHostRequest,
+    ResultBatchResponse,
+    ResultResponse,
+    SnapshotRequest,
+    SnapshotResponse,
+    SubmitBatchRequest,
+    SubmitRequest,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    error_response_for,
+    response_error,
+    result_from_wire,
+    result_to_wire,
+)
+from repro.service.core import ServiceResult
+
+
+def _result(**overrides) -> ServiceResult:
+    fields = dict(
+        cluster=(1, 4, 9),
+        hops=3,
+        start=0,
+        snapped_b=30.0,
+        l=2.5,
+        generation=7,
+        cached=False,
+        latency_s=0.0125,
+    )
+    fields.update(overrides)
+    return ServiceResult(**fields)
+
+
+_requests = st.one_of(
+    st.builds(
+        SubmitRequest,
+        k=st.integers(2, 50),
+        b=st.floats(1.0, 100.0, allow_nan=False),
+        start=st.one_of(st.none(), st.integers(0, 100)),
+        generation=st.one_of(st.none(), st.integers(0, 1000)),
+    ),
+    st.builds(
+        SubmitBatchRequest,
+        queries=st.lists(
+            st.tuples(
+                st.integers(2, 50),
+                st.floats(1.0, 100.0, allow_nan=False),
+            ),
+            max_size=5,
+        ).map(tuple),
+        start=st.one_of(st.none(), st.integers(0, 100)),
+        generation=st.one_of(st.none(), st.integers(0, 1000)),
+    ),
+    st.builds(AddHostRequest, host=st.integers(0, 500)),
+    st.builds(RemoveHostRequest, host=st.integers(0, 500)),
+    st.just(SnapshotRequest()),
+    st.just(PingRequest()),
+)
+
+_responses = st.one_of(
+    st.builds(ResultResponse, result=st.just(_result())),
+    st.builds(
+        ResultBatchResponse,
+        results=st.lists(st.just(_result()), max_size=3).map(tuple),
+    ),
+    st.builds(
+        MembershipResponse,
+        generation=st.integers(0, 1000),
+        rejoined=st.lists(st.integers(0, 100), max_size=4).map(tuple),
+    ),
+    st.builds(
+        SnapshotResponse,
+        generation=st.integers(0, 1000),
+        host_count=st.integers(0, 500),
+        hosts=st.lists(st.integers(0, 500), max_size=6).map(tuple),
+        root=st.integers(0, 500),
+    ),
+    st.builds(PongResponse, generation=st.integers(0, 1000)),
+    st.builds(
+        ErrorResponse,
+        code=st.sampled_from([1, 90, 91, 130, 131, 132]),
+        message=st.text(max_size=30),
+        generation=st.one_of(st.none(), st.integers(0, 1000)),
+    ),
+)
+
+
+class TestRoundTrip:
+    @given(request=_requests, request_id=st.integers(1, 2**31))
+    @settings(max_examples=120, deadline=None)
+    def test_requests(self, request, request_id):
+        envelope = encode_request(request_id, request)
+        out_id, out = decode_request(envelope)
+        assert out_id == request_id
+        assert out == request
+
+    @given(response=_responses, request_id=st.integers(0, 2**31))
+    @settings(max_examples=120, deadline=None)
+    def test_responses(self, response, request_id):
+        envelope = encode_response(request_id, response)
+        out_id, out = decode_response(envelope)
+        assert out_id == request_id
+        assert out == response
+
+    @given(request=_requests)
+    @settings(max_examples=40, deadline=None)
+    def test_through_the_frame_layer(self, request):
+        frame = encode_frame(encode_request(5, request))
+        (message,) = FrameDecoder().feed(frame)
+        assert decode_request(message) == (5, request)
+
+    def test_envelope_is_json_safe(self):
+        envelope = encode_response(
+            3, ResultBatchResponse(results=(_result(), _result()))
+        )
+        assert json.loads(json.dumps(envelope)) == envelope
+
+
+class TestServiceResultWire:
+    def test_round_trip(self):
+        result = _result(cluster=(), hops=0, cached=True)
+        assert result_from_wire(result_to_wire(result)) == result
+
+    def test_missing_field_rejected(self):
+        wire = result_to_wire(_result())
+        del wire["hops"]
+        with pytest.raises(ProtocolError, match="hops"):
+            result_from_wire(wire)
+
+    def test_mistyped_cluster_rejected(self):
+        wire = result_to_wire(_result())
+        wire["cluster"] = [1, "two", 3]
+        with pytest.raises(ProtocolError, match="non-integer"):
+            result_from_wire(wire)
+
+
+class TestStrictDecoding:
+    def test_unknown_request_tag(self):
+        with pytest.raises(ProtocolError, match="unknown request type"):
+            decode_request(
+                {"v": 1, "id": 1, "type": "drop_tables", "body": {}}
+            )
+
+    def test_unknown_response_tag(self):
+        with pytest.raises(
+            ProtocolError, match="unknown response type"
+        ):
+            decode_response(
+                {"v": 1, "id": 1, "type": "shrug", "body": {}}
+            )
+
+    def test_wrong_envelope_version(self):
+        with pytest.raises(ProtocolError, match="envelope version"):
+            decode_request(
+                {"v": 2, "id": 1, "type": "ping", "body": {}}
+            )
+
+    def test_non_mapping_envelope(self):
+        with pytest.raises(ProtocolError, match="not a mapping"):
+            decode_request([1, 2, 3])
+
+    def test_missing_body(self):
+        with pytest.raises(ProtocolError, match="body"):
+            decode_request({"v": 1, "id": 1, "type": "ping"})
+
+    def test_bool_is_not_an_int(self):
+        with pytest.raises(ProtocolError, match="not an integer"):
+            decode_request(
+                {
+                    "v": 1,
+                    "id": 1,
+                    "type": "add_host",
+                    "body": {"host": True},
+                }
+            )
+
+    def test_mistyped_k_rejected(self):
+        with pytest.raises(ProtocolError, match="'k'"):
+            decode_request(
+                {
+                    "v": 1,
+                    "id": 1,
+                    "type": "submit",
+                    "body": {"k": "four", "b": 30.0},
+                }
+            )
+
+    def test_malformed_batch_pair_rejected(self):
+        with pytest.raises(ProtocolError, match=r"\[k, b\] pair"):
+            decode_request(
+                {
+                    "v": 1,
+                    "id": 1,
+                    "type": "submit_batch",
+                    "body": {"queries": [[3, 20.0], [5]]},
+                }
+            )
+
+
+class TestErrorRoundTrip:
+    def test_stale_generation_error_revives_typed(self):
+        response = error_response_for(
+            StaleGenerationError("overlay moved"), generation=12
+        )
+        assert response.generation == 12
+        revived = response_error(response)
+        assert isinstance(revived, StaleGenerationError)
+        assert isinstance(revived, ServiceError)
+        assert "overlay moved" in str(revived)
+
+    def test_error_response_survives_the_wire(self):
+        response = error_response_for(
+            ServiceError("nope"), generation=None
+        )
+        envelope = encode_response(9, response)
+        (message,) = FrameDecoder().feed(encode_frame(envelope))
+        out_id, out = decode_response(message)
+        assert out_id == 9
+        assert isinstance(response_error(out), ServiceError)

@@ -1,0 +1,322 @@
+"""Server + client integration over real loopback sockets."""
+
+import asyncio
+import socket
+import struct
+
+import pytest
+
+from repro.core.query import ClusterQuery
+from repro.exceptions import (
+    NetworkError,
+    QueryError,
+    StaleGenerationError,
+)
+from repro.net import (
+    AsyncClusterClient,
+    ClientGroupDispatcher,
+    ClusterClient,
+    serve_in_background,
+)
+from repro.obs import TraceStore, Tracer
+
+
+def _non_root_host(client) -> int:
+    snapshot = client.snapshot()
+    return next(h for h in snapshot.hosts if h != snapshot.root)
+
+
+class TestBasicRequests:
+    def test_ping_snapshot(self, server, service):
+        with ClusterClient(*server.address) as client:
+            assert client.ping() == service.generation
+            snapshot = client.snapshot()
+            assert snapshot.host_count == len(service.hosts)
+            assert sorted(snapshot.hosts) == sorted(service.hosts)
+            assert snapshot.root in snapshot.hosts
+
+    def test_submit_matches_in_process(self, server, service):
+        with ClusterClient(*server.address) as client:
+            wire = client.submit(4, 30.0)
+        direct = service.submit(ClusterQuery(k=4, b=30.0))
+        assert wire.cluster == direct.cluster
+        assert wire.snapped_b == direct.snapped_b
+        assert wire.l == direct.l
+        assert wire.generation == direct.generation
+
+    def test_submit_batch_matches_in_process(self, server, service):
+        queries = [
+            ClusterQuery(k=3, b=20.0),
+            ClusterQuery(k=5, b=60.0),
+            ClusterQuery(k=4, b=30.0),
+        ]
+        with ClusterClient(*server.address) as client:
+            wire = client.submit_batch(queries)
+        direct = service.submit_batch(queries)
+        assert [r.cluster for r in wire] == [
+            r.cluster for r in direct
+        ]
+
+    def test_membership_over_wire(self, server, service):
+        with ClusterClient(*server.address) as client:
+            victim = _non_root_host(client)
+            before = service.generation
+            generation, _rejoined = client.remove_host(victim)
+            assert generation > before
+            assert victim not in service.hosts
+            generation2 = client.add_host(victim)
+            assert generation2 > generation
+            assert victim in service.hosts
+
+    def test_typed_error_travels_the_wire(self, server):
+        with ClusterClient(*server.address) as client:
+            # k=1 is a malformed query; the service's QueryError must
+            # re-raise client-side as the same type.
+            with pytest.raises(QueryError):
+                client.submit(1, 30.0)
+
+    def test_requests_served_counter(self, server):
+        with ClusterClient(*server.address) as client:
+            client.ping()
+            client.ping()
+        assert server.server.requests_served >= 2
+
+
+class TestGenerationStamping:
+    def test_stale_surfaces_without_refresh(self, server, service):
+        with ClusterClient(
+            *server.address, refresh_on_stale=False
+        ) as client:
+            client.ping()  # cache the current generation
+            victim = _non_root_host(client)
+            # Churn behind the client's back (not through this
+            # client, so its cached generation goes stale).
+            service.remove_host(victim)
+            service.add_host(victim)
+            with pytest.raises(StaleGenerationError):
+                client.submit(4, 30.0)
+
+    def test_stale_refreshes_and_recovers(self, server, service):
+        with ClusterClient(*server.address) as client:
+            client.ping()
+            victim = _non_root_host(client)
+            service.remove_host(victim)
+            service.add_host(victim)
+            result = client.submit(4, 30.0)
+            assert result.generation == service.generation
+            assert client.stale_refreshes == 1
+            assert client.generation == service.generation
+
+    def test_batch_stale_refreshes_too(self, server, service):
+        queries = [ClusterQuery(k=3, b=20.0), ClusterQuery(k=4, b=60.0)]
+        with ClusterClient(*server.address) as client:
+            client.ping()
+            victim = _non_root_host(client)
+            service.remove_host(victim)
+            service.add_host(victim)
+            results = client.submit_batch(queries)
+            assert len(results) == 2
+            assert client.stale_refreshes == 1
+
+
+class TestTransport:
+    def test_connect_refused_raises_network_error(self):
+        # Bind-then-close to get a port nobody listens on.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = ClusterClient(
+            "127.0.0.1", port, retries=1, backoff_s=0.01
+        )
+        with pytest.raises(NetworkError, match="attempt"):
+            client.ping()
+
+    def test_reconnects_after_server_side_drop(self, server):
+        client = ClusterClient(*server.address)
+        try:
+            client.ping()
+            # Kill the client's transport out from under it; the next
+            # idempotent request must reconnect and succeed.
+            client._sock.close()
+            client._sock = None
+            assert client.ping() == client.generation
+        finally:
+            client.close()
+
+    def test_oversized_request_fails_client_side(self, server):
+        with ClusterClient(*server.address, max_frame=64) as client:
+            queries = [
+                ClusterQuery(k=3, b=20.0) for _ in range(100)
+            ]
+            with pytest.raises(NetworkError):
+                client.submit_batch(queries)
+
+    def test_malformed_frame_poisons_connection(self, server):
+        raw = socket.create_connection(server.address, timeout=5.0)
+        try:
+            raw.sendall(b"XXGARBAGE-NOT-A-FRAME")
+            header = raw.recv(8)
+            # The server answers with a framed error (request id 0)
+            # before dropping the connection.
+            magic, _version, _codec, length = struct.unpack(
+                "!2sBBI", header
+            )
+            assert magic == b"RB"
+            payload = b""
+            while len(payload) < length:
+                chunk = raw.recv(length - len(payload))
+                if not chunk:
+                    break
+                payload += chunk
+            assert b"error" in payload
+            # ... and then EOF.
+            assert raw.recv(1) == b""
+        finally:
+            raw.close()
+
+
+class TestAsyncClient:
+    def test_async_round_trip(self, server, service):
+        async def scenario():
+            async with AsyncClusterClient(*server.address) as client:
+                generation = await client.ping()
+                snapshot = await client.snapshot()
+                result = await client.submit(4, 30.0)
+                batch = await client.submit_batch(
+                    [ClusterQuery(k=3, b=20.0)]
+                )
+                return generation, snapshot, result, batch
+
+        generation, snapshot, result, batch = asyncio.run(scenario())
+        assert generation == service.generation
+        assert snapshot.host_count == len(service.hosts)
+        direct = service.submit(ClusterQuery(k=4, b=30.0))
+        assert result.cluster == direct.cluster
+        assert len(batch) == 1
+
+    def test_async_stale_refresh(self, server, service):
+        async def scenario():
+            async with AsyncClusterClient(*server.address) as client:
+                await client.ping()
+                snapshot = await client.snapshot()
+                victim = next(
+                    h for h in snapshot.hosts if h != snapshot.root
+                )
+                service.remove_host(victim)
+                service.add_host(victim)
+                result = await client.submit(4, 30.0)
+                return result, client.stale_refreshes
+
+        result, refreshes = asyncio.run(scenario())
+        assert refreshes == 1
+        assert result.generation == service.generation
+
+    def test_async_connect_refused(self):
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+
+        async def scenario():
+            client = AsyncClusterClient(
+                "127.0.0.1", port, retries=0, backoff_s=0.01
+            )
+            await client.ping()
+
+        with pytest.raises(NetworkError):
+            asyncio.run(scenario())
+
+
+class TestPipelining:
+    def test_shared_async_client_serializes_concurrent_use(
+        self, server
+    ):
+        async def scenario():
+            async with AsyncClusterClient(*server.address) as client:
+                return await asyncio.gather(
+                    *(client.ping() for _ in range(5))
+                )
+
+        # Five coroutines share one client; the internal io-lock keeps
+        # them from stealing each other's responses.
+        generations = asyncio.run(scenario())
+        assert len(set(generations)) == 1
+
+    def test_raw_pipelined_requests_echo_ids(self, server):
+        from repro.net.framing import FrameDecoder, encode_frame
+        from repro.net.protocol import (
+            PingRequest,
+            decode_response,
+            encode_request,
+        )
+
+        # Three back-to-back frames before reading anything: the
+        # server spawns a handler per request and echoes each id.
+        raw = socket.create_connection(server.address, timeout=10.0)
+        try:
+            for request_id in (11, 22, 33):
+                raw.sendall(
+                    encode_frame(
+                        encode_request(request_id, PingRequest())
+                    )
+                )
+            decoder = FrameDecoder()
+            messages = []
+            while len(messages) < 3:
+                data = raw.recv(65536)
+                assert data, "server closed before answering"
+                messages.extend(decoder.feed(data))
+            ids = {decode_response(m)[0] for m in messages}
+            assert ids == {11, 22, 33}
+        finally:
+            raw.close()
+
+
+class TestTracing:
+    def test_net_spans_recorded(self, service):
+        store = TraceStore(slow_threshold_s=10.0)
+        tracer = Tracer(store=store)
+        with serve_in_background(service, tracer=tracer) as handle:
+            with ClusterClient(*handle.address) as client:
+                client.ping()
+                client.submit(4, 30.0)
+        names = {
+            span.name
+            for trace in store.traces()
+            for span in trace.root.iter_spans()
+        }
+        assert "net.request" in names
+        assert "net.accept" in names
+
+
+class TestDispatcherHook:
+    def test_client_group_dispatcher_matches_local(
+        self, server, service, dataset
+    ):
+        from repro.core.query import BandwidthClasses
+        from repro.predtree.framework import build_framework
+        from repro.service import ClusterQueryService
+
+        queries = [
+            ClusterQuery(k=3, b=20.0),
+            ClusterQuery(k=5, b=60.0),
+            ClusterQuery(k=4, b=30.0),
+        ]
+        # A second, identical service acts as the local
+        # grouper/merger whose class groups go over the wire.
+        framework = build_framework(dataset.bandwidth, seed=1)
+        local = ClusterQueryService(
+            framework,
+            BandwidthClasses.linear(15.0, 75.0, 5),
+            n_cut=5,
+        )
+        with ClusterClient(*server.address) as client:
+            dispatcher = ClientGroupDispatcher(client)
+            remote = local.submit_batch(
+                queries, dispatcher=dispatcher
+            )
+        direct = service.submit_batch(queries)
+        assert [r.cluster for r in remote] == [
+            r.cluster for r in direct
+        ]

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.extensions",
     "repro.metrics",
+    "repro.net",
     "repro.obs",
     "repro.predtree",
     "repro.service",

@@ -1,0 +1,117 @@
+"""Regression tests for the frozen error wire-code registry.
+
+The integer codes in :mod:`repro.exceptions` ride the network protocol
+(``repro.net`` serializes errors as ``(code, message)``), so they are
+a compatibility surface: the exact mapping below is FROZEN.  If this
+test fails because you renumbered a class, revert — append a new code
+instead.
+"""
+
+import pytest
+
+import repro.exceptions as exc
+from repro.exceptions import (
+    ERROR_CODES,
+    ReproError,
+    StaleGenerationError,
+    error_code,
+    error_from_code,
+)
+
+#: The released mapping.  Append-only; never edit an existing pair.
+FROZEN_CODES = {
+    "ReproError": 1,
+    "ValidationError": 10,
+    "MetricError": 20,
+    "NotATreeMetricError": 21,
+    "TreeConstructionError": 30,
+    "UnknownNodeError": 40,
+    "DatasetError": 50,
+    "QueryError": 60,
+    "UnsupportedConstraintError": 61,
+    "SimulationError": 70,
+    "ExperimentError": 80,
+    "ServiceError": 90,
+    "StaleGenerationError": 91,
+    "TracingError": 100,
+    "LintError": 110,
+    "KernelError": 120,
+    "NetworkError": 130,
+    "FrameError": 131,
+    "ProtocolError": 132,
+    "CoordinatorError": 133,
+}
+
+
+def test_registry_matches_frozen_mapping_exactly():
+    observed = {
+        cls.__name__: code for code, cls in ERROR_CODES.items()
+    }
+    assert observed == FROZEN_CODES, (
+        "error wire codes changed; codes are frozen protocol surface "
+        "— append new codes, never renumber"
+    )
+
+
+def test_codes_are_unique():
+    codes = [cls.code for cls in ERROR_CODES.values()]
+    assert len(codes) == len(set(codes))
+
+
+def test_every_error_class_is_registered():
+    for name in dir(exc):
+        item = getattr(exc, name)
+        if isinstance(item, type) and issubclass(item, ReproError):
+            assert ERROR_CODES[item.code] is item
+
+
+def test_every_class_declares_its_own_code():
+    for cls in ERROR_CODES.values():
+        assert "code" in cls.__dict__, (
+            f"{cls.__name__} inherits its code; subclasses must "
+            "declare their own"
+        )
+
+
+@pytest.mark.parametrize("name,code", sorted(FROZEN_CODES.items()))
+def test_round_trip(name, code):
+    cls = ERROR_CODES[code]
+    error = cls("boom")
+    assert error_code(error) == code
+    assert error_code(cls) == code
+    revived = error_from_code(code, "boom")
+    assert type(revived) is cls
+    # KeyError subclasses repr-quote their message; contains is enough.
+    assert "boom" in str(revived)
+
+
+def test_unknown_code_degrades_to_base_error():
+    revived = error_from_code(999_999, "from the future")
+    assert type(revived) is ReproError
+    assert "from the future" in str(revived)
+
+
+def test_subclass_round_trip_preserves_catchability():
+    revived = error_from_code(StaleGenerationError.code, "stale")
+    assert isinstance(revived, StaleGenerationError)
+    # Callers catching the broader service/base types still work.
+    assert isinstance(revived, exc.ServiceError)
+    assert isinstance(revived, ReproError)
+
+
+def test_duplicate_code_rejected_at_registry_build():
+    import gc
+
+    class Rogue(ReproError):
+        """Test-local subclass colliding with an existing code."""
+
+        code = 10
+
+    try:
+        with pytest.raises(ValueError, match="claimed by both"):
+            exc._build_registry()
+    finally:
+        # Drop the test-local subclass so later registry walks (other
+        # tests, re-imports) never see it via __subclasses__().
+        del Rogue
+        gc.collect()
