@@ -50,6 +50,7 @@ from repro.experiments import (
 )
 from repro.extensions.hub import find_hub
 from repro.lint.cli import add_lint_arguments, run_lint_command
+from repro.lint.rules import rule_id_span as _lint_rule_span
 from repro.obs import TraceStore, Tracer, render_trace_text
 from repro.predtree.framework import build_framework
 from repro.service import (
@@ -206,7 +207,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     lint = sub.add_parser(
         "lint",
-        help="AST invariant checker (rules RPR001-RPR011)",
+        # Derived from the rule registry so it cannot drift.
+        help=f"AST invariant checker (rules {_lint_rule_span()})",
     )
     add_lint_arguments(lint)
 

@@ -4,31 +4,46 @@ The paper's guarantees rest on invariants the type system cannot see:
 distances come from the rational transform and must never be compared
 with float ``==``; simulations must be seeded; the service layer's
 shared state must stay behind its locks; per-query paths must never
-rebuild the overlay.  This package encodes those contracts as an
-executable rule set (``RPR001`` .. ``RPR008``) over Python ASTs, with
+rebuild the overlay; nothing blocking may be reachable from the event
+loop.  This package encodes those contracts as an executable rule set
+over Python ASTs (the registered range is whatever
+:func:`repro.lint.rules.rule_id_span` reports — never trust a
+hardcoded list), with
 
+* a whole-program symbol table + call graph for the cross-module
+  rules (:mod:`repro.lint.graph`), built lazily once per run,
 * per-line ``# repro: noqa[RPRnnn]`` suppressions
   (:mod:`repro.lint.noqa`),
 * a baseline file for grandfathered findings
   (:mod:`repro.lint.baseline`),
 * human and JSON output (:mod:`repro.lint.report`),
 
-wired into ``repro-bcc lint`` and the CI gate.  See DESIGN.md §7 for
-the rule-by-rule rationale and README "Static analysis" for usage.
+wired into ``repro-bcc lint`` and the CI gate.  See DESIGN.md §7/§12
+for the rule-by-rule rationale and README "Static analysis" for usage.
 """
 
 from repro.lint.baseline import Baseline, split_findings
 from repro.lint.engine import LintReport, collect_files, lint_paths
 from repro.lint.findings import Finding
+from repro.lint.graph import ProjectGraph
 from repro.lint.noqa import is_suppressed, suppressed_rules
 from repro.lint.report import render_json, render_text
-from repro.lint.rules import FileContext, Rule, all_rules, rules_by_id
+from repro.lint.rules import (
+    FileContext,
+    ProjectContext,
+    Rule,
+    all_rules,
+    rule_id_span,
+    rules_by_id,
+)
 
 __all__ = [
     "Baseline",
     "FileContext",
     "Finding",
     "LintReport",
+    "ProjectContext",
+    "ProjectGraph",
     "Rule",
     "all_rules",
     "collect_files",
@@ -36,6 +51,7 @@ __all__ = [
     "lint_paths",
     "render_json",
     "render_text",
+    "rule_id_span",
     "rules_by_id",
     "split_findings",
     "suppressed_rules",

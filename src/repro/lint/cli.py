@@ -20,6 +20,7 @@ from repro.exceptions import LintError
 from repro.lint.baseline import Baseline
 from repro.lint.engine import lint_paths
 from repro.lint.report import render_json, render_text
+from repro.lint.rules import rule_id_span
 
 __all__ = ["add_lint_arguments", "run_lint_command", "main"]
 
@@ -99,7 +100,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point for ``python -m repro.lint``."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="AST invariant checker (rules RPR001-RPR008)",
+        # The advertised range comes from the live registry so it can
+        # never drift from the rules that actually run.
+        description=f"AST invariant checker (rules {rule_id_span()})",
     )
     add_lint_arguments(parser)
     args = parser.parse_args(argv)

@@ -25,7 +25,13 @@ from repro.exceptions import LintError
 from repro.lint.baseline import Baseline, split_findings
 from repro.lint.findings import Finding
 from repro.lint.noqa import is_suppressed
-from repro.lint.rules import FileContext, Rule, all_rules, rules_by_id
+from repro.lint.rules import (
+    FileContext,
+    ProjectContext,
+    Rule,
+    all_rules,
+    rules_by_id,
+)
 
 __all__ = ["LintReport", "lint_paths", "collect_files", "parse_file"]
 
@@ -178,11 +184,15 @@ def lint_paths(
         else:
             state.contexts.append(parsed)
 
+    # One shared ProjectContext per run: the call graph inside it is
+    # built lazily on the first graph-rule access and reused by every
+    # later project rule.
+    project = ProjectContext(state.contexts)
     for rule in selected:
         for context in state.contexts:
             if rule.applies_to(context.display):
                 state.findings.extend(rule.check_file(context))
-        state.findings.extend(rule.check_project(state.contexts))
+        state.findings.extend(rule.check_project(project))
 
     by_display = {context.display: context for context in state.contexts}
     kept, suppressed = _apply_noqa(state.findings, by_display)

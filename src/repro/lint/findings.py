@@ -24,7 +24,8 @@ class Finding:
     line / col:
         1-based line and 0-based column of the offending node.
     rule:
-        Rule identifier (``RPR001`` .. ``RPR008``).
+        Rule identifier (``RPRnnn`` — the registered set is reported
+        by :func:`repro.lint.rules.rule_id_span`).
     message:
         Human-readable description of the violation and the fix.
     """

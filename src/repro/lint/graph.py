@@ -1,0 +1,719 @@
+"""Project-wide symbol table and call graph for :mod:`repro.lint`.
+
+The per-file rules see one module at a time, which is exactly as far
+as a single AST reaches.  The invariants that actually protect the
+paper's protocol — no blocking call reachable from a coroutine, no
+lock acquired while holding another in the opposite order, every
+exception that can cross the wire carrying a stable code, no substrate
+mutation on a per-query path — are properties of *call chains that
+cross modules*.  This module builds the shared infrastructure those
+rules (RPR004, RPR011–RPR014) walk:
+
+* a **symbol table** per module: top-level functions, classes with
+  their methods, ``import``/``from``-import aliases (including
+  relative imports), and per-class attribute types inferred from
+  ``self.x = ClassName(...)`` assignments in ``__init__``;
+* a **call graph**: every :class:`ast.Call` inside every definition,
+  resolved through that table — ``self.x()``/``cls.x()`` dispatch to
+  the enclosing class (walking resolvable bases), bare names through
+  local defs, module scope, and from-imports, ``alias.f()`` through
+  module imports, ``self.attr.m()`` through the inferred attribute
+  types, and attribute calls on unknown receivers through a bounded
+  same-package fallback;
+* **traversal helpers** (:meth:`ProjectGraph.callees`,
+  :meth:`ProjectGraph.walk`) that memoize resolution and carry the
+  call path, so findings can show *how* a sink was reached.
+
+Anything dynamic — ``getattr``, callables passed by reference (the
+``run_in_executor`` pattern), lambdas, rebindings — deliberately
+resolves to *nothing*: the graph degrades to "unknown", it never
+guesses, so graph-powered rules can be transitive without inventing
+paths that do not exist.  Construction is lazy (first graph-rule
+query, via :class:`~repro.lint.rules.ProjectContext`) and pure
+standard library, keeping ``python -m repro.lint`` dependency-free.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.rules import FileContext
+
+__all__ = [
+    "CallSite",
+    "ClassInfo",
+    "FunctionInfo",
+    "ModuleInfo",
+    "ProjectGraph",
+    "module_name_for",
+]
+
+#: Path components that anchor module-name derivation: everything
+#: after the last ``src`` (or the first of the others) is the dotted
+#: module path.  Files outside any known root degrade to their stem.
+_SOURCE_ROOTS = ("tests", "scripts", "benchmarks", "examples")
+
+#: Attribute-call fallback only fires when the name is *unambiguous*
+#: within the package: with two or more same-named definitions
+#: (``start``, ``submit_batch``, ...) the receiver's type decides
+#: which one runs, and the graph cannot see types — guessing would
+#: invent call paths (and findings) that do not exist at runtime.
+_MAX_FALLBACK_CANDIDATES = 1
+
+
+def module_name_for(display: str) -> str:
+    """Dotted module name for a file's display path.
+
+    ``src/repro/net/server.py`` → ``repro.net.server``; package
+    ``__init__`` files name the package itself.  Paths outside a
+    recognizable source root (no ``src`` component, none of
+    ``tests``/``scripts``/``benchmarks``) fall back to the bare stem —
+    the graph still works, imports into such modules just resolve less
+    often.
+    """
+    parts = list(PurePosixPath(display).parts)
+    if parts and parts[0] == "/":
+        parts = parts[1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if "src" in parts:
+        parts = parts[len(parts) - parts[::-1].index("src"):]
+    else:
+        for root in _SOURCE_ROOTS:
+            if root in parts:
+                parts = parts[parts.index(root):]
+                break
+        else:
+            parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or "__unknown__"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a definition, pre-classified.
+
+    Attributes
+    ----------
+    node:
+        The :class:`ast.Call` (for finding locations).
+    name:
+        The terminal callee name (``f`` for ``f()``, ``m`` for
+        ``obj.m()``).
+    form:
+        How the callee is written: ``"bare"`` (``f()``), ``"self"``
+        (``self.m()`` / ``cls.m()``), ``"selfattr"``
+        (``self.x.m()``), ``"module"``-candidate (``alias.m()`` — the
+        resolver decides whether *alias* is an imported module), or
+        ``"attr"`` (``something.m()`` on an unresolvable receiver).
+    receiver:
+        The receiver's terminal name (``alias`` / the ``x`` of
+        ``self.x`` / the variable name), or ``None`` for bare calls.
+    """
+
+    node: ast.Call
+    name: str
+    form: str
+    receiver: str | None
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method definition and its outgoing calls."""
+
+    qualname: str
+    name: str
+    module: "ModuleInfo"
+    class_name: str | None
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    is_async: bool
+    parent: "FunctionInfo | None" = None
+    locals_: dict[str, "FunctionInfo"] = field(default_factory=dict)
+    calls: list[CallSite] = field(default_factory=list)
+
+    @property
+    def context(self) -> "FileContext":
+        """The file this definition lives in."""
+        return self.module.context
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: methods, bases, inferred attribute types."""
+
+    qualname: str
+    name: str
+    module: "ModuleInfo"
+    node: ast.ClassDef
+    bases: list[ast.expr] = field(default_factory=list)
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: ``self.x = ClassName(...)`` in ``__init__`` → ``{"x": "ClassName"}``
+    #: (the *syntactic* constructor name; resolved lazily per lookup).
+    attr_constructors: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ModuleInfo:
+    """Symbol table for one parsed module."""
+
+    name: str
+    context: "FileContext"
+    #: ``import x.y as z`` → ``{"z": "x.y"}`` (and ``{"x": "x"}``).
+    imports: dict[str, str] = field(default_factory=dict)
+    #: ``from m import s as a`` → ``{"a": ("m", "s")}``.
+    symbol_imports: dict[str, tuple[str, str]] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """The parent package's dotted name (``""`` for top level)."""
+        return self.name.rsplit(".", 1)[0] if "." in self.name else ""
+
+
+def _classify_call(node: ast.Call) -> CallSite | None:
+    """Pre-classify one call's callee shape (``None`` = dynamic)."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return CallSite(node, func.id, "bare", None)
+    if not isinstance(func, ast.Attribute):
+        return None  # e.g. ``fns[i]()`` — dynamic, unknown
+    value = func.value
+    if isinstance(value, ast.Name):
+        if value.id in ("self", "cls"):
+            return CallSite(node, func.attr, "self", value.id)
+        return CallSite(node, func.attr, "module", value.id)
+    if (
+        isinstance(value, ast.Attribute)
+        and isinstance(value.value, ast.Name)
+        and value.value.id in ("self", "cls")
+    ):
+        return CallSite(node, func.attr, "selfattr", value.attr)
+    # Deeper attribute chains / call results: unknown receiver.
+    receiver = value.attr if isinstance(value, ast.Attribute) else None
+    return CallSite(node, func.attr, "attr", receiver)
+
+
+def _own_statements(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[ast.AST]:
+    """Walk *node*'s body without entering nested defs or lambdas.
+
+    Nested definitions are separate graph nodes (their calls belong to
+    them); a lambda's body is skipped entirely — handing a callable to
+    ``run_in_executor`` or ``Thread(target=...)`` is a reference, not
+    a call, and must never create a graph edge.
+    """
+    stack: list[ast.AST] = list(node.body)
+    while stack:
+        child = stack.pop()
+        if isinstance(
+            child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _constructor_name(value: ast.expr) -> str | None:
+    """``AggregationSubstrate(...)`` → ``"AggregationSubstrate"``."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+class ProjectGraph:
+    """The whole-run symbol table + call graph (see module docstring).
+
+    Build once per lint run via :meth:`build`; resolution is memoized
+    per call site, so repeated traversals by different rules share the
+    work.
+    """
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleInfo] = {}
+        self._functions: dict[str, FunctionInfo] = {}
+        self._callee_cache: dict[
+            int, list[tuple[CallSite, tuple[FunctionInfo, ...]]]
+        ] = {}
+        #: name → same-package fallback candidates, computed lazily.
+        self._fallback_cache: dict[tuple[str, str], tuple[FunctionInfo, ...]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(cls, contexts: Iterable["FileContext"]) -> "ProjectGraph":
+        """Index every context's definitions, imports, and calls."""
+        graph = cls()
+        for context in contexts:
+            graph._index_module(context)
+        return graph
+
+    def _index_module(self, context: "FileContext") -> None:
+        name = module_name_for(context.display)
+        module = ModuleInfo(name=name, context=context)
+        # Last writer wins on duplicate names (e.g. two conftest.py);
+        # cross-module resolution into such modules is best-effort.
+        self.modules[name] = module
+        for node in context.tree.body:
+            self._index_statement(module, node)
+
+    def _index_statement(self, module: ModuleInfo, node: ast.AST) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                bound = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else alias.name.split(".")[0]
+                module.imports[bound] = target
+        elif isinstance(node, ast.ImportFrom):
+            source = self._from_import_source(module, node)
+            if source is not None:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    module.symbol_imports[bound] = (source, alias.name)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            function = self._index_function(module, None, node, None)
+            module.functions[node.name] = function
+        elif isinstance(node, ast.ClassDef):
+            self._index_class(module, node)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # Definitions guarded by TYPE_CHECKING / version checks /
+            # import fallbacks still count as module members.
+            for child in ast.iter_child_nodes(node):
+                self._index_statement(module, child)
+
+    def _from_import_source(
+        self, module: ModuleInfo, node: ast.ImportFrom
+    ) -> str | None:
+        if node.level == 0:
+            return node.module
+        # Relative import: resolve against this module's package.
+        parts = module.name.split(".")
+        if len(parts) < node.level:
+            return None  # beyond the known root — unknown
+        base = parts[: len(parts) - node.level]
+        if node.module:
+            base.append(node.module)
+        return ".".join(base) if base else None
+
+    def _index_class(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        info = ClassInfo(
+            qualname=f"{module.name}.{node.name}",
+            name=node.name,
+            module=module,
+            node=node,
+            bases=list(node.bases),
+        )
+        module.classes[node.name] = info
+        for item in node.body:
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                function = self._index_function(
+                    module, node.name, item, None
+                )
+                info.methods[item.name] = function
+        init = info.methods.get("__init__")
+        if init is not None:
+            for stmt in _own_statements(init.node):
+                targets: list[ast.expr] = []
+                if isinstance(stmt, ast.Assign):
+                    targets = stmt.targets
+                    value: ast.expr | None = stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    targets = [stmt.target]
+                    value = stmt.value
+                else:
+                    continue
+                constructor = (
+                    _constructor_name(value) if value is not None else None
+                )
+                if constructor is None:
+                    continue
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        info.attr_constructors[target.attr] = constructor
+
+    def _index_function(
+        self,
+        module: ModuleInfo,
+        class_name: str | None,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        parent: FunctionInfo | None,
+    ) -> FunctionInfo:
+        if parent is not None:
+            qualname = f"{parent.qualname}.<locals>.{node.name}"
+        elif class_name is not None:
+            qualname = f"{module.name}.{class_name}.{node.name}"
+        else:
+            qualname = f"{module.name}.{node.name}"
+        function = FunctionInfo(
+            qualname=qualname,
+            name=node.name,
+            module=module,
+            class_name=class_name,
+            node=node,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            parent=parent,
+        )
+        self._functions[qualname] = function
+        for child in _own_statements(node):
+            if isinstance(child, ast.Call):
+                site = _classify_call(child)
+                if site is not None:
+                    function.calls.append(site)
+        # Nested defs become their own nodes, resolvable by bare name
+        # from this function (and from their own nesting chain).
+        for child in ast.walk(node):
+            if child is node:
+                continue
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if self._directly_nested_in(node, child):
+                    nested = self._index_function(
+                        module, class_name, child, function
+                    )
+                    function.locals_[child.name] = nested
+        return function
+
+    @staticmethod
+    def _directly_nested_in(
+        outer: ast.FunctionDef | ast.AsyncFunctionDef, candidate: ast.AST
+    ) -> bool:
+        """Whether *candidate* is nested in *outer* with no def between."""
+        stack: list[ast.AST] = list(outer.body)
+        while stack:
+            node = stack.pop()
+            if node is candidate:
+                return True
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+        return False
+
+    # -- lookup -------------------------------------------------------------
+
+    def functions(self) -> Iterator[FunctionInfo]:
+        """Every indexed definition, methods and nested defs included."""
+        return iter(self._functions.values())
+
+    def function(self, qualname: str) -> FunctionInfo | None:
+        """The definition registered under *qualname*, if any."""
+        return self._functions.get(qualname)
+
+    def classes(self) -> Iterator[ClassInfo]:
+        """Every indexed class across all modules."""
+        for module in self.modules.values():
+            yield from module.classes.values()
+
+    def class_named(
+        self, name: str, module: ModuleInfo | None = None
+    ) -> ClassInfo | None:
+        """Resolve a class by syntactic *name* from *module*'s scope.
+
+        Checks the module's own classes, then its from-imports, then —
+        as a last resort — a unique project-wide match.
+        """
+        if module is not None:
+            info = module.classes.get(name)
+            if info is not None:
+                return info
+            imported = module.symbol_imports.get(name)
+            if imported is not None:
+                source, symbol = imported
+                source_module = self.modules.get(source)
+                if source_module is not None:
+                    return source_module.classes.get(symbol)
+                return None
+        matches = [
+            info for info in self.classes() if info.name == name
+        ]
+        return matches[0] if len(matches) == 1 else None
+
+    def _method_on(
+        self, info: ClassInfo, name: str, _seen: set[str] | None = None
+    ) -> FunctionInfo | None:
+        """Look *name* up on *info*, walking resolvable base classes."""
+        seen = _seen if _seen is not None else set()
+        if info.qualname in seen:
+            return None
+        seen.add(info.qualname)
+        method = info.methods.get(name)
+        if method is not None:
+            return method
+        for base in info.bases:
+            base_name: str | None = None
+            if isinstance(base, ast.Name):
+                base_name = base.id
+            elif isinstance(base, ast.Attribute):
+                base_name = base.attr
+            if base_name is None:
+                continue
+            base_info = self.class_named(base_name, info.module)
+            if base_info is not None:
+                found = self._method_on(base_info, name, seen)
+                if found is not None:
+                    return found
+        return None
+
+    def qualified_call(
+        self, site: CallSite, module: ModuleInfo
+    ) -> tuple[str, str] | None:
+        """Canonical ``(module, symbol)`` for an external call, if known.
+
+        ``t.sleep()`` under ``import time as t`` → ``("time",
+        "sleep")``; a bare ``sleep()`` under ``from time import
+        sleep`` → the same.  Returns ``None`` for everything the
+        import table cannot canonicalize — this powers rules that
+        match *library* calls (RPR011's blocking table) independently
+        of aliasing.
+        """
+        if site.form == "bare":
+            imported = module.symbol_imports.get(site.name)
+            if imported is not None:
+                return imported
+            return None
+        if site.form == "module" and site.receiver is not None:
+            target = module.imports.get(site.receiver)
+            if target is not None:
+                return (target, site.name)
+            imported = module.symbol_imports.get(site.receiver)
+            if imported is not None:
+                # ``from x import y; y.f()`` — y may itself be a module.
+                return (f"{imported[0]}.{imported[1]}", site.name)
+        return None
+
+    # -- resolution ---------------------------------------------------------
+
+    def resolve(
+        self, caller: FunctionInfo, site: CallSite
+    ) -> tuple[FunctionInfo, ...]:
+        """Definitions *site* may dispatch to (empty = unknown).
+
+        Multiple results only come from the same-package fallback for
+        attribute calls on unknown receivers; every other form resolves
+        to at most one definition.
+        """
+        if site.form == "bare":
+            return self._resolve_bare(caller, site.name)
+        if site.form == "self":
+            return self._resolve_self(caller, site.name)
+        if site.form == "selfattr":
+            return self._resolve_selfattr(caller, site)
+        if site.form == "module":
+            resolved = self._resolve_module_attr(caller, site)
+            if resolved is not None:
+                # The receiver IS an import alias: either we found the
+                # target (non-empty) or it lives outside the linted
+                # set (empty) — never guess a same-package fallback
+                # for a call that names an external module.
+                return resolved
+            # Not an imported module after all — a local object whose
+            # class we cannot see; same-package fallback.
+            return self._fallback(caller, site.name)
+        if site.form == "attr":
+            return self._fallback(caller, site.name)
+        return ()
+
+    def _resolve_bare(
+        self, caller: FunctionInfo, name: str
+    ) -> tuple[FunctionInfo, ...]:
+        scope: FunctionInfo | None = caller
+        while scope is not None:
+            nested = scope.locals_.get(name)
+            if nested is not None:
+                return (nested,)
+            scope = scope.parent
+        module = caller.module
+        function = module.functions.get(name)
+        if function is not None:
+            return (function,)
+        class_info = module.classes.get(name)
+        if class_info is not None:
+            init = class_info.methods.get("__init__")
+            return (init,) if init is not None else ()
+        imported = module.symbol_imports.get(name)
+        if imported is not None:
+            source, symbol = imported
+            source_module = self.modules.get(source)
+            if source_module is None:
+                return ()
+            function = source_module.functions.get(symbol)
+            if function is not None:
+                return (function,)
+            class_info = source_module.classes.get(symbol)
+            if class_info is not None:
+                init = class_info.methods.get("__init__")
+                return (init,) if init is not None else ()
+        return ()
+
+    def _resolve_self(
+        self, caller: FunctionInfo, name: str
+    ) -> tuple[FunctionInfo, ...]:
+        if caller.class_name is None:
+            return ()
+        info = caller.module.classes.get(caller.class_name)
+        if info is None:
+            return ()
+        method = self._method_on(info, name)
+        return (method,) if method is not None else ()
+
+    def _resolve_selfattr(
+        self, caller: FunctionInfo, site: CallSite
+    ) -> tuple[FunctionInfo, ...]:
+        if caller.class_name is None or site.receiver is None:
+            return self._fallback(caller, site.name)
+        info = caller.module.classes.get(caller.class_name)
+        if info is None:
+            return self._fallback(caller, site.name)
+        constructor = info.attr_constructors.get(site.receiver)
+        if constructor is not None:
+            target = self.class_named(constructor, caller.module)
+            if target is not None:
+                method = self._method_on(target, site.name)
+                if method is not None:
+                    return (method,)
+                return ()  # typed receiver, method unknown: stop here
+        return self._fallback(caller, site.name)
+
+    def _resolve_module_attr(
+        self, caller: FunctionInfo, site: CallSite
+    ) -> tuple[FunctionInfo, ...] | None:
+        """Resolve ``alias.f()`` through the import table.
+
+        Returns ``None`` when the receiver is not an import alias at
+        all (the caller then tries the same-package fallback), and a —
+        possibly empty — tuple when it is: an alias for a module
+        outside the linted set resolves to *nothing*, never to a
+        guessed local definition.
+        """
+        assert site.receiver is not None
+        module = caller.module
+        target_name = module.imports.get(site.receiver)
+        if target_name is None:
+            imported = module.symbol_imports.get(site.receiver)
+            if imported is None:
+                # Receiver may be a local class name used for an
+                # unbound call: ``C.method(instance)``.
+                class_info = module.classes.get(site.receiver)
+                if class_info is not None:
+                    method = self._method_on(class_info, site.name)
+                    return (method,) if method is not None else ()
+                return None
+            source, symbol = imported
+            # ``from pkg import mod`` then ``mod.f()``.
+            candidate = self.modules.get(f"{source}.{symbol}")
+            if candidate is not None:
+                target_name = candidate.name
+            else:
+                # ``from m import C`` then ``C.method(...)``.
+                source_module = self.modules.get(source)
+                if source_module is not None:
+                    class_info = source_module.classes.get(symbol)
+                    if class_info is not None:
+                        method = self._method_on(class_info, site.name)
+                        return (method,) if method is not None else ()
+                return ()
+        target = self.modules.get(target_name)
+        if target is None:
+            return ()
+        function = target.functions.get(site.name)
+        if function is not None:
+            return (function,)
+        class_info = target.classes.get(site.name)
+        if class_info is not None:
+            init = class_info.methods.get("__init__")
+            return (init,) if init is not None else ()
+        return ()
+
+    def _fallback(
+        self, caller: FunctionInfo, name: str
+    ) -> tuple[FunctionInfo, ...]:
+        """The same-package definition for an attribute call on an
+        unknown receiver — only when the name is unambiguous in the
+        package (see :data:`_MAX_FALLBACK_CANDIDATES`)."""
+        package = caller.module.package or caller.module.name
+        key = (package, name)
+        cached = self._fallback_cache.get(key)
+        if cached is not None:
+            return cached
+        candidates: list[FunctionInfo] = []
+        for module in self.modules.values():
+            if module.name != package and not module.name.startswith(
+                package + "."
+            ):
+                continue
+            function = module.functions.get(name)
+            if function is not None:
+                candidates.append(function)
+            for class_info in module.classes.values():
+                method = class_info.methods.get(name)
+                if method is not None:
+                    candidates.append(method)
+        resolved: tuple[FunctionInfo, ...] = (
+            tuple(candidates)
+            if 0 < len(candidates) <= _MAX_FALLBACK_CANDIDATES
+            else ()
+        )
+        self._fallback_cache[key] = resolved
+        return resolved
+
+    # -- traversal ----------------------------------------------------------
+
+    def callees(
+        self, function: FunctionInfo
+    ) -> list[tuple[CallSite, tuple[FunctionInfo, ...]]]:
+        """Resolved outgoing edges of *function* (memoized)."""
+        cached = self._callee_cache.get(id(function))
+        if cached is None:
+            cached = [
+                (site, self.resolve(function, site))
+                for site in function.calls
+            ]
+            self._callee_cache[id(function)] = cached
+        return cached
+
+    def walk(
+        self,
+        entries: Iterable[FunctionInfo],
+        follow: Callable[[FunctionInfo, FunctionInfo], bool] | None = None,
+    ) -> Iterator[tuple[FunctionInfo, tuple[str, ...]]]:
+        """Breadth-first reachability from *entries* with call paths.
+
+        Yields ``(definition, path-of-qualnames)`` for every definition
+        reachable over resolved edges, entries included (recursion and
+        diamonds are visited once — first path wins).  *follow* filters
+        edges: ``follow(caller, callee)`` returning ``False`` prunes
+        that edge (e.g. "do not descend into coroutines").
+        """
+        queue: list[tuple[FunctionInfo, tuple[str, ...]]] = []
+        seen: set[int] = set()
+        for entry in entries:
+            if id(entry) not in seen:
+                seen.add(id(entry))
+                queue.append((entry, (entry.qualname,)))
+        while queue:
+            function, path = queue.pop(0)
+            yield function, path
+            for _site, targets in self.callees(function):
+                for target in targets:
+                    if id(target) in seen:
+                        continue
+                    if follow is not None and not follow(function, target):
+                        continue
+                    seen.add(id(target))
+                    queue.append((target, path + (target.qualname,)))

@@ -5,9 +5,11 @@ Every rule is a subclass of :class:`Rule` registered via
 
 * **file rules** implement :meth:`Rule.check_file` and see one parsed
   module at a time (most rules);
-* **project rules** implement :meth:`Rule.check_project` and see every
-  parsed module in the run at once (RPR004's call-graph walk needs
-  cross-module visibility).
+* **project rules** implement :meth:`Rule.check_project` and see the
+  whole run at once through a :class:`ProjectContext` — every parsed
+  module plus the lazily built whole-program call graph
+  (:class:`repro.lint.graph.ProjectGraph`) that the cross-module
+  rules (RPR004, RPR011–RPR014) walk.
 
 Importing this package imports every rule module, which populates the
 registry as a side effect — :func:`all_rules` is the engine's entry
@@ -21,17 +23,22 @@ import re
 from dataclasses import dataclass
 from importlib import import_module
 from pathlib import Path
-from typing import Callable, ClassVar, Iterable
+from typing import TYPE_CHECKING, Callable, ClassVar, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.graph import ProjectGraph
 
 from repro.exceptions import LintError
 from repro.lint.findings import Finding
 
 __all__ = [
     "FileContext",
+    "ProjectContext",
     "Rule",
     "register",
     "all_rules",
     "rules_by_id",
+    "rule_id_span",
     "RULE_ID_PATTERN",
 ]
 
@@ -77,6 +84,28 @@ class FileContext:
         )
 
 
+class ProjectContext:
+    """Everything a project rule sees: all contexts + the call graph.
+
+    The graph is built **lazily** on first access and shared by every
+    graph-walking rule in the run — a run restricted to per-file rules
+    never pays for graph construction at all.
+    """
+
+    def __init__(self, contexts: list[FileContext]) -> None:
+        self.contexts = contexts
+        self._graph: "ProjectGraph | None" = None
+
+    @property
+    def graph(self) -> "ProjectGraph":
+        """The whole-program call graph, built on first use."""
+        if self._graph is None:
+            from repro.lint.graph import ProjectGraph
+
+            self._graph = ProjectGraph.build(self.contexts)
+        return self._graph
+
+
 class Rule:
     """Base class for all lint rules.
 
@@ -96,9 +125,7 @@ class Rule:
         """Findings for one module; default none."""
         return ()
 
-    def check_project(
-        self, contexts: list[FileContext]
-    ) -> Iterable[Finding]:
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
         """Findings needing the whole run's modules; default none."""
         return ()
 
@@ -122,6 +149,18 @@ def register(rule_class: Callable[[], Rule]) -> Callable[[], Rule]:
 def all_rules() -> list[Rule]:
     """Every registered rule, ordered by id."""
     return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def rule_id_span() -> str:
+    """The advertised rule range, derived from the live registry.
+
+    CLI help strings interpolate this (``"RPR001-RPR014"``) instead of
+    hardcoding a range that drifts every time a rule lands.
+    """
+    ids = sorted(_REGISTRY)
+    if not ids:
+        return "none registered"
+    return ids[0] if len(ids) == 1 else f"{ids[0]}-{ids[-1]}"
 
 
 def rules_by_id(rule_ids: Iterable[str]) -> list[Rule]:
@@ -153,6 +192,9 @@ _RULE_MODULES = (
     "spans",
     "kernelimports",
     "blocking",
+    "lockorder",
+    "wirecontract",
+    "snapshot",
 )
 for _module_name in _RULE_MODULES:
     import_module(f"repro.lint.rules.{_module_name}")

@@ -1,13 +1,19 @@
-"""RPR011 — no blocking calls inside ``async def`` bodies.
+"""RPR011 — no blocking call reachable from an ``async def`` body.
 
 An asyncio server multiplexes every connection onto one event-loop
 thread: a single blocking call inside a coroutine stalls *all*
 connections for its duration, which is exactly the failure mode the
 ``repro.net`` server is designed to avoid (backend work belongs in
-``loop.run_in_executor``).  This rule walks every ``async def`` and
-flags calls that are blocking by construction:
+``loop.run_in_executor``).  The original rule only looked at calls
+written *directly* inside ``async def`` bodies; a coroutine calling a
+sync helper that calls ``time.sleep`` passed clean.  This version is
+**transitive**: it walks the whole-program call graph
+(:mod:`repro.lint.graph`) from every coroutine through sync-call
+chains — across modules, through ``self.``-dispatch and imports — and
+flags any reachable call that is blocking by construction:
 
-* ``time.sleep`` (use ``await asyncio.sleep``);
+* ``time.sleep`` (use ``await asyncio.sleep``), however it is
+  imported (``from time import sleep``, ``import time as t``);
 * synchronous socket operations — ``socket.create_connection``, or
   ``.recv`` / ``.send`` / ``.sendall`` / ``.accept`` / ``.connect``
   on a socket-like receiver (use asyncio streams);
@@ -15,11 +21,16 @@ flags calls that are blocking by construction:
   ``check_call`` / ``check_output`` (use
   ``asyncio.create_subprocess_exec``).
 
-Nested synchronous ``def`` functions inside a coroutine are *not*
-flagged: defining a helper is free, and the legitimate pattern —
-handing it to ``run_in_executor`` — is precisely how blocking work
-should leave the loop.  Scoped to ``repro/net/`` where the event loop
-lives.
+The finding message carries the call path from the coroutine to the
+blocking site, so the fix target is obvious even three modules away.
+
+What is deliberately *not* flagged: callables passed by reference
+(``loop.run_in_executor(None, helper)`` — a reference, not a call),
+lambda bodies (same pattern), and chains that pass through another
+coroutine (`await other()` — the callee is analyzed as its own
+entry).  The rule runs project-wide, no longer scoped to
+``repro/net/``: the event loop does not care which package a blocking
+helper was defined in.
 """
 
 from __future__ import annotations
@@ -28,11 +39,10 @@ import ast
 from typing import Iterable
 
 from repro.lint.findings import Finding
-from repro.lint.rules import FileContext, Rule, register
+from repro.lint.graph import CallSite, FunctionInfo, ModuleInfo, ProjectGraph
+from repro.lint.rules import ProjectContext, Rule, register
 
 __all__ = ["BlockingInAsyncRule"]
-
-SCOPES = ("repro/net/",)
 
 #: ``module.function`` calls that block the calling thread.
 _BLOCKING_QUALIFIED = {
@@ -55,76 +65,105 @@ _SOCKET_METHODS = {
 }
 _SOCKETISH_NAMES = {"sock", "socket", "conn", "connection", "client"}
 
-_AsyncDef = ast.AsyncFunctionDef
 
+def _blocking_reason(
+    site: CallSite, module: ModuleInfo, graph: ProjectGraph
+) -> str | None:
+    """Why *site* blocks the calling thread, or ``None`` if it does not.
 
-def _blocking_reason(node: ast.Call) -> str | None:
-    """Why *node* blocks the event loop, or ``None`` if it does not."""
-    func = node.func
+    Canonicalizes the callee through the module's import table first,
+    so ``from time import sleep`` and ``import time as t; t.sleep``
+    are both recognized.  Calls that resolve to a project definition
+    are never "blocking by construction" — the walk descends into them
+    instead.
+    """
+    qualified = graph.qualified_call(site, module)
+    if qualified is not None:
+        hint = _BLOCKING_QUALIFIED.get(qualified)
+        if hint is not None:
+            return (
+                f"{qualified[0]}.{qualified[1]}() blocks the event "
+                f"loop; {hint}"
+            )
+    func = site.node.func
     if isinstance(func, ast.Attribute) and isinstance(
         func.value, ast.Name
     ):
-        hint = _BLOCKING_QUALIFIED.get((func.value.id, func.attr))
+        hint = _BLOCKING_QUALIFIED.get((func.value.id, site.name))
         if hint is not None:
             return (
-                f"{func.value.id}.{func.attr}() blocks the event "
+                f"{func.value.id}.{site.name}() blocks the event "
                 f"loop; {hint}"
             )
         if (
-            func.attr in _SOCKET_METHODS
+            site.name in _SOCKET_METHODS
             and func.value.id.lower() in _SOCKETISH_NAMES
         ):
             return (
-                f"synchronous socket call .{func.attr}() blocks the "
+                f"synchronous socket call .{site.name}() blocks the "
                 "event loop; use asyncio streams or run_in_executor"
             )
     return None
 
 
-def _async_body_calls(
-    function: _AsyncDef,
-) -> Iterable[ast.Call]:
-    """Calls lexically inside *function*'s own async body.
-
-    Descends statements and expressions but stops at nested function
-    definitions (sync helpers destined for ``run_in_executor`` are
-    fine; nested ``async def`` bodies are visited when the outer walk
-    reaches them as statements of the module walk).
-    """
-    stack: list[ast.AST] = list(function.body)
-    while stack:
-        node = stack.pop()
-        if isinstance(
-            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
-        ):
-            continue
-        if isinstance(node, ast.Call):
-            yield node
-        stack.extend(ast.iter_child_nodes(node))
+def _is_project_resolved(
+    site: CallSite, function: FunctionInfo, graph: ProjectGraph
+) -> bool:
+    return bool(graph.resolve(function, site))
 
 
 @register
 class BlockingInAsyncRule(Rule):
-    """Flag blocking calls written directly inside coroutine bodies."""
+    """Flag blocking calls reachable from coroutines, with the path."""
 
     rule_id = "RPR011"
     summary = (
-        "no blocking calls (time.sleep, sync sockets, subprocess) "
-        "inside async def bodies"
+        "no blocking call (time.sleep, sync sockets, subprocess) "
+        "reachable from an async def through any sync-call chain"
     )
 
-    def applies_to(self, display: str) -> bool:
-        return any(scope in display for scope in SCOPES)
-
-    def check_file(self, context: FileContext) -> Iterable[Finding]:
-        for node in ast.walk(context.tree):
-            if not isinstance(node, ast.AsyncFunctionDef):
-                continue
-            for call in _async_body_calls(node):
-                reason = _blocking_reason(call)
-                if reason is not None:
-                    yield context.finding(
-                        call,
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        graph = project.graph
+        entries = [
+            function
+            for function in graph.functions()
+            if function.is_async
+        ]
+        if not entries:
+            return
+        reported: set[tuple[str, str, int]] = set()
+        for entry in entries:
+            # Walk sync-call chains only: a coroutine callee is its
+            # own entry and handles its own body.
+            for function, path in graph.walk(
+                [entry], follow=lambda _c, callee: not callee.is_async
+            ):
+                for site, _targets in graph.callees(function):
+                    reason = _blocking_reason(
+                        site, function.module, graph
+                    )
+                    if reason is None:
+                        continue
+                    if _is_project_resolved(site, function, graph):
+                        # A project helper that merely shares a name
+                        # with a blocking API — the walk descends into
+                        # the real definition instead.
+                        continue
+                    key = (
+                        entry.qualname,
+                        function.context.display,
+                        site.node.lineno,
+                    )
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    if function is entry:
+                        via = ""
+                    else:
+                        via = f" via {' -> '.join(path)}"
+                    yield function.context.finding(
+                        site.node,
                         self.rule_id,
-                        f"in async def {node.name}: {reason}",
+                        f"in async def {entry.name}: {reason}"
+                        f"{via}",
                     )

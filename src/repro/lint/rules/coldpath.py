@@ -3,26 +3,31 @@
 PR 1's service layer exists so that the expensive artifacts — the
 prediction framework and full distance/bandwidth matrices — are built
 *once* and kept alive across queries; per-query work must be table
-lookups plus local cluster extraction.  This rule walks a simple
-intra-package call graph over ``repro/service/`` starting from the
+lookups plus local cluster extraction.  This rule walks the
+whole-program call graph (:mod:`repro.lint.graph`) starting from the
 per-query entry points (every public method of the classes in
 ``service/core.py`` and ``service/executor.py`` except ``__init__``)
 and flags any reachable call to a cold-path constructor
 (``build_framework``, ``BandwidthPredictionFramework``, full matrix
 rebuilds).
 
-Resolution is name-based (``self.x()`` → same class; bare/attribute
-names → any same-package definition), which is exactly as strong as
-the invariant needs: the service package is small and flat by design.
+The walk is confined to definitions inside ``repro/service/``: the
+substrate (``repro.core``) rebuilds *by design* under its own lock on
+first adoption, and the service's contract is exactly that it reaches
+that machinery only through the memoized substrate — never by
+constructing frameworks or matrices on its own query path.  Earlier
+versions of this rule hand-rolled a name-based walk; it now shares
+the project symbol table, so ``self.x()`` dispatches to the real
+class and imports resolve instead of matching on bare names.
 """
 
 from __future__ import annotations
 
-import ast
 from typing import Iterable
 
 from repro.lint.findings import Finding
-from repro.lint.rules import FileContext, Rule, register
+from repro.lint.graph import FunctionInfo
+from repro.lint.rules import ProjectContext, Rule, register
 
 __all__ = ["ColdPathRule"]
 
@@ -42,64 +47,6 @@ COLD_CALLS = frozenset(
 )
 
 
-def _callee_name(call: ast.Call) -> tuple[str, bool]:
-    """``(name, via_self)`` for a call's terminal callee name."""
-    func = call.func
-    if isinstance(func, ast.Name):
-        return func.id, False
-    if isinstance(func, ast.Attribute):
-        via_self = (
-            isinstance(func.value, ast.Name) and func.value.id == "self"
-        )
-        return func.attr, via_self
-    return "", False
-
-
-class _Definition:
-    """One function/method definition and the calls inside it."""
-
-    def __init__(
-        self,
-        context: FileContext,
-        class_name: str | None,
-        node: ast.FunctionDef | ast.AsyncFunctionDef,
-    ) -> None:
-        self.context = context
-        self.class_name = class_name
-        self.node = node
-        self.calls: list[tuple[str, bool, ast.Call]] = []
-        for inner in ast.walk(node):
-            if isinstance(inner, ast.Call):
-                name, via_self = _callee_name(inner)
-                if name:
-                    self.calls.append((name, via_self, inner))
-
-    @property
-    def qualified(self) -> str:
-        if self.class_name:
-            return f"{self.class_name}.{self.node.name}"
-        return self.node.name
-
-
-def _collect_definitions(
-    contexts: list[FileContext],
-) -> list[_Definition]:
-    definitions: list[_Definition] = []
-    for context in contexts:
-        for node in context.tree.body:
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                definitions.append(_Definition(context, None, node))
-            elif isinstance(node, ast.ClassDef):
-                for item in node.body:
-                    if isinstance(
-                        item, (ast.FunctionDef, ast.AsyncFunctionDef)
-                    ):
-                        definitions.append(
-                            _Definition(context, node.name, item)
-                        )
-    return definitions
-
-
 @register
 class ColdPathRule(Rule):
     """Flag cold-path constructors reachable from per-query paths."""
@@ -110,70 +57,43 @@ class ColdPathRule(Rule):
         "per-query paths (keep the overlay alive)"
     )
 
-    def check_project(
-        self, contexts: list[FileContext]
-    ) -> Iterable[Finding]:
-        service = [
-            context
-            for context in contexts
-            if PACKAGE_SCOPE in context.display
-        ]
-        if not service:
-            return
-        definitions = _collect_definitions(service)
-        by_name: dict[str, list[_Definition]] = {}
-        for definition in definitions:
-            by_name.setdefault(definition.node.name, []).append(definition)
-            # ``ClassName(...)`` runs ``ClassName.__init__`` — resolve
-            # in-package instantiations to the constructor body.
-            if definition.node.name == "__init__" and definition.class_name:
-                by_name.setdefault(definition.class_name, []).append(
-                    definition
-                )
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        graph = project.graph
+
+        def in_service(function: FunctionInfo) -> bool:
+            return PACKAGE_SCOPE in function.context.display
 
         entries = [
-            definition
-            for definition in definitions
-            if definition.class_name is not None
-            and not definition.node.name.startswith("_")
+            function
+            for function in graph.functions()
+            if in_service(function)
+            and function.class_name is not None
+            and function.parent is None
+            and not function.name.startswith("_")
             and any(
-                module in definition.context.display
+                module in function.context.display
                 for module in ENTRY_MODULES
             )
         ]
-
-        # Breadth-first reachability over name-resolved edges, keeping
-        # the first call chain that reaches each definition for the
-        # finding message.
-        queue: list[tuple[_Definition, tuple[str, ...]]] = [
-            (entry, (entry.qualified,)) for entry in entries
-        ]
-        seen: set[int] = {id(entry) for entry in entries}
+        if not entries:
+            return
         reported: set[tuple[str, int]] = set()
-        while queue:
-            definition, chain = queue.pop(0)
-            for name, via_self, call in definition.calls:
-                if name in COLD_CALLS:
-                    key = (definition.context.display, call.lineno)
-                    if key not in reported:
-                        reported.add(key)
-                        yield definition.context.finding(
-                            call,
-                            self.rule_id,
-                            f"cold-path call {name}() reachable from "
-                            f"per-query entry point via "
-                            f"{' -> '.join(chain)} — build once at "
-                            "service construction, serve from the "
-                            "live overlay",
-                        )
+        for function, path in graph.walk(
+            entries, follow=lambda _caller, callee: in_service(callee)
+        ):
+            for site, _targets in graph.callees(function):
+                if site.name not in COLD_CALLS:
                     continue
-                for target in by_name.get(name, []):
-                    if via_self and (
-                        target.class_name != definition.class_name
-                    ):
-                        continue
-                    if id(target) not in seen:
-                        seen.add(id(target))
-                        queue.append(
-                            (target, chain + (target.qualified,))
-                        )
+                key = (function.context.display, site.node.lineno)
+                if key in reported:
+                    continue
+                reported.add(key)
+                yield function.context.finding(
+                    site.node,
+                    self.rule_id,
+                    f"cold-path call {site.name}() reachable from "
+                    f"per-query entry point via "
+                    f"{' -> '.join(path)} — build once at "
+                    "service construction, serve from the "
+                    "live overlay",
+                )

@@ -8,6 +8,11 @@ The rule is heuristic: it flags equality comparisons where either
 operand's name looks like a bandwidth/distance quantity (``bw``,
 ``dist*``, ``d_*``, ``delta*``, ``eps*``).  Use :func:`math.isclose`
 (or a tolerance helper such as ``numpy.isclose``) instead.
+
+Test code is exempt: in the suite, exact equality on these quantities
+is routinely the *property under test* (bit-identical kernel parity,
+exact tree-metric embedding on perfect inputs), so the heuristic
+would mostly flag deliberate assertions there.
 """
 
 from __future__ import annotations
@@ -60,6 +65,11 @@ class FloatEqualityRule(Rule):
         "no exact ==/!= between bandwidth/distance floats; "
         "use math.isclose or a tolerance helper"
     )
+
+    def applies_to(self, display: str) -> bool:
+        # Exact equality in tests is usually the assertion itself
+        # (bit-identical parity, exact embedding) — see module notes.
+        return "tests/" not in display
 
     def check_file(self, context: FileContext) -> Iterable[Finding]:
         for node in ast.walk(context.tree):

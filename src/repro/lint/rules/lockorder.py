@@ -1,0 +1,332 @@
+"""RPR012 — cross-module lock-order discipline (deadlock risk).
+
+The codebase now holds locks in five places — the service's
+``_membership_lock``, the generation memo and LRU cache locks, the
+coordinator's slot/stats locks, the substrate's ``RLock``, and the
+kernel ``SpaceTable`` locks — and several call chains cross between
+them (membership changes walk lock → memo → substrate).  That is fine
+exactly as long as every chain acquires locks in one global order; a
+single chain acquiring them in the opposite order is a deadlock that
+no test will reliably reproduce.
+
+This rule makes the ordering mechanical.  It extracts every lock
+**identity** — ``self.x = threading.Lock()/RLock()/Condition()`` (or
+``asyncio.Lock()``) in an ``__init__``, keyed ``(Class, attr)``, plus
+module-level ``x = Lock()`` assignments keyed ``(module, x)`` — then
+builds the **acquired-while-held graph**: inside every ``with
+self.<lock>:`` (or ``async with``) block it walks the whole-program
+call graph through the block's calls and records an edge to every
+lock acquired by any transitively reached function.  Re-acquiring the
+*same* identity is ignored (the repo's reentrant paths use ``RLock``
+deliberately).  Any cycle in the resulting digraph — including the
+two-edge cycle that is "inconsistent ordering" — is flagged on every
+participating acquisition, with the call path that closes the cycle.
+
+Limitations, on purpose: lock identity is per *class attribute*, not
+per instance (two instances of one class locking each other in
+opposite orders is invisible); locks held through non-``with``
+acquire/release pairs are not tracked (the repo has none — RPR009's
+span discipline has the same shape).  Degrades to "no edge", never
+guesses.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.graph import FunctionInfo, ProjectGraph
+from repro.lint.rules import ProjectContext, Rule, register
+
+__all__ = ["LockOrderRule"]
+
+_LOCK_CONSTRUCTORS = frozenset({"Lock", "RLock", "Condition"})
+
+#: A lock identity: ``(owner, attr)`` — owner is ``module.Class`` for
+#: instance locks, the module name for module-level locks.
+_LockId = tuple[str, str]
+
+
+def _is_lock_construction(value: ast.expr) -> bool:
+    if not isinstance(value, ast.Call):
+        return False
+    func = value.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in _LOCK_CONSTRUCTORS
+    if isinstance(func, ast.Name):
+        return func.id in _LOCK_CONSTRUCTORS
+    return False
+
+
+def _self_attribute(node: ast.AST) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("self", "cls")
+    ):
+        return node.attr
+    return None
+
+
+def _collect_lock_ids(graph: ProjectGraph) -> set[_LockId]:
+    """Every lock identity defined anywhere in the linted set."""
+    locks: set[_LockId] = set()
+    for module in graph.modules.values():
+        for node in module.context.tree.body:
+            if isinstance(node, ast.Assign) and _is_lock_construction(
+                node.value
+            ):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        locks.add((module.name, target.id))
+        for class_info in module.classes.values():
+            init = class_info.methods.get("__init__")
+            if init is None:
+                continue
+            for stmt in ast.walk(init.node):
+                value: ast.expr | None = None
+                targets: list[ast.expr] = []
+                if isinstance(stmt, ast.Assign):
+                    value, targets = stmt.value, stmt.targets
+                elif isinstance(stmt, ast.AnnAssign):
+                    value, targets = stmt.value, [stmt.target]
+                if value is None or not _is_lock_construction(value):
+                    continue
+                for target in targets:
+                    attr = _self_attribute(target)
+                    if attr is not None:
+                        locks.add((class_info.qualname, attr))
+    return locks
+
+
+def _acquisitions_in(
+    function: FunctionInfo, locks: set[_LockId]
+) -> Iterator[tuple[_LockId, ast.With | ast.AsyncWith]]:
+    """Lock acquisitions (``with self.<lock>:`` / ``with <lock>:``)
+    lexically inside *function* (not inside nested defs)."""
+    stack: list[ast.AST] = list(function.node.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                lock_id = _lock_id_of(item.context_expr, function, locks)
+                if lock_id is not None:
+                    yield lock_id, node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _lock_id_of(
+    expr: ast.expr, function: FunctionInfo, locks: set[_LockId]
+) -> _LockId | None:
+    attr = _self_attribute(expr)
+    if attr is not None and function.class_name is not None:
+        candidate = (
+            f"{function.module.name}.{function.class_name}",
+            attr,
+        )
+        if candidate in locks:
+            return candidate
+    if isinstance(expr, ast.Name):
+        candidate = (function.module.name, expr.id)
+        if candidate in locks:
+            return candidate
+    return None
+
+
+@register
+class LockOrderRule(Rule):
+    """Flag cyclic/inconsistent lock acquisition orders project-wide."""
+
+    rule_id = "RPR012"
+    summary = (
+        "lock acquisition order must be globally consistent: no "
+        "cycle in the acquired-while-held graph"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        graph = project.graph
+        locks = _collect_lock_ids(graph)
+        if not locks:
+            return
+        # edges[(a, b)] = (context, with-node, path description)
+        edges: dict[
+            tuple[_LockId, _LockId], tuple[FunctionInfo, ast.AST, str]
+        ] = {}
+        for function in list(graph.functions()):
+            for held, with_node in _acquisitions_in(function, locks):
+                self._record_edges(
+                    graph, function, held, with_node, locks, edges
+                )
+        adjacency: dict[_LockId, set[_LockId]] = {}
+        for (held, inner) in edges:
+            adjacency.setdefault(held, set()).add(inner)
+        cyclic = _locks_in_cycles(adjacency)
+        for (held, inner), (function, with_node, via) in sorted(
+            edges.items(),
+            key=lambda item: (
+                item[1][0].context.display,
+                item[1][1].lineno,
+            ),
+        ):
+            if held in cyclic and inner in cyclic and _on_cycle(
+                adjacency, held, inner
+            ):
+                yield function.context.finding(
+                    with_node,
+                    self.rule_id,
+                    f"lock order cycle: {_render(held)} is held here "
+                    f"while {_render(inner)} is acquired{via}, but "
+                    "another chain acquires them in the opposite "
+                    "order — pick one global order (deadlock risk)",
+                )
+
+    def _record_edges(
+        self,
+        graph: ProjectGraph,
+        function: FunctionInfo,
+        held: _LockId,
+        with_node: ast.With | ast.AsyncWith,
+        locks: set[_LockId],
+        edges: dict[
+            tuple[_LockId, _LockId], tuple[FunctionInfo, ast.AST, str]
+        ],
+    ) -> None:
+        # Direct: a nested ``with`` inside this block's subtree.
+        for node in ast.walk(with_node):
+            if node is with_node:
+                continue
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    inner = _lock_id_of(item.context_expr, function, locks)
+                    if inner is not None and inner != held:
+                        edges.setdefault(
+                            (held, inner), (function, with_node, "")
+                        )
+        # Transitive: locks acquired by anything the block calls.
+        body_calls = self._calls_under(function, with_node)
+        entry_targets: list[tuple[FunctionInfo, str]] = []
+        for site, targets in graph.callees(function):
+            if site.node in body_calls:
+                for target in targets:
+                    entry_targets.append((target, target.qualname))
+        seen: set[int] = set()
+        queue: list[tuple[FunctionInfo, tuple[str, ...]]] = []
+        for target, qualname in entry_targets:
+            if id(target) not in seen:
+                seen.add(id(target))
+                queue.append((target, (function.qualname, qualname)))
+        while queue:
+            reached, path = queue.pop(0)
+            for inner, _node in _acquisitions_in(reached, locks):
+                if inner != held:
+                    via = f" (via {' -> '.join(path)})"
+                    edges.setdefault(
+                        (held, inner), (function, with_node, via)
+                    )
+            for _site, targets in graph.callees(reached):
+                for target in targets:
+                    if id(target) not in seen:
+                        seen.add(id(target))
+                        queue.append(
+                            (target, path + (target.qualname,))
+                        )
+
+    @staticmethod
+    def _calls_under(
+        function: FunctionInfo, with_node: ast.With | ast.AsyncWith
+    ) -> set[ast.Call]:
+        calls: set[ast.Call] = set()
+        stack: list[ast.AST] = list(with_node.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(node, ast.Call):
+                calls.add(node)
+            stack.extend(ast.iter_child_nodes(node))
+        return calls
+
+
+def _render(lock_id: _LockId) -> str:
+    owner, attr = lock_id
+    return f"{owner}.{attr}"
+
+
+def _locks_in_cycles(
+    adjacency: dict[_LockId, set[_LockId]]
+) -> set[_LockId]:
+    """Nodes on some cycle: members of non-trivial SCCs (iterative
+    Tarjan)."""
+    index: dict[_LockId, int] = {}
+    lowlink: dict[_LockId, int] = {}
+    on_stack: set[_LockId] = set()
+    stack: list[_LockId] = []
+    counter = [0]
+    cyclic: set[_LockId] = set()
+    nodes = set(adjacency) | {
+        inner for targets in adjacency.values() for inner in targets
+    }
+
+    for root in nodes:
+        if root in index:
+            continue
+        work: list[tuple[_LockId, Iterator[_LockId]]] = []
+        index[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        work.append((root, iter(adjacency.get(root, ()))))
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = lowlink[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(adjacency.get(succ, ()))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: list[_LockId] = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1:
+                    cyclic.update(component)
+    return cyclic
+
+
+def _on_cycle(
+    adjacency: dict[_LockId, set[_LockId]], held: _LockId, inner: _LockId
+) -> bool:
+    """Whether the edge ``held → inner`` closes a cycle (inner reaches
+    held back)."""
+    seen = {inner}
+    queue = [inner]
+    while queue:
+        node = queue.pop(0)
+        if node == held:
+            return True
+        for succ in adjacency.get(node, ()):
+            if succ not in seen:
+                seen.add(succ)
+                queue.append(succ)
+    return False

@@ -1,0 +1,229 @@
+"""RPR013 — every error that can cross the wire carries a stable code.
+
+``repro.net`` serializes errors as ``(code, message)`` pairs — never
+class names — so the client can re-raise the exact type
+(:func:`repro.exceptions.error_from_code`).  That round trip only
+works for exception classes registered in ``repro/exceptions.py``
+with their own frozen ``code``.  An exception defined anywhere else
+(or a raised builtin) still *travels*: the server's blanket handler
+wraps it as a generic internal error, so the client silently loses
+the type — a new error class can degrade the wire contract without
+any test failing.
+
+This rule closes that hole mechanically.  It computes the **coded
+set** — classes in the exceptions module that subclass ``ReproError``
+and declare their own ``code`` in the class body — then walks the
+whole-program call graph from every handler defined in the
+``repro.net`` server and protocol modules, across sync and async
+edges, and inspects every ``raise`` statement in every reachable
+function:
+
+* raising a coded class (resolved through imports/aliases): fine;
+* raising a project class *not* in the coded set: flagged — move it
+  to ``repro/exceptions.py`` with its own code (or subclass one);
+* raising a builtin (``ValueError``, ``RuntimeError``, ...): flagged
+  — it reaches the client as a typeless internal error;
+* bare ``raise``, ``raise`` of a variable, and anything unresolvable:
+  skipped (degrade to unknown, never false-positive).
+
+``asyncio.CancelledError`` / ``StopIteration`` / ``StopAsyncIteration``
+are exempt: they are control flow the event loop consumes, not wire
+errors.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.graph import FunctionInfo, ModuleInfo, ProjectGraph
+from repro.lint.rules import ProjectContext, Rule, register
+
+__all__ = ["WireContractRule"]
+
+#: Modules whose definitions are the wire entry points.
+ENTRY_MODULE_SUFFIXES = ("net.server", "net.protocol")
+
+#: The module holding the coded exception registry.
+EXCEPTIONS_MODULE_SUFFIX = "exceptions"
+
+#: Root class of the coded hierarchy.
+ROOT_ERROR = "ReproError"
+
+#: Builtin exceptions whose raise is event-loop control flow.
+_CONTROL_FLOW = frozenset(
+    {"CancelledError", "StopIteration", "StopAsyncIteration",
+     "GeneratorExit", "KeyboardInterrupt", "SystemExit"}
+)
+
+#: Builtin exception names (flagged when raised on a wire path).
+_BUILTIN_ERRORS = frozenset(
+    name
+    for name in dir(builtins)
+    if isinstance(getattr(builtins, name), type)
+    and issubclass(getattr(builtins, name), BaseException)
+) - _CONTROL_FLOW
+
+
+def _coded_classes(graph: ProjectGraph) -> tuple[set[str], ModuleInfo | None]:
+    """Names of exception classes with their own stable wire code.
+
+    A class qualifies when it lives in the exceptions module,
+    (transitively) subclasses ``ReproError`` within that module, and
+    assigns ``code`` in its own class body.
+    """
+    module = None
+    for name, info in graph.modules.items():
+        if name == EXCEPTIONS_MODULE_SUFFIX or name.endswith(
+            "." + EXCEPTIONS_MODULE_SUFFIX
+        ):
+            module = info
+            break
+    if module is None:
+        return set(), None
+    # Subclass closure of ReproError within the module.
+    children: dict[str, list[str]] = {}
+    for class_info in module.classes.values():
+        for base in class_info.node.bases:
+            base_name = (
+                base.id
+                if isinstance(base, ast.Name)
+                else base.attr if isinstance(base, ast.Attribute) else None
+            )
+            if base_name is not None:
+                children.setdefault(base_name, []).append(class_info.name)
+    reachable = {ROOT_ERROR}
+    queue = [ROOT_ERROR]
+    while queue:
+        parent = queue.pop(0)
+        for child in children.get(parent, ()):
+            if child not in reachable:
+                reachable.add(child)
+                queue.append(child)
+    coded: set[str] = set()
+    for name in reachable:
+        class_info = module.classes.get(name)
+        if class_info is None:
+            continue
+        for stmt in class_info.node.body:
+            target = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+            elif isinstance(stmt, ast.AnnAssign):
+                target = stmt.target
+            if isinstance(target, ast.Name) and target.id == "code":
+                coded.add(name)
+                break
+    return coded, module
+
+
+def _raised_name(node: ast.Raise) -> str | None:
+    """The syntactic class name a ``raise`` statement names, if any."""
+    exc = node.exc
+    if exc is None:
+        return None  # bare re-raise
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    if isinstance(exc, ast.Name):
+        return exc.id
+    if isinstance(exc, ast.Attribute):
+        return exc.attr
+    return None
+
+
+def _raises_in(function: FunctionInfo) -> Iterable[ast.Raise]:
+    stack: list[ast.AST] = list(function.node.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        if isinstance(node, ast.Raise):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class WireContractRule(Rule):
+    """Flag uncoded exceptions raisable on wire-reachable paths."""
+
+    rule_id = "RPR013"
+    summary = (
+        "exceptions raisable from repro.net handlers must carry a "
+        "stable wire code in repro.exceptions"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        graph = project.graph
+        coded, exceptions_module = _coded_classes(graph)
+        if exceptions_module is None:
+            return  # no registry in this run — nothing to check against
+        entries = [
+            function
+            for function in graph.functions()
+            if any(
+                function.module.name == suffix
+                or function.module.name.endswith("." + suffix)
+                for suffix in ENTRY_MODULE_SUFFIXES
+            )
+        ]
+        if not entries:
+            return
+        reported: set[tuple[str, int]] = set()
+        for function, path in graph.walk(entries):
+            for raise_node in _raises_in(function):
+                name = _raised_name(raise_node)
+                if name is None or name in _CONTROL_FLOW:
+                    continue
+                message = self._violation(name, function, graph, coded)
+                if message is None:
+                    continue
+                key = (function.context.display, raise_node.lineno)
+                if key in reported:
+                    continue
+                reported.add(key)
+                via = (
+                    f" (reachable via {' -> '.join(path)})"
+                    if len(path) > 1
+                    else ""
+                )
+                yield function.context.finding(
+                    raise_node, self.rule_id, message + via
+                )
+
+    def _violation(
+        self,
+        name: str,
+        function: FunctionInfo,
+        graph: ProjectGraph,
+        coded: set[str],
+    ) -> str | None:
+        """Why raising *name* here breaks the contract (None = fine)."""
+        if name in coded:
+            return None
+        # Resolve through the raising module's import table: an
+        # aliased import of a coded class is still coded.
+        imported = function.module.symbol_imports.get(name)
+        if imported is not None:
+            _source, symbol = imported
+            if symbol in coded:
+                return None
+            name = symbol
+        class_info = graph.class_named(name, function.module)
+        if class_info is not None:
+            return (
+                f"exception {name} is raisable from a repro.net "
+                "handler but has no stable wire code — define it in "
+                "repro/exceptions.py with its own `code` so clients "
+                "do not receive a typeless internal error"
+            )
+        if name in _BUILTIN_ERRORS:
+            return (
+                f"builtin {name} is raisable from a repro.net handler "
+                "and would cross the wire as a generic internal error "
+                "— raise a coded repro.exceptions type instead"
+            )
+        return None  # unresolvable → unknown, never a false positive

@@ -1,0 +1,499 @@
+"""Unit tests for :mod:`repro.lint.graph` — the symbol table and
+whole-program call graph the cross-module rules walk.
+
+The graph's contract is asymmetric on purpose: resolvable static
+constructs (imports, ``self.`` dispatch, nested defs) must resolve to
+the *one* real definition, while anything dynamic must degrade to
+"unknown" — an empty resolution, never a guess, never a crash — so the
+transitive rules (RPR011–RPR014) cannot invent call paths.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from pathlib import Path
+
+from repro.lint.graph import ProjectGraph, module_name_for
+from repro.lint.rules import FileContext, ProjectContext
+
+
+def make_graph(files: dict[str, str]) -> ProjectGraph:
+    """Build a graph from ``{display_path: source}`` snippets."""
+    contexts = []
+    for display, source in files.items():
+        text = textwrap.dedent(source)
+        contexts.append(
+            FileContext(
+                path=Path(display),
+                display=display,
+                source=text,
+                tree=ast.parse(text),
+                lines=tuple(text.splitlines()),
+            )
+        )
+    return ProjectGraph.build(contexts)
+
+
+def qualnames(pairs) -> list[str]:
+    return [function.qualname for function, _path in pairs]
+
+
+def single_call(graph: ProjectGraph, qualname: str):
+    """The one resolved call edge of *qualname* (asserting arity)."""
+    function = graph.function(qualname)
+    assert function is not None, qualname
+    edges = graph.callees(function)
+    assert len(edges) == 1, [site.name for site, _ in edges]
+    return edges[0]
+
+
+class TestModuleNames:
+    def test_src_layout_maps_to_dotted_path(self):
+        assert (
+            module_name_for("src/repro/net/server.py")
+            == "repro.net.server"
+        )
+        assert (
+            module_name_for("/abs/prefix/src/repro/core/api.py")
+            == "repro.core.api"
+        )
+
+    def test_package_init_names_the_package(self):
+        assert module_name_for("src/repro/lint/__init__.py") == "repro.lint"
+
+    def test_test_and_script_roots(self):
+        assert (
+            module_name_for("tests/lint/test_graph.py")
+            == "tests.lint.test_graph"
+        )
+        assert module_name_for("scripts/bench.py") == "scripts.bench"
+
+    def test_unknown_root_degrades_to_stem(self):
+        assert module_name_for("somewhere/else/tool.py") == "tool"
+
+
+class TestCrossModuleResolution:
+    def test_from_import_resolves_bare_call(self):
+        graph = make_graph(
+            {
+                "src/repro/a.py": """
+                def helper():
+                    pass
+                """,
+                "src/repro/b.py": """
+                from repro.a import helper
+
+                def caller():
+                    helper()
+                """,
+            }
+        )
+        _site, targets = single_call(graph, "repro.b.caller")
+        assert [t.qualname for t in targets] == ["repro.a.helper"]
+
+    def test_aliased_from_import_resolves(self):
+        graph = make_graph(
+            {
+                "src/repro/a.py": """
+                def helper():
+                    pass
+                """,
+                "src/repro/b.py": """
+                from repro.a import helper as h
+
+                def caller():
+                    h()
+                """,
+            }
+        )
+        _site, targets = single_call(graph, "repro.b.caller")
+        assert [t.qualname for t in targets] == ["repro.a.helper"]
+
+    def test_module_alias_attribute_call_resolves(self):
+        graph = make_graph(
+            {
+                "src/repro/util.py": """
+                def go():
+                    pass
+                """,
+                "src/repro/b.py": """
+                import repro.util as u
+
+                def caller():
+                    u.go()
+                """,
+            }
+        )
+        _site, targets = single_call(graph, "repro.b.caller")
+        assert [t.qualname for t in targets] == ["repro.util.go"]
+
+    def test_relative_import_resolves(self):
+        graph = make_graph(
+            {
+                "src/repro/pkg/a.py": """
+                def helper():
+                    pass
+                """,
+                "src/repro/pkg/b.py": """
+                from .a import helper
+
+                def caller():
+                    helper()
+                """,
+            }
+        )
+        _site, targets = single_call(graph, "repro.pkg.b.caller")
+        assert [t.qualname for t in targets] == ["repro.pkg.a.helper"]
+
+    def test_external_module_alias_never_falls_back(self):
+        # ``time.sleep()`` must NOT resolve to a same-package ``sleep``
+        # definition: the receiver names an external module, and
+        # guessing here would send transitive rules down paths that do
+        # not exist at runtime.
+        graph = make_graph(
+            {
+                "src/repro/a.py": """
+                def sleep():
+                    pass
+                """,
+                "src/repro/b.py": """
+                import time
+
+                def caller():
+                    time.sleep(1.0)
+                """,
+            }
+        )
+        _site, targets = single_call(graph, "repro.b.caller")
+        assert targets == ()
+
+
+class TestClassDispatch:
+    def test_self_call_resolves_to_same_class(self):
+        graph = make_graph(
+            {
+                "src/repro/a.py": """
+                class Service:
+                    def submit(self):
+                        return self._inner()
+
+                    def _inner(self):
+                        pass
+                """,
+            }
+        )
+        _site, targets = single_call(graph, "repro.a.Service.submit")
+        assert [t.qualname for t in targets] == [
+            "repro.a.Service._inner"
+        ]
+
+    def test_self_call_walks_resolvable_bases(self):
+        graph = make_graph(
+            {
+                "src/repro/base.py": """
+                class Base:
+                    def shared(self):
+                        pass
+                """,
+                "src/repro/a.py": """
+                from repro.base import Base
+
+                class Service(Base):
+                    def submit(self):
+                        return self.shared()
+                """,
+            }
+        )
+        _site, targets = single_call(graph, "repro.a.Service.submit")
+        assert [t.qualname for t in targets] == [
+            "repro.base.Base.shared"
+        ]
+
+    def test_cls_call_resolves_like_self(self):
+        graph = make_graph(
+            {
+                "src/repro/a.py": """
+                class Service:
+                    @classmethod
+                    def make(cls):
+                        return cls._default()
+
+                    @classmethod
+                    def _default(cls):
+                        pass
+                """,
+            }
+        )
+        _site, targets = single_call(graph, "repro.a.Service.make")
+        assert [t.qualname for t in targets] == [
+            "repro.a.Service._default"
+        ]
+
+    def test_typed_attribute_dispatch(self):
+        # ``self.x = Helper(...)`` in __init__ types ``self.x.run()``.
+        graph = make_graph(
+            {
+                "src/repro/helper.py": """
+                class Helper:
+                    def run(self):
+                        pass
+                """,
+                "src/repro/a.py": """
+                from repro.helper import Helper
+
+                class Service:
+                    def __init__(self):
+                        self.x = Helper()
+
+                    def submit(self):
+                        return self.x.run()
+                """,
+            }
+        )
+        _site, targets = single_call(graph, "repro.a.Service.submit")
+        assert [t.qualname for t in targets] == [
+            "repro.helper.Helper.run"
+        ]
+
+    def test_constructor_call_resolves_to_init(self):
+        graph = make_graph(
+            {
+                "src/repro/a.py": """
+                class Thing:
+                    def __init__(self):
+                        pass
+
+                def build():
+                    return Thing()
+                """,
+            }
+        )
+        _site, targets = single_call(graph, "repro.a.build")
+        assert [t.qualname for t in targets] == [
+            "repro.a.Thing.__init__"
+        ]
+
+
+class TestNestingAndDynamism:
+    def test_nested_def_resolves_via_scope_chain(self):
+        graph = make_graph(
+            {
+                "src/repro/a.py": """
+                def outer():
+                    def inner():
+                        pass
+                    inner()
+                """,
+            }
+        )
+        _site, targets = single_call(graph, "repro.a.outer")
+        assert [t.qualname for t in targets] == [
+            "repro.a.outer.<locals>.inner"
+        ]
+
+    def test_lambda_bodies_create_no_edges(self):
+        # run_in_executor(None, lambda: blocking()) hands a callable by
+        # reference — the lambda's body must not become an edge of the
+        # enclosing function.
+        graph = make_graph(
+            {
+                "src/repro/a.py": """
+                def blocking():
+                    pass
+
+                def outer(loop):
+                    return loop.run_in_executor(
+                        None, lambda: blocking()
+                    )
+                """,
+            }
+        )
+        function = graph.function("repro.a.outer")
+        names = [site.name for site, _ in graph.callees(function)]
+        assert names == ["run_in_executor"]
+
+    def test_dynamic_calls_degrade_to_unknown(self):
+        graph = make_graph(
+            {
+                "src/repro/a.py": """
+                def caller(fns, obj):
+                    fns[0]()
+                    getattr(obj, "m")()
+                    (lambda: 1)()
+                """,
+            }
+        )
+        function = graph.function("repro.a.caller")
+        for _site, targets in graph.callees(function):
+            assert targets == ()
+
+    def test_ambiguous_fallback_resolves_to_nothing(self):
+        # Two same-named methods in the package: the receiver's type
+        # decides at runtime, the graph cannot — so it must not guess.
+        graph = make_graph(
+            {
+                "src/repro/a.py": """
+                class A:
+                    def start(self):
+                        pass
+                """,
+                "src/repro/b.py": """
+                class B:
+                    def start(self):
+                        pass
+                """,
+                "src/repro/c.py": """
+                def caller(thing):
+                    thing.start()
+                """,
+            }
+        )
+        _site, targets = single_call(graph, "repro.c.caller")
+        assert targets == ()
+
+    def test_unique_fallback_resolves(self):
+        graph = make_graph(
+            {
+                "src/repro/a.py": """
+                class A:
+                    def frobnicate(self):
+                        pass
+                """,
+                "src/repro/c.py": """
+                def caller(thing):
+                    thing.frobnicate()
+                """,
+            }
+        )
+        _site, targets = single_call(graph, "repro.c.caller")
+        assert [t.qualname for t in targets] == [
+            "repro.a.A.frobnicate"
+        ]
+
+
+class TestQualifiedCall:
+    def test_canonicalizes_module_alias(self):
+        graph = make_graph(
+            {
+                "src/repro/a.py": """
+                import time as t
+
+                def caller():
+                    t.sleep(1.0)
+                """,
+            }
+        )
+        function = graph.function("repro.a.caller")
+        (site, _targets), = graph.callees(function)
+        assert graph.qualified_call(site, function.module) == (
+            "time",
+            "sleep",
+        )
+
+    def test_canonicalizes_from_import(self):
+        graph = make_graph(
+            {
+                "src/repro/a.py": """
+                from time import sleep
+
+                def caller():
+                    sleep(1.0)
+                """,
+            }
+        )
+        function = graph.function("repro.a.caller")
+        (site, _targets), = graph.callees(function)
+        assert graph.qualified_call(site, function.module) == (
+            "time",
+            "sleep",
+        )
+
+
+class TestWalk:
+    DIAMOND = {
+        "src/repro/d.py": """
+        def top():
+            left()
+            right()
+
+        def left():
+            bottom()
+
+        def right():
+            bottom()
+
+        def bottom():
+            pass
+        """,
+    }
+
+    def test_diamond_visits_each_definition_once(self):
+        graph = make_graph(self.DIAMOND)
+        top = graph.function("repro.d.top")
+        visited = qualnames(graph.walk([top]))
+        assert sorted(visited) == [
+            "repro.d.bottom",
+            "repro.d.left",
+            "repro.d.right",
+            "repro.d.top",
+        ]
+
+    def test_first_path_wins_in_diamond(self):
+        # bottom is reachable two ways; exactly ONE path is recorded
+        # (first discovered), and BFS makes it a shortest path.
+        graph = make_graph(self.DIAMOND)
+        top = graph.function("repro.d.top")
+        paths = {f.qualname: path for f, path in graph.walk([top])}
+        path = paths["repro.d.bottom"]
+        assert path[0] == "repro.d.top"
+        assert path[-1] == "repro.d.bottom"
+        assert path[1] in ("repro.d.left", "repro.d.right")
+        assert len(path) == 3
+
+    def test_recursion_and_cycles_terminate(self):
+        graph = make_graph(
+            {
+                "src/repro/r.py": """
+                def ping():
+                    pong()
+
+                def pong():
+                    ping()
+
+                def narcissus():
+                    narcissus()
+                """,
+            }
+        )
+        ping = graph.function("repro.r.ping")
+        narcissus = graph.function("repro.r.narcissus")
+        assert sorted(qualnames(graph.walk([ping, narcissus]))) == [
+            "repro.r.narcissus",
+            "repro.r.ping",
+            "repro.r.pong",
+        ]
+
+    def test_follow_prunes_edges(self):
+        graph = make_graph(self.DIAMOND)
+        top = graph.function("repro.d.top")
+        visited = qualnames(
+            graph.walk(
+                [top],
+                follow=lambda _c, callee: callee.name != "left",
+            )
+        )
+        # bottom is still reached — through right.
+        assert sorted(visited) == [
+            "repro.d.bottom",
+            "repro.d.right",
+            "repro.d.top",
+        ]
+
+
+class TestLaziness:
+    def test_project_context_builds_graph_once_and_lazily(self):
+        context = ProjectContext([])
+        assert context._graph is None  # untouched until first use
+        graph = context.graph
+        assert context.graph is graph  # cached thereafter

@@ -684,7 +684,10 @@ class TestRPR011BlockingInAsync:
         )
         assert findings == []
 
-    def test_rule_scoped_to_net_only(self, harness):
+    def test_rule_applies_project_wide(self, harness):
+        # The rule used to police repro/net/ only; blocking coroutines
+        # elsewhere (service, obs, ...) are just as broken, so the
+        # scope restriction is gone.
         findings = harness.lint(
             "src/repro/service/async_elsewhere.py",
             """
@@ -695,4 +698,4 @@ class TestRPR011BlockingInAsync:
             """,
             rules=["RPR011"],
         )
-        assert findings == []
+        assert rule_ids(findings) == {"RPR011"}
