@@ -8,7 +8,10 @@ level-order array sweeps over a compiled anchor tree:
 
 * :mod:`repro.kernels.tree` — CSR-style tree compilation;
 * :mod:`repro.kernels.aggr` — the Algorithm 2 node-info sweep;
-* :mod:`repro.kernels.crt` — batched per-class CRT kernels.
+* :mod:`repro.kernels.crt` — batched per-class CRT kernels;
+* :mod:`repro.kernels.answers` — dense per-``(generation, class)``
+  answer tables that turn the warm Algorithm 4 walk plus cluster
+  extraction into a binary search and a gather.
 
 Backend selection is runtime, via ``REPRO_KERNELS``:
 

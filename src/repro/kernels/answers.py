@@ -1,0 +1,389 @@
+"""Algorithm 4 (*ProcessQuery*) precomputed into dense answer tables.
+
+The per-query reference walk pays Python dict lookups per hop and a
+fresh *FindCluster* pair scan at the answering node — fine for one
+query, ruinous for a warm batch.  But for one ``(generation, snapped
+class)`` everything the walk consults is fixed: the host's own
+max-cluster-size (``aggrCRT[x][x][l]``) and the per-edge propagated
+values (``aggrCRT[x][m][l]``), all of which :mod:`repro.kernels.crt`
+already computes in one batched pass.  This module generalizes the
+:class:`~repro.kernels.crt.SpaceTable` prefix-max idea from "the max
+size" to "the full answer":
+
+* :class:`SpaceAnswers` — for one clustering space and one constraint
+  ``l``, the *record pairs* of the FindCluster scan: walking pairs in
+  scan order, a pair is a record when its candidate set beats every
+  earlier admissible one.  For any ``k``, the pair FindCluster selects
+  is exactly the first record with ``|S*| >= k`` (record sizes are
+  strictly increasing), so a query is one binary search and the
+  cluster is the record's ``k`` smallest member ids — member-identical
+  to the reference scan, including float comparison semantics.
+* :class:`AnswerTable` — per compact node, the routing thresholds the
+  reference walk compares ``k`` against (own value plus the per-edge
+  CRT values from :func:`~repro.kernels.crt.crt_sweep`, in the node's
+  original neighbor-list order — Algorithm 4 forwards to the *first*
+  admissible neighbor, so order is semantics).  The walk's outcome
+  ``(answering node, hops)`` is a step function of ``k``: constant
+  between consecutive threshold values.  The table keeps the sorted
+  threshold breakpoints per entry host and simulates each touched
+  interval once at its representative ``k``; a warm batch of mixed
+  ``k`` values is then one ``searchsorted`` plus a gather.
+
+The tables assume the service's default routing semantics
+(``strict=False``: a host answers when ``k <= aggrCRT[x][x][l]``).
+Everything here is derived from the same :class:`~repro.kernels.crt.
+CrtPrecompute` own values and :func:`~repro.kernels.crt.crt_sweep`
+outputs the per-class kernel pass uses, so routing decisions are
+bit-identical to the reference by construction; only the record-pair
+cluster extraction is new, and it is differentially tested against
+``find_cluster`` (see ``tests/core/test_answers.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+from repro.exceptions import KernelError
+from repro.kernels.crt import _CHUNK_CELLS, CrtPrecompute, crt_sweep
+from repro.kernels.tree import TreeCSR
+from repro.metrics.metric import submatrix
+
+__all__ = ["SpaceAnswers", "AnswerTable", "build_answer_table"]
+
+#: Plan sentinel: interval not yet simulated.
+_UNSIMULATED = -2
+#: Plan value: no admissible direction — the query fails.
+_UNSATISFIED = -1
+
+
+class SpaceAnswers:
+    """FindCluster answers for one clustering space at one constraint.
+
+    Precomputes the scan's *record pairs*: pairs are walked in the
+    requested scan order (restricted to ``d(p, q) <= l``), and a pair
+    whose candidate set is larger than every earlier admissible one is
+    diameter-checked; if it fits, its members become a record.  Record
+    sizes are strictly increasing, so the pair ``find_cluster`` would
+    select for any ``k`` is the first record with size ``>= k``.
+
+    Parameters
+    ----------
+    space:
+        Sorted host ids of the clustering space (``V_x``).
+    sub:
+        The space's restricted distance matrix, indexed like *space*
+        (``submatrix(values, space)`` — float-identical to what the
+        reference obtains via ``DistanceMatrix.restrict``).
+    l:
+        The distance class.
+    pair_order:
+        ``"nearest"`` or ``"index"``, exactly as in
+        :func:`~repro.core.find_cluster.find_cluster`.
+    """
+
+    def __init__(
+        self,
+        space: Sequence[int],
+        sub: np.ndarray,
+        l: float,
+        pair_order: str,
+    ) -> None:
+        size = int(sub.shape[0])
+        self._ids = np.asarray(space, dtype=np.int64)
+        self._record_sizes = np.zeros(0, dtype=np.int64)
+        self._record_members: list[np.ndarray] = []
+        if size < 2:
+            self.max_size = size
+            return
+        iu, iv = np.triu_indices(size, k=1)
+        dpq = sub[iu, iv]
+        if pair_order == "nearest":
+            order = np.argsort(dpq, kind="stable")
+            limit = int(np.searchsorted(dpq[order], l, side="right"))
+            order = order[:limit]
+        elif pair_order == "index":
+            order = np.flatnonzero(dpq <= l)
+        else:
+            raise KernelError(
+                "pair_order must be 'nearest' or 'index', "
+                f"got {pair_order!r}"
+            )
+        self.max_size = 1
+        if order.size == 0:
+            return
+        iu = iu[order]
+        iv = iv[order]
+        dpq = dpq[order]
+        sizes = np.zeros(order.size, dtype=np.int64)
+        chunk = max(1, _CHUNK_CELLS // size)
+        for lo in range(0, int(order.size), chunk):
+            hi = min(int(order.size), lo + chunk)
+            mask = (sub[iu[lo:hi]] <= dpq[lo:hi, None]) & (
+                sub[iv[lo:hi]] <= dpq[lo:hi, None]
+            )
+            sizes[lo:hi] = mask.sum(axis=1)
+        records: list[int] = []
+        best = 1
+        for index in range(int(sizes.shape[0])):
+            if sizes[index] <= best:
+                continue
+            row = (sub[iu[index]] <= dpq[index]) & (
+                sub[iv[index]] <= dpq[index]
+            )
+            members = np.flatnonzero(row)
+            if float(sub[np.ix_(members, members)].max()) > l:
+                continue
+            best = int(sizes[index])
+            records.append(best)
+            self._record_members.append(self._ids[members])
+        self._record_sizes = np.asarray(records, dtype=np.int64)
+        self.max_size = best
+
+    def cluster(self, k: int) -> np.ndarray | None:
+        """The ``k``-cluster the reference scan returns, or ``None``.
+
+        Host ids, ascending — ``find_cluster`` keeps the ``k`` smallest
+        member ids of the selected pair's candidate set, and the space
+        mapping is monotone, so the prefix of the record's member array
+        is already sorted.
+        """
+        position = int(
+            np.searchsorted(self._record_sizes, k, side="left")
+        )
+        if position >= len(self._record_members):
+            return None
+        return self._record_members[position][:k]
+
+
+class AnswerTable:
+    """Dense routing/answer table for one ``(generation, class)``.
+
+    Construct via :func:`build_answer_table`.  Thread-safe: routing
+    plans and per-space answer records are filled lazily under one
+    lock, so concurrent warm batches over the same class share state
+    instead of corrupting it.
+    """
+
+    def __init__(
+        self,
+        csr: TreeCSR,
+        spaces: list[tuple[int, ...]],
+        distance_values: np.ndarray,
+        own: np.ndarray,
+        neighbor_nodes: list[np.ndarray],
+        neighbor_crt: list[np.ndarray],
+        l: float,
+        pair_order: str,
+        default_entry: int,
+    ) -> None:
+        self._csr = csr
+        self._spaces = spaces
+        self._values = distance_values
+        self._own = own
+        self._neighbor_nodes = neighbor_nodes
+        self._neighbor_crt = neighbor_crt
+        self.l = float(l)
+        self._pair_order = pair_order
+        self.default_entry = int(default_entry)
+        self._host_index = {
+            int(host): index for index, host in enumerate(csr.host_ids)
+        }
+        thresholds = np.concatenate([own, *neighbor_crt])
+        unique = np.unique(thresholds)
+        # k is always >= 2, so thresholds below 2 can never admit.
+        self._breakpoints = unique[unique >= 2]
+        self._plans: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        self._answers: dict[tuple[int, ...], SpaceAnswers] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def breakpoints(self) -> np.ndarray:
+        """Sorted distinct routing thresholds (``k`` step boundaries)."""
+        return self._breakpoints
+
+    def covers(self, host: int) -> bool:
+        """Whether *host* is part of the compiled overlay."""
+        return int(host) in self._host_index
+
+    def answer_many(
+        self, ks: Sequence[int], entry: int
+    ) -> list[tuple[tuple[int, ...], int]]:
+        """``(cluster, hops)`` per ``k``, entering the overlay at *entry*.
+
+        Bit-identical to running the reference walk (default
+        ``strict=False`` admission) plus ``find_cluster`` at the
+        answering node, for every ``k``.  An empty cluster means the
+        query is unsatisfiable at this class.
+        """
+        entry_node = self._host_index.get(int(entry))
+        if entry_node is None:
+            raise KernelError(f"unknown entry host {entry!r}")
+        wanted = np.asarray(list(ks), dtype=np.int64)
+        with self._lock:
+            nodes, hops = self._gather_locked(entry_node, wanted)
+            answers: list[tuple[tuple[int, ...], int]] = []
+            for k, node, hop in zip(ks, nodes, hops):
+                if node < 0:
+                    answers.append(((), int(hop)))
+                    continue
+                members = self._cluster_locked(int(node), int(k))
+                answers.append(
+                    (tuple(int(h) for h in members), int(hop))
+                )
+        return answers
+
+    def _gather_locked(
+        self, entry_node: int, ks: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-``k`` ``(answering node, hops)`` via the interval plan."""
+        plan = self._plans.get(entry_node)
+        if plan is None:
+            slots = int(self._breakpoints.shape[0]) + 1
+            plan = (
+                np.full(slots, _UNSIMULATED, dtype=np.int64),
+                np.zeros(slots, dtype=np.int64),
+            )
+            # Beyond the largest threshold no comparison admits, so
+            # the walk fails at the entry host without forwarding.
+            plan[0][-1] = _UNSATISFIED
+            self._plans[entry_node] = plan
+        nodes, hops = plan
+        intervals = np.searchsorted(self._breakpoints, ks, side="left")
+        for interval in {int(i) for i in intervals}:
+            if nodes[interval] == _UNSIMULATED:
+                nodes[interval], hops[interval] = self._simulate(
+                    entry_node, int(self._breakpoints[interval])
+                )
+        return nodes[intervals], hops[intervals]
+
+    def _simulate(self, entry_node: int, k: int) -> tuple[int, int]:
+        """One reference walk at representative ``k`` (compact indices)."""
+        current = entry_node
+        previous = -1
+        hops = 0
+        for _ in range(self._csr.size + 1):
+            if k <= int(self._own[current]):
+                return current, hops
+            chosen = -1
+            for node, value in zip(
+                self._neighbor_nodes[current],
+                self._neighbor_crt[current],
+            ):
+                if int(node) == previous:
+                    continue
+                if k <= int(value):
+                    chosen = int(node)
+                    break
+            if chosen < 0:
+                return _UNSATISFIED, hops
+            previous = current
+            current = chosen
+            hops += 1
+        raise KernelError(
+            "routing walk failed to terminate on the compiled tree"
+        )
+
+    def _cluster_locked(self, node: int, k: int) -> np.ndarray:
+        """The answering node's ``k``-cluster from its space records."""
+        space = self._spaces[node]
+        answers = self._answers.get(space)
+        if answers is None:
+            answers = SpaceAnswers(
+                space,
+                submatrix(self._values, space),
+                self.l,
+                self._pair_order,
+            )
+            self._answers[space] = answers
+        members = answers.cluster(k)
+        if members is None:
+            # Structurally impossible when own values and records are
+            # built from the same matrices; kept as a hard stop so a
+            # divergence can never serve a wrong answer silently.
+            raise KernelError(
+                "answer table routed a query to a node whose space "
+                "cannot satisfy it"
+            )
+        return members
+
+
+def build_answer_table(
+    csr: TreeCSR,
+    spaces: list[tuple[int, ...]],
+    precompute: CrtPrecompute,
+    neighbors: Mapping[int, Sequence[int]],
+    distance_values: np.ndarray,
+    l: float,
+    pair_order: str = "nearest",
+) -> AnswerTable:
+    """Build the :class:`AnswerTable` for one distance class.
+
+    Parameters
+    ----------
+    csr / spaces / precompute:
+        The substrate's compiled kernel view pieces (the same objects
+        the per-class CRT kernel pass consumes, so own values are
+        shared and identical).
+    neighbors:
+        ``{host: [neighbor hosts]}`` in the *protocol's* neighbor-list
+        order — Algorithm 4 forwards to the first admissible neighbor,
+        so this order is load-bearing.  The mapping's first key is the
+        table's default entry host (the adopted snapshot's first host,
+        matching the service's per-query default).
+    distance_values:
+        Dense distance array indexed by original host id.
+    l:
+        The distance class to answer at.
+    pair_order:
+        Pair-scan order for cluster extraction.
+    """
+    values = np.asarray(distance_values, dtype=np.float64)
+    own = precompute.own_matrix(spaces, [float(l)])
+    up_crt, down_crt = crt_sweep(csr, own)
+    own_col = own[:, 0].copy()
+    host_index = {
+        int(host): index for index, host in enumerate(csr.host_ids)
+    }
+    if set(int(host) for host in neighbors) != set(host_index):
+        raise KernelError(
+            "neighbor map does not cover the compiled overlay"
+        )
+    neighbor_nodes: list[np.ndarray] = []
+    neighbor_crt: list[np.ndarray] = []
+    for index in range(csr.size):
+        adjacent = neighbors[int(csr.host_ids[index])]
+        nodes = np.empty(len(adjacent), dtype=np.int64)
+        crt = np.empty(len(adjacent), dtype=np.int64)
+        for position, other in enumerate(adjacent):
+            compact = host_index.get(int(other))
+            if compact is None:
+                raise KernelError(
+                    f"neighbor {other!r} is not an overlay host"
+                )
+            nodes[position] = compact
+            if int(csr.parent[compact]) == index:
+                # What the child sends up: its subtree's max.
+                crt[position] = up_crt[compact, 0]
+            elif int(csr.parent[index]) == compact:
+                # What the parent sends down: the rest-of-tree max.
+                crt[position] = down_crt[index, 0]
+            else:
+                raise KernelError(
+                    "neighbor list disagrees with the compiled tree"
+                )
+        neighbor_nodes.append(nodes)
+        neighbor_crt.append(crt)
+    return AnswerTable(
+        csr=csr,
+        spaces=spaces,
+        distance_values=values,
+        own=own_col,
+        neighbor_nodes=neighbor_nodes,
+        neighbor_crt=neighbor_crt,
+        l=l,
+        pair_order=pair_order,
+        default_entry=next(iter(neighbors)),
+    )

@@ -160,10 +160,16 @@ class CrtPrecompute:
         """The (shared, lazily built) table for one space's contents."""
         with self._lock:
             table = self._tables.get(space)
-            if table is None:
-                table = SpaceTable(submatrix(self._values, space))
-                self._tables[space] = table
+        if table is not None:
             return table
+        # Build outside the lock: construction is O(n^2) (submatrix +
+        # pair argsort), and holding the global lock for it serializes
+        # executor threads even when they want *different* spaces.  On
+        # a race the first insert wins so every caller shares one
+        # canonical table.
+        built = SpaceTable(submatrix(self._values, space))
+        with self._lock:
+            return self._tables.setdefault(space, built)
 
     @property
     def distinct_spaces(self) -> int:

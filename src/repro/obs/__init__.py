@@ -7,7 +7,8 @@ routing:
 
 * :class:`~repro.obs.tracer.Tracer` creates per-query
   :class:`~repro.obs.spans.Span` trees (submit → cache lookup →
-  substrate get-or-build / incremental maintenance → CRT pass →
+  substrate get-or-build / incremental maintenance / warm-path answer
+  tables (``answer.build`` / ``answer.gather``) → CRT pass →
   routing), with generation, snapped class, cache outcome, and
   round/message counts as span attributes;
 * :class:`~repro.obs.store.TraceStore` keeps the newest traces in a

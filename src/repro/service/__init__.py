@@ -11,13 +11,20 @@ queries against it:
 * :mod:`~repro.service.cache` — the LRU result cache and the per-class
   aggregation memo (both invalidated by generation bump);
 * :mod:`~repro.service.executor` — batched execution grouped by
-  snapped distance class, with optional thread fan-out;
+  snapped distance class, with optional thread fan-out; warm class
+  groups are answered as one vectorized gather against per-generation
+  answer tables (:mod:`repro.kernels.answers`);
 * :mod:`~repro.service.telemetry` — counters and latency histograms;
 * :mod:`~repro.service.loadgen` — the load generator behind
   ``repro-bcc serve-bench`` and the throughput benchmark.
 """
 
-from repro.service.cache import AggregationCache, GenerationMemo, LRUCache
+from repro.service.cache import (
+    AggregationCache,
+    AnswerTableMemo,
+    GenerationMemo,
+    LRUCache,
+)
 from repro.service.core import (
     ClusterQueryService,
     ServiceResult,
@@ -42,6 +49,7 @@ from repro.service.telemetry import (
 
 __all__ = [
     "AggregationCache",
+    "AnswerTableMemo",
     "BatchExecutor",
     "ClusterQueryService",
     "GenerationMemo",

@@ -40,7 +40,12 @@ from typing import Generic, TypeVar
 from repro.exceptions import ServiceError
 from repro.obs import NOOP_TRACER, TracerLike
 
-__all__ = ["LRUCache", "AggregationCache", "GenerationMemo"]
+__all__ = [
+    "LRUCache",
+    "AggregationCache",
+    "AnswerTableMemo",
+    "GenerationMemo",
+]
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
@@ -213,3 +218,16 @@ class AggregationCache(Generic[V]):
         """Drop everything (membership/bandwidth change)."""
         with self._lock:
             self._entries.clear()
+
+
+class AnswerTableMemo(AggregationCache[V]):
+    """Memo of warm-path answer tables, keyed like the CRT cache.
+
+    An answer table (:class:`~repro.kernels.answers.AnswerTable`) is a
+    pure function of ``(snapped_class, generation)`` exactly like a
+    per-class aggregation, so the container semantics are identical —
+    generation-keyed lookup, eager cross-generation eviction on
+    :meth:`put`, explicit :meth:`invalidate`.  A distinct type keeps
+    the two memos from being confused at call sites and lets them
+    diverge (e.g. size bounds) without touching the CRT cache.
+    """

@@ -38,13 +38,24 @@ from repro.core.decentralized import (
     DecentralizedClusterSearch,
 )
 from repro.core.query import BandwidthClasses, ClusterQuery
-from repro.exceptions import ServiceError, StaleGenerationError
+from repro.exceptions import (
+    KernelError,
+    ServiceError,
+    StaleGenerationError,
+)
+from repro.kernels import active_backend
+from repro.kernels.answers import AnswerTable, build_answer_table
 from repro.obs import NOOP_SPAN, NOOP_TRACER, SpanLike, TracerLike
 from repro.predtree.framework import (
     BandwidthPredictionFramework,
     MembershipChange,
 )
-from repro.service.cache import AggregationCache, GenerationMemo, LRUCache
+from repro.service.cache import (
+    AggregationCache,
+    AnswerTableMemo,
+    GenerationMemo,
+    LRUCache,
+)
 from repro.service.telemetry import ServiceTelemetry, TelemetrySnapshot
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -67,8 +78,11 @@ class ServiceResult:
     cluster:
         Sorted host ids of the found cluster (empty when unsatisfied).
     hops:
-        Overlay forwarding hops the original computation took (0 for a
-        locally answered or cached query).
+        Overlay forwarding hops the computation that produced this
+        answer took (0 when the entry host answered locally).  Cached
+        answers report the hops recorded when the answer was first
+        computed — the routing cost of the answer, not of serving it
+        from the cache.
     start:
         Entry host the original computation was submitted at.
     snapped_b:
@@ -196,6 +210,9 @@ class ClusterQueryService:
         self._aggregations: AggregationCache[DecentralizedClusterSearch] = (
             AggregationCache()
         )
+        self._answer_tables: AnswerTableMemo[AnswerTable] = (
+            AnswerTableMemo()
+        )
         self._telemetry = telemetry or ServiceTelemetry()
         self._tracer: TracerLike = (
             tracer if tracer is not None else NOOP_TRACER
@@ -230,8 +247,14 @@ class ClusterQueryService:
 
     @property
     def hosts(self) -> list[int]:
-        """Hosts currently in the overlay."""
-        return self._framework.hosts
+        """Hosts currently in the overlay.
+
+        Read under the membership lock: membership changes mutate the
+        framework's host set in place, so an unlocked read during
+        churn could observe a half-applied change.
+        """
+        with self._membership_lock:
+            return self._framework.hosts
 
     @property
     def telemetry(self) -> ServiceTelemetry:
@@ -252,9 +275,15 @@ class ClusterQueryService:
         """
         store = self._tracer.store
         slowest = store.slowest_trace_id() if store is not None else None
+        # One lock hold for both framework reads: a snapshot taken
+        # during churn must pair the generation with the host count it
+        # actually describes, never a torn mixture of two overlays.
+        with self._membership_lock:
+            generation = self._framework.generation + self._epoch
+            host_count = self._framework.size
         return ServiceStats(
-            generation=self.generation,
-            host_count=self._framework.size,
+            generation=generation,
+            host_count=host_count,
             result_cache_entries=len(self._results),
             aggregation_entries=len(self._aggregations),
             telemetry=self._telemetry.snapshot(slowest_trace_id=slowest),
@@ -325,6 +354,7 @@ class ClusterQueryService:
         """
         self._results.clear()
         self._aggregations.invalidate()
+        self._answer_tables.invalidate()
 
     def _maintain_substrate_locked(
         self, change: MembershipChange | None
@@ -465,6 +495,184 @@ class ClusterQueryService:
             self._telemetry.record_aggregation_build()
             self._aggregations.put(snapped, generation, search)
             return search
+
+    def _answer_table_for(
+        self, snapped: float, generation: int
+    ) -> AnswerTable | None:
+        """The warm-path answer table for ``(snapped, generation)``.
+
+        Built lazily from the same adopted substrate view the kernel
+        CRT pass consumes — the own values and edge CRT thresholds are
+        shared arrays, so routing decisions are bit-identical to the
+        per-query reference by construction.  Returns ``None`` when no
+        compiled kernel view exists (pure-Python backend, or an
+        overlay the tree compiler rejected); callers fall back to the
+        per-query path.
+        """
+        table = self._answer_tables.get(snapped, generation)
+        if table is not None:
+            return table
+        substrate = self._substrate_for(generation)
+        with self._tracer.start_span(
+            "answer.build", snapped_b=snapped, generation=generation
+        ) as span:
+            distances, snapshot, _budget, view = substrate.adopt_view()
+            if view is None:
+                return None
+            neighbors = {
+                host: list(entry[0])
+                for host, entry in snapshot.items()
+            }
+            try:
+                table = build_answer_table(
+                    view.csr,
+                    view.spaces,
+                    view.precompute,
+                    neighbors,
+                    distances.values,
+                    self._classes.transform.distance_constraint(snapped),
+                    pair_order=self._pair_order,
+                )
+            except KernelError:
+                return None
+            span.set(
+                hosts=len(neighbors),
+                breakpoints=int(table.breakpoints.shape[0]),
+            )
+        self._telemetry.record_answer_table_build()
+        self._answer_tables.put(snapped, generation, table)
+        return table
+
+    def submit_group(
+        self,
+        snapped: float,
+        indices: list[int],
+        queries: list[ClusterQuery],
+        generation: int,
+        start: int | None = None,
+    ) -> list[ServiceResult] | None:
+        """Answer one warm class group as a batched table gather.
+
+        *indices* select this group's queries (all snapping to
+        *snapped*) out of the full batch; results come back aligned
+        with *indices*.  Returns ``None`` — no work done — whenever
+        the vectorized path does not apply, and the caller (the batch
+        executor) runs the per-query path instead:
+
+        * the NumPy kernel backend is off, or no kernel view compiles;
+        * the class is cold for *generation* (the per-query path must
+          run anyway to pay the CRT pass, and keeping cold batches on
+          it preserves their traced span contract exactly);
+        * *start* is a host the compiled overlay does not cover (the
+          per-query path owns the error semantics for bad entries).
+
+        When it does apply, answers are bit-identical to submitting
+        each query via :meth:`submit`: cache hits are served first
+        (``cached=True``), the misses' distinct ``k`` values are
+        answered by one :meth:`~repro.kernels.answers.AnswerTable.
+        answer_many` gather, and computed answers are published to the
+        result cache under the membership lock with the same
+        generation re-validation as the per-query path.
+        """
+        began = time.perf_counter()
+        if active_backend() != "numpy":
+            return None
+        if self._aggregations.get(snapped, generation) is None:
+            return None
+        keys = [
+            (queries[index].k, snapped, generation) for index in indices
+        ]
+        table = self._answer_tables.get(snapped, generation)
+        if table is None and not all(
+            key in self._results for key in keys
+        ):
+            table = self._answer_table_for(snapped, generation)
+            if table is None:
+                return None
+        if start is not None and table is not None and not table.covers(
+            start
+        ):
+            return None
+        hits: dict[int, _CachedAnswer] = {}
+        pending: dict[int, list[int]] = {}
+        for position, key in enumerate(keys):
+            cached = self._results.get(key)
+            if cached is not None:
+                hits[position] = cached
+            else:
+                pending.setdefault(int(key[0]), []).append(position)
+        answers: dict[int, tuple[tuple[int, ...], int]] = {}
+        entry = start
+        if pending:
+            if table is None:
+                # The all-cached prefilter raced an eviction; let the
+                # per-query path recompute the evicted entries.
+                return None
+            if entry is None:
+                entry = table.default_entry
+            ks = sorted(pending)
+            try:
+                if self._tracer.enabled:
+                    with self._tracer.start_span(
+                        "answer.gather",
+                        snapped_b=snapped,
+                        generation=generation,
+                        queries=len(indices),
+                        distinct_k=len(ks),
+                    ):
+                        gathered = table.answer_many(ks, entry)
+                else:
+                    gathered = table.answer_many(ks, entry)
+            except KernelError:
+                return None
+            answers = dict(zip(ks, gathered))
+            # Publish atomically with generation re-validation, same
+            # as the per-query miss path.
+            with self._membership_lock:
+                if self.generation != generation:
+                    raise StaleGenerationError(
+                        f"overlay generation changed from {generation} "
+                        f"to {self.generation} while the batch was in "
+                        "flight"
+                    )
+                for k, (cluster, hops) in answers.items():
+                    self._results.put(
+                        (k, snapped, generation),
+                        (cluster, hops, entry, table.l),
+                    )
+        results: list[ServiceResult] = []
+        for position, key in enumerate(keys):
+            hit = hits.get(position)
+            if hit is not None:
+                cluster, hops, result_entry, l = hit
+                was_cached = True
+            else:
+                assert table is not None and entry is not None
+                cluster, hops = answers[int(key[0])]
+                # First miss per k computes; duplicates behave like
+                # the per-query path, where they would have hit the
+                # just-published cache entry.
+                was_cached = pending[int(key[0])][0] != position
+                l = table.l
+                result_entry = entry
+            self._telemetry.record_query(
+                time.perf_counter() - began,
+                cached=was_cached,
+                found=bool(cluster),
+            )
+            results.append(
+                ServiceResult(
+                    cluster=cluster,
+                    hops=hops,
+                    start=result_entry,
+                    snapped_b=snapped,
+                    l=l,
+                    generation=generation,
+                    cached=was_cached,
+                    latency_s=time.perf_counter() - began,
+                )
+            )
+        return results
 
     def submit(
         self,

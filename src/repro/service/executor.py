@@ -180,6 +180,19 @@ class BatchExecutor:
                     for index, answer in zip(indices, answers):
                         results[index] = answer
                     return
+                # Warm classes take the vectorized answer-table path:
+                # the whole group becomes one gather instead of
+                # len(indices) reference walks.  submit_group returns
+                # None whenever it does not apply (cold class, python
+                # backend, uncovered entry host), and the per-query
+                # loop below remains the authoritative fallback.
+                grouped = service.submit_group(
+                    snapped, indices, queries, generation, start=start
+                )
+                if grouped is not None:
+                    for index, answer in zip(indices, grouped):
+                        results[index] = answer
+                    return
                 for index in indices:
                     results[index] = service.submit(
                         queries[index],
@@ -205,4 +218,21 @@ class BatchExecutor:
         else:
             for item in group_items:
                 run_group(item)
+        holes = [
+            index
+            for index, result in enumerate(results)
+            if result is None
+        ]
+        if holes:
+            # Every query index belongs to exactly one group, so an
+            # unfilled slot means a group runner lost a result — most
+            # likely a dispatcher that mapped its answers to the wrong
+            # indices.  Silently dropping the slot would break the
+            # documented submission-order correspondence; fail loudly
+            # instead.
+            raise ServiceError(
+                f"batch execution left {len(holes)} of {len(queries)} "
+                f"result slot(s) unfilled (indices {holes}); a group "
+                "runner or dispatcher dropped results"
+            )
         return [result for result in results if result is not None]

@@ -138,6 +138,11 @@ class TelemetrySnapshot:
         (``nan`` until the first timed build).  The counter alone
         cannot surface a cold-path *regression* — a build that got 10x
         slower still counts once; the histogram makes it visible.
+    answer_table_builds:
+        Warm-path answer tables constructed (one per ``(generation,
+        class)`` the batched gather path touched).  Counted separately
+        from :attr:`aggregation_builds` — a table build reuses the
+        class's already-built CRT state and is not a CRT pass.
     """
 
     queries_served: int
@@ -157,6 +162,7 @@ class TelemetrySnapshot:
     substrate_build_p50_s: float = float("nan")
     substrate_build_p95_s: float = float("nan")
     substrate_build_mean_s: float = float("nan")
+    answer_table_builds: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -181,6 +187,7 @@ class ServiceTelemetry:
         self._batches = 0
         self._membership_changes = 0
         self._unsatisfied = 0
+        self._answer_table_builds = 0
 
     def record_query(
         self, latency_s: float, cached: bool, found: bool
@@ -213,6 +220,11 @@ class ServiceTelemetry:
             self._substrate_builds += 1
             if latency_s is not None:
                 self._build_histogram.record(latency_s)
+
+    def record_answer_table_build(self) -> None:
+        """Account one warm-path answer-table construction."""
+        with self._lock:
+            self._answer_table_builds += 1
 
     def record_incremental_update(self) -> None:
         """Account one membership change absorbed incrementally."""
@@ -257,4 +269,5 @@ class ServiceTelemetry:
                 substrate_build_p50_s=self._build_histogram.quantile(0.50),
                 substrate_build_p95_s=self._build_histogram.quantile(0.95),
                 substrate_build_mean_s=self._build_histogram.mean(),
+                answer_table_builds=self._answer_table_builds,
             )

@@ -10,6 +10,8 @@ the pure reference functions (``propagate_node_info`` /
 behind a shared implementation.
 """
 
+import threading
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -284,6 +286,133 @@ class TestCrtKernelDifferential:
         again = pre.table_for((0, 2, 5))
         assert first is again
         assert pre.distinct_spaces == 1
+
+    def test_table_for_concurrent_builds_share_one_table(self):
+        """Racing table_for callers all get one canonical table.
+
+        The build runs *outside* the precompute's global lock (it is
+        O(n^2) and used to serialize all executor threads); the
+        double-checked insert must still guarantee a single shared
+        object per space, and the table must answer correctly after
+        the race.
+        """
+        d = random_distances(30, seed=5, quantize=False)
+        pre = CrtPrecompute(d.values)
+        space = tuple(range(30))
+        workers = 8
+        barrier = threading.Barrier(workers)
+        tables: list = [None] * workers
+
+        def worker(slot: int) -> None:
+            barrier.wait()
+            tables[slot] = pre.table_for(space)
+
+        threads = [
+            threading.Thread(target=worker, args=(slot,))
+            for slot in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(table is tables[0] for table in tables)
+        assert pre.distinct_spaces == 1
+        assert tables[0].max_size_for(8.0) == max_cluster_size(
+            d.restrict(list(space)), 8.0
+        )
+
+    def test_table_for_concurrent_distinct_spaces(self):
+        """Distinct spaces built in parallel stay correctly keyed."""
+        d = random_distances(20, seed=6, quantize=True)
+        pre = CrtPrecompute(d.values)
+        spaces = [tuple(range(first, 20)) for first in range(8)]
+        barrier = threading.Barrier(len(spaces))
+        results: dict[tuple[int, ...], int] = {}
+        lock = threading.Lock()
+
+        def worker(space: tuple[int, ...]) -> None:
+            barrier.wait()
+            size = pre.table_for(space).max_size_for(10.0)
+            with lock:
+                results[space] = size
+
+        threads = [
+            threading.Thread(target=worker, args=(space,))
+            for space in spaces
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert pre.distinct_spaces == len(spaces)
+        for space in spaces:
+            assert results[space] == max_cluster_size(
+                d.restrict(list(space)), 10.0
+            )
+
+
+class TestSpaceTableDiameterFallback:
+    """The descending-size rescan when the prefix argmax spreads wide.
+
+    ``max_size_for`` first tries the largest candidate set among
+    eligible pairs; when that set's diameter exceeds ``l`` it must
+    fall back to scanning eligible pairs by descending size — not
+    give up, and not return the too-wide set's size.
+    """
+
+    @staticmethod
+    def _wide_best_matrix() -> DistanceMatrix:
+        # Four points: every pair at distance 4 except d(2, 3) = 9.
+        # At l = 4 the scan's biggest candidate set is S*_{0,1} =
+        # {0, 1, 2, 3} (size 4) — but its diameter is d(2, 3) = 9, so
+        # it fails, and the true answer is the size-3 set {0, 1, 2}.
+        values = np.full((4, 4), 4.0)
+        values[2, 3] = values[3, 2] = 9.0
+        np.fill_diagonal(values, 0.0)
+        return DistanceMatrix(values)
+
+    def test_fallback_finds_next_best_size(self):
+        d = self._wide_best_matrix()
+        table = CrtPrecompute(d.values).table_for((0, 1, 2, 3))
+        assert table.max_size_for(4.0) == 3
+        assert table.max_size_for(4.0) == max_cluster_size(d, 4.0)
+
+    def test_fallback_caches_diameters(self):
+        d = self._wide_best_matrix()
+        table = CrtPrecompute(d.values).table_for((0, 1, 2, 3))
+        assert table.max_size_for(4.0) == 3
+        # Both the failed argmax pair and the accepted fallback pair
+        # left their diameters cached; a repeat lookup must not
+        # recompute (and must stay correct).
+        cached_before = dict(table._diam_cache)
+        assert len(cached_before) >= 2
+        assert table.max_size_for(4.0) == 3
+        assert table._diam_cache == cached_before
+
+    def test_wider_constraint_accepts_full_set(self):
+        d = self._wide_best_matrix()
+        table = CrtPrecompute(d.values).table_for((0, 1, 2, 3))
+        # At l = 9 the full set's diameter fits: no fallback needed.
+        assert table.max_size_for(9.0) == 4
+        assert table.max_size_for(9.0) == max_cluster_size(d, 9.0)
+
+    @given(
+        n=st.integers(min_value=2, max_value=12),
+        seed=st.integers(0, 400),
+        quantize=st.booleans(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fallback_parity_property(self, n, seed, quantize):
+        """Random non-tree metrics: table == max_cluster_size at all l.
+
+        Quantized matrices produce heavy ties, which is where the
+        biggest candidate set most often spreads wider than ``l`` and
+        the fallback scan actually runs.
+        """
+        d = random_distances(n, seed + 5000, quantize=quantize)
+        table = CrtPrecompute(d.values).table_for(tuple(range(n)))
+        for l in [0.0, 2.0, 5.0, 9.0, 16.0, 40.0]:
+            assert table.max_size_for(l) == max_cluster_size(d, l)
 
 
 @given(

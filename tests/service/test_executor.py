@@ -69,3 +69,35 @@ class TestBatchExecutor:
         service.submit_batch(batch)
         results = service.submit_batch(batch)
         assert all(result.cached for result in results)
+
+    def test_dispatcher_holes_raise_instead_of_shrinking(self, service):
+        """A dispatcher that leaves slots unfilled must fail loudly.
+
+        Silently filtering the ``None`` slots would return a shorter
+        list, breaking the documented submission-order correspondence
+        between queries and results.
+        """
+
+        class HoleDispatcher:
+            def dispatch_group(
+                self, snapped, indices, queries, generation, start
+            ):
+                # Right length, but every slot is a hole.
+                return [None] * len(indices)
+
+        with pytest.raises(ServiceError, match="unfilled"):
+            service.submit_batch(
+                _mixed_batch(), dispatcher=HoleDispatcher()
+            )
+
+    def test_dispatcher_wrong_length_raises(self, service):
+        class ShortDispatcher:
+            def dispatch_group(
+                self, snapped, indices, queries, generation, start
+            ):
+                return []
+
+        with pytest.raises(ServiceError):
+            service.submit_batch(
+                _mixed_batch(), dispatcher=ShortDispatcher()
+            )
