@@ -23,7 +23,14 @@ root, so successive commits carry comparable numbers:
 * the wire overhead — the identical deterministic query stream (with
   churn) driven in-process and over loopback TCP through
   ``repro.net``, plus a direct answer-equality check between a served
-  batch and its in-process twin.
+  batch and its in-process twin;
+* with ``--overload``, the admission-control leg — an
+  admission-limited server at ~2x saturation (four clients, one
+  execution slot plus one queue slot, per-connection rate limits)
+  gated on shed rate above zero, accepted p99 within
+  ``OVERLOAD_P99_FACTOR``x of the unloaded p99 (with an absolute
+  floor), zero answer mismatches vs the unthrottled twin, and exact
+  client/server rejection-counter reconciliation.
 
 The script is also a gate: it exits non-zero when the warm
 aggregation-build count is not strictly below the cold one (the
@@ -444,6 +451,62 @@ def measure_net(smoke: bool) -> dict:
     }
 
 
+#: Accepted-p99 multiple of the unloaded p99 above which the overload
+#: gate fails, and the absolute floor that keeps the gate robust on
+#: noisy CI boxes where both p99s are tiny.
+OVERLOAD_P99_FACTOR = 3.0
+OVERLOAD_P99_FLOOR_S = 0.05
+
+
+def measure_overload(smoke: bool) -> dict:
+    """Admission-limited server at ~2x saturation vs an unthrottled twin.
+
+    Four concurrent clients against one execution slot (plus one queue
+    slot) and a per-connection rate limit: the server MUST shed, the
+    requests it does accept must stay fast and answer exactly like the
+    unthrottled twin, and the server must still answer a ping while
+    saturated (the harness probes it).  Client-observed rejections are
+    reconciled against the server's shed/throttled counters — a
+    mismatch means a rejection went uncounted somewhere.
+    """
+    from repro.net.loadgen import OverloadConfig, run_overload_loadgen
+
+    n = 60 if smoke else 200
+    config = OverloadConfig(
+        queries=120 if smoke else 400,
+        clients=4,
+        max_inflight=1,
+        max_queue_depth=1,
+        rate_per_s=200.0,
+        burst=2,
+        seed=7,
+    )
+    report = run_overload_loadgen(
+        _build_service(n), _build_service(n), config
+    )
+    return {
+        "n": n,
+        "requests": report.requests,
+        "clients": config.clients,
+        "max_inflight": config.max_inflight,
+        "max_queue_depth": config.max_queue_depth,
+        "rate_per_s": config.rate_per_s,
+        "accepted": report.accepted,
+        "rejected": report.rejected,
+        "expired": report.expired,
+        "mismatches": report.mismatches,
+        "retry_hinted": report.retry_hinted,
+        "unloaded_p99_s": round(report.unloaded_p99_s, 6),
+        "accepted_p99_s": round(report.accepted_p99_s, 6),
+        "server_admitted": report.server_admitted,
+        "server_shed": report.server_shed,
+        "server_throttled": report.server_throttled,
+        "shed_rate": round(report.shed_rate, 4),
+        "reconciled": report.reconciled,
+        "duration_s": round(report.duration_s, 6),
+    }
+
+
 def environment_info() -> dict:
     import numpy
 
@@ -460,6 +523,12 @@ def main(argv: list[str] | None = None) -> int:
         "--smoke",
         action="store_true",
         help="CI-sized batch workload (the churn proof stays at n=200)",
+    )
+    parser.add_argument(
+        "--overload",
+        action="store_true",
+        help="also run the admission-control overload leg and gate on "
+             "shed rate, accepted p99, and answer fidelity",
     )
     parser.add_argument(
         "--out",
@@ -480,9 +549,10 @@ def main(argv: list[str] | None = None) -> int:
     kernels = measure_kernels(smoke=args.smoke)
     warm_path = measure_warm_path(smoke=args.smoke)
     net = measure_net(smoke=args.smoke)
+    overload = measure_overload(smoke=args.smoke) if args.overload else None
 
     trajectory = {
-        "schema": 5,
+        "schema": 6,
         "mode": "smoke" if args.smoke else "full",
         "n_cut": N_CUT,
         "environment": environment_info(),
@@ -493,6 +563,8 @@ def main(argv: list[str] | None = None) -> int:
         "warm_path": warm_path,
         "net": net,
     }
+    if overload is not None:
+        trajectory["overload"] = overload
     args.out.write_text(json.dumps(trajectory, indent=2) + "\n")
     print(json.dumps(trajectory, indent=2))
 
@@ -619,6 +691,46 @@ def main(argv: list[str] | None = None) -> int:
             f"wire overhead: {net['wire_overhead']}x "
             f"(warn threshold: {WIRE_OVERHEAD_WARN}x)"
         )
+    if overload is not None:
+        if overload["rejected"] == 0 or overload["shed_rate"] <= 0.0:
+            failures.append(
+                "the overload leg shed nothing at ~2x saturation "
+                f"(rejected={overload['rejected']}, shed_rate="
+                f"{overload['shed_rate']}) — admission control never "
+                "engaged"
+            )
+        if overload["mismatches"]:
+            failures.append(
+                f"{overload['mismatches']} accepted answer(s) under "
+                "overload differ from the unthrottled twin — shedding "
+                "must never corrupt the requests it lets through"
+            )
+        if not overload["reconciled"]:
+            failures.append(
+                "client-observed overload rejections "
+                f"({overload['rejected']}) do not reconcile with the "
+                f"server's shed ({overload['server_shed']}) + "
+                f"throttled ({overload['server_throttled']}) counters"
+            )
+        p99_bound = max(
+            OVERLOAD_P99_FACTOR * overload["unloaded_p99_s"],
+            OVERLOAD_P99_FLOOR_S,
+        )
+        if overload["accepted_p99_s"] > p99_bound:
+            failures.append(
+                "accepted p99 under overload "
+                f"({overload['accepted_p99_s']}s) exceeds "
+                f"{OVERLOAD_P99_FACTOR}x the unloaded p99 "
+                f"({overload['unloaded_p99_s']}s, bound {p99_bound:.4f}s)"
+                " — the pending-work bound is no longer protecting "
+                "latency"
+            )
+        else:
+            print(
+                f"overload leg: shed_rate={overload['shed_rate']}, "
+                f"accepted p99 {overload['accepted_p99_s']}s within "
+                f"bound {p99_bound:.4f}s, 0 mismatches"
+            )
     if "n1000" in kernels and kernels["n1000"]["numpy_cold_s"] >= 10.0:
         failures.append(
             "numpy cold batched build at n=1000 took "

@@ -148,6 +148,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="drive the same load through a TCP server + wire client "
              "and report the wire overhead vs the in-process run",
     )
+    serve.add_argument(
+        "--overload", action="store_true",
+        help="drive an admission-limited TCP server past saturation "
+             "with concurrent clients and report shed rate, accepted "
+             "p99, and answer fidelity vs an unthrottled twin",
+    )
 
     server = sub.add_parser(
         "serve",
@@ -172,6 +178,25 @@ def build_parser() -> argparse.ArgumentParser:
     server.add_argument(
         "--max-seconds", type=float, default=None,
         help="stop after this many seconds (default: run until ^C)",
+    )
+    server.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="admission bound on concurrently executing requests "
+             "(default: unbounded)",
+    )
+    server.add_argument(
+        "--max-queue", type=int, default=0, metavar="N",
+        help="admitted requests allowed to wait beyond --max-inflight "
+             "before the newest is shed",
+    )
+    server.add_argument(
+        "--rate-limit", type=float, default=None, metavar="QPS",
+        help="per-connection token-bucket refill rate "
+             "(default: no rate limit)",
+    )
+    server.add_argument(
+        "--burst", type=int, default=1, metavar="N",
+        help="token-bucket capacity per connection (with --rate-limit)",
     )
 
     trace = sub.add_parser(
@@ -380,6 +405,28 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             f"q/s vs wire {wire.throughput_qps:.1f} q/s "
             f"(ratio {ratio:.2f}x)"
         )
+    if args.overload:
+        from repro.net.loadgen import OverloadConfig, run_overload_loadgen
+
+        # Two fresh services from the same seeds: one throttled, one
+        # unthrottled twin providing the reference answers.
+        loaded = ClusterQueryService(
+            build_framework(dataset.bandwidth, seed=args.seed),
+            classes,
+            n_cut=args.n_cut,
+        )
+        twin = ClusterQueryService(
+            build_framework(dataset.bandwidth, seed=args.seed),
+            classes,
+            n_cut=args.n_cut,
+        )
+        overload = run_overload_loadgen(
+            loaded,
+            twin,
+            OverloadConfig(queries=args.queries, seed=args.seed),
+        )
+        print("\noverload leg (admission-limited server at ~2x):")
+        print(overload.format_table())
     return 0
 
 
@@ -412,8 +459,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backend = ClusterQueryService(
             framework, classes, n_cut=args.n_cut
         )
+    admission = None
+    if args.max_inflight is not None or args.rate_limit is not None:
+        from repro.service.admission import (
+            AdmissionConfig,
+            AdmissionController,
+        )
+
+        admission = AdmissionController(
+            AdmissionConfig(
+                max_inflight=args.max_inflight,
+                max_queue_depth=args.max_queue,
+                rate_per_s=args.rate_limit,
+                burst=args.burst,
+            )
+        )
     handle = serve_in_background(
-        backend, host=args.host, port=args.port
+        backend, host=args.host, port=args.port, admission=admission
     )
     host, port = handle.address
     mode = (
@@ -421,10 +483,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         if coordinator is not None
         else "in-process service"
     )
+    limits = (
+        "unbounded admission"
+        if admission is None
+        else (
+            f"admission max_inflight={args.max_inflight} "
+            f"max_queue={args.max_queue} rate={args.rate_limit}/s "
+            f"burst={args.burst}"
+        )
+    )
     print(
         f"serving {args.dataset} overlay on {host}:{port} via {mode} "
         f"(generation {backend.generation}, "
-        f"{len(backend.hosts)} hosts) — Ctrl-C to stop"
+        f"{len(backend.hosts)} hosts, {limits}) — Ctrl-C to stop"
     )
     try:
         if args.max_seconds is not None:

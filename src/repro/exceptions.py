@@ -33,6 +33,8 @@ __all__ = [
     "ExperimentError",
     "ServiceError",
     "StaleGenerationError",
+    "OverloadError",
+    "DeadlineExceededError",
     "TracingError",
     "LintError",
     "KernelError",
@@ -125,6 +127,30 @@ class StaleGenerationError(ServiceError):
     current (membership or bandwidth state changed underneath it)."""
 
     code = 91
+
+
+class OverloadError(ServiceError):
+    """The service shed this request to protect itself (queue bound hit
+    or per-client rate limit exceeded).  Retry after backing off;
+    :attr:`retry_after_s` is the server's hint when it has one."""
+
+    code = 92
+
+    def __init__(
+        self, message: str, retry_after_s: float | None = None
+    ) -> None:
+        super().__init__(message)
+        #: Server's suggested backoff before retrying (``None`` when
+        #: the server did not provide one, e.g. decoded from an old
+        #: peer that predates the field).
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceededError(ServiceError):
+    """The request's deadline expired before (or while) it was served;
+    the remaining work was shed, not executed."""
+
+    code = 93
 
 
 class TracingError(ReproError):

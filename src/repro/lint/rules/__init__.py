@@ -195,6 +195,7 @@ _RULE_MODULES = (
     "lockorder",
     "wirecontract",
     "snapshot",
+    "shedcounters",
 )
 for _module_name in _RULE_MODULES:
     import_module(f"repro.lint.rules.{_module_name}")

@@ -1,0 +1,125 @@
+"""RPR015 — every shed/reject early-return must be counted.
+
+Admission control only works when operators can *see* it working: a
+request silently rejected is indistinguishable from a request lost to
+a bug.  The contract (DESIGN.md, "Overload protection") is that every
+function which sheds work — by raising
+:class:`~repro.exceptions.OverloadError` or
+:class:`~repro.exceptions.DeadlineExceededError` — increments a
+telemetry counter *in that same function*, so counters can never drift
+from the rejections actually handed to clients::
+
+    def admit(self):
+        self._telemetry.record_shed()          # counted ...
+        raise OverloadError("at capacity")     # ... and raised: ok
+
+    def admit(self):
+        raise OverloadError("at capacity")     # RPR015: silent drop
+
+The check is deliberately syntactic — a ``raise OverloadError(...)``
+or ``raise DeadlineExceededError(...)`` constructor call requires a
+``record_*`` method call somewhere in the same function body (nested
+``def``/``lambda`` bodies belong to their own function).  Re-raising a
+caught instance (``raise error``) is not flagged: the counter was
+incremented where the rejection originated.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules import FileContext, Rule, register
+
+__all__ = ["ShedCounterRule"]
+
+SCOPES = ("repro/service/", "repro/net/")
+
+#: Exception classes whose raise sites must be counted.
+_SHED_ERRORS = frozenset({"OverloadError", "DeadlineExceededError"})
+
+#: Telemetry-counter call prefix that satisfies the rule.
+_COUNTER_PREFIX = "record_"
+
+
+def _called_name(call: ast.Call) -> str | None:
+    """The simple name a call invokes (``f(...)`` or ``o.f(...)``)."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _own_body_walk(function: ast.AST) -> Iterator[ast.AST]:
+    """Walk *function*'s own statements, not nested functions'.
+
+    A nested ``def`` (or ``lambda``) is a separate counting scope — a
+    raise inside it must be matched by a counter inside it, not by one
+    in the enclosing function that may never run on the same path.
+    """
+    stack: list[ast.AST] = list(ast.iter_child_nodes(function))
+    while stack:
+        node = stack.pop()
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class ShedCounterRule(Rule):
+    """Flag shed/deadline raises with no counter call alongside."""
+
+    rule_id = "RPR015"
+    summary = (
+        "a function raising OverloadError/DeadlineExceededError must "
+        "call a record_* telemetry counter in the same body"
+    )
+
+    def applies_to(self, display: str) -> bool:
+        return any(scope in display for scope in SCOPES)
+
+    def check_file(self, context: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(context.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                yield from self._check_function(context, node)
+
+    def _check_function(
+        self,
+        context: FileContext,
+        function: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> Iterator[Finding]:
+        shed_raises: list[tuple[ast.Raise, str]] = []
+        counted = False
+        for node in _own_body_walk(function):
+            if isinstance(node, ast.Call):
+                name = _called_name(node)
+                if name is not None and name.startswith(
+                    _COUNTER_PREFIX
+                ):
+                    counted = True
+            elif isinstance(node, ast.Raise) and isinstance(
+                node.exc, ast.Call
+            ):
+                name = _called_name(node.exc)
+                if name in _SHED_ERRORS:
+                    shed_raises.append((node, name))
+        if counted:
+            return
+        for raise_node, error_name in shed_raises:
+            yield context.finding(
+                raise_node,
+                self.rule_id,
+                f"{function.name} raises {error_name} without "
+                "calling any record_* telemetry counter — a shed "
+                "request that is not counted is invisible to "
+                "operators; increment the counter in the same "
+                "function that rejects",
+            )

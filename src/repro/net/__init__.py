@@ -53,6 +53,7 @@ from repro.net.framing import (
 from repro.net.loadgen import run_net_loadgen
 from repro.net.protocol import (
     ENVELOPE_VERSION,
+    SUPPORTED_ENVELOPE_VERSIONS,
     decode_request,
     decode_response,
     encode_request,
@@ -79,6 +80,7 @@ __all__ = [
     "FRAME_VERSION",
     "FrameDecoder",
     "QueryBackend",
+    "SUPPORTED_ENVELOPE_VERSIONS",
     "ServerHandle",
     "ServiceSpec",
     "decode_request",

@@ -62,6 +62,10 @@ from repro.net.protocol import (
     encode_request,
     response_error,
 )
+from repro.service.admission import (
+    deadline_from_budget,
+    remaining_budget,
+)
 from repro.service.core import ServiceResult
 
 __all__ = ["AsyncClusterClient", "ClientGroupDispatcher", "ClusterClient"]
@@ -269,31 +273,60 @@ class ClusterClient:
                     f"response for unknown request id {response_id}"
                 )
 
-    def _request(self, request: Request, retriable: bool) -> Response:
+    def _request(
+        self,
+        request: Request,
+        retriable: bool,
+        deadline: float | None = None,
+    ) -> Response:
+        """Send with bounded retry; backoff never outlives *deadline*.
+
+        Backoff sleeps happen only *between* attempts — a failure with
+        no retry left raises immediately instead of sleeping first —
+        and each sleep is capped by the time remaining until
+        *deadline* (absolute, monotonic).  A deadline that expires
+        mid-retry stops the loop: spending more wall clock than the
+        caller's budget on a request the server would shed anyway is
+        pure waste.
+        """
         core = self._core
         attempts = core.retries + 1 if retriable else 1
         last: Exception | None = None
+        tried = 0
         for attempt in range(attempts):
-            if attempt:
-                time.sleep(core.backoff_s * (2 ** (attempt - 1)))
+            tried = attempt + 1
             try:
                 return core.unwrap(self._roundtrip(request))
             except _TRANSIENT as error:
                 self.close()
                 last = error
+                if tried >= attempts:
+                    break
+                delay = core.backoff_s * (2 ** attempt)
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    delay = min(delay, remaining)
+                if delay > 0:
+                    time.sleep(delay)
         raise NetworkError(
-            f"request failed after {attempts} attempt(s): {last}"
+            f"request failed after {tried} attempt(s): {last}"
         ) from last
 
     def _with_stale_refresh(
-        self, build: Callable[[int | None], Request]
+        self,
+        build: Callable[[int | None], Request],
+        deadline: float | None = None,
     ) -> Response:
         """Send a stamped request, refreshing the stamp on staleness."""
         core = self._core
         for _ in range(core.stale_retries + 1):
             try:
                 return self._request(
-                    build(core.generation), retriable=True
+                    build(core.generation),
+                    retriable=True,
+                    deadline=deadline,
                 )
             except StaleGenerationError:
                 if not core.refresh_on_stale:
@@ -322,13 +355,29 @@ class ClusterClient:
         return response
 
     def submit(
-        self, k: int, b: float, start: int | None = None
+        self,
+        k: int,
+        b: float,
+        start: int | None = None,
+        deadline_s: float | None = None,
     ) -> ServiceResult:
-        """Answer one ``(k, b)`` query over the wire."""
+        """Answer one ``(k, b)`` query over the wire.
+
+        *deadline_s* bounds the whole call (including retries and
+        their backoff): the remaining budget is stamped on each wire
+        attempt so the server sheds the request once it expires, and
+        client-side backoff never sleeps past it.
+        """
+        deadline = deadline_from_budget(deadline_s)
         response = self._with_stale_refresh(
             lambda generation: SubmitRequest(
-                k=k, b=b, start=start, generation=generation
-            )
+                k=k,
+                b=b,
+                start=start,
+                generation=generation,
+                deadline_s=remaining_budget(deadline),
+            ),
+            deadline=deadline,
         )
         assert isinstance(response, ResultResponse)
         return response.result
@@ -337,13 +386,23 @@ class ClusterClient:
         self,
         queries: list[ClusterQuery],
         start: int | None = None,
+        deadline_s: float | None = None,
     ) -> list[ServiceResult]:
-        """Answer a batch over the wire, results in submission order."""
+        """Answer a batch over the wire, results in submission order.
+
+        *deadline_s* bounds the whole batch exactly as in
+        :meth:`submit`.
+        """
         pairs = tuple((query.k, query.b) for query in queries)
+        deadline = deadline_from_budget(deadline_s)
         response = self._with_stale_refresh(
             lambda generation: SubmitBatchRequest(
-                queries=pairs, start=start, generation=generation
-            )
+                queries=pairs,
+                start=start,
+                generation=generation,
+                deadline_s=remaining_budget(deadline),
+            ),
+            deadline=deadline,
         )
         assert isinstance(response, ResultBatchResponse)
         return list(response.results)
@@ -491,33 +550,54 @@ class AsyncClusterClient:
                 )
 
     async def _request(
-        self, request: Request, retriable: bool
+        self,
+        request: Request,
+        retriable: bool,
+        deadline: float | None = None,
     ) -> Response:
+        """Send with bounded retry; backoff never outlives *deadline*.
+
+        Same contract as the blocking client: sleeps happen only
+        between attempts, each capped by the remaining budget, and an
+        expired deadline stops the retry loop outright.
+        """
         core = self._core
         attempts = core.retries + 1 if retriable else 1
         last: Exception | None = None
+        tried = 0
         for attempt in range(attempts):
-            if attempt:
-                await asyncio.sleep(
-                    core.backoff_s * (2 ** (attempt - 1))
-                )
+            tried = attempt + 1
             try:
                 return core.unwrap(await self._roundtrip(request))
             except _TRANSIENT as error:
                 await self.close()
                 last = error
+                if tried >= attempts:
+                    break
+                delay = core.backoff_s * (2 ** attempt)
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    delay = min(delay, remaining)
+                if delay > 0:
+                    await asyncio.sleep(delay)
         raise NetworkError(
-            f"request failed after {attempts} attempt(s): {last}"
+            f"request failed after {tried} attempt(s): {last}"
         ) from last
 
     async def _with_stale_refresh(
-        self, build: Callable[[int | None], Request]
+        self,
+        build: Callable[[int | None], Request],
+        deadline: float | None = None,
     ) -> Response:
         core = self._core
         for _ in range(core.stale_retries + 1):
             try:
                 return await self._request(
-                    build(core.generation), retriable=True
+                    build(core.generation),
+                    retriable=True,
+                    deadline=deadline,
                 )
             except StaleGenerationError:
                 if not core.refresh_on_stale:
@@ -544,13 +624,27 @@ class AsyncClusterClient:
         return response
 
     async def submit(
-        self, k: int, b: float, start: int | None = None
+        self,
+        k: int,
+        b: float,
+        start: int | None = None,
+        deadline_s: float | None = None,
     ) -> ServiceResult:
-        """Answer one ``(k, b)`` query over the wire."""
+        """Answer one ``(k, b)`` query over the wire.
+
+        *deadline_s* bounds the whole call exactly as in
+        :meth:`ClusterClient.submit`.
+        """
+        deadline = deadline_from_budget(deadline_s)
         response = await self._with_stale_refresh(
             lambda generation: SubmitRequest(
-                k=k, b=b, start=start, generation=generation
-            )
+                k=k,
+                b=b,
+                start=start,
+                generation=generation,
+                deadline_s=remaining_budget(deadline),
+            ),
+            deadline=deadline,
         )
         assert isinstance(response, ResultResponse)
         return response.result
@@ -559,13 +653,23 @@ class AsyncClusterClient:
         self,
         queries: list[ClusterQuery],
         start: int | None = None,
+        deadline_s: float | None = None,
     ) -> list[ServiceResult]:
-        """Answer a batch over the wire, results in submission order."""
+        """Answer a batch over the wire, results in submission order.
+
+        *deadline_s* bounds the whole batch exactly as in
+        :meth:`ClusterClient.submit`.
+        """
         pairs = tuple((query.k, query.b) for query in queries)
+        deadline = deadline_from_budget(deadline_s)
         response = await self._with_stale_refresh(
             lambda generation: SubmitBatchRequest(
-                queries=pairs, start=start, generation=generation
-            )
+                queries=pairs,
+                start=start,
+                generation=generation,
+                deadline_s=remaining_budget(deadline),
+            ),
+            deadline=deadline,
         )
         assert isinstance(response, ResultBatchResponse)
         return list(response.results)

@@ -50,6 +50,10 @@ from repro.exceptions import (
     StaleGenerationError,
     error_from_code,
 )
+from repro.service.admission import (
+    deadline_from_budget,
+    remaining_budget,
+)
 from repro.service.core import ClusterQueryService, ServiceResult
 from repro.service.executor import group_by_class
 
@@ -155,11 +159,14 @@ def _worker_main(spec: ServiceSpec, conn: Connection) -> None:
 
     * ``("sync", events)`` — apply a membership-log suffix; replies
       ``("ok", generation)``.
-    * ``("dispatch", generation, pairs, start)`` — answer the
-      ``(k, b)`` pairs as a batch.  Replies ``("stale", local_gen)``
-      when this replica is not at the pinned generation (the
-      coordinator syncs and retries), ``("results", [...])`` on
-      success.
+    * ``("dispatch", generation, pairs, start[, budget_s])`` — answer
+      the ``(k, b)`` pairs as a batch.  Replies ``("stale",
+      local_gen)`` when this replica is not at the pinned generation
+      (the coordinator syncs and retries), ``("results", [...])`` on
+      success.  The optional fifth element is the request's
+      *remaining* deadline budget in seconds at send time — relative,
+      because coordinator and worker do not share a monotonic clock —
+      and older four-element dispatches decode as "no deadline".
     * ``("ping",)`` — replies ``("ok", generation)``.
     * ``("stop",)`` — exit the loop (process then terminates).
 
@@ -208,11 +215,27 @@ def _serve_command(
             _apply_event(service, event)
         return ("ok", service.generation)
     if verb == "dispatch":
-        (_, generation, pairs, start) = command
+        (_, generation, pairs, start) = command[:4]
+        # Older coordinators send four-element dispatches; tolerate
+        # them (and junk budgets) as deadline-free rather than
+        # crashing the replica.
+        raw = command[4] if len(command) > 4 else None
+        budget = (
+            float(raw)
+            if isinstance(raw, (int, float))
+            and not isinstance(raw, bool)
+            else None
+        )
         if service.generation != generation:
             return ("stale", service.generation)
         queries = [ClusterQuery(k=k, b=b) for k, b in pairs]
-        results = service.submit_batch(queries, start=start)
+        # Re-anchor the relative budget on this process's own clock;
+        # the replica's admission control sheds the batch (typed, so
+        # it crosses the pipe) if it expires mid-execution.
+        deadline = deadline_from_budget(budget)
+        results = service.submit_batch(
+            queries, start=start, deadline=deadline
+        )
         return ("results", results)
     raise ServiceError(f"unknown worker command verb {verb!r}")
 
@@ -513,8 +536,16 @@ class ClusterCoordinator:
         pairs: list[tuple[int, float]],
         generation: int,
         start: int | None,
+        deadline: float | None = None,
     ) -> list[ServiceResult]:
-        """Dispatch one group, healing stale/dead workers as needed."""
+        """Dispatch one group, healing stale/dead workers as needed.
+
+        *deadline* (absolute, this process's monotonic clock) is
+        checked before every attempt — a respawn or stale-sync cycle
+        must not keep burning a budget the caller has already lost —
+        and each dispatch carries the remaining budget so the worker
+        can shed expired work on its own clock.
+        """
         attempts = 0
         while True:
             attempts += 1
@@ -523,11 +554,18 @@ class ClusterCoordinator:
                     f"group re-dispatched {attempts - 1} time(s) "
                     f"without an answer at generation {generation}"
                 )
+            self._authority.admission.check_deadline(deadline)
             with slot.lock:
                 try:
                     reply = self._call_locked(
                         slot,
-                        ("dispatch", generation, pairs, start),
+                        (
+                            "dispatch",
+                            generation,
+                            pairs,
+                            start,
+                            remaining_budget(deadline),
+                        ),
                     )
                 except CoordinatorError:
                     # Dead worker: evict, respawn (replays the log),
@@ -566,6 +604,7 @@ class ClusterCoordinator:
         query: ClusterQuery,
         start: int | None = None,
         expected_generation: int | None = None,
+        deadline: float | None = None,
     ) -> ServiceResult:
         """Answer one query on some worker (raises when pinned stale)."""
         generation = self.generation
@@ -579,7 +618,11 @@ class ClusterCoordinator:
             )
         slot = self._next_slot()
         results = self._dispatch_to_slot(
-            slot, [(query.k, query.b)], generation, start
+            slot,
+            [(query.k, query.b)],
+            generation,
+            start,
+            deadline=deadline,
         )
         return results[0]
 
@@ -587,6 +630,7 @@ class ClusterCoordinator:
         self,
         queries: list[ClusterQuery],
         start: int | None = None,
+        deadline: float | None = None,
     ) -> list[ServiceResult]:
         """Answer a batch: classes fan out across worker processes.
 
@@ -627,7 +671,8 @@ class ClusterCoordinator:
                         (queries[i].k, queries[i].b) for i in indices
                     ]
                     answers = self._dispatch_to_slot(
-                        slot, pairs, generation, start
+                        slot, pairs, generation, start,
+                        deadline=deadline,
                     )
                     if len(answers) != len(indices):
                         raise CoordinatorError(

@@ -20,18 +20,26 @@ transparently refreshed and retried by the client.
 
 from __future__ import annotations
 
+import threading
 import time
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro._validation import as_rng
 from repro.core.query import ClusterQuery
+from repro.exceptions import (
+    DeadlineExceededError,
+    OverloadError,
+    ServiceError,
+)
 from repro.net.client import ClusterClient
 from repro.net.server import serve_in_background
+from repro.service.admission import AdmissionConfig, AdmissionController
 from repro.service.core import ClusterQueryService, ServiceResult
 from repro.service.loadgen import LoadGenConfig, LoadGenReport, query_mix
 
-__all__ = ["run_net_loadgen"]
+__all__ = ["OverloadConfig", "OverloadReport", "run_overload_loadgen", "run_net_loadgen"]
 
 
 def _churn_over_wire(
@@ -102,4 +110,321 @@ def run_net_loadgen(
         duration_s=duration,
         throughput_qps=len(results) / duration if duration > 0 else 0.0,
         telemetry=service.telemetry.snapshot(),
+    )
+
+
+@dataclass(frozen=True)
+class OverloadConfig:
+    """Parameters for :func:`run_overload_loadgen`.
+
+    Attributes
+    ----------
+    queries:
+        Total requests across all client threads.
+    clients:
+        Concurrent client threads hammering the throttled server; with
+        ``max_inflight`` below, this sets the saturation factor (the
+        default is ~2x: four clients against two execution slots
+        counting the queue).
+    max_inflight, max_queue_depth:
+        The throttled server's pending-work bound (see
+        :class:`~repro.service.admission.AdmissionConfig`).
+    rate_per_s, burst:
+        Per-connection token-bucket limits for the throttled server;
+        ``None`` disables rate limiting and leaves only the
+        pending-work bound.
+    deadline_s:
+        Optional per-request deadline budget stamped by the clients
+        (``None`` sends unbounded requests).
+    seed:
+        Seed for the deterministic query stream (shared with the
+        baseline leg, so both legs answer the identical queries).
+    """
+
+    queries: int = 200
+    clients: int = 4
+    max_inflight: int = 1
+    max_queue_depth: int = 1
+    rate_per_s: float | None = 200.0
+    burst: int = 2
+    deadline_s: float | None = None
+    seed: int = 0
+
+
+@dataclass(frozen=True)
+class OverloadReport:
+    """What happened when the wire server was driven past saturation.
+
+    Attributes
+    ----------
+    requests:
+        Requests issued across every client thread.
+    accepted:
+        Requests that came back with an answer.
+    rejected:
+        Requests that came back :class:`~repro.exceptions.
+        OverloadError` (shed or throttled).
+    expired:
+        Requests that came back :class:`~repro.exceptions.
+        DeadlineExceededError`.
+    mismatches:
+        Accepted answers that differ from the unthrottled twin's
+        answer for the same query — must be zero: overload protection
+        may slow or shed a request, never corrupt it.
+    retry_hinted:
+        Rejections that carried a usable ``retry_after_s`` hint.
+    unloaded_p99_s, accepted_p99_s:
+        p99 request latency of the unthrottled baseline leg vs the
+        *accepted* requests of the overloaded leg.
+    server_admitted, server_shed, server_throttled, server_expired:
+        The throttled server's admission counters after the run.
+    shed_rate:
+        The server's windowed rejection fraction after the run.
+    reconciled:
+        Whether client-observed rejections exactly match the server's
+        shed + throttled counters (no silent drops in either
+        direction).
+    duration_s:
+        Wall-clock duration of the overloaded leg.
+    """
+
+    requests: int
+    accepted: int
+    rejected: int
+    expired: int
+    mismatches: int
+    retry_hinted: int
+    unloaded_p99_s: float
+    accepted_p99_s: float
+    server_admitted: int
+    server_shed: int
+    server_throttled: int
+    server_expired: int
+    shed_rate: float
+    reconciled: bool
+    duration_s: float
+
+    def format_table(self) -> str:
+        """Human-readable summary (one ``key: value`` row per line)."""
+        rows = [
+            ("requests", f"{self.requests}"),
+            ("accepted", f"{self.accepted}"),
+            ("rejected (overload)", f"{self.rejected}"),
+            ("expired (deadline)", f"{self.expired}"),
+            ("answer mismatches", f"{self.mismatches}"),
+            ("retry hints seen", f"{self.retry_hinted}"),
+            ("unloaded p99", f"{self.unloaded_p99_s * 1e3:.2f} ms"),
+            ("accepted p99", f"{self.accepted_p99_s * 1e3:.2f} ms"),
+            (
+                "server counters",
+                f"admitted={self.server_admitted} "
+                f"shed={self.server_shed} "
+                f"throttled={self.server_throttled} "
+                f"expired={self.server_expired}",
+            ),
+            ("shed rate (window)", f"{self.shed_rate:.3f}"),
+            ("counters reconciled", f"{self.reconciled}"),
+            ("duration", f"{self.duration_s:.2f} s"),
+        ]
+        width = max(len(label) for label, _ in rows)
+        return "\n".join(
+            f"{label:<{width}}  {value}" for label, value in rows
+        )
+
+
+def _answer_key(result: ServiceResult) -> tuple[object, ...]:
+    """The deterministic identity of an answer.
+
+    ``cached`` and ``latency_s`` legitimately differ between two
+    services answering the same query; everything else must match
+    bit-for-bit between the throttled server and its unthrottled twin.
+    """
+    return (
+        result.cluster,
+        result.hops,
+        result.start,
+        result.snapped_b,
+        result.l,
+        result.generation,
+    )
+
+
+def _p99(latencies: list[float]) -> float:
+    """p99 latency (0 when nothing was measured)."""
+    if not latencies:
+        return 0.0
+    ordered = sorted(latencies)
+    index = min(len(ordered) - 1, int(0.99 * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _warm(client: ClusterClient, stream: list[ClusterQuery]) -> None:
+    """Answer one query per distinct class so neither leg's latency
+    distribution is dominated by one-time substrate/CRT builds."""
+    seen: dict[float, ClusterQuery] = {}
+    for query in stream:
+        seen.setdefault(query.b, query)
+    client.submit_batch(list(seen.values()))
+
+
+def run_overload_loadgen(
+    service: ClusterQueryService,
+    twin: ClusterQueryService,
+    config: OverloadConfig | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> OverloadReport:
+    """Drive *service* past saturation and prove the overload contract.
+
+    Two wire legs over the same deterministic query stream:
+
+    1. **Baseline** — *twin* (built from the same seeds as *service*)
+       behind an unthrottled server, one sequential client.  Yields
+       the unloaded p99 and the reference answer for every query.
+    2. **Overload** — *service* behind a server admission-limited to
+       ``max_inflight``/``max_queue_depth`` (plus optional per-client
+       rate limits), hammered by ``clients`` concurrent threads.
+       Every accepted answer is compared against the baseline answer
+       for the same stream index.
+
+    The report carries everything the bench gates assert: shed rate
+    above zero, accepted p99 against unloaded p99, zero answer
+    mismatches, and client/server rejection counters that reconcile
+    exactly.
+    """
+    config = config if config is not None else OverloadConfig()
+    if config.clients < 1 or config.queries < 1:
+        raise ServiceError(
+            "overload harness needs >= 1 client and >= 1 query"
+        )
+    rng = as_rng(config.seed)
+    stream = query_mix(
+        service,
+        LoadGenConfig(queries=config.queries, seed=config.seed),
+        rng,
+    )
+
+    # Leg 1: unthrottled twin — reference answers + unloaded latency.
+    baseline: list[ServiceResult] = []
+    unloaded_latencies: list[float] = []
+    with serve_in_background(twin, host=host, port=port) as handle:
+        with ClusterClient(*handle.address) as client:
+            _warm(client, stream)
+            for query in stream:
+                began = time.perf_counter()
+                baseline.append(client.submit(query.k, query.b))
+                unloaded_latencies.append(
+                    time.perf_counter() - began
+                )
+    reference = [_answer_key(result) for result in baseline]
+
+    # Leg 2: the throttled server under ~2x saturation.
+    admission = AdmissionController(
+        AdmissionConfig(
+            max_inflight=config.max_inflight,
+            max_queue_depth=config.max_queue_depth,
+            rate_per_s=config.rate_per_s,
+            burst=config.burst,
+        )
+    )
+    accepted_latencies: list[float] = []
+    mismatches = 0
+    rejected = 0
+    expired = 0
+    retry_hinted = 0
+    accepted = 0
+    tally = threading.Lock()
+    failures: list[BaseException] = []
+    with serve_in_background(
+        service, host=host, port=port, admission=admission
+    ) as handle:
+        ready = threading.Barrier(config.clients)
+
+        def hammer(worker: int) -> None:
+            nonlocal accepted, rejected, expired, mismatches
+            nonlocal retry_hinted
+            try:
+                with ClusterClient(
+                    *handle.address, retries=0
+                ) as client:
+                    ready.wait()
+                    for index in range(
+                        worker, len(stream), config.clients
+                    ):
+                        query = stream[index]
+                        began = time.perf_counter()
+                        try:
+                            result = client.submit(
+                                query.k,
+                                query.b,
+                                deadline_s=config.deadline_s,
+                            )
+                        except OverloadError as error:
+                            with tally:
+                                rejected += 1
+                                if (
+                                    error.retry_after_s is not None
+                                    and error.retry_after_s >= 0
+                                ):
+                                    retry_hinted += 1
+                        except DeadlineExceededError:
+                            with tally:
+                                expired += 1
+                        else:
+                            latency = time.perf_counter() - began
+                            with tally:
+                                accepted += 1
+                                accepted_latencies.append(latency)
+                                if (
+                                    _answer_key(result)
+                                    != reference[index]
+                                ):
+                                    mismatches += 1
+            except BaseException as error:  # noqa: BLE001 - rejoined
+                failures.append(error)
+
+        # Warm the throttled service through a side connection before
+        # the hammer threads start, so its first accepted requests do
+        # not pay one-time builds the baseline leg already amortized.
+        with ClusterClient(*handle.address) as warmer:
+            _warm(warmer, stream)
+        threads = [
+            threading.Thread(
+                target=hammer,
+                args=(worker,),
+                name=f"repro-overload-client-{worker}",
+            )
+            for worker in range(config.clients)
+        ]
+        began = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        duration = time.perf_counter() - began
+        if failures:
+            raise failures[0]
+        # The server must still answer control traffic while shedding
+        # query load — "responsive under overload" is the whole point.
+        with ClusterClient(*handle.address) as prober:
+            prober.ping()
+    snapshot = admission.telemetry.snapshot()
+    return OverloadReport(
+        requests=len(stream),
+        accepted=accepted,
+        rejected=rejected,
+        expired=expired,
+        mismatches=mismatches,
+        retry_hinted=retry_hinted,
+        unloaded_p99_s=_p99(unloaded_latencies),
+        accepted_p99_s=_p99(accepted_latencies),
+        server_admitted=snapshot.admitted,
+        server_shed=snapshot.shed,
+        server_throttled=snapshot.throttled,
+        server_expired=snapshot.expired,
+        shed_rate=snapshot.shed_rate,
+        reconciled=(
+            rejected == snapshot.shed + snapshot.throttled
+        ),
+        duration_s=duration,
     )

@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Mapping, Union
 
 from repro.exceptions import (
+    OverloadError,
     ProtocolError,
     ReproError,
     error_code,
@@ -46,6 +47,7 @@ from repro.service.core import ServiceResult
 
 __all__ = [
     "ENVELOPE_VERSION",
+    "SUPPORTED_ENVELOPE_VERSIONS",
     "AddHostRequest",
     "ErrorResponse",
     "MembershipResponse",
@@ -70,8 +72,15 @@ __all__ = [
     "result_to_wire",
 ]
 
-#: Version of the envelope schema (bumped on incompatible change).
-ENVELOPE_VERSION = 1
+#: Version of the envelope schema.  Version 2 added the optional
+#: ``deadline_s`` request field and the ``retry_after_s`` error field;
+#: both are additive, so this build still *decodes* version-1
+#: envelopes from older peers (see
+#: :data:`SUPPORTED_ENVELOPE_VERSIONS`) while encoding version 2.
+ENVELOPE_VERSION = 2
+
+#: Envelope versions this build accepts on decode.
+SUPPORTED_ENVELOPE_VERSIONS = frozenset({1, 2})
 
 
 # -- wire field extraction (strict) -----------------------------------------
@@ -104,6 +113,14 @@ def _float_field(body: Mapping[str, object], key: str) -> float:
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise ProtocolError(f"field {key!r} is not a number: {value!r}")
     return float(value)
+
+
+def _optional_float_field(
+    body: Mapping[str, object], key: str
+) -> float | None:
+    if body.get(key) is None:
+        return None
+    return _float_field(body, key)
 
 
 def _str_field(body: Mapping[str, object], key: str) -> str:
@@ -141,21 +158,34 @@ def _int_list_field(
 
 @dataclass(frozen=True)
 class SubmitRequest:
-    """One ``(k, b)`` query; ``generation`` pins it when not ``None``."""
+    """One ``(k, b)`` query; ``generation`` pins it when not ``None``.
+
+    ``deadline_s`` is the request's *remaining budget in seconds at
+    send time* (relative, because peers do not share a clock); the
+    server converts it to an absolute deadline on arrival and sheds
+    the request once it expires.  ``None`` means unbounded.
+    """
 
     k: int
     b: float
     start: int | None = None
     generation: int | None = None
+    deadline_s: float | None = None
 
 
 @dataclass(frozen=True)
 class SubmitBatchRequest:
-    """A batch of ``(k, b)`` pairs answered in submission order."""
+    """A batch of ``(k, b)`` pairs answered in submission order.
+
+    ``deadline_s`` is the whole batch's remaining budget at send time
+    (see :class:`SubmitRequest`); an expired batch sheds its remaining
+    class groups instead of executing them.
+    """
 
     queries: tuple[tuple[int, float], ...]
     start: int | None = None
     generation: int | None = None
+    deadline_s: float | None = None
 
 
 @dataclass(frozen=True)
@@ -238,11 +268,17 @@ class PongResponse:
 class ErrorResponse:
     """A failed request: stable error code, message, and the server's
     generation at failure time (``None`` when unavailable) so stale
-    clients can refresh without a second round trip."""
+    clients can refresh without a second round trip.
+
+    ``retry_after_s`` rides along on overload rejections (code 92) —
+    the server's backoff hint, re-attached to the reconstructed
+    :class:`~repro.exceptions.OverloadError` by
+    :func:`response_error`."""
 
     code: int
     message: str
     generation: int | None = None
+    retry_after_s: float | None = None
 
 
 Response = Union[
@@ -314,12 +350,14 @@ def _request_body(request: Request) -> dict[str, object]:
             "b": request.b,
             "start": request.start,
             "generation": request.generation,
+            "deadline_s": request.deadline_s,
         }
     if isinstance(request, SubmitBatchRequest):
         return {
             "queries": [[k, b] for k, b in request.queries],
             "start": request.start,
             "generation": request.generation,
+            "deadline_s": request.deadline_s,
         }
     if isinstance(request, (AddHostRequest, RemoveHostRequest)):
         return {"host": request.host}
@@ -333,6 +371,8 @@ def _decode_request_body(tag: str, body: Mapping[str, object]) -> Request:
             b=_float_field(body, "b"),
             start=_optional_int_field(body, "start"),
             generation=_optional_int_field(body, "generation"),
+            # Absent in version-1 envelopes; decodes as None there.
+            deadline_s=_optional_float_field(body, "deadline_s"),
         )
     if tag == "submit_batch":
         raw = body.get("queries")
@@ -354,6 +394,7 @@ def _decode_request_body(tag: str, body: Mapping[str, object]) -> Request:
             queries=tuple(queries),
             start=_optional_int_field(body, "start"),
             generation=_optional_int_field(body, "generation"),
+            deadline_s=_optional_float_field(body, "deadline_s"),
         )
     if tag == "add_host":
         return AddHostRequest(host=_int_field(body, "host"))
@@ -393,6 +434,7 @@ def _response_body(response: Response) -> dict[str, object]:
         "code": response.code,
         "message": response.message,
         "generation": response.generation,
+        "retry_after_s": response.retry_after_s,
     }
 
 
@@ -429,6 +471,7 @@ def _decode_response_body(
             code=_int_field(body, "code"),
             message=_str_field(body, "message"),
             generation=_optional_int_field(body, "generation"),
+            retry_after_s=_optional_float_field(body, "retry_after_s"),
         )
     raise ProtocolError(f"unknown response type {tag!r}")
 
@@ -447,10 +490,10 @@ def _encode_envelope(
 def _decode_envelope(message: object) -> tuple[int, str, Mapping[str, object]]:
     envelope = _body_mapping(message, "envelope")
     version = _int_field(envelope, "v")
-    if version != ENVELOPE_VERSION:
+    if version not in SUPPORTED_ENVELOPE_VERSIONS:
         raise ProtocolError(
-            f"unsupported envelope version {version} "
-            f"(this build speaks {ENVELOPE_VERSION})"
+            f"unsupported envelope version {version} (this build "
+            f"speaks {sorted(SUPPORTED_ENVELOPE_VERSIONS)})"
         )
     return (
         _int_field(envelope, "id"),
@@ -492,14 +535,31 @@ def decode_response(message: object) -> tuple[int, Response]:
 def error_response_for(
     error: ReproError, generation: int | None
 ) -> ErrorResponse:
-    """The wire form of *error*: stable code + message + generation."""
+    """The wire form of *error*: stable code + message + generation.
+
+    An :class:`~repro.exceptions.OverloadError`'s ``retry_after_s``
+    backoff hint rides along so the client can honor it.
+    """
+    retry_after = getattr(error, "retry_after_s", None)
     return ErrorResponse(
         code=error_code(error),
         message=str(error),
         generation=generation,
+        retry_after_s=(
+            float(retry_after)
+            if isinstance(retry_after, (int, float))
+            and not isinstance(retry_after, bool)
+            else None
+        ),
     )
 
 
 def response_error(response: ErrorResponse) -> ReproError:
     """Reconstruct the typed exception an :class:`ErrorResponse` carries."""
-    return error_from_code(response.code, response.message)
+    error = error_from_code(response.code, response.message)
+    if (
+        isinstance(error, OverloadError)
+        and response.retry_after_s is not None
+    ):
+        error.retry_after_s = response.retry_after_s
+    return error

@@ -39,11 +39,13 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
-from typing import Protocol
+from typing import Mapping, Protocol
 
 from repro.core.query import BandwidthClasses, ClusterQuery
 from repro.exceptions import (
+    DeadlineExceededError,
     NetworkError,
+    OverloadError,
     ReproError,
     ServiceError,
     StaleGenerationError,
@@ -69,6 +71,7 @@ from repro.net.protocol import (
     error_response_for,
 )
 from repro.obs import NOOP_TRACER, TracerLike
+from repro.service.admission import AdmissionController, AdmissionTicket
 from repro.service.core import ServiceResult
 
 __all__ = ["ClusterQueryServer", "QueryBackend", "ServerHandle",
@@ -103,16 +106,19 @@ class QueryBackend(Protocol):
         query: ClusterQuery,
         start: int | None = None,
         expected_generation: int | None = None,
+        deadline: float | None = None,
     ) -> ServiceResult:
-        """Answer one query (raises on stale pinned generations)."""
+        """Answer one query (raises on stale pinned generations;
+        sheds it when the absolute monotonic *deadline* has passed)."""
         ...
 
     def submit_batch(
         self,
         queries: list[ClusterQuery],
         start: int | None = None,
+        deadline: float | None = None,
     ) -> list[ServiceResult]:
-        """Answer a batch in submission order."""
+        """Answer a batch in submission order (deadline as above)."""
         ...
 
     def add_host(self, host: int) -> None:
@@ -126,6 +132,17 @@ class QueryBackend(Protocol):
     def overlay_root(self) -> int:
         """The anchor-tree root (the one host that cannot depart)."""
         ...
+
+
+def _peek_request_id(message: object) -> int:
+    """Best-effort request id off a possibly-malformed envelope, so a
+    decode error still echoes the id the client is waiting on (0 when
+    even that much is unreadable)."""
+    if isinstance(message, Mapping):
+        value = message.get("id")
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value
+    return 0
 
 
 def _service_overlay_root(backend: QueryBackend) -> int:
@@ -161,10 +178,18 @@ class ClusterQueryServer:
     max_frame:
         Per-frame payload bound, enforced both ways.
     drain_timeout:
-        Seconds :meth:`aclose` waits for in-flight requests.
+        Seconds :meth:`aclose` waits for in-flight requests before
+        cancelling the stragglers.
     tracer:
         Optional :class:`~repro.obs.tracer.TracerLike`; records
-        ``net.accept`` / ``net.request`` spans when enabled.
+        ``net.accept`` / ``net.request`` spans when enabled (plus
+        ``admission.*`` spans from the controller).
+    admission:
+        Optional :class:`~repro.service.admission.AdmissionController`
+        applied to submit traffic **at dequeue** — before a handler
+        task or executor thread is committed — with per-client token
+        buckets keyed by connection peer.  The default controller
+        admits everything.
     """
 
     def __init__(
@@ -175,6 +200,7 @@ class ClusterQueryServer:
         max_frame: int = DEFAULT_MAX_FRAME,
         drain_timeout: float = 5.0,
         tracer: TracerLike | None = None,
+        admission: AdmissionController | None = None,
     ) -> None:
         self._backend = backend
         self._host = host
@@ -184,12 +210,18 @@ class ClusterQueryServer:
         self._tracer: TracerLike = (
             tracer if tracer is not None else NOOP_TRACER
         )
+        self._admission = (
+            admission
+            if admission is not None
+            else AdmissionController(tracer=tracer)
+        )
         self._server: asyncio.Server | None = None
         self._readers: set[asyncio.Task[None]] = set()
         self._inflight: set[asyncio.Task[None]] = set()
         self._writers: set[asyncio.StreamWriter] = set()
         self._closing = False
         self._requests_served = 0
+        self._drain_cancelled = 0
 
     @property
     def address(self) -> tuple[str, int]:
@@ -206,6 +238,17 @@ class ClusterQueryServer:
     def requests_served(self) -> int:
         """Requests answered (including error responses) so far."""
         return self._requests_served
+
+    @property
+    def admission(self) -> AdmissionController:
+        """The controller guarding submit traffic (and its counters)."""
+        return self._admission
+
+    @property
+    def drain_cancelled(self) -> int:
+        """Handler tasks cancelled because they outlived the drain
+        timeout during :meth:`aclose` (0 on every clean shutdown)."""
+        return self._drain_cancelled
 
     async def start(self) -> tuple[str, int]:
         """Bind and start accepting; returns the bound address."""
@@ -224,15 +267,29 @@ class ClusterQueryServer:
         await self._server.serve_forever()
 
     async def aclose(self) -> None:
-        """Graceful drain: stop accepting, finish in-flight, tear down."""
+        """Graceful drain: stop accepting, finish in-flight, tear down.
+
+        In-flight handlers get ``drain_timeout`` seconds to finish
+        naturally; stragglers (e.g. wedged behind a stuck backend) are
+        then **cancelled and awaited** — ``asyncio.wait(...,
+        timeout=...)`` merely hands pending tasks back, and leaving
+        them running would leak tasks (and their transports) past
+        close.  Force-cancelled handlers are counted in
+        :attr:`drain_cancelled`.
+        """
         self._closing = True
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
         if self._inflight:
-            await asyncio.wait(
+            _done, pending = await asyncio.wait(
                 set(self._inflight), timeout=self._drain_timeout
             )
+            if pending:
+                for task in pending:
+                    task.cancel()
+                await asyncio.gather(*pending, return_exceptions=True)
+                self._drain_cancelled += len(pending)
         for task in list(self._readers):
             task.cancel()
         if self._readers:
@@ -270,10 +327,14 @@ class ClusterQueryServer:
         """Read frames off one connection until EOF or poison."""
         self._writers.add(writer)
         peer = writer.get_extra_info("peername")
+        peer_key = self._peer_key(peer)
         accepted = time.perf_counter()
         served_before = self._requests_served
         decoder = FrameDecoder(self._max_frame)
         write_lock = asyncio.Lock()
+        # This connection's live handler tasks, so teardown can
+        # quiesce exactly the handlers whose writes could race it.
+        handlers: set[asyncio.Task[None]] = set()
         try:
             while True:
                 data = await reader.read(65536)
@@ -282,9 +343,14 @@ class ClusterQueryServer:
                 try:
                     messages = decoder.feed(data)
                 except ReproError as error:
-                    # The stream is unrecoverable: answer with the
-                    # frame error (request id 0 — no id is readable
-                    # from a corrupt stream) and drop the connection.
+                    # The stream is unrecoverable.  Quiesce the
+                    # handlers already spawned for earlier pipelined
+                    # messages *first* — otherwise their responses
+                    # race the writer teardown below — then answer
+                    # with the frame error (request id 0: no id is
+                    # readable from a corrupt stream) and drop the
+                    # connection.
+                    await self._quiesce(handlers)
                     await self._send(
                         writer,
                         write_lock,
@@ -293,7 +359,9 @@ class ClusterQueryServer:
                     )
                     break
                 for message in messages:
-                    self._spawn_handler(message, writer, write_lock)
+                    await self._receive_message(
+                        message, writer, write_lock, handlers, peer_key
+                    )
         except asyncio.CancelledError:
             raise
         except (ConnectionError, OSError):
@@ -308,44 +376,117 @@ class ClusterQueryServer:
                         requests=self._requests_served - served_before,
                     )
             if not self._closing:
+                # EOF path: let in-flight handlers finish their
+                # writes before the transport goes away.  During
+                # aclose() the drain owns this sequencing instead.
+                await self._quiesce(handlers)
                 await self._close_writer(writer)
 
-    def _spawn_handler(
-        self,
-        message: object,
-        writer: asyncio.StreamWriter,
-        write_lock: asyncio.Lock,
-    ) -> None:
-        task = asyncio.ensure_future(
-            self._handle_message(message, writer, write_lock)
-        )
-        self._inflight.add(task)
-        task.add_done_callback(self._inflight.discard)
+    @staticmethod
+    def _peer_key(peer: object) -> str:
+        """The rate-bucket key for a transport's peer name."""
+        if isinstance(peer, (tuple, list)) and len(peer) >= 2:
+            return f"{peer[0]}:{peer[1]}"
+        return str(peer)
 
-    async def _handle_message(
+    @staticmethod
+    async def _quiesce(handlers: set[asyncio.Task[None]]) -> None:
+        """Wait out one connection's still-running handler tasks."""
+        pending = {task for task in handlers if not task.done()}
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+
+    async def _receive_message(
         self,
         message: object,
         writer: asyncio.StreamWriter,
         write_lock: asyncio.Lock,
+        handlers: set[asyncio.Task[None]],
+        peer_key: str,
     ) -> None:
-        began = time.perf_counter()
-        request_id = 0
-        tag = "?"
+        """Decode, admit, and hand one message to a handler task.
+
+        Admission runs here — at dequeue, before a handler task or
+        executor thread is committed — so a shed request costs one
+        decoded envelope plus an error frame and nothing more.  Only
+        submit traffic is admission-controlled: pings, snapshots, and
+        membership changes must keep working on an overloaded server
+        (that is how operators see *why* it is overloaded).
+        """
+        received = time.monotonic()
         try:
             request_id, request = decode_request(message)
-            tag = type(request).__name__
-            response: Response = await self._dispatch(request)
         except ReproError as error:
-            response = error_response_for(error, self._generation())
-        except Exception as error:  # noqa: BLE001 - wire boundary
-            response = error_response_for(
-                ServiceError(f"internal server error: {error}"),
-                self._generation(),
+            self._requests_served += 1
+            await self._send(
+                writer,
+                write_lock,
+                _peek_request_id(message),
+                error_response_for(error, self._generation()),
             )
-        # Count before the send: a client that has its response in
-        # hand must already see it reflected in the counter.
-        self._requests_served += 1
-        await self._send(writer, write_lock, request_id, response)
+            return
+        deadline: float | None = None
+        ticket: AdmissionTicket | None = None
+        if isinstance(request, (SubmitRequest, SubmitBatchRequest)):
+            if request.deadline_s is not None:
+                # The wire carries a relative budget (peers do not
+                # share a clock); anchor it to arrival time.
+                deadline = received + request.deadline_s
+            try:
+                self._admission.check_deadline(deadline)
+                ticket = self._admission.admit(client=peer_key)
+            except (OverloadError, DeadlineExceededError) as error:
+                self._requests_served += 1
+                await self._send(
+                    writer,
+                    write_lock,
+                    request_id,
+                    error_response_for(error, self._generation()),
+                )
+                return
+        task = asyncio.ensure_future(
+            self._handle_request(
+                request_id, request, deadline, writer, write_lock, ticket
+            )
+        )
+        self._inflight.add(task)
+        handlers.add(task)
+        task.add_done_callback(self._inflight.discard)
+        task.add_done_callback(handlers.discard)
+
+    async def _handle_request(
+        self,
+        request_id: int,
+        request: Request,
+        deadline: float | None,
+        writer: asyncio.StreamWriter,
+        write_lock: asyncio.Lock,
+        ticket: AdmissionTicket | None,
+    ) -> None:
+        began = time.perf_counter()
+        tag = type(request).__name__
+        try:
+            try:
+                # Re-checked at execution: time spent queued behind
+                # other handlers counts against the budget too.
+                self._admission.check_deadline(deadline)
+                response: Response = await self._dispatch(
+                    request, deadline
+                )
+            except ReproError as error:
+                response = error_response_for(error, self._generation())
+            except Exception as error:  # noqa: BLE001 - wire boundary
+                response = error_response_for(
+                    ServiceError(f"internal server error: {error}"),
+                    self._generation(),
+                )
+            # Count before the send: a client that has its response in
+            # hand must already see it reflected in the counter.
+            self._requests_served += 1
+            await self._send(writer, write_lock, request_id, response)
+        finally:
+            if ticket is not None:
+                ticket.release()
         if self._tracer.enabled:
             # Recorded post-hoc (zero-width span + latency attribute):
             # holding the span across the awaits above would mis-nest
@@ -382,7 +523,9 @@ class ClusterQueryServer:
         except (ConnectionError, OSError):
             pass  # peer gone before the answer; nothing to do
 
-    async def _dispatch(self, request: Request) -> Response:
+    async def _dispatch(
+        self, request: Request, deadline: float | None = None
+    ) -> Response:
         """Answer one typed request via the backend (off-loop)."""
         loop = asyncio.get_running_loop()
         backend = self._backend
@@ -404,6 +547,7 @@ class ClusterQueryServer:
                     query,
                     start=request.start,
                     expected_generation=request.generation,
+                    deadline=deadline,
                 ),
             )
             return ResultResponse(result=result)
@@ -424,7 +568,9 @@ class ClusterQueryServer:
                         f"batch stamped with generation {stamped}, "
                         f"overlay is at {current}"
                     )
-                return backend.submit_batch(queries, start=start)
+                return backend.submit_batch(
+                    queries, start=start, deadline=deadline
+                )
 
             results = await loop.run_in_executor(None, run_batch)
             return ResultBatchResponse(results=tuple(results))
@@ -504,6 +650,8 @@ def serve_in_background(
     port: int = 0,
     max_frame: int = DEFAULT_MAX_FRAME,
     tracer: TracerLike | None = None,
+    drain_timeout: float = 5.0,
+    admission: AdmissionController | None = None,
 ) -> ServerHandle:
     """Run a :class:`ClusterQueryServer` on a daemon thread.
 
@@ -521,6 +669,8 @@ def serve_in_background(
             port=port,
             max_frame=max_frame,
             tracer=tracer,
+            drain_timeout=drain_timeout,
+            admission=admission,
         )
         stop_event = asyncio.Event()
         await server.start()

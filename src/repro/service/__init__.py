@@ -14,11 +14,23 @@ queries against it:
   snapped distance class, with optional thread fan-out; warm class
   groups are answered as one vectorized gather against per-generation
   answer tables (:mod:`repro.kernels.answers`);
+* :mod:`~repro.service.admission` — admission control and overload
+  protection: per-caller token buckets, a bounded pending-work gauge
+  with reject-newest shedding, and request deadlines (see the README
+  "Overload protection" section);
 * :mod:`~repro.service.telemetry` — counters and latency histograms;
 * :mod:`~repro.service.loadgen` — the load generator behind
   ``repro-bcc serve-bench`` and the throughput benchmark.
 """
 
+from repro.service.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionTicket,
+    TokenBucket,
+    deadline_from_budget,
+    remaining_budget,
+)
 from repro.service.cache import (
     AggregationCache,
     AnswerTableMemo,
@@ -48,6 +60,9 @@ from repro.service.telemetry import (
 )
 
 __all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionTicket",
     "AggregationCache",
     "AnswerTableMemo",
     "BatchExecutor",
@@ -62,7 +77,10 @@ __all__ = [
     "ServiceStats",
     "ServiceTelemetry",
     "TelemetrySnapshot",
+    "TokenBucket",
+    "deadline_from_budget",
     "group_by_class",
     "query_mix",
+    "remaining_budget",
     "run_loadgen",
 ]

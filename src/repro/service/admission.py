@@ -1,0 +1,401 @@
+"""Admission control: load shedding, rate limits, and deadlines.
+
+A service that accepts unboundedly melts under overload: every queued
+request makes every other request slower, latency feeds back into more
+concurrent work, and by the time anything times out the process is
+doing nothing useful at all.  The cure is to **reject work at the
+door** while the service is still healthy — reject-newest keeps the
+requests already paid for, and a typed error with a retry hint turns
+the rejection into backpressure the client can act on.
+
+:class:`AdmissionController` implements the whole admission pipeline
+used by :class:`~repro.service.core.ClusterQueryService` in-process
+and :class:`~repro.net.server.ClusterQueryServer` at the socket:
+
+1. **Per-client token bucket** (:class:`TokenBucket`) — when
+   ``rate_per_s`` is configured, each client tag (a connection peer at
+   the server, a caller tag in-process) gets its own bucket; an empty
+   bucket throttles the request with an
+   :class:`~repro.exceptions.OverloadError` whose ``retry_after_s``
+   says when a token accrues.
+2. **Bounded pending-work gauge** — at most ``max_inflight +
+   max_queue_depth`` requests may be admitted-but-unreleased at once;
+   request ``capacity + 1`` is shed (reject-newest) with the same
+   typed error.
+3. **Deadline check** (:meth:`AdmissionController.check_deadline`) —
+   an expired request raises
+   :class:`~repro.exceptions.DeadlineExceededError` instead of
+   executing; callers re-check at dequeue and before each executor
+   group so a request never burns compute its client has already
+   given up on.
+
+Every rejection increments a telemetry counter *in the same function
+that raises* (lint rule RPR015 enforces this — no silent drops) and,
+when tracing is on, records a zero-width ``admission.*`` span.
+
+Deadlines are **absolute monotonic timestamps**
+(:func:`time.monotonic`); the wire carries *relative* budgets
+(``deadline_s`` = seconds remaining at send time) because two hosts do
+not share a clock.  :func:`deadline_from_budget` /
+:func:`remaining_budget` convert at each boundary.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from types import TracebackType
+from typing import Callable
+
+from repro.exceptions import (
+    DeadlineExceededError,
+    OverloadError,
+    ServiceError,
+)
+from repro.obs import NOOP_TRACER, TracerLike
+from repro.service.telemetry import ServiceTelemetry
+
+__all__ = [
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionTicket",
+    "TokenBucket",
+    "deadline_from_budget",
+    "remaining_budget",
+]
+
+#: A monotonic clock, injectable for tests.
+Clock = Callable[[], float]
+
+
+def deadline_from_budget(
+    budget_s: float | None, clock: Clock = time.monotonic
+) -> float | None:
+    """Absolute monotonic deadline for a relative budget (``None`` passes
+    through).  A non-positive budget yields an already-expired deadline,
+    which the next :meth:`AdmissionController.check_deadline` sheds."""
+    if budget_s is None:
+        return None
+    return clock() + float(budget_s)
+
+
+def remaining_budget(
+    deadline: float | None, clock: Clock = time.monotonic
+) -> float | None:
+    """Seconds left until *deadline* (negative when past, ``None``
+    when unbounded) — the value to stamp on a wire request."""
+    if deadline is None:
+        return None
+    return deadline - clock()
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Tuning knobs for one :class:`AdmissionController`.
+
+    Attributes
+    ----------
+    max_inflight:
+        Requests allowed to execute concurrently; ``None`` (default)
+        disables the pending-work bound entirely.
+    max_queue_depth:
+        Extra admitted requests allowed to wait for an execution slot
+        beyond ``max_inflight``.  The shed threshold is their sum.
+    rate_per_s:
+        Per-client steady-state token refill rate; ``None`` disables
+        rate limiting.
+    burst:
+        Token-bucket capacity — how many requests one client may send
+        back-to-back before the steady-state rate applies.
+    retry_after_s:
+        Floor for the ``retry_after_s`` hint carried by shed/throttle
+        errors (a throttled client may be told longer, from its
+        bucket's actual deficit).
+    max_clients:
+        Bound on tracked per-client buckets; the oldest bucket is
+        evicted beyond this, so a peer-keyed server cannot grow its
+        bucket map without bound.
+    """
+
+    max_inflight: int | None = None
+    max_queue_depth: int = 0
+    rate_per_s: float | None = None
+    burst: int = 1
+    retry_after_s: float = 0.05
+    max_clients: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.max_inflight is not None and self.max_inflight < 1:
+            raise ServiceError(
+                f"max_inflight must be >= 1 or None, got "
+                f"{self.max_inflight!r}"
+            )
+        if self.max_queue_depth < 0:
+            raise ServiceError(
+                f"max_queue_depth must be >= 0, got "
+                f"{self.max_queue_depth!r}"
+            )
+        if self.rate_per_s is not None and self.rate_per_s <= 0:
+            raise ServiceError(
+                f"rate_per_s must be positive or None, got "
+                f"{self.rate_per_s!r}"
+            )
+        if self.burst < 1:
+            raise ServiceError(f"burst must be >= 1, got {self.burst!r}")
+        if self.retry_after_s < 0:
+            raise ServiceError(
+                f"retry_after_s must be >= 0, got {self.retry_after_s!r}"
+            )
+        if self.max_clients < 1:
+            raise ServiceError(
+                f"max_clients must be >= 1, got {self.max_clients!r}"
+            )
+
+    @property
+    def unlimited(self) -> bool:
+        """Whether this config never rejects (no bound, no rate)."""
+        return self.max_inflight is None and self.rate_per_s is None
+
+    @property
+    def capacity(self) -> int | None:
+        """The shed threshold: ``max_inflight + max_queue_depth``."""
+        if self.max_inflight is None:
+            return None
+        return self.max_inflight + self.max_queue_depth
+
+
+class TokenBucket:
+    """One client's token bucket (refill-on-read, monotonic clock).
+
+    Not internally locked: the owning
+    :class:`AdmissionController` serializes access under its own lock.
+    """
+
+    __slots__ = ("_rate", "_burst", "_clock", "_tokens", "_updated")
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: int = 1,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ServiceError(
+                f"rate_per_s must be positive, got {rate_per_s!r}"
+            )
+        if burst < 1:
+            raise ServiceError(f"burst must be >= 1, got {burst!r}")
+        self._rate = float(rate_per_s)
+        self._burst = float(burst)
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def try_acquire(self) -> bool:
+        """Take one token if available (refilling lazily first)."""
+        now = self._clock()
+        elapsed = max(0.0, now - self._updated)
+        self._updated = now
+        self._tokens = min(self._burst, self._tokens + elapsed * self._rate)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after(self) -> float:
+        """Seconds until one full token accrues (0 when available)."""
+        return max(0.0, (1.0 - self._tokens) / self._rate)
+
+
+class AdmissionTicket:
+    """One admitted slot; releases the gauge exactly once.
+
+    Returned by :meth:`AdmissionController.admit`; use as a context
+    manager (or call :meth:`release` from a ``finally``) so the slot
+    is returned on every exit path.
+    """
+
+    __slots__ = ("_controller", "_released")
+
+    def __init__(self, controller: "AdmissionController") -> None:
+        self._controller = controller
+        self._released = False
+
+    def release(self) -> None:
+        """Return the slot (idempotent)."""
+        if self._released:
+            return
+        self._released = True
+        self._controller._release()
+
+    def __enter__(self) -> "AdmissionTicket":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """The admission pipeline: bucket → queue bound → deadline → shed.
+
+    Parameters
+    ----------
+    config:
+        Limits; the default :class:`AdmissionConfig` admits everything
+        (but still tracks the gauge and counters).
+    telemetry:
+        Counter sink; pass the owning service's so admission outcomes
+        land in the same snapshot as query counters (a fresh sink is
+        created otherwise, e.g. for the standalone server controller).
+    tracer:
+        Optional tracer; rejections record zero-width ``admission.*``
+        spans when enabled.
+    clock:
+        Monotonic clock, injectable so tests can drive buckets and
+        deadlines deterministically.
+    """
+
+    def __init__(
+        self,
+        config: AdmissionConfig | None = None,
+        telemetry: ServiceTelemetry | None = None,
+        tracer: TracerLike | None = None,
+        clock: Clock = time.monotonic,
+    ) -> None:
+        self._config = config if config is not None else AdmissionConfig()
+        self._telemetry = (
+            telemetry if telemetry is not None else ServiceTelemetry()
+        )
+        self._tracer: TracerLike = (
+            tracer if tracer is not None else NOOP_TRACER
+        )
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._buckets: dict[str, TokenBucket] = {}
+
+    @property
+    def config(self) -> AdmissionConfig:
+        """The limits this controller enforces."""
+        return self._config
+
+    @property
+    def telemetry(self) -> ServiceTelemetry:
+        """Where admission outcomes are counted."""
+        return self._telemetry
+
+    @property
+    def clock(self) -> Clock:
+        """The monotonic clock deadlines are measured against."""
+        return self._clock
+
+    @property
+    def pending(self) -> int:
+        """Requests currently admitted but not yet released."""
+        with self._lock:
+            return self._pending
+
+    def admit(self, client: str | None = None) -> AdmissionTicket:
+        """Admit one request or raise :class:`OverloadError`.
+
+        *client* keys the token bucket (connection peer at the server,
+        caller tag in-process); ``None`` skips rate limiting but still
+        counts against the pending-work bound.  The returned ticket
+        must be released when the request finishes.
+        """
+        config = self._config
+        capacity = config.capacity
+        outcome = "admitted"
+        hint = config.retry_after_s
+        with self._lock:
+            if config.rate_per_s is not None and client is not None:
+                bucket = self._bucket_locked(client)
+                if not bucket.try_acquire():
+                    outcome = "throttled"
+                    hint = max(bucket.retry_after(), hint)
+            if outcome == "admitted":
+                if capacity is not None and self._pending >= capacity:
+                    outcome = "shed"
+                else:
+                    self._pending += 1
+        # Counters and raises happen outside the gauge lock: telemetry
+        # has its own lock, and keeping the two disjoint keeps the
+        # lock-order graph (RPR012) edge-free here.
+        if outcome == "throttled":
+            self._telemetry.record_throttled()
+            self._note_span(
+                "admission.throttled", client=client, retry_after_s=hint
+            )
+            raise OverloadError(
+                f"rate limit exceeded for client {client!r} "
+                f"({config.rate_per_s}/s, burst {config.burst})",
+                retry_after_s=hint,
+            )
+        if outcome == "shed":
+            self._telemetry.record_shed()
+            self._note_span(
+                "admission.shed",
+                client=client,
+                capacity=capacity,
+                retry_after_s=hint,
+            )
+            raise OverloadError(
+                f"server at capacity ({capacity} pending request(s)); "
+                "shedding newest",
+                retry_after_s=hint,
+            )
+        self._telemetry.record_admitted()
+        return AdmissionTicket(self)
+
+    def check_deadline(self, deadline: float | None) -> None:
+        """Shed expired work: raise when *deadline* (absolute,
+        monotonic) has passed.  Call at every point where real work is
+        about to be committed — dequeue, executor group start — so a
+        request whose client already gave up never burns compute."""
+        if deadline is None:
+            return
+        now = self._clock()
+        if now <= deadline:
+            return
+        late = now - deadline
+        self._telemetry.record_expired()
+        self._note_span("admission.expired", late_s=late)
+        raise DeadlineExceededError(
+            f"deadline exceeded {late:.4f}s ago; shedding instead of "
+            "executing"
+        )
+
+    def _bucket_locked(self, client: str) -> TokenBucket:
+        """The bucket for *client*, created (bounded) on first sight."""
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            if len(self._buckets) >= self._config.max_clients:
+                # Evict the oldest-tracked client (dict preserves
+                # insertion order); an evicted repeat offender merely
+                # restarts with a full bucket.
+                self._buckets.pop(next(iter(self._buckets)))
+            bucket = TokenBucket(
+                # rate_per_s is checked by the caller's config gate.
+                float(self._config.rate_per_s or 0.0),
+                self._config.burst,
+                self._clock,
+            )
+            self._buckets[client] = bucket
+        return bucket
+
+    def _release(self) -> None:
+        with self._lock:
+            self._pending -= 1
+
+    def _note_span(self, name: str, **attributes: object) -> None:
+        """Record a zero-width ``admission.*`` span when tracing."""
+        if not self._tracer.enabled:
+            return
+        with self._tracer.start_span(name, **attributes):
+            pass

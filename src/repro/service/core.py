@@ -50,6 +50,7 @@ from repro.predtree.framework import (
     BandwidthPredictionFramework,
     MembershipChange,
 )
+from repro.service.admission import AdmissionController
 from repro.service.cache import (
     AggregationCache,
     AnswerTableMemo,
@@ -168,6 +169,12 @@ class ClusterQueryService:
         (submit → cache lookup → substrate build / CRT pass → routing)
         recorded into the tracer's store; the default no-op tracer
         keeps the hot path untraced behind a single branch.
+    admission:
+        Optional :class:`~repro.service.admission.AdmissionController`
+        guarding :meth:`submit` / :meth:`submit_batch`.  The default
+        controller admits everything (no bound, no rate limit) but
+        still enforces deadlines and counts outcomes into this
+        service's telemetry.
 
     Notes
     -----
@@ -191,6 +198,7 @@ class ClusterQueryService:
         cache_size: int = 1024,
         telemetry: ServiceTelemetry | None = None,
         tracer: TracerLike | None = None,
+        admission: AdmissionController | None = None,
     ) -> None:
         if framework.size < 2:
             raise ServiceError(
@@ -216,6 +224,13 @@ class ClusterQueryService:
         self._telemetry = telemetry or ServiceTelemetry()
         self._tracer: TracerLike = (
             tracer if tracer is not None else NOOP_TRACER
+        )
+        self._admission = (
+            admission
+            if admission is not None
+            else AdmissionController(
+                telemetry=self._telemetry, tracer=self._tracer
+            )
         )
         # Serializes membership changes and generation reads against
         # each other; query execution itself runs outside the lock so
@@ -265,6 +280,11 @@ class ClusterQueryService:
     def tracer(self) -> TracerLike:
         """The tracer queries are recorded through (no-op by default)."""
         return self._tracer
+
+    @property
+    def admission(self) -> AdmissionController:
+        """The admission controller guarding query entry points."""
+        return self._admission
 
     def stats(self) -> ServiceStats:
         """Operational snapshot: generation, cache fill, telemetry.
@@ -679,6 +699,9 @@ class ClusterQueryService:
         query: ClusterQuery,
         start: int | None = None,
         expected_generation: int | None = None,
+        deadline: float | None = None,
+        caller: str | None = None,
+        preadmitted: bool = False,
     ) -> ServiceResult:
         """Answer one ``(k, b)`` query against the live overlay.
 
@@ -695,7 +718,31 @@ class ClusterQueryService:
             differs — before or after computation — the call raises
             :class:`~repro.exceptions.StaleGenerationError` instead of
             returning an answer the caller would consider stale.
+        deadline:
+            Absolute monotonic deadline; an already-expired query is
+            shed with :class:`~repro.exceptions.DeadlineExceededError`
+            instead of executed.
+        caller:
+            Tag keying this service's per-caller rate bucket (see
+            :class:`~repro.service.admission.AdmissionController`).
+        preadmitted:
+            ``True`` when the caller already holds an admission ticket
+            covering this query (the batch executor admits once per
+            batch); skips re-admission but still checks *deadline*.
         """
+        self._admission.check_deadline(deadline)
+        if preadmitted:
+            return self._submit_traced(query, start, expected_generation)
+        with self._admission.admit(caller):
+            return self._submit_traced(query, start, expected_generation)
+
+    def _submit_traced(
+        self,
+        query: ClusterQuery,
+        start: int | None,
+        expected_generation: int | None,
+    ) -> ServiceResult:
+        """The admitted submit path (tracing branch + answer)."""
         # The one tracing branch on the hot path: with the default
         # no-op tracer a submit pays exactly this comparison and
         # nothing else (NOOP_SPAN short-circuits all decoration).
@@ -810,6 +857,8 @@ class ClusterQueryService:
         start: int | None = None,
         max_workers: int | None = None,
         dispatcher: "GroupDispatcher | None" = None,
+        deadline: float | None = None,
+        caller: str | None = None,
     ) -> list[ServiceResult]:
         """Answer a batch, grouped by snapped class (order preserved).
 
@@ -819,11 +868,14 @@ class ClusterQueryService:
         With *dispatcher* each class group is answered remotely (see
         :class:`~repro.service.executor.GroupDispatcher`) — e.g. over
         a ``repro.net`` wire client — while this service still does
-        the grouping and merge.  Delegates to
+        the grouping and merge.  The batch is admitted as **one**
+        request against this service's admission controller (keyed by
+        *caller*); *deadline* is re-checked before each class group so
+        expired remainders are shed, not executed.  Delegates to
         :class:`~repro.service.executor.BatchExecutor`.
         """
         from repro.service.executor import BatchExecutor
 
         return BatchExecutor(
             self, max_workers=max_workers, dispatcher=dispatcher
-        ).run(queries, start=start)
+        ).run(queries, start=start, deadline=deadline, caller=caller)

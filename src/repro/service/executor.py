@@ -118,6 +118,8 @@ class BatchExecutor:
         self,
         queries: list[ClusterQuery],
         start: int | None = None,
+        deadline: float | None = None,
+        caller: str | None = None,
     ) -> list["ServiceResult"]:
         """Answer every query, returning results in submission order.
 
@@ -126,23 +128,33 @@ class BatchExecutor:
         affected queries raise
         :class:`~repro.exceptions.StaleGenerationError` rather than
         mixing answers from two different overlays.
+
+        The batch is admitted as one request (keyed by *caller*)
+        against the service's admission controller; *deadline* — an
+        absolute monotonic timestamp — is checked at entry and again
+        before each class group, so a batch that expires mid-flight
+        sheds its remaining groups instead of executing them.
         """
         service = self._service
+        admission = service.admission
+        admission.check_deadline(deadline)
         service.telemetry.record_batch()
         if not queries:
             return []
-        tracer = service.tracer
-        if not tracer.enabled:
-            return self._run(queries, start, NOOP_SPAN)
-        with tracer.start_span(
-            "service.submit_batch", queries=len(queries)
-        ) as span:
-            return self._run(queries, start, span)
+        with admission.admit(caller):
+            tracer = service.tracer
+            if not tracer.enabled:
+                return self._run(queries, start, deadline, NOOP_SPAN)
+            with tracer.start_span(
+                "service.submit_batch", queries=len(queries)
+            ) as span:
+                return self._run(queries, start, deadline, span)
 
     def _run(
         self,
         queries: list[ClusterQuery],
         start: int | None,
+        deadline: float | None,
         span: SpanLike,
     ) -> list["ServiceResult"]:
         """Execute the grouped batch, decorating *span* when traced."""
@@ -158,6 +170,10 @@ class BatchExecutor:
 
         def run_group(item: tuple[float, list[int]]) -> None:
             snapped, indices = item
+            # Expired work is shed before the group's CRT pass or
+            # dispatch is committed — the whole point of carrying the
+            # deadline this deep.
+            service.admission.check_deadline(deadline)
             # The group span is *entered on the worker thread* with an
             # explicit parent: entering pushes it onto that thread's
             # local stack, so the submit spans below nest under it
@@ -198,6 +214,8 @@ class BatchExecutor:
                         queries[index],
                         start=start,
                         expected_generation=generation,
+                        deadline=deadline,
+                        preadmitted=True,
                     )
 
         group_items = list(groups.items())

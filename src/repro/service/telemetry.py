@@ -18,10 +18,14 @@ from dataclasses import dataclass
 from repro.exceptions import ServiceError
 
 __all__ = [
+    "ADMISSION_WINDOW",
     "LatencyHistogram",
     "ServiceTelemetry",
     "TelemetrySnapshot",
 ]
+
+#: Sliding-window length (admission outcomes) behind ``shed_rate``.
+ADMISSION_WINDOW = 1024
 
 
 class LatencyHistogram:
@@ -143,6 +147,17 @@ class TelemetrySnapshot:
         class)`` the batched gather path touched).  Counted separately
         from :attr:`aggregation_builds` — a table build reuses the
         class's already-built CRT state and is not a CRT pass.
+    admitted / shed / throttled / expired:
+        Admission outcomes (see :mod:`repro.service.admission`):
+        requests let in, rejected at the pending-work bound, rejected
+        by a per-client rate limit, and dropped because their deadline
+        passed before execution.
+    shed_rate:
+        Fraction of *recent* admission decisions that were rejections
+        (shed + throttled + expired), over a sliding window of the
+        last :data:`ADMISSION_WINDOW` outcomes — the operator-facing
+        "is the service under overload right now" signal (``nan``
+        before any admission decision).
     """
 
     queries_served: int
@@ -163,12 +178,56 @@ class TelemetrySnapshot:
     substrate_build_p95_s: float = float("nan")
     substrate_build_mean_s: float = float("nan")
     answer_table_builds: int = 0
+    admitted: int = 0
+    shed: int = 0
+    throttled: int = 0
+    expired: int = 0
+    shed_rate: float = float("nan")
 
     @property
     def hit_rate(self) -> float:
         """Cache hit fraction (``nan`` before the first query)."""
         looked = self.cache_hits + self.cache_misses
         return self.cache_hits / looked if looked else float("nan")
+
+
+class _AdmissionWindow:
+    """Fixed-size ring of recent admission outcomes (True = rejected).
+
+    The windowed rejection fraction is the live overload signal the
+    lifetime counters cannot provide: counters only ever grow, while
+    the window forgets an incident once :data:`ADMISSION_WINDOW`
+    healthy admissions have washed it out.  Not internally locked —
+    :class:`ServiceTelemetry` mutates it strictly under its own lock.
+    """
+
+    __slots__ = ("_capacity", "_cursor", "_outcomes", "_rejected")
+
+    def __init__(self, capacity: int) -> None:
+        self._capacity = capacity
+        self._outcomes: list[bool] = []
+        self._cursor = 0
+        self._rejected = 0
+
+    def push(self, rejected: bool) -> None:
+        """Record one admission outcome, evicting the oldest when full."""
+        if len(self._outcomes) < self._capacity:
+            self._outcomes.append(rejected)
+        else:
+            cursor = self._cursor
+            if self._outcomes[cursor]:
+                self._rejected -= 1
+            self._outcomes[cursor] = rejected
+            self._cursor = (cursor + 1) % self._capacity
+        if rejected:
+            self._rejected += 1
+
+    @property
+    def rate(self) -> float:
+        """Rejected fraction of the window (NaN before any outcome)."""
+        if not self._outcomes:
+            return float("nan")
+        return self._rejected / len(self._outcomes)
 
 
 class ServiceTelemetry:
@@ -188,6 +247,11 @@ class ServiceTelemetry:
         self._membership_changes = 0
         self._unsatisfied = 0
         self._answer_table_builds = 0
+        self._admitted = 0
+        self._shed = 0
+        self._throttled = 0
+        self._expired = 0
+        self._admission_window = _AdmissionWindow(ADMISSION_WINDOW)
 
     def record_query(
         self, latency_s: float, cached: bool, found: bool
@@ -225,6 +289,30 @@ class ServiceTelemetry:
         """Account one warm-path answer-table construction."""
         with self._lock:
             self._answer_table_builds += 1
+
+    def record_admitted(self) -> None:
+        """Account one request let through admission."""
+        with self._lock:
+            self._admitted += 1
+            self._admission_window.push(False)
+
+    def record_shed(self) -> None:
+        """Account one request rejected at the pending-work bound."""
+        with self._lock:
+            self._shed += 1
+            self._admission_window.push(True)
+
+    def record_throttled(self) -> None:
+        """Account one request rejected by a per-client rate limit."""
+        with self._lock:
+            self._throttled += 1
+            self._admission_window.push(True)
+
+    def record_expired(self) -> None:
+        """Account one request shed because its deadline passed."""
+        with self._lock:
+            self._expired += 1
+            self._admission_window.push(True)
 
     def record_incremental_update(self) -> None:
         """Account one membership change absorbed incrementally."""
@@ -270,4 +358,9 @@ class ServiceTelemetry:
                 substrate_build_p95_s=self._build_histogram.quantile(0.95),
                 substrate_build_mean_s=self._build_histogram.mean(),
                 answer_table_builds=self._answer_table_builds,
+                admitted=self._admitted,
+                shed=self._shed,
+                throttled=self._throttled,
+                expired=self._expired,
+                shed_rate=self._admission_window.rate,
             )

@@ -1,0 +1,140 @@
+"""Acceptance test: overload protection over the full assembly.
+
+Concurrent clients hammer a TCP server backed by a 2-worker
+:class:`~repro.net.coordinator.ClusterCoordinator` whose admission
+controller is deliberately starved (``max_inflight=1`` plus a tight
+per-client rate limit).  The contract under load:
+
+* rejections surface client-side as typed
+  :class:`~repro.exceptions.OverloadError` with a ``retry_after_s``
+  hint — never as hangs, resets, or garbled frames;
+* every *accepted* answer is identical to an unthrottled in-process
+  twin built from the same spec — shedding changes who gets served,
+  never what they are told;
+* the books balance: client-observed rejections equal the server's
+  ``shed + throttled`` counters, and the windowed shed rate is live.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.query import ClusterQuery
+from repro.exceptions import OverloadError
+from repro.net import (
+    ClusterClient,
+    ClusterCoordinator,
+    ServiceSpec,
+    serve_in_background,
+)
+from repro.service.admission import AdmissionConfig, AdmissionController
+
+SPEC = ServiceSpec(
+    dataset="hp",
+    n=24,
+    dataset_seed=0,
+    framework_seed=1,
+    classes_low=15.0,
+    classes_high=75.0,
+    classes_count=5,
+    n_cut=5,
+)
+
+QUERIES = [
+    ClusterQuery(k=3 + (index % 4), b=(20.0, 35.0, 50.0, 65.0)[index % 4])
+    for index in range(36)
+]
+
+CLIENTS = 3
+
+
+@pytest.fixture(scope="module")
+def coordinator():
+    with ClusterCoordinator(SPEC, workers=2) as coord:
+        yield coord
+
+
+@pytest.fixture(scope="module")
+def server(coordinator):
+    admission = AdmissionController(
+        AdmissionConfig(
+            max_inflight=1,
+            max_queue_depth=0,
+            rate_per_s=40.0,
+            burst=1,
+        )
+    )
+    with serve_in_background(coordinator, admission=admission) as handle:
+        yield handle
+
+
+@pytest.fixture(scope="module")
+def twin():
+    return SPEC.build()
+
+
+class TestOverloadEndToEnd:
+    def test_sheds_cleanly_and_accepted_answers_match_twin(
+        self, server, twin
+    ):
+        barrier = threading.Barrier(CLIENTS)
+        tally = threading.Lock()
+        accepted: dict[int, object] = {}
+        rejections: list[OverloadError] = []
+        failures: list[Exception] = []
+
+        def hammer(worker: int) -> None:
+            try:
+                with ClusterClient(*server.address, retries=0) as client:
+                    barrier.wait(timeout=30.0)
+                    for index in range(worker, len(QUERIES), CLIENTS):
+                        query = QUERIES[index]
+                        try:
+                            result = client.submit(k=query.k, b=query.b)
+                        except OverloadError as error:
+                            with tally:
+                                rejections.append(error)
+                        else:
+                            with tally:
+                                accepted[index] = result
+            except Exception as error:  # noqa: BLE001 - recorded
+                with tally:
+                    failures.append(error)
+
+        threads = [
+            threading.Thread(target=hammer, args=(worker,))
+            for worker in range(CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        assert not failures, failures
+        assert all(not thread.is_alive() for thread in threads)
+
+        # The starved server genuinely rejected work, every rejection
+        # carried the backoff hint, and something was still served.
+        assert rejections
+        assert accepted
+        assert all(
+            error.retry_after_s is not None for error in rejections
+        )
+
+        # Shedding never changes an answer: every accepted result is
+        # identical to the unthrottled in-process twin's.
+        for index, result in sorted(accepted.items()):
+            query = QUERIES[index]
+            reference = twin.submit(query)
+            assert result.cluster == reference.cluster, index
+            assert result.snapped_b == reference.snapped_b
+            assert result.l == reference.l
+            assert result.generation == reference.generation
+
+        # The books balance: client-observed outcomes reconcile with
+        # the server's admission counters, and the windowed rate saw
+        # the incident.
+        snapshot = server.server.admission.telemetry.snapshot()
+        assert snapshot.shed + snapshot.throttled == len(rejections)
+        assert snapshot.admitted >= len(accepted)
+        assert snapshot.expired == 0
+        assert snapshot.shed_rate > 0.0

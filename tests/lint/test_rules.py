@@ -699,3 +699,108 @@ class TestRPR011BlockingInAsync:
             rules=["RPR011"],
         )
         assert rule_ids(findings) == {"RPR011"}
+
+
+class TestRPR015ShedCounters:
+    def test_uncounted_overload_raise_flagged(self, harness):
+        findings = harness.lint(
+            "src/repro/service/bad_admission.py",
+            """
+            from repro.exceptions import OverloadError
+
+            class Gate:
+                def admit(self):
+                    raise OverloadError("at capacity")
+            """,
+            rules=["RPR015"],
+        )
+        assert rule_ids(findings) == {"RPR015"}
+        assert "record_" in findings[0].message
+
+    def test_uncounted_deadline_raise_flagged(self, harness):
+        findings = harness.lint(
+            "src/repro/net/bad_deadline.py",
+            """
+            from repro.exceptions import DeadlineExceededError
+
+            def check(deadline, now):
+                if deadline is not None and now > deadline:
+                    raise DeadlineExceededError("expired")
+            """,
+            rules=["RPR015"],
+        )
+        assert rule_ids(findings) == {"RPR015"}
+
+    def test_counter_in_nested_def_does_not_count(self, harness):
+        # The counter must run on the same path as the raise; a
+        # record_* call trapped in a nested closure proves nothing.
+        findings = harness.lint(
+            "src/repro/service/bad_nested.py",
+            """
+            from repro.exceptions import OverloadError
+
+            class Gate:
+                def admit(self):
+                    def later():
+                        self._telemetry.record_shed()
+
+                    raise OverloadError("at capacity")
+            """,
+            rules=["RPR015"],
+        )
+        assert rule_ids(findings) == {"RPR015"}
+
+    def test_counted_raise_clean(self, harness):
+        findings = harness.lint(
+            "src/repro/service/good_admission.py",
+            """
+            from repro.exceptions import (
+                DeadlineExceededError,
+                OverloadError,
+            )
+
+            class Gate:
+                def admit(self):
+                    self._telemetry.record_shed()
+                    raise OverloadError("at capacity")
+
+                def check_deadline(self, deadline, now):
+                    if deadline is None or now <= deadline:
+                        return
+                    self._telemetry.record_expired()
+                    raise DeadlineExceededError("expired")
+            """,
+            rules=["RPR015"],
+        )
+        assert findings == []
+
+    def test_reraise_of_caught_instance_clean(self, harness):
+        # Re-raising a caught OverloadError is propagation, not a new
+        # rejection: the originating function already counted it.
+        findings = harness.lint(
+            "src/repro/net/good_propagate.py",
+            """
+            from repro.exceptions import OverloadError
+
+            def forward(gate):
+                try:
+                    return gate.admit()
+                except OverloadError as error:
+                    raise error
+            """,
+            rules=["RPR015"],
+        )
+        assert findings == []
+
+    def test_out_of_scope_module_ignored(self, harness):
+        findings = harness.lint(
+            "src/repro/sim/elsewhere.py",
+            """
+            from repro.exceptions import OverloadError
+
+            def boom():
+                raise OverloadError("not admission code")
+            """,
+            rules=["RPR015"],
+        )
+        assert findings == []

@@ -173,7 +173,7 @@ class TestStrictDecoding:
     def test_wrong_envelope_version(self):
         with pytest.raises(ProtocolError, match="envelope version"):
             decode_request(
-                {"v": 2, "id": 1, "type": "ping", "body": {}}
+                {"v": 3, "id": 1, "type": "ping", "body": {}}
             )
 
     def test_non_mapping_envelope(self):

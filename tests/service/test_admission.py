@@ -1,0 +1,353 @@
+"""Admission control: buckets, the pending-work bound, and deadlines.
+
+Unit tests drive :class:`~repro.service.admission.AdmissionController`
+with an injected fake clock so bucket refill and deadline expiry are
+deterministic; integration tests thread admission through a real
+:class:`~repro.service.core.ClusterQueryService` and its batch
+executor.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.query import ClusterQuery
+from repro.exceptions import (
+    DeadlineExceededError,
+    OverloadError,
+    ServiceError,
+)
+from repro.service import ClusterQueryService
+from repro.service.admission import (
+    AdmissionConfig,
+    AdmissionController,
+    TokenBucket,
+    deadline_from_budget,
+    remaining_budget,
+)
+from repro.service.telemetry import ADMISSION_WINDOW, ServiceTelemetry
+
+
+class FakeClock:
+    """A manually advanced monotonic clock."""
+
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=1.0, burst=2, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=2.0, burst=1, clock=clock)
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 2/s * 0.5s = one token
+        assert bucket.try_acquire()
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=10.0, burst=2, clock=clock)
+        clock.advance(60.0)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_retry_after_reports_deficit(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate_per_s=4.0, burst=1, clock=clock)
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+        assert bucket.retry_after() == pytest.approx(0.25)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ServiceError):
+            TokenBucket(rate_per_s=0.0)
+        with pytest.raises(ServiceError):
+            TokenBucket(rate_per_s=1.0, burst=0)
+
+
+class TestAdmissionConfig:
+    def test_defaults_are_unlimited(self):
+        config = AdmissionConfig()
+        assert config.unlimited
+        assert config.capacity is None
+
+    def test_capacity_is_inflight_plus_queue(self):
+        config = AdmissionConfig(max_inflight=2, max_queue_depth=3)
+        assert config.capacity == 5
+        assert not config.unlimited
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_inflight": 0},
+            {"max_queue_depth": -1},
+            {"rate_per_s": 0.0},
+            {"rate_per_s": -1.0},
+            {"burst": 0},
+            {"retry_after_s": -0.1},
+            {"max_clients": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ServiceError):
+            AdmissionConfig(**kwargs)
+
+
+class TestDeadlineHelpers:
+    def test_round_trip(self):
+        clock = FakeClock()
+        deadline = deadline_from_budget(2.5, clock=clock)
+        assert deadline == pytest.approx(102.5)
+        clock.advance(1.0)
+        assert remaining_budget(deadline, clock=clock) == pytest.approx(
+            1.5
+        )
+
+    def test_none_passes_through(self):
+        assert deadline_from_budget(None) is None
+        assert remaining_budget(None) is None
+
+
+class TestAdmissionController:
+    def test_admits_and_releases_gauge(self):
+        controller = AdmissionController()
+        assert controller.pending == 0
+        with controller.admit():
+            assert controller.pending == 1
+        assert controller.pending == 0
+
+    def test_ticket_release_is_idempotent(self):
+        controller = AdmissionController()
+        ticket = controller.admit()
+        ticket.release()
+        ticket.release()
+        assert controller.pending == 0
+
+    def test_sheds_newest_at_capacity(self):
+        controller = AdmissionController(
+            AdmissionConfig(
+                max_inflight=1, max_queue_depth=1, retry_after_s=0.2
+            )
+        )
+        first = controller.admit()
+        second = controller.admit()
+        with pytest.raises(OverloadError) as caught:
+            controller.admit()
+        assert caught.value.retry_after_s == pytest.approx(0.2)
+        # Releasing a slot makes room again — reject-newest, not a
+        # permanent trip.
+        second.release()
+        third = controller.admit()
+        third.release()
+        first.release()
+
+    def test_throttles_per_client(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            AdmissionConfig(rate_per_s=1.0, burst=1),
+            clock=clock,
+        )
+        controller.admit("alice").release()
+        with pytest.raises(OverloadError) as caught:
+            controller.admit("alice")
+        assert caught.value.retry_after_s is not None
+        assert caught.value.retry_after_s >= 0.9
+        # A different client has its own bucket.
+        controller.admit("bob").release()
+        # ... and alice recovers once a token accrues.
+        clock.advance(1.0)
+        controller.admit("alice").release()
+
+    def test_anonymous_callers_skip_rate_limit(self):
+        controller = AdmissionController(
+            AdmissionConfig(rate_per_s=1.0, burst=1)
+        )
+        for _ in range(5):
+            controller.admit(None).release()
+
+    def test_bucket_map_is_bounded(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            AdmissionConfig(
+                rate_per_s=1.0, burst=1, max_clients=2
+            ),
+            clock=clock,
+        )
+        controller.admit("a").release()
+        controller.admit("b").release()
+        # Both buckets are drained; a still-tracked client throttles.
+        with pytest.raises(OverloadError):
+            controller.admit("b")
+        # A third client evicts the oldest ("a"); the evicted client's
+        # next request restarts with a full bucket instead of growing
+        # the map without bound.
+        controller.admit("c").release()
+        controller.admit("a").release()
+
+    def test_check_deadline(self):
+        clock = FakeClock()
+        controller = AdmissionController(clock=clock)
+        deadline = deadline_from_budget(1.0, clock=clock)
+        controller.check_deadline(deadline)
+        controller.check_deadline(None)
+        clock.advance(1.5)
+        with pytest.raises(DeadlineExceededError):
+            controller.check_deadline(deadline)
+
+    def test_counters_and_window(self):
+        clock = FakeClock()
+        telemetry = ServiceTelemetry()
+        controller = AdmissionController(
+            AdmissionConfig(max_inflight=1, rate_per_s=10.0, burst=1),
+            telemetry=telemetry,
+            clock=clock,
+        )
+        held = controller.admit("a")
+        with pytest.raises(OverloadError):
+            controller.admit("b")  # shed at capacity
+        with pytest.raises(OverloadError):
+            controller.admit("a")  # throttled (bucket empty)
+        with pytest.raises(DeadlineExceededError):
+            controller.check_deadline(clock.now - 0.1)
+        held.release()
+        snapshot = telemetry.snapshot()
+        assert snapshot.admitted == 1
+        assert snapshot.shed == 1
+        assert snapshot.throttled == 1
+        assert snapshot.expired == 1
+        assert snapshot.shed_rate == pytest.approx(3 / 4)
+
+    def test_window_forgets_old_outcomes(self):
+        telemetry = ServiceTelemetry()
+        controller = AdmissionController(
+            AdmissionConfig(max_inflight=1), telemetry=telemetry
+        )
+        held = controller.admit()
+        with pytest.raises(OverloadError):
+            controller.admit()
+        held.release()
+        for _ in range(ADMISSION_WINDOW):
+            controller.admit().release()
+        # The one rejection has been washed out of the window; the
+        # lifetime counter still remembers it.
+        snapshot = telemetry.snapshot()
+        assert snapshot.shed == 1
+        assert snapshot.shed_rate == 0.0
+
+    def test_default_telemetry_snapshot_starts_nan(self):
+        snapshot = AdmissionController().telemetry.snapshot()
+        assert snapshot.shed_rate != snapshot.shed_rate  # NaN
+
+
+class TestServiceIntegration:
+    def _service(self, dataset, **admission_kwargs):
+        from repro.core.query import BandwidthClasses
+        from repro.predtree.framework import build_framework
+
+        framework = build_framework(dataset.bandwidth, seed=1)
+        classes = BandwidthClasses.linear(15.0, 75.0, 5)
+        admission = AdmissionController(
+            AdmissionConfig(**admission_kwargs)
+        )
+        return ClusterQueryService(
+            framework,
+            classes,
+            n_cut=5,
+            telemetry=admission.telemetry,
+            admission=admission,
+        )
+
+    def test_submit_counts_against_gauge(self, dataset):
+        service = self._service(dataset, max_inflight=1)
+        result = service.submit(ClusterQuery(k=3, b=30.0))
+        assert result.generation == service.generation
+        assert service.admission.telemetry.snapshot().admitted == 1
+
+    def test_batch_admits_once_not_per_query(self, dataset):
+        # max_inflight=1 would deadlock if the per-query fallback
+        # re-admitted inside the batch's own ticket.
+        service = self._service(dataset, max_inflight=1)
+        queries = [
+            ClusterQuery(k=3, b=b) for b in (20.0, 30.0, 20.0, 60.0)
+        ]
+        results = service.submit_batch(queries)
+        assert len(results) == len(queries)
+        assert service.admission.pending == 0
+
+    def test_expired_deadline_sheds_before_execution(self, dataset):
+        service = self._service(dataset, max_inflight=4)
+        deadline = deadline_from_budget(-1.0)
+        with pytest.raises(DeadlineExceededError):
+            service.submit(ClusterQuery(k=3, b=30.0), deadline=deadline)
+        snapshot = service.admission.telemetry.snapshot()
+        assert snapshot.expired == 1
+        assert snapshot.admitted == 0
+
+    def test_batch_deadline_sheds(self, dataset):
+        service = self._service(dataset, max_inflight=4)
+        with pytest.raises(DeadlineExceededError):
+            service.submit_batch(
+                [ClusterQuery(k=3, b=30.0)],
+                deadline=deadline_from_budget(-0.5),
+            )
+
+    def test_caller_tag_rate_limited_in_process(self, dataset):
+        service = self._service(dataset, rate_per_s=0.001, burst=1)
+        service.submit(ClusterQuery(k=3, b=30.0), caller="tenant-a")
+        with pytest.raises(OverloadError):
+            service.submit(ClusterQuery(k=3, b=30.0), caller="tenant-a")
+        # Untagged and differently tagged callers are unaffected.
+        service.submit(ClusterQuery(k=3, b=30.0))
+        service.submit(ClusterQuery(k=3, b=30.0), caller="tenant-b")
+
+    def test_concurrent_submits_shed_beyond_capacity(self, dataset):
+        service = self._service(dataset, max_inflight=1)
+        hold = threading.Event()
+        entered = threading.Event()
+        outcomes: list[str] = []
+
+        original = service._submit_traced
+
+        def stalled(*args, **kwargs):
+            entered.set()
+            hold.wait(timeout=5.0)
+            return original(*args, **kwargs)
+
+        service._submit_traced = stalled
+        try:
+            def first():
+                outcomes.append(
+                    "ok"
+                    if service.submit(ClusterQuery(k=3, b=30.0))
+                    else "?"
+                )
+
+            thread = threading.Thread(target=first)
+            thread.start()
+            assert entered.wait(timeout=5.0)
+            # The slot is held; the next submit is shed immediately.
+            with pytest.raises(OverloadError):
+                service.submit(ClusterQuery(k=3, b=60.0))
+            hold.set()
+            thread.join(timeout=5.0)
+        finally:
+            hold.set()
+            service._submit_traced = original
+        assert outcomes == ["ok"]
+        snapshot = service.admission.telemetry.snapshot()
+        assert snapshot.shed == 1
+        assert snapshot.admitted == 1

@@ -33,6 +33,8 @@ FROZEN_CODES = {
     "ExperimentError": 80,
     "ServiceError": 90,
     "StaleGenerationError": 91,
+    "OverloadError": 92,
+    "DeadlineExceededError": 93,
     "TracingError": 100,
     "LintError": 110,
     "KernelError": 120,
