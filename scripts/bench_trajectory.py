@@ -20,6 +20,12 @@ root, so successive commits carry comparable numbers:
   answer-for-answer against a per-query twin, against a
   ``REPRO_KERNELS=python`` fallback leg, and against the pure
   cache-hit throughput ceiling;
+* the churn storm — an interleaved leave/join/query storm at n=200
+  ridden by the kernel churn path (CSR splice, dirty-subtree
+  re-sweep, answer-table patching) vs an invalidate-everything twin
+  that rebuilds from scratch after every event; every answer is
+  compared against the twin (hard gate), the patch path must engage
+  (hard gate), and throughput retention below 2x warns;
 * the wire overhead — the identical deterministic query stream (with
   churn) driven in-process and over loopback TCP through
   ``repro.net``, plus a direct answer-equality check between a served
@@ -137,7 +143,11 @@ def measure_batches(n: int, repeats: int) -> dict:
 
 
 def measure_incremental(n: int) -> dict:
-    """A single add_host at size *n* must ride the incremental path."""
+    """A leaf leave + re-join at size *n* must ride the warm path.
+
+    Times both membership directions — the join latency used to be
+    reported alone, which hid leave-side regressions entirely.
+    """
     service = _build_service(n)
     framework = service.framework
     service.submit(ClusterQuery(k=4, b=30.0))
@@ -148,7 +158,9 @@ def measure_incremental(n: int) -> dict:
         for host in framework.hosts
         if not framework.anchor_tree.children(host)
     ][-1]
+    began = time.perf_counter()
     service.remove_host(leaf)
+    leave_s = time.perf_counter() - began
     began = time.perf_counter()
     service.add_host(leaf)
     join_s = time.perf_counter() - began
@@ -157,9 +169,11 @@ def measure_incremental(n: int) -> dict:
     return {
         "n": n,
         "join_latency_s": round(join_s, 6),
+        "leave_latency_s": round(leave_s, 6),
         "substrate_builds_before": primed.substrate_builds,
         "substrate_builds_after": after.substrate_builds,
         "incremental_updates": after.incremental_updates,
+        "kernel_patches": after.kernel_patches,
         "full_rebuild": after.substrate_builds != primed.substrate_builds,
     }
 
@@ -395,6 +409,134 @@ def measure_warm_path(smoke: bool) -> dict:
     }
 
 
+#: Patched-over-baseline churn-storm throughput ratio below which the
+#: gate warns.  The kernel churn path keeps the compiled substrate and
+#: the memoized answer tables warm across membership events, so the
+#: query stream interleaved with the storm should retain at least this
+#: multiple of the invalidate-everything baseline's throughput.
+#: Correctness (answer parity with the full-rebuild twin) IS a hard
+#: failure.
+CHURN_RETENTION_WARN = 2.0
+
+
+def _churn_service(n: int, patch: bool) -> ClusterQueryService:
+    dataset = hp_planetlab_like(seed=0, n=n)
+    framework = build_framework(dataset.bandwidth, seed=1)
+    classes = BandwidthClasses.linear(15.0, 75.0, 7)
+    # cache_size=2 cannot hold a 21-query batch: every pass must do
+    # real gather/recompute work instead of LRU hits.
+    return ClusterQueryService(
+        framework, classes, n_cut=N_CUT, cache_size=2, patch_churn=patch
+    )
+
+
+def _churn_storm(
+    service: ClusterQueryService,
+    events: int,
+    invalidate_everything: bool,
+) -> tuple[list[tuple[tuple[int, ...], int]], float, int]:
+    """Drive an interleaved leave/join/query storm against *service*.
+
+    Each event removes the deterministic last anchor leaf, runs two
+    warm mixed-(k, b) batches, re-adds the host, and runs two more.
+    Only the query batches are timed — the returned seconds are pure
+    serving cost under churn.  With *invalidate_everything* the
+    service's caches AND substrate are dropped after every membership
+    change (the pre-incremental baseline regime).
+
+    Returns ``(answers, query_seconds, queries)`` where *answers* is
+    the flat (cluster, hops) sequence across every batch — two storms
+    over identical frameworks must produce identical sequences.
+    """
+    classes = service.classes
+    batch = [
+        ClusterQuery(k=k, b=b)
+        for k in (5, 6, 7)
+        for b in classes.bandwidths
+    ]
+    service.submit_batch(batch, max_workers=4)  # prime tables untimed
+    answers: list[tuple[tuple[int, ...], int]] = []
+    spent = 0.0
+    queries = 0
+
+    def run_batches() -> None:
+        nonlocal spent, queries
+        for _ in range(2):
+            began = time.perf_counter()
+            results = service.submit_batch(batch, max_workers=4)
+            spent += time.perf_counter() - began
+            queries += len(batch)
+            answers.extend((r.cluster, r.hops) for r in results)
+
+    for _ in range(events):
+        framework = service.framework
+        victim = [
+            host
+            for host in framework.hosts
+            if not framework.anchor_tree.children(host)
+        ][-1]
+        service.remove_host(victim)
+        if invalidate_everything:
+            service.invalidate()
+        run_batches()
+        service.add_host(victim)
+        if invalidate_everything:
+            service.invalidate()
+        run_batches()
+    return answers, spent, queries
+
+
+def measure_churn(smoke: bool) -> dict:
+    """Kernel-patched churn storm vs the invalidate-everything baseline.
+
+    Two services from identical seeds consume an identical interleaved
+    leave/join/query storm at n=200.  The patched service rides the
+    kernel churn path (CSR splice + dirty-subtree re-sweep + answer-
+    table patching); the baseline drops every cache and the substrate
+    after each membership event.  Every answer across every batch is
+    compared — the baseline rebuilds from scratch, so it doubles as
+    the full-rebuild correctness twin and any divergence is a hard
+    failure.  Throughput retention below ``CHURN_RETENTION_WARN``x
+    warns; a storm that never engages the patch path hard-fails.
+    """
+    events = 3 if smoke else 8
+    with _pinned_backend("numpy"):
+        patched_service = _churn_service(CHURN_N, patch=True)
+        patched_answers, patched_s, queries = _churn_storm(
+            patched_service, events, invalidate_everything=False
+        )
+        telemetry = patched_service.telemetry.snapshot()
+
+        baseline_service = _churn_service(CHURN_N, patch=False)
+        baseline_answers, baseline_s, _ = _churn_storm(
+            baseline_service, events, invalidate_everything=True
+        )
+        baseline_telemetry = baseline_service.telemetry.snapshot()
+
+    divergent = sum(
+        1
+        for mine, theirs in zip(patched_answers, baseline_answers)
+        if mine != theirs
+    )
+    patched_qps = queries / max(patched_s, 1e-9)
+    baseline_qps = queries / max(baseline_s, 1e-9)
+    return {
+        "n": CHURN_N,
+        "events": events,
+        "queries": queries,
+        "patched_qps": round(patched_qps, 2),
+        "baseline_qps": round(baseline_qps, 2),
+        "retention": round(patched_qps / max(baseline_qps, 1e-9), 4),
+        "divergent_answers": divergent,
+        "kernel_patches": telemetry.kernel_patches,
+        "patch_fallbacks": telemetry.patch_fallbacks,
+        "answer_tables_patched": telemetry.answer_table_patches,
+        "answer_tables_rebuilt": telemetry.answer_table_builds,
+        "substrate_builds": telemetry.substrate_builds,
+        "baseline_substrate_builds": baseline_telemetry.substrate_builds,
+    }
+
+
 #: Wire-overhead ratio (in-process qps / wire qps) above which the
 #: gate warns.  Not a hard failure: loopback TCP cost varies with CI
 #: machine load, while a silent protocol regression shows up first as
@@ -548,11 +690,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     kernels = measure_kernels(smoke=args.smoke)
     warm_path = measure_warm_path(smoke=args.smoke)
+    churn = measure_churn(smoke=args.smoke)
     net = measure_net(smoke=args.smoke)
     overload = measure_overload(smoke=args.smoke) if args.overload else None
 
     trajectory = {
-        "schema": 6,
+        "schema": 7,
         "mode": "smoke" if args.smoke else "full",
         "n_cut": N_CUT,
         "environment": environment_info(),
@@ -561,6 +704,7 @@ def main(argv: list[str] | None = None) -> int:
         "tracing": tracing,
         "kernels": kernels,
         "warm_path": warm_path,
+        "churn": churn,
         "net": net,
     }
     if overload is not None:
@@ -665,6 +809,38 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"warm batched qps within {warm_ratio}x of the cache-hit "
             f"ceiling (warn threshold: {WARM_PATH_WARN}x)"
+        )
+    if churn["divergent_answers"]:
+        failures.append(
+            f"{churn['divergent_answers']} answer(s) during the "
+            f"{churn['events']}-event churn storm differ from the "
+            "full-rebuild twin — kernel patching is corrupting state"
+        )
+    if churn["kernel_patches"] == 0:
+        failures.append(
+            "the churn storm recorded zero kernel patches — the "
+            "vectorized churn path never engaged"
+        )
+    if churn["answer_tables_patched"] == 0:
+        failures.append(
+            "the churn storm patched zero answer tables — every table "
+            "is being rebuilt from scratch after each event"
+        )
+    retention = churn["retention"]
+    if retention < CHURN_RETENTION_WARN:
+        print(
+            f"WARN: churn-storm throughput retention is {retention}x "
+            f"the invalidate-everything baseline (target >= "
+            f"{CHURN_RETENTION_WARN}x)",
+            file=sys.stderr,
+        )
+    else:
+        print(
+            f"churn-storm retention: {retention}x the "
+            f"invalidate-everything baseline (target >= "
+            f"{CHURN_RETENTION_WARN}x), "
+            f"{churn['answer_tables_patched']} tables patched vs "
+            f"{churn['answer_tables_rebuilt']} rebuilt"
         )
     if not net["results_match"]:
         failures.append(

@@ -383,6 +383,12 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         f"cached results: {stats.result_cache_entries}  "
         f"hit rate: {stats.telemetry.hit_rate:.2f}"
     )
+    telemetry = stats.telemetry
+    print(
+        f"churn: kernel patches {telemetry.kernel_patches}  "
+        f"answer-table patches {telemetry.answer_table_patches}  "
+        f"patch fallbacks {telemetry.patch_fallbacks}"
+    )
     if args.net:
         from repro.net import run_net_loadgen
 

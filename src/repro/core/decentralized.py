@@ -38,14 +38,31 @@ point against direct oracles derived from Theorems 3.2 and 3.3.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+
+import numpy as np
 
 from repro._validation import check_cluster_size
 from repro.core.find_cluster import find_cluster, max_cluster_size
 from repro.core.query import BandwidthClasses
-from repro.exceptions import KernelError, QueryError, ValidationError
+from repro.exceptions import (
+    KernelError,
+    QueryError,
+    TreePatchFallback,
+    ValidationError,
+)
 from repro.kernels import active_backend
-from repro.kernels.aggr import node_info_sweep, tables_from_sweep
+from repro.kernels.aggr import (
+    node_info_sweep,
+    sweep_entry,
+    tables_from_sweep,
+)
+from repro.kernels.churn import (
+    arrays_from_tables,
+    resweep,
+    splice_join,
+    splice_leave,
+)
 from repro.kernels.crt import (
     CrtPrecompute,
     clustering_spaces,
@@ -61,6 +78,7 @@ __all__ = [
     "ClusterNodeState",
     "AggregationReport",
     "AggregationSubstrate",
+    "ChurnEvent",
     "KernelView",
     "MaintenanceReport",
     "QueryResult",
@@ -186,23 +204,33 @@ class MaintenanceReport:
     Attributes
     ----------
     kind:
-        ``"build"`` (first full fixed point), ``"incremental"`` (seeded
-        re-propagation converged), or ``"rebuild"`` (incremental budget
-        exhausted or structure change forced a cold rebuild).
+        ``"build"`` (first full fixed point), ``"patch"`` (kernel-
+        backed incremental splice kept the compiled stack warm),
+        ``"incremental"`` (seeded re-propagation converged), or
+        ``"rebuild"`` (incremental budget exhausted or structure change
+        forced a cold rebuild).
     rounds:
-        Propagation rounds executed by this operation.
+        Propagation rounds executed by this operation (0 for a patch —
+        the masked re-sweep is closed-form, not iterative).
     messages:
-        Algorithm 2 messages sent by this operation.
+        Algorithm 2 messages sent by this operation; for a patch, the
+        number of directed-edge table rows the masked re-sweep
+        recomputed (the comparable work ledger).
     touched_hosts:
         Hosts whose ``aggrNode`` tables were rewritten (upper bound on
         the blast radius of the change; the full host count for a
         build/rebuild).
+    fallbacks:
+        Maintenance-ladder rungs that declined this event before the
+        reported one succeeded (kernel patch → Python event path →
+        full rebuild); 0 when the first eligible rung absorbed it.
     """
 
     kind: str
     rounds: int
     messages: int
     touched_hosts: int
+    fallbacks: int = 0
 
 
 @dataclass(frozen=True)
@@ -220,6 +248,29 @@ class KernelView:
     csr: TreeCSR
     spaces: list[tuple[int, ...]]
     precompute: CrtPrecompute
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One kernel-patched membership event, for downstream patchers.
+
+    Published by :class:`AggregationSubstrate` when a join/leave was
+    absorbed by the churn kernels (``MaintenanceReport.kind ==
+    "patch"``) and consumed by the service layer to patch its answer
+    tables instead of dropping them.  Everything here is the *post-
+    event* state: the freshly patched kernel view, the protocol-order
+    neighbor lists, and the set of hosts whose tables or clustering
+    spaces the event actually changed.
+    """
+
+    kind: str
+    host: int
+    generation: int
+    view: KernelView
+    neighbors: dict[int, list[int]]
+    distances: DistanceMatrix
+    dirty_hosts: frozenset[int]
+    removed: int | None
 
 
 class AggregationSubstrate:
@@ -262,11 +313,13 @@ class AggregationSubstrate:
         framework: BandwidthPredictionFramework,
         n_cut: int = 10,
         tracer: TracerLike = NOOP_TRACER,
+        kernel_churn: bool = True,
     ) -> None:
         if n_cut < 1:
             raise ValidationError(f"n_cut must be >= 1, got {n_cut!r}")
         self.framework = framework
         self.n_cut = int(n_cut)
+        self.kernel_churn = bool(kernel_churn)
         self._tracer = tracer
         self._lock = threading.RLock()
         self._distances: DistanceMatrix = (
@@ -283,6 +336,11 @@ class AggregationSubstrate:
         self._generation = framework.generation
         self._budget = 0
         self._kernel_view: KernelView | None = None
+        # Sweep arrays matching ``_kernel_view.csr`` (retained so a
+        # churn patch can re-sweep incrementally); ``None`` whenever
+        # the view is absent or was compiled without them.
+        self._sweep: tuple[np.ndarray, np.ndarray] | None = None
+        self._last_churn: ChurnEvent | None = None
 
     # -- introspection ------------------------------------------------------
 
@@ -469,6 +527,7 @@ class AggregationSubstrate:
         }
         self._tables = {host: {} for host in self._neighbors}
         self._kernel_view = None
+        self._sweep = None
         budget = self._round_budget()
         report: MaintenanceReport | None = None
         if active_backend() == "numpy":
@@ -515,6 +574,7 @@ class AggregationSubstrate:
             up, down = node_info_sweep(csr, self.n_cut)
             self._tables = tables_from_sweep(csr, up, down)
             span.set(levels=csr.depth + 1)
+        self._sweep = (up, down)
         self._kernel_view = KernelView(
             csr=csr,
             spaces=clustering_spaces(csr, self._tables),
@@ -561,13 +621,147 @@ class AggregationSubstrate:
 
     # -- incremental maintenance --------------------------------------------
 
+    def take_churn_event(self) -> ChurnEvent | None:
+        """Consume the :class:`ChurnEvent` of the latest patched change.
+
+        Non-``None`` exactly when the most recent :meth:`apply_join`/
+        :meth:`apply_leave` reported ``kind == "patch"`` and the event
+        has not been taken yet; consuming is destructive so a stale
+        event can never be applied twice.
+        """
+        with self._lock:
+            event = self._last_churn
+            self._last_churn = None
+            return event
+
+    def _patch_event_locked(
+        self, kind: str, host: int
+    ) -> MaintenanceReport | None:
+        """Try to absorb a membership event with the churn kernels.
+
+        Returns ``None`` — fall down the maintenance ladder — when the
+        compiled view is unavailable or any kernel stage raises
+        :class:`~repro.exceptions.KernelError` (including the typed
+        :class:`~repro.exceptions.TreePatchFallback` splice refusals).
+        On success the tables, kernel view, retained sweep arrays, and
+        the :class:`ChurnEvent` for downstream patchers are all updated
+        under the held lock.
+        """
+        view = self._kernel_view_locked()
+        if view is None:
+            return None
+        try:
+            sweep = self._sweep
+            if sweep is None:
+                # View was compiled on demand from the tables; recover
+                # the canonical sweep arrays so rows compare exactly.
+                sweep = arrays_from_tables(
+                    view.csr, self._tables, self.n_cut
+                )
+            with self._tracer.start_span(
+                "churn.patch", kind=kind, host=host
+            ) as span:
+                if kind == "join":
+                    anchors = self.framework.overlay_neighbors(host)
+                    if len(anchors) != 1:
+                        raise TreePatchFallback(
+                            f"join of host {host!r} did not attach a "
+                            "single leaf"
+                        )
+                    topology = splice_join(
+                        view.csr,
+                        sweep[0].copy(),
+                        sweep[1].copy(),
+                        host,
+                        anchors[0],
+                        self._distances.values,
+                    )
+                else:
+                    topology = splice_leave(
+                        view.csr, sweep[0].copy(), sweep[1].copy(), host
+                    )
+                span.set(position=topology.position)
+            with self._tracer.start_span(
+                "churn.resweep", kind=kind, host=host
+            ) as span:
+                result = resweep(topology, view.spaces, self.n_cut)
+                span.set(
+                    recomputed=result.recomputed,
+                    dirty_hosts=len(result.dirty_hosts),
+                )
+        except KernelError:
+            return None
+
+        csr = result.csr
+        if kind == "join":
+            self._tables[host] = {}
+            self._neighbors[host] = list(
+                self.framework.overlay_neighbors(host)
+            )
+            anchor_hosts = list(self._neighbors[host])
+        else:
+            anchor_hosts = [
+                n for n in self._neighbors.pop(host) if n in self._neighbors
+            ]
+            del self._tables[host]
+        for neighbor in anchor_hosts:
+            self._neighbors[neighbor] = self.framework.overlay_neighbors(
+                neighbor
+            )
+            if kind == "leave":
+                self._tables[neighbor].pop(host, None)
+        for x in np.flatnonzero(result.changed_up):
+            child_host = int(csr.host_ids[x])
+            parent_host = int(csr.host_ids[csr.parent[x]])
+            self._tables[parent_host][child_host] = sweep_entry(
+                csr, result.up[x]
+            )
+        for x in np.flatnonzero(result.changed_down):
+            child_host = int(csr.host_ids[x])
+            parent_host = int(csr.host_ids[csr.parent[x]])
+            self._tables[child_host][parent_host] = sweep_entry(
+                csr, result.down[x]
+            )
+
+        removed = int(host) if kind == "leave" else None
+        precompute = view.precompute.carried(
+            self._distances.values, drop=removed
+        )
+        patched_view = KernelView(
+            csr=csr, spaces=result.spaces, precompute=precompute
+        )
+        self._kernel_view = patched_view
+        self._sweep = (result.up, result.down)
+        self._budget = self._round_budget()
+        self._generation = self.framework.generation
+        self._last_churn = ChurnEvent(
+            kind=kind,
+            host=int(host),
+            generation=self._generation,
+            view=patched_view,
+            neighbors={h: list(v) for h, v in self._neighbors.items()},
+            distances=self._distances,
+            dirty_hosts=result.dirty_hosts,
+            removed=removed,
+        )
+        return MaintenanceReport(
+            kind="patch",
+            rounds=0,
+            messages=result.recomputed,
+            touched_hosts=len(result.dirty_hosts),
+        )
+
     def apply_join(self, host: int) -> MaintenanceReport:
         """Absorb the join of *host* (already applied to the framework).
 
         A join attaches one leaf to the anchor tree and leaves every
-        existing pairwise predicted distance untouched, so the old
-        tables are still a fixed point of everything except the new
-        host's information; seeded propagation floods exactly that.
+        existing pairwise predicted distance untouched.  On the NumPy
+        backend the compiled stack is *patched* — CSR splice plus a
+        masked re-sweep — keeping the kernel view warm; otherwise (or
+        when any kernel stage declines) the old tables are still a
+        fixed point of everything except the new host's information,
+        so seeded propagation floods exactly that, with a full rebuild
+        as the last rung of the ladder.
         """
         with self._tracer.start_span(
             "substrate.apply_join", host=host
@@ -582,36 +776,48 @@ class AggregationSubstrate:
                 self._distances = self.framework.predicted_distance_matrix(
                     allow_partial=True
                 )
-                self._kernel_view = None
-                neighbors = self.framework.overlay_neighbors(host)
-                self._neighbors[host] = list(neighbors)
-                self._tables[host] = {}
-                for neighbor in neighbors:
-                    self._neighbors[neighbor] = (
-                        self.framework.overlay_neighbors(neighbor)
+                self._last_churn = None
+                fallbacks = 0
+                report: MaintenanceReport | None = None
+                if self.kernel_churn and active_backend() == "numpy":
+                    report = self._patch_event_locked("join", host)
+                    if report is None:
+                        fallbacks += 1
+                if report is None:
+                    self._kernel_view = None
+                    self._sweep = None
+                    neighbors = self.framework.overlay_neighbors(host)
+                    self._neighbors[host] = list(neighbors)
+                    self._tables[host] = {}
+                    for neighbor in neighbors:
+                        self._neighbors[neighbor] = (
+                            self.framework.overlay_neighbors(neighbor)
+                        )
+                    seeds = {host, *neighbors}
+                    budget = self._round_budget()
+                    rounds, messages, touched, quiesced = (
+                        self._propagate_from(seeds, budget)
                     )
-                seeds = {host, *neighbors}
-                budget = self._round_budget()
-                rounds, messages, touched, quiesced = self._propagate_from(
-                    seeds, budget
-                )
-                if not quiesced:
-                    report = self._rebuild_locked()
-                else:
-                    self._budget = budget
-                    self._generation = self.framework.generation
-                    report = MaintenanceReport(
-                        kind="incremental",
-                        rounds=rounds,
-                        messages=messages,
-                        touched_hosts=len(touched),
-                    )
+                    if not quiesced:
+                        fallbacks += 1
+                        report = self._rebuild_locked()
+                    else:
+                        self._budget = budget
+                        self._generation = self.framework.generation
+                        report = MaintenanceReport(
+                            kind="incremental",
+                            rounds=rounds,
+                            messages=messages,
+                            touched_hosts=len(touched),
+                        )
+                report = replace(report, fallbacks=fallbacks)
                 span.set(
                     kind=report.kind,
                     generation=self._generation,
                     rounds=report.rounds,
                     messages=report.messages,
                     touched_hosts=report.touched_hosts,
+                    fallbacks=report.fallbacks,
                 )
                 return report
 
@@ -621,7 +827,10 @@ class AggregationSubstrate:
         Valid only when the departure displaced nobody (the framework's
         ``remove_host`` returned no re-joined hosts); a restructuring
         departure changes many predicted distances at once and must go
-        through :meth:`build` instead.
+        through :meth:`build` instead.  Like :meth:`apply_join`, the
+        NumPy backend first tries the kernel patch (sound only when the
+        host is a leaf of the *compiled* tree too), then the event-
+        driven path, then a full rebuild.
         """
         with self._tracer.start_span(
             "substrate.apply_leave", host=host
@@ -641,38 +850,50 @@ class AggregationSubstrate:
                 self._distances = self.framework.predicted_distance_matrix(
                     allow_partial=True
                 )
-                self._kernel_view = None
-                former = self._neighbors.pop(host)
-                del self._tables[host]
-                for neighbor in former:
-                    if neighbor not in self._neighbors:
-                        continue
-                    self._neighbors[neighbor] = (
-                        self.framework.overlay_neighbors(neighbor)
+                self._last_churn = None
+                fallbacks = 0
+                report: MaintenanceReport | None = None
+                if self.kernel_churn and active_backend() == "numpy":
+                    report = self._patch_event_locked("leave", host)
+                    if report is None:
+                        fallbacks += 1
+                if report is None:
+                    self._kernel_view = None
+                    self._sweep = None
+                    former = self._neighbors.pop(host)
+                    del self._tables[host]
+                    for neighbor in former:
+                        if neighbor not in self._neighbors:
+                            continue
+                        self._neighbors[neighbor] = (
+                            self.framework.overlay_neighbors(neighbor)
+                        )
+                        self._tables[neighbor].pop(host, None)
+                    seeds = {n for n in former if n in self._neighbors}
+                    budget = self._round_budget()
+                    rounds, messages, touched, quiesced = (
+                        self._propagate_from(seeds, budget)
                     )
-                    self._tables[neighbor].pop(host, None)
-                seeds = {n for n in former if n in self._neighbors}
-                budget = self._round_budget()
-                rounds, messages, touched, quiesced = self._propagate_from(
-                    seeds, budget
-                )
-                if not quiesced:
-                    report = self._rebuild_locked()
-                else:
-                    self._budget = budget
-                    self._generation = self.framework.generation
-                    report = MaintenanceReport(
-                        kind="incremental",
-                        rounds=rounds,
-                        messages=messages,
-                        touched_hosts=len(touched),
-                    )
+                    if not quiesced:
+                        fallbacks += 1
+                        report = self._rebuild_locked()
+                    else:
+                        self._budget = budget
+                        self._generation = self.framework.generation
+                        report = MaintenanceReport(
+                            kind="incremental",
+                            rounds=rounds,
+                            messages=messages,
+                            touched_hosts=len(touched),
+                        )
+                report = replace(report, fallbacks=fallbacks)
                 span.set(
                     kind=report.kind,
                     generation=self._generation,
                     rounds=report.rounds,
                     messages=report.messages,
                     touched_hosts=report.touched_hosts,
+                    fallbacks=report.fallbacks,
                 )
                 return report
 

@@ -38,6 +38,7 @@ __all__ = [
     "TracingError",
     "LintError",
     "KernelError",
+    "TreePatchFallback",
     "NetworkError",
     "FrameError",
     "ProtocolError",
@@ -173,6 +174,17 @@ class KernelError(ReproError):
     fed a non-tree overlay."""
 
     code = 120
+
+
+class TreePatchFallback(KernelError):
+    """An incremental CSR tree patch declined the change: the membership
+    event restructures the compiled tree beyond a single leaf splice
+    (departing host still has children, host missing from the compiled
+    overlay, ...).  The caller falls back down the maintenance ladder —
+    Python event path, then full rebuild — exactly as when the
+    event-driven path's round budget is exhausted."""
+
+    code = 121
 
 
 class NetworkError(ReproError):

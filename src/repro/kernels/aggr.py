@@ -34,7 +34,12 @@ import numpy as np
 
 from repro.kernels.tree import TreeCSR
 
-__all__ = ["node_info_sweep", "tables_from_sweep"]
+__all__ = [
+    "node_info_sweep",
+    "node_info_resweep",
+    "sweep_entry",
+    "tables_from_sweep",
+]
 
 #: Id-key used for padding slots so they rank after every real host.
 _PAD_ID = np.iinfo(np.int64).max
@@ -169,6 +174,145 @@ def node_info_sweep(
             candidates, nodes, csr.dist, csr.host_ids, n_cut
         )
     return up, down
+
+
+def node_info_resweep(
+    csr: TreeCSR,
+    up: np.ndarray,
+    down: np.ndarray,
+    n_cut: int,
+    anchor: int,
+    fresh: int | None = None,
+    holes_up: np.ndarray | None = None,
+    holes_down: np.ndarray | None = None,
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Masked re-sweep after a single leaf splice under *anchor*.
+
+    *up* and *down* are the pre-change sweep arrays already re-indexed
+    to the patched *csr* (a joined leaf's rows blanked to ``-1``;
+    references to a departed leaf cleared to ``-1``), and are updated
+    **in place**.  *fresh* is the joined leaf's compact index (``None``
+    for a departure).  For a departure, *holes_up*/*holes_down* mark
+    the rows whose reference to the departed leaf was cleared: each
+    one's table already differs from its pre-event value, and its
+    freed slot may admit a candidate the old cut line excluded, so
+    holed rows are recomputed and reported as changed unconditionally.
+    Recomputes exactly the rows the splice can have perturbed:
+
+    * **upward**: ``up`` rows along the leaf→root path starting at the
+      splice point, stopping at the first *unholed* row that comes out
+      unchanged (every row above it merges the same candidate sets, so
+      the whole remaining path is already at fixed point; a holed row
+      never stops the walk — its pre-event value fed the parent's
+      merge even when its refill lands on the cleared value);
+    * **downward**: a masked level-order sweep seeded at the anchor's
+      children (their sibling set changed structurally), at every
+      holed ``down`` row, and at the siblings of every rewritten
+      ``up`` row; a recomputed ``down`` row that changed dirties its
+      children on the next level, so dirtiness flows exactly as far
+      as information does.
+
+    Rows not recomputed are untouched — and provably unchanged: a
+    table can only differ from its pre-splice value if the spliced
+    leaf's information flows into its candidate set, and every such
+    flow path either crosses a recomputed row first or held the leaf
+    directly (and is then a seeded hole).  The result is bit-identical
+    to a full :func:`node_info_sweep` (differentially tested in
+    ``tests/core/test_churn_kernels.py``).
+
+    Returns ``(changed_up, changed_down, recomputed)``: boolean masks
+    of rows whose tables differ from their pre-event values, plus the
+    total number of row recomputations (the patch path's "message"
+    ledger).
+    """
+    size = csr.size
+    changed_up = np.zeros(size, dtype=bool)
+    changed_down = np.zeros(size, dtype=bool)
+    recomputed = 0
+    if size <= 1:
+        return changed_up, changed_down, recomputed
+
+    # Upward pass: one row at a time along the ancestor path.
+    x = int(fresh) if fresh is not None else int(anchor)
+    while x >= 0:
+        px = int(csr.parent[x])
+        if px < 0:
+            break
+        children = np.arange(
+            int(csr.child_start[x]), int(csr.child_end[x]), dtype=np.int64
+        )
+        width = 1 + len(children) * n_cut
+        row = np.full((1, width), -1, dtype=np.int64)
+        row[0, 0] = x
+        if len(children):
+            row[0, 1:] = up[children].ravel()
+        ranked = _rank_rows(
+            row,
+            np.asarray([px], dtype=np.int64),
+            csr.dist,
+            csr.host_ids,
+            n_cut,
+        )[0]
+        recomputed += 1
+        holed = holes_up is not None and bool(holes_up[x])
+        if np.array_equal(ranked, up[x]) and not holed:
+            break
+        up[x] = ranked
+        changed_up[x] = True
+        x = px
+
+    # Downward pass: seed structural dirtiness, then sweep by level.
+    dirty = np.zeros(size, dtype=bool)
+    dirty[int(csr.child_start[anchor]):int(csr.child_end[anchor])] = True
+    if holes_down is not None:
+        dirty |= holes_down
+    for x in np.flatnonzero(changed_up):
+        px = int(csr.parent[x])
+        if px >= 0:
+            dirty[int(csr.child_start[px]):int(csr.child_end[px])] = True
+    for lo, hi in csr.levels()[1:]:
+        mask = dirty[lo:hi] | changed_down[csr.parent[lo:hi]]
+        rows = np.flatnonzero(mask)
+        if not len(rows):
+            continue
+        nodes = (lo + rows).astype(np.int64)
+        parents = csr.parent[nodes]
+        sibling_counts = csr.child_end[parents] - csr.child_start[parents]
+        width = 1 + n_cut + int(sibling_counts.max()) * n_cut
+        candidates = np.full((len(nodes), width), -1, dtype=np.int64)
+        candidates[:, 0] = parents
+        grand = np.flatnonzero(csr.parent[parents] >= 0)
+        if len(grand):
+            candidates[grand, 1:1 + n_cut] = down[parents[grand]]
+        _gather_children(
+            candidates,
+            1 + n_cut,
+            parents,
+            up,
+            csr.child_start,
+            sibling_counts,
+            n_cut,
+            skip=nodes,
+        )
+        ranked = _rank_rows(
+            candidates, nodes, csr.dist, csr.host_ids, n_cut
+        )
+        recomputed += len(nodes)
+        moved = ~np.all(ranked == down[nodes], axis=1)
+        if holes_down is not None:
+            # A holed row counts as changed even when its refill lands
+            # on the cleared value: the pre-event table held the
+            # departed leaf, so downstream consumers must recommit.
+            moved |= holes_down[nodes]
+        down[nodes] = ranked
+        changed_down[nodes[moved]] = True
+    return changed_up, changed_down, recomputed
+
+
+def sweep_entry(csr: TreeCSR, row: np.ndarray) -> tuple[int, ...]:
+    """One sweep row as the substrate's table entry (sorted host ids)."""
+    kept = row[row >= 0]
+    return tuple(sorted(int(h) for h in csr.host_ids[kept]))
 
 
 def tables_from_sweep(

@@ -51,12 +51,23 @@ from repro.kernels.crt import _CHUNK_CELLS, CrtPrecompute, crt_sweep
 from repro.kernels.tree import TreeCSR
 from repro.metrics.metric import submatrix
 
-__all__ = ["SpaceAnswers", "AnswerTable", "build_answer_table"]
+__all__ = [
+    "SpaceAnswers",
+    "AnswerTable",
+    "build_answer_table",
+    "DIRTY_REBUILD_FRACTION",
+]
 
 #: Plan sentinel: interval not yet simulated.
 _UNSIMULATED = -2
 #: Plan value: no admissible direction — the query fails.
 _UNSATISFIED = -1
+
+#: When a membership event dirties more than this fraction of the
+#: overlay, :meth:`AnswerTable.patched` declines and the table rebuilds
+#: from scratch as before — past this point re-validating carried plans
+#: costs more than the rebuild it would save.
+DIRTY_REBUILD_FRACTION = 0.25
 
 
 class SpaceAnswers:
@@ -196,6 +207,10 @@ class AnswerTable:
         # k is always >= 2, so thresholds below 2 can never admit.
         self._breakpoints = unique[unique >= 2]
         self._plans: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        # Every compact node a simulated interval's walk visited — the
+        # plan's exact dependency set, consulted when a membership
+        # patch decides which plans survive (see :meth:`patched`).
+        self._routes: dict[tuple[int, int], tuple[int, ...]] = {}
         self._answers: dict[tuple[int, ...], SpaceAnswers] = {}
         self._lock = threading.Lock()
 
@@ -254,19 +269,29 @@ class AnswerTable:
         intervals = np.searchsorted(self._breakpoints, ks, side="left")
         for interval in {int(i) for i in intervals}:
             if nodes[interval] == _UNSIMULATED:
-                nodes[interval], hops[interval] = self._simulate(
+                node, hop, route = self._simulate(
                     entry_node, int(self._breakpoints[interval])
                 )
+                nodes[interval] = node
+                hops[interval] = hop
+                self._routes[(entry_node, interval)] = route
         return nodes[intervals], hops[intervals]
 
-    def _simulate(self, entry_node: int, k: int) -> tuple[int, int]:
-        """One reference walk at representative ``k`` (compact indices)."""
+    def _simulate(
+        self, entry_node: int, k: int
+    ) -> tuple[int, int, tuple[int, ...]]:
+        """One reference walk at representative ``k`` (compact indices).
+
+        Returns ``(answering node, hops, visited nodes)``; the visited
+        trail is every node whose thresholds the walk consulted.
+        """
         current = entry_node
         previous = -1
         hops = 0
+        visited = [entry_node]
         for _ in range(self._csr.size + 1):
             if k <= int(self._own[current]):
-                return current, hops
+                return current, hops, tuple(visited)
             chosen = -1
             for node, value in zip(
                 self._neighbor_nodes[current],
@@ -278,9 +303,10 @@ class AnswerTable:
                     chosen = int(node)
                     break
             if chosen < 0:
-                return _UNSATISFIED, hops
+                return _UNSATISFIED, hops, tuple(visited)
             previous = current
             current = chosen
+            visited.append(current)
             hops += 1
         raise KernelError(
             "routing walk failed to terminate on the compiled tree"
@@ -308,6 +334,126 @@ class AnswerTable:
                 "cannot satisfy it"
             )
         return members
+
+    def patched(
+        self,
+        csr: TreeCSR,
+        spaces: list[tuple[int, ...]],
+        precompute: CrtPrecompute,
+        neighbors: Mapping[int, Sequence[int]],
+        distance_values: np.ndarray,
+        dirty_hosts: frozenset[int] | set[int],
+        removed: int | None = None,
+    ) -> AnswerTable | None:
+        """This table re-targeted at the post-churn overlay, or ``None``.
+
+        The successor table's *thresholds* (own values, per-edge CRT
+        columns) are rebuilt outright — they are one cheap batched pass
+        once the churn kernels have carried the space tables and most
+        spaces are unchanged.  What this method rescues is the table's
+        expensively *accumulated* state:
+
+        * per-space answer records (:class:`SpaceAnswers`) — keyed by
+          space contents, which churn never alters for surviving
+          spaces, so they carry over wholesale (minus any space
+          containing a *removed* host);
+        * simulated routing plans — each simulated interval recorded
+          its walk's visited-node trail; a plan entry survives exactly
+          when every visited node's thresholds and neighbor order are
+          unchanged in the successor (checked against the freshly
+          built values, so a carried entry is *provably* what
+          re-simulation would produce).
+
+        Returns ``None`` — rebuild as before — when *dirty_hosts*
+        exceeds :data:`DIRTY_REBUILD_FRACTION` of the overlay, at
+        which point validating carried state costs more than it saves.
+        """
+        if csr.size == 0:
+            return None
+        if len(dirty_hosts) > DIRTY_REBUILD_FRACTION * csr.size:
+            return None
+        fresh = build_answer_table(
+            csr,
+            spaces,
+            precompute,
+            neighbors,
+            distance_values,
+            self.l,
+            self._pair_order,
+        )
+        translate = {
+            old: fresh._host_index.get(int(host))
+            for old, host in enumerate(self._csr.host_ids)
+        }
+
+        def node_unchanged(old_c: int, new_c: int) -> bool:
+            if int(self._own[old_c]) != int(fresh._own[new_c]):
+                return False
+            old_nodes = self._neighbor_nodes[old_c]
+            new_nodes = fresh._neighbor_nodes[new_c]
+            if old_nodes.shape[0] != new_nodes.shape[0]:
+                return False
+            for mine, theirs in zip(old_nodes, new_nodes):
+                if translate.get(int(mine)) != int(theirs):
+                    return False
+            return bool(
+                np.array_equal(
+                    self._neighbor_crt[old_c], fresh._neighbor_crt[new_c]
+                )
+            )
+
+        checked: dict[int, bool] = {}
+
+        def node_ok(old_c: int) -> bool:
+            known = checked.get(old_c)
+            if known is None:
+                target = translate[old_c]
+                known = target is not None and node_unchanged(
+                    old_c, target
+                )
+                checked[old_c] = known
+            return known
+
+        with self._lock:
+            for space, answers in self._answers.items():
+                if removed is not None and removed in space:
+                    continue
+                fresh._answers.setdefault(space, answers)
+            if not np.array_equal(fresh._breakpoints, self._breakpoints):
+                # The k-interval grid moved; every plan's intervals are
+                # re-keyed, so only the space records carry over.
+                return fresh
+            slots = int(fresh._breakpoints.shape[0]) + 1
+            for entry_node, (nodes, hops) in self._plans.items():
+                new_entry = translate[entry_node]
+                if new_entry is None:
+                    continue
+                carried_nodes = np.full(slots, _UNSIMULATED, dtype=np.int64)
+                carried_hops = np.zeros(slots, dtype=np.int64)
+                carried_nodes[-1] = _UNSATISFIED
+                carried_any = False
+                for interval in range(slots - 1):
+                    node = int(nodes[interval])
+                    if node == _UNSIMULATED:
+                        continue
+                    route = self._routes.get((entry_node, interval))
+                    if route is None or not all(
+                        node_ok(c) for c in route
+                    ):
+                        continue
+                    carried_nodes[interval] = (
+                        translate[node] if node >= 0 else _UNSATISFIED
+                    )
+                    carried_hops[interval] = hops[interval]
+                    fresh._routes[(new_entry, interval)] = tuple(
+                        t
+                        for c in route
+                        if (t := translate[c]) is not None
+                    )
+                    carried_any = True
+                if carried_any:
+                    fresh._plans[new_entry] = (carried_nodes, carried_hops)
+        return fresh
 
 
 def build_answer_table(

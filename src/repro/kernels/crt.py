@@ -177,6 +177,30 @@ class CrtPrecompute:
         with self._lock:
             return len(self._tables)
 
+    def carried(
+        self,
+        distance_values: np.ndarray,
+        drop: int | None = None,
+    ) -> CrtPrecompute:
+        """A fresh precompute inheriting this one's space tables.
+
+        The incremental churn path swaps in a new instance per
+        membership event rather than mutating the shared one (adopted
+        snapshots may still be reading it).  Tables are keyed by space
+        *contents* and built from pairwise distances that membership
+        churn never alters, so every table whose space survives the
+        event is still exact: a joined host only appears in *new*
+        space tuples, and a departed host's tuples (*drop*) can never
+        be requested again once the spaces are re-derived.
+        """
+        fresh = CrtPrecompute(distance_values)
+        with self._lock:
+            for space, table in self._tables.items():
+                if drop is not None and drop in space:
+                    continue
+                fresh._tables[space] = table
+        return fresh
+
     def own_matrix(
         self,
         spaces: list[tuple[int, ...]],

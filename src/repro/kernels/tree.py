@@ -24,7 +24,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.exceptions import KernelError
+from repro.exceptions import KernelError, TreePatchFallback
 from repro.metrics.metric import submatrix
 
 __all__ = ["TreeCSR", "compile_tree"]
@@ -88,6 +88,161 @@ class TreeCSR:
         """Compact indices of *node*'s children."""
         return np.arange(
             int(self.child_start[node]), int(self.child_end[node])
+        )
+
+    def index_of(self, host: int) -> int | None:
+        """Compact index of *host*, or ``None`` when not compiled in."""
+        found = np.flatnonzero(self.host_ids == int(host))
+        return int(found[0]) if found.size else None
+
+    def depth_of(self, node: int) -> int:
+        """BFS level of compact *node* (0 for the root)."""
+        return int(
+            np.searchsorted(self.level_offsets, node, side="right") - 1
+        )
+
+    def patch_join(
+        self, host: int, anchor: int, distance_values: np.ndarray
+    ) -> tuple["TreeCSR", int]:
+        """Splice joined leaf *host* under *anchor*; a new CSR plus slot.
+
+        A join always attaches exactly one leaf, so the patched tree
+        differs from this one by a single BFS slot: the new node goes
+        at ``child_end[anchor]`` — the boundary of the anchor's
+        (possibly empty) children block, which is always a valid
+        position inside the anchor's child level.  Every array is
+        updated with O(size) shifts plus one inserted distance
+        row/column taken from *distance_values* (the post-join matrix;
+        a leaf join leaves all existing pairwise predicted distances
+        untouched, the same premise the event-driven maintenance path
+        rests on).
+
+        Returns ``(patched_csr, p)`` with ``p`` the new leaf's compact
+        index.  Raises :class:`TreePatchFallback` when the splice
+        premise does not hold (unknown anchor, host already compiled
+        in, host outside the distance matrix) — the caller then walks
+        down the maintenance ladder instead.
+        """
+        matrix = np.asarray(distance_values, dtype=np.float64)
+        host = int(host)
+        if self.index_of(host) is not None:
+            raise TreePatchFallback(
+                f"host {host!r} is already part of the compiled tree"
+            )
+        if not 0 <= host < matrix.shape[0]:
+            raise TreePatchFallback(
+                f"joined host {host!r} lies outside the distance "
+                f"matrix (n={matrix.shape[0]})"
+            )
+        a = self.index_of(anchor)
+        if a is None:
+            raise TreePatchFallback(
+                f"anchor {anchor!r} is not part of the compiled tree"
+            )
+        p = int(self.child_end[a])
+        d = self.depth_of(a)
+
+        host_ids = np.insert(self.host_ids, p, host)
+        parent = self.parent.copy()
+        parent[parent >= p] += 1
+        parent = np.insert(parent, p, a)
+
+        child_start = self.child_start.copy()
+        child_end = self.child_end.copy()
+        # Only blocks strictly past p slide; a block *ending* exactly
+        # at p belongs to a predecessor whose children all precede the
+        # new slot and must NOT grow to claim it.  Empty blocks sitting
+        # exactly at p ([p, p)) belong to successors and slide whole.
+        grow_end = (self.child_end > p) | (
+            (self.child_end == p) & (self.child_start == p)
+        )
+        child_start[child_start >= p] += 1
+        child_end[grow_end] += 1
+        # The anchor's block absorbs the new slot: [s, p) -> [s, p+1),
+        # and a childless anchor's empty block [p, p) -> [p, p+1).
+        child_end[a] = p + 1
+        child_start[a] = min(int(child_start[a]), p)
+
+        offsets = self.level_offsets.copy()
+        offsets[d + 2:] += 1
+        if d + 1 > self.depth:
+            offsets = np.append(offsets, offsets[-1] + 1)
+        # The new leaf's (empty) children block goes where its children
+        # would be enqueued: the end of level d+2 — kept consistent so
+        # a later patch_join *under the new leaf* still splices at a
+        # level-respecting position.
+        q = int(offsets[min(d + 3, len(offsets) - 1)])
+        child_start = np.insert(child_start, p, q)
+        child_end = np.insert(child_end, p, q)
+
+        dist = np.insert(self.dist, p, matrix[host, self.host_ids], axis=0)
+        dist = np.insert(dist, p, matrix[host_ids, host], axis=1)
+        return (
+            TreeCSR(
+                host_ids=host_ids,
+                parent=parent,
+                child_start=child_start,
+                child_end=child_end,
+                level_offsets=offsets,
+                dist=dist,
+            ),
+            p,
+        )
+
+    def patch_leaf_leave(self, host: int) -> tuple["TreeCSR", int]:
+        """Splice departed leaf *host* out; a new CSR plus its old slot.
+
+        Sound only for a host that is a leaf *of this rooted tree* and
+        not its root — anything else (an interior departure whose
+        descendants re-join, or a departure of the BFS root itself)
+        restructures more than one slot and raises
+        :class:`TreePatchFallback` so the caller can fall back to the
+        event-driven path or a full rebuild.
+        """
+        p = self.index_of(int(host))
+        if p is None:
+            raise TreePatchFallback(
+                f"host {host!r} is not part of the compiled tree"
+            )
+        if p == 0:
+            raise TreePatchFallback(
+                f"host {host!r} is the compiled root; removing it "
+                "re-roots the whole tree"
+            )
+        if int(self.child_start[p]) != int(self.child_end[p]):
+            raise TreePatchFallback(
+                f"host {host!r} still has children in the compiled "
+                "tree; its departure restructures the overlay"
+            )
+
+        host_ids = np.delete(self.host_ids, p)
+        parent = np.delete(self.parent, p)
+        parent[parent > p] -= 1
+        child_start = np.delete(self.child_start, p)
+        child_end = np.delete(self.child_end, p)
+        # Only the former parent's block contains p, so the generic
+        # shift (its end moves down, its start stays) shrinks exactly
+        # that one block by one.
+        child_start[child_start > p] -= 1
+        child_end[child_end > p] -= 1
+
+        offsets = self.level_offsets.copy()
+        offsets[offsets > p] -= 1
+        if len(offsets) > 2 and offsets[-1] == offsets[-2]:
+            # The departed leaf was the deepest level's only member.
+            offsets = offsets[:-1]
+
+        dist = np.delete(np.delete(self.dist, p, axis=0), p, axis=1)
+        return (
+            TreeCSR(
+                host_ids=host_ids,
+                parent=parent,
+                child_start=child_start,
+                child_end=child_end,
+                level_offsets=offsets,
+                dist=dist,
+            ),
+            p,
         )
 
 

@@ -9,7 +9,7 @@ Every rule is a subclass of :class:`Rule` registered via
   whole run at once through a :class:`ProjectContext` — every parsed
   module plus the lazily built whole-program call graph
   (:class:`repro.lint.graph.ProjectGraph`) that the cross-module
-  rules (RPR004, RPR011–RPR014) walk.
+  rules (RPR004, RPR011–RPR014, RPR016) walk.
 
 Importing this package imports every rule module, which populates the
 registry as a side effect — :func:`all_rules` is the engine's entry
@@ -196,6 +196,7 @@ _RULE_MODULES = (
     "wirecontract",
     "snapshot",
     "shedcounters",
+    "churnpatch",
 )
 for _module_name in _RULE_MODULES:
     import_module(f"repro.lint.rules.{_module_name}")

@@ -1,0 +1,256 @@
+"""RPR016 — churn patching belongs to the membership path.
+
+The kernel churn layer (DESIGN.md §9) keeps the compiled substrate
+and the memoized answer tables warm across membership events by
+patching them in place: ``TreeCSR.patch_join`` /
+``TreeCSR.patch_leaf_leave`` splice the CSR arrays,
+``AnswerTableMemo.patch`` migrates held tables to the new generation.
+Every one of those operations assumes the membership lock is held and
+that no query is concurrently adopting the state being rewritten — a
+query path that calls them would work in every single-threaded test
+and corrupt answers only under live churn, exactly the failure class
+RPR014 guards for substrate mutation.
+
+This rule enforces the complement over the whole-program call graph:
+starting from the per-query entry points (public service core /
+executor methods minus the sanctioned membership and lifecycle
+surface, plus the coordinator's query entries) it walks every
+resolved call chain and flags, outside the defining modules:
+
+* ``.patch(...)`` calls on an :class:`AnswerTableMemo`-typed or
+  memo-named receiver — the read API (``get`` / ``put`` /
+  ``invalidate``) stays sanctioned, because lazily building and
+  memoizing a table IS query-path work;
+* ``.patch_join(...)`` / ``.patch_leaf_leave(...)`` calls on a
+  CSR-ish or view-ish receiver;
+* attribute or subscript writes through a CSR-ish receiver
+  (``csr.parent[...] = ...``) — compiled topology arrays are adopted
+  immutably by queries and respliced only under the membership lock.
+
+Receivers are recognized typed-first (``self.x`` whose ``__init__``
+assigned ``x = AnswerTableMemo(...)``, resolved through the symbol
+table) with a name heuristic fallback; unknown receivers degrade to
+"not churn state" — no guessing, no false positives.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.lint.findings import Finding
+from repro.lint.graph import FunctionInfo, ProjectGraph
+from repro.lint.rules import ProjectContext, Rule, register
+
+__all__ = ["ChurnPatchDisciplineRule"]
+
+#: Classes whose in-place patch surface this rule polices, and whose
+#: defining modules are exempt (they own their synchronization).
+PATCHED_CLASSES = frozenset({"AnswerTableMemo", "TreeCSR"})
+
+#: The in-place migration surface; everything else on a memo receiver
+#: (get/put/invalidate) is sanctioned query-path work.
+MEMO_PATCH_METHODS = frozenset({"patch"})
+
+#: The CSR splice surface.
+CSR_PATCH_METHODS = frozenset({"patch_join", "patch_leaf_leave"})
+
+#: Modules whose per-query entry points start the walk (same query
+#: surface as RPR014).
+ENTRY_MODULE_SUFFIXES = ("service.core", "service.executor")
+COORDINATOR_ENTRIES = frozenset(
+    {"submit", "submit_batch", "dispatch_group"}
+)
+COORDINATOR_MODULE_SUFFIX = "net.coordinator"
+
+#: Membership, warm-up, and lifecycle surfaces are not query paths —
+#: they are exactly where patching is supposed to happen.
+_NON_QUERY_METHODS = frozenset(
+    {
+        "__init__",
+        "add_host",
+        "remove_host",
+        "invalidate",
+        "prepare",
+        "start",
+        "close",
+        "stop",
+        "__enter__",
+        "__exit__",
+    }
+)
+
+#: Name heuristics for receivers when no typed knowledge exists.
+_VIEWISH_NAMES = frozenset({"view", "kernel_view", "kview"})
+
+
+def _module_matches(name: str, suffix: str) -> bool:
+    return name == suffix or name.endswith("." + suffix)
+
+
+def _typed_constructor(
+    expr: ast.expr, function: FunctionInfo
+) -> str | None:
+    """The class name ``self.x`` was constructed as, if known."""
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id in ("self", "cls")
+        and function.class_name is not None
+    ):
+        info = function.module.classes.get(function.class_name)
+        if info is not None:
+            return info.attr_constructors.get(expr.attr)
+    return None
+
+
+def _terminal_name(expr: ast.expr) -> str:
+    if isinstance(expr, ast.Name):
+        return expr.id.lower()
+    if isinstance(expr, ast.Attribute):
+        return expr.attr.lower()
+    return ""
+
+
+def _receiver_is_memo(expr: ast.expr, function: FunctionInfo) -> bool:
+    constructor = _typed_constructor(expr, function)
+    if constructor is not None:
+        return constructor == "AnswerTableMemo"
+    name = _terminal_name(expr)
+    return "answer_table" in name or name.endswith("memo")
+
+
+def _receiver_is_csr(expr: ast.expr, function: FunctionInfo) -> bool:
+    constructor = _typed_constructor(expr, function)
+    if constructor is not None:
+        return constructor == "TreeCSR"
+    return "csr" in _terminal_name(expr)
+
+
+def _receiver_is_view(expr: ast.expr) -> bool:
+    return _terminal_name(expr) in _VIEWISH_NAMES
+
+
+def _home_modules(graph: ProjectGraph) -> frozenset[str]:
+    return frozenset(
+        class_info.module.name
+        for class_info in graph.classes()
+        if class_info.name in PATCHED_CLASSES
+    )
+
+
+@register
+class ChurnPatchDisciplineRule(Rule):
+    """Flag churn patching (CSR splice, memo migrate) on query paths."""
+
+    rule_id = "RPR016"
+    summary = (
+        "in-place churn patching (TreeCSR splice, AnswerTableMemo "
+        "migration, CSR array writes) belongs to the membership "
+        "path, never to per-query code"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterable[Finding]:
+        graph = project.graph
+        entries = list(self._entries(graph))
+        if not entries:
+            return
+        homes = _home_modules(graph)
+        reported: set[tuple[str, int]] = set()
+        for function, path in graph.walk(entries):
+            if function.module.name in homes:
+                # The defining modules are internally synchronized;
+                # their internals are their business.
+                continue
+            yield from self._check_function(
+                graph, function, path, reported
+            )
+
+    def _entries(self, graph: ProjectGraph) -> Iterable[FunctionInfo]:
+        for function in graph.functions():
+            if function.class_name is None or function.parent is not None:
+                continue
+            name = function.module.name
+            if any(
+                _module_matches(name, suffix)
+                for suffix in ENTRY_MODULE_SUFFIXES
+            ):
+                if (
+                    not function.name.startswith("_")
+                    and function.name not in _NON_QUERY_METHODS
+                ):
+                    yield function
+            elif _module_matches(name, COORDINATOR_MODULE_SUFFIX):
+                if function.name in COORDINATOR_ENTRIES:
+                    yield function
+
+    def _check_function(
+        self,
+        graph: ProjectGraph,
+        function: FunctionInfo,
+        path: tuple[str, ...],
+        reported: set[tuple[str, int]],
+    ) -> Iterable[Finding]:
+        via = (
+            f" (reachable via {' -> '.join(path)})" if len(path) > 1 else ""
+        )
+        for site, _targets in graph.callees(function):
+            func = site.node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            receiver = func.value
+            offending = (
+                site.name in MEMO_PATCH_METHODS
+                and _receiver_is_memo(receiver, function)
+            ) or (
+                site.name in CSR_PATCH_METHODS
+                and (
+                    _receiver_is_csr(receiver, function)
+                    or _receiver_is_view(receiver)
+                )
+            )
+            if not offending:
+                continue
+            key = (function.context.display, site.node.lineno)
+            if key in reported:
+                continue
+            reported.add(key)
+            yield function.context.finding(
+                site.node,
+                self.rule_id,
+                f"churn patch .{site.name}() on a per-query path — "
+                "in-place migration assumes the membership lock and "
+                "no concurrent adopters; queries read memoized or "
+                f"adopted state only{via}",
+            )
+        # Writes through CSR receivers: respliced topology arrays.
+        for node in ast.walk(function.node):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            elif isinstance(node, ast.Delete):
+                targets = list(node.targets)
+            for target in targets:
+                base = target
+                # Unwrap subscripts: csr.parent[i] = ... rewrites the
+                # compiled topology just the same.
+                while isinstance(base, ast.Subscript):
+                    base = base.value
+                if not isinstance(base, ast.Attribute):
+                    continue
+                if not _receiver_is_csr(base.value, function):
+                    continue
+                key = (function.context.display, node.lineno)
+                if key in reported:
+                    continue
+                reported.add(key)
+                yield function.context.finding(
+                    node,
+                    self.rule_id,
+                    f"write to compiled CSR state (.{base.attr}) on a "
+                    "per-query path — topology arrays are adopted "
+                    "immutably; splicing belongs to the membership "
+                    f"path{via}",
+                )

@@ -229,5 +229,41 @@ class AnswerTableMemo(AggregationCache[V]):
     generation-keyed lookup, eager cross-generation eviction on
     :meth:`put`, explicit :meth:`invalidate`.  A distinct type keeps
     the two memos from being confused at call sites and lets them
-    diverge (e.g. size bounds) without touching the CRT cache.
+    diverge without touching the CRT cache — which it now does:
+    :meth:`patch` re-keys tables across a membership event instead of
+    dropping them.
     """
+
+    def patch(
+        self,
+        generation: int,
+        patcher: Callable[[float, V], V | None],
+    ) -> int:
+        """Migrate every held table to *generation* via *patcher*.
+
+        *patcher* receives ``(snapped_class, table)`` for each entry
+        and returns the successor table, or ``None`` to decline (the
+        entry is dropped and lazily rebuilt on next use, exactly as if
+        the memo had been invalidated).  Entries already at
+        *generation* are kept as-is.  Runs under the memo lock — the
+        membership path that calls this already serializes against the
+        service's membership lock, and patchers only read immutable
+        kernel state, so no lock-order cycle is possible.
+
+        Returns the number of entries successfully patched.
+        """
+        generation = int(generation)
+        patched = 0
+        with self._lock:
+            migrated: dict[tuple[float, int], V] = {}
+            for (snapped, held), value in self._entries.items():
+                if held == generation:
+                    migrated[(snapped, held)] = value
+                    continue
+                successor = patcher(snapped, value)
+                if successor is None:
+                    continue
+                migrated[(snapped, generation)] = successor
+                patched += 1
+            self._entries = migrated
+        return patched

@@ -35,6 +35,7 @@ from typing import TYPE_CHECKING
 
 from repro.core.decentralized import (
     AggregationSubstrate,
+    ChurnEvent,
     DecentralizedClusterSearch,
 )
 from repro.core.query import BandwidthClasses, ClusterQuery
@@ -175,6 +176,12 @@ class ClusterQueryService:
         controller admits everything (no bound, no rate limit) but
         still enforces deadlines and counts outcomes into this
         service's telemetry.
+    patch_churn:
+        Whether membership changes may be absorbed by the kernel churn
+        path (substrate splice + answer-table patching; see DESIGN.md
+        §9).  On by default; turning it off restores the invalidate-
+        everything behaviour — useful as the baseline in churn
+        benchmarks and as an operational escape hatch.
 
     Notes
     -----
@@ -199,6 +206,7 @@ class ClusterQueryService:
         telemetry: ServiceTelemetry | None = None,
         tracer: TracerLike | None = None,
         admission: AdmissionController | None = None,
+        patch_churn: bool = True,
     ) -> None:
         if framework.size < 2:
             raise ServiceError(
@@ -209,6 +217,7 @@ class ClusterQueryService:
         self._classes = classes
         self._n_cut = int(n_cut)
         self._pair_order = pair_order
+        self._patch_churn = bool(patch_churn)
         self._results: LRUCache[_ResultKey, _CachedAnswer] = LRUCache(
             cache_size
         )
@@ -315,15 +324,26 @@ class ClusterQueryService:
         """Join *host* to the overlay; bumps the generation.
 
         The shared aggregation substrate is carried across the change
-        incrementally (seeded re-propagation from the joined host's
-        overlay neighborhood) — the next query pays a per-class CRT
-        pass, not a full node-info rebuild.
+        incrementally — under the NumPy backend by splicing the joined
+        host straight into the compiled CSR arrays and re-sweeping only
+        the dirty subtree, otherwise by seeded re-propagation from the
+        joined host's overlay neighborhood.  When the kernel patch
+        succeeds, memoized answer tables are patched to the new
+        generation instead of invalidated, so the warm query path stays
+        warm across the join.
         """
         with self._tracer.start_span("service.add_host", host=host):
             with self._membership_lock:
                 self._framework.add_host(host)
-                self._invalidate_locked()
-                self._maintain_substrate_locked(self._framework.last_change)
+                self._results.clear()
+                self._aggregations.invalidate()
+                event = self._maintain_substrate_locked(
+                    self._framework.last_change
+                )
+                if event is None:
+                    self._answer_tables.invalidate()
+                else:
+                    self._patch_answer_tables_locked(event)
         self._telemetry.record_membership_change()
 
     def remove_host(self, host: int) -> list[int]:
@@ -336,17 +356,26 @@ class ClusterQueryService:
         can ever yield a cluster containing *host*.
 
         A leaf departure (no re-joins) is absorbed into the aggregation
-        substrate incrementally; a departure that displaced descendants
-        restructured the anchor tree, so the substrate is dropped and
-        rebuilt cold by the next query.
+        substrate incrementally — kernel-patched in place when the
+        NumPy backend is active, with memoized answer tables patched
+        rather than invalidated.  A departure that displaced
+        descendants restructured the anchor tree, so the substrate is
+        dropped and rebuilt cold by the next query.
         """
         with self._tracer.start_span(
             "service.remove_host", host=host
         ) as span:
             with self._membership_lock:
                 rejoined = self._framework.remove_host(host)
-                self._invalidate_locked()
-                self._maintain_substrate_locked(self._framework.last_change)
+                self._results.clear()
+                self._aggregations.invalidate()
+                event = self._maintain_substrate_locked(
+                    self._framework.last_change
+                )
+                if event is None:
+                    self._answer_tables.invalidate()
+                else:
+                    self._patch_answer_tables_locked(event)
             span.set(rejoined=len(rejoined))
         self._telemetry.record_membership_change()
         return rejoined
@@ -370,7 +399,9 @@ class ClusterQueryService:
         Deliberately leaves the substrate memo alone — membership paths
         maintain it incrementally via
         :meth:`_maintain_substrate_locked`, and :meth:`invalidate`
-        drops it explicitly.
+        drops it explicitly.  Membership paths no longer call this:
+        they clear results and aggregations directly and treat the
+        answer-table memo patch-first.
         """
         self._results.clear()
         self._aggregations.invalidate()
@@ -378,7 +409,7 @@ class ClusterQueryService:
 
     def _maintain_substrate_locked(
         self, change: MembershipChange | None
-    ) -> None:
+    ) -> ChurnEvent | None:
         """Carry the substrate across one membership change.
 
         Caller holds the membership lock and has already applied the
@@ -386,10 +417,17 @@ class ClusterQueryService:
         when the held substrate is exactly one generation behind and
         the change did not restructure the anchor tree; anything else
         drops the memo so the next query rebuilds cold.
+
+        Returns the substrate's :class:`~repro.core.decentralized.
+        ChurnEvent` when the change was absorbed by the kernel patch
+        path — the caller uses it to patch memoized answer tables
+        instead of invalidating them.  Returns ``None`` for every
+        other outcome (no held substrate, memo dropped, Python event
+        path, full rebuild).
         """
         held = self._substrate.peek()
         if held is None:
-            return
+            return None
         held_generation, substrate = held
         generation = self._framework.generation + self._epoch
         if (
@@ -398,13 +436,19 @@ class ClusterQueryService:
             or held_generation != generation - 1
         ):
             self._substrate.invalidate()
-            return
+            return None
         began = time.perf_counter()
         if change.kind == "join":
             report = substrate.apply_join(change.host)
         else:
             report = substrate.apply_leave(change.host)
-        if report.kind == "incremental":
+        if report.fallbacks:
+            self._telemetry.record_patch_fallbacks(report.fallbacks)
+        event: ChurnEvent | None = None
+        if report.kind == "patch":
+            self._telemetry.record_kernel_patch()
+            event = substrate.take_churn_event()
+        elif report.kind == "incremental":
             self._telemetry.record_incremental_update()
         else:
             # The incremental budget was exhausted and the substrate
@@ -415,6 +459,40 @@ class ClusterQueryService:
                 time.perf_counter() - began
             )
         self._substrate.replace(generation, substrate)
+        return event
+
+    def _patch_answer_tables_locked(self, event: ChurnEvent) -> None:
+        """Migrate memoized answer tables across *event*.
+
+        Caller holds the membership lock and the substrate was just
+        kernel-patched.  Each held table is asked to carry itself to
+        the post-event topology (:meth:`~repro.kernels.answers.
+        AnswerTable.patched`); tables that decline — the dirty subtree
+        exceeded the rebuild threshold, or a kernel error surfaced —
+        are simply dropped from the memo and rebuilt lazily, exactly
+        as if the memo had been invalidated.
+        """
+        generation = self._framework.generation + self._epoch
+
+        def patcher(
+            snapped: float, table: AnswerTable
+        ) -> AnswerTable | None:
+            try:
+                return table.patched(
+                    event.view.csr,
+                    event.view.spaces,
+                    event.view.precompute,
+                    event.neighbors,
+                    event.distances.values,
+                    event.dirty_hosts,
+                    removed=event.removed,
+                )
+            except KernelError:
+                return None
+
+        patched = self._answer_tables.patch(generation, patcher)
+        if patched:
+            self._telemetry.record_answer_table_patches(patched)
 
     # -- query execution ------------------------------------------------------
 
@@ -438,7 +516,10 @@ class ClusterQueryService:
 
         def build() -> AggregationSubstrate:
             substrate = AggregationSubstrate(
-                self._framework, n_cut=self._n_cut, tracer=self._tracer
+                self._framework,
+                n_cut=self._n_cut,
+                tracer=self._tracer,
+                kernel_churn=self._patch_churn,
             )
             began = time.perf_counter()
             substrate.ensure()
@@ -580,9 +661,12 @@ class ClusterQueryService:
         executor) runs the per-query path instead:
 
         * the NumPy kernel backend is off, or no kernel view compiles;
-        * the class is cold for *generation* (the per-query path must
-          run anyway to pay the CRT pass, and keeping cold batches on
-          it preserves their traced span contract exactly);
+        * the class is cold for *generation* — no memoized per-class
+          aggregation AND no answer table (the per-query path must run
+          anyway to pay the CRT pass, and keeping cold batches on it
+          preserves their traced span contract exactly).  A table
+          *patched* across a membership event counts as warm: churn
+          does not demote the batched path back to per-query;
         * *start* is a host the compiled overlay does not cover (the
           per-query path owns the error semantics for bad entries).
 
@@ -597,12 +681,15 @@ class ClusterQueryService:
         began = time.perf_counter()
         if active_backend() != "numpy":
             return None
-        if self._aggregations.get(snapped, generation) is None:
+        table = self._answer_tables.get(snapped, generation)
+        if (
+            table is None
+            and self._aggregations.get(snapped, generation) is None
+        ):
             return None
         keys = [
             (queries[index].k, snapped, generation) for index in indices
         ]
-        table = self._answer_tables.get(snapped, generation)
         if table is None and not all(
             key in self._results for key in keys
         ):

@@ -147,6 +147,19 @@ class TelemetrySnapshot:
         class)`` the batched gather path touched).  Counted separately
         from :attr:`aggregation_builds` — a table build reuses the
         class's already-built CRT state and is not a CRT pass.
+    kernel_patches:
+        Membership changes absorbed by the kernel churn path (CSR
+        splice + masked re-sweep) with the compiled stack kept warm —
+        the cheapest maintenance outcome, counted separately from
+        :attr:`incremental_updates` (the Python event path).
+    answer_table_patches:
+        Answer tables migrated across a membership event by
+        :meth:`~repro.service.cache.AnswerTableMemo.patch` instead of
+        being dropped and rebuilt.
+    patch_fallbacks:
+        Maintenance-ladder rungs that declined a membership event
+        (kernel patch refused a restructuring change, or the event
+        path's round budget ran out) before a slower rung absorbed it.
     admitted / shed / throttled / expired:
         Admission outcomes (see :mod:`repro.service.admission`):
         requests let in, rejected at the pending-work bound, rejected
@@ -178,6 +191,9 @@ class TelemetrySnapshot:
     substrate_build_p95_s: float = float("nan")
     substrate_build_mean_s: float = float("nan")
     answer_table_builds: int = 0
+    kernel_patches: int = 0
+    answer_table_patches: int = 0
+    patch_fallbacks: int = 0
     admitted: int = 0
     shed: int = 0
     throttled: int = 0
@@ -247,6 +263,9 @@ class ServiceTelemetry:
         self._membership_changes = 0
         self._unsatisfied = 0
         self._answer_table_builds = 0
+        self._kernel_patches = 0
+        self._answer_table_patches = 0
+        self._patch_fallbacks = 0
         self._admitted = 0
         self._shed = 0
         self._throttled = 0
@@ -289,6 +308,21 @@ class ServiceTelemetry:
         """Account one warm-path answer-table construction."""
         with self._lock:
             self._answer_table_builds += 1
+
+    def record_kernel_patch(self) -> None:
+        """Account one membership change absorbed by the kernel patch."""
+        with self._lock:
+            self._kernel_patches += 1
+
+    def record_answer_table_patches(self, count: int) -> None:
+        """Account *count* answer tables migrated across a change."""
+        with self._lock:
+            self._answer_table_patches += int(count)
+
+    def record_patch_fallbacks(self, count: int) -> None:
+        """Account *count* declined maintenance-ladder rungs."""
+        with self._lock:
+            self._patch_fallbacks += int(count)
 
     def record_admitted(self) -> None:
         """Account one request let through admission."""
@@ -358,6 +392,9 @@ class ServiceTelemetry:
                 substrate_build_p95_s=self._build_histogram.quantile(0.95),
                 substrate_build_mean_s=self._build_histogram.mean(),
                 answer_table_builds=self._answer_table_builds,
+                kernel_patches=self._kernel_patches,
+                answer_table_patches=self._answer_table_patches,
+                patch_fallbacks=self._patch_fallbacks,
                 admitted=self._admitted,
                 shed=self._shed,
                 throttled=self._throttled,

@@ -1,4 +1,4 @@
-"""Fixture tests for the graph-powered rules (RPR011–RPR014).
+"""Fixture tests for the graph-powered rules (RPR011–RPR014, RPR016).
 
 Each rule gets a bad/good pair written into the harness's fake repo
 tree; the bad fixtures exercise the *transitive* machinery (violations
@@ -497,6 +497,134 @@ class TestRPR014SnapshotDiscipline:
             """,
         )
         report = harness.lint_tree(rules=["RPR014"])
+        assert list(report.new) == []
+
+
+MEMO_MODULE = """
+class AnswerTableMemo:
+    def __init__(self):
+        self._entries = {}
+
+    def get(self, snapped, generation):
+        return self._entries.get((snapped, generation))
+
+    def put(self, snapped, generation, value):
+        self._entries[(snapped, generation)] = value
+
+    def patch(self, generation, patcher):
+        return 0
+"""
+
+
+class TestRPR016ChurnPatchDiscipline:
+    def test_memo_patch_on_query_path_is_flagged(self, harness):
+        harness.write("src/repro/service/cache.py", MEMO_MODULE)
+        harness.write(
+            "src/repro/service/core.py",
+            """
+            from repro.service.cache import AnswerTableMemo
+
+            class Service:
+                def __init__(self):
+                    self._answer_tables = AnswerTableMemo()
+
+                def submit(self, query):
+                    self._answer_tables.patch(1, lambda s, t: t)
+                    return self._answer_tables.get(30.0, 1)
+            """,
+        )
+        report = harness.lint_tree(rules=["RPR016"])
+        findings = list(report.new)
+        assert rule_ids(findings) == {"RPR016"}
+        (finding,) = findings
+        assert "churn patch .patch()" in finding.message
+        assert "membership lock" in finding.message
+
+    def test_csr_splice_via_helper_chain_is_flagged_with_path(
+        self, harness
+    ):
+        harness.write(
+            "src/repro/service/core.py",
+            """
+            from repro.service.helpers import refresh
+
+            class Service:
+                def submit(self, query):
+                    return refresh(query)
+            """,
+        )
+        harness.write(
+            "src/repro/service/helpers.py",
+            """
+            def refresh(query):
+                csr = query.view.csr
+                csr.patch_join(query.host, 0, query.distances)
+                csr.parent[0] = -1
+                return csr
+            """,
+        )
+        report = harness.lint_tree(rules=["RPR016"])
+        findings = list(report.new)
+        assert rule_ids(findings) == {"RPR016"}
+        assert len(findings) == 2
+        splice, write = sorted(findings, key=lambda f: f.line)
+        assert ".patch_join()" in splice.message
+        assert "reachable via" in splice.message
+        assert splice.path.endswith("helpers.py")
+        assert "write to compiled CSR state (.parent)" in write.message
+
+    def test_membership_path_may_patch(self, harness):
+        harness.write("src/repro/service/cache.py", MEMO_MODULE)
+        harness.write(
+            "src/repro/service/core.py",
+            """
+            from repro.service.cache import AnswerTableMemo
+
+            class Service:
+                def __init__(self):
+                    self._answer_tables = AnswerTableMemo()
+
+                def add_host(self, host):
+                    self._answer_tables.patch(1, lambda s, t: t)
+
+                def submit(self, query):
+                    # Lazily building and memoizing a table is
+                    # sanctioned query-path work.
+                    table = self._answer_tables.get(30.0, 1)
+                    if table is None:
+                        self._answer_tables.put(30.0, 1, object())
+                    return table
+            """,
+        )
+        report = harness.lint_tree(rules=["RPR016"])
+        assert list(report.new) == []
+
+    def test_typed_receiver_beats_name_heuristic(self, harness):
+        # ``self._answer_tables`` here is an LRU cache that happens to
+        # expose .patch(); the inferred constructor type must win over
+        # the memo-ish name and keep it clean.
+        harness.write(
+            "src/repro/service/lru.py",
+            """
+            class LRUCache:
+                def patch(self, generation, patcher):
+                    return 0
+            """,
+        )
+        harness.write(
+            "src/repro/service/core.py",
+            """
+            from repro.service.lru import LRUCache
+
+            class Service:
+                def __init__(self):
+                    self._answer_tables = LRUCache()
+
+                def submit(self, query):
+                    return self._answer_tables.patch(1, lambda s, t: t)
+            """,
+        )
+        report = harness.lint_tree(rules=["RPR016"])
         assert list(report.new) == []
 
 

@@ -1,14 +1,52 @@
-"""Churn during serving: departures must never leak into answers.
+"""Churn during serving: correctness, telemetry, and patch parity.
 
-The acceptance property of the service layer's generation scheme: once
-``remove_host`` returns, no query — cached, fresh, single, or batched —
-may return a cluster containing the removed host.
+Two acceptance properties live here.  First, the generation scheme:
+once ``remove_host`` returns, no query — cached, fresh, single, or
+batched — may return a cluster containing the removed host.  Second,
+the kernel churn contract: leaf churn under the NumPy backend is
+absorbed as a patch — exactly one patch counter moves, no substrate
+rebuild happens, and the memoized answer tables are migrated in place
+instead of dropped — and the patched tables agree answer-for-answer
+with a twin service running the invalidate-everything regime (the
+same oracle the churn bench uses).
 """
 
 import pytest
 
-from repro.core.query import ClusterQuery
-from repro.exceptions import StaleGenerationError
+from repro.core.query import BandwidthClasses, ClusterQuery
+from repro.exceptions import KernelError, StaleGenerationError
+from repro.kernels import BACKEND_ENV
+from repro.predtree.framework import build_framework
+from repro.service import ClusterQueryService
+
+BANDWIDTHS = (20.0, 40.0, 60.0)
+
+
+def _fresh(dataset, **kwargs):
+    framework = build_framework(dataset.bandwidth, seed=1)
+    classes = BandwidthClasses.linear(15.0, 75.0, 5)
+    return ClusterQueryService(framework, classes, n_cut=5, **kwargs)
+
+
+def _anchor_leaf(service):
+    """A removable host: an anchor-tree leaf (departure displaces nobody)."""
+    framework = service.framework
+    return [
+        host
+        for host in framework.hosts
+        if not framework.anchor_tree.children(host)
+    ][-1]
+
+
+def _warm_tables(service):
+    """Warm every class in BANDWIDTHS and build their answer tables.
+
+    The first batch pays the per-class CRT pass (per-query path); the
+    second, now warm, goes through ``submit_group`` and memoizes the
+    answer tables the churn path migrates.
+    """
+    service.submit_batch([ClusterQuery(k=3, b=b) for b in BANDWIDTHS])
+    service.submit_batch([ClusterQuery(k=4, b=b) for b in BANDWIDTHS])
 
 
 def _non_root_member(service, cluster):
@@ -67,3 +105,102 @@ class TestChurnDuringServing:
         service.remove_host(victim)
         with pytest.raises(StaleGenerationError):
             service.submit(query, expected_generation=generation)
+
+
+class TestChurnTelemetryContract:
+    def test_patched_join_is_one_patch_and_zero_builds(
+        self, dataset, monkeypatch
+    ):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        service = _fresh(dataset)
+        _warm_tables(service)
+        victim = _anchor_leaf(service)
+        assert service.remove_host(victim) == []
+        before = service.telemetry.snapshot()
+        service.add_host(victim)
+        after = service.telemetry.snapshot()
+        # Exactly one patch; nothing rebuilt, no ladder rung declined.
+        assert after.kernel_patches == before.kernel_patches + 1
+        assert after.substrate_builds == before.substrate_builds
+        assert after.incremental_updates == before.incremental_updates
+        assert after.patch_fallbacks == before.patch_fallbacks
+
+    def test_patched_leave_migrates_answer_tables(
+        self, dataset, monkeypatch
+    ):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        service = _fresh(dataset)
+        _warm_tables(service)
+        before = service.telemetry.snapshot()
+        victim = _anchor_leaf(service)
+        assert service.remove_host(victim) == []
+        after = service.telemetry.snapshot()
+        assert after.kernel_patches == before.kernel_patches + 1
+        assert after.answer_table_patches > before.answer_table_patches
+        # A patched class is still warm: the next batch gathers from
+        # the migrated tables without rebuilding them.
+        results = service.submit_batch(
+            [ClusterQuery(k=5, b=b) for b in BANDWIDTHS]
+        )
+        final = service.telemetry.snapshot()
+        assert final.answer_table_builds == after.answer_table_builds
+        assert all(victim not in result.cluster for result in results)
+
+    def test_forced_fallback_is_counted(self, dataset, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+
+        def refuse(*args, **kwargs):
+            raise KernelError("forced refusal")
+
+        monkeypatch.setattr(
+            "repro.core.decentralized.splice_leave", refuse
+        )
+        service = _fresh(dataset)
+        _warm_tables(service)
+        victim = _anchor_leaf(service)
+        assert service.remove_host(victim) == []
+        snapshot = service.telemetry.snapshot()
+        assert snapshot.patch_fallbacks >= 1
+        assert snapshot.kernel_patches == 0
+        # No ChurnEvent means nothing to migrate the tables with.
+        assert snapshot.answer_table_patches == 0
+
+    def test_patch_churn_off_never_patches(self, dataset, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        service = _fresh(dataset, patch_churn=False)
+        _warm_tables(service)
+        victim = _anchor_leaf(service)
+        assert service.remove_host(victim) == []
+        snapshot = service.telemetry.snapshot()
+        assert snapshot.kernel_patches == 0
+        assert snapshot.answer_table_patches == 0
+        assert snapshot.patch_fallbacks == 0
+
+
+class TestChurnAnswerParity:
+    def test_patched_tables_agree_with_invalidating_twin(
+        self, dataset, monkeypatch
+    ):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        service = _fresh(dataset)
+        twin = _fresh(dataset, patch_churn=False)
+        _warm_tables(service)
+        batch = [
+            ClusterQuery(k=k, b=b) for k in (3, 5) for b in BANDWIDTHS
+        ]
+        for _ in range(2):
+            victim = _anchor_leaf(service)
+            assert service.remove_host(victim) == []
+            assert twin.remove_host(victim) == []
+            twin.invalidate()
+            warm = service.submit_batch(batch)
+            for query, result in zip(batch, warm):
+                expected = twin.submit(query)
+                assert result.cluster == expected.cluster, query
+                assert result.hops == expected.hops, query
+            service.add_host(victim)
+            twin.add_host(victim)
+            twin.invalidate()
+        snapshot = service.telemetry.snapshot()
+        assert snapshot.kernel_patches == 4
+        assert snapshot.answer_table_patches > 0

@@ -156,7 +156,7 @@ class TestWarmBatchParity:
             service.telemetry.snapshot().answer_table_builds == builds
         )
 
-    def test_churn_invalidates_tables_and_stays_correct(
+    def test_churn_migrates_tables_and_stays_correct(
         self, dataset, monkeypatch
     ):
         monkeypatch.setenv(BACKEND_ENV, "numpy")
@@ -168,13 +168,17 @@ class TestWarmBatchParity:
         victim = service.hosts[-1]
         service.remove_host(victim)
         reference.remove_host(victim)
-        # Old tables are unreachable (generation-keyed); the next warm
-        # batch must rebuild and still agree with the per-query path.
+        # A leaf departure patches the memoized tables to the new
+        # generation (kernel churn path); any table that declined is
+        # dropped and rebuilt.  Either way the warm batch must agree
+        # with the per-query path against a cold reference service.
         _warm(service)
         batch = _mixed_misses()
         results = service.submit_batch(batch)
+        snapshot = service.telemetry.snapshot()
         assert (
-            service.telemetry.snapshot().answer_table_builds > builds
+            snapshot.answer_table_builds > builds
+            or snapshot.answer_table_patches > 0
         )
         for query, result in zip(batch, results):
             expected = reference.submit(query)

@@ -38,6 +38,7 @@ FROZEN_CODES = {
     "TracingError": 100,
     "LintError": 110,
     "KernelError": 120,
+    "TreePatchFallback": 121,
     "NetworkError": 130,
     "FrameError": 131,
     "ProtocolError": 132,
